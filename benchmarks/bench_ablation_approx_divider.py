@@ -1,0 +1,14 @@
+"""Ablation — approximate divider (Section VIII future work)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_approx_divider(once, record_result):
+    result = once(ablations.run_approx_divider)
+    record_result(result)
+    exact, approx = result.rows
+    # "Significantly lower the area cost..."
+    assert approx["divider_hw_ge"] < exact["divider_hw_ge"] / 5
+    # "...with a small reduction in overall accuracy."
+    assert approx["exp_max_error"] < 2 * exact["exp_max_error"]
+    assert approx["fill_cycles"] < exact["fill_cycles"]

@@ -1,0 +1,11 @@
+"""Ablation — Fig. 3 rewiring units vs generic subtractors."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_bias_units(benchmark, record_result):
+    result = benchmark(ablations.run_bias_units, 12)
+    record_result(result)
+    for row in result.rows:
+        assert row["mismatches_vs_subtractor"] == 0
+        assert row["gate_equivalents"] < row["generic_subtractor_ge"]

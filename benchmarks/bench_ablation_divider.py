@@ -1,0 +1,11 @@
+"""Ablation — pipelined vs sequential divider (area vs throughput)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_divider(benchmark, record_result):
+    result = benchmark(ablations.run_divider, 64)
+    record_result(result)
+    sequential = result.rows[1]
+    assert sequential["area_ratio"] < 0.2
+    assert sequential["cycle_ratio"] > 5

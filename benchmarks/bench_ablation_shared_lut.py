@@ -1,0 +1,11 @@
+"""Ablation — shared sigma LUT + Fig. 3 rewiring vs the rejected options."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_shared_lut(benchmark, record_result):
+    result = benchmark(ablations.run_shared_lut)
+    record_result(result)
+    by = {r["variant"]: r["vs_nacu"] for r in result.rows}
+    assert by["dedicated tanh LUT"] > 1.3  # "nearly doubled"
+    assert by["shared LUT + generic subtractors"] > 1.0

@@ -1,0 +1,10 @@
+"""Ablation — Eq. 13 max-normalisation on vs off."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_softmax_normalisation(once, record_result):
+    result = once(ablations.run_softmax_normalisation, 200)
+    record_result(result)
+    assert result.rows[0]["rate"] > 0.95  # normalised keeps the argmax
+    assert result.rows[1]["rate"] < 0.2  # naive collapses to ties

@@ -1,0 +1,49 @@
+"""Extension — fabric scaling: cycles vs cell count for MLP inference."""
+
+import numpy as np
+
+from repro.cgra import Fabric, map_mlp
+from repro.experiments.result import ExperimentResult
+from repro.nn import Mlp, make_gaussian_clusters
+
+
+def _build():
+    x, y = make_gaussian_clusters(n_classes=4, n_features=16, n_per_class=30,
+                                  seed=3)
+    mlp = Mlp([16, 32, 4], seed=4)
+    mlp.train(x, y, epochs=60, learning_rate=0.8)
+    return mlp, x
+
+
+def test_cgra_scaling(once, record_result):
+    def sweep():
+        mlp, x = _build()
+        rows = []
+        baseline = None
+        for rows_cols in ((1, 1), (1, 2), (2, 2), (2, 4)):
+            mapping = map_mlp(mlp, Fabric(*rows_cols))
+            mapping.forward(x[:8])
+            cycles = mapping.total_cycles
+            if baseline is None:
+                baseline = cycles
+            rows.append(
+                {
+                    "cells": rows_cols[0] * rows_cols[1],
+                    "cycles": cycles,
+                    "speedup": round(baseline / cycles, 2),
+                    "reconfigurations": mapping.total_reconfigurations,
+                }
+            )
+        return ExperimentResult(
+            experiment_id="cgra_scaling",
+            title="MLP inference cycles vs fabric size",
+            paper_claim="(extension) striped dense layers scale with cell "
+            "count; the softmax stays on one morphable cell",
+            rows=rows,
+        )
+
+    result = once(sweep)
+    record_result(result)
+    speedups = [r["speedup"] for r in result.rows]
+    assert speedups[-1] > 2.5  # 8 cells vs 1
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))

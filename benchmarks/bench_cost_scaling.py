@@ -1,0 +1,17 @@
+"""Extension — the cost/accuracy frontier across bit widths."""
+
+from repro.experiments import cost_scaling
+
+
+def test_cost_scaling(once, record_result):
+    result = once(cost_scaling.run, (10, 12, 16, 20))
+    record_result(result)
+    rows = result.rows
+    areas = [r["area_um2"] for r in rows]
+    errors = [r["sigmoid_max_error"] for r in rows]
+    assert areas == sorted(areas)  # wider units cost more
+    assert errors == sorted(errors, reverse=True)  # and err less
+    # Going 16 -> 20 bits buys ~an order of magnitude of accuracy.
+    r16 = next(r for r in rows if r["bits"] == 16)
+    r20 = next(r for r in rows if r["bits"] == 20)
+    assert r20["sigmoid_max_error"] < r16["sigmoid_max_error"] / 8

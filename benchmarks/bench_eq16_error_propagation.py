@@ -1,0 +1,12 @@
+"""Eq. 15/16 — the bounded sigma-to-exponential error propagation."""
+
+from repro.experiments import eq16
+
+
+def test_eq16_error_propagation(benchmark, record_result):
+    result = benchmark(eq16.run)
+    record_result(result)
+    lsb = 2.0 ** -11
+    for row in result.rows:
+        assert row["coefficient"] <= 4.0
+        assert row["measured_nacu_exp_error"] <= 4 * lsb + lsb

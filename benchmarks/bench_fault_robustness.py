@@ -1,0 +1,11 @@
+"""Extension — single-bit LUT upset sensitivity."""
+
+from repro.experiments import robustness
+
+
+def test_fault_robustness(once, record_result):
+    result = once(robustness.run, 801)
+    record_result(result)
+    bias = {r["bit"]: r for r in result.rows if r["field"] == "bias"}
+    assert bias[15]["error_increase"] > 0.2  # MSB upset is catastrophic
+    assert bias[0]["error_increase"] < 4 * 2.0 ** -11  # LSB is noise

@@ -1,0 +1,21 @@
+"""Fig. 1 — regenerate the sigma/tanh curves (float and NACU)."""
+
+import numpy as np
+
+from repro.experiments import fig1
+from repro.funcs import sigmoid
+from repro.nacu import Nacu
+
+
+def test_fig1_curves(once, record_result):
+    result = once(fig1.run, 33)
+    record_result(result)
+    assert len(result.rows) == 33
+
+
+def test_nacu_sigmoid_throughput(benchmark):
+    """Raw model throughput of the bit-accurate sigmoid path."""
+    unit = Nacu()
+    x = np.linspace(-8, 8, 10000)
+    out = benchmark(unit.sigmoid, x)
+    assert np.max(np.abs(out - sigmoid(x))) < 2.0 ** -11

@@ -1,0 +1,21 @@
+"""Fig. 4a — entries needed per fractional width, all four families.
+
+The timed sweep covers 6/8/10 fractional bits (the full 4..14 range runs
+for minutes; the 10-bit column is the one the paper quotes numbers for).
+"""
+
+from repro.experiments import fig4
+
+FRAC_BITS = (6, 8, 10)
+
+
+def test_fig4a_entries_vs_fracbits(once, record_result):
+    result = once(fig4.run_entries_vs_fracbits, frac_bits=FRAC_BITS)
+    record_result(result)
+    by = {(r["method"], r["frac_bits"]): r["entries"] for r in result.rows}
+    # The paper's 10-fractional-bit comparison: ~50 PWL/NUPWL entries vs
+    # 668 (RALUT) and 1026 (LUT).
+    assert by[("PWL", 10)] <= 60
+    assert by[("NUPWL", 10)] <= by[("PWL", 10)]
+    assert by[("RALUT", 10)] < by[("LUT", 10)]
+    assert by[("LUT", 10)] > 700

@@ -1,0 +1,21 @@
+"""Fig. 4b — max error vs entry count at 11 fractional bits."""
+
+from repro.experiments import fig4
+
+ENTRIES = (8, 32, 128)
+METHODS = ("LUT", "RALUT", "PWL", "NUPWL")
+
+
+def test_fig4b_error_vs_entries(once, record_result):
+    result = once(
+        fig4.run_error_vs_entries, methods=METHODS, entries=ENTRIES
+    )
+    record_result(result)
+    by = {(r["method"], r["entries_budget"]): r["max_error"] for r in result.rows}
+    # PWL/NUPWL scale better than the constant-output tables.
+    assert by[("PWL", 128)] < by[("LUT", 128)] / 5
+    assert by[("NUPWL", 32)] <= by[("PWL", 32)] * 1.3
+    # Errors fall with entries before the flattening knee.
+    assert by[("LUT", 128)] < by[("LUT", 8)]
+    assert by[("PWL", 32)] < by[("PWL", 8)]
+    assert by[("RALUT", 128)] < by[("RALUT", 8)]

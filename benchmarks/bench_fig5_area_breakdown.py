@@ -1,0 +1,23 @@
+"""Fig. 5 — area breakdown, per-function power and latency."""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def test_fig5_area_breakdown(benchmark, record_result):
+    result = benchmark(fig5.run_area)
+    record_result(result)
+    total = next(r for r in result.rows if r["block"] == "TOTAL")
+    assert total["area_um2"] == pytest.approx(9671, rel=0.03)
+    assert result.rows[0]["block"] == "divider"  # dominates
+
+
+def test_fig5_power_latency(benchmark, record_result):
+    result = benchmark(fig5.run_power_latency)
+    record_result(result)
+    by = {r["function"]: r for r in result.rows}
+    assert by["sigmoid"]["latency_cycles"] == 3
+    assert by["tanh"]["latency_cycles"] == 3
+    assert by["exp"]["latency_cycles"] == 8
+    assert by["exp"]["power_mw"] > by["sigmoid"]["power_mw"]

@@ -1,0 +1,21 @@
+"""Fig. 6 — the five error-comparison panels, normalised to NACU-16."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_error_comparison(once, record_result):
+    result = once(fig6.run)
+    record_result(result)
+    by = {(r["function"], r["design"]): r["max_vs_nacu16"] for r in result.rows}
+    # (a): NACU ~10x better than the shift-only NUPWL of [6].
+    assert by[("sigmoid", "Tsmots NUPWL [6]")] > 5
+    # (a): [10]'s 102 segments ~10x better than NACU.
+    assert by[("sigmoid", "Finker PWL-102 [10]")] < 0.3
+    # (b): all RALUT tanh designs worse than NACU.
+    for design in ("Zamanlooy RALUT [4]", "Leboeuf RALUT [5]", "Namin PWL+RALUT [8]"):
+        assert by[("tanh", design)] > 3
+    # (c): NACU ~10x worse than the 18-21-bit exponential designs.
+    for design in ("Nilsson Taylor-6 [13]", "CORDIC exp [14]", "Parabolic synthesis [14]"):
+        assert by[("exp", design)] < 0.5
+    # (c): wider NACUs close the gap.
+    assert by[("exp", "NACU 21-bit")] < by[("exp", "NACU 18-bit")] < 1.0

@@ -1,0 +1,15 @@
+"""Application-level check: MLP, LSTM and AdEx through NACU vs float."""
+
+from repro.experiments import nn_workloads
+
+
+def test_nn_workloads(once, record_result):
+    result = once(nn_workloads.run)
+    record_result(result)
+    by = {r["workload"]: r for r in result.rows}
+    mlp = by["MLP (sigma + softmax)"]
+    assert mlp["nacu_metric"] >= mlp["float_metric"] - 0.03
+    lstm = by["LSTM cell (sigma + tanh), 20 steps"]
+    assert lstm["nacu_metric"] < 50 * 2.0 ** -11
+    snn = by["AdEx neuron (exp)"]
+    assert abs(snn["delta"]) <= 1

@@ -1,0 +1,11 @@
+"""Section III — the Eq. 6/7 format-selection sweep."""
+
+from repro.experiments import sec3_formats
+from repro.fixedpoint import QFormat
+
+
+def test_sec3_format_selection(benchmark, record_result):
+    result = benchmark(sec3_formats.run)
+    record_result(result)
+    row16 = next(r for r in result.rows if r["total_bits"] == 16)
+    assert row16["format"] == str(QFormat(4, 11))

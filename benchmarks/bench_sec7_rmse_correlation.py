@@ -1,0 +1,15 @@
+"""Section VII.A/B text — RMSE and correlation vs [11]."""
+
+from repro.experiments import sec7_text
+
+
+def test_sec7_rmse_correlation(once, record_result):
+    result = once(sec7_text.run_rmse_correlation)
+    record_result(result)
+    by = {r["design"]: r for r in result.rows}
+    # NACU lands in the paper's decade and [11] is >10x worse.
+    assert by["NACU sigma"]["rmse"] < 5e-4
+    assert by["NACU tanh"]["rmse"] < 1e-3
+    assert by["[11] sigma"]["rmse"] > 10 * by["NACU sigma"]["rmse"]
+    assert by["[11] tanh"]["rmse"] > 10 * by["NACU tanh"]["rmse"]
+    assert all(r["correlation"] >= 0.998 for r in result.rows)

@@ -1,0 +1,23 @@
+"""Section VII.C — competitor costs scaled to 28 nm (Stillmaker [16])."""
+
+import pytest
+
+from repro.experiments import sec7_text
+
+
+def test_sec7c_scaled_costs(benchmark, record_result):
+    result = benchmark(sec7_text.run_scaled_costs)
+    record_result(result)
+    by = {r["design"]: r for r in result.rows}
+    assert by["CORDIC [14] (e only)"]["area_at_28nm_um2"] == pytest.approx(
+        5800, rel=0.02
+    )
+    assert by["6th order Taylor [13] (e only)"]["area_at_28nm_um2"] == pytest.approx(
+        6200, rel=0.02
+    )
+    assert by["Parabolic [14] (e only)"]["area_at_28nm_um2"] == pytest.approx(
+        8000, rel=0.02
+    )
+    assert by["6th order Taylor [13] (e only)"]["period_at_28nm_ns"] == pytest.approx(
+        20, rel=0.02
+    )

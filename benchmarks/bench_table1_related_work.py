@@ -1,0 +1,15 @@
+"""Table I — related-work costs plus NACU's modelled row."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1_related_work(benchmark, record_result):
+    result = benchmark(table1.run)
+    record_result(result)
+    nacu = next(r for r in result.rows if r["design"] == "nacu")
+    assert nacu["area_um2"] == 9671.0
+    assert nacu["lut_entries"] == 53
+    assert nacu["modelled_area_um2"] == pytest.approx(9671, rel=0.03)
+    assert len(result.rows) == 14

@@ -1,0 +1,53 @@
+"""Raw throughput of the bit-accurate models (simulation speed).
+
+Not a paper figure: these benches track how fast the library itself
+evaluates, which matters for users sweeping configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FxArray, QFormat, ops
+from repro.nacu import Nacu
+from repro.nacu.divider import RestoringDivider
+
+GRID = np.linspace(-8, 8, 10000)
+NEG_GRID = np.linspace(-8, 0, 10000)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return Nacu()
+
+
+def test_tanh_throughput(benchmark, unit):
+    out = benchmark(unit.tanh, GRID)
+    assert out.shape == GRID.shape
+
+
+def test_exp_throughput(benchmark, unit):
+    out = benchmark(unit.exp, NEG_GRID)
+    assert out.shape == NEG_GRID.shape
+
+
+def test_softmax_throughput(benchmark, unit):
+    x = np.linspace(-4, 4, 64)
+    out = benchmark(unit.softmax, x)
+    assert out.shape == x.shape
+
+
+def test_restoring_divider_throughput(benchmark):
+    fmt = QFormat(4, 11)
+    divider = RestoringDivider(QFormat(2, 14, signed=False))
+    num = FxArray.from_float(np.full(10000, 1.0), fmt)
+    den = FxArray.from_float(np.linspace(0.5, 1.0, 10000), fmt)
+    out = benchmark(divider.divide, num, den)
+    assert out.size == 10000
+
+
+def test_fixed_point_mul_throughput(benchmark):
+    fmt = QFormat(4, 11)
+    a = FxArray.from_float(np.linspace(-4, 4, 100000), fmt)
+    b = FxArray.from_float(np.linspace(4, -4, 100000), fmt)
+    out = benchmark(ops.mul, a, b)
+    assert out.size == 100000

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper. Timing goes to
+pytest-benchmark as usual; the regenerated rows are written to
+``benchmarks/results/<experiment_id>.txt`` (and echoed when running with
+``-s``), so a full ``pytest benchmarks/ --benchmark-only`` leaves the
+complete set of reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist an ExperimentResult and echo it."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive driver exactly once under the benchmark clock."""
+
+    def _once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,52 @@
+"""A small CNN on NACU: fixed conv filters, NACU tanh, trained head.
+
+Classifies tiny synthetic images of horizontal/vertical/diagonal bars:
+the quantised Sobel-style convolution extracts orientation features, the
+NACU tanh squashes their magnitudes, pooling summarises them, and a
+trained dense/softmax head (also on NACU) classifies.
+
+Run with::
+
+    python examples/cnn_bars.py
+"""
+
+import numpy as np
+
+from repro import Nacu
+from repro.nn import FloatActivations, NacuActivations, SmallCnn, make_bar_images
+
+
+def main() -> None:
+    images, labels = make_bar_images(n_per_class=100, size=12, seed=0)
+    split = int(0.8 * len(labels))
+    train_x, train_y = images[:split], labels[:split]
+    test_x, test_y = images[split:], labels[split:]
+    class_names = ("horizontal", "vertical", "diagonal")
+
+    results = {}
+    for name, provider in [
+        ("float64", FloatActivations()),
+        ("NACU-16", NacuActivations(Nacu.for_bits(16))),
+        ("NACU-10", NacuActivations(Nacu.for_bits(10))),
+    ]:
+        cnn = SmallCnn(provider=provider, seed=1)
+        loss = cnn.fit_head(train_x, train_y, epochs=400, learning_rate=0.8)
+        accuracy = cnn.accuracy(test_x, test_y)
+        results[name] = accuracy
+        print(f"{name:8s} head loss {loss:.4f}, test accuracy {accuracy:.3f}")
+
+    print("\nper-class feature means (NACU-16), channels = "
+          "[sobel_h, sobel_v, diagonal, blur]:")
+    cnn = SmallCnn(provider=NacuActivations(Nacu.for_bits(16)), seed=1)
+    feats = cnn.features(images)
+    for cls, name in enumerate(class_names):
+        mean = feats[labels == cls].mean(axis=0)
+        print(f"  {name:10s} {np.round(mean, 3)}")
+
+    delta = results["NACU-16"] - results["float64"]
+    print(f"\naccuracy delta NACU-16 vs float: {delta:+.3f} "
+          "(the paper's 'without loss of accuracy' claim, CNN edition)")
+
+
+if __name__ == "__main__":
+    main()

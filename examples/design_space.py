@@ -1,0 +1,59 @@
+"""Design-space exploration: approximation families and related work.
+
+A scaled-down interactive version of Figs. 4 and 6: compares the four
+Section VI table families on the sigmoid, then scores NACU against the
+published baselines on all three functions.
+
+Run with::
+
+    python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro import Nacu
+from repro.analysis import accuracy_report
+from repro.approx import entries_for_accuracy, error_for_entries
+from repro.baselines import iter_baselines
+from repro.funcs import exp, sigmoid, tanh
+
+
+def main() -> None:
+    # --- Fig. 4a style: entries for one-LSB accuracy --------------------
+    print("entries needed for one-LSB sigmoid accuracy:")
+    print(f"{'frac bits':>10} {'LUT':>6} {'RALUT':>6} {'PWL':>6} {'NUPWL':>6}")
+    for fb in (6, 8, 10):
+        counts = [
+            entries_for_accuracy(method, fb).n_entries
+            for method in ("LUT", "RALUT", "PWL", "NUPWL")
+        ]
+        print(f"{fb:>10} {counts[0]:>6} {counts[1]:>6} {counts[2]:>6} {counts[3]:>6}")
+
+    # --- Fig. 4b style: error at a fixed budget --------------------------
+    print("\nmax error with a 32-entry budget (11 frac bits):")
+    for method in ("LUT", "RALUT", "PWL", "NUPWL"):
+        point = error_for_entries(method, 32)
+        print(f"  {method:>6}: {point.max_error:.2e}")
+
+    # --- Fig. 6 style: NACU vs the baselines ----------------------------
+    unit = Nacu.for_bits(16)
+    grids = {
+        "sigmoid": (np.linspace(-8, 8, 4001), sigmoid, unit.sigmoid),
+        "tanh": (np.linspace(-8, 8, 4001), tanh, unit.tanh),
+        "exp": (np.linspace(-1, 0, 2001), exp, unit.exp),
+    }
+    for function, (grid, ref, nacu_fn) in grids.items():
+        base = accuracy_report(nacu_fn(grid), ref(grid))
+        print(f"\n{function}: NACU-16 max error {base.max_error:.2e}")
+        for baseline in iter_baselines(function):
+            report = accuracy_report(baseline.eval(grid), ref(grid))
+            ratio = report.max_error / base.max_error
+            marker = "worse" if ratio > 1 else "better"
+            print(
+                f"  {baseline.name:32s} max {report.max_error:.2e} "
+                f"({ratio:5.1f}x {marker})"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Static worst-case error budgets: pick a configuration before simulating.
+
+The Section III method bounds the format; this extends it to a complete
+a-priori error budget per configuration (approximation + coefficient
+quantisation + output rounding + saturation tail) and compares the bound
+against the measured error — the bound always dominates, so it can drive
+configuration choices without running a single simulation.
+
+Run with::
+
+    python examples/error_budget.py
+"""
+
+import numpy as np
+
+from repro import Nacu, NacuConfig
+from repro.analysis.error_budget import (
+    exp_error_budget,
+    sigmoid_error_budget,
+    tanh_error_budget,
+)
+from repro.funcs import exp, sigmoid, tanh
+
+
+def measured_max(unit, function, grid):
+    reference = {"sigmoid": sigmoid, "tanh": tanh, "exp": exp}[function]
+    return float(np.max(np.abs(getattr(unit, function)(grid) - reference(grid))))
+
+
+def main() -> None:
+    # --- the 16-bit budget, mechanism by mechanism ----------------------
+    budget = sigmoid_error_budget()
+    print("16-bit sigmoid error budget:")
+    for mechanism, bound in budget.rows():
+        print(f"  {mechanism:20s} {bound:.3e}")
+    unit = Nacu.for_bits(16)
+    grid = np.linspace(-8, 8, 8001)
+    print(f"  measured max error:  {measured_max(unit, 'sigmoid', grid):.3e}")
+    print()
+
+    # --- bound vs measured across widths and functions -------------------
+    print(f"{'bits':>5} {'fn':>8} {'bound':>10} {'measured':>10} {'margin':>7}")
+    for bits in (10, 12, 16, 20):
+        config = NacuConfig.for_bits(bits)
+        unit = Nacu(config)
+        cases = {
+            "sigmoid": (
+                sigmoid_error_budget(config).total,
+                np.linspace(-config.lut_range, config.lut_range, 4001),
+            ),
+            "tanh": (
+                tanh_error_budget(config),
+                np.linspace(-config.lut_range, config.lut_range, 4001),
+            ),
+            "exp": (
+                exp_error_budget(config),
+                np.linspace(-config.lut_range, 0, 4001),
+            ),
+        }
+        for function, (bound, grid) in cases.items():
+            measured = measured_max(unit, function, grid)
+            print(
+                f"{bits:>5} {function:>8} {bound:>10.2e} {measured:>10.2e} "
+                f"{bound / measured:>6.1f}x"
+            )
+
+
+if __name__ == "__main__":
+    main()

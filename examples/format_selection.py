@@ -1,0 +1,53 @@
+"""The Section III method: choosing a fixed-point format for the sigmoid.
+
+Walks Eq. 6/7 explicitly for the paper's 16-bit example, then sweeps
+widths to show how the integer/fraction split and the LUT sizing evolve.
+
+Run with::
+
+    python examples/format_selection.py
+"""
+
+import math
+
+from repro import QFormat, select_format
+from repro.fixedpoint import input_max, min_integer_bits, satisfies_eq7
+from repro.nacu.config import NacuConfig, lut_entries_for, saturation_range
+
+
+def main() -> None:
+    # --- the worked 16-bit example -------------------------------------
+    print("Eq. 7 candidates for N = 16 (one sign bit):")
+    for ib in range(0, 7):
+        fmt = QFormat.from_total_bits(16, ib)
+        tail = math.exp(-input_max(fmt))
+        verdict = "OK " if satisfies_eq7(fmt) else "too small"
+        print(
+            f"  i_b={ib}: {str(fmt):7s} In_max={input_max(fmt):8.3f} "
+            f"e^-In_max={tail:.2e} vs lsb={fmt.resolution:.2e} -> {verdict}"
+        )
+    chosen = select_format(16)
+    print(f"minimum integer bits: {min_integer_bits(16)} -> chosen format {chosen}")
+    print()
+
+    # --- the derived NACU configuration --------------------------------
+    config = NacuConfig.for_bits(16)
+    print(
+        f"NACU-16 config: io={config.io_fmt}, LUT covers [0, {config.lut_range}) "
+        f"with {config.lut_entries} entries (paper: 53)"
+    )
+    print()
+
+    # --- sweep over widths ---------------------------------------------
+    print(f"{'N':>3} {'format':>8} {'In_max':>8} {'range':>6} {'LUT entries':>12}")
+    for n_bits in range(8, 27, 2):
+        fmt = select_format(n_bits)
+        rng = saturation_range(fmt)
+        print(
+            f"{n_bits:>3} {str(fmt):>8} {input_max(fmt):>8.2f} "
+            f"{rng:>6.0f} {lut_entries_for(fmt, rng):>12}"
+        )
+
+
+if __name__ == "__main__":
+    main()

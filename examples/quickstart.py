@@ -1,0 +1,61 @@
+"""Quickstart: build a NACU and compute all five functions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FunctionMode, Nacu
+from repro.analysis import accuracy_report
+from repro.funcs import exp, sigmoid, tanh
+
+
+def main() -> None:
+    # A 16-bit unit dimensioned by the paper's Section III method:
+    # Q4.11 I/O, 53-entry PWL coefficient LUT covering [0, 8).
+    unit = Nacu.for_bits(16)
+    print(f"unit: {unit!r}")
+    print(f"io format: {unit.io_fmt} (lsb = {unit.io_fmt.resolution:.2e})")
+    print()
+
+    # --- the three scalar functions -----------------------------------
+    for x in (-2.0, -0.5, 0.0, 0.5, 2.0):
+        print(
+            f"x={x:+.1f}  sigma={unit.sigmoid(x):.5f} (ref {float(sigmoid(x)):.5f})"
+            f"  tanh={unit.tanh(x):+.5f} (ref {float(tanh(x)):+.5f})"
+        )
+    print()
+
+    # --- the exponential (softmax-normalised domain, x <= 0) ----------
+    xs = np.linspace(-4.0, 0.0, 5)
+    print("exp: ", np.round(unit.exp(xs), 5))
+    print("ref: ", np.round(exp(xs), 5))
+    print()
+
+    # --- softmax over a logit vector -----------------------------------
+    logits = np.array([1.2, -0.5, 3.0, 0.1, 2.9])
+    probabilities = unit.softmax(logits)
+    print("softmax:", np.round(probabilities, 4), "sum =", probabilities.sum())
+    print()
+
+    # --- accuracy against the float64 golden model --------------------
+    grid = np.linspace(-8, 8, 8001)
+    print("sigmoid accuracy:", accuracy_report(unit.sigmoid(grid), sigmoid(grid)))
+    print("tanh accuracy:   ", accuracy_report(unit.tanh(grid), tanh(grid)))
+    neg = np.linspace(-8, 0, 4001)
+    print("exp accuracy:    ", accuracy_report(unit.exp(neg), exp(neg)))
+    print()
+
+    # --- latency / cost view -------------------------------------------
+    for mode in (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP):
+        print(
+            f"{mode.value}: {unit.latency(mode)} cycles to first result, "
+            f"{unit.runtime_ns(mode, 100):.0f} ns for 100 pipelined results"
+        )
+    print(f"softmax(10): {unit.cycles(FunctionMode.SOFTMAX, 10)} cycles")
+
+
+if __name__ == "__main__":
+    main()

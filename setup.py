@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package and no network,
+so PEP 660 editable installs (which build a wheel) fail. `python setup.py
+develop` and `pip install -e . --no-build-isolation` both work through this
+shim."""
+from setuptools import setup
+
+setup()

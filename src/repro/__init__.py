@@ -1,0 +1,34 @@
+"""NACU — a reconfigurable non-linear arithmetic unit for neural networks.
+
+A bit-accurate Python reproduction of *NACU: A Non-Linear Arithmetic Unit
+for Neural Networks* (Baccelli, Stathis, Hemani, Martina — DAC 2020),
+including the fixed-point dimensioning method (Section III), the
+morphable sigma/tanh/exp/softmax/MAC datapath (Sections IV-V), analytic
+hardware cost models calibrated to the published 28 nm macro, functional
+models of every related-work design in Table I, and drivers regenerating
+every table and figure of the evaluation.
+
+Quick start::
+
+    >>> from repro import Nacu
+    >>> unit = Nacu.for_bits(16)
+    >>> unit.sigmoid(1.0)        # doctest: +SKIP
+    0.73095703125
+"""
+
+from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, select_format
+from repro.nacu import FunctionMode, Nacu, NacuConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionMode",
+    "FxArray",
+    "Nacu",
+    "NacuConfig",
+    "Overflow",
+    "QFormat",
+    "Rounding",
+    "select_format",
+    "__version__",
+]

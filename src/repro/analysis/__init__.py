@@ -1,0 +1,22 @@
+"""Accuracy metrics, error-propagation analysis, and sweep helpers."""
+
+from repro.analysis.metrics import AccuracyReport, accuracy_report, compare
+from repro.analysis.distribution import ErrorDistribution, error_distribution
+from repro.analysis.error_budget import sigmoid_error_budget
+from repro.analysis.error_propagation import (
+    exp_error_bound,
+    max_propagation_coefficient,
+    propagation_coefficient,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "ErrorDistribution",
+    "error_distribution",
+    "sigmoid_error_budget",
+    "accuracy_report",
+    "compare",
+    "exp_error_bound",
+    "max_propagation_coefficient",
+    "propagation_coefficient",
+]

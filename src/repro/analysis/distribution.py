@@ -1,0 +1,59 @@
+"""Error-distribution statistics beyond the paper's four metrics.
+
+Max/avg/RMSE hide the error's *shape*: a systematic bias (bad for
+accumulating networks) looks the same as symmetric quantisation noise.
+These statistics expose it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorDistribution:
+    """Summary of a signed error sample."""
+
+    bias: float  # mean signed error
+    std: float
+    p50: float  # |error| percentiles
+    p95: float
+    p99: float
+    worst: float
+    positive_fraction: float  # share of strictly positive errors
+
+    @property
+    def is_unbiased(self) -> bool:
+        """Whether the mean error is small against the spread."""
+        return abs(self.bias) < 0.2 * max(self.std, 1e-300)
+
+
+def error_distribution(approx_values, reference_values) -> ErrorDistribution:
+    """Signed-error statistics from paired value arrays."""
+    approx_values = np.asarray(approx_values, dtype=np.float64).ravel()
+    reference_values = np.asarray(reference_values, dtype=np.float64).ravel()
+    signed = approx_values - reference_values
+    magnitude = np.abs(signed)
+    return ErrorDistribution(
+        bias=float(np.mean(signed)),
+        std=float(np.std(signed)),
+        p50=float(np.percentile(magnitude, 50)),
+        p95=float(np.percentile(magnitude, 95)),
+        p99=float(np.percentile(magnitude, 99)),
+        worst=float(np.max(magnitude)),
+        positive_fraction=float(np.mean(signed > 0)),
+    )
+
+
+def error_histogram(approx_values, reference_values, n_bins: int = 21):
+    """(bin_edges, counts) of the signed error, symmetric around zero."""
+    signed = (
+        np.asarray(approx_values, dtype=np.float64).ravel()
+        - np.asarray(reference_values, dtype=np.float64).ravel()
+    )
+    span = float(np.max(np.abs(signed))) or 1e-12
+    edges = np.linspace(-span, span, n_bins + 1)
+    counts, _ = np.histogram(signed, bins=edges)
+    return edges, counts

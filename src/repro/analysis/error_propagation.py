@@ -1,0 +1,47 @@
+"""Error propagation from sigma to the exponential (Eqs. 15 and 16).
+
+Computing ``e^x = 1/sigma(-x) - 1`` amplifies any sigma error by
+``1/(1-sigma)^2`` (Eq. 15), which diverges as sigma saturates to 1. The
+paper's key observation: after softmax max-normalisation (Eq. 13) the
+exponential's input is always ``<= 0``, so the sigma the divider sees is
+``sigma(x_max - x) in [0.5, 1]`` and the sigma appearing in the error
+coefficient — ``sigma(x - x_max) in [0, 0.5]`` — bounds the amplification
+to ``1/(1-0.5)^2 = 4`` (Eq. 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def propagation_coefficient(sigma_value) -> np.ndarray:
+    """Eq. 15 coefficient ``|de/dsigma| = 1/(1-sigma)^2``."""
+    sigma_value = np.asarray(sigma_value, dtype=np.float64)
+    return 1.0 / np.square(1.0 - sigma_value)
+
+
+def max_propagation_coefficient(sigma_max: float = 0.5) -> float:
+    """Eq. 16: the worst-case coefficient given a bound on sigma.
+
+    With softmax normalisation ``sigma_max = 0.5`` and the bound is 4.
+    """
+    if not 0.0 <= sigma_max < 1.0:
+        raise ValueError(f"sigma_max must be in [0, 1), got {sigma_max}")
+    return float(propagation_coefficient(sigma_max))
+
+
+def exp_error_bound(sigma_error: float, sigma_max: float = 0.5) -> float:
+    """First-order bound on the exponential error: ``coeff * dsigma``."""
+    return max_propagation_coefficient(sigma_max) * sigma_error
+
+
+def empirical_propagation(sigma_value, sigma_error) -> np.ndarray:
+    """Exact (not first-order) error of ``1/(1-sigma) - 1`` for a sigma error.
+
+    Used by the Eq. 16 bench to show the first-order bound holds in
+    practice for LSB-scale errors.
+    """
+    sigma_value = np.asarray(sigma_value, dtype=np.float64)
+    exact = 1.0 / (1.0 - sigma_value) - 1.0
+    perturbed = 1.0 / (1.0 - (sigma_value + sigma_error)) - 1.0
+    return np.abs(perturbed - exact)

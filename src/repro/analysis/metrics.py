@@ -1,0 +1,62 @@
+"""The accuracy metrics the paper reports.
+
+Section VII compares designs on max error, average error (Fig. 6), RMSE and
+correlation (text of VII.A/B) — all measured against the floating-point
+implementation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Accuracy of a fixed-point unit against the float64 reference."""
+
+    max_error: float
+    avg_error: float
+    rmse: float
+    correlation: float
+
+    def __str__(self) -> str:
+        return (
+            f"max={self.max_error:.3e} avg={self.avg_error:.3e} "
+            f"rmse={self.rmse:.3e} corr={self.correlation:.4f}"
+        )
+
+
+def accuracy_report(approx_values, reference_values) -> AccuracyReport:
+    """Compute all four paper metrics from paired value arrays."""
+    approx_values = np.asarray(approx_values, dtype=np.float64).ravel()
+    reference_values = np.asarray(reference_values, dtype=np.float64).ravel()
+    if approx_values.shape != reference_values.shape:
+        raise ValueError(
+            f"shape mismatch: {approx_values.shape} vs {reference_values.shape}"
+        )
+    err = np.abs(approx_values - reference_values)
+    if np.std(approx_values) == 0.0 or np.std(reference_values) == 0.0:
+        correlation = 0.0  # a constant output carries no signal
+    else:
+        correlation = float(np.corrcoef(approx_values, reference_values)[0, 1])
+    return AccuracyReport(
+        max_error=float(np.max(err)),
+        avg_error=float(np.mean(err)),
+        rmse=float(np.sqrt(np.mean(err ** 2))),
+        correlation=correlation,
+    )
+
+
+def compare(
+    approx: Callable[[np.ndarray], np.ndarray],
+    reference: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    n_samples: int = 8193,
+) -> AccuracyReport:
+    """Evaluate both callables on a dense grid and report accuracy."""
+    x = np.linspace(x_lo, x_hi, n_samples)
+    return accuracy_report(approx(x), reference(x))

@@ -1,0 +1,60 @@
+"""Bit-width sweeps of NACU accuracy (the Fig. 6c/d/e width axis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.analysis.metrics import AccuracyReport, accuracy_report
+from repro.funcs import exp, sigmoid, tanh
+from repro.nacu import Nacu
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Accuracy of one NACU width on one function."""
+
+    n_bits: int
+    function: str
+    lut_entries: int
+    report: AccuracyReport
+
+    @property
+    def lsb(self) -> float:
+        """Output LSB of the selected format."""
+        return 2.0 ** -(Nacu.for_bits(self.n_bits).io_fmt.fb)
+
+
+def sweep_bit_widths(
+    widths: Iterable[int] = (10, 12, 14, 16, 18, 21, 24),
+    functions: Iterable[str] = ("sigmoid", "tanh", "exp"),
+    n_samples: int = 4001,
+) -> List[SweepRow]:
+    """Measure max/avg/RMSE/correlation per width and function."""
+    rows = []
+    for n_bits in widths:
+        unit = Nacu.for_bits(n_bits)
+        grids = {
+            "sigmoid": np.linspace(
+                -unit.config.lut_range, unit.config.lut_range, n_samples
+            ),
+            "tanh": np.linspace(
+                -unit.config.lut_range / 2, unit.config.lut_range / 2, n_samples
+            ),
+            "exp": np.linspace(-unit.config.lut_range, 0.0, n_samples),
+        }
+        references = {"sigmoid": sigmoid, "tanh": tanh, "exp": exp}
+        for function in functions:
+            grid = grids[function]
+            got = getattr(unit, function)(grid)
+            rows.append(
+                SweepRow(
+                    n_bits=n_bits,
+                    function=function,
+                    lut_entries=unit.config.lut_entries,
+                    report=accuracy_report(got, references[function](grid)),
+                )
+            )
+    return rows

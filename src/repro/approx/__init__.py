@@ -1,0 +1,49 @@
+"""Function-approximation engines (paper Section VI taxonomy).
+
+The paper's related-work survey divides the landscape into four families,
+all of which are implemented here so Fig. 4 can be regenerated:
+
+* :class:`~repro.approx.lut.UniformLUT` — uniform segments, constant each.
+* :class:`~repro.approx.ralut.RangeAddressableLUT` — non-uniform segments,
+  constant each (RALUT).
+* :class:`~repro.approx.pwl.UniformPWL` — uniform segments, minimax line
+  each (the family NACU itself belongs to).
+* :class:`~repro.approx.nupwl.NonUniformPWL` — non-uniform segments with
+  minimax lines (NUPWL).
+* :mod:`~repro.approx.polynomial` — single-segment higher-order
+  polynomials (Taylor / minimax), used by several related-work baselines.
+"""
+
+from repro.approx.base import Approximator
+from repro.approx.segments import Segment, SegmentTable
+from repro.approx.lut import UniformLUT
+from repro.approx.ralut import RangeAddressableLUT
+from repro.approx.pwl import UniformPWL
+from repro.approx.nupwl import NonUniformPWL
+from repro.approx.interpolated import InterpolatedLUT
+from repro.approx.polynomial import PolynomialApproximator, taylor_coefficients
+from repro.approx.explorer import (
+    DesignPoint,
+    entries_for_accuracy,
+    error_for_entries,
+    explore_entries_vs_fracbits,
+    explore_error_vs_entries,
+)
+
+__all__ = [
+    "Approximator",
+    "DesignPoint",
+    "InterpolatedLUT",
+    "NonUniformPWL",
+    "PolynomialApproximator",
+    "RangeAddressableLUT",
+    "Segment",
+    "SegmentTable",
+    "UniformLUT",
+    "UniformPWL",
+    "entries_for_accuracy",
+    "error_for_entries",
+    "explore_entries_vs_fracbits",
+    "explore_error_vs_entries",
+    "taylor_coefficients",
+]

@@ -1,0 +1,48 @@
+"""Common interface for all function approximators.
+
+Both the Section VI survey engines (:mod:`repro.approx`) and the
+related-work baselines (:mod:`repro.baselines`) speak this interface, so
+the accuracy benches treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Approximator(abc.ABC):
+    """A scalar function approximated by some hardware-friendly scheme.
+
+    ``eval`` takes and returns float64, but implementations are expected to
+    round through their internal fixed-point formats so the returned values
+    are exactly what the modelled hardware would output.
+    """
+
+    #: Short human-readable scheme name ("LUT", "PWL", ...).
+    name: str = "approximator"
+
+    @abc.abstractmethod
+    def eval(self, x) -> np.ndarray:
+        """Approximate the target function at ``x`` (array-like)."""
+
+    @property
+    @abc.abstractmethod
+    def n_entries(self) -> int:
+        """Number of stored table entries (the paper's cost axis)."""
+
+    @property
+    def storage_bits(self) -> int:
+        """Total table storage in bits; default assumes one word per entry."""
+        return self.n_entries * self.word_bits
+
+    #: Width of one stored word; subclasses override when entries hold
+    #: several fields (e.g. PWL stores slope + intercept).
+    word_bits: int = 16
+
+    def __call__(self, x) -> np.ndarray:
+        return self.eval(x)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}: {self.n_entries} entries>"

@@ -1,0 +1,131 @@
+"""Design-space exploration reproducing Fig. 4 of the paper.
+
+Fig. 4a asks: how many table entries does each scheme (LUT, RALUT, PWL,
+NUPWL) need so that the sigmoid's max error stays below one output LSB
+(``2^-f_b``), as the fractional width grows? Fig. 4b fixes 11 fractional
+bits and sweeps the entry count instead, showing how max error scales.
+
+The paper notes that "all possible interval sizes, ranges and fixed-point
+formats were explored, and the one with the best accuracy was selected";
+here the covered range is derived from the saturation analysis of Section
+III (the smallest power-of-two beyond ``ln(2) * f_b``), which is where
+that exploration lands for the sigmoid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.approx.lut import UniformLUT
+from repro.approx.nupwl import NonUniformPWL
+from repro.approx.pwl import UniformPWL
+from repro.approx.ralut import RangeAddressableLUT
+from repro.errors import ConfigError
+from repro.funcs import sigmoid
+
+METHODS = ("LUT", "RALUT", "PWL", "NUPWL")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored design: a scheme, its size, and its accuracy."""
+
+    method: str
+    frac_bits: int
+    n_entries: int
+    max_error: float
+
+    @property
+    def meets_target(self) -> bool:
+        """Whether the max error is within one output LSB."""
+        return self.max_error <= 2.0 ** -self.frac_bits
+
+
+def sigmoid_saturation_domain(frac_bits: int) -> float:
+    """Positive input range the table must cover for ``frac_bits`` accuracy.
+
+    Beyond ``ln(2) * f_b`` the sigmoid is within one LSB of 1 (Eq. 7), so
+    the table saturates there; rounded up to a power of two as an address
+    decoder would.
+    """
+    x_sat = math.log(2.0) * frac_bits
+    return float(2 ** math.ceil(math.log2(x_sat)))
+
+
+def _measure(approx, f, x_hi: float, frac_bits: int) -> float:
+    """Max error over the covered range plus the saturation tail."""
+    probe = np.linspace(0.0, 1.5 * x_hi, 12289)
+    return float(np.max(np.abs(approx.eval(probe) - np.asarray(f(probe)))))
+
+
+def _build_for_accuracy(method: str, f, x_hi: float, target: float):
+    if method == "LUT":
+        return UniformLUT.for_accuracy(f, 0.0, x_hi, target)
+    if method == "RALUT":
+        return RangeAddressableLUT(f, 0.0, x_hi, target)
+    if method == "PWL":
+        return UniformPWL.for_accuracy(f, 0.0, x_hi, target)
+    if method == "NUPWL":
+        return NonUniformPWL(f, 0.0, x_hi, target)
+    raise ConfigError(f"unknown exploration method {method!r}; use one of {METHODS}")
+
+
+def _build_for_entries(method: str, f, x_hi: float, n_entries: int):
+    if method == "LUT":
+        return UniformLUT(f, 0.0, x_hi, n_entries)
+    if method == "RALUT":
+        return RangeAddressableLUT.for_entries(f, 0.0, x_hi, n_entries)
+    if method == "PWL":
+        return UniformPWL(f, 0.0, x_hi, n_entries)
+    if method == "NUPWL":
+        return NonUniformPWL.for_entries(f, 0.0, x_hi, n_entries)
+    raise ConfigError(f"unknown exploration method {method!r}; use one of {METHODS}")
+
+
+def entries_for_accuracy(
+    method: str,
+    frac_bits: int,
+    f: Optional[Callable] = None,
+) -> DesignPoint:
+    """Fig. 4a point: minimal entries reaching one-LSB accuracy."""
+    f = f or sigmoid
+    x_hi = sigmoid_saturation_domain(frac_bits)
+    # Greedy schemes overshoot slightly at segment joints; aim a little
+    # below one LSB so the *measured* error (incl. the tail) meets it.
+    target = 2.0 ** -frac_bits * 0.95
+    approx = _build_for_accuracy(method, f, x_hi, target)
+    return DesignPoint(method, frac_bits, approx.n_entries, _measure(approx, f, x_hi, frac_bits))
+
+
+def error_for_entries(
+    method: str,
+    n_entries: int,
+    frac_bits: int = 11,
+    f: Optional[Callable] = None,
+) -> DesignPoint:
+    """Fig. 4b point: best max error achievable with a given entry count."""
+    f = f or sigmoid
+    x_hi = sigmoid_saturation_domain(frac_bits)
+    approx = _build_for_entries(method, f, x_hi, n_entries)
+    return DesignPoint(method, frac_bits, approx.n_entries, _measure(approx, f, x_hi, frac_bits))
+
+
+def explore_entries_vs_fracbits(
+    methods: Iterable[str] = METHODS,
+    frac_bits: Iterable[int] = range(4, 15),
+) -> List[DesignPoint]:
+    """The full Fig. 4a sweep."""
+    return [entries_for_accuracy(m, fb) for m in methods for fb in frac_bits]
+
+
+def explore_error_vs_entries(
+    methods: Iterable[str] = METHODS,
+    entries: Iterable[int] = (4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    frac_bits: int = 11,
+) -> List[DesignPoint]:
+    """The full Fig. 4b sweep (11 fractional bits, as in the paper)."""
+    return [error_for_entries(m, n, frac_bits) for m in methods for n in entries]

@@ -1,0 +1,100 @@
+"""Uniform look-up table: constant output per uniform segment."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.approx.base import Approximator
+from repro.approx.minimax import fit_constant
+from repro.approx.segments import Segment, SegmentTable
+from repro.errors import ConfigError, ConvergenceError
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.rounding import quantize_float
+
+#: Per-segment fit sample count; segments are narrow so few samples suffice.
+_FIT_SAMPLES = 33
+
+
+def quantise_output(y: np.ndarray, fmt: Optional[QFormat]) -> np.ndarray:
+    """Round ``y`` to what an ``fmt``-wide output register can hold."""
+    if fmt is None:
+        return np.asarray(y, dtype=np.float64)
+    return quantize_float(y, fmt).astype(np.float64) * fmt.resolution
+
+
+class UniformLUT(Approximator):
+    """The classic LUT: address = top bits of x, data = one constant.
+
+    Each entry stores the minimax constant of its segment (the midpoint of
+    the function's range there), optionally quantised to ``out_fmt``.
+    """
+
+    name = "LUT"
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], np.ndarray],
+        x_lo: float,
+        x_hi: float,
+        n_entries: int,
+        out_fmt: Optional[QFormat] = None,
+    ):
+        if n_entries < 1:
+            raise ConfigError("a LUT needs at least one entry")
+        self.f = f
+        self.out_fmt = out_fmt
+        edges = np.linspace(x_lo, x_hi, n_entries + 1)
+        segments = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            const, _ = fit_constant(f, float(lo), float(hi), _FIT_SAMPLES)
+            segments.append(Segment(float(lo), float(hi), 0.0, const))
+        self.table = SegmentTable(segments)
+        if out_fmt is not None:
+            self.table = self.table.quantise_coefficients(None, out_fmt)
+        self.word_bits = out_fmt.n_bits if out_fmt else 16
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.table)
+
+    def eval(self, x) -> np.ndarray:
+        return quantise_output(self.table.eval(x), self.out_fmt)
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        f: Callable[[np.ndarray], np.ndarray],
+        x_lo: float,
+        x_hi: float,
+        target_error: float,
+        out_fmt: Optional[QFormat] = None,
+        reference: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        max_entries: int = 1 << 16,
+    ) -> "UniformLUT":
+        """Smallest uniform LUT whose max error is below ``target_error``."""
+        reference = reference or f
+        probe = np.linspace(x_lo, x_hi, 8193)
+        ref = np.asarray(reference(probe), dtype=np.float64)
+
+        def error(n: int) -> float:
+            lut = cls(f, x_lo, x_hi, n, out_fmt)
+            return float(np.max(np.abs(lut.eval(probe) - ref)))
+
+        n = 1
+        while error(n) > target_error:
+            n *= 2
+            if n > max_entries:
+                raise ConvergenceError(
+                    f"no uniform LUT below {max_entries} entries reaches "
+                    f"max error {target_error:g}"
+                )
+        lo, hi = n // 2, n  # error(hi) <= target < error(lo)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if error(mid) <= target_error:
+                hi = mid
+            else:
+                lo = mid
+        return cls(f, x_lo, x_hi, hi, out_fmt)

@@ -1,0 +1,105 @@
+"""Minimax (Chebyshev) constant and linear fits on an interval.
+
+These are the fitting primitives every segment-based engine uses. Fits are
+computed on a dense sample grid; for the smooth, monotone activation
+functions of the paper this converges to the true minimax fit as the grid
+refines, and the residual the fitter reports is exact *on the grid the
+accuracy benches reuse*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+DEFAULT_SAMPLES = 257
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A line ``y = slope * x + intercept`` with its max residual."""
+
+    slope: float
+    intercept: float
+    max_error: float
+
+    def eval(self, x) -> np.ndarray:
+        """Evaluate the fitted line."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def sample_interval(x_lo: float, x_hi: float, n_samples: int = DEFAULT_SAMPLES) -> np.ndarray:
+    """Dense closed-interval sample grid used by all fitters."""
+    return np.linspace(x_lo, x_hi, n_samples)
+
+
+def fit_constant(
+    f: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> Tuple[float, float]:
+    """Best constant approximation of ``f`` on ``[x_lo, x_hi]``.
+
+    Returns ``(constant, max_error)``. The minimax constant is the midpoint
+    of the function's range on the interval.
+    """
+    y = np.asarray(f(sample_interval(x_lo, x_hi, n_samples)), dtype=np.float64)
+    lo, hi = float(np.min(y)), float(np.max(y))
+    return (lo + hi) / 2.0, (hi - lo) / 2.0
+
+
+def _best_intercept(x: np.ndarray, y: np.ndarray, slope: float) -> Tuple[float, float]:
+    """Optimal intercept (and max residual) for a fixed slope."""
+    residual = y - slope * x
+    lo, hi = float(np.min(residual)), float(np.max(residual))
+    return (lo + hi) / 2.0, (hi - lo) / 2.0
+
+
+def fit_linear(
+    f: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> LinearFit:
+    """Minimax linear fit of ``f`` on ``[x_lo, x_hi]``.
+
+    The max residual, as a function of the slope (with the intercept chosen
+    optimally), is convex — a max of affine functions — so a ternary search
+    over the slope finds the global optimum.
+    """
+    x = sample_interval(x_lo, x_hi, n_samples)
+    y = np.asarray(f(x), dtype=np.float64)
+    if x_hi <= x_lo:
+        const, err = _best_intercept(x, y, 0.0)
+        return LinearFit(0.0, const, err)
+
+    secant = (y[-1] - y[0]) / (x[-1] - x[0])
+    # Bracket generously around the secant slope; for convex/concave f the
+    # optimum *is* the secant, for general f it stays nearby.
+    span = max(abs(secant), 1.0)
+    lo_m, hi_m = secant - 2.0 * span, secant + 2.0 * span
+    for _ in range(56):
+        m1 = lo_m + (hi_m - lo_m) / 3.0
+        m2 = hi_m - (hi_m - lo_m) / 3.0
+        if _best_intercept(x, y, m1)[1] <= _best_intercept(x, y, m2)[1]:
+            hi_m = m2
+        else:
+            lo_m = m1
+    slope = (lo_m + hi_m) / 2.0
+    intercept, err = _best_intercept(x, y, slope)
+    return LinearFit(slope, intercept, err)
+
+
+def max_abs_error(
+    f: Callable[[np.ndarray], np.ndarray],
+    approx: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    n_samples: int = 4097,
+) -> float:
+    """Max |f - approx| on a dense grid over the interval."""
+    x = sample_interval(x_lo, x_hi, n_samples)
+    return float(np.max(np.abs(np.asarray(f(x)) - np.asarray(approx(x)))))

@@ -1,0 +1,82 @@
+"""Non-uniform piecewise-linear (NUPWL) approximation.
+
+Greedy maximal segmentation with per-segment minimax lines — the most
+accurate of the four Section VI families per entry, at the cost of a
+range-addressable (priority-encoder) lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.approx.base import Approximator
+from repro.approx.lut import quantise_output
+from repro.approx.minimax import fit_linear
+from repro.approx.ralut import _greedy_segments
+from repro.approx.segments import SegmentTable
+from repro.errors import ConvergenceError
+from repro.fixedpoint import QFormat
+
+
+class NonUniformPWL(Approximator):
+    """A NUPWL built greedily for a target max error."""
+
+    name = "NUPWL"
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], np.ndarray],
+        x_lo: float,
+        x_hi: float,
+        target_error: float,
+        slope_fmt: Optional[QFormat] = None,
+        intercept_fmt: Optional[QFormat] = None,
+        out_fmt: Optional[QFormat] = None,
+    ):
+        self.f = f
+        self.out_fmt = out_fmt
+        self.target_error = target_error
+        segments = _greedy_segments(f, x_lo, x_hi, target_error, fit=fit_linear)
+        self.table = SegmentTable(segments).quantise_coefficients(
+            slope_fmt, intercept_fmt
+        )
+        slope_bits = slope_fmt.n_bits if slope_fmt else 16
+        intercept_bits = intercept_fmt.n_bits if intercept_fmt else 16
+        self.word_bits = slope_bits + intercept_bits + 16  # + range bound
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.table)
+
+    def eval(self, x) -> np.ndarray:
+        return quantise_output(self.table.eval(x), self.out_fmt)
+
+    @classmethod
+    def for_entries(
+        cls,
+        f: Callable[[np.ndarray], np.ndarray],
+        x_lo: float,
+        x_hi: float,
+        n_entries: int,
+        **formats,
+    ) -> "NonUniformPWL":
+        """Best NUPWL with (at most) ``n_entries`` — bisect the error target."""
+        lo_err, hi_err = 1e-12, 1.0
+        best = None
+        for _ in range(25):
+            mid = (lo_err * hi_err) ** 0.5
+            nupwl = cls(f, x_lo, x_hi, mid, **formats)
+            if nupwl.n_entries <= n_entries:
+                best = nupwl
+                hi_err = mid
+                if nupwl.n_entries == n_entries:
+                    break  # hit the budget exactly: good enough
+            else:
+                lo_err = mid
+        if best is None:
+            raise ConvergenceError(
+                f"no NUPWL with <= {n_entries} entries found on [{x_lo}, {x_hi}]"
+            )
+        return best

@@ -1,0 +1,145 @@
+"""Single-segment polynomial approximation (Taylor and least-squares).
+
+Several related-work designs treat the whole input range as one segment
+approximated by a higher-order polynomial — 2nd-order Taylor for the
+sigmoid [6, 10], 6th-order Taylor for the exponential [13]. This module
+provides the coefficient generators and a fixed-point Horner evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.approx.base import Approximator
+from repro.approx.lut import quantise_output
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.rounding import quantize_float
+
+
+def taylor_coefficients(func: str, order: int, around: float = 0.0) -> list:
+    """Taylor coefficients (lowest order first) of a named function.
+
+    Supported: ``"exp"``, ``"sigmoid"``, ``"tanh"``. Derivatives are taken
+    analytically — exp is its own derivative; sigmoid/tanh derivatives are
+    polynomials in the function value itself.
+    """
+    if order < 0:
+        raise ConfigError("polynomial order must be non-negative")
+    if func == "exp":
+        base = math.exp(around)
+        return [base / math.factorial(k) for k in range(order + 1)]
+    if func == "sigmoid":
+        s = 1.0 / (1.0 + math.exp(-around))
+        derivs = _sigmoid_derivatives(s, order)
+    elif func == "tanh":
+        t = math.tanh(around)
+        derivs = _tanh_derivatives(t, order)
+    else:
+        raise ConfigError(f"unknown function {func!r} for Taylor expansion")
+    return [d / math.factorial(k) for k, d in enumerate(derivs)]
+
+
+def _sigmoid_derivatives(s: float, order: int) -> list:
+    """Derivatives of sigma at a point, via d/dx = s(1-s) chain products.
+
+    Represent each derivative as a polynomial in s and differentiate
+    symbolically: if D = sum c_k s^k then D' = sum c_k k s^(k-1) * s(1-s).
+    """
+    poly = {1: 1.0}  # sigma itself = s
+    derivs = [_poly_eval(poly, s)]
+    for _ in range(order):
+        new_poly: dict = {}
+        for k, c in poly.items():
+            if k == 0:
+                continue
+            # c*k*s^k - c*k*s^(k+1)
+            new_poly[k] = new_poly.get(k, 0.0) + c * k
+            new_poly[k + 1] = new_poly.get(k + 1, 0.0) - c * k
+        poly = new_poly
+        derivs.append(_poly_eval(poly, s))
+    return derivs
+
+
+def _tanh_derivatives(t: float, order: int) -> list:
+    """Derivatives of tanh at a point, via d/dx = 1 - t^2."""
+    poly = {1: 1.0}
+    derivs = [_poly_eval(poly, t)]
+    for _ in range(order):
+        new_poly: dict = {}
+        for k, c in poly.items():
+            if k == 0:
+                continue
+            # derivative of c*t^k is c*k*t^(k-1)*(1 - t^2)
+            new_poly[k - 1] = new_poly.get(k - 1, 0.0) + c * k
+            new_poly[k + 1] = new_poly.get(k + 1, 0.0) - c * k
+        poly = new_poly
+        derivs.append(_poly_eval(poly, t))
+    return derivs
+
+
+def _poly_eval(poly: dict, x: float) -> float:
+    return sum(c * x ** k for k, c in poly.items())
+
+
+def least_squares_coefficients(
+    f: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    order: int,
+    n_samples: int = 1025,
+) -> list:
+    """Least-squares polynomial fit on an interval (lowest order first)."""
+    x = np.linspace(x_lo, x_hi, n_samples)
+    coeffs = np.polynomial.polynomial.polyfit(x, np.asarray(f(x)), order)
+    return [float(c) for c in coeffs]
+
+
+class PolynomialApproximator(Approximator):
+    """Evaluate a polynomial with Horner's rule through fixed-point rounding.
+
+    Every intermediate of the Horner recurrence is rounded to ``work_fmt``,
+    matching a datapath that feeds a single multiplier/adder pair back on
+    itself, which is how [10] and [13] are organised.
+    """
+
+    name = "polynomial"
+
+    def __init__(
+        self,
+        coefficients: Sequence[float],
+        coeff_fmt: Optional[QFormat] = None,
+        work_fmt: Optional[QFormat] = None,
+        out_fmt: Optional[QFormat] = None,
+    ):
+        if len(coefficients) == 0:
+            raise ConfigError("a polynomial needs at least one coefficient")
+        self.coefficients = [float(c) for c in coefficients]
+        if coeff_fmt is not None:
+            self.coefficients = [
+                float(quantize_float(c, coeff_fmt)) * coeff_fmt.resolution
+                for c in self.coefficients
+            ]
+        self.coeff_fmt = coeff_fmt
+        self.work_fmt = work_fmt
+        self.out_fmt = out_fmt
+        self.word_bits = coeff_fmt.n_bits if coeff_fmt else 16
+
+    @property
+    def order(self) -> int:
+        """Polynomial degree."""
+        return len(self.coefficients) - 1
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.coefficients)
+
+    def eval(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        acc = np.full_like(x, self.coefficients[-1])
+        for c in reversed(self.coefficients[:-1]):
+            acc = quantise_output(acc * x + c, self.work_fmt)
+        return quantise_output(acc, self.out_fmt)

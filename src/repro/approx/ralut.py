@@ -1,0 +1,135 @@
+"""Range-addressable LUT (RALUT): constant output per *non-uniform* segment.
+
+Non-uniform segments let flat regions of the function (the sigmoid's
+saturation tail) be covered by one wide entry, which is why the paper's
+Fig. 4 shows RALUT needing fewer entries than a plain LUT for the same
+accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.approx.base import Approximator
+from repro.approx.lut import quantise_output
+from repro.approx.minimax import fit_constant
+from repro.approx.segments import Segment, SegmentTable
+from repro.errors import ConvergenceError
+from repro.fixedpoint import QFormat
+
+_FIT_SAMPLES = 65
+
+
+def _error_of(fitted) -> float:
+    """Max error of a fit result (tuple from fit_constant or LinearFit)."""
+    return fitted[1] if isinstance(fitted, tuple) else fitted.max_error
+
+
+def _greedy_segments(
+    f: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    target_error: float,
+    fit=fit_constant,
+) -> list:
+    """Greedily grow maximal segments whose fit error stays under target.
+
+    For each segment start, the end is pushed as far as possible with an
+    exponential probe followed by bisection; the fit-error-vs-width curve
+    is monotone for the paper's monotone activation functions.
+    """
+    segments = []
+    lo = x_lo
+    min_width = (x_hi - x_lo) * 1e-6
+    while lo < x_hi - min_width / 2:
+        # Exponential probe for an upper bracket on the segment end.
+        width = min_width
+        while lo + width < x_hi and _error_of(fit(f, lo, lo + width, _FIT_SAMPLES)) <= target_error:
+            width *= 2.0
+        hi_end = min(lo + width, x_hi)
+        if _error_of(fit(f, lo, hi_end, _FIT_SAMPLES)) <= target_error:
+            end = hi_end  # reached the domain edge within budget
+        else:
+            lo_end = lo + width / 2.0
+            for _ in range(50):
+                mid = (lo_end + hi_end) / 2.0
+                if _error_of(fit(f, lo, mid, _FIT_SAMPLES)) <= target_error:
+                    lo_end = mid
+                else:
+                    hi_end = mid
+            end = lo_end
+        end = max(end, lo + min_width)
+        fitted = fit(f, lo, end, _FIT_SAMPLES)
+        if fit is fit_constant:
+            segments.append(Segment(lo, end, 0.0, fitted[0]))
+        else:
+            segments.append(Segment(lo, end, fitted.slope, fitted.intercept))
+        lo = end
+        if len(segments) > 1 << 16:
+            raise ConvergenceError(
+                f"greedy segmentation exceeded {1 << 16} segments for "
+                f"target error {target_error:g}"
+            )
+    # Snap the last edge exactly onto the domain boundary.
+    last = segments[-1]
+    segments[-1] = Segment(last.x_lo, x_hi, last.slope, last.intercept)
+    return segments
+
+
+class RangeAddressableLUT(Approximator):
+    """A RALUT built greedily for a target max error."""
+
+    name = "RALUT"
+
+    def __init__(
+        self,
+        f: Callable[[np.ndarray], np.ndarray],
+        x_lo: float,
+        x_hi: float,
+        target_error: float,
+        out_fmt: Optional[QFormat] = None,
+    ):
+        self.f = f
+        self.out_fmt = out_fmt
+        self.target_error = target_error
+        self.table = SegmentTable(_greedy_segments(f, x_lo, x_hi, target_error))
+        if out_fmt is not None:
+            self.table = self.table.quantise_coefficients(None, out_fmt)
+        self.word_bits = (out_fmt.n_bits if out_fmt else 16) + 16  # data + bound
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.table)
+
+    def eval(self, x) -> np.ndarray:
+        return quantise_output(self.table.eval(x), self.out_fmt)
+
+    @classmethod
+    def for_entries(
+        cls,
+        f: Callable[[np.ndarray], np.ndarray],
+        x_lo: float,
+        x_hi: float,
+        n_entries: int,
+        out_fmt: Optional[QFormat] = None,
+    ) -> "RangeAddressableLUT":
+        """Best RALUT with (at most) ``n_entries`` — bisect the error target."""
+        lo_err, hi_err = 1e-9, 1.0
+        best = None
+        for _ in range(25):
+            mid = (lo_err * hi_err) ** 0.5  # geometric bisection
+            ralut = cls(f, x_lo, x_hi, mid, out_fmt)
+            if ralut.n_entries <= n_entries:
+                best = ralut
+                hi_err = mid
+                if ralut.n_entries == n_entries:
+                    break  # hit the budget exactly: good enough
+            else:
+                lo_err = mid
+        if best is None:
+            raise ConvergenceError(
+                f"no RALUT with <= {n_entries} entries found on [{x_lo}, {x_hi}]"
+            )
+        return best

@@ -1,0 +1,119 @@
+"""Remez exchange: true minimax polynomial fits.
+
+The linear fitter in :mod:`repro.approx.minimax` is grid-based; for the
+polynomial baselines ([13]'s Taylor-6, parabolic synthesis) a proper
+equioscillating minimax fit is sometimes wanted. This is the standard
+second Remez algorithm on a dense candidate grid: solve the linear system
+forcing alternating error ``+-E`` on ``order + 2`` reference points, then
+move the references to the new extrema until they stop moving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class RemezFit:
+    """A minimax polynomial (coefficients lowest order first)."""
+
+    coefficients: List[float]
+    max_error: float
+    iterations: int
+
+    def eval(self, x) -> np.ndarray:
+        """Evaluate the fitted polynomial."""
+        return np.polynomial.polynomial.polyval(
+            np.asarray(x, dtype=np.float64), self.coefficients
+        )
+
+
+def remez_fit(
+    f: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    order: int,
+    grid_points: int = 2049,
+    max_iterations: int = 50,
+    tolerance: float = 1e-13,
+) -> RemezFit:
+    """Minimax polynomial of a continuous function on ``[x_lo, x_hi]``."""
+    if order < 0:
+        raise ConvergenceError("polynomial order must be non-negative")
+    grid = np.linspace(x_lo, x_hi, grid_points)
+    values = np.asarray(f(grid), dtype=np.float64)
+    # Chebyshev-node initial references.
+    k = np.arange(order + 2)
+    nodes = np.cos(np.pi * k / (order + 1))
+    refs = np.clip(
+        (x_lo + x_hi) / 2 + (x_hi - x_lo) / 2 * nodes[::-1], x_lo, x_hi
+    )
+    ref_idx = np.unique(np.searchsorted(grid, refs).clip(0, grid_points - 1))
+    while len(ref_idx) < order + 2:  # de-duplicate collisions
+        candidates = np.setdiff1d(np.arange(grid_points), ref_idx)
+        ref_idx = np.sort(np.append(ref_idx, candidates[0]))
+
+    coeffs = np.zeros(order + 1)
+    error_level = 0.0
+    for iteration in range(1, max_iterations + 1):
+        x_ref = grid[ref_idx]
+        y_ref = values[ref_idx]
+        # Solve for coefficients and the levelled error E:
+        #   p(x_i) + (-1)^i E = f(x_i)
+        system = np.vander(x_ref, order + 1, increasing=True)
+        signs = np.power(-1.0, np.arange(order + 2))[:, None]
+        matrix = np.hstack([system, signs])
+        solution = np.linalg.solve(matrix, y_ref)
+        coeffs, error_level = solution[:-1], abs(solution[-1])
+        # Find the extrema of the residual on the dense grid.
+        residual = values - np.polynomial.polynomial.polyval(grid, coeffs)
+        worst = float(np.max(np.abs(residual)))
+        if worst - error_level <= tolerance:
+            # Converged (covers the degenerate exact-polynomial case,
+            # where the residual has no alternating extrema at all).
+            return RemezFit([float(c) for c in coeffs], worst, iteration)
+        new_idx = _local_extrema(residual, order + 2)
+        if np.array_equal(new_idx, ref_idx):
+            return RemezFit([float(c) for c in coeffs], worst, iteration)
+        ref_idx = new_idx
+    raise ConvergenceError(
+        f"Remez exchange did not settle in {max_iterations} iterations"
+    )
+
+
+def _local_extrema(residual: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` strongest alternating extrema."""
+    # Candidate extrema: sign changes of the discrete derivative plus the
+    # interval endpoints.
+    derivative = np.diff(residual)
+    turning = np.where(np.sign(derivative[:-1]) != np.sign(derivative[1:]))[0] + 1
+    candidates = np.unique(np.concatenate([[0], turning, [len(residual) - 1]]))
+    # Keep an alternating-sign subsequence, greedily preferring magnitude.
+    chosen: List[int] = []
+    for idx in candidates:
+        if not chosen:
+            chosen.append(int(idx))
+            continue
+        if np.sign(residual[idx]) == np.sign(residual[chosen[-1]]):
+            if abs(residual[idx]) > abs(residual[chosen[-1]]):
+                chosen[-1] = int(idx)
+        else:
+            chosen.append(int(idx))
+    chosen_arr = np.array(chosen)
+    if len(chosen_arr) > count:
+        # Drop the weakest from whichever end keeps alternation.
+        while len(chosen_arr) > count:
+            if abs(residual[chosen_arr[0]]) <= abs(residual[chosen_arr[-1]]):
+                chosen_arr = chosen_arr[1:]
+            else:
+                chosen_arr = chosen_arr[:-1]
+    elif len(chosen_arr) < count:
+        raise ConvergenceError(
+            "residual has too few alternations; increase the grid density"
+        )
+    return chosen_arr

@@ -1,0 +1,53 @@
+"""Related-work baselines (Table I / Section VI).
+
+Each module models one published design's *algorithm* bit-accurately at
+its published operand widths, so the Fig. 6 accuracy comparisons can be
+regenerated. Published implementation costs (area, node, clock, latency)
+are carried as metadata in :data:`RELATED_WORK` for the Table I bench.
+"""
+
+from repro.baselines.base import (
+    RELATED_WORK,
+    BaselineApproximator,
+    RelatedWorkInfo,
+    get_baseline,
+    iter_baselines,
+)
+from repro.baselines.tsmots import TsmotsNupwlSigmoid, TsmotsTaylor2Sigmoid
+from repro.baselines.finker import FinkerPwlSigmoid, FinkerTaylor2Sigmoid
+from repro.baselines.gomar import (
+    GomarBase2Exp,
+    GomarExpBasedSigmoid,
+    GomarExpBasedTanh,
+)
+from repro.baselines.zamanlooy import ZamanlooyRalutTanh
+from repro.baselines.leboeuf import LeboeufRalutTanh
+from repro.baselines.namin import NaminHybridTanh
+from repro.baselines.nambiar import NambiarParabolicSigmoid
+from repro.baselines.basterretxea import BasterretxeaRecursiveSigmoid
+from repro.baselines.nilsson import NilssonTaylor6Exp
+from repro.baselines.cordic import CordicExp
+from repro.baselines.parabolic import ParabolicSynthesisExp
+
+__all__ = [
+    "BasterretxeaRecursiveSigmoid",
+    "BaselineApproximator",
+    "CordicExp",
+    "FinkerPwlSigmoid",
+    "FinkerTaylor2Sigmoid",
+    "GomarBase2Exp",
+    "GomarExpBasedSigmoid",
+    "GomarExpBasedTanh",
+    "LeboeufRalutTanh",
+    "NambiarParabolicSigmoid",
+    "NaminHybridTanh",
+    "NilssonTaylor6Exp",
+    "ParabolicSynthesisExp",
+    "RELATED_WORK",
+    "RelatedWorkInfo",
+    "TsmotsNupwlSigmoid",
+    "TsmotsTaylor2Sigmoid",
+    "ZamanlooyRalutTanh",
+    "get_baseline",
+    "iter_baselines",
+]

@@ -1,0 +1,261 @@
+"""Shared interface and Table I metadata for the related-work baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.approx.base import Approximator
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RelatedWorkInfo:
+    """One column of Table I, as published (not scaled to 28 nm)."""
+
+    key: str
+    reference: str  # bracketed citation in the paper
+    implementation: str  # the paper's "Implem." row
+    functions: Tuple[str, ...]
+    n_bits: str  # as printed: some designs have asymmetric widths
+    tech_node_nm: Optional[float]
+    area_um2: Optional[float]
+    lut_entries: Optional[int]
+    clock_period_ns: Optional[float]
+    latency_cycles: Optional[int]
+    #: Whether the design appears as a Table I column (some Section VI
+    #: works are discussed in the text only).
+    in_table1: bool = True
+
+
+class BaselineApproximator(Approximator):
+    """An :class:`Approximator` carrying its related-work metadata."""
+
+    #: Which function the instance approximates ("sigmoid"/"tanh"/"exp").
+    function: str = ""
+    #: Table I metadata key.
+    info_key: str = ""
+
+    @property
+    def info(self) -> RelatedWorkInfo:
+        """The Table I column this model reproduces."""
+        return RELATED_WORK[self.info_key]
+
+
+#: Table I, transcribed. ``None`` marks "Not reported"/"Not applicable".
+RELATED_WORK: Dict[str, RelatedWorkInfo] = {
+    info.key: info
+    for info in [
+        RelatedWorkInfo(
+            key="tsmots_nupwl",
+            reference="[6]",
+            implementation="NUPWL",
+            functions=("sigmoid",),
+            n_bits="16",
+            tech_node_nm=65.0,
+            area_um2=None,  # FPGA: logic elements only
+            lut_entries=7,
+            clock_period_ns=10.0,
+            latency_cycles=2,
+        ),
+        RelatedWorkInfo(
+            key="tsmots_taylor2",
+            reference="[6]",
+            implementation="2nd order Taylor",
+            functions=("sigmoid",),
+            n_bits="16",
+            tech_node_nm=65.0,
+            area_um2=None,
+            lut_entries=4,
+            clock_period_ns=10.0,
+            latency_cycles=2,
+        ),
+        RelatedWorkInfo(
+            key="finker_pwl",
+            reference="[10]",
+            implementation="1st order Taylor",
+            functions=("sigmoid",),
+            n_bits="16",
+            tech_node_nm=40.0,
+            area_um2=None,
+            lut_entries=102,
+            clock_period_ns=2.677,
+            latency_cycles=4,
+        ),
+        RelatedWorkInfo(
+            key="finker_taylor2",
+            reference="[10]",
+            implementation="2nd order Taylor",
+            functions=("sigmoid",),
+            n_bits="16",
+            tech_node_nm=40.0,
+            area_um2=None,
+            lut_entries=28,
+            clock_period_ns=2.677,
+            latency_cycles=7,
+        ),
+        RelatedWorkInfo(
+            key="gomar_sigmoid",
+            reference="[11]",
+            implementation="Based on e^x",
+            functions=("sigmoid", "tanh"),
+            n_bits="6 to 14",
+            tech_node_nm=90.0,
+            area_um2=None,
+            lut_entries=None,
+            clock_period_ns=2.605,
+            latency_cycles=4,
+        ),
+        RelatedWorkInfo(
+            key="gomar_exp",
+            reference="[12]",
+            implementation="Base-2 multiplierless",
+            functions=("exp",),
+            n_bits="12",
+            tech_node_nm=None,
+            area_um2=None,
+            lut_entries=None,
+            clock_period_ns=None,
+            latency_cycles=None,
+        ),
+        RelatedWorkInfo(
+            key="zamanlooy",
+            reference="[4]",
+            implementation="RALUT",
+            functions=("tanh",),
+            n_bits="9 in, 6 out",
+            tech_node_nm=180.0,
+            area_um2=1280.66,
+            lut_entries=14,
+            clock_period_ns=2.12,
+            latency_cycles=1,
+        ),
+        RelatedWorkInfo(
+            key="leboeuf",
+            reference="[5]",
+            implementation="RALUT",
+            functions=("tanh",),
+            n_bits="10",
+            tech_node_nm=180.0,
+            area_um2=11871.53,
+            lut_entries=127,
+            clock_period_ns=2.12,
+            latency_cycles=1,
+        ),
+        RelatedWorkInfo(
+            key="namin",
+            reference="[8]",
+            implementation="PWL & RALUT",
+            functions=("tanh",),
+            n_bits="10",
+            tech_node_nm=180.0,
+            area_um2=5130.78,
+            lut_entries=None,
+            clock_period_ns=2.8,
+            latency_cycles=1,
+        ),
+        RelatedWorkInfo(
+            key="basterretxea",
+            reference="[7]",
+            implementation="Recursive PWL",
+            functions=("sigmoid",),
+            n_bits="16",
+            tech_node_nm=None,
+            area_um2=None,
+            lut_entries=None,
+            clock_period_ns=None,
+            latency_cycles=None,
+        ),
+        RelatedWorkInfo(
+            key="nilsson",
+            reference="[13]",
+            implementation="6th order Taylor",
+            functions=("exp",),
+            n_bits="18",
+            tech_node_nm=65.0,
+            area_um2=20700.0,
+            lut_entries=None,
+            clock_period_ns=40.3,
+            latency_cycles=1,
+        ),
+        RelatedWorkInfo(
+            key="cordic",
+            reference="[14]",
+            implementation="CORDIC",
+            functions=("exp",),
+            n_bits="21",
+            tech_node_nm=65.0,
+            area_um2=19150.0,
+            lut_entries=None,
+            clock_period_ns=86.0,
+            latency_cycles=1,
+        ),
+        RelatedWorkInfo(
+            key="parabolic",
+            reference="[14]",
+            implementation="Parabolic",
+            functions=("exp",),
+            n_bits="18",
+            tech_node_nm=65.0,
+            area_um2=26400.0,
+            lut_entries=None,
+            clock_period_ns=20.8,
+            latency_cycles=1,
+        ),
+        RelatedWorkInfo(
+            key="nambiar",
+            reference="[9]",
+            implementation="Parabolic sigmoid-like",
+            functions=("sigmoid",),
+            n_bits="16",
+            tech_node_nm=None,
+            area_um2=None,
+            lut_entries=2,
+            clock_period_ns=None,
+            latency_cycles=None,
+            in_table1=False,
+        ),
+        RelatedWorkInfo(
+            key="nacu",
+            reference="this work",
+            implementation="PWL",
+            functions=("sigmoid", "tanh", "exp", "softmax"),
+            n_bits="16",
+            tech_node_nm=28.0,
+            area_um2=9671.0,
+            lut_entries=53,
+            clock_period_ns=3.75,
+            latency_cycles=3,
+        ),
+    ]
+}
+
+#: Filled by each baseline module at import time: key -> zero-arg factory.
+_FACTORIES: Dict[str, Callable[[], BaselineApproximator]] = {}
+#: Default instances are immutable evaluation models, so they are built
+#: once and shared (some constructions run seconds of table optimisation).
+_INSTANCES: Dict[str, BaselineApproximator] = {}
+
+
+def register_baseline(name: str, factory: Callable[[], BaselineApproximator]) -> None:
+    """Register a default-configured baseline instance factory."""
+    _FACTORIES[name] = factory
+
+
+def get_baseline(name: str) -> BaselineApproximator:
+    """The shared default-configured instance of a registered baseline."""
+    if name not in _FACTORIES:
+        raise ConfigError(
+            f"unknown baseline {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def iter_baselines(function: Optional[str] = None) -> Iterator[BaselineApproximator]:
+    """Yield the default instances, optionally filtered by target function."""
+    for name in sorted(_FACTORIES):
+        instance = get_baseline(name)
+        if function is None or instance.function == function:
+            yield instance

@@ -1,0 +1,70 @@
+"""[7] Basterretxea et al., IEEE TNN 2007 — recursive PWL sigmoid.
+
+The design refines a piecewise-linear sigmoid by recursive subdivision:
+each refinement level splits the worst-approximated segments, so the
+number of segments "is progressively dimensioned to achieve the desired
+level of accuracy" (Section VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.minimax import fit_linear
+from repro.approx.segments import Segment, SegmentTable
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.fixedpoint import QFormat
+from repro.funcs import sigmoid
+
+_X_RANGE = 8.0
+_OUT_FMT = QFormat(0, 15, signed=False)
+
+
+class BasterretxeaRecursiveSigmoid(SymmetricHalfRangeModel):
+    """Recursive-subdivision PWL with a configurable depth ``q``."""
+
+    name = "Basterretxea recursive PWL [7]"
+    function = "sigmoid"
+    info_key = "basterretxea"
+    word_bits = 32
+
+    def __init__(self, depth: int = 3):
+        super().__init__(_OUT_FMT)
+        self.depth = depth
+        segments = [self._fit(0.0, _X_RANGE)]
+        for _ in range(depth):
+            # One refinement level: split the half of the segments that
+            # currently approximate worst.
+            errors = [self._segment_error(s) for s in segments]
+            threshold = float(np.median(errors))
+            refined = []
+            for seg, err in zip(segments, errors):
+                if err >= threshold and err > 0:
+                    mid = (seg.x_lo + seg.x_hi) / 2.0
+                    refined.append(self._fit(seg.x_lo, mid))
+                    refined.append(self._fit(mid, seg.x_hi))
+                else:
+                    refined.append(seg)
+            segments = refined
+        self.table = SegmentTable(segments)
+
+    @staticmethod
+    def _fit(lo: float, hi: float) -> Segment:
+        fit = fit_linear(sigmoid, lo, hi)
+        return Segment(lo, hi, fit.slope, fit.intercept)
+
+    @staticmethod
+    def _segment_error(seg: Segment) -> float:
+        grid = np.linspace(seg.x_lo, seg.x_hi, 65)
+        return float(np.max(np.abs(sigmoid(grid) - seg.eval(grid))))
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.table)
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        return self.table.eval(magnitude)
+
+
+register_baseline("basterretxea", BasterretxeaRecursiveSigmoid)

@@ -1,0 +1,112 @@
+"""[10] Finker et al., Electronics Letters 2013 — controlled-accuracy PWL.
+
+Two variants from Table I: a 1st-order approximation with 102 segments
+(Section VII.A: "10X better accuracy compared to NACU ... large number of
+segments implies large LUTs") and a 2nd-order one with 28 segments and
+comparable accuracy at higher latency (7 vs 4 cycles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.pwl import UniformPWL
+from repro.approx.polynomial import least_squares_coefficients
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.rounding import quantize_float
+from repro.funcs import sigmoid
+
+_X_RANGE = 8.0
+_OUT_FMT = QFormat(0, 15, signed=False)
+_COEFF_FMT = QFormat(1, 14)
+
+
+class FinkerPwlSigmoid(SymmetricHalfRangeModel):
+    """102-segment uniform 1st-order approximation at 16 bits.
+
+    Each entry stores the segment's base value and a slope applied to the
+    *local* offset ``x - x_lo`` — the segment-centred form that keeps the
+    slope-quantisation error proportional to the segment width rather
+    than to ``x``, which is what buys [10] its 10x accuracy over NACU's
+    global ``m*x + q`` form.
+    """
+
+    name = "Finker PWL-102 [10]"
+    function = "sigmoid"
+    info_key = "finker_pwl"
+    word_bits = 32
+
+    def __init__(self, n_segments: int = 102):
+        super().__init__(_OUT_FMT)
+        self.edges = np.linspace(0.0, _X_RANGE, n_segments + 1)
+        pwl = UniformPWL(sigmoid, 0.0, _X_RANGE, n_segments)
+        slopes, bases = [], []
+        for seg in pwl.table.segments:
+            slope = float(quantize_float(seg.slope, _COEFF_FMT)) * _COEFF_FMT.resolution
+            base = seg.slope * seg.x_lo + seg.intercept  # line value at x_lo
+            base = float(quantize_float(base, _OUT_FMT)) * _OUT_FMT.resolution
+            slopes.append(slope)
+            bases.append(base)
+        self.slopes = np.array(slopes)
+        self.bases = np.array(bases)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.slopes)
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        clamped = np.clip(magnitude, 0.0, _X_RANGE - 1e-12)
+        idx = np.clip(
+            np.searchsorted(self.edges, clamped, side="right") - 1,
+            0,
+            len(self.slopes) - 1,
+        )
+        offset = clamped - self.edges[idx]
+        return self.bases[idx] + self.slopes[idx] * offset
+
+
+class FinkerTaylor2Sigmoid(SymmetricHalfRangeModel):
+    """28-segment uniform 2nd-order approximation at 16 bits."""
+
+    name = "Finker Taylor2-28 [10]"
+    function = "sigmoid"
+    info_key = "finker_taylor2"
+    word_bits = 48
+
+    def __init__(self, n_segments: int = 28):
+        super().__init__(_OUT_FMT)
+        self.edges = np.linspace(0.0, _X_RANGE, n_segments + 1)
+        self.coefficients = []
+        for lo, hi in zip(self.edges[:-1], self.edges[1:]):
+            # Segment-centred fit (coefficients of the local offset).
+            coeffs = least_squares_coefficients(
+                lambda u, lo=lo: sigmoid(lo + u), 0.0, hi - lo, order=2
+            )
+            self.coefficients.append(
+                [
+                    float(quantize_float(c, _COEFF_FMT)) * _COEFF_FMT.resolution
+                    for c in coeffs
+                ]
+            )
+        self._table = np.array(self.coefficients)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.coefficients)
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        clamped = np.clip(magnitude, 0.0, _X_RANGE - 1e-12)
+        idx = np.clip(
+            np.searchsorted(self.edges, clamped, side="right") - 1,
+            0,
+            len(self.coefficients) - 1,
+        )
+        coeffs = self._table[idx]
+        offset = clamped - self.edges[idx]
+        return coeffs[:, 0] + coeffs[:, 1] * offset + coeffs[:, 2] * offset ** 2
+
+
+register_baseline("finker_pwl", FinkerPwlSigmoid)
+register_baseline("finker_taylor2", FinkerTaylor2Sigmoid)

@@ -1,0 +1,129 @@
+"""[11] Gomar et al. ACSSC 2017 and [12] Gomar et al. TCAS 2014.
+
+[12] implements a multiplierless ``e^x`` by a change of base:
+``e^x = 2^z`` with ``z = x * log2(e)``; the integer part of ``z`` becomes
+a bit shift, and ``2^f`` for the fractional part is approximated by the
+straight line ``1 + f``.
+
+[11] builds the sigmoid *from* that exponential (the inverse of NACU's
+direction): ``sigma(x) = e^x / (1 + e^x)`` for the negative range, and
+tanh through Eq. 3 — which is why it "would need division in all layers"
+(Section VII.A). Published accuracy: sigma RMSE 9.1e-3 (corr 0.998),
+tanh RMSE 1.77e-2 (corr 0.999), which these models land on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.approx.lut import quantise_output
+from repro.baselines.base import BaselineApproximator, register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.errors import RangeError
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.rounding import Rounding, shift_right_round
+
+#: Working resolution of the [11]/[12] datapaths (they report 6-14 bits;
+#: 12 fractional bits is the headline configuration).
+_FRAC_BITS = 12
+_LOG2E_RAW = round(math.log2(math.e) * (1 << _FRAC_BITS))
+
+
+def _base2_exp_raw(x_raw: np.ndarray, frac_bits: int) -> np.ndarray:
+    """[12]'s datapath on raw integers: ``(1 + f) >> -k`` for x <= 0.
+
+    ``z = x*log2(e)`` is formed by one constant multiplication (the only
+    multiplier-ish element; [12] further decomposes it into shifts), its
+    integer part drives an arithmetic shifter and its fractional part
+    feeds the ``1 + f`` line. Returns the e^x raw with ``frac_bits``
+    fractional bits.
+    """
+    z_raw = shift_right_round(
+        x_raw.astype(np.int64) * _LOG2E_RAW, _FRAC_BITS, Rounding.FLOOR
+    )
+    k = z_raw >> frac_bits  # floor: negative or zero integer part
+    f_raw = z_raw - (k << frac_bits)  # fractional part in [0, 1)
+    one_plus_f = (np.int64(1) << frac_bits) + f_raw
+    shift = np.minimum(-k, 62).astype(np.int64)  # k <= 0 on this domain
+    return one_plus_f >> shift
+
+
+class GomarBase2Exp(BaselineApproximator):
+    """[12]'s multiplierless exponential for ``x <= 0``."""
+
+    name = "Gomar base-2 exp [12]"
+    function = "exp"
+    info_key = "gomar_exp"
+    word_bits = _FRAC_BITS
+
+    def __init__(self, frac_bits: int = _FRAC_BITS):
+        self.frac_bits = frac_bits
+        self.in_fmt = QFormat(4, frac_bits)
+
+    @property
+    def n_entries(self) -> int:
+        return 0  # no tables at all — the design's selling point
+
+    def eval(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if np.any(x > 0):
+            raise RangeError("[12] model implemented for the x <= 0 domain")
+        x_raw = np.round(x * (1 << self.frac_bits)).astype(np.int64)
+        e_raw = _base2_exp_raw(np.atleast_1d(x_raw).ravel(), self.frac_bits)
+        return (e_raw.astype(np.float64) / (1 << self.frac_bits)).reshape(x.shape)
+
+
+class GomarExpBasedSigmoid(SymmetricHalfRangeModel):
+    """[11]: sigma from the [12] exponential plus one division."""
+
+    name = "Gomar exp-based sigmoid [11]"
+    function = "sigmoid"
+    info_key = "gomar_sigmoid"
+    word_bits = _FRAC_BITS
+
+    def __init__(self, frac_bits: int = _FRAC_BITS):
+        super().__init__(QFormat(0, frac_bits, signed=False))
+        self.frac_bits = frac_bits
+
+    @property
+    def n_entries(self) -> int:
+        return 0
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        # sigma(u) = 1 - sigma(-u) = 1 - e^-u / (1 + e^-u) for u >= 0.
+        x_raw = -np.round(magnitude * (1 << self.frac_bits)).astype(np.int64)
+        e_raw = _base2_exp_raw(x_raw, self.frac_bits)
+        one = np.int64(1) << self.frac_bits
+        # Fixed-point division with frac_bits quotient fraction bits.
+        sigma_neg = (e_raw << self.frac_bits) // (one + e_raw)
+        return 1.0 - sigma_neg.astype(np.float64) / (1 << self.frac_bits)
+
+
+class GomarExpBasedTanh(SymmetricHalfRangeModel):
+    """[11]: tanh via Eq. 3 on the exp-based sigma."""
+
+    name = "Gomar exp-based tanh [11]"
+    function = "tanh"
+    info_key = "gomar_sigmoid"
+    word_bits = _FRAC_BITS
+
+    def __init__(self, frac_bits: int = _FRAC_BITS):
+        super().__init__(QFormat(0, frac_bits, signed=False))
+        self.frac_bits = frac_bits
+        self._sigma = GomarExpBasedSigmoid(frac_bits)
+
+    @property
+    def n_entries(self) -> int:
+        return 0
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        sigma = self._sigma._eval_positive(2.0 * magnitude)
+        doubled = 2.0 * quantise_output(sigma, self._sigma.out_fmt) - 1.0
+        return doubled
+
+
+register_baseline("gomar_exp", GomarBase2Exp)
+register_baseline("gomar_sigmoid", GomarExpBasedSigmoid)
+register_baseline("gomar_tanh", GomarExpBasedTanh)

@@ -1,0 +1,47 @@
+"""[5] Leboeuf et al., ICCIT 2008 — 127-entry RALUT tanh at 10 bits."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.approx.ralut import RangeAddressableLUT
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.fixedpoint import QFormat
+from repro.funcs import tanh
+
+
+class LeboeufRalutTanh(SymmetricHalfRangeModel):
+    """Pure table-based tanh: 127 range-addressable entries, 10-bit words."""
+
+    name = "Leboeuf RALUT [5]"
+    function = "tanh"
+    info_key = "leboeuf"
+
+    #: 10-bit words: 8 fractional magnitude bits (plus sign and the
+    #: saturated integer bit in the full design).
+    OUT_FMT = QFormat(0, 8, signed=False)
+    word_bits = 10 + 10
+
+    def __init__(self, n_entries: int = 127):
+        super().__init__(self.OUT_FMT)
+        self.sat_edge = math.atanh(1.0 - self.OUT_FMT.resolution / 2.0)
+        self.ralut = RangeAddressableLUT.for_entries(
+            tanh, 0.0, self.sat_edge, n_entries, out_fmt=self.OUT_FMT
+        )
+
+    @property
+    def n_entries(self) -> int:
+        return self.ralut.n_entries
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        return np.where(
+            magnitude >= self.sat_edge,
+            self.OUT_FMT.max_value,
+            self.ralut.eval(magnitude),
+        )
+
+
+register_baseline("leboeuf", LeboeufRalutTanh)

@@ -1,0 +1,46 @@
+"""[9] Nambiar et al., Neurocomputing 2014 — parabolic sigmoid-like unit.
+
+A cost-efficient "sigmoid-like" activation for evolvable block-based
+NNs: one squaring plus shifts (all coefficients are powers of two), the
+classic piecewise second-order approximation
+
+    sigma(x) ~ 1 - 0.5 * (1 - x/4)^2   for 0 <= x < 4
+    sigma(x) ~ 1                        for x >= 4
+
+mirrored through Eq. 4 for the negative range. Discussed in the paper's
+Section VI survey (not a Table I column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.fixedpoint import QFormat
+
+
+class NambiarParabolicSigmoid(SymmetricHalfRangeModel):
+    """The shift-and-square sigmoid-like activation."""
+
+    name = "Nambiar parabolic [9]"
+    function = "sigmoid"
+    info_key = "nambiar"
+    word_bits = 0  # coefficients are hard-wired shifts
+
+    #: The knee where the parabola reaches 1 and the output saturates.
+    KNEE = 4.0
+
+    def __init__(self, out_fmt: QFormat = QFormat(0, 15, signed=False)):
+        super().__init__(out_fmt)
+
+    @property
+    def n_entries(self) -> int:
+        return 0
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        clamped = np.minimum(magnitude, self.KNEE)
+        return 1.0 - 0.5 * (1.0 - clamped / self.KNEE) ** 2
+
+
+register_baseline("nambiar", NambiarParabolicSigmoid)

@@ -1,0 +1,57 @@
+"""[8] Namin et al., ISCAS 2009 — hybrid PWL + RALUT tanh at 10 bits.
+
+A coarse PWL gives the first approximation and a RALUT holds the residual
+correction, refining the curve where the line is worst.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.approx.lut import quantise_output
+from repro.approx.pwl import UniformPWL
+from repro.approx.ralut import RangeAddressableLUT
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.fixedpoint import QFormat
+from repro.funcs import tanh
+
+
+class NaminHybridTanh(SymmetricHalfRangeModel):
+    """4-segment coarse PWL plus a 32-entry residual RALUT."""
+
+    name = "Namin PWL+RALUT [8]"
+    function = "tanh"
+    info_key = "namin"
+
+    OUT_FMT = QFormat(0, 8, signed=False)
+    #: Residual corrections are small: give them a fine signed format.
+    CORRECTION_FMT = QFormat(0, 9)
+    word_bits = 10 + 10
+
+    def __init__(self, pwl_segments: int = 4, ralut_entries: int = 32):
+        super().__init__(self.OUT_FMT)
+        self.sat_edge = math.atanh(1.0 - self.OUT_FMT.resolution / 2.0)
+        self.pwl = UniformPWL(tanh, 0.0, self.sat_edge, pwl_segments)
+
+        def residual(x):
+            return tanh(x) - self.pwl.table.eval(x)
+
+        self.correction = RangeAddressableLUT.for_entries(
+            residual, 0.0, self.sat_edge, ralut_entries, out_fmt=self.CORRECTION_FMT
+        )
+
+    @property
+    def n_entries(self) -> int:
+        return self.pwl.n_entries + self.correction.n_entries
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        corrected = self.pwl.table.eval(magnitude) + self.correction.eval(magnitude)
+        return np.where(
+            magnitude >= self.sat_edge, self.OUT_FMT.max_value, corrected
+        )
+
+
+register_baseline("namin", NaminHybridTanh)

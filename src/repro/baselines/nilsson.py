@@ -1,0 +1,46 @@
+"""[13] Nilsson et al., NORCHIP 2014 — 6th-order Taylor exponential.
+
+One 6th-order Taylor polynomial describes the whole curve (no input
+partitioning), evaluated with 18-bit coefficients — which is why it
+reaches ~10x better max error than the 16-bit NACU in Fig. 6c, at a much
+longer clock period (Table I: 40.3 ns at 65 nm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.polynomial import PolynomialApproximator, taylor_coefficients
+from repro.baselines.base import BaselineApproximator, register_baseline
+from repro.fixedpoint import QFormat
+
+
+class NilssonTaylor6Exp(BaselineApproximator):
+    """6th-order Taylor e^x on the normalised domain [-1, 0]."""
+
+    name = "Nilsson Taylor-6 [13]"
+    function = "exp"
+    info_key = "nilsson"
+    word_bits = 21  # 18 fractional bits plus integer/sign
+
+    def __init__(self, order: int = 6, frac_bits: int = 18):
+        coeff_fmt = QFormat(1, frac_bits)
+        work_fmt = QFormat(2, frac_bits)
+        # Expand around the domain midpoint to halve the truncation error.
+        self.center = -0.5
+        self.poly = PolynomialApproximator(
+            taylor_coefficients("exp", order, around=self.center),
+            coeff_fmt=coeff_fmt,
+            work_fmt=work_fmt,
+            out_fmt=QFormat(1, frac_bits),
+        )
+
+    @property
+    def n_entries(self) -> int:
+        return self.poly.n_entries
+
+    def eval(self, x) -> np.ndarray:
+        return self.poly.eval(np.asarray(x, dtype=np.float64) - self.center)
+
+
+register_baseline("nilsson", NilssonTaylor6Exp)

@@ -1,0 +1,91 @@
+"""[14] Pouyan et al., ECCTD 2011 — parabolic-synthesis exponential.
+
+Parabolic synthesis factorises the target as a product of second-order
+"sub-functions": ``f(u) ~ s1(u) * s2(u)``, each factor a parabola cheap
+to evaluate in hardware. Since every real quartic splits into two real
+quadratics, the best two-factor synthesis is found here by fitting a
+4th-order least-squares polynomial and factoring it over its conjugate
+root pairs. The six coefficients are quantised to the published 18-bit
+width and the product is evaluated through fixed-point Horner steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.approx.lut import quantise_output
+from repro.approx.polynomial import (
+    PolynomialApproximator,
+    least_squares_coefficients,
+)
+from repro.baselines.base import BaselineApproximator, register_baseline
+from repro.errors import ConvergenceError
+from repro.fixedpoint import QFormat
+
+
+def factor_quartic(coeffs: List[float]) -> Tuple[List[float], List[float]]:
+    """Split a real quartic into two real quadratic factors.
+
+    Roots are paired conjugate-with-conjugate (complex) or real-with-real,
+    and the leading coefficient is divided evenly between the factors.
+    Coefficients are lowest-order first.
+    """
+    if len(coeffs) != 5 or coeffs[-1] == 0.0:
+        raise ConvergenceError("parabolic synthesis expects a true quartic")
+    roots = np.polynomial.polynomial.polyroots(coeffs)
+    complex_roots = sorted(
+        (r for r in roots if abs(r.imag) > 1e-9), key=lambda r: (r.real, r.imag)
+    )
+    real_roots = sorted(float(r.real) for r in roots if abs(r.imag) <= 1e-9)
+    pairs = []
+    for i in range(0, len(complex_roots), 2):
+        pairs.append((complex_roots[i], complex_roots[i + 1]))
+    for i in range(0, len(real_roots), 2):
+        pairs.append((real_roots[i], real_roots[i + 1]))
+    if len(pairs) != 2:
+        raise ConvergenceError("quartic roots did not pair into quadratics")
+    lead = float(coeffs[-1])
+    scale = np.sign(lead) * np.sqrt(abs(lead))
+    factors = []
+    for r1, r2 in pairs:
+        # (x - r1)(x - r2) = x^2 - (r1+r2) x + r1 r2, scaled by the split lead
+        b = float(np.real(r1 + r2))
+        c = float(np.real(r1 * r2))
+        factors.append([scale * c, -scale * b, scale])
+    return factors[0], factors[1]
+
+
+class ParabolicSynthesisExp(BaselineApproximator):
+    """Two-factor parabolic synthesis of e^x on [-1, 0] at 18 bits."""
+
+    name = "Parabolic synthesis [14]"
+    function = "exp"
+    info_key = "parabolic"
+    word_bits = 18 * 3
+
+    #: 18-bit coefficient words; three integer bits cover the factored
+    #: quadratics' constant terms.
+    COEFF_FMT = QFormat(3, 14)
+    WORK_FMT = QFormat(3, 14)
+
+    def __init__(self, x_lo: float = -1.0, x_hi: float = 0.0):
+        self.x_lo, self.x_hi = x_lo, x_hi
+        quartic = least_squares_coefficients(np.exp, x_lo, x_hi, order=4)
+        c1, c2 = factor_quartic(quartic)
+        self.s1 = PolynomialApproximator(c1, self.COEFF_FMT, self.WORK_FMT)
+        self.s2 = PolynomialApproximator(c2, self.COEFF_FMT, self.WORK_FMT)
+        self.out_fmt = QFormat(1, 16)
+
+    @property
+    def n_entries(self) -> int:
+        return self.s1.n_entries + self.s2.n_entries
+
+    def eval(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        product = self.s1.eval(x) * self.s2.eval(x)
+        return quantise_output(product, self.out_fmt)
+
+
+register_baseline("parabolic", ParabolicSynthesisExp)

@@ -1,0 +1,64 @@
+"""Half-range evaluation helper shared by the baseline models.
+
+Like NACU, almost every published design stores only the positive input
+range and reconstructs the negative one through the centrosymmetry of the
+sigmoid (Eq. 4) or the oddness of tanh (Eq. 5).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.approx.lut import quantise_output
+from repro.baselines.base import BaselineApproximator
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+
+
+class SymmetricHalfRangeModel(BaselineApproximator):
+    """A baseline that evaluates ``f(|x|)`` and mirrors the negative side.
+
+    Subclasses implement :meth:`_eval_positive` on magnitudes and set
+    ``function`` to ``"sigmoid"`` (mirror ``1 - f``) or ``"tanh"``
+    (mirror ``-f``). ``out_fmt`` models the design's output register.
+    """
+
+    def __init__(self, out_fmt: Optional[QFormat]):
+        self.out_fmt = out_fmt
+
+    @abc.abstractmethod
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        """Approximate the function for ``magnitude >= 0``."""
+
+    def eval(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        flat = np.atleast_1d(x).ravel()
+        # Quantise the half-range magnitude first: the designs store an
+        # unsigned magnitude word and apply the sign/mirror afterwards, so
+        # the output format must not see the mirrored (negative) values.
+        positive = quantise_output(self._eval_positive(np.abs(flat)), self.out_fmt)
+        if self.function == "sigmoid":
+            mirrored = np.where(flat < 0, 1.0 - positive, positive)
+        elif self.function == "tanh":
+            mirrored = np.where(flat < 0, -positive, positive)
+        else:
+            raise ConfigError(
+                f"symmetric evaluation undefined for function {self.function!r}"
+            )
+        return mirrored.reshape(x.shape)
+
+
+def snap_to_power_of_two(value: float) -> float:
+    """Round a coefficient to the nearest power of two (sign preserved).
+
+    Several FPGA designs ([6], [9]) restrict PWL slopes to powers of two
+    so the multiplier becomes a shifter; this models that restriction.
+    """
+    if value == 0.0:
+        return 0.0
+    magnitude = abs(value)
+    exponent = round(np.log2(magnitude))
+    return float(np.sign(value) * 2.0 ** exponent)

@@ -1,0 +1,102 @@
+"""[6] Tsmots et al., CADSM 2019 — FPGA sigmoid approximations.
+
+Two of the paper's three variants are modelled: the 7-interval NUPWL with
+power-of-two slopes (shift-only multiplies) and the 4-interval 2nd-order
+Taylor. Section VII.A: the NUPWL "avoids multipliers using power of two
+shifts and for this reason has 10X worse max error compared to NACU"; the
+Taylor variant "does not result in any accuracy improvement".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.minimax import fit_linear
+from repro.approx.polynomial import least_squares_coefficients
+from repro.approx.segments import Segment, SegmentTable
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel, snap_to_power_of_two
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.rounding import quantize_float
+from repro.funcs import sigmoid
+
+#: 16-bit output with the sigmoid's [0, 1] range.
+_OUT_FMT = QFormat(0, 15, signed=False)
+_X_RANGE = 8.0
+
+
+class TsmotsNupwlSigmoid(SymmetricHalfRangeModel):
+    """7-interval NUPWL with power-of-two slopes."""
+
+    name = "Tsmots NUPWL [6]"
+    function = "sigmoid"
+    info_key = "tsmots_nupwl"
+    word_bits = 16
+
+    #: Non-uniform breakpoints: dense near the knee, one wide saturation
+    #: segment — the hand-optimised segmentation style of [6].
+    BREAKPOINTS = (0.0, 0.5, 1.0, 1.5, 2.25, 3.0, 4.0, _X_RANGE)
+
+    def __init__(self):
+        super().__init__(_OUT_FMT)
+        segments = []
+        for lo, hi in zip(self.BREAKPOINTS[:-1], self.BREAKPOINTS[1:]):
+            fit = fit_linear(sigmoid, lo, hi)
+            slope = snap_to_power_of_two(fit.slope)
+            # Re-centre the intercept for the snapped slope (still only an
+            # adder), then quantise it to a 16-bit register.
+            grid = np.linspace(lo, hi, 129)
+            residual = sigmoid(grid) - slope * grid
+            intercept = (float(np.min(residual)) + float(np.max(residual))) / 2.0
+            intercept = float(quantize_float(intercept, _OUT_FMT)) * _OUT_FMT.resolution
+            segments.append(Segment(lo, hi, slope, intercept))
+        self.table = SegmentTable(segments)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.table)
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        return self.table.eval(magnitude)
+
+
+class TsmotsTaylor2Sigmoid(SymmetricHalfRangeModel):
+    """4-interval 2nd-order polynomial (the paper's optimised variant)."""
+
+    name = "Tsmots Taylor-2 [6]"
+    function = "sigmoid"
+    info_key = "tsmots_taylor2"
+    word_bits = 48  # three 16-bit coefficients per entry
+
+    BREAKPOINTS = (0.0, 1.0, 2.5, 4.5, _X_RANGE)
+    _COEFF_FMT = QFormat(1, 14)
+
+    def __init__(self):
+        super().__init__(_OUT_FMT)
+        self.coefficients = []
+        self.edges = np.array(self.BREAKPOINTS)
+        for lo, hi in zip(self.BREAKPOINTS[:-1], self.BREAKPOINTS[1:]):
+            coeffs = least_squares_coefficients(sigmoid, lo, hi, order=2)
+            quantised = [
+                float(quantize_float(c, self._COEFF_FMT)) * self._COEFF_FMT.resolution
+                for c in coeffs
+            ]
+            self.coefficients.append(quantised)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.coefficients)
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        clamped = np.clip(magnitude, 0.0, _X_RANGE - 1e-12)
+        idx = np.clip(
+            np.searchsorted(self.edges, clamped, side="right") - 1,
+            0,
+            len(self.coefficients) - 1,
+        )
+        coeffs = np.array(self.coefficients)[idx]  # (n, 3)
+        return coeffs[:, 0] + coeffs[:, 1] * clamped + coeffs[:, 2] * clamped ** 2
+
+
+register_baseline("tsmots_nupwl", TsmotsNupwlSigmoid)
+register_baseline("tsmots_taylor2", TsmotsTaylor2Sigmoid)

@@ -1,0 +1,70 @@
+"""[4] Zamanlooy & Mirhassani, TVLSI 2014 — three-region RALUT tanh.
+
+The input range is split into a *pass* region where ``tanh(x) ~ x``, an
+*elaboration* region covered by a 14-entry RALUT, and a *saturation*
+region where the output is the constant maximum. 9 input bits, 6 output
+bits (Table I).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.approx.ralut import RangeAddressableLUT
+from repro.baselines.base import register_baseline
+from repro.baselines.symmetric import SymmetricHalfRangeModel
+from repro.fixedpoint import QFormat
+from repro.funcs import tanh
+
+
+class ZamanlooyRalutTanh(SymmetricHalfRangeModel):
+    """The hybrid pass/RALUT/saturation tanh at 9-in/6-out bits."""
+
+    name = "Zamanlooy RALUT [4]"
+    function = "tanh"
+    info_key = "zamanlooy"
+
+    #: 6 output bits: an unsigned 0.6 magnitude plus the mirrored sign.
+    OUT_FMT = QFormat(0, 6, signed=False)
+    word_bits = 6 + 9  # output word plus the range bound
+
+    def __init__(self):
+        super().__init__(self.OUT_FMT)
+        lsb = self.OUT_FMT.resolution
+        #: Pass region: tanh(x) - x < lsb/2 up to ~(3*lsb/2)^(1/3)... use
+        #: the exact bound: max error of y=x at u is u - tanh(u).
+        self.pass_edge = self._pass_region_edge(lsb / 2.0)
+        #: Saturation region: 1 - tanh(u) < lsb/2 beyond atanh(1 - lsb/2).
+        self.sat_edge = math.atanh(1.0 - lsb / 2.0)
+        self.ralut = RangeAddressableLUT.for_entries(
+            tanh, self.pass_edge, self.sat_edge, 14, out_fmt=self.OUT_FMT
+        )
+
+    @staticmethod
+    def _pass_region_edge(tolerance: float) -> float:
+        """Largest u with ``u - tanh(u) <= tolerance`` (bisection)."""
+        lo, hi = 0.0, 2.0
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if mid - math.tanh(mid) <= tolerance:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    @property
+    def n_entries(self) -> int:
+        return self.ralut.n_entries
+
+    def _eval_positive(self, magnitude: np.ndarray) -> np.ndarray:
+        ralut_out = self.ralut.eval(magnitude)
+        return np.where(
+            magnitude < self.pass_edge,
+            magnitude,
+            np.where(magnitude >= self.sat_edge, self.OUT_FMT.max_value, ralut_out),
+        )
+
+
+register_baseline("zamanlooy", ZamanlooyRalutTanh)

@@ -1,0 +1,21 @@
+"""A coarse-grain reconfigurable fabric hosting NACUs.
+
+The paper positions NACU inside CGRAs that "can be dynamically configured
+for any mix of ANNs and SNNs in the same fabric instance" (Section VII).
+This package provides that deployment context: a grid of processing cells
+— each one MAC plus one morphable NACU — onto which dense layers, LSTM
+gates and softmax classifiers are mapped, with cycle accounting for the
+compute, the activation pipelines, and the reconfiguration (morphing)
+between functions.
+
+The arithmetic inside every cell is the same bit-accurate model as
+:mod:`repro.nacu`, so fabric results are bit-identical to single-unit
+inference; what the fabric adds is the parallelism/cost dimension.
+"""
+
+from repro.cgra.cell import ProcessingCell
+from repro.cgra.fabric import Fabric, JobReport
+from repro.cgra.lstm_mapping import FabricLstm
+from repro.cgra.mapper import MlpMapping, map_mlp
+
+__all__ = ["Fabric", "FabricLstm", "JobReport", "MlpMapping", "ProcessingCell", "map_mlp"]

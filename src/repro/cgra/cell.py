@@ -1,0 +1,102 @@
+"""One CGRA processing cell: a MAC slot plus a morphable NACU slot."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.unit import Nacu
+from repro.nn.quantized import quantized_matmul
+
+#: Cycles to rewrite a cell's configuration word (morph its function).
+RECONFIGURE_CYCLES = 2
+
+
+class ProcessingCell:
+    """A cell executing MAC-then-activation jobs on an output slice.
+
+    The cell tracks its currently configured :class:`FunctionMode`;
+    changing it costs :data:`RECONFIGURE_CYCLES`, which is what makes the
+    morphability of the underlying unit (rather than a bank of dedicated
+    units) visible in the fabric-level numbers.
+    """
+
+    def __init__(self, config: Optional[NacuConfig] = None, name: str = "cell"):
+        self.config = config or NacuConfig()
+        self.name = name
+        self.nacu = Nacu(self.config)
+        self.mode: Optional[FunctionMode] = None
+        self.busy_cycles = 0
+        self.reconfigurations = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, mode: FunctionMode) -> int:
+        """Morph the cell; returns the cycles the morph cost."""
+        if mode == self.mode:
+            return 0
+        self.mode = mode
+        self.reconfigurations += 1
+        self.busy_cycles += RECONFIGURE_CYCLES
+        return RECONFIGURE_CYCLES
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def dense_slice(
+        self,
+        x: FxArray,
+        weights: FxArray,
+        bias: FxArray,
+        mode: FunctionMode,
+    ) -> FxArray:
+        """MAC-accumulate a weight slice and apply the activation.
+
+        ``x`` is (batch, n_in); ``weights`` (n_in, n_out_slice). Cycle
+        model: the MAC serialises one product per cycle per output, and
+        the activation pipeline adds its latency once (it is pipelined
+        across the outputs).
+        """
+        if self.mode is None:
+            raise ConfigError(f"{self.name}: configure() before dispatching jobs")
+        z = quantized_matmul(x, weights, self.config.io_fmt)
+        z = FxArray.from_float(z.to_float() + bias.to_float(), self.config.io_fmt)
+        batch, n_out = z.raw.shape if z.raw.ndim == 2 else (1, z.raw.size)
+        n_in = weights.raw.shape[0]
+        self.busy_cycles += batch * n_out * n_in  # MAC phase
+        if mode is FunctionMode.MAC:
+            return z
+        self.configure(mode)
+        if mode is FunctionMode.SOFTMAX:
+            rows = [self.nacu.softmax(FxArray(row, self.config.io_fmt))
+                    for row in np.atleast_2d(z.raw)]
+            out = FxArray(np.stack([r.raw for r in rows]), self.config.io_fmt)
+            self.busy_cycles += sum(
+                self.nacu.cycles(FunctionMode.SOFTMAX, n_out) for _ in rows
+            )
+            return out
+        flat = FxArray(z.raw.ravel(), self.config.io_fmt)
+        activated = self.nacu.datapath.activation(flat, mode)
+        self.busy_cycles += self.nacu.cycles(mode, flat.size)
+        return FxArray(activated.raw.reshape(z.raw.shape), self.config.io_fmt)
+
+    def activation_only(self, x: FxArray, mode: FunctionMode) -> FxArray:
+        """Run just the non-linearity (used by the LSTM gate mapping)."""
+        self.configure(mode)
+        flat = FxArray(x.raw.ravel(), self.config.io_fmt)
+        if mode is FunctionMode.EXP:
+            out = self.nacu.datapath.exponential(flat)
+        else:
+            out = self.nacu.datapath.activation(flat, mode)
+        self.busy_cycles += self.nacu.cycles(mode, flat.size)
+        return FxArray(out.raw.reshape(x.raw.shape), self.config.io_fmt)
+
+    def reset_counters(self) -> None:
+        """Clear the cycle/reconfiguration book-keeping."""
+        self.busy_cycles = 0
+        self.reconfigurations = 0

@@ -1,0 +1,134 @@
+"""The fabric: a grid of processing cells plus a job dispatcher."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.cgra.cell import ProcessingCell
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Cost accounting of one fabric job."""
+
+    job: str
+    cycles: int  # critical path: slowest participating cell
+    cell_cycles: List[int]  # per-cell busy cycles for this job
+    reconfigurations: int
+
+    @property
+    def utilisation(self) -> float:
+        """Mean busy fraction of the participating cells."""
+        if self.cycles == 0:
+            return 0.0
+        return float(np.mean(self.cell_cycles)) / self.cycles
+
+
+class Fabric:
+    """A row-major grid of :class:`ProcessingCell`.
+
+    Jobs are data-parallel: a dense layer's output neurons are striped
+    across the cells, every cell runs its slice independently, and the
+    job's latency is the slowest slice (cells are synchronous).
+    """
+
+    def __init__(self, rows: int = 2, cols: int = 2,
+                 config: Optional[NacuConfig] = None):
+        if rows < 1 or cols < 1:
+            raise ConfigError("the fabric needs at least one cell")
+        self.config = config or NacuConfig()
+        self.cells = [
+            ProcessingCell(self.config, name=f"cell{r}_{c}")
+            for r in range(rows)
+            for c in range(cols)
+        ]
+        self.rows, self.cols = rows, cols
+
+    @property
+    def n_cells(self) -> int:
+        """Number of processing cells."""
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def _snapshot(self):
+        return [cell.busy_cycles for cell in self.cells]
+
+    def _report(self, job: str, before: List[int], reconf_before: int) -> JobReport:
+        deltas = [
+            cell.busy_cycles - prior for cell, prior in zip(self.cells, before)
+        ]
+        return JobReport(
+            job=job,
+            cycles=max(deltas),
+            cell_cycles=deltas,
+            reconfigurations=sum(c.reconfigurations for c in self.cells)
+            - reconf_before,
+        )
+
+    def run_dense(
+        self,
+        x: FxArray,
+        weights: FxArray,
+        bias: FxArray,
+        mode: FunctionMode,
+    ):
+        """A dense layer striped over all cells; returns (out, report)."""
+        n_out = weights.raw.shape[1]
+        before = self._snapshot()
+        reconf_before = sum(c.reconfigurations for c in self.cells)
+        slices = np.array_split(np.arange(n_out), min(self.n_cells, n_out))
+        outputs = []
+        for cell, columns in zip(self.cells, slices):
+            cell.configure(mode)
+            w_slice = FxArray(weights.raw[:, columns], weights.fmt)
+            b_slice = FxArray(bias.raw[columns], bias.fmt)
+            outputs.append(cell.dense_slice(x, w_slice, b_slice, mode))
+        raw = np.concatenate([o.raw for o in outputs], axis=-1)
+        out = FxArray(raw, self.config.io_fmt)
+        return out, self._report(f"dense->{mode.value}", before, reconf_before)
+
+    def run_softmax(self, x: FxArray):
+        """Softmax of one vector on a single (morphable) cell."""
+        before = self._snapshot()
+        reconf_before = sum(c.reconfigurations for c in self.cells)
+        cell = self.cells[0]
+        cell.configure(FunctionMode.SOFTMAX)
+        out = cell.nacu.softmax(x)
+        cell.busy_cycles += cell.nacu.cycles(FunctionMode.SOFTMAX, x.size)
+        return out, self._report("softmax", before, reconf_before)
+
+    def run_activation(self, x: FxArray, mode: FunctionMode):
+        """Elementwise activation striped over all cells."""
+        before = self._snapshot()
+        reconf_before = sum(c.reconfigurations for c in self.cells)
+        flat = x.raw.ravel()
+        slices = np.array_split(np.arange(flat.size), min(self.n_cells, flat.size))
+        pieces = []
+        for cell, idx in zip(self.cells, slices):
+            piece = cell.activation_only(FxArray(flat[idx], x.fmt), mode)
+            pieces.append(piece.raw)
+        raw = np.concatenate(pieces).reshape(x.raw.shape)
+        return FxArray(raw, self.config.io_fmt), self._report(
+            f"activation-{mode.value}", before, reconf_before
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_cycles(self) -> int:
+        """Critical-path cycles accumulated so far (max over cells)."""
+        return max(cell.busy_cycles for cell in self.cells)
+
+    def reset(self) -> None:
+        """Clear every cell's counters and configuration."""
+        for cell in self.cells:
+            cell.reset_counters()
+            cell.mode = None

@@ -1,0 +1,100 @@
+"""Mapping one LSTM step onto the fabric.
+
+The gate matmuls stripe across cells in MAC mode; the four gate
+non-linearities morph the cells to sigma/tanh; the elementwise cell-state
+update runs on the MACs again. One step therefore morphs every cell at
+least twice — the workload the paper's reconfigurability argument is
+about.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cgra.fabric import Fabric
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode
+from repro.nn.lstm import LstmCell
+from repro.nn.quantized import quantize_parameters
+
+
+class FabricLstm:
+    """An :class:`LstmCell` whose steps execute on a :class:`Fabric`."""
+
+    def __init__(self, cell: LstmCell, fabric: Fabric):
+        self.cell = cell
+        self.fabric = fabric
+        fmt = fabric.config.io_fmt
+        self.w_x, self.w_h, self.bias = quantize_parameters(
+            [cell.w_x, cell.w_h, cell.bias], fmt
+        )
+        self.reports = []
+
+    def step(
+        self, x: np.ndarray, state: Tuple[np.ndarray, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One fixed-point LSTM step on the fabric."""
+        fmt = self.fabric.config.io_fmt
+        hidden, cell_state = state
+        n = self.cell.n_hidden
+        x_fx = FxArray.from_float(np.asarray(x, dtype=np.float64), fmt)
+        h_fx = FxArray.from_float(hidden, fmt)
+
+        # Gate pre-activations: two striped MAC jobs plus the bias.
+        zx, report_x = self.fabric.run_dense(
+            x_fx, self.w_x, self.bias, FunctionMode.MAC
+        )
+        zero_bias = FxArray.from_float(np.zeros(4 * n), fmt)
+        zh, report_h = self.fabric.run_dense(
+            h_fx, self.w_h, zero_bias, FunctionMode.MAC
+        )
+        self.reports += [report_x, report_h]
+        gates = FxArray.from_float(zx.to_float() + zh.to_float(), fmt)
+
+        # Non-linearities, morphing the cells per gate group.
+        raw = gates.raw
+        i_gate, rep_i = self.fabric.run_activation(
+            FxArray(raw[..., 0:n], fmt), FunctionMode.SIGMOID
+        )
+        f_gate, rep_f = self.fabric.run_activation(
+            FxArray(raw[..., n:2 * n], fmt), FunctionMode.SIGMOID
+        )
+        g_cell, rep_g = self.fabric.run_activation(
+            FxArray(raw[..., 2 * n:3 * n], fmt), FunctionMode.TANH
+        )
+        o_gate, rep_o = self.fabric.run_activation(
+            FxArray(raw[..., 3 * n:4 * n], fmt), FunctionMode.SIGMOID
+        )
+        self.reports += [rep_i, rep_f, rep_g, rep_o]
+
+        # Elementwise state update (MAC territory, float-exact here since
+        # products re-quantise to the same format as the reference path).
+        new_cell = (
+            f_gate.to_float() * cell_state + i_gate.to_float() * g_cell.to_float()
+        )
+        cell_fx = FxArray.from_float(new_cell, fmt)
+        tanh_c, rep_t = self.fabric.run_activation(cell_fx, FunctionMode.TANH)
+        self.reports.append(rep_t)
+        new_hidden = o_gate.to_float() * tanh_c.to_float()
+        return new_hidden, cell_fx.to_float()
+
+    def run(self, sequences: np.ndarray) -> np.ndarray:
+        """Run full sequences ``(batch, time, features)``; final hidden."""
+        sequences = np.asarray(sequences, dtype=np.float64)
+        state = self.cell.initial_state(sequences.shape[0])
+        self.reports = []
+        for t in range(sequences.shape[1]):
+            state = self.step(sequences[:, t, :], state)
+        return state[0]
+
+    @property
+    def total_cycles(self) -> int:
+        """Critical-path cycles of the recorded jobs."""
+        return sum(report.cycles for report in self.reports)
+
+    @property
+    def total_reconfigurations(self) -> int:
+        """Cell morphs across the recorded jobs."""
+        return sum(report.reconfigurations for report in self.reports)

@@ -1,0 +1,112 @@
+"""Mapping trained networks onto the fabric.
+
+The mapper quantises an :class:`repro.nn.mlp.Mlp` once and then replays
+it on a :class:`~repro.cgra.fabric.Fabric` layer by layer: hidden layers
+morph the cells to sigma/tanh, the classifier layer morphs a cell to
+softmax. Because the arithmetic is identical to
+:class:`repro.nn.mlp.FixedPointMlp`, fabric inference is bit-identical;
+what the mapping adds is the latency/utilisation view of the deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.cgra.fabric import Fabric, JobReport
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode
+from repro.nn.mlp import Mlp
+from repro.nn.quantized import quantize_parameters
+
+
+@dataclass
+class MlpMapping:
+    """A quantised MLP bound to a fabric."""
+
+    fabric: Fabric
+    weights: List[FxArray]
+    biases: List[FxArray]
+    hidden_mode: FunctionMode
+    reports: List[JobReport] = field(default_factory=list)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run a batch through the fabric; records per-layer reports."""
+        self.reports = []
+        a = FxArray.from_float(np.asarray(x, dtype=np.float64),
+                               self.fabric.config.io_fmt)
+        last = len(self.weights) - 1
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            if index < last:
+                a, report = self.fabric.run_dense(a, w, b, self.hidden_mode)
+                self.reports.append(report)
+            else:
+                z, report = self.fabric.run_dense(a, w, b, FunctionMode.MAC)
+                self.reports.append(report)
+                rows = []
+                for row in np.atleast_2d(z.raw):
+                    probs, softmax_report = self.fabric.run_softmax(
+                        FxArray(row, self.fabric.config.io_fmt)
+                    )
+                    rows.append(probs.raw)
+                    self.reports.append(softmax_report)
+                a = FxArray(np.stack(rows), self.fabric.config.io_fmt)
+        return a.to_float()
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy in [0, 1]."""
+        return float(np.mean(self.predict(x) == np.asarray(labels)))
+
+    @property
+    def total_cycles(self) -> int:
+        """Critical-path cycles of the last forward() call."""
+        return sum(report.cycles for report in self.reports)
+
+    @property
+    def total_reconfigurations(self) -> int:
+        """Cell morphs during the last forward() call."""
+        return sum(report.reconfigurations for report in self.reports)
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Energy of the last forward() call (all cells' busy cycles).
+
+        Dense/MAC jobs are charged at MAC power, activation/softmax jobs
+        at their function power, summed over every participating cell
+        (energy is additive even though latency takes the max).
+        """
+        from repro.hwcost.energy import cycles_energy_nj
+        from repro.nacu.config import FunctionMode
+
+        total = 0.0
+        for report in self.reports:
+            if report.job.startswith("dense->"):
+                mode_name = report.job.split("->", 1)[1]
+            elif report.job.startswith("activation-"):
+                mode_name = report.job.split("-", 1)[1]
+            else:
+                mode_name = report.job
+            mode = FunctionMode(mode_name) if mode_name != "mac" else FunctionMode.MAC
+            busy = sum(report.cell_cycles)
+            total += cycles_energy_nj(busy, mode, self.fabric.config)
+        return total
+
+
+def map_mlp(mlp: Mlp, fabric: Fabric) -> MlpMapping:
+    """Quantise and bind a trained MLP to the fabric."""
+    fmt = fabric.config.io_fmt
+    mode = (
+        FunctionMode.SIGMOID if mlp.hidden == "sigmoid" else FunctionMode.TANH
+    )
+    return MlpMapping(
+        fabric=fabric,
+        weights=quantize_parameters(mlp.weights, fmt),
+        biases=quantize_parameters(mlp.biases, fmt),
+        hidden_mode=mode,
+    )

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the NACU reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class FormatError(ReproError):
+    """A fixed-point format is invalid or incompatible with an operation."""
+
+
+class RangeError(ReproError):
+    """A value falls outside the range an operation is specified for."""
+
+
+class ConfigError(ReproError):
+    """A unit was configured inconsistently."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative optimiser failed to reach its target."""

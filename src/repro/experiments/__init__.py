@@ -1,0 +1,12 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Every driver returns an :class:`ExperimentResult` whose rows carry the
+same quantities the paper plots/tabulates, so the benchmark harness, the
+examples and EXPERIMENTS.md all share one source of truth. Run them all
+with ``python -m repro.experiments``.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

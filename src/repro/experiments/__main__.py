@@ -1,0 +1,27 @@
+"""Run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments               # run everything
+    python -m repro.experiments fig6 table1   # run selected ids
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    ids = argv or list(EXPERIMENTS)
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,237 @@
+"""Ablations of the design choices the paper calls out.
+
+* shared sigma LUT + rewiring vs a dedicated tanh LUT vs generic adders
+  (Section VII: dedicated LUTs "would have nearly doubled the area");
+* pipelined vs sequential divider (Section VII / [11] / future work);
+* softmax max-normalisation on vs off (Eq. 13's purpose);
+* Fig. 3 rewiring units vs generic subtractors (bit-exact, cheaper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.result import ExperimentResult
+from repro.hwcost.area_model import bias_units_cost, coefficient_lut_cost
+from repro.hwcost.components import (
+    adder_cost,
+    divider_cost,
+    register_cost,
+    sequential_divider_cost,
+)
+from repro.hwcost import gates
+from repro.nacu import Nacu
+from repro.nacu.bias_units import (
+    fig3a_one_minus_q,
+    fig3b_decrement,
+    fig3c_one_plus,
+    reference_decrement,
+    reference_one_minus_q,
+    reference_one_plus,
+)
+from repro.nacu.config import NacuConfig
+
+
+def run_shared_lut() -> ExperimentResult:
+    """Coefficient-part area: shared LUT vs the two rejected options."""
+    config = NacuConfig()
+    lut = coefficient_lut_cost(config)
+    rewiring = bias_units_cost(config)
+    word = config.slope_fmt.n_bits + config.bias_fmt.n_bits
+    regs = register_cost(word)
+    shared = lut + rewiring + regs
+    # Rejected option 1: a second LUT holding tanh coefficients directly.
+    dedicated = lut + lut + regs
+    # Rejected option 2: shared LUT, but three generic subtractors derive
+    # the other coefficient sets.
+    subtractors = adder_cost(config.bias_fmt.n_bits).scaled(3)
+    generic = lut + subtractors + regs
+    rows = []
+    for name, cost in [
+        ("shared LUT + Fig.3 rewiring (NACU)", shared),
+        ("dedicated tanh LUT", dedicated),
+        ("shared LUT + generic subtractors", generic),
+    ]:
+        rows.append(
+            {
+                "variant": name,
+                "gate_equivalents": round(cost.total, 1),
+                "area_um2": round(cost.area_um2(), 1),
+                "vs_nacu": round(cost.total / shared.total, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_shared_lut",
+        title="Coefficient-part area: shared LUT vs alternatives",
+        paper_claim="dedicated tanh LUTs would have nearly doubled the "
+        "coefficient-calculation area",
+        rows=rows,
+    )
+
+
+def run_divider(n_softmax: int = 64) -> ExperimentResult:
+    """Pipelined vs sequential divider: area against softmax throughput."""
+    config = NacuConfig()
+    q_bits = config.divider_fmt.n_bits
+    stages = q_bits + 2
+    pipelined = divider_cost(q_bits, config.io_fmt.n_bits, stages)
+    sequential = sequential_divider_cost(q_bits, config.io_fmt.n_bits)
+    # Cycles for the division pass over n quotients.
+    pipelined_cycles = stages + n_softmax - 1
+    sequential_cycles = stages * n_softmax
+    rows = [
+        {
+            "divider": "pipelined (NACU)",
+            "area_um2": round(pipelined.area_um2(), 1),
+            "division_pass_cycles": pipelined_cycles,
+            "area_ratio": 1.0,
+            "cycle_ratio": 1.0,
+        },
+        {
+            "divider": "sequential ([11]-style / future work)",
+            "area_um2": round(sequential.area_um2(), 1),
+            "division_pass_cycles": sequential_cycles,
+            "area_ratio": round(sequential.total / pipelined.total, 3),
+            "cycle_ratio": round(sequential_cycles / pipelined_cycles, 1),
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_divider",
+        title=f"Divider choice (softmax over {n_softmax} inputs)",
+        paper_claim="the pipelined divider's cost is justified by "
+        "throughput; a sequential divider would shrink the area "
+        "(Section VIII future work)",
+        rows=rows,
+    )
+
+
+def run_softmax_normalisation(n_vectors: int = 200, n_classes: int = 10) -> ExperimentResult:
+    """Eq. 13 on vs off: does the classifier keep its argmax?
+
+    "Off" models Eq. 12 in saturating fixed point: exponentials of large
+    inputs clip to the representable maximum, so several classes tie.
+    """
+    rng = np.random.default_rng(11)
+    unit = Nacu.for_bits(16)
+    ok_normalised = 0
+    ok_naive = 0
+    for _ in range(n_vectors):
+        x = rng.uniform(2.0, 14.0, size=n_classes)  # large activations
+        x[rng.integers(n_classes)] += 1.0  # a clear winner
+        truth = int(np.argmax(x))
+        normalised = unit.softmax(x)
+        ok_normalised += int(np.argmax(normalised) == truth) and int(
+            np.sum(normalised == np.max(normalised)) == 1
+        )
+        # Eq. 12 in fixed point: e^x saturates at the format maximum for
+        # every x past ln(max); all large classes collapse to one value.
+        naive_exp = np.minimum(np.exp(x), unit.io_fmt.max_value)
+        naive_exp = np.round(naive_exp / unit.io_fmt.resolution) * unit.io_fmt.resolution
+        unique_winner = np.sum(naive_exp == np.max(naive_exp)) == 1
+        ok_naive += int(unique_winner and int(np.argmax(naive_exp)) == truth)
+    rows = [
+        {
+            "softmax": "Eq. 13 (max-normalised, NACU)",
+            "unique_correct_argmax": f"{ok_normalised}/{n_vectors}",
+            "rate": ok_normalised / n_vectors,
+        },
+        {
+            "softmax": "Eq. 12 (naive, saturating)",
+            "unique_correct_argmax": f"{ok_naive}/{n_vectors}",
+            "rate": ok_naive / n_vectors,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_softmax_norm",
+        title="Softmax with and without Eq. 13 normalisation",
+        paper_claim="without normalisation multiple classes saturate to "
+        "the same value, invalidating the classification",
+        rows=rows,
+    )
+
+
+def run_approx_divider() -> ExperimentResult:
+    """Section VIII future work: the approximate divider trade-off."""
+    from repro.analysis import accuracy_report
+    from repro.funcs import exp as exp_ref
+    from repro.nacu.approx_divider import ApproxReciprocalDivider
+
+    grid = np.linspace(-8.0, 0.0, 4001)
+    config_exact = NacuConfig()
+    rows = []
+    for label, config in [
+        ("restoring divider (NACU as published)", config_exact),
+        (
+            "approximate divider (Section VIII)",
+            NacuConfig(use_approx_divider=True),
+        ),
+    ]:
+        unit = Nacu(config)
+        report = accuracy_report(unit.exp(grid), exp_ref(grid))
+        if config.use_approx_divider:
+            divider = unit.datapath.divider
+            new_hw = divider.cost(config.io_fmt.n_bits).total
+        else:
+            new_hw = divider_cost(
+                config.divider_fmt.n_bits,
+                config.io_fmt.n_bits,
+                config.divider_fmt.n_bits + 2,
+            ).total
+        rows.append(
+            {
+                "divider": label,
+                "exp_max_error": report.max_error,
+                "exp_rmse": report.rmse,
+                "fill_cycles": unit.datapath.exp_pipeline_fill,
+                "divider_hw_ge": round(new_hw, 1),
+            }
+        )
+    rows[1]["area_saving"] = f"{(1 - rows[1]['divider_hw_ge'] / rows[0]['divider_hw_ge']) * 100:.0f}%"
+    rows[0]["area_saving"] = "-"
+    return ExperimentResult(
+        experiment_id="ablation_approx_divider",
+        title="Approximate vs restoring divider (Section VIII future work)",
+        paper_claim="an approximate divider would significantly lower the "
+        "area cost with a small reduction in overall accuracy",
+        rows=rows,
+    )
+
+
+def run_bias_units(fb: int = 12) -> ExperimentResult:
+    """Fig. 3 rewiring vs generic subtractors: exactness and cost."""
+    q = np.arange(1 << (fb - 1), (1 << fb) + 1, dtype=np.int64)
+    mismatches = {
+        "Fig. 3a (1-q)": int(
+            np.sum(fig3a_one_minus_q(q, fb) != reference_one_minus_q(q, fb))
+        ),
+        "Fig. 3b (2q-1)": int(
+            np.sum(fig3b_decrement(q << 1, fb) != reference_decrement(q << 1, fb))
+        ),
+        "Fig. 3c (1-2q)": int(
+            np.sum(fig3c_one_plus(-(q << 1), fb) != reference_one_plus(-(q << 1), fb))
+        ),
+    }
+    generic = adder_cost(fb + 2).total
+    unit_costs = {
+        "Fig. 3a (1-q)": fb * (gates.INV + gates.HALF_ADDER),
+        "Fig. 3b (2q-1)": 0.0,  # pure wiring
+        "Fig. 3c (1-2q)": gates.INV,
+    }
+    rows = [
+        {
+            "unit": name,
+            "tested_inputs": len(q),
+            "mismatches_vs_subtractor": mismatches[name],
+            "gate_equivalents": round(unit_costs[name], 1),
+            "generic_subtractor_ge": round(generic, 1),
+            "saving": f"{(1 - unit_costs[name] / generic) * 100:.0f}%",
+        }
+        for name in mismatches
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_bias_units",
+        title=f"Fig. 3 rewiring units vs generic subtractors ({fb} frac bits)",
+        paper_claim="the restricted operand ranges let wiring replace "
+        "subtractors with zero arithmetic error",
+        rows=rows,
+    )

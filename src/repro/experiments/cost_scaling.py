@@ -1,0 +1,53 @@
+"""Cost scaling across bit widths (extension of Fig. 5 / Table I).
+
+How do the modelled area and power grow as the unit widens, and what
+accuracy does each width buy? This combines the hardware cost models with
+the accuracy sweep into one cost/accuracy frontier — the trade Section
+III's method navigates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.analysis.sweep import sweep_bit_widths
+from repro.experiments.result import ExperimentResult
+from repro.hwcost import nacu_area_breakdown, nacu_power_breakdown
+from repro.nacu.config import FunctionMode, NacuConfig
+
+
+def run(widths: Iterable[int] = (10, 12, 16, 20, 24)) -> ExperimentResult:
+    """Area/power/accuracy per bit width."""
+    accuracy = {
+        (row.n_bits, row.function): row.report
+        for row in sweep_bit_widths(widths=widths, n_samples=2001)
+    }
+    rows = []
+    for n_bits in widths:
+        config = NacuConfig.for_bits(n_bits)
+        area = nacu_area_breakdown(config)
+        power = nacu_power_breakdown(config, area)
+        rows.append(
+            {
+                "bits": n_bits,
+                "io_format": str(config.io_fmt),
+                "lut_entries": config.lut_entries,
+                "area_um2": round(area.total_um2, 0),
+                "divider_share": f"{area.fraction('divider') * 100:.0f}%",
+                "sigmoid_power_mw": round(
+                    power.total_mw(FunctionMode.SIGMOID), 2
+                ),
+                "sigmoid_max_error": accuracy[(n_bits, "sigmoid")].max_error,
+                "exp_max_error": accuracy[(n_bits, "exp")].max_error,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="cost_scaling",
+        title="Area / power / accuracy vs bit width (extension)",
+        paper_claim="(extension) each bit roughly halves the error; area "
+        "grows superlinearly (divider + LUT) — the trade Section III's "
+        "format method navigates",
+        rows=rows,
+    )

@@ -1,0 +1,36 @@
+"""Fig. 1 — sigma and tanh shapes and their stretch/translate relation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.result import ExperimentResult
+from repro.funcs import sigmoid, tanh, tanh_from_sigmoid
+from repro.nacu import Nacu
+
+
+def run(n_points: int = 33, x_max: float = 8.0) -> ExperimentResult:
+    """Regenerate the Fig. 1 curves, plus NACU's fixed-point rendition."""
+    unit = Nacu()
+    x = np.linspace(-x_max, x_max, n_points)
+    sig, tah = sigmoid(x), tanh(x)
+    rows = [
+        {
+            "x": float(xi),
+            "sigmoid": float(s),
+            "tanh": float(t),
+            "tanh_via_eq3": float(e3),
+            "nacu_sigmoid": float(ns),
+            "nacu_tanh": float(nt),
+        }
+        for xi, s, t, e3, ns, nt in zip(
+            x, sig, tah, tanh_from_sigmoid(x), unit.sigmoid(x), unit.tanh(x)
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Sigmoid and hyperbolic tangent function",
+        paper_claim="tanh is a stretched and translated sigmoid (Eq. 3); "
+        "both are centrosymmetric (Eqs. 4/5)",
+        rows=rows,
+    )

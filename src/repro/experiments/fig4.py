@@ -1,0 +1,63 @@
+"""Fig. 4 — implementation cost of the four approximation families.
+
+(a) entries needed for one-LSB accuracy vs fractional bits;
+(b) max error vs entry count at 11 fractional bits.
+
+The full sweep (four methods x eleven widths) takes a few minutes because
+the greedy RALUT/NUPWL optimisers rebuild their tables per point; the
+default arguments reproduce the paper's ranges, and the bench narrows
+them for its timed runs.
+"""
+
+from __future__ import annotations
+
+from repro.approx import explorer
+from repro.experiments.result import ExperimentResult
+
+
+def run_entries_vs_fracbits(
+    methods=explorer.METHODS, frac_bits=range(4, 15)
+) -> ExperimentResult:
+    """Fig. 4a."""
+    rows = []
+    for point in explorer.explore_entries_vs_fracbits(methods, frac_bits):
+        rows.append(
+            {
+                "method": point.method,
+                "frac_bits": point.frac_bits,
+                "entries": point.n_entries,
+                "max_error": point.max_error,
+                "meets_one_lsb": point.meets_target,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig4a",
+        title="LUT entries depending on fractional bits",
+        paper_claim="at 10 fractional bits PWL/NUPWL need ~50 entries vs "
+        "668 (RALUT) and 1026 (LUT)",
+        rows=rows,
+    )
+
+
+def run_error_vs_entries(
+    methods=explorer.METHODS,
+    entries=(4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    frac_bits: int = 11,
+) -> ExperimentResult:
+    """Fig. 4b."""
+    rows = []
+    for point in explorer.explore_error_vs_entries(methods, entries, frac_bits):
+        rows.append(
+            {
+                "method": point.method,
+                "entries_budget": point.n_entries,
+                "max_error": point.max_error,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig4b",
+        title="Maximum error depending on number of entries (11 frac bits)",
+        paper_claim="PWL and NUPWL scale better than LUT/RALUT; the "
+        "improvement flattens after the knee",
+        rows=rows,
+    )

@@ -1,0 +1,70 @@
+"""Fig. 5 — NACU's area breakdown, power, and per-function latency."""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.hwcost import nacu_area_breakdown, nacu_power_breakdown
+from repro.nacu import Nacu
+from repro.nacu.config import FunctionMode, NacuConfig
+
+
+def run_area(config: NacuConfig = None) -> ExperimentResult:
+    """The area breakdown chart."""
+    breakdown = nacu_area_breakdown(config or NacuConfig())
+    rows = [
+        {
+            "block": name,
+            "gate_equivalents": round(ge, 1),
+            "area_um2": round(um2, 1),
+            "share": f"{frac * 100:.1f}%",
+        }
+        for name, ge, um2, frac in breakdown.rows()
+    ]
+    rows.append(
+        {
+            "block": "TOTAL",
+            "gate_equivalents": round(breakdown.total_ge, 1),
+            "area_um2": round(breakdown.total_um2, 1),
+            "share": "100%",
+        }
+    )
+    return ExperimentResult(
+        experiment_id="fig5_area",
+        title="Area breakdown of NACU (28 nm)",
+        paper_claim="total 9671 um^2; dominated by the pipelined divider; "
+        "bias-calculation comparable to the adder",
+        rows=rows,
+    )
+
+
+def run_power_latency(config: NacuConfig = None) -> ExperimentResult:
+    """The power and latency charts."""
+    config = config or NacuConfig()
+    unit = Nacu(config)
+    power = nacu_power_breakdown(config)
+    rows = []
+    for mode in (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP,
+                 FunctionMode.MAC):
+        rows.append(
+            {
+                "function": mode.value,
+                "latency_cycles": unit.latency(mode),
+                "latency_ns": unit.latency(mode) * config.clock_ns,
+                "power_mw": round(power.total_mw(mode), 3),
+            }
+        )
+    rows.append(
+        {
+            "function": "softmax (n=10)",
+            "latency_cycles": unit.cycles(FunctionMode.SOFTMAX, 10),
+            "latency_ns": unit.cycles(FunctionMode.SOFTMAX, 10) * config.clock_ns,
+            "power_mw": round(power.total_mw(FunctionMode.SOFTMAX), 3),
+        }
+    )
+    return ExperimentResult(
+        experiment_id="fig5_power_latency",
+        title="Power and latency per function (267 MHz, 28 nm)",
+        paper_claim="sigma/tanh are 3 cycles, e is 8; divider functions "
+        "draw the most power",
+        rows=rows,
+    )

@@ -1,0 +1,90 @@
+"""Fig. 6 — accuracy comparison with the state of the art.
+
+Max error ((a) sigma, (b) tanh, (c) e) and average error ((d) sigma,
+(e) tanh), all normalised to the 16-bit NACU as in the paper (ratios
+above 1 mean worse than NACU; lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.analysis import accuracy_report
+from repro.baselines import iter_baselines
+from repro.experiments.result import ExperimentResult
+from repro.funcs import exp, sigmoid, tanh
+from repro.nacu import Nacu
+
+#: Evaluation grids: the activations on the paper's plot range, the
+#: exponential on the softmax-normalised domain all designs cover.
+_GRIDS = {
+    "sigmoid": np.linspace(-8.0, 8.0, 8001),
+    "tanh": np.linspace(-8.0, 8.0, 8001),
+    "exp": np.linspace(-1.0, 0.0, 4001),
+}
+_REFS = {"sigmoid": sigmoid, "tanh": tanh, "exp": exp}
+
+#: Extra NACU widths reported in Fig. 6c/d/e to match related-work widths.
+_EXTRA_NACU_BITS = {"sigmoid": (10, 12), "tanh": (10, 12), "exp": (18, 21)}
+
+
+def _nacu_eval(unit: Nacu, function: str, grid: np.ndarray) -> np.ndarray:
+    return getattr(unit, function)(grid)
+
+
+def measure(function: str, extra_bits: Iterable[int] = ()) -> list:
+    """Accuracy rows for one function: NACU first, then the baselines."""
+    grid = _GRIDS[function]
+    reference = _REFS[function](grid)
+    rows = []
+    nacu16 = Nacu.for_bits(16)
+    base = accuracy_report(_nacu_eval(nacu16, function, grid), reference)
+    rows.append(("NACU 16-bit", "16", base))
+    for bits in extra_bits:
+        unit = Nacu.for_bits(bits)
+        rows.append(
+            (
+                f"NACU {bits}-bit",
+                str(bits),
+                accuracy_report(_nacu_eval(unit, function, grid), reference),
+            )
+        )
+    for baseline in iter_baselines(function):
+        rows.append(
+            (
+                baseline.name,
+                baseline.info.n_bits,
+                accuracy_report(baseline.eval(grid), reference),
+            )
+        )
+    return [(name, bits, report, base) for name, bits, report in rows]
+
+
+def run(functions=("sigmoid", "tanh", "exp")) -> ExperimentResult:
+    """All five Fig. 6 panels in one table."""
+    rows: list = []
+    for function in functions:
+        for name, bits, report, base in measure(
+            function, _EXTRA_NACU_BITS[function]
+        ):
+            rows.append(
+                {
+                    "function": function,
+                    "design": name,
+                    "bits": bits,
+                    "max_error": report.max_error,
+                    "avg_error": report.avg_error,
+                    "max_vs_nacu16": report.max_error / base.max_error,
+                    "avg_vs_nacu16": report.avg_error / base.avg_error,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Error plots comparing with state-of-the-art (normalised to NACU-16)",
+        paper_claim="NACU ~10x better than NUPWL[6] and RALUTs[4,5,8]; "
+        "~10x worse than 18-21-bit exp designs [13,14]; "
+        "[10] ~10x better at 102 segments",
+        rows=rows,
+    )

@@ -1,0 +1,53 @@
+"""The experiment registry: id -> driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablations,
+    cost_scaling,
+    eq16,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    nn_workloads,
+    robustness,
+    sec3_formats,
+    sec7_text,
+    table1,
+)
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": fig1.run,
+    "sec3": sec3_formats.run,
+    "fig4a": fig4.run_entries_vs_fracbits,
+    "fig4b": fig4.run_error_vs_entries,
+    "fig5_area": fig5.run_area,
+    "fig5_power_latency": fig5.run_power_latency,
+    "fig6": fig6.run,
+    "table1": table1.run,
+    "sec7ab": sec7_text.run_rmse_correlation,
+    "sec7c": sec7_text.run_scaled_costs,
+    "eq16": eq16.run,
+    "nn_workloads": nn_workloads.run,
+    "fault_robustness": robustness.run,
+    "cost_scaling": cost_scaling.run,
+    "ablation_shared_lut": ablations.run_shared_lut,
+    "ablation_divider": ablations.run_divider,
+    "ablation_softmax_norm": ablations.run_softmax_normalisation,
+    "ablation_approx_divider": ablations.run_approx_divider,
+    "ablation_bias_units": ablations.run_bias_units,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]()

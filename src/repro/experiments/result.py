@@ -1,0 +1,58 @@
+"""The container experiment drivers return."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``rows`` are ordered dicts sharing the same keys — one per plotted
+    point or table line, holding exactly the quantities the paper reports.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def columns(self) -> List[str]:
+        """Column names, in first-row order."""
+        return list(self.rows[0].keys()) if self.rows else []
+
+    def to_text(self) -> str:
+        """Render as an aligned text table with a header block."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper: {self.paper_claim}",
+        ]
+        if not self.rows:
+            return "\n".join(lines + ["(no rows)"])
+        columns = self.columns()
+        formatted = [
+            {c: _format(row.get(c)) for c in columns} for row in self.rows
+        ]
+        widths = {
+            c: max(len(c), *(len(row[c]) for row in formatted)) for c in columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in formatted:
+            lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
+        return "\n".join(lines)
+
+
+def _format(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)

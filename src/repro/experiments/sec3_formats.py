@@ -1,0 +1,34 @@
+"""Section III — the Eq. 6/7 fixed-point dimensioning method."""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.fixedpoint import sweep_formats
+
+
+def run(widths=range(8, 31, 2)) -> ExperimentResult:
+    """The format the method selects per total width.
+
+    The paper's worked example is the N = 16 row: minimum i_b = 4,
+    leaving 11 fraction bits.
+    """
+    rows = []
+    for choice in sweep_formats(widths):
+        rows.append(
+            {
+                "total_bits": choice.n_bits,
+                "format": str(choice.fmt),
+                "integer_bits": choice.fmt.ib,
+                "fraction_bits": choice.fmt.fb,
+                "in_max": choice.in_max,
+                "sigmoid_tail": choice.sigmoid_tail,
+                "output_lsb": choice.output_lsb,
+                "eq7_satisfied": choice.tail_below_lsb,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="sec3",
+        title="Fixed-point format selection (Eqs. 6/7)",
+        paper_claim="for 16-bit words the minimum is i_b = 4, f_b = 11",
+        rows=rows,
+    )

@@ -1,0 +1,38 @@
+"""Bit-accurate two's-complement fixed-point arithmetic substrate.
+
+This package provides everything NACU's datapath model is built on:
+
+* :class:`~repro.fixedpoint.qformat.QFormat` — the ``Q(i_b).(f_b)`` format
+  notation from Section III of the paper.
+* :class:`~repro.fixedpoint.fxarray.FxArray` — a numpy-backed container of
+  raw integers plus a format, so every operation is integer arithmetic and
+  therefore reproduces hardware behaviour exactly.
+* :mod:`~repro.fixedpoint.ops` — add/sub/mul/div/shift with explicit
+  rounding and overflow semantics.
+* :mod:`~repro.fixedpoint.format_selection` — the Eq. 6/7 solver that picks
+  the integer/fractional split maximising sigmoid accuracy.
+"""
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import Overflow, Rounding
+from repro.fixedpoint.fxarray import FxArray
+from repro.fixedpoint import ops
+from repro.fixedpoint.format_selection import (
+    input_max,
+    min_integer_bits,
+    satisfies_eq7,
+    select_format,
+    sweep_formats,
+)
+
+__all__ = [
+    "FxArray",
+    "Overflow",
+    "QFormat",
+    "input_max",
+    "min_integer_bits",
+    "ops",
+    "satisfies_eq7",
+    "select_format",
+    "sweep_formats",
+]

@@ -1,0 +1,63 @@
+"""Bit-field helpers used by the Fig. 3 rewiring units.
+
+The Fig. 3 units replace subtractors with wiring: they move, invert, or
+two's-complement individual bit *fields* of a fixed-point word. These
+helpers expose those fields for numpy int64 raw arrays. All helpers treat
+the raw value as an ``n_bits``-wide two's-complement word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+
+def to_unsigned_word(raw, fmt: QFormat) -> np.ndarray:
+    """Two's-complement encode ``raw`` as an unsigned ``n_bits``-wide word."""
+    raw = np.asarray(raw, dtype=np.int64)
+    return np.mod(raw, fmt.raw_modulus).astype(np.int64)
+
+
+def from_unsigned_word(word, fmt: QFormat) -> np.ndarray:
+    """Decode an unsigned ``n_bits``-wide word back into a signed raw."""
+    word = np.asarray(word, dtype=np.int64)
+    if not fmt.signed:
+        return word
+    half = fmt.raw_modulus >> 1
+    return np.where(word >= half, word - fmt.raw_modulus, word).astype(np.int64)
+
+
+def fraction_field(raw, fmt: QFormat) -> np.ndarray:
+    """The ``fb`` fractional bits of the word, as a non-negative integer."""
+    mask = np.int64((1 << fmt.fb) - 1)
+    return to_unsigned_word(raw, fmt) & mask
+
+
+def integer_field(raw, fmt: QFormat) -> np.ndarray:
+    """The integer bits (including sign bit if any), as an unsigned field."""
+    int_bits = fmt.n_bits - fmt.fb
+    mask = np.int64((1 << int_bits) - 1)
+    return (to_unsigned_word(raw, fmt) >> fmt.fb) & mask
+
+
+def assemble(integer_bits, fraction_bits, fmt: QFormat) -> np.ndarray:
+    """Rebuild a signed raw from integer and fractional fields."""
+    int_width = fmt.n_bits - fmt.fb
+    int_mask = np.int64((1 << int_width) - 1)
+    frac_mask = np.int64((1 << fmt.fb) - 1)
+    word = ((np.asarray(integer_bits, dtype=np.int64) & int_mask) << fmt.fb) | (
+        np.asarray(fraction_bits, dtype=np.int64) & frac_mask
+    )
+    return from_unsigned_word(word, fmt)
+
+
+def twos_complement_field(field, width: int) -> np.ndarray:
+    """Two's complement of a ``width``-bit field, staying in ``width`` bits."""
+    mask = np.int64((1 << width) - 1)
+    return (-np.asarray(field, dtype=np.int64)) & mask
+
+
+def bit(raw, index: int, fmt: QFormat) -> np.ndarray:
+    """Bit ``index`` (LSB = 0) of the two's-complement word."""
+    return (to_unsigned_word(raw, fmt) >> index) & 1

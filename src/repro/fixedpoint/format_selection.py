@@ -1,0 +1,100 @@
+"""The paper's formal fixed-point dimensioning method (Section III).
+
+Given a total bit-width ``N``, the method finds the smallest integer-bit
+count ``i_b`` such that the sigmoid saturates exactly at the output
+quantisation step::
+
+    e^(-In_max) < 2^(-f_b_out)          (Eq. 7, first line)
+    In_max = 2^(i_b_in) - 2^(-f_b_in)   (Eq. 6)
+
+Any change of the sigmoid beyond ``In_max`` is then smaller than one output
+LSB, so saturating the LUT there loses nothing, and every remaining bit can
+be a fraction bit. The paper's worked example: for ``N = 16``, the minimum
+is ``i_b = 4``, leaving ``f_b = 11``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import FormatError
+from repro.fixedpoint.qformat import QFormat
+
+
+def input_max(fmt: QFormat) -> float:
+    """``In_max`` of Eq. 6 — the largest representable input value."""
+    return 2.0 ** fmt.ib - 2.0 ** -fmt.fb
+
+
+def satisfies_eq7(in_fmt: QFormat, out_fmt: Optional[QFormat] = None) -> bool:
+    """Check the saturation condition of Eq. 7.
+
+    ``2^(i_b_in) > ln(2) * f_b_out / (1 - 2^(1 - N_in))``
+
+    With ``out_fmt`` omitted the paper's common case (identical input and
+    output formats) is assumed.
+    """
+    out_fmt = out_fmt or in_fmt
+    lhs = 2.0 ** in_fmt.ib
+    rhs = math.log(2.0) * out_fmt.fb / (1.0 - 2.0 ** (1 - in_fmt.n_bits))
+    return lhs > rhs
+
+
+def min_integer_bits(n_bits: int, signed: bool = True) -> int:
+    """Smallest ``i_b`` satisfying Eq. 7 for an ``n_bits``-wide format.
+
+    Eq. 7 couples ``i_b`` and ``f_b = N - i_b - 1``, so it is solved by
+    scanning ``i_b`` upward, exactly as the paper prescribes ("it has to be
+    solved case by case").
+    """
+    sign_bits = 1 if signed else 0
+    for ib in range(0, n_bits - sign_bits + 1):
+        fmt = QFormat.from_total_bits(n_bits, ib, signed=signed)
+        if satisfies_eq7(fmt):
+            return ib
+    raise FormatError(f"no integer-bit count satisfies Eq. 7 for N={n_bits}")
+
+
+def select_format(n_bits: int, signed: bool = True) -> QFormat:
+    """The paper's recommended format for a given width.
+
+    Minimum integer bits from Eq. 7, all remaining bits fractional —
+    "the remaining 11 bits can be allocated as fractional bits to maximise
+    the accuracy" for the 16-bit example.
+    """
+    return QFormat.from_total_bits(n_bits, min_integer_bits(n_bits, signed), signed=signed)
+
+
+@dataclass(frozen=True)
+class FormatChoice:
+    """One row of a bit-width sweep (used by the Section III bench)."""
+
+    n_bits: int
+    fmt: QFormat
+    in_max: float
+    sigmoid_tail: float  # e^-In_max — the un-representable sigmoid change
+    output_lsb: float  # 2^-fb
+
+    @property
+    def tail_below_lsb(self) -> bool:
+        """Whether saturation loses less than one output LSB (Eq. 7 holds)."""
+        return self.sigmoid_tail < self.output_lsb
+
+
+def sweep_formats(widths) -> List[FormatChoice]:
+    """Apply the Section III method across several total widths."""
+    rows = []
+    for n_bits in widths:
+        fmt = select_format(n_bits)
+        rows.append(
+            FormatChoice(
+                n_bits=n_bits,
+                fmt=fmt,
+                in_max=input_max(fmt),
+                sigmoid_tail=math.exp(-input_max(fmt)),
+                output_lsb=fmt.resolution,
+            )
+        )
+    return rows

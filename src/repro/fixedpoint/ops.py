@@ -1,0 +1,195 @@
+"""Fixed-point arithmetic operations with explicit policies.
+
+Every function takes and returns :class:`~repro.fixedpoint.fxarray.FxArray`
+and makes the output format, rounding, and overflow behaviour explicit,
+mirroring how each hardware operator instance fixes those choices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.fixedpoint.fxarray import FxArray
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import (
+    Overflow,
+    Rounding,
+    apply_overflow,
+    shift_right_round,
+)
+
+
+def resize(
+    x: FxArray,
+    fmt: QFormat,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """Re-quantise ``x`` into ``fmt`` (align binary point, then clamp)."""
+    raw = shift_right_round(x.raw, x.fmt.fb - fmt.fb, rounding)
+    return FxArray(apply_overflow(raw, fmt, overflow), fmt)
+
+
+def _align(a: FxArray, b: FxArray):
+    """Shift both raws to the wider fractional width; return (raw_a, raw_b, fb)."""
+    fb = max(a.fmt.fb, b.fmt.fb)
+    return a.raw << (fb - a.fmt.fb), b.raw << (fb - b.fmt.fb), fb
+
+
+def add(
+    a: FxArray,
+    b: FxArray,
+    out_fmt: Optional[QFormat] = None,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """``a + b`` into ``out_fmt`` (default: ``a``'s format)."""
+    out_fmt = out_fmt or a.fmt
+    raw_a, raw_b, fb = _align(a, b)
+    raw = shift_right_round(raw_a + raw_b, fb - out_fmt.fb, rounding)
+    return FxArray(apply_overflow(raw, out_fmt, overflow), out_fmt)
+
+
+def sub(
+    a: FxArray,
+    b: FxArray,
+    out_fmt: Optional[QFormat] = None,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """``a - b`` into ``out_fmt`` (default: ``a``'s format)."""
+    out_fmt = out_fmt or a.fmt
+    raw_a, raw_b, fb = _align(a, b)
+    raw = shift_right_round(raw_a - raw_b, fb - out_fmt.fb, rounding)
+    return FxArray(apply_overflow(raw, out_fmt, overflow), out_fmt)
+
+
+def neg(x: FxArray, overflow: Overflow = Overflow.SATURATE) -> FxArray:
+    """Two's-complement negation in the same format."""
+    if not x.fmt.signed:
+        raise FormatError(f"cannot negate unsigned format {x.fmt}")
+    return FxArray(apply_overflow(-x.raw, x.fmt, overflow), x.fmt)
+
+
+def absolute(x: FxArray, overflow: Overflow = Overflow.SATURATE) -> FxArray:
+    """Absolute value (saturates ``-2**ib`` to the maximum by default)."""
+    return FxArray(apply_overflow(np.abs(x.raw), x.fmt, overflow), x.fmt)
+
+
+def mul(
+    a: FxArray,
+    b: FxArray,
+    out_fmt: Optional[QFormat] = None,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """``a * b`` into ``out_fmt`` (default: ``a``'s format).
+
+    The full-precision product (``fb_a + fb_b`` fractional bits) is formed
+    first, exactly as a hardware multiplier would, then narrowed once.
+    """
+    out_fmt = out_fmt or a.fmt
+    product = a.raw * b.raw  # int64 is wide enough for <=31-bit operands
+    raw = shift_right_round(product, a.fmt.fb + b.fmt.fb - out_fmt.fb, rounding)
+    return FxArray(apply_overflow(raw, out_fmt, overflow), out_fmt)
+
+
+def mul_add(
+    a: FxArray,
+    b: FxArray,
+    c: FxArray,
+    out_fmt: Optional[QFormat] = None,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """Fused ``a * b + c``: the addend joins at full product precision.
+
+    This models NACU's multiply-and-add stage, where the bias ``q`` is added
+    to the un-narrowed product before the single output rounding.
+    """
+    out_fmt = out_fmt or c.fmt
+    prod_fb = a.fmt.fb + b.fmt.fb
+    if prod_fb < c.fmt.fb:
+        raise FormatError("addend has more fractional bits than the product")
+    acc = a.raw * b.raw + (c.raw << (prod_fb - c.fmt.fb))
+    raw = shift_right_round(acc, prod_fb - out_fmt.fb, rounding)
+    return FxArray(apply_overflow(raw, out_fmt, overflow), out_fmt)
+
+
+def shift_left(x: FxArray, amount: int, overflow: Overflow = Overflow.SATURATE) -> FxArray:
+    """Arithmetic left shift: multiply the *value* by ``2**amount``."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    return FxArray(apply_overflow(x.raw << amount, x.fmt, overflow), x.fmt)
+
+
+def shift_right(
+    x: FxArray, amount: int, rounding: Rounding = Rounding.FLOOR
+) -> FxArray:
+    """Arithmetic right shift: divide the *value* by ``2**amount``."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    return FxArray(shift_right_round(x.raw, amount, rounding), x.fmt)
+
+
+def divide(
+    num: FxArray,
+    den: FxArray,
+    out_fmt: Optional[QFormat] = None,
+    rounding: Rounding = Rounding.FLOOR,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """``num / den`` into ``out_fmt`` (default: ``num``'s format).
+
+    The default FLOOR rounding on the magnitude matches what a restoring
+    divider that stops after ``fb_out`` fractional quotient bits produces;
+    :class:`repro.nacu.divider.RestoringDivider` is tested bit-exact
+    against this function.
+    """
+    out_fmt = out_fmt or num.fmt
+    if np.any(den.raw == 0):
+        raise ZeroDivisionError("fixed-point division by zero")
+    sign = np.sign(num.raw) * np.sign(den.raw)
+    a = np.abs(num.raw).astype(np.int64)
+    b = np.abs(den.raw).astype(np.int64)
+    # quotient_raw = (a / b) * 2**(out_fb - num_fb + den_fb)
+    shift = out_fmt.fb - num.fmt.fb + den.fmt.fb
+    if shift + num.fmt.n_bits > 62:
+        raise FormatError(
+            f"division {num.fmt} / {den.fmt} -> {out_fmt} needs a "
+            f"{shift + num.fmt.n_bits}-bit dividend, overflowing int64"
+        )
+    if shift >= 0:
+        scaled = a << shift
+    else:
+        scaled = shift_right_round(a, -shift, Rounding.FLOOR)
+    q = scaled // b
+    rem = scaled - q * b
+    if rounding in (Rounding.NEAREST_EVEN, Rounding.NEAREST_UP):
+        round_up = 2 * rem > b
+        if rounding is Rounding.NEAREST_EVEN:
+            round_up = round_up | ((2 * rem == b) & ((q & 1) == 1))
+        else:
+            round_up = round_up | (2 * rem == b)
+        q = q + round_up.astype(np.int64)
+    elif rounding in (Rounding.FLOOR, Rounding.TRUNCATE):
+        pass  # magnitude truncation
+    else:
+        raise ValueError(f"unknown rounding mode {rounding!r}")
+    raw = sign * q
+    return FxArray(apply_overflow(raw, out_fmt, overflow), out_fmt)
+
+
+def reciprocal(
+    x: FxArray,
+    out_fmt: QFormat,
+    rounding: Rounding = Rounding.FLOOR,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """``1 / x`` into ``out_fmt`` — the divider configuration NACU's
+    exponential path uses (dividend hard-wired to one)."""
+    one = FxArray.from_raw(1 << x.fmt.fb, x.fmt.with_ib(max(x.fmt.ib, 1)))
+    return divide(one, x, out_fmt, rounding, overflow)

@@ -1,0 +1,132 @@
+"""The ``Q(i_b).(f_b)`` fixed-point format notation (paper Section III).
+
+A signed format ``Q(ib).(fb)`` uses ``N = 1 + ib + fb`` bits: one sign bit,
+``ib`` integer bits and ``fb`` fractional bits, stored in two's complement.
+An unsigned format ``U(ib).(fb)`` uses ``N = ib + fb`` bits. A value ``v`` is
+stored as the raw integer ``round(v * 2**fb)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import FormatError
+
+_FORMAT_RE = re.compile(r"^([QU])(\d+)\.(\d+)$")
+
+#: Largest total width for which products of two raws still fit in int64.
+MAX_TOTAL_BITS = 31
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A two's-complement fixed-point format.
+
+    Parameters
+    ----------
+    ib:
+        Number of integer bits, excluding the sign bit.
+    fb:
+        Number of fractional bits.
+    signed:
+        Whether the format carries a sign bit (``Q`` vs ``U`` notation).
+    """
+
+    ib: int
+    fb: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ib < 0 or self.fb < 0:
+            raise FormatError(f"negative bit counts in {self!r}")
+        if self.n_bits <= 0:
+            raise FormatError(f"format {self!r} has no bits")
+        if self.n_bits > MAX_TOTAL_BITS:
+            raise FormatError(
+                f"format {self!r} is {self.n_bits} bits wide; widths above "
+                f"{MAX_TOTAL_BITS} would overflow int64 products"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "QFormat":
+        """Parse ``"Q4.11"`` / ``"U2.14"`` notation into a format."""
+        match = _FORMAT_RE.match(text.strip())
+        if match is None:
+            raise FormatError(f"cannot parse fixed-point format {text!r}")
+        kind, ib, fb = match.groups()
+        return cls(ib=int(ib), fb=int(fb), signed=(kind == "Q"))
+
+    @classmethod
+    def from_total_bits(cls, n_bits: int, ib: int, signed: bool = True) -> "QFormat":
+        """Build a format from a total width and an integer-bit count."""
+        fb = n_bits - ib - (1 if signed else 0)
+        if fb < 0:
+            raise FormatError(
+                f"{n_bits} total bits cannot hold {ib} integer bits"
+                f"{' plus a sign bit' if signed else ''}"
+            )
+        return cls(ib=ib, fb=fb, signed=signed)
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def n_bits(self) -> int:
+        """Total storage width ``N`` (paper: ``N = 1 + i_b + f_b``)."""
+        return self.ib + self.fb + (1 if self.signed else 0)
+
+    @property
+    def resolution(self) -> float:
+        """The weight of one LSB, ``2**-fb``."""
+        return 2.0 ** -self.fb
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer."""
+        return -(1 << (self.ib + self.fb)) if self.signed else 0
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.ib + self.fb)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value (``-2**ib`` when signed)."""
+        return self.raw_min * self.resolution
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value (``2**ib - 2**-fb``)."""
+        return self.raw_max * self.resolution
+
+    @property
+    def raw_modulus(self) -> int:
+        """Size of the raw integer ring, ``2**N``."""
+        return 1 << self.n_bits
+
+    # ------------------------------------------------------------------
+    # Format algebra
+    # ------------------------------------------------------------------
+    def with_fb(self, fb: int) -> "QFormat":
+        """Return a copy with a different fractional width."""
+        return QFormat(ib=self.ib, fb=fb, signed=self.signed)
+
+    def with_ib(self, ib: int) -> "QFormat":
+        """Return a copy with a different integer width."""
+        return QFormat(ib=ib, fb=self.fb, signed=self.signed)
+
+    def can_represent(self, value: float) -> bool:
+        """Whether ``value`` lies inside the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return f"{'Q' if self.signed else 'U'}{self.ib}.{self.fb}"
+
+
+#: The paper's running example (Section III): 16 bits, minimum i_b = 4.
+NACU16_FORMAT = QFormat(ib=4, fb=11, signed=True)

@@ -1,0 +1,108 @@
+"""Rounding and overflow policies for fixed-point arithmetic.
+
+All helpers operate on numpy int64 arrays (or python ints) holding raw
+fixed-point integers, so results are exactly what an RTL implementation
+with the same policy would produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from repro.errors import RangeError
+from repro.fixedpoint.qformat import QFormat
+
+RawLike = Union[int, np.ndarray]
+
+
+class Rounding(enum.Enum):
+    """How to drop fractional bits when narrowing a value."""
+
+    #: Round to nearest, ties to even (IEEE default; used for LUT contents).
+    NEAREST_EVEN = "nearest-even"
+    #: Round to nearest, ties away from zero upward (simple adder + shift).
+    NEAREST_UP = "nearest-up"
+    #: Arithmetic shift right — floor; the cheapest hardware option.
+    FLOOR = "floor"
+    #: Drop bits of the magnitude — truncate toward zero.
+    TRUNCATE = "truncate"
+
+
+class Overflow(enum.Enum):
+    """What to do when a raw value exceeds the target format's range."""
+
+    #: Clamp to the most positive / most negative representable value.
+    SATURATE = "saturate"
+    #: Two's-complement wraparound, as plain registers would do.
+    WRAP = "wrap"
+    #: Raise :class:`~repro.errors.RangeError`; used in tests.
+    ERROR = "error"
+
+
+def shift_right_round(raw: RawLike, shift: int, rounding: Rounding) -> RawLike:
+    """Divide ``raw`` by ``2**shift`` with the requested rounding.
+
+    Negative ``shift`` is a plain left shift (exact).
+    """
+    raw = np.asarray(raw, dtype=np.int64)
+    if shift <= 0:
+        return raw << (-shift)
+    floor_q = raw >> shift
+    if rounding is Rounding.FLOOR:
+        return floor_q
+    remainder = raw - (floor_q << shift)  # always in [0, 2**shift)
+    half = np.int64(1) << (shift - 1)
+    if rounding is Rounding.TRUNCATE:
+        # Toward zero: floor for positives, ceil for negatives.
+        return floor_q + ((raw < 0) & (remainder != 0)).astype(np.int64)
+    if rounding is Rounding.NEAREST_UP:
+        return (raw + half) >> shift
+    if rounding is Rounding.NEAREST_EVEN:
+        round_up = (remainder > half) | ((remainder == half) & ((floor_q & 1) == 1))
+        return floor_q + round_up.astype(np.int64)
+    raise ValueError(f"unknown rounding mode {rounding!r}")
+
+
+def apply_overflow(raw: RawLike, fmt: QFormat, overflow: Overflow) -> np.ndarray:
+    """Fold ``raw`` into ``fmt``'s representable raw range."""
+    raw = np.asarray(raw, dtype=np.int64)
+    if overflow is Overflow.SATURATE:
+        return np.clip(raw, fmt.raw_min, fmt.raw_max)
+    if overflow is Overflow.WRAP:
+        modulus = np.int64(fmt.raw_modulus)
+        wrapped = np.mod(raw - fmt.raw_min, modulus) + fmt.raw_min
+        return wrapped.astype(np.int64)
+    if overflow is Overflow.ERROR:
+        if np.any(raw < fmt.raw_min) or np.any(raw > fmt.raw_max):
+            bad_lo = int(np.min(raw))
+            bad_hi = int(np.max(raw))
+            raise RangeError(
+                f"raw range [{bad_lo}, {bad_hi}] overflows format {fmt} "
+                f"(raw range [{fmt.raw_min}, {fmt.raw_max}])"
+            )
+        return raw
+    raise ValueError(f"unknown overflow mode {overflow!r}")
+
+
+def quantize_float(
+    values: Union[float, np.ndarray],
+    fmt: QFormat,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> np.ndarray:
+    """Convert float values to raw integers in ``fmt``."""
+    scaled = np.asarray(values, dtype=np.float64) * (1 << fmt.fb)
+    if rounding in (Rounding.NEAREST_EVEN,):
+        raw = np.rint(scaled)
+    elif rounding is Rounding.NEAREST_UP:
+        raw = np.floor(scaled + 0.5)
+    elif rounding is Rounding.FLOOR:
+        raw = np.floor(scaled)
+    elif rounding is Rounding.TRUNCATE:
+        raw = np.trunc(scaled)
+    else:
+        raise ValueError(f"unknown rounding mode {rounding!r}")
+    return apply_overflow(raw.astype(np.int64), fmt, overflow)

@@ -1,0 +1,21 @@
+"""Float64 reference functions and the paper's mathematical identities."""
+
+from repro.funcs.reference import exp, sigmoid, softmax, softmax_normalised, tanh
+from repro.funcs.identities import (
+    exp_from_sigmoid,
+    sigmoid_negative_from_positive,
+    tanh_from_sigmoid,
+    tanh_negative_from_positive,
+)
+
+__all__ = [
+    "exp",
+    "exp_from_sigmoid",
+    "sigmoid",
+    "sigmoid_negative_from_positive",
+    "softmax",
+    "softmax_normalised",
+    "tanh",
+    "tanh_from_sigmoid",
+    "tanh_negative_from_positive",
+]

@@ -1,0 +1,37 @@
+"""The identities that make one sigmoid LUT serve four functions.
+
+These are the float-level statements of Eqs. 3, 4, 5 and 14; the NACU
+datapath implements their fixed-point counterparts. Property-based tests
+check them both here (exactly, in float) and in the datapath (within
+quantisation bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.funcs.reference import sigmoid
+
+
+def tanh_from_sigmoid(x) -> np.ndarray:
+    """Eq. 3: ``tanh(x) = 2*sigma(2x) - 1``."""
+    return 2.0 * sigmoid(2.0 * np.asarray(x, dtype=np.float64)) - 1.0
+
+
+def sigmoid_negative_from_positive(x) -> np.ndarray:
+    """Eq. 4: ``sigma(-x) = 1 - sigma(x)`` (centrosymmetry)."""
+    return 1.0 - sigmoid(x)
+
+
+def tanh_negative_from_positive(x) -> np.ndarray:
+    """Eq. 5: ``tanh(-x) = -tanh(x)`` (odd symmetry)."""
+    return -np.tanh(np.asarray(x, dtype=np.float64))
+
+
+def exp_from_sigmoid(x) -> np.ndarray:
+    """Eq. 14: ``e^x = 1/sigma(-x) - 1``.
+
+    Only well-conditioned for ``x <= 0`` (the softmax-normalised domain);
+    Eq. 15/16 in :mod:`repro.analysis.error_propagation` quantify why.
+    """
+    return 1.0 / sigmoid(-np.asarray(x, dtype=np.float64)) - 1.0

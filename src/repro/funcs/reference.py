@@ -1,0 +1,45 @@
+"""Float64 reference implementations ("golden model") of the non-linearities.
+
+Every accuracy metric in the paper (max error, average error, RMSE,
+correlation) is measured against the floating-point implementation; these
+are the benchmarks all fixed-point units in this library are scored against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x) -> np.ndarray:
+    """Logistic sigmoid, Eq. 1: ``1 / (1 + e^-x)`` (numerically stable)."""
+    x = np.asarray(x, dtype=np.float64)
+    t = np.exp(-np.abs(x))  # always in (0, 1]: no overflow either side
+    return np.where(x >= 0, 1.0 / (1.0 + t), t / (1.0 + t))
+
+
+def tanh(x) -> np.ndarray:
+    """Hyperbolic tangent, Eq. 2."""
+    return np.tanh(np.asarray(x, dtype=np.float64))
+
+
+def exp(x) -> np.ndarray:
+    """Natural exponential."""
+    return np.exp(np.asarray(x, dtype=np.float64))
+
+
+def softmax(x, axis: int = -1) -> np.ndarray:
+    """Naive softmax, Eq. 12 — numerically unstable by design.
+
+    Kept deliberately un-normalised so the Eq. 13 ablation can demonstrate
+    the saturation problem the paper describes.
+    """
+    e = np.exp(np.asarray(x, dtype=np.float64))
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def softmax_normalised(x, axis: int = -1) -> np.ndarray:
+    """Max-normalised softmax, Eq. 13: inputs shifted by ``x_max`` first."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)

@@ -1,0 +1,47 @@
+"""Analytic hardware cost models.
+
+The paper reports post-layout area/power/latency of a 28 nm ASIC macro
+(Fig. 5, Table I). Without a synthesis flow we substitute an analytic
+gate-equivalent model: every datapath component is priced in NAND2-
+equivalents (:mod:`gates`, :mod:`components`), converted to um^2 with a
+28 nm gate density calibrated once against the single published total
+(9671 um^2, Table I), and cross-node comparisons use the Stillmaker
+scaling equations the paper itself uses ([16], :mod:`techscale`).
+Absolute numbers are estimates; block *ratios* and cross-design *ratios*
+are the reproduced quantities.
+"""
+
+from repro.hwcost.gates import GateCounts
+from repro.hwcost.components import (
+    adder_cost,
+    divider_cost,
+    lut_cost,
+    multiplier_cost,
+    mux_cost,
+    negator_cost,
+    register_cost,
+)
+from repro.hwcost.area_model import AreaBreakdown, nacu_area_breakdown
+from repro.hwcost.power_model import PowerBreakdown, nacu_power_breakdown
+from repro.hwcost.timing_model import latency_table, nacu_clock_estimate_ns
+from repro.hwcost.techscale import scale_area, scale_delay, scale_power
+
+__all__ = [
+    "AreaBreakdown",
+    "GateCounts",
+    "PowerBreakdown",
+    "adder_cost",
+    "divider_cost",
+    "latency_table",
+    "lut_cost",
+    "multiplier_cost",
+    "mux_cost",
+    "nacu_area_breakdown",
+    "nacu_clock_estimate_ns",
+    "nacu_power_breakdown",
+    "negator_cost",
+    "register_cost",
+    "scale_area",
+    "scale_delay",
+    "scale_power",
+]

@@ -1,0 +1,117 @@
+"""The NACU area model and its Fig. 5 breakdown.
+
+Blocks follow Fig. 2: the coefficient-and-bias calculation part (LUT,
+Fig. 3 rewiring units, negators, address generation) and the equation
+calculation part (multiplier, adder, accumulator, pipelined divider,
+decrementor, output register). The single calibration constant lives in
+:data:`repro.hwcost.gates.GE_AREA_UM2_28NM`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hwcost import gates
+from repro.hwcost.components import (
+    adder_cost,
+    divider_cost,
+    lut_cost,
+    multiplier_cost,
+    mux_cost,
+    negator_cost,
+    register_cost,
+)
+from repro.hwcost.gates import GateCounts
+from repro.nacu.config import NacuConfig
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-block gate counts and area for one NACU instance."""
+
+    blocks: Dict[str, GateCounts]
+    ge_area_um2: float = gates.GE_AREA_UM2_28NM
+
+    @property
+    def total_ge(self) -> float:
+        """Total gate equivalents."""
+        return sum(c.total for c in self.blocks.values())
+
+    @property
+    def total_um2(self) -> float:
+        """Total area at the configured density."""
+        return self.total_ge * self.ge_area_um2
+
+    def area_um2(self, block: str) -> float:
+        """Area of one named block."""
+        return self.blocks[block].total * self.ge_area_um2
+
+    def fraction(self, block: str) -> float:
+        """Share of the total area taken by one block."""
+        return self.blocks[block].total / self.total_ge
+
+    def rows(self):
+        """(block, GE, um^2, fraction) rows, largest first."""
+        return sorted(
+            (
+                (name, cost.total, self.area_um2(name), self.fraction(name))
+                for name, cost in self.blocks.items()
+            ),
+            key=lambda row: -row[1],
+        )
+
+
+def coefficient_lut_cost(config: NacuConfig) -> GateCounts:
+    """The sigma PWL coefficient LUT plus its address generation."""
+    word_bits = config.slope_fmt.n_bits + config.bias_fmt.n_bits
+    lut = lut_cost(config.lut_entries, word_bits)
+    # Address generation: segment index from the input magnitude.
+    address = multiplier_cost(config.io_fmt.n_bits, 6).scaled(0.5)
+    return lut + address
+
+
+def bias_units_cost(config: NacuConfig) -> GateCounts:
+    """The dedicated Section V.A units replacing generic subtractors.
+
+    Fig. 3a is a fractional two's complement, Fig. 3b pure wiring, Fig. 3c
+    one inverter plus the negator forming ``-2q``; output muxes select
+    among the four coefficient sets and the slope negator serves the
+    negative ranges. The paper notes this block is "comparable to that of
+    the adder" — an assertion the Fig. 5 bench checks.
+    """
+    fig3a = negator_cost(config.bias_fmt.fb)
+    fig3c = GateCounts(combinational=gates.INV)
+    slope_negate = negator_cost(config.slope_fmt.n_bits)
+    bias_negate = negator_cost(config.bias_fmt.n_bits)  # forms -2q for Fig. 3c
+    muxes = mux_cost(2, config.slope_fmt.n_bits) + mux_cost(2, config.bias_fmt.n_bits)
+    return fig3a + fig3c + slope_negate + bias_negate + muxes
+
+
+def _divider_stages(config: NacuConfig) -> int:
+    if config.divider_stages is not None:
+        return config.divider_stages
+    return config.divider_fmt.ib + config.divider_fmt.fb + 2
+
+
+def nacu_area_breakdown(config: NacuConfig = None) -> AreaBreakdown:
+    """Fig. 5's area breakdown for a configuration (default: the paper's)."""
+    config = config or NacuConfig()
+    n = config.io_fmt.n_bits
+    product_bits = config.slope_fmt.n_bits + config.io_fmt.n_bits
+    word_bits = config.slope_fmt.n_bits + config.bias_fmt.n_bits
+    blocks = {
+        "coefficient_lut": coefficient_lut_cost(config),
+        "bias_units": bias_units_cost(config) + register_cost(word_bits),
+        "multiplier": multiplier_cost(config.slope_fmt.n_bits, n),
+        "adder": adder_cost(product_bits),
+        "accumulator": register_cost(config.acc_fmt.n_bits)
+        + mux_cost(2, config.acc_fmt.n_bits),
+        "divider": divider_cost(
+            config.divider_fmt.n_bits, n, _divider_stages(config)
+        ),
+        "decrementor": GateCounts(combinational=gates.INV * 2),
+        "io_registers": register_cost(2 * n),
+        "control": GateCounts(combinational=120 * gates.NAND2),
+    }
+    return AreaBreakdown(blocks=blocks)

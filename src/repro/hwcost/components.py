@@ -1,0 +1,80 @@
+"""Gate-equivalent costs of the datapath components NACU is built from."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hwcost import gates
+from repro.hwcost.gates import GateCounts
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+
+
+def adder_cost(width: int) -> GateCounts:
+    """Ripple-carry adder/subtractor of ``width`` bits."""
+    _require_positive("adder width", width)
+    return GateCounts(combinational=width * gates.FULL_ADDER)
+
+
+def negator_cost(width: int) -> GateCounts:
+    """Two's-complement negator: inverters plus an incrementer."""
+    _require_positive("negator width", width)
+    return GateCounts(
+        combinational=width * (gates.INV + gates.HALF_ADDER)
+    )
+
+
+def multiplier_cost(width_a: int, width_b: int) -> GateCounts:
+    """Array multiplier: partial products plus a carry-save reduction."""
+    _require_positive("multiplier operand width", min(width_a, width_b))
+    partial_products = width_a * width_b * gates.AND2
+    reduction = (width_a - 1) * width_b * gates.FULL_ADDER
+    return GateCounts(combinational=partial_products + reduction)
+
+
+def mux_cost(inputs: int, width: int) -> GateCounts:
+    """``inputs``-to-1 multiplexer of ``width``-bit words."""
+    _require_positive("mux inputs", inputs)
+    _require_positive("mux width", width)
+    return GateCounts(combinational=(inputs - 1) * width * gates.MUX2)
+
+
+def lut_cost(entries: int, word_bits: int) -> GateCounts:
+    """Mask-ROM look-up table including its address decoder."""
+    _require_positive("LUT entries", entries)
+    _require_positive("LUT word width", word_bits)
+    decoder = entries * gates.AND2  # one word line driver per entry
+    array = entries * word_bits * gates.ROM_BIT
+    return GateCounts(combinational=decoder + array)
+
+
+def register_cost(bits: int) -> GateCounts:
+    """A bank of flip-flops."""
+    _require_positive("register bits", bits)
+    return GateCounts(sequential=bits * gates.DFF)
+
+
+def divider_cost(quotient_bits: int, divisor_bits: int, stages: int) -> GateCounts:
+    """Pipelined restoring divider.
+
+    Each stage holds one conditional-subtract (a subtractor plus a
+    restore mux) and pipeline registers for the partial remainder, the
+    divisor copy, and the quotient bits produced so far. The register
+    freight is what makes the pipelined divider dominate NACU's area
+    (Section VII) — a sequential divider reuses one stage instead.
+    """
+    _require_positive("divider stages", stages)
+    stage_logic = adder_cost(divisor_bits + 1) + mux_cost(2, divisor_bits + 1)
+    stage_regs = register_cost(2 * divisor_bits + quotient_bits + 2)
+    per_stage = stage_logic + stage_regs
+    return per_stage.scaled(stages)
+
+
+def sequential_divider_cost(quotient_bits: int, divisor_bits: int) -> GateCounts:
+    """Single-stage (iterative) divider — the [11]-style area saving."""
+    stage_logic = adder_cost(divisor_bits + 1) + mux_cost(2, divisor_bits + 1)
+    working_regs = register_cost(2 * divisor_bits + quotient_bits + 2)
+    control = GateCounts(combinational=quotient_bits * gates.NAND2 * 4)
+    return stage_logic + working_regs + control

@@ -1,0 +1,47 @@
+"""Energy accounting: joules per result and per workload.
+
+In a full pipeline one result retires per cycle, so the energy of one
+result is simply the function's power times the clock period; workload
+energy multiplies busy cycles by the active power. Used by the CGRA
+layer to price whole inferences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hwcost.power_model import PowerBreakdown, nacu_power_breakdown
+from repro.nacu.config import FunctionMode, NacuConfig
+
+
+def energy_per_result_pj(
+    mode: FunctionMode,
+    config: Optional[NacuConfig] = None,
+    power: Optional[PowerBreakdown] = None,
+) -> float:
+    """Energy of one pipelined result, in picojoules."""
+    config = config or NacuConfig()
+    power = power or nacu_power_breakdown(config)
+    # P[mW] * T[ns] = 1e-3 W * 1e-9 s = pJ.
+    return power.total_mw(mode) * config.clock_ns
+
+
+def cycles_energy_nj(
+    cycles: int,
+    mode: FunctionMode,
+    config: Optional[NacuConfig] = None,
+    power: Optional[PowerBreakdown] = None,
+) -> float:
+    """Energy of ``cycles`` busy cycles in a mode, in nanojoules."""
+    return energy_per_result_pj(mode, config, power) * cycles * 1e-3
+
+
+def workload_energy_nj(cycle_by_mode: dict,
+                       config: Optional[NacuConfig] = None) -> float:
+    """Total energy of a workload given its busy cycles per mode."""
+    config = config or NacuConfig()
+    power = nacu_power_breakdown(config)
+    return sum(
+        cycles_energy_nj(cycles, mode, config, power)
+        for mode, cycles in cycle_by_mode.items()
+    )

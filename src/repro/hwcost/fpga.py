@@ -1,0 +1,42 @@
+"""FPGA logic-element estimation (the Table I "Logic Elem." row).
+
+Several related works ([6], [11], [14]) report FPGA logic elements (LEs)
+instead of silicon area. This maps gate-equivalent counts onto classic
+4-input-LUT + register LEs so ASIC-modelled datapaths can be compared
+against those rows at the order-of-magnitude level:
+
+* combinational logic packs ~5.5 NAND2-equivalents per 4-LUT on average
+  (one full adder or one 2:1 mux-ish function per LE);
+* each flip-flop occupies one LE register, usually packable with logic;
+* an empirical packing overhead covers routing/fragmentation.
+"""
+
+from __future__ import annotations
+
+from repro.hwcost.gates import DFF, GateCounts
+
+#: NAND2-equivalents of logic absorbed by one 4-input LUT, on average.
+GE_PER_LE = 5.5
+
+#: Fraction of flip-flops that do NOT pack into an already-counted LE.
+UNPACKED_FF_FRACTION = 0.3
+
+#: Placement/fragmentation overhead.
+PACKING_OVERHEAD = 1.15
+
+
+def logic_elements(cost: GateCounts) -> int:
+    """Estimated 4-LUT logic elements for a gate-equivalent cost."""
+    luts = cost.combinational / GE_PER_LE
+    flops = cost.sequential / DFF
+    unpacked = flops * UNPACKED_FF_FRACTION
+    return int(round((luts + unpacked) * PACKING_OVERHEAD))
+
+
+def le_report(cost: GateCounts) -> dict:
+    """Breakdown dict used by cost tables."""
+    return {
+        "logic_elements": logic_elements(cost),
+        "lut_functions": int(round(cost.combinational / GE_PER_LE)),
+        "flip_flops": int(round(cost.sequential / DFF)),
+    }

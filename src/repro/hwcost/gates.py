@@ -1,0 +1,54 @@
+"""Gate-equivalent cost primitives.
+
+All component costs are expressed in NAND2 gate equivalents (GE), the
+standard technology-independent unit synthesis reports use. The per-gate
+figures below are the usual static-CMOS cell sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: NAND2-equivalent cost of standard cells.
+INV = 0.67
+NAND2 = 1.0
+AND2 = 1.33
+XOR2 = 2.33
+MUX2 = 2.33
+HALF_ADDER = 3.0
+FULL_ADDER = 6.0
+DFF = 5.33
+#: One ROM/LUT bit (contacted-cell mask ROM including its share of decode).
+ROM_BIT = 0.30
+
+#: um^2 per GE at the paper's 28 nm node, including routing overhead.
+#: Calibrated once so the modelled NACU totals Table I's 9671 um^2; every
+#: other area in the library derives from this single constant.
+GE_AREA_UM2_28NM = 0.872
+
+
+@dataclass(frozen=True)
+class GateCounts:
+    """A component's cost: combinational GEs and sequential (register) GEs."""
+
+    combinational: float = 0.0
+    sequential: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total gate equivalents."""
+        return self.combinational + self.sequential
+
+    def area_um2(self, ge_area: float = GE_AREA_UM2_28NM) -> float:
+        """Silicon area at a given per-GE density."""
+        return self.total * ge_area
+
+    def __add__(self, other: "GateCounts") -> "GateCounts":
+        return GateCounts(
+            self.combinational + other.combinational,
+            self.sequential + other.sequential,
+        )
+
+    def scaled(self, factor: float) -> "GateCounts":
+        """Multiply both cost classes (e.g. for replicated instances)."""
+        return GateCounts(self.combinational * factor, self.sequential * factor)

@@ -1,0 +1,79 @@
+"""Per-function power model (right-hand chart of Fig. 5).
+
+Dynamic power is modelled as proportional to the *active* gate count at
+the operating frequency: each function only toggles the blocks on its
+path, which is why sigma/tanh draw less than the exponential and softmax
+(those also exercise the divider). The proportionality constant is a
+typical 28 nm dynamic-energy figure per gate-equivalent; as with area,
+ratios between functions are the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hwcost.area_model import AreaBreakdown, nacu_area_breakdown
+from repro.nacu.config import FunctionMode, NacuConfig
+
+#: Dynamic energy per GE per toggle-cycle at 28 nm, in pJ (incl. clock
+#: tree share); a standard planning figure, not a measured one.
+ENERGY_PJ_PER_GE = 0.0022
+
+#: Static leakage per GE at 28 nm LP, in uW.
+LEAKAGE_UW_PER_GE = 0.0012
+
+#: Blocks exercised per function mode.
+ACTIVE_BLOCKS = {
+    FunctionMode.SIGMOID: (
+        "coefficient_lut", "bias_units", "multiplier", "adder",
+        "io_registers", "control",
+    ),
+    FunctionMode.TANH: (
+        "coefficient_lut", "bias_units", "multiplier", "adder",
+        "io_registers", "control",
+    ),
+    FunctionMode.EXP: (
+        "coefficient_lut", "bias_units", "multiplier", "adder", "divider",
+        "decrementor", "io_registers", "control",
+    ),
+    FunctionMode.SOFTMAX: (
+        "coefficient_lut", "bias_units", "multiplier", "adder", "accumulator",
+        "divider", "decrementor", "io_registers", "control",
+    ),
+    FunctionMode.MAC: (
+        "multiplier", "adder", "accumulator", "io_registers", "control",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-function power at a given clock."""
+
+    per_function_mw: Dict[FunctionMode, float]
+    leakage_mw: float
+    clock_mhz: float
+
+    def total_mw(self, mode: FunctionMode) -> float:
+        """Dynamic + leakage power while running one function."""
+        return self.per_function_mw[mode] + self.leakage_mw
+
+
+def nacu_power_breakdown(
+    config: Optional[NacuConfig] = None,
+    breakdown: Optional[AreaBreakdown] = None,
+) -> PowerBreakdown:
+    """Estimate per-function power for a configuration."""
+    config = config or NacuConfig()
+    breakdown = breakdown or nacu_area_breakdown(config)
+    clock_mhz = 1000.0 / config.clock_ns
+    per_function = {}
+    for mode, blocks in ACTIVE_BLOCKS.items():
+        active_ge = sum(breakdown.blocks[b].total for b in blocks)
+        # P[mW] = E[pJ/GE/cycle] * GE * f[MHz] * 1e-3
+        per_function[mode] = ENERGY_PJ_PER_GE * active_ge * clock_mhz * 1e-3
+    leakage_mw = LEAKAGE_UW_PER_GE * breakdown.total_ge * 1e-3
+    return PowerBreakdown(
+        per_function_mw=per_function, leakage_mw=leakage_mw, clock_mhz=clock_mhz
+    )

@@ -1,0 +1,52 @@
+"""Technology scaling between CMOS nodes (Stillmaker et al. [16]).
+
+Section VII.C converts competitor results to NACU's 28 nm node using the
+scaling equations of [16]. The paper's own conversions pin the 65->28 nm
+factors: [13]'s 20700 um^2 becomes ~6200 (x0.30) and its 40.3 ns period
+becomes ~20 ns (x0.50); [14]'s CORDIC likewise. We therefore model the
+Stillmaker equations as power laws in the node ratio fitted to those
+anchor points::
+
+    area  ~ (node2 / node1)^1.43      (x0.299 for 65 -> 28)
+    delay ~ (node2 / node1)^0.82      (x0.501 for 65 -> 28)
+    power ~ (node2 / node1)^1.50      (dynamic, at equal frequency)
+
+— sub-quadratic area scaling and sub-linear delay scaling, as the
+measured data in [16] show for post-Dennard nodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Feature sizes (nm) covered by the Stillmaker data set.
+KNOWN_NODES = (180.0, 130.0, 90.0, 65.0, 45.0, 40.0, 32.0, 28.0, 20.0, 14.0, 7.0)
+
+AREA_EXPONENT = 1.43
+DELAY_EXPONENT = 0.82
+POWER_EXPONENT = 1.50
+
+
+def _check(node: float) -> float:
+    if node <= 0:
+        raise ConfigError(f"technology node must be positive, got {node}")
+    return float(node)
+
+
+def _ratio(from_node: float, to_node: float) -> float:
+    return _check(to_node) / _check(from_node)
+
+
+def scale_area(value: float, from_node: float, to_node: float) -> float:
+    """Scale an area (any unit) between nodes."""
+    return value * _ratio(from_node, to_node) ** AREA_EXPONENT
+
+
+def scale_delay(value: float, from_node: float, to_node: float) -> float:
+    """Scale a delay/period (any unit) between nodes."""
+    return value * _ratio(from_node, to_node) ** DELAY_EXPONENT
+
+
+def scale_power(value: float, from_node: float, to_node: float) -> float:
+    """Scale dynamic power at equal frequency between nodes."""
+    return value * _ratio(from_node, to_node) ** POWER_EXPONENT

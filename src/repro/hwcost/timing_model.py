@@ -1,0 +1,44 @@
+"""Latency/timing view of the unit (Fig. 5's latency chart, Table I row).
+
+The clock estimate walks the longest register-to-register path — the
+multiply-and-add stage — counting logic levels in FO4-style gate delays.
+Latency per function comes from the pipeline structure (Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.nacu.config import FunctionMode, NacuConfig
+
+#: Approximate delay of one FO4-loaded gate level at 28 nm, in ps.
+GATE_DELAY_PS_28NM = 18.0
+
+#: Fixed per-stage overhead: FF clk->q, setup, clock skew margin, in ps.
+SEQUENCING_OVERHEAD_PS = 120.0
+
+
+def multiplier_levels(width_a: int, width_b: int) -> float:
+    """Logic levels of an array multiplier with a final carry chain."""
+    reduction = 1.5 * math.log2(max(width_a, width_b)) * 3.0
+    final_adder = math.log2(width_a + width_b) * 2.0
+    return 1.0 + reduction + final_adder
+
+
+def nacu_clock_estimate_ns(config: Optional[NacuConfig] = None) -> float:
+    """Critical-path clock period estimate (paper: 3.75 ns at 28 nm)."""
+    config = config or NacuConfig()
+    levels = multiplier_levels(config.slope_fmt.n_bits, config.io_fmt.n_bits)
+    path_ps = levels * GATE_DELAY_PS_28NM + SEQUENCING_OVERHEAD_PS
+    return path_ps / 1000.0
+
+
+def latency_table(config: Optional[NacuConfig] = None) -> Dict[str, int]:
+    """Cycles to first result per function (Fig. 5 latency chart)."""
+    config = config or NacuConfig()
+    return {
+        mode.value: config.latency(mode)
+        for mode in (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP,
+                     FunctionMode.MAC)
+    }

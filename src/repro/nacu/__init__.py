@@ -1,0 +1,20 @@
+"""The NACU core — the paper's primary contribution.
+
+A bit-accurate model of the morphable Non-linear Arithmetic Computation
+Unit of Fig. 2: one sigmoid PWL coefficient LUT plus the Fig. 3 bias
+rewiring units feed a shared multiply-and-add stage, which together with a
+pipelined divider and a decrementor computes sigma, tanh, e^x, softmax and
+plain MAC operations on the same hardware.
+"""
+
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.lutgen import CoefficientLUT, build_sigmoid_lut
+from repro.nacu.unit import Nacu
+
+__all__ = [
+    "CoefficientLUT",
+    "FunctionMode",
+    "Nacu",
+    "NacuConfig",
+    "build_sigmoid_lut",
+]

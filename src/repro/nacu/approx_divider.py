@@ -1,0 +1,148 @@
+"""Approximate reciprocal divider — the paper's Section VIII future work.
+
+"In the future, we plan to optimise out the conventional divider with an
+approximate one. This will allow us to significantly lower the area cost
+with a small reduction in overall accuracy."
+
+The standard hardware recipe is modelled here: a small seed LUT provides
+an initial reciprocal guess, refined by Newton-Raphson iterations
+``r' = r * (2 - d * r)`` on the multiply-and-add hardware NACU already
+owns. Each iteration roughly squares the relative error, so a 2^s-entry
+seed plus one iteration reaches ~2^-2(s+1) relative accuracy. The divisor
+NACU cares about (``sigma(x_max - x)``) always lies in [0.5, 1], which is
+exactly the normalised-mantissa range the method wants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, RangeError
+from repro.fixedpoint import FxArray, Overflow, QFormat
+from repro.fixedpoint.rounding import apply_overflow, shift_right_round, Rounding
+from repro.hwcost.components import lut_cost, multiplier_cost, register_cost
+from repro.hwcost.gates import GateCounts
+
+
+class ApproxReciprocalDivider:
+    """Seeded Newton-Raphson reciprocal for divisors in [0.5, 1].
+
+    Drop-in for :class:`~repro.nacu.divider.RestoringDivider` on the
+    exponential/softmax path (``reciprocal`` plus a general ``divide``
+    built from one extra multiplication).
+    """
+
+    def __init__(self, out_fmt: QFormat, seed_bits: int = 5, iterations: int = 1):
+        if seed_bits < 1 or seed_bits > 12:
+            raise ConfigError("seed LUT address width must be in [1, 12]")
+        if iterations < 0:
+            raise ConfigError("iteration count cannot be negative")
+        self.out_fmt = out_fmt
+        self.seed_bits = seed_bits
+        self.iterations = iterations
+        #: Working fraction width of the Newton iteration registers.
+        self.work_fb = out_fmt.fb
+        # Seed LUT: one reciprocal word per divisor sub-interval of
+        # [0.5, 1); entry i covers d in [0.5 + i*step, 0.5 + (i+1)*step).
+        n = 1 << seed_bits
+        step = 0.5 / n
+        midpoints = 0.5 + (np.arange(n) + 0.5) * step
+        self.seed_raw = np.round((1.0 / midpoints) * (1 << self.work_fb)).astype(
+            np.int64
+        )
+        # Latency: one LUT cycle plus two multiply cycles per iteration.
+        self.stages = 1 + 2 * iterations
+        self.fill_latency = self.stages
+
+    def throughput_cycles(self, n: int) -> int:
+        """Cycles for ``n`` reciprocals back to back (pipelined)."""
+        return self.stages + max(0, n - 1)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _seed_index(self, den: FxArray) -> np.ndarray:
+        # Address = the seed_bits bits right below the 1/2 weight.
+        shift = den.fmt.fb - 1 - self.seed_bits
+        idx = shift_right_round(
+            den.raw - (np.int64(1) << (den.fmt.fb - 1)), max(shift, 0), Rounding.FLOOR
+        )
+        if shift < 0:
+            idx = idx << -shift
+        return np.clip(idx, 0, len(self.seed_raw) - 1)
+
+    def reciprocal(self, den: FxArray) -> FxArray:
+        """``1 / den`` for ``den`` in [0.5, 1] (raises outside)."""
+        half_raw = np.int64(1) << (den.fmt.fb - 1)
+        one_raw = np.int64(1) << den.fmt.fb
+        # The quantised sigma can land one LSB under 0.5; the Newton
+        # iteration absorbs that (the seed is just slightly off). Anything
+        # further out is a genuine misuse.
+        tolerance = np.int64(4)
+        if np.any(den.raw < half_raw - tolerance) or np.any(den.raw > one_raw):
+            raise RangeError(
+                "approximate reciprocal is specified for divisors in "
+                "[0.5, 1] (the normalised sigma range)"
+            )
+        fb = self.work_fb
+        r = self.seed_raw[self._seed_index(den)]
+        d = den.raw << (fb - den.fmt.fb) if fb >= den.fmt.fb else shift_right_round(
+            den.raw, den.fmt.fb - fb, Rounding.NEAREST_EVEN
+        )
+        two = np.int64(2) << fb
+        for _ in range(self.iterations):
+            # r' = r * (2 - d*r), every product rounded to the work width —
+            # exactly what reusing the MAC multiplier would produce.
+            d_r = shift_right_round(d * r, fb, Rounding.NEAREST_EVEN)
+            r = shift_right_round(r * (two - d_r), fb, Rounding.NEAREST_EVEN)
+        raw = shift_right_round(r, fb - self.out_fmt.fb, Rounding.NEAREST_EVEN)
+        return FxArray(apply_overflow(raw, self.out_fmt, Overflow.SATURATE), self.out_fmt)
+
+    def divide(self, num: FxArray, den: FxArray) -> FxArray:
+        """``num / den`` as ``num * (1/den)`` (one extra multiplication).
+
+        ``den`` must be positive; it is pre-scaled by a power of two into
+        [0.5, 1] (a priority encoder plus shifter in hardware) and the
+        quotient is post-scaled back.
+        """
+        if np.any(den.raw <= 0):
+            raise RangeError("approximate divide requires positive divisors")
+        den_raw = np.atleast_1d(den.raw)
+        # Normalise each divisor into [0.5, 1): den = m * 2^(bl - fb) with
+        # bl the raw bit length (a priority encoder in hardware).
+        bit_length = np.frompyfunc(lambda v: int(v).bit_length(), 1, 1)
+        bl = bit_length(den_raw).astype(np.int64)
+        fb_den = den.fmt.fb
+        mantissa_raw = np.where(
+            bl <= fb_den, den_raw << (fb_den - bl), den_raw >> (bl - fb_den)
+        )
+        mantissa = FxArray.from_raw(mantissa_raw, QFormat(1, fb_den))
+        recip = self.reciprocal(mantissa)  # 1/m in [1, 2]
+        num_raw = np.broadcast_to(np.atleast_1d(num.raw), mantissa_raw.shape)
+        product = num_raw * recip.raw  # fb_num + fb_out fraction bits
+        # quotient = num * (1/m) * 2^(fb_den - bl): align to the output by
+        # shifting right fb_num + bl - fb_den bits (per-element amount).
+        total_shift = num.fmt.fb + bl - fb_den
+        raw = np.empty_like(product)
+        for shift in np.unique(total_shift):
+            mask = total_shift == shift
+            raw[mask] = shift_right_round(product[mask], int(shift), Rounding.FLOOR)
+        raw = raw.reshape(np.shape(den.raw))
+        return FxArray(
+            apply_overflow(raw, self.out_fmt, Overflow.SATURATE), self.out_fmt
+        )
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def cost(self, operand_bits: int = 16) -> GateCounts:
+        """Gate-equivalent cost: seed LUT + working registers.
+
+        The Newton multiplications reuse NACU's existing MAC multiplier
+        (the whole point of the optimisation), so only the seed LUT, the
+        iteration registers and a normaliser are new hardware.
+        """
+        seed = lut_cost(1 << self.seed_bits, operand_bits)
+        registers = register_cost(3 * operand_bits)
+        normaliser = multiplier_cost(operand_bits, 2)  # shifter-scale logic
+        return seed + registers + normaliser

@@ -1,0 +1,90 @@
+"""The Fig. 3 bias rewiring units — subtractors replaced by wiring.
+
+Section V.A observes that the only operations ever applied to the stored
+bias ``q in [0.5, 1]`` are ``1-q``, ``2q-1`` and ``1-2q``, and that each
+reduces to moving/inverting bit fields because the operand ranges are so
+constrained. The three units below work on raw LUT words exactly as the
+figure describes; ``tests/nacu/test_bias_units.py`` proves each bit-exact
+against a generic subtractor over the *entire* representable input range.
+
+Word layout: all units see a ``(2 + fb)``-bit word with two integer bits
+``a1 a0`` above ``fb`` fraction bits — unsigned for (a)/(b), two's
+complement for (c), matching how the same datapath wires carry either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.bitops import (
+    from_unsigned_word,
+    to_unsigned_word,
+    twos_complement_field,
+)
+
+
+def _split(word: np.ndarray, fb: int):
+    """Split an unsigned (2+fb)-bit word into (integer field, fraction field)."""
+    frac_mask = np.int64((1 << fb) - 1)
+    return (word >> fb) & 0b11, word & frac_mask
+
+
+def fig3a_one_minus_q(q_raw, fb: int) -> np.ndarray:
+    """Fig. 3a: ``r = 1 - q`` for ``q in [0.5, 1]``.
+
+    Integer bits of the result are zero; the fraction bits are the two's
+    complement of the input's fraction bits. Valid for both sub-ranges the
+    paper splits out (q in [0.5, 1) and q = 1, whose fraction is zero).
+    Used for the negative-range sigma bias (Eq. 9).
+    """
+    q_raw = np.asarray(q_raw, dtype=np.int64)
+    _, frac = _split(q_raw, fb)
+    return twos_complement_field(frac, fb)
+
+
+def fig3b_decrement(v_raw, fb: int) -> np.ndarray:
+    """Fig. 3b: ``r = v - 1`` for ``v in [1, 2]`` (unsigned word).
+
+    Fraction bits pass through; integer bit ``a1`` is propagated into the
+    ``a0`` position (handles both v in [1, 2), where a1a0 = 01 -> 00, and
+    v = 2, where a1a0 = 10 -> 01). Used for the positive-range tanh bias
+    ``2q - 1`` (Eq. 10) and as the exponential path's decrementor
+    (``sigma' - 1``, Section V.B).
+    """
+    v_raw = np.asarray(v_raw, dtype=np.int64)
+    integer, frac = _split(v_raw, fb)
+    a1 = (integer >> 1) & 1
+    return (a1 << fb) | frac
+
+
+def fig3c_one_plus(v_raw, fb: int) -> np.ndarray:
+    """Fig. 3c: ``r = 1 + v`` for ``v in [-2, -1]`` (two's complement).
+
+    The unit computes the tanh negative-range bias ``1 - 2q`` from the
+    negated word ``v = -2q``. Fraction bits pass through; every integer
+    bit of the result is the inversion of the input's ``a0`` (a0 = 0 for
+    v in [-2, -1), a0 = 1 for v = -1). Returns a signed raw with ``fb``
+    fraction bits (value in [-1, 0]).
+    """
+    fmt = QFormat(1, fb)  # 2 integer bits incl. sign + fb fraction bits
+    word = to_unsigned_word(np.asarray(v_raw, dtype=np.int64), fmt)
+    integer, frac = _split(word, fb)
+    a0 = integer & 1
+    int_out = np.where(a0 == 1, 0b00, 0b11)
+    return from_unsigned_word((int_out << fb) | frac, fmt)
+
+
+def reference_one_minus_q(q_raw, fb: int) -> np.ndarray:
+    """Generic-subtractor reference for Fig. 3a: ``(1 << fb) - q_raw``."""
+    return (np.int64(1) << fb) - np.asarray(q_raw, dtype=np.int64)
+
+
+def reference_decrement(v_raw, fb: int) -> np.ndarray:
+    """Generic-subtractor reference for Fig. 3b: ``v_raw - (1 << fb)``."""
+    return np.asarray(v_raw, dtype=np.int64) - (np.int64(1) << fb)
+
+
+def reference_one_plus(v_raw, fb: int) -> np.ndarray:
+    """Generic-adder reference for Fig. 3c: ``v_raw + (1 << fb)``."""
+    return np.asarray(v_raw, dtype=np.int64) + (np.int64(1) << fb)

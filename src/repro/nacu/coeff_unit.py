@@ -1,0 +1,73 @@
+"""The coefficient & bias calculation stage (left half of Fig. 2).
+
+Given the input's magnitude and sign and the configured function, this
+stage produces the slope/bias pair the multiply-and-add stage consumes:
+
+====================  =======================  ==========================
+Function / range      slope                    bias
+====================  =======================  ==========================
+sigma,  x >= 0        ``m1``                   ``q``            (Eq. 8)
+sigma,  x < 0         ``-m1``                  ``1 - q``        (Eq. 9, Fig. 3a)
+tanh,   x >= 0        ``4*m1`` (shift by 2)    ``2q - 1``       (Eq. 10, Fig. 3b)
+tanh,   x < 0         ``-4*m1``                ``1 - 2q``       (Eq. 11, Fig. 3c)
+====================  =======================  ==========================
+
+For tanh the LUT is addressed at ``2|x|`` because Eq. 3 evaluates the
+sigmoid at ``2x``; the doubling is an address-line shift, not a multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, Overflow, QFormat
+from repro.nacu.bias_units import (
+    fig3a_one_minus_q,
+    fig3b_decrement,
+    fig3c_one_plus,
+)
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.lutgen import CoefficientLUT
+
+
+class CoefficientUnit:
+    """Bit-level model of the coefficient/bias stage."""
+
+    def __init__(self, lut: CoefficientLUT, config: NacuConfig):
+        self.lut = lut
+        self.config = config
+        #: Biases leave this stage as signed words (the tanh negative-range
+        #: bias is negative) with the coefficient fraction width.
+        self.bias_out_fmt = QFormat(1, config.bias_fmt.fb)
+
+    def compute(self, x: FxArray, mode: FunctionMode) -> Tuple[FxArray, FxArray]:
+        """Slope and bias words for each input element."""
+        if mode not in (FunctionMode.SIGMOID, FunctionMode.TANH):
+            raise ConfigError(f"the coefficient unit has no {mode.value} setting")
+        magnitude = np.abs(x.raw)
+        negative = x.raw < 0
+        fb = self.config.bias_fmt.fb
+
+        if mode is FunctionMode.SIGMOID:
+            slope_raw, q_raw = self.lut.lookup(magnitude, x.fmt.fb)
+            out_slope = np.where(negative, -slope_raw, slope_raw)
+            out_bias = np.where(negative, fig3a_one_minus_q(q_raw, fb), q_raw)
+        else:  # TANH: address at 2|x|, scale slope by 4, rewire bias
+            slope_raw, q_raw = self.lut.lookup(magnitude << 1, x.fmt.fb)
+            scaled = slope_raw << 2
+            out_slope = np.where(negative, -scaled, scaled)
+            two_q = q_raw << 1  # binary-point move: same bits, doubled weight
+            out_bias = np.where(
+                negative,
+                fig3c_one_plus(-two_q, fb),
+                fig3b_decrement(two_q, fb),
+            )
+        # The coefficient bus is exactly slope_fmt/bias_out_fmt wide; any
+        # wider word (possible only under injected LUT faults) truncates
+        # to the bus width, as real wiring would.
+        slope = FxArray.from_raw(out_slope, self.config.slope_fmt, overflow=Overflow.WRAP)
+        bias = FxArray.from_raw(out_bias, self.bias_out_fmt, overflow=Overflow.WRAP)
+        return slope, bias

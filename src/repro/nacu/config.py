@@ -1,0 +1,160 @@
+"""NACU configuration: formats, LUT size, divider shape, latencies."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat, select_format
+
+
+class FunctionMode(enum.Enum):
+    """The functions the morphable unit can be configured to compute."""
+
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+    EXP = "exp"
+    SOFTMAX = "softmax"
+    MAC = "mac"
+
+
+#: Table I: NACU's LUT entry count for the 16-bit implementation.
+DEFAULT_LUT_ENTRIES = 53
+
+#: Share of the output LSB budgeted to PWL approximation error (the rest
+#: absorbs coefficient/output quantisation). With 0.28, the sizing rule
+#: below lands exactly on the paper's 53 entries for the 16-bit unit.
+_APPROX_ERROR_BUDGET = 0.281
+
+#: max |sigma''(x)| (at x ~ 1.317) — drives the PWL segment-width bound.
+_SIGMOID_MAX_CURVATURE = 0.09623
+
+
+def lut_entries_for(fmt: QFormat, lut_range: float) -> int:
+    """LUT size so the PWL approximation error fits its share of one LSB.
+
+    A minimax line on a width-``w`` segment of a smooth function errs by
+    about ``max|f''| * w^2 / 16``; solving for the segment count with the
+    budgeted error gives the rule used here. It reproduces Table I's 53
+    entries for the 16-bit configuration.
+    """
+    target = _APPROX_ERROR_BUDGET * fmt.resolution
+    entries = lut_range * math.sqrt(_SIGMOID_MAX_CURVATURE / (16.0 * target))
+    return max(1, math.ceil(entries))
+
+#: Table I / Section VII: per-function latency in cycles.
+DEFAULT_LATENCY = {
+    FunctionMode.SIGMOID: 3,
+    FunctionMode.TANH: 3,
+    FunctionMode.EXP: 8,
+    FunctionMode.MAC: 1,
+}
+
+#: Divider stages: one per quotient bit plus input/output stages gives 18
+#: for the 16-bit unit, making the whole exponential-path fill
+#: 3 (sigma) + 18 (divider) + 1 (decrementor) + 2 (I/O) = 24 cycles
+#: = 90 ns at 3.75 ns — the figure Section VII.C reports.
+DEFAULT_DIVIDER_STAGES = None
+
+
+def saturation_range(fmt: QFormat) -> float:
+    """Positive input range the sigmoid LUT covers before saturating.
+
+    The smallest power of two past ``ln(2) * f_b`` — beyond it the sigmoid
+    is within one output LSB of 1 (Section III), so the LUT address clamps.
+    """
+    x_sat = math.log(2.0) * fmt.fb
+    return float(2 ** math.ceil(math.log2(x_sat)))
+
+
+@dataclass(frozen=True)
+class NacuConfig:
+    """Static configuration of one NACU instance.
+
+    The defaults reproduce the paper's 16-bit implementation: Q4.11 I/O
+    (Section III), a 53-entry coefficient LUT (Table I), coefficients one
+    word wide.
+    """
+
+    #: Input/output format (the paper uses the same for both).
+    io_fmt: QFormat = QFormat(4, 11)
+    #: Format of the stored slope ``m1`` (covers the x4 tanh scaling too).
+    slope_fmt: QFormat = QFormat(1, 14)
+    #: Format of the stored bias ``q`` in [0.5, 1); two integer bits so the
+    #: derived ``2q`` word is representable, as Section V.A requires.
+    bias_fmt: QFormat = QFormat(2, 14, signed=False)
+    #: Number of PWL segments in the sigmoid coefficient LUT.
+    lut_entries: int = DEFAULT_LUT_ENTRIES
+    #: Positive input range [0, lut_range) covered by the LUT.
+    lut_range: float = 8.0
+    #: Format of the divider quotient (holds 1/sigma in [1, 2]).
+    divider_fmt: QFormat = QFormat(2, 14, signed=False)
+    #: Divider pipeline depth (None: one stage per quotient bit plus two).
+    divider_stages: Optional[int] = DEFAULT_DIVIDER_STAGES
+    #: Accumulator format of the MAC (guard integer bits for long sums).
+    acc_fmt: QFormat = QFormat(8, 11)
+    #: Clock period in ns (28 nm implementation runs at 267 MHz).
+    clock_ns: float = 3.75
+    #: Replace the restoring divider with the Section VIII future-work
+    #: approximate (seeded Newton-Raphson) reciprocal.
+    use_approx_divider: bool = False
+    #: Seed-LUT address width of the approximate divider.
+    approx_divider_seed_bits: int = 5
+    #: Newton-Raphson refinement steps of the approximate divider.
+    approx_divider_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lut_entries < 1:
+            raise ConfigError("the coefficient LUT needs at least one entry")
+        if self.lut_range <= 0:
+            raise ConfigError("the LUT range must be positive")
+        if not self.io_fmt.signed:
+            raise ConfigError("the I/O format must be signed (inputs span 0)")
+        if self.bias_fmt.ib < 2:
+            raise ConfigError(
+                "the bias format needs two integer bits so 2q in [1, 2] is "
+                "representable (Section V.A)"
+            )
+        if self.acc_fmt.fb < self.io_fmt.fb:
+            raise ConfigError("the accumulator cannot be coarser than the I/O")
+
+    @classmethod
+    def for_bits(cls, n_bits: int, lut_entries: int = None) -> "NacuConfig":
+        """Configuration for a given total width using the Section III method.
+
+        The I/O format comes from the Eq. 7 solver; coefficient words get
+        the same total width with the binary point moved to their ranges
+        (slopes in (0, 1], biases in [0.5, 1)); the LUT covers the
+        saturation range of the chosen format and is sized so approximation
+        error keeps fitting the output LSB (53 entries at 16 bits).
+        """
+        io_fmt = select_format(n_bits)
+        lut_range = saturation_range(io_fmt)
+        if lut_entries is None:
+            lut_entries = lut_entries_for(io_fmt, lut_range)
+        return cls(
+            io_fmt=io_fmt,
+            slope_fmt=QFormat(1, n_bits - 2),
+            bias_fmt=QFormat(2, n_bits - 2, signed=False),
+            divider_fmt=QFormat(2, n_bits - 2, signed=False),
+            lut_entries=lut_entries,
+            lut_range=lut_range,
+            acc_fmt=QFormat(min(io_fmt.ib + 4, 30 - io_fmt.fb), io_fmt.fb),
+        )
+
+    @property
+    def n_bits(self) -> int:
+        """Total I/O width."""
+        return self.io_fmt.n_bits
+
+    def latency(self, mode: FunctionMode) -> int:
+        """Latency in cycles for one result in the given mode (Table I)."""
+        if mode is FunctionMode.SOFTMAX:
+            raise ConfigError(
+                "softmax latency depends on the vector length; use "
+                "Nacu.softmax_cycles(n)"
+            )
+        return DEFAULT_LATENCY[mode]

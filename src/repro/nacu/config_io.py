@@ -1,0 +1,66 @@
+"""Serialise NACU configurations to/from JSON.
+
+Sweeps and deployments want reproducible configuration artefacts next to
+the exported LUT images; this module round-trips a
+:class:`~repro.nacu.config.NacuConfig` through a plain JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.nacu.config import NacuConfig
+
+_FORMAT_FIELDS = ("io_fmt", "slope_fmt", "bias_fmt", "divider_fmt", "acc_fmt")
+_PLAIN_FIELDS = (
+    "lut_entries",
+    "lut_range",
+    "divider_stages",
+    "clock_ns",
+    "use_approx_divider",
+    "approx_divider_seed_bits",
+    "approx_divider_iterations",
+)
+
+
+def config_to_dict(config: NacuConfig) -> dict:
+    """A JSON-ready dict (formats in ``Q4.11`` notation)."""
+    doc = {name: str(getattr(config, name)) for name in _FORMAT_FIELDS}
+    doc.update({name: getattr(config, name) for name in _PLAIN_FIELDS})
+    return doc
+
+
+def config_from_dict(doc: dict) -> NacuConfig:
+    """Rebuild a configuration from :func:`config_to_dict` output."""
+    unknown = set(doc) - set(_FORMAT_FIELDS) - set(_PLAIN_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown configuration fields: {sorted(unknown)}")
+    kwargs = {}
+    for name in _FORMAT_FIELDS:
+        if name in doc:
+            kwargs[name] = QFormat.parse(doc[name])
+    for name in _PLAIN_FIELDS:
+        if name in doc:
+            kwargs[name] = doc[name]
+    return NacuConfig(**kwargs)
+
+
+def dumps(config: NacuConfig, **json_kwargs) -> str:
+    """Serialise to a JSON string."""
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    return json.dumps(config_to_dict(config), **json_kwargs)
+
+
+def loads(text: Union[str, bytes]) -> NacuConfig:
+    """Deserialise from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid configuration JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ConfigError("configuration JSON must be an object")
+    return config_from_dict(doc)

@@ -1,0 +1,148 @@
+"""The assembled NACU datapath (Fig. 2) with cycle accounting.
+
+Dataflow per function:
+
+* **sigma / tanh** — coefficient unit (LUT + Fig. 3 rewiring) feeds the
+  multiply-and-add stage: ``out = slope * |x| + bias``. 3 cycles.
+* **e^x** (x <= 0) — sigma of ``-x`` (in [0.5, 1]), reciprocal through the
+  pipelined divider (sigma' in [1, 2]), then the decrementor — the Fig. 3b
+  unit reused on sigma', Section V.B. 8 cycles to the first result.
+* **softmax** — Eq. 13: max-normalise, exponentials, denominator summed on
+  the MAC feedback path, one division per element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RangeError
+from repro.fixedpoint import FxArray, Overflow, QFormat, ops
+from repro.nacu.bias_units import fig3b_decrement
+from repro.nacu.coeff_unit import CoefficientUnit
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.approx_divider import ApproxReciprocalDivider
+from repro.nacu.divider import RestoringDivider
+from repro.nacu.lutgen import build_sigmoid_lut
+from repro.nacu.mac import MacUnit
+
+
+class NacuDatapath:
+    """Bit-accurate structural model of the unit."""
+
+    def __init__(self, config: NacuConfig, lut=None):
+        self.config = config
+        #: The coefficient LUT; injectable for fault-sensitivity studies.
+        self.lut = lut if lut is not None else build_sigmoid_lut(config)
+        self.coeff_unit = CoefficientUnit(self.lut, config)
+        self.mac = MacUnit(config.acc_fmt)
+        if config.use_approx_divider:
+            self.divider = ApproxReciprocalDivider(
+                config.divider_fmt,
+                seed_bits=config.approx_divider_seed_bits,
+                iterations=config.approx_divider_iterations,
+            )
+        else:
+            self.divider = RestoringDivider(config.divider_fmt, config.divider_stages)
+
+    # ------------------------------------------------------------------
+    # sigma and tanh
+    # ------------------------------------------------------------------
+    def activation(self, x: FxArray, mode: FunctionMode) -> FxArray:
+        """Evaluate sigma or tanh through the PWL pipeline.
+
+        The magnitude fed to the multiplier saturates at the edge of the
+        LUT's covered range (half of it for tanh, whose address is ``2|x|``)
+        — the "saturation region" every PWL implementation needs, sized by
+        Eq. 7 so the clamp costs less than one output LSB.
+        """
+        slope, bias = self.coeff_unit.compute(x, mode)
+        range_raw = int(round(self.config.lut_range * (1 << x.fmt.fb)))
+        limit = range_raw - 1 if mode is FunctionMode.SIGMOID else (range_raw >> 1) - 1
+        magnitude = FxArray(
+            np.minimum(np.abs(x.raw), np.int64(min(limit, x.fmt.raw_max))),
+            self.config.io_fmt,
+        )
+        out = self.mac.mul_add(slope, magnitude, bias, out_fmt=self.config.io_fmt)
+        # Output clamp to the function's range: near saturation the
+        # quantised PWL line can overshoot by an LSB, and sigma must reach
+        # *exactly* 1 so the exponential path's decrementor sees [1, 2]
+        # ("the value of sigma will saturate to 1", Section III).
+        unit_raw = np.int64(1) << self.config.io_fmt.fb
+        low = np.int64(0) if mode is FunctionMode.SIGMOID else -unit_raw
+        return FxArray(np.clip(out.raw, low, unit_raw), self.config.io_fmt)
+
+    # ------------------------------------------------------------------
+    # e^x via Eq. 14
+    # ------------------------------------------------------------------
+    def exponential(self, x: FxArray) -> FxArray:
+        """``e^x`` for ``x <= 0`` (the softmax-normalised domain).
+
+        The decrementor's operand interval and the Eq. 16 error bound both
+        assume non-positive inputs, so positive ones are rejected — the
+        paper's method "is predicated on a known range of input x".
+        """
+        if np.any(x.raw > 0):
+            raise RangeError(
+                "the exponential path is specified for x <= 0; normalise "
+                "inputs by their maximum first (Eq. 13)"
+            )
+        sig = self.activation(ops.neg(x), FunctionMode.SIGMOID)
+        sigma_prime = self.divider.reciprocal(sig)  # 1/sigma(-x) in [1, 2]
+        e_raw = fig3b_decrement(sigma_prime.raw, sigma_prime.fmt.fb)
+        e = FxArray.from_raw(e_raw, sigma_prime.fmt, overflow=Overflow.SATURATE)
+        return ops.resize(e, self.config.io_fmt)
+
+    # ------------------------------------------------------------------
+    # softmax via Eq. 13
+    # ------------------------------------------------------------------
+    def softmax(self, x: FxArray) -> FxArray:
+        """Softmax of a vector, max-normalised as in Eq. 13."""
+        if x.raw.ndim != 1 or x.raw.size == 0:
+            raise RangeError("softmax expects a non-empty 1-D vector")
+        x_max = np.max(x.raw)
+        shifted = FxArray.from_raw(
+            x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
+        )
+        exps = self.exponential(shifted)
+        self.mac.reset()
+        denominator = self.mac.accumulate_sum(exps)
+        denom = FxArray(
+            np.broadcast_to(denominator.raw, exps.raw.shape).copy(),
+            denominator.fmt,
+        )
+        probabilities = self.divider.divide(exps, denom)
+        return ops.resize(probabilities, self.config.io_fmt)
+
+    # ------------------------------------------------------------------
+    # Cycle accounting
+    # ------------------------------------------------------------------
+    def latency(self, mode: FunctionMode) -> int:
+        """Cycles from input to first result (Table I: 3 / 3 / 8)."""
+        return self.config.latency(mode)
+
+    def pipelined_cycles(self, mode: FunctionMode, n: int) -> int:
+        """Cycles for ``n`` back-to-back evaluations of one function."""
+        return self.latency(mode) + max(0, n - 1)
+
+    @property
+    def exp_pipeline_fill(self) -> int:
+        """Cycles to fill the whole exponential pipeline.
+
+        sigma stage (3) + divider stages + decrementor (1) + I/O registers
+        (2): 24 cycles for the 16-bit unit — the 90 ns at 3.75 ns that
+        Section VII.C reports, with one new result per cycle after that.
+        """
+        return (
+            self.latency(FunctionMode.SIGMOID) + self.divider.fill_latency + 1 + 2
+        )
+
+    def softmax_cycles(self, n: int) -> int:
+        """Cycle model for an ``n``-input softmax.
+
+        Max scan (n), exponential pass (pipeline fill + n results),
+        denominator accumulation overlapping the exponential pass
+        (+1 drain), then a second pipelined division pass (fill + n).
+        """
+        exp_pass = self.exp_pipeline_fill + n - 1
+        divide_pass = self.divider.fill_latency + n - 1
+        return n + exp_pass + 1 + divide_pass

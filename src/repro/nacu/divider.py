@@ -1,0 +1,86 @@
+"""Bit-accurate restoring divider with a pipeline latency model.
+
+The area of NACU is dominated by a pipelined divider (Section VII); it is
+shared by the exponential and softmax paths. This model performs genuine
+shift-subtract restoring division one quotient bit per "stage", so its
+result is exactly the magnitude-truncated quotient hardware produces —
+``tests/nacu/test_divider.py`` proves it bit-identical to the arithmetic
+reference ``ops.divide(..., rounding=FLOOR)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.fixedpoint import FxArray, Overflow, QFormat
+from repro.fixedpoint.rounding import apply_overflow
+
+
+class RestoringDivider:
+    """A divider producing quotients in ``out_fmt``.
+
+    Parameters
+    ----------
+    out_fmt:
+        Quotient format. The restoring loop generates exactly
+        ``out_fmt.ib + out_fmt.fb`` magnitude bits.
+    stages:
+        Pipeline depth; defaults to one stage per quotient bit plus
+        an input-prepare and an output stage. Only affects the latency
+        accounting, never the arithmetic.
+    """
+
+    def __init__(self, out_fmt: QFormat, stages: Optional[int] = None):
+        self.out_fmt = out_fmt
+        self.quotient_bits = out_fmt.ib + out_fmt.fb
+        self.stages = stages if stages is not None else self.quotient_bits + 2
+
+    @property
+    def fill_latency(self) -> int:
+        """Cycles until the first quotient emerges (pipeline fill)."""
+        return self.stages
+
+    def throughput_cycles(self, n: int) -> int:
+        """Cycles to produce ``n`` quotients back to back."""
+        return self.stages + max(0, n - 1)
+
+    def divide(self, num: FxArray, den: FxArray) -> FxArray:
+        """``num / den`` by restoring long division on the magnitudes."""
+        if np.any(den.raw == 0):
+            raise ZeroDivisionError("restoring divider: divisor is zero")
+        sign = np.sign(num.raw) * np.sign(den.raw)
+        # Align so the quotient's LSB weight is 2^-fb_out:
+        #   q = (num / den) * 2^fb_out = (num_raw << shift) / den_raw
+        shift = self.out_fmt.fb - num.fmt.fb + den.fmt.fb
+        if shift < 0:
+            raise FormatError(
+                f"quotient format {self.out_fmt} too coarse for "
+                f"{num.fmt} / {den.fmt}"
+            )
+        if shift + num.fmt.n_bits + self.quotient_bits > 62:
+            raise FormatError("divider operand widths would overflow int64")
+        dividend = np.abs(num.raw).astype(np.int64) << shift
+        divisor = np.abs(den.raw).astype(np.int64)
+
+        total_bits = int(np.max(dividend, initial=0)).bit_length()
+        remainder = np.zeros_like(dividend)
+        quotient = np.zeros_like(dividend)
+        for bit_index in range(total_bits - 1, -1, -1):
+            # One restoring stage: shift in the next dividend bit, try the
+            # subtraction, keep it if it does not underflow.
+            remainder = (remainder << 1) | ((dividend >> bit_index) & 1)
+            fits = remainder >= divisor
+            remainder = np.where(fits, remainder - divisor, remainder)
+            quotient = (quotient << 1) | fits.astype(np.int64)
+        raw = apply_overflow(sign * quotient, self.out_fmt, Overflow.SATURATE)
+        return FxArray(raw, self.out_fmt)
+
+    def reciprocal(self, den: FxArray) -> FxArray:
+        """``1 / den`` — the hard-wired-dividend configuration of Fig. 2."""
+        one_fmt = QFormat(1, den.fmt.fb, signed=den.fmt.signed)
+        one = FxArray.from_raw(np.int64(1) << den.fmt.fb, one_fmt)
+        ones = FxArray(np.broadcast_to(one.raw, den.raw.shape).copy(), one_fmt)
+        return self.divide(ones, den)

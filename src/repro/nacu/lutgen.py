@@ -1,0 +1,106 @@
+"""Generation of the sigmoid PWL coefficient LUT (Section V.A).
+
+Each LUT entry holds the minimax line of one uniform segment of the
+*positive* sigmoid range: the slope ``m1`` and the bias ``q`` of Eq. 8.
+Only the positive range is stored — the centrosymmetry of Eq. 4 halves the
+LUT, and Section V.A's rewiring units derive the other three coefficient
+sets (negative sigma, both tanh ranges) from the same words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.minimax import fit_linear
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.rounding import quantize_float
+from repro.funcs import sigmoid
+from repro.nacu.config import NacuConfig
+
+
+@dataclass(frozen=True)
+class CoefficientLUT:
+    """The stored coefficient table: raw slope and bias words per segment.
+
+    ``slope_raw[i]`` / ``bias_raw[i]`` are the LUT words of segment ``i``;
+    the segment for an input magnitude ``u`` is ``floor(u / step)``,
+    clamped to the last entry (address saturation).
+    """
+
+    slope_raw: np.ndarray
+    bias_raw: np.ndarray
+    slope_fmt: QFormat
+    bias_fmt: QFormat
+    x_range: float
+
+    def __post_init__(self) -> None:
+        if self.slope_raw.shape != self.bias_raw.shape:
+            raise ConfigError("slope and bias tables must have equal length")
+
+    @property
+    def n_entries(self) -> int:
+        """Number of PWL segments stored."""
+        return len(self.slope_raw)
+
+    @property
+    def step(self) -> float:
+        """Uniform segment width."""
+        return self.x_range / self.n_entries
+
+    @property
+    def storage_bits(self) -> int:
+        """Total LUT storage: one slope and one bias word per entry."""
+        return self.n_entries * (self.slope_fmt.n_bits + self.bias_fmt.n_bits)
+
+    def index_for(self, magnitude: np.ndarray, magnitude_fb: int) -> np.ndarray:
+        """Segment index for raw input magnitudes (``fb`` fractional bits).
+
+        Models the address generator: a multiply by the reciprocal step
+        and a clamp of the address into the table.
+        """
+        value = np.asarray(magnitude, dtype=np.float64) * 2.0 ** -magnitude_fb
+        idx = np.floor(value / self.step).astype(np.int64)
+        return np.clip(idx, 0, self.n_entries - 1)
+
+    def lookup(self, magnitude: np.ndarray, magnitude_fb: int):
+        """Fetch ``(slope_raw, bias_raw)`` words for input magnitudes."""
+        idx = self.index_for(magnitude, magnitude_fb)
+        return self.slope_raw[idx], self.bias_raw[idx]
+
+
+def build_sigmoid_lut(config: NacuConfig) -> CoefficientLUT:
+    """Fit and quantise the sigmoid coefficient LUT for a configuration.
+
+    Minimax lines are fitted per uniform segment on [0, lut_range) and the
+    coefficients are rounded to the LUT word formats. For the sigmoid on
+    the positive range, slopes land in (0, 0.25] and biases in [0.5, 1) —
+    the ranges Section V.A's bias units rely on; both are asserted here so
+    a bad configuration fails at build time, not in the datapath.
+    """
+    edges = np.linspace(0.0, config.lut_range, config.lut_entries + 1)
+    slopes, biases = [], []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        fit = fit_linear(sigmoid, float(lo), float(hi))
+        slopes.append(fit.slope)
+        biases.append(fit.intercept)
+    slope_raw = quantize_float(np.array(slopes), config.slope_fmt)
+    bias_raw = quantize_float(np.array(biases), config.bias_fmt)
+
+    bias_values = bias_raw.astype(np.float64) * config.bias_fmt.resolution
+    if np.any(bias_values < 0.5) or np.any(bias_values > 1.0):
+        raise ConfigError(
+            "sigmoid PWL biases left [0.5, 1]; the Fig. 3 rewiring units "
+            "are only specified on that interval"
+        )
+    if np.any(slope_raw < 0):
+        raise ConfigError("sigmoid PWL slopes must be non-negative")
+    return CoefficientLUT(
+        slope_raw=slope_raw,
+        bias_raw=bias_raw,
+        slope_fmt=config.slope_fmt,
+        bias_fmt=config.bias_fmt,
+        x_range=config.lut_range,
+    )

@@ -1,0 +1,84 @@
+"""The multiply-and-add / MAC stage (top-right of Fig. 2).
+
+One multiplier and one adder with an accumulator feedback path. It serves
+three roles (Section V.B): evaluating the PWL line ``slope*|x| + bias``,
+accumulating convolution sums before the non-linearity, and summing the
+softmax normalisation denominator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, ops
+
+
+class MacUnit:
+    """A multiply-accumulate unit with an explicit accumulator register."""
+
+    def __init__(
+        self,
+        acc_fmt: QFormat,
+        rounding: Rounding = Rounding.NEAREST_EVEN,
+        overflow: Overflow = Overflow.SATURATE,
+    ):
+        self.acc_fmt = acc_fmt
+        self.rounding = rounding
+        self.overflow = overflow
+        self._acc: Optional[FxArray] = None
+
+    # ------------------------------------------------------------------
+    # Combinational use: one multiply-add, no state
+    # ------------------------------------------------------------------
+    def mul_add(
+        self, a: FxArray, b: FxArray, c: FxArray, out_fmt: QFormat
+    ) -> FxArray:
+        """``a*b + c`` with the addend joining at full product precision."""
+        return ops.mul_add(
+            a, b, c, out_fmt=out_fmt, rounding=self.rounding, overflow=self.overflow
+        )
+
+    # ------------------------------------------------------------------
+    # Accumulator use
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> FxArray:
+        """Current accumulator contents."""
+        if self._acc is None:
+            raise ConfigError("MAC accumulator read before reset()")
+        return self._acc
+
+    def reset(self, shape=()) -> None:
+        """Clear the accumulator (per output element for array shapes)."""
+        self._acc = FxArray.zeros(shape, self.acc_fmt)
+
+    def accumulate(self, a: FxArray, b: FxArray) -> FxArray:
+        """One MAC step: ``acc += a * b``; returns the new accumulator."""
+        if self._acc is None:
+            raise ConfigError("MAC accumulate before reset()")
+        self._acc = ops.mul_add(
+            a,
+            b,
+            self._acc,
+            out_fmt=self.acc_fmt,
+            rounding=self.rounding,
+            overflow=self.overflow,
+        )
+        return self._acc
+
+    def accumulate_sum(self, values: FxArray) -> FxArray:
+        """Fold a vector into the scalar accumulator element by element.
+
+        Models the sequential ``sum_j e^(x_j - x_max)`` accumulation of the
+        softmax denominator (Eq. 13), including the intermediate rounding
+        and saturation each hardware step applies.
+        """
+        one = FxArray.from_raw(1 << values.fmt.fb, QFormat(1, values.fmt.fb))
+        flat = values.raw.ravel()
+        for raw in flat:
+            element = FxArray(np.asarray(raw), values.fmt)
+            self.accumulate(element, one)
+        return self.value

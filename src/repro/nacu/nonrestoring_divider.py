@@ -1,0 +1,109 @@
+"""Non-restoring divider: the other classic array-divider organisation.
+
+A restoring stage needs a subtract *and* a restore mux; a non-restoring
+stage always adds or subtracts (by the sign of the running remainder) and
+fixes the quotient encoding at the end, which shortens the stage's
+critical path. Both produce the identical magnitude-truncated quotient —
+``tests/nacu/test_nonrestoring.py`` proves this model bit-equal to
+:class:`~repro.nacu.divider.RestoringDivider` over random operands —
+so the choice is purely a timing/area one; the cost comparison lives in
+:func:`nonrestoring_stage_advantage`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.fixedpoint import FxArray, Overflow, QFormat
+from repro.fixedpoint.rounding import apply_overflow
+from repro.hwcost.components import adder_cost, mux_cost, register_cost
+from repro.hwcost.gates import GateCounts
+
+
+class NonRestoringDivider:
+    """Drop-in for :class:`RestoringDivider` with non-restoring stages."""
+
+    def __init__(self, out_fmt: QFormat, stages: Optional[int] = None):
+        self.out_fmt = out_fmt
+        self.quotient_bits = out_fmt.ib + out_fmt.fb
+        self.stages = stages if stages is not None else self.quotient_bits + 2
+
+    @property
+    def fill_latency(self) -> int:
+        """Cycles until the first quotient emerges."""
+        return self.stages
+
+    def throughput_cycles(self, n: int) -> int:
+        """Cycles to produce ``n`` quotients back to back."""
+        return self.stages + max(0, n - 1)
+
+    def divide(self, num: FxArray, den: FxArray) -> FxArray:
+        """``num / den`` by non-restoring division on the magnitudes."""
+        if np.any(den.raw == 0):
+            raise ZeroDivisionError("non-restoring divider: divisor is zero")
+        sign = np.sign(num.raw) * np.sign(den.raw)
+        shift = self.out_fmt.fb - num.fmt.fb + den.fmt.fb
+        if shift < 0:
+            raise FormatError(
+                f"quotient format {self.out_fmt} too coarse for "
+                f"{num.fmt} / {den.fmt}"
+            )
+        if shift + num.fmt.n_bits + self.quotient_bits > 62:
+            raise FormatError("divider operand widths would overflow int64")
+        dividend = np.abs(num.raw).astype(np.int64) << shift
+        divisor = np.abs(den.raw).astype(np.int64)
+
+        total_bits = int(np.max(dividend, initial=0)).bit_length()
+        remainder = np.zeros_like(dividend)
+        # Quotient digits in {-1, +1}, recorded as bits then converted.
+        plus_bits = np.zeros_like(dividend)
+        for bit_index in range(total_bits - 1, -1, -1):
+            shifted_in = (remainder << 1) | ((dividend >> bit_index) & 1)
+            # The digit records the operation performed, which the
+            # *incoming* remainder sign selects: subtract (+1 digit) when
+            # non-negative, add (-1 digit) when negative.
+            negative = remainder < 0
+            remainder = np.where(
+                negative, shifted_in + divisor, shifted_in - divisor
+            )
+            plus_bits = (plus_bits << 1) | (~negative).astype(np.int64)
+        # Digit set conversion: q = 2*P - (2^n - 1) with P the +1 mask...
+        # equivalently q = P - (~P); then the final correction step makes
+        # the remainder non-negative (floor semantics).
+        minus_bits = (~plus_bits) & ((np.int64(1) << total_bits) - 1)
+        quotient = plus_bits - minus_bits
+        correction = remainder < 0
+        quotient = quotient - correction.astype(np.int64)
+        raw = apply_overflow(sign * quotient, self.out_fmt, Overflow.SATURATE)
+        return FxArray(raw, self.out_fmt)
+
+    def reciprocal(self, den: FxArray) -> FxArray:
+        """``1 / den`` with the dividend hard-wired to one."""
+        one_fmt = QFormat(1, den.fmt.fb, signed=den.fmt.signed)
+        one = FxArray.from_raw(np.int64(1) << den.fmt.fb, one_fmt)
+        ones = FxArray(np.broadcast_to(one.raw, den.raw.shape).copy(), one_fmt)
+        return self.divide(ones, den)
+
+
+def nonrestoring_stage_cost(divisor_bits: int, quotient_bits: int) -> GateCounts:
+    """One non-restoring stage: add/sub (no restore mux) plus registers."""
+    addsub = adder_cost(divisor_bits + 2)  # one extra bit: signed remainder
+    registers = register_cost(2 * divisor_bits + quotient_bits + 3)
+    return addsub + registers
+
+
+def nonrestoring_stage_advantage(divisor_bits: int = 16,
+                                 quotient_bits: int = 16) -> float:
+    """Combinational-logic saving of a non-restoring stage vs restoring.
+
+    The restoring stage pays a subtractor plus a restore mux; the
+    non-restoring one only the add/sub. Registers are identical.
+    """
+    restoring = (
+        adder_cost(divisor_bits + 1) + mux_cost(2, divisor_bits + 1)
+    ).combinational
+    nonrestoring = adder_cost(divisor_bits + 2).combinational
+    return 1.0 - nonrestoring / restoring

@@ -1,0 +1,127 @@
+"""The public NACU facade.
+
+``Nacu`` is the object downstream code uses: it owns one datapath instance
+and exposes the five configurable functions. All methods accept either an
+:class:`~repro.fixedpoint.fxarray.FxArray` already in the unit's I/O
+format, or plain floats/arrays (which are quantised on the way in — the
+interface registers of a real deployment); they return values in kind.
+
+>>> from repro.nacu import Nacu
+>>> unit = Nacu.for_bits(16)
+>>> unit.sigmoid(0.0)
+0.49951171875
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.datapath import NacuDatapath
+
+InputLike = Union[FxArray, float, np.ndarray, list]
+
+
+class Nacu:
+    """One morphable non-linear arithmetic unit."""
+
+    def __init__(self, config: Optional[NacuConfig] = None, lut=None):
+        self.config = config or NacuConfig()
+        self.datapath = NacuDatapath(self.config, lut=lut)
+
+    @classmethod
+    def for_bits(cls, n_bits: int, **kwargs) -> "Nacu":
+        """A unit dimensioned by the Section III method for ``n_bits``."""
+        return cls(NacuConfig.for_bits(n_bits, **kwargs))
+
+    @property
+    def io_fmt(self) -> QFormat:
+        """The unit's input/output fixed-point format."""
+        return self.config.io_fmt
+
+    # ------------------------------------------------------------------
+    # Input/output adaptation
+    # ------------------------------------------------------------------
+    def _ingest(self, x: InputLike) -> FxArray:
+        if isinstance(x, FxArray):
+            return x
+        return FxArray.from_float(np.asarray(x, dtype=np.float64), self.io_fmt)
+
+    @staticmethod
+    def _emit(result: FxArray, like: InputLike):
+        if isinstance(like, FxArray):
+            return result
+        out = result.to_float()
+        return float(out) if np.ndim(out) == 0 else out
+
+    # ------------------------------------------------------------------
+    # The five functions
+    # ------------------------------------------------------------------
+    def sigmoid(self, x: InputLike):
+        """sigma(x) through the PWL pipeline (Eqs. 8/9)."""
+        fx = self._ingest(x)
+        return self._emit(self.datapath.activation(fx, FunctionMode.SIGMOID), x)
+
+    def tanh(self, x: InputLike):
+        """tanh(x) from the shared sigmoid LUT (Eqs. 10/11)."""
+        fx = self._ingest(x)
+        return self._emit(self.datapath.activation(fx, FunctionMode.TANH), x)
+
+    def exp(self, x: InputLike):
+        """e^x for ``x <= 0`` via Eq. 14 (sigma, divider, decrementor)."""
+        fx = self._ingest(x)
+        return self._emit(self.datapath.exponential(fx), x)
+
+    def softmax(self, x: InputLike):
+        """Max-normalised softmax (Eq. 13): a 1-D vector or 2-D batch.
+
+        For a 2-D input each row is normalised independently, the engine
+        processing rows back to back like a time-multiplexed classifier.
+        """
+        fx = self._ingest(x)
+        if fx.raw.ndim == 2:
+            rows = [self.datapath.softmax(row).raw for row in fx]
+            out = FxArray(np.stack(rows), self.io_fmt)
+            return self._emit(out, x)
+        return self._emit(self.datapath.softmax(fx), x)
+
+    def mac(self, a: InputLike, b: InputLike):
+        """One accumulate step ``acc += a*b``; see :meth:`mac_reset`."""
+        fa, fb = self._ingest(a), self._ingest(b)
+        return self._emit(self.datapath.mac.accumulate(fa, fb), a)
+
+    def mac_reset(self, shape=()) -> None:
+        """Clear the MAC accumulator before a new sum."""
+        self.datapath.mac.reset(shape)
+
+    @property
+    def mac_value(self):
+        """Current MAC accumulator as floats."""
+        value = self.datapath.mac.value.to_float()
+        return float(value) if np.ndim(value) == 0 else value
+
+    # ------------------------------------------------------------------
+    # Cost/latency view
+    # ------------------------------------------------------------------
+    def latency(self, mode: FunctionMode) -> int:
+        """Cycles to the first result of a function (Table I)."""
+        return self.datapath.latency(mode)
+
+    def cycles(self, mode: FunctionMode, n: int) -> int:
+        """Cycles for ``n`` pipelined evaluations."""
+        if mode is FunctionMode.SOFTMAX:
+            return self.datapath.softmax_cycles(n)
+        return self.datapath.pipelined_cycles(mode, n)
+
+    def runtime_ns(self, mode: FunctionMode, n: int) -> float:
+        """Wall-clock estimate at the configured clock period."""
+        return self.cycles(mode, n) * self.config.clock_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"<Nacu {self.config.n_bits}-bit io={self.io_fmt} "
+            f"lut={self.config.lut_entries} entries>"
+        )

@@ -1,0 +1,39 @@
+"""Neural-network substrate exercising NACU as its activation engine.
+
+The paper motivates NACU with CGRAs hosting "any mix of ANNs and SNNs":
+CNN/MLP layers need sigma/softmax, LSTMs need sigma and tanh in their
+gates, spiking neurons need the exponential. This package provides small
+numpy implementations of all three workload classes, trained (where
+applicable) in float and executed in fixed point with NACU supplying
+every non-linearity, so end-to-end accuracy deltas can be measured.
+"""
+
+from repro.nn.activations import ActivationProvider, FloatActivations, NacuActivations
+from repro.nn.cnn import SmallCnn
+from repro.nn.conv import QuantizedConv2d, global_average_pool, im2col, max_pool2d
+from repro.nn.datasets import make_bar_images, make_gaussian_clusters, make_sequence_sums
+from repro.nn.quantized import quantized_matmul
+from repro.nn.mlp import FixedPointMlp, Mlp
+from repro.nn.lstm import LstmCell
+from repro.nn.lstm_trainer import LstmClassifier
+from repro.nn.snn import AdExNeuron
+
+__all__ = [
+    "ActivationProvider",
+    "AdExNeuron",
+    "FixedPointMlp",
+    "FloatActivations",
+    "LstmCell",
+    "LstmClassifier",
+    "Mlp",
+    "NacuActivations",
+    "QuantizedConv2d",
+    "SmallCnn",
+    "global_average_pool",
+    "im2col",
+    "make_bar_images",
+    "make_gaussian_clusters",
+    "make_sequence_sums",
+    "max_pool2d",
+    "quantized_matmul",
+]

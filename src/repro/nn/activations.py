@@ -1,0 +1,65 @@
+"""Activation providers: float reference vs NACU-backed.
+
+Network code is written against :class:`ActivationProvider`, so swapping
+the float64 golden model for a bit-accurate NACU (or any baseline) is a
+one-line change — the same way a CGRA would re-target its non-linear slot.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.funcs import reference
+from repro.nacu.unit import Nacu
+
+
+class ActivationProvider(abc.ABC):
+    """The non-linearities a network needs, as array->array callables."""
+
+    @abc.abstractmethod
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise sigma."""
+
+    @abc.abstractmethod
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise tanh."""
+
+    @abc.abstractmethod
+    def softmax(self, x: np.ndarray) -> np.ndarray:
+        """Row-wise softmax of a 2-D array."""
+
+
+class FloatActivations(ActivationProvider):
+    """The float64 golden model."""
+
+    def sigmoid(self, x):
+        return reference.sigmoid(x)
+
+    def tanh(self, x):
+        return reference.tanh(x)
+
+    def softmax(self, x):
+        return reference.softmax_normalised(np.asarray(x, dtype=np.float64), axis=-1)
+
+
+class NacuActivations(ActivationProvider):
+    """Every non-linearity computed by one (shared, time-multiplexed) NACU."""
+
+    def __init__(self, nacu: Nacu = None):
+        self.nacu = nacu or Nacu()
+
+    def sigmoid(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return self.nacu.sigmoid(x.ravel()).reshape(x.shape)
+
+    def tanh(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return self.nacu.tanh(x.ravel()).reshape(x.shape)
+
+    def softmax(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        rows = np.atleast_2d(x)
+        out = np.stack([self.nacu.softmax(row) for row in rows])
+        return out.reshape(x.shape)

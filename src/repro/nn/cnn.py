@@ -1,0 +1,92 @@
+"""A small CNN: fixed conv front end, NACU activations, trained head.
+
+Pipeline: quantised 3x3 conv (Sobel-style fixed filter bank) -> sigma
+squashing on the activation provider -> max pooling -> global average
+pooling -> a trained dense/softmax head. Convolution weights are fixed
+feature extractors; only the head is trained (in float), then the whole
+inference path runs in fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fixedpoint import FxArray, QFormat
+from repro.nn.activations import ActivationProvider, FloatActivations
+from repro.nn.conv import (
+    QuantizedConv2d,
+    global_average_pool,
+    max_pool2d,
+    oriented_edge_filters,
+)
+from repro.nn.mlp import FixedPointMlp, Mlp
+
+
+class SmallCnn:
+    """Conv features + trained classifier head, all through one provider."""
+
+    def __init__(
+        self,
+        n_classes: int = 3,
+        provider: Optional[ActivationProvider] = None,
+        fmt: Optional[QFormat] = None,
+        head_hidden: int = 16,
+        seed: int = 0,
+    ):
+        self.fmt = fmt or QFormat(4, 11)
+        self.provider = provider or FloatActivations()
+        filters, bias = oriented_edge_filters()
+        self.conv = QuantizedConv2d(filters, bias, fmt=self.fmt)
+        self.n_features = filters.shape[-1]
+        self.head = Mlp([self.n_features, head_hidden, n_classes], seed=seed)
+        self._fixed_head: Optional[FixedPointMlp] = None
+
+    # ------------------------------------------------------------------
+    # Feature path (fixed point end to end)
+    # ------------------------------------------------------------------
+    def features(self, images: np.ndarray) -> np.ndarray:
+        """Pooled conv features of (n, h, w, 1) images in [0, 1].
+
+        The edge-magnitude response ``tanh(2*|conv|)`` (abs is wiring, the
+        doubling a shift, the squash the NACU tanh) is orientation-
+        discriminative where a signed squash would cancel to 0.5.
+        """
+        fx = FxArray.from_float(np.asarray(images, dtype=np.float64), self.fmt)
+        conv_out = self.conv.forward(fx)
+        magnitude = 2.0 * np.abs(conv_out.to_float())
+        squashed = self.provider.tanh(magnitude)
+        squashed_fx = FxArray.from_float(squashed, self.fmt)
+        pooled = max_pool2d(squashed_fx, size=2)
+        return global_average_pool(pooled).to_float()
+
+    # ------------------------------------------------------------------
+    # Training / inference
+    # ------------------------------------------------------------------
+    def fit_head(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 300,
+        learning_rate: float = 0.5,
+    ) -> float:
+        """Train the dense head on the (fixed-point) features; float SGD."""
+        feats = self.features(images)
+        loss = self.head.train(feats, labels, epochs, learning_rate)
+        self._fixed_head = FixedPointMlp(self.head, self.provider, fmt=self.fmt)
+        return loss
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Class probabilities, features and head both fixed point."""
+        if self._fixed_head is None:
+            raise RuntimeError("fit_head() before forward()")
+        return self._fixed_head.forward(self.features(images))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return np.argmax(self.forward(images), axis=-1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy in [0, 1]."""
+        return float(np.mean(self.predict(images) == np.asarray(labels)))

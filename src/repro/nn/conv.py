@@ -1,0 +1,110 @@
+"""Quantised 2-D convolution and pooling (the CNN workload).
+
+The introduction motivates NACU with CGRAs that "morph into different ANN
+topologies like CNN or LSTM". Convolutions on such fabrics are MAC loops
+— exactly :func:`repro.nn.quantized.quantized_matmul` over im2col patches
+— followed by the NACU non-linearity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nn.quantized import quantized_matmul
+
+
+def im2col(images: np.ndarray, kernel: int, stride: int = 1) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches: (batch, h, w, c) -> (batch*oh*ow, k*k*c).
+
+    Returns the patch matrix plus the output spatial dimensions.
+    """
+    if images.ndim != 4:
+        raise ConfigError("im2col expects (batch, height, width, channels)")
+    batch, height, width, channels = images.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ConfigError("kernel larger than the image")
+    patches = np.empty((batch, out_h, out_w, kernel * kernel * channels),
+                       dtype=images.dtype)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = images[
+                :, i * stride: i * stride + kernel,
+                j * stride: j * stride + kernel, :,
+            ]
+            patches[:, i, j, :] = window.reshape(batch, -1)
+    return patches.reshape(batch * out_h * out_w, -1), out_h, out_w
+
+
+class QuantizedConv2d:
+    """A conv layer computed with exact-integer MAC accumulation."""
+
+    def __init__(self, filters: np.ndarray, bias: np.ndarray,
+                 fmt: QFormat = None, stride: int = 1):
+        # filters: (kernel, kernel, in_channels, out_channels)
+        if filters.ndim != 4 or filters.shape[0] != filters.shape[1]:
+            raise ConfigError("filters must be (k, k, c_in, c_out)")
+        self.fmt = fmt or QFormat(4, 11)
+        self.kernel = filters.shape[0]
+        self.out_channels = filters.shape[3]
+        self.stride = stride
+        flat = filters.reshape(-1, self.out_channels)
+        self.weights = FxArray.from_float(flat, self.fmt)
+        self.bias = FxArray.from_float(np.asarray(bias, dtype=np.float64), self.fmt)
+
+    def forward(self, images: FxArray) -> FxArray:
+        """(batch, h, w, c_in) -> (batch, oh, ow, c_out), fixed point."""
+        raw_images = images.raw
+        batch = raw_images.shape[0]
+        patches, out_h, out_w = im2col(raw_images, self.kernel, self.stride)
+        patch_fx = FxArray(patches, images.fmt)
+        z = quantized_matmul(patch_fx, self.weights, self.fmt)
+        z = FxArray.from_float(
+            z.to_float() + self.bias.to_float(), self.fmt
+        )
+        return FxArray(
+            z.raw.reshape(batch, out_h, out_w, self.out_channels), self.fmt
+        )
+
+
+def max_pool2d(x: FxArray, size: int = 2) -> FxArray:
+    """Non-overlapping max pooling — exact in fixed point (integer max)."""
+    raw = x.raw
+    if raw.ndim != 4:
+        raise ConfigError("max_pool2d expects (batch, height, width, channels)")
+    batch, height, width, channels = raw.shape
+    out_h, out_w = height // size, width // size
+    trimmed = raw[:, : out_h * size, : out_w * size, :]
+    blocks = trimmed.reshape(batch, out_h, size, out_w, size, channels)
+    return FxArray(blocks.max(axis=(2, 4)), x.fmt)
+
+
+def global_average_pool(x: FxArray) -> FxArray:
+    """Spatial mean per channel (rounded once, like a MAC + shift)."""
+    raw = x.raw
+    batch, height, width, channels = raw.shape
+    total = raw.reshape(batch, -1, channels).sum(axis=1)
+    count = height * width
+    averaged = np.round(total / count).astype(np.int64)
+    return FxArray(averaged, x.fmt)
+
+
+def oriented_edge_filters(fmt: QFormat = None) -> Tuple[np.ndarray, np.ndarray]:
+    """A fixed 3x3 filter bank: horizontal/vertical/diagonal edges + blur.
+
+    Hand-designed feature extractors (Sobel-style), standing in for a
+    trained convolutional front end — the dense head on top is trained.
+    """
+    sobel_h = np.array([[1, 2, 1], [0, 0, 0], [-1, -2, -1]], dtype=np.float64) / 4
+    sobel_v = sobel_h.T
+    diag = np.array([[2, 1, 0], [1, 0, -1], [0, -1, -2]], dtype=np.float64) / 4
+    blur = np.ones((3, 3)) / 9.0
+    bank = np.stack([sobel_h, sobel_v, diag, blur], axis=-1)  # (3,3,4)
+    filters = bank[:, :, np.newaxis, :]  # single input channel
+    bias = np.zeros(4)
+    return filters, bias

@@ -1,0 +1,107 @@
+"""Synthetic datasets for the example workloads.
+
+No network access is available, so the MNIST-class workloads the paper
+implies are replaced by synthetic ones: a Gaussian-cluster classification
+problem for the MLP/softmax pipeline and a sequence-sum task for the
+LSTM. Both are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def make_gaussian_clusters(
+    n_classes: int = 4,
+    n_features: int = 16,
+    n_per_class: int = 200,
+    spread: float = 1.2,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Spherical Gaussian clusters with unit-separated random centres.
+
+    Returns ``(features, labels)`` with features roughly in [-4, 4] so
+    they sit inside NACU's Q4.11 input range without rescaling.
+    """
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(-2.5, 2.5, size=(n_classes, n_features))
+    features = []
+    labels = []
+    for cls, centre in enumerate(centres):
+        points = centre + rng.normal(scale=spread / 2.0, size=(n_per_class, n_features))
+        features.append(points)
+        labels.append(np.full(n_per_class, cls))
+    x = np.clip(np.concatenate(features), -4.0, 4.0)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+def make_sequence_sums(
+    n_sequences: int = 256,
+    length: int = 12,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sequences of small reals, labelled 1 when their sum is positive.
+
+    A task an LSTM cell solves by integrating its input — exercising the
+    gate sigmoids and cell tanh over many timesteps.
+    """
+    rng = np.random.default_rng(seed)
+    sequences = rng.uniform(-1.0, 1.0, size=(n_sequences, length, 1))
+    labels = (np.sum(sequences, axis=(1, 2)) > 0).astype(np.int64)
+    return sequences, labels
+
+
+def make_bar_images(
+    n_per_class: int = 100,
+    size: int = 12,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tiny images of horizontal / vertical / diagonal bars (3 classes).
+
+    The CNN workload's stand-in dataset: orientation is exactly what the
+    fixed Sobel-style filter bank separates, so a trained dense head on
+    pooled conv features classifies it well. Pixels lie in [0, 1].
+    Returns ``(images, labels)`` with images shaped (n, size, size, 1).
+    """
+    rng = np.random.default_rng(seed)
+    images, labels = [], []
+    for cls in range(3):
+        for _ in range(n_per_class):
+            canvas = np.zeros((size, size))
+            position = rng.integers(2, size - 2)
+            if cls == 0:  # horizontal bar
+                canvas[position, :] = 1.0
+            elif cls == 1:  # vertical bar
+                canvas[:, position] = 1.0
+            else:  # main-diagonal bar with a random offset
+                offset = rng.integers(-(size // 3), size // 3 + 1)
+                idx = np.arange(size)
+                rows = np.clip(idx + offset, 0, size - 1)
+                canvas[rows, idx] = 1.0
+            canvas += rng.normal(scale=noise, size=canvas.shape)
+            images.append(np.clip(canvas, 0.0, 1.0))
+            labels.append(cls)
+    images_arr = np.stack(images)[..., np.newaxis]
+    labels_arr = np.array(labels)
+    order = rng.permutation(len(labels_arr))
+    return images_arr[order], labels_arr[order]
+
+
+def make_step_currents(
+    n_steps: int = 2000,
+    levels=(0.0, 0.5, 1.0, 1.5),
+    seed: int = 0,
+) -> np.ndarray:
+    """A piecewise-constant input current trace for the spiking neuron."""
+    rng = np.random.default_rng(seed)
+    segment = n_steps // len(levels)
+    current = np.concatenate(
+        [np.full(segment, level) for level in levels]
+        + [np.full(n_steps - segment * len(levels), levels[-1])]
+    )
+    return current + rng.normal(scale=0.01, size=n_steps)

@@ -1,0 +1,69 @@
+"""An LSTM cell whose gates run through the activation provider.
+
+LSTMs are the paper's second headline workload: every timestep needs
+three sigmoids and two tanhs, which a morphable unit serves from the same
+hardware by switching configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.activations import ActivationProvider, FloatActivations
+
+
+class LstmCell:
+    """A single-layer LSTM cell with standard gate equations.
+
+    Weight layout: ``w_x`` maps inputs and ``w_h`` maps the previous
+    hidden state onto the concatenated ``[input, forget, cell, output]``
+    gate pre-activations.
+    """
+
+    def __init__(self, n_inputs: int, n_hidden: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(n_inputs + n_hidden)
+        self.n_inputs = n_inputs
+        self.n_hidden = n_hidden
+        self.w_x = rng.normal(scale=scale, size=(n_inputs, 4 * n_hidden))
+        self.w_h = rng.normal(scale=scale, size=(n_hidden, 4 * n_hidden))
+        self.bias = np.zeros(4 * n_hidden)
+        # Standard trick: positive forget-gate bias to remember by default.
+        self.bias[n_hidden:2 * n_hidden] = 1.0
+
+    def step(
+        self,
+        x: np.ndarray,
+        state: Tuple[np.ndarray, np.ndarray],
+        provider: ActivationProvider = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One timestep; returns the new ``(hidden, cell)`` state."""
+        provider = provider or FloatActivations()
+        hidden, cell = state
+        gates = x @ self.w_x + hidden @ self.w_h + self.bias
+        n = self.n_hidden
+        i_gate = provider.sigmoid(gates[..., 0:n])
+        f_gate = provider.sigmoid(gates[..., n:2 * n])
+        g_cell = provider.tanh(gates[..., 2 * n:3 * n])
+        o_gate = provider.sigmoid(gates[..., 3 * n:4 * n])
+        new_cell = f_gate * cell + i_gate * g_cell
+        new_hidden = o_gate * provider.tanh(new_cell)
+        return new_hidden, new_cell
+
+    def initial_state(self, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero hidden and cell states."""
+        return np.zeros((batch, self.n_hidden)), np.zeros((batch, self.n_hidden))
+
+    def run(
+        self,
+        sequences: np.ndarray,
+        provider: ActivationProvider = None,
+    ) -> np.ndarray:
+        """Run full sequences ``(batch, time, features)``; final hidden."""
+        sequences = np.asarray(sequences, dtype=np.float64)
+        state = self.initial_state(sequences.shape[0])
+        for t in range(sequences.shape[1]):
+            state = self.step(sequences[:, t, :], state, provider)
+        return state[0]

@@ -1,0 +1,117 @@
+"""Training for the LSTM workload: BPTT on a binary sequence task.
+
+Completes the LSTM story the same way the MLP's is told: train in
+float64, deploy through NACU. The classifier is an
+:class:`~repro.nn.lstm.LstmCell` plus a logistic readout on the final
+hidden state, trained with full backpropagation through time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.funcs import reference
+from repro.nn.activations import ActivationProvider, FloatActivations
+from repro.nn.lstm import LstmCell
+
+
+class LstmClassifier:
+    """Binary sequence classifier: LSTM cell + logistic readout."""
+
+    def __init__(self, n_inputs: int = 1, n_hidden: int = 8, seed: int = 0):
+        self.cell = LstmCell(n_inputs, n_hidden, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        self.readout_w = rng.normal(scale=1.0 / np.sqrt(n_hidden), size=n_hidden)
+        self.readout_b = 0.0
+
+    # ------------------------------------------------------------------
+    # Inference (provider-swappable)
+    # ------------------------------------------------------------------
+    def scores(self, sequences: np.ndarray,
+               provider: Optional[ActivationProvider] = None) -> np.ndarray:
+        """Pre-sigmoid readout scores for a batch of sequences."""
+        hidden = self.cell.run(sequences, provider or FloatActivations())
+        return hidden @ self.readout_w + self.readout_b
+
+    def predict(self, sequences: np.ndarray,
+                provider: Optional[ActivationProvider] = None) -> np.ndarray:
+        """Predicted labels in {0, 1}."""
+        return (self.scores(sequences, provider) > 0).astype(np.int64)
+
+    def accuracy(self, sequences: np.ndarray, labels: np.ndarray,
+                 provider: Optional[ActivationProvider] = None) -> float:
+        """Classification accuracy in [0, 1]."""
+        return float(np.mean(self.predict(sequences, provider) == labels))
+
+    # ------------------------------------------------------------------
+    # Training (float64 BPTT)
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        sequences: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 60,
+        learning_rate: float = 0.5,
+    ) -> float:
+        """Full-batch BPTT with binary cross-entropy; returns final loss."""
+        sequences = np.asarray(sequences, dtype=np.float64)
+        targets = np.asarray(labels, dtype=np.float64)
+        batch, length, _ = sequences.shape
+        n = self.cell.n_hidden
+        loss = float("nan")
+        for _ in range(epochs):
+            # ---- forward, caching per-step tensors -----------------------
+            h = np.zeros((batch, n))
+            c = np.zeros((batch, n))
+            cache = []
+            for t in range(length):
+                x_t = sequences[:, t, :]
+                z = x_t @ self.cell.w_x + h @ self.cell.w_h + self.cell.bias
+                i = reference.sigmoid(z[:, 0:n])
+                f = reference.sigmoid(z[:, n:2 * n])
+                g = reference.tanh(z[:, 2 * n:3 * n])
+                o = reference.sigmoid(z[:, 3 * n:4 * n])
+                c_new = f * c + i * g
+                tanh_c = reference.tanh(c_new)
+                h_new = o * tanh_c
+                cache.append((x_t, h, c, i, f, g, o, c_new, tanh_c))
+                h, c = h_new, c_new
+            score = h @ self.readout_w + self.readout_b
+            prob = reference.sigmoid(score)
+            loss = float(
+                -np.mean(
+                    targets * np.log(prob + 1e-12)
+                    + (1 - targets) * np.log(1 - prob + 1e-12)
+                )
+            )
+            # ---- backward ------------------------------------------------
+            d_score = (prob - targets) / batch
+            grad_rw = h.T @ d_score
+            grad_rb = float(np.sum(d_score))
+            dh = np.outer(d_score, self.readout_w)
+            dc = np.zeros_like(dh)
+            grad_wx = np.zeros_like(self.cell.w_x)
+            grad_wh = np.zeros_like(self.cell.w_h)
+            grad_b = np.zeros_like(self.cell.bias)
+            for t in range(length - 1, -1, -1):
+                x_t, h_prev, c_prev, i, f, g, o, c_new, tanh_c = cache[t]
+                dc = dc + dh * o * (1.0 - tanh_c ** 2)
+                d_o = dh * tanh_c * o * (1 - o)
+                d_i = dc * g * i * (1 - i)
+                d_f = dc * c_prev * f * (1 - f)
+                d_g = dc * i * (1 - g ** 2)
+                dz = np.concatenate([d_i, d_f, d_g, d_o], axis=1)
+                grad_wx += x_t.T @ dz
+                grad_wh += h_prev.T @ dz
+                grad_b += dz.sum(axis=0)
+                dh = dz @ self.cell.w_h.T
+                dc = dc * f
+            # ---- update ---------------------------------------------------
+            self.cell.w_x -= learning_rate * grad_wx
+            self.cell.w_h -= learning_rate * grad_wh
+            self.cell.bias -= learning_rate * grad_b
+            self.readout_w -= learning_rate * grad_rw
+            self.readout_b -= learning_rate * grad_rb
+        return loss

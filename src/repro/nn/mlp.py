@@ -1,0 +1,150 @@
+"""A small MLP: trained in float, deployed through NACU in fixed point.
+
+This is the paper's headline workload shape: dense layers accumulated on
+MAC hardware, a sigma/tanh non-linearity per hidden layer, and a softmax
+classifier at the end (Section IV.B: "Most DNNs classify the input in the
+last layer based on the softmax function").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.funcs import reference
+from repro.nn.activations import ActivationProvider, FloatActivations
+from repro.nn.quantized import quantize_parameters, quantized_matmul
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Label indices to one-hot rows."""
+    out = np.zeros((len(labels), n_classes))
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+class Mlp:
+    """Fully-connected network with sigma or tanh hidden layers."""
+
+    def __init__(self, layer_sizes: Sequence[int], hidden: str = "sigmoid", seed: int = 0):
+        if len(layer_sizes) < 2:
+            raise ConfigError("an MLP needs at least input and output sizes")
+        if hidden not in ("sigmoid", "tanh"):
+            raise ConfigError(f"unsupported hidden activation {hidden!r}")
+        self.layer_sizes = list(layer_sizes)
+        self.hidden = hidden
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(rng.normal(scale=scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # ------------------------------------------------------------------
+    # Float forward/training
+    # ------------------------------------------------------------------
+    def _activate(self, z: np.ndarray, provider: ActivationProvider) -> np.ndarray:
+        return provider.sigmoid(z) if self.hidden == "sigmoid" else provider.tanh(z)
+
+    def _activate_grad(self, a: np.ndarray) -> np.ndarray:
+        return a * (1.0 - a) if self.hidden == "sigmoid" else 1.0 - a ** 2
+
+    def forward(self, x: np.ndarray, provider: ActivationProvider = None) -> np.ndarray:
+        """Class probabilities for a batch of rows."""
+        provider = provider or FloatActivations()
+        a = np.asarray(x, dtype=np.float64)
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            a = self._activate(a @ w + b, provider)
+        logits = a @ self.weights[-1] + self.biases[-1]
+        return provider.softmax(logits)
+
+    def train(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 200,
+        learning_rate: float = 0.5,
+    ) -> float:
+        """Full-batch softmax cross-entropy SGD; returns final loss."""
+        x = np.asarray(x, dtype=np.float64)
+        targets = one_hot(labels, self.layer_sizes[-1])
+        loss = float("nan")
+        for _ in range(epochs):
+            # Forward, keeping the per-layer activations for backprop.
+            activations = [x]
+            for w, b in zip(self.weights[:-1], self.biases[:-1]):
+                activations.append(
+                    reference.sigmoid(activations[-1] @ w + b)
+                    if self.hidden == "sigmoid"
+                    else reference.tanh(activations[-1] @ w + b)
+                )
+            logits = activations[-1] @ self.weights[-1] + self.biases[-1]
+            probs = reference.softmax_normalised(logits, axis=-1)
+            loss = float(
+                -np.mean(np.sum(targets * np.log(probs + 1e-12), axis=1))
+            )
+            # Backward.
+            delta = (probs - targets) / len(x)
+            for layer in range(len(self.weights) - 1, -1, -1):
+                a_prev = activations[layer]
+                self.weights[layer] -= learning_rate * (a_prev.T @ delta)
+                self.biases[layer] -= learning_rate * np.sum(delta, axis=0)
+                if layer > 0:
+                    delta = (delta @ self.weights[layer].T) * self._activate_grad(
+                        activations[layer]
+                    )
+        return loss
+
+    def predict(self, x: np.ndarray, provider: ActivationProvider = None) -> np.ndarray:
+        """Predicted class indices."""
+        return np.argmax(self.forward(x, provider), axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray,
+                 provider: ActivationProvider = None) -> float:
+        """Classification accuracy in [0, 1]."""
+        return float(np.mean(self.predict(x, provider) == np.asarray(labels)))
+
+
+class FixedPointMlp:
+    """The trained MLP deployed on fixed-point MACs + a NACU.
+
+    Weights/biases are quantised to the NACU I/O format; every matmul
+    accumulates exactly in integers and rounds once (the MAC mode);
+    every non-linearity goes through the provided activation hardware.
+    """
+
+    def __init__(self, mlp: Mlp, provider: ActivationProvider, fmt: QFormat = None):
+        self.mlp = mlp
+        self.provider = provider
+        self.fmt = fmt or QFormat(4, 11)
+        self.weights = quantize_parameters(mlp.weights, self.fmt)
+        self.biases = quantize_parameters(mlp.biases, self.fmt)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities, computed end-to-end in fixed point."""
+        a = FxArray.from_float(np.asarray(x, dtype=np.float64), self.fmt)
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = quantized_matmul(a, w, self.fmt)
+            z = FxArray.from_float(z.to_float() + b.to_float(), self.fmt)
+            if index < len(self.weights) - 1:
+                hidden = (
+                    self.provider.sigmoid(z.to_float())
+                    if self.mlp.hidden == "sigmoid"
+                    else self.provider.tanh(z.to_float())
+                )
+                a = FxArray.from_float(hidden, self.fmt)
+            else:
+                return self.provider.softmax(z.to_float())
+        raise ConfigError("unreachable: MLP must have at least one layer")
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy in [0, 1]."""
+        return float(np.mean(self.predict(x) == np.asarray(labels)))

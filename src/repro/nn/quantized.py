@@ -1,0 +1,32 @@
+"""Quantised linear algebra for fixed-point inference.
+
+The MAC side of NACU (and of the CGRA fabric around it) accumulates
+convolution/matmul sums in a wide integer accumulator and re-quantises
+once per output — ``quantized_matmul`` reproduces exactly that: integer
+products, exact integer accumulation, one rounding at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding
+from repro.fixedpoint.rounding import apply_overflow, shift_right_round
+
+
+def quantized_matmul(
+    x: FxArray,
+    w: FxArray,
+    out_fmt: QFormat,
+    rounding: Rounding = Rounding.NEAREST_EVEN,
+    overflow: Overflow = Overflow.SATURATE,
+) -> FxArray:
+    """``x @ w`` with exact integer accumulation and one output rounding."""
+    acc = x.raw @ w.raw  # int64 products, exact integer sums
+    raw = shift_right_round(acc, x.fmt.fb + w.fmt.fb - out_fmt.fb, rounding)
+    return FxArray(apply_overflow(raw, out_fmt, overflow), out_fmt)
+
+
+def quantize_parameters(arrays, fmt: QFormat):
+    """Quantise a list of float parameter arrays into ``fmt``."""
+    return [FxArray.from_float(np.asarray(a, dtype=np.float64), fmt) for a in arrays]

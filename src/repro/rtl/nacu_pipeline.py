@@ -1,0 +1,251 @@
+"""The NACU datapath as a structural, cycle-accurate pipeline.
+
+Stage map (16-bit configuration):
+
+* sigma/tanh (3 stages, Table I latency 3):
+    1. ``fetch``    — sign/magnitude split, LUT address, coefficient fetch
+    2. ``coeff``    — Fig. 3 rewiring, slope negation/scaling
+    3. ``mul_add``  — the fused multiply-and-add, output rounding
+* e^x (24 stages = 90 ns at 3.75 ns, Section VII.C): the 3 sigma stages
+  on ``-x``, an 18-stage restoring divider (prepare + one stage per
+  quotient bit + collect), the Fig. 3b decrementor, and 2 output stages.
+
+Every stage reuses the same integer primitives as the behavioural model,
+and ``tests/rtl`` proves streamed outputs bit-identical to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint.rounding import Overflow, Rounding, apply_overflow, shift_right_round
+from repro.nacu.bias_units import (
+    fig3a_one_minus_q,
+    fig3b_decrement,
+    fig3c_one_plus,
+)
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.lutgen import build_sigmoid_lut
+from repro.rtl.pipeline import Pipeline, StreamRecord
+
+
+class NacuPipeline:
+    """Builds streaming pipelines for each NACU function mode."""
+
+    def __init__(self, config: Optional[NacuConfig] = None):
+        self.config = config or NacuConfig()
+        self.lut = build_sigmoid_lut(self.config)
+
+    # ------------------------------------------------------------------
+    # sigma / tanh stages
+    # ------------------------------------------------------------------
+    def _stage_fetch(self, mode: FunctionMode):
+        config = self.config
+        lut = self.lut
+        range_raw = int(round(config.lut_range * (1 << config.io_fmt.fb)))
+
+        def fetch(item: dict) -> dict:
+            x_raw = int(item["x_raw"])
+            negative = x_raw < 0
+            magnitude = abs(x_raw)
+            if mode is FunctionMode.SIGMOID:
+                address = magnitude
+                limit = range_raw - 1
+            else:
+                address = magnitude << 1
+                limit = (range_raw >> 1) - 1
+            slope_raw, bias_raw = lut.lookup(
+                np.asarray(address), config.io_fmt.fb
+            )
+            return {
+                "negative": negative,
+                "magnitude": min(magnitude, min(limit, config.io_fmt.raw_max)),
+                "m1_raw": int(slope_raw),
+                "q_raw": int(bias_raw),
+                **{k: v for k, v in item.items() if k != "x_raw"},
+            }
+
+        return fetch
+
+    def _stage_coeff(self, mode: FunctionMode):
+        fb = self.config.bias_fmt.fb
+
+        def coeff(item: dict) -> dict:
+            m1, q = item["m1_raw"], item["q_raw"]
+            if mode is FunctionMode.SIGMOID:
+                slope = -m1 if item["negative"] else m1
+                bias = (
+                    int(fig3a_one_minus_q(np.asarray(q), fb))
+                    if item["negative"]
+                    else q
+                )
+            else:
+                scaled = m1 << 2
+                two_q = q << 1
+                if item["negative"]:
+                    slope = -scaled
+                    bias = int(fig3c_one_plus(np.asarray(-two_q), fb))
+                else:
+                    slope = scaled
+                    bias = int(fig3b_decrement(np.asarray(two_q), fb))
+            out = dict(item)
+            out.update(slope_raw=slope, bias_raw=bias)
+            return out
+
+        return coeff
+
+    def _stage_mul_add(self, mode: FunctionMode):
+        config = self.config
+        product_fb = config.slope_fmt.fb + config.io_fmt.fb
+        bias_shift = product_fb - config.bias_fmt.fb
+        out_shift = product_fb - config.io_fmt.fb
+        unit_raw = 1 << config.io_fmt.fb
+        low = 0 if mode is FunctionMode.SIGMOID else -unit_raw
+
+        def mul_add(item: dict) -> dict:
+            acc = item["slope_raw"] * item["magnitude"] + (
+                item["bias_raw"] << bias_shift
+            )
+            raw = shift_right_round(acc, out_shift, Rounding.NEAREST_EVEN)
+            raw = int(apply_overflow(raw, config.io_fmt, Overflow.SATURATE))
+            # Function-range clamp, mirroring the behavioural datapath.
+            raw = min(max(raw, low), unit_raw)
+            out = {k: v for k, v in item.items()
+                   if k not in ("slope_raw", "bias_raw", "m1_raw", "q_raw",
+                                "negative", "magnitude")}
+            out["y_raw"] = raw
+            return out
+
+        return mul_add
+
+    def activation_pipeline(self, mode: FunctionMode) -> Pipeline:
+        """The 3-stage sigma/tanh pipeline (Table I latency: 3 cycles)."""
+        if mode not in (FunctionMode.SIGMOID, FunctionMode.TANH):
+            raise ConfigError(f"no activation pipeline for mode {mode.value}")
+        return Pipeline(
+            [self._stage_fetch(mode), self._stage_coeff(mode), self._stage_mul_add(mode)],
+            names=["fetch", "coeff", "mul_add"],
+        )
+
+    # ------------------------------------------------------------------
+    # The pipelined restoring divider (reciprocal of sigma)
+    # ------------------------------------------------------------------
+    def _divider_stages(self) -> List:
+        """Prepare + one restoring step per quotient bit + collect."""
+        config = self.config
+        quotient_bits = config.divider_fmt.ib + config.divider_fmt.fb
+        # reciprocal: dividend = 1.0 scaled so the quotient LSB weighs
+        # 2^-fb_out: 1 << (fb_sigma + fb_out).
+        dividend = 1 << (config.io_fmt.fb + config.divider_fmt.fb)
+        total_bits = dividend.bit_length()
+
+        def prepare(item: dict) -> dict:
+            divisor = item["y_raw"]  # sigma(-x) raw, in [~0.5, 1.0]
+            # The bits above the per-stage window shift in without ever
+            # reaching the divisor's magnitude (dividend is a power of
+            # two and divisor >= 2^(fb-1)), so they preload the remainder.
+            remainder = dividend >> quotient_bits
+            if remainder >= divisor:
+                raise ConfigError(
+                    "divider overflow: quotient needs more bits than the "
+                    "stage array provides"
+                )
+            out = {k: v for k, v in item.items() if k != "y_raw"}
+            out.update(divisor=divisor, remainder=remainder, quotient=0)
+            return out
+
+        def make_step(bit_index: int):
+            def step(item: dict) -> dict:
+                remainder = (item["remainder"] << 1) | (
+                    (dividend >> bit_index) & 1
+                )
+                fits = remainder >= item["divisor"]
+                out = dict(item)
+                out["remainder"] = remainder - item["divisor"] if fits else remainder
+                out["quotient"] = (item["quotient"] << 1) | int(fits)
+                return out
+
+            return step
+
+        def collect(item: dict) -> dict:
+            raw = int(
+                apply_overflow(
+                    np.asarray(item["quotient"]),
+                    config.divider_fmt,
+                    Overflow.SATURATE,
+                )
+            )
+            out = {k: v for k, v in item.items()
+                   if k not in ("divisor", "remainder", "quotient")}
+            out["recip_raw"] = raw
+            return out
+
+        steps = [make_step(i) for i in range(quotient_bits - 1, -1, -1)]
+        return [prepare] + steps + [collect]
+
+    def exponential_pipeline(self) -> Pipeline:
+        """The full 24-stage e^x pipeline (Section VII.C's 90 ns fill)."""
+        config = self.config
+
+        def negate(item: dict) -> dict:
+            x_raw = int(item["x_raw"])
+            if x_raw > 0:
+                raise ConfigError("exponential pipeline expects x <= 0")
+            out = dict(item)
+            out["x_raw"] = -x_raw
+            return out
+
+        fetch = self._stage_fetch(FunctionMode.SIGMOID)
+
+        def negate_and_fetch(item: dict) -> dict:
+            return fetch(negate(item))
+
+        def decrement(item: dict) -> dict:
+            out = {k: v for k, v in item.items() if k != "recip_raw"}
+            out["e_raw_wide"] = int(
+                fig3b_decrement(np.asarray(item["recip_raw"]), config.divider_fmt.fb)
+            )
+            return out
+
+        def resize(item: dict) -> dict:
+            raw = shift_right_round(
+                np.asarray(item["e_raw_wide"]),
+                config.divider_fmt.fb - config.io_fmt.fb,
+                Rounding.NEAREST_EVEN,
+            )
+            raw = int(apply_overflow(raw, config.io_fmt, Overflow.SATURATE))
+            out = {k: v for k, v in item.items() if k != "e_raw_wide"}
+            out["y_raw"] = raw
+            return out
+
+        def output_register(item: dict) -> dict:
+            return dict(item)
+
+        stages = (
+            [negate_and_fetch, self._stage_coeff(FunctionMode.SIGMOID),
+             self._stage_mul_add(FunctionMode.SIGMOID)]
+            + self._divider_stages()
+            + [decrement, resize, output_register]
+        )
+        quotient_bits = config.divider_fmt.ib + config.divider_fmt.fb
+        names = (
+            ["negate_fetch", "coeff", "mul_add", "div_prepare"]
+            + [f"div_bit{i}" for i in range(quotient_bits)]
+            + ["div_collect", "decrement", "resize_out", "out_reg"]
+        )
+        return Pipeline(stages, names=names)
+
+    # ------------------------------------------------------------------
+    # Convenience streaming entry points
+    # ------------------------------------------------------------------
+    def stream(self, mode: FunctionMode, x_raws) -> List[StreamRecord]:
+        """Stream raw inputs through the selected pipeline."""
+        if mode is FunctionMode.EXP:
+            pipe = self.exponential_pipeline()
+        else:
+            pipe = self.activation_pipeline(mode)
+        items = [{"x_raw": int(raw), "tag": i} for i, raw in enumerate(x_raws)]
+        return pipe.run_stream(items)

@@ -1,0 +1,86 @@
+"""A generic synchronous pipeline with bubbles.
+
+Stage ``i`` is a pure function computing, during a cycle, on the data
+held in register ``i-1`` (stage 0 computes on the cycle's input); its
+result is committed to register ``i`` at the clock edge. ``None`` marks a
+bubble. Latency from input to output is therefore exactly
+``len(stages)`` cycles, and throughput is one item per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+StageFn = Callable[[dict], dict]
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One output event of a streamed simulation."""
+
+    cycle: int  # clock cycle at which the item left the pipeline
+    item: dict
+
+
+class Pipeline:
+    """A chain of single-cycle stages separated by registers."""
+
+    def __init__(self, stages: Sequence[StageFn], names: Optional[Sequence[str]] = None):
+        if not stages:
+            raise ConfigError("a pipeline needs at least one stage")
+        if names is not None and len(names) != len(stages):
+            raise ConfigError("one name per stage, please")
+        self.stages: List[StageFn] = list(stages)
+        self.names = list(names) if names is not None else [
+            f"stage{i}" for i in range(len(stages))
+        ]
+        self.registers: List[Optional[dict]] = [None] * len(stages)
+        self.cycle = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of pipeline stages (= latency in cycles)."""
+        return len(self.stages)
+
+    def tick(self, item: Optional[dict] = None) -> Optional[dict]:
+        """Advance one clock cycle; returns the item leaving the pipe."""
+        output = self.registers[-1]
+        # Evaluate every stage on the *current* register contents, then
+        # commit — the two-phase update of synchronous logic.
+        new_registers: List[Optional[dict]] = [None] * self.depth
+        for index in range(self.depth - 1, 0, -1):
+            upstream = self.registers[index - 1]
+            new_registers[index] = (
+                self.stages[index](upstream) if upstream is not None else None
+            )
+        new_registers[0] = self.stages[0](item) if item is not None else None
+        self.registers = new_registers
+        self.cycle += 1
+        return output
+
+    def flush(self) -> List[StreamRecord]:
+        """Drain remaining items (no new inputs)."""
+        records = []
+        for _ in range(self.depth):
+            out = self.tick(None)
+            if out is not None:
+                records.append(StreamRecord(self.cycle, out))
+        return records
+
+    def run_stream(self, items: Sequence[dict]) -> List[StreamRecord]:
+        """Feed one item per cycle, then drain; returns all output events."""
+        records = []
+        for item in items:
+            out = self.tick(item)
+            if out is not None:
+                records.append(StreamRecord(self.cycle, out))
+        records.extend(self.flush())
+        return records
+
+    def reset(self) -> None:
+        """Clear all pipeline registers and the cycle counter."""
+        self.registers = [None] * self.depth
+        self.cycle = 0

@@ -1,0 +1,166 @@
+"""A cycle-accurate softmax engine built from the structural pipelines.
+
+Orchestrates the four phases of Eq. 13 on the stage-level models:
+max scan, exponential streaming (through the 24-stage pipeline),
+denominator accumulation (overlapped with the exponential drain), and a
+second streaming pass through the division pipeline. Outputs are
+bit-identical to the behavioural ``NacuDatapath.softmax`` and the tick
+count validates the analytic ``softmax_cycles`` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, Overflow
+from repro.fixedpoint.rounding import Rounding, apply_overflow, shift_right_round
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.rtl.nacu_pipeline import NacuPipeline
+from repro.rtl.pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class SoftmaxTrace:
+    """Result and cycle accounting of one sequenced softmax."""
+
+    probabilities_raw: np.ndarray
+    max_scan_cycles: int
+    exp_phase_cycles: int
+    accumulate_cycles: int
+    divide_phase_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end latency in cycles."""
+        return (
+            self.max_scan_cycles
+            + self.exp_phase_cycles
+            + self.accumulate_cycles
+            + self.divide_phase_cycles
+        )
+
+
+class SoftmaxSequencer:
+    """Drives the structural pipelines through the Eq. 13 schedule."""
+
+    def __init__(self, config: Optional[NacuConfig] = None):
+        self.config = config or NacuConfig()
+        self.builder = NacuPipeline(self.config)
+
+    # ------------------------------------------------------------------
+    # The streaming division pipeline (variable dividend)
+    # ------------------------------------------------------------------
+    def division_pipeline(self, den_fb: int) -> Pipeline:
+        """``num / den -> io format``, one restoring stage per bit."""
+        config = self.config
+        quotient_bits = config.divider_fmt.ib + config.divider_fmt.fb
+        # quotient_raw = (num/den) << fb_q = (num_raw << shift) / den_raw
+        shift = config.divider_fmt.fb - config.io_fmt.fb + den_fb
+
+        def prepare(item: dict) -> dict:
+            dividend = int(item["num_raw"]) << shift
+            divisor = int(item["den_raw"])
+            preload = dividend >> quotient_bits
+            if preload >= divisor:
+                raise ConfigError("division overflow: widen the quotient")
+            out = {k: v for k, v in item.items() if k not in ("num_raw", "den_raw")}
+            out.update(
+                dividend=dividend, divisor=divisor, remainder=preload, quotient=0
+            )
+            return out
+
+        def make_step(bit_index: int):
+            def step(item: dict) -> dict:
+                remainder = (item["remainder"] << 1) | (
+                    (item["dividend"] >> bit_index) & 1
+                )
+                fits = remainder >= item["divisor"]
+                out = dict(item)
+                out["remainder"] = remainder - item["divisor"] if fits else remainder
+                out["quotient"] = (item["quotient"] << 1) | int(fits)
+                return out
+
+            return step
+
+        def collect(item: dict) -> dict:
+            raw = int(
+                apply_overflow(
+                    np.asarray(item["quotient"]), self.config.divider_fmt,
+                    Overflow.SATURATE,
+                )
+            )
+            # Re-quantise the probability to the I/O format.
+            out_raw = shift_right_round(
+                np.asarray(raw),
+                self.config.divider_fmt.fb - self.config.io_fmt.fb,
+                Rounding.NEAREST_EVEN,
+            )
+            out_raw = int(
+                apply_overflow(out_raw, self.config.io_fmt, Overflow.SATURATE)
+            )
+            keep = {k: v for k, v in item.items()
+                    if k not in ("dividend", "divisor", "remainder", "quotient")}
+            keep["y_raw"] = out_raw
+            return keep
+
+        steps = [make_step(i) for i in range(quotient_bits - 1, -1, -1)]
+        return Pipeline([prepare] + steps + [collect])
+
+    # ------------------------------------------------------------------
+    # The full schedule
+    # ------------------------------------------------------------------
+    def run(self, x: FxArray) -> SoftmaxTrace:
+        """Sequence one softmax; returns probabilities + cycle trace."""
+        if x.raw.ndim != 1 or x.raw.size == 0:
+            raise ConfigError("the sequencer expects a non-empty 1-D vector")
+        n = x.raw.size
+        fmt = self.config.io_fmt
+
+        # Phase 1 — max scan: one element per cycle on the comparator.
+        x_max = int(np.max(x.raw))
+        max_scan_cycles = n
+
+        # Phase 2 — exponential streaming.
+        shifted = apply_overflow(x.raw - x_max, fmt, Overflow.SATURATE)
+        exp_pipe = self.builder.exponential_pipeline()
+        items = [{"x_raw": int(raw), "tag": i} for i, raw in enumerate(shifted)]
+        records = exp_pipe.run_stream(items)
+        exp_phase_cycles = exp_pipe.cycle
+        exps = np.array(
+            [r.item["y_raw"] for r in sorted(records, key=lambda r: r.item["tag"])],
+            dtype=np.int64,
+        )
+
+        # Phase 3 — denominator accumulation (overlapped with the drain:
+        # the adder consumes results as they emerge; one extra cycle to
+        # commit the final sum). Uses the same saturating accumulator
+        # semantics as the MAC.
+        denom = 0
+        acc_max = self.config.acc_fmt.raw_max
+        for value in exps:
+            denom = min(denom + int(value), acc_max)
+        accumulate_cycles = 1
+
+        # Phase 4 — division streaming.
+        div_pipe = self.division_pipeline(den_fb=self.config.io_fmt.fb)
+        items = [
+            {"num_raw": int(e), "den_raw": denom, "tag": i}
+            for i, e in enumerate(exps)
+        ]
+        records = div_pipe.run_stream(items)
+        divide_phase_cycles = div_pipe.cycle
+        probabilities = np.array(
+            [r.item["y_raw"] for r in sorted(records, key=lambda r: r.item["tag"])],
+            dtype=np.int64,
+        )
+        return SoftmaxTrace(
+            probabilities_raw=probabilities,
+            max_scan_cycles=max_scan_cycles,
+            exp_phase_cycles=exp_phase_cycles,
+            accumulate_cycles=accumulate_cycles,
+            divide_phase_cycles=divide_phase_cycles,
+        )

@@ -1,0 +1,57 @@
+"""Tests for error-distribution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import error_distribution, error_histogram
+from repro.funcs import sigmoid
+from repro.nacu import Nacu
+
+
+class TestErrorDistribution:
+    def test_zero_error(self):
+        y = np.linspace(0, 1, 100)
+        dist = error_distribution(y, y)
+        assert dist.worst == 0.0
+        assert dist.bias == 0.0
+        assert dist.is_unbiased
+
+    def test_pure_bias_detected(self):
+        ref = np.linspace(0, 1, 100)
+        dist = error_distribution(ref + 0.01, ref)
+        assert dist.bias == pytest.approx(0.01)
+        assert not dist.is_unbiased
+        assert dist.positive_fraction == 1.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        ref = rng.normal(size=1000)
+        dist = error_distribution(ref + rng.normal(scale=0.01, size=1000), ref)
+        assert dist.p50 <= dist.p95 <= dist.p99 <= dist.worst
+
+    def test_nacu_sigmoid_is_roughly_unbiased(self):
+        # Round-to-nearest quantisation should not skew the error.
+        unit = Nacu.for_bits(16)
+        x = np.linspace(-8, 8, 8001)
+        dist = error_distribution(unit.sigmoid(x), sigmoid(x))
+        assert abs(dist.bias) < dist.std
+        assert 0.2 < dist.positive_fraction < 0.8
+
+    def test_nacu_p95_below_max(self):
+        unit = Nacu.for_bits(16)
+        x = np.linspace(-8, 8, 8001)
+        dist = error_distribution(unit.sigmoid(x), sigmoid(x))
+        assert dist.p95 < dist.worst
+
+
+class TestErrorHistogram:
+    def test_counts_sum_to_samples(self):
+        ref = np.linspace(0, 1, 500)
+        edges, counts = error_histogram(ref + 0.001, ref)
+        assert counts.sum() == 500
+        assert len(edges) == len(counts) + 1
+
+    def test_symmetric_edges(self):
+        ref = np.linspace(0, 1, 100)
+        edges, _ = error_histogram(ref + np.sin(ref * 50) * 0.01, ref)
+        assert edges[0] == pytest.approx(-edges[-1])

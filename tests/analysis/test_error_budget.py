@@ -1,0 +1,68 @@
+"""The static error budget must genuinely bound measured errors."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.error_budget import (
+    exp_error_budget,
+    sigmoid_error_budget,
+    tanh_error_budget,
+)
+from repro.funcs import exp, sigmoid, tanh
+from repro.nacu import Nacu, NacuConfig
+
+
+WIDTHS = (10, 12, 16, 20)
+
+
+class TestBudgetStructure:
+    def test_rows_sum_to_total(self):
+        budget = sigmoid_error_budget()
+        rows = dict(budget.rows())
+        parts = sum(v for k, v in rows.items() if k != "TOTAL (bound)")
+        assert rows["TOTAL (bound)"] == pytest.approx(parts)
+
+    def test_all_mechanisms_positive(self):
+        budget = sigmoid_error_budget()
+        assert all(value > 0 for _, value in budget.rows())
+
+    def test_budget_shrinks_with_width(self):
+        totals = [
+            sigmoid_error_budget(NacuConfig.for_bits(bits)).total
+            for bits in WIDTHS
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestBudgetIsABound:
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_sigmoid_measured_below_bound(self, bits):
+        config = NacuConfig.for_bits(bits)
+        unit = Nacu(config)
+        grid = np.linspace(-config.lut_range, config.lut_range, 4001)
+        measured = float(np.max(np.abs(unit.sigmoid(grid) - sigmoid(grid))))
+        assert measured <= sigmoid_error_budget(config).total
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_tanh_measured_below_bound(self, bits):
+        config = NacuConfig.for_bits(bits)
+        unit = Nacu(config)
+        grid = np.linspace(-config.lut_range, config.lut_range, 4001)
+        measured = float(np.max(np.abs(unit.tanh(grid) - tanh(grid))))
+        assert measured <= tanh_error_budget(config)
+
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_exp_measured_below_bound(self, bits):
+        config = NacuConfig.for_bits(bits)
+        unit = Nacu(config)
+        grid = np.linspace(-config.lut_range, 0.0, 4001)
+        measured = float(np.max(np.abs(unit.exp(grid) - exp(grid))))
+        assert measured <= exp_error_budget(config)
+
+    def test_bound_not_absurdly_loose(self):
+        # A useful budget is within an order of magnitude of reality.
+        config = NacuConfig.for_bits(16)
+        unit = Nacu(config)
+        grid = np.linspace(-8, 8, 4001)
+        measured = float(np.max(np.abs(unit.sigmoid(grid) - sigmoid(grid))))
+        assert sigmoid_error_budget(config).total < 10 * measured

@@ -1,0 +1,51 @@
+"""Tests for the Eq. 15/16 error-propagation analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    exp_error_bound,
+    max_propagation_coefficient,
+    propagation_coefficient,
+)
+from repro.analysis.error_propagation import empirical_propagation
+
+
+class TestCoefficient:
+    def test_eq16_bound_is_four(self):
+        assert max_propagation_coefficient(0.5) == 4.0
+
+    def test_diverges_towards_saturation(self):
+        coeffs = propagation_coefficient(np.array([0.9, 0.99, 0.999]))
+        assert coeffs[0] < coeffs[1] < coeffs[2]
+        assert coeffs[2] > 1e5
+
+    def test_unit_at_zero(self):
+        assert float(propagation_coefficient(0.0)) == 1.0
+
+    def test_rejects_sigma_at_one(self):
+        with pytest.raises(ValueError):
+            max_propagation_coefficient(1.0)
+
+    @given(st.floats(0.0, 0.5))
+    def test_normalised_domain_within_bound(self, sigma):
+        assert float(propagation_coefficient(sigma)) <= 4.0
+
+
+class TestBound:
+    def test_scales_linearly_with_sigma_error(self):
+        assert exp_error_bound(2e-4) == pytest.approx(8e-4)
+
+    @given(st.floats(0.0, 0.49), st.floats(1e-8, 1e-4))
+    def test_first_order_bound_holds_empirically(self, sigma, err):
+        # For LSB-scale errors the exact perturbation stays within a few
+        # percent of the first-order bound on the normalised domain.
+        exact = float(empirical_propagation(sigma, err))
+        assert exact <= exp_error_bound(err) * 1.05
+
+    def test_unnormalised_domain_violates_four_times_bound(self):
+        # Without Eq. 13 normalisation sigma can approach 1 and the bound 4
+        # no longer holds — this is exactly the failure Eq. 16 prevents.
+        exact = float(empirical_propagation(0.99, 1e-4))
+        assert exact > 4 * 1e-4

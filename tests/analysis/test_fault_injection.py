@@ -1,0 +1,70 @@
+"""Tests for LUT fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fault_injection import bit_sensitivity, flip_lut_bit
+from repro.errors import ConfigError
+from repro.nacu.config import NacuConfig
+from repro.nacu.lutgen import build_sigmoid_lut
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return build_sigmoid_lut(NacuConfig())
+
+
+class TestFlipLutBit:
+    def test_flip_is_involution(self, lut):
+        once = flip_lut_bit(lut, 5, "bias", 3)
+        twice = flip_lut_bit(once, 5, "bias", 3)
+        np.testing.assert_array_equal(twice.bias_raw, lut.bias_raw)
+
+    def test_only_target_word_changes(self, lut):
+        faulty = flip_lut_bit(lut, 5, "slope", 0)
+        differs = faulty.slope_raw != lut.slope_raw
+        assert differs.sum() == 1
+        assert differs[5]
+        np.testing.assert_array_equal(faulty.bias_raw, lut.bias_raw)
+
+    def test_original_untouched(self, lut):
+        before = lut.slope_raw.copy()
+        flip_lut_bit(lut, 0, "slope", 7)
+        np.testing.assert_array_equal(lut.slope_raw, before)
+
+    def test_validation(self, lut):
+        with pytest.raises(ConfigError):
+            flip_lut_bit(lut, 5, "offset", 0)
+        with pytest.raises(ConfigError):
+            flip_lut_bit(lut, 999, "bias", 0)
+        with pytest.raises(ConfigError):
+            flip_lut_bit(lut, 0, "bias", 99)
+
+
+class TestBitSensitivity:
+    @pytest.fixture(scope="class")
+    def impacts(self):
+        return bit_sensitivity(field="bias", n_samples=801)
+
+    def test_one_impact_per_bit(self, impacts):
+        assert len(impacts) == 16  # U2.14 bias word
+
+    def test_msb_flip_catastrophic(self, impacts):
+        # Flipping a high-weight bias bit corrupts the whole segment by
+        # a large fraction of the output range.
+        by_bit = {i.bit: i for i in impacts}
+        assert by_bit[15].error_increase > 0.2
+
+    def test_lsb_flip_harmless(self, impacts):
+        by_bit = {i.bit: i for i in impacts}
+        assert by_bit[0].error_increase < 4 * 2.0 ** -11
+
+    def test_impact_grows_with_bit_weight(self, impacts):
+        errors = [i.error_increase for i in impacts]
+        # Not strictly monotone bit by bit (rounding), but the top bits
+        # must dominate the bottom ones by orders of magnitude.
+        assert max(errors[12:]) > 100 * max(errors[:4])
+
+    def test_slope_field_also_injectable(self):
+        impacts = bit_sensitivity(field="slope", n_samples=401)
+        assert max(i.error_increase for i in impacts) > 0.01

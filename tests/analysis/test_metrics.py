@@ -1,0 +1,56 @@
+"""Tests for the accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AccuracyReport, accuracy_report, compare
+from repro.funcs import sigmoid
+
+
+class TestAccuracyReport:
+    def test_zero_error_for_identical(self):
+        y = np.linspace(0, 1, 11)
+        report = accuracy_report(y, y)
+        assert report.max_error == 0.0
+        assert report.avg_error == 0.0
+        assert report.rmse == 0.0
+        assert report.correlation == pytest.approx(1.0)
+
+    def test_known_errors(self):
+        ref = np.array([0.0, 1.0, 2.0, 3.0])
+        approx = ref + np.array([0.1, -0.1, 0.3, -0.1])
+        report = accuracy_report(approx, ref)
+        assert report.max_error == pytest.approx(0.3)
+        assert report.avg_error == pytest.approx(0.15)
+        assert report.rmse == pytest.approx(np.sqrt(np.mean([0.01, 0.01, 0.09, 0.01])))
+
+    def test_constant_output_has_zero_correlation(self):
+        report = accuracy_report(np.ones(5), np.linspace(0, 1, 5))
+        assert report.correlation == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_report(np.ones(3), np.ones(4))
+
+    def test_rmse_between_avg_and_max(self):
+        rng = np.random.default_rng(7)
+        ref = rng.normal(size=100)
+        approx = ref + rng.normal(scale=0.01, size=100)
+        report = accuracy_report(approx, ref)
+        assert report.avg_error <= report.rmse <= report.max_error
+
+    def test_str_contains_all_metrics(self):
+        text = str(AccuracyReport(1e-3, 1e-4, 2e-4, 0.999))
+        for key in ("max", "avg", "rmse", "corr"):
+            assert key in text
+
+
+class TestCompare:
+    def test_compare_runs_on_grid(self):
+        report = compare(sigmoid, sigmoid, -8, 8, n_samples=101)
+        assert report.max_error == 0.0
+
+    def test_compare_detects_bias(self):
+        report = compare(lambda x: sigmoid(x) + 0.01, sigmoid, -8, 8)
+        assert report.max_error == pytest.approx(0.01)
+        assert report.avg_error == pytest.approx(0.01)

@@ -1,0 +1,38 @@
+"""Tests for the bit-width accuracy sweep."""
+
+import pytest
+
+from repro.analysis.sweep import sweep_bit_widths
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sweep_bit_widths(widths=(10, 16, 20), n_samples=1001)
+
+
+class TestSweep:
+    def test_rows_per_width_and_function(self, rows):
+        assert len(rows) == 3 * 3
+
+    def test_error_falls_with_width(self, rows):
+        for function in ("sigmoid", "tanh", "exp"):
+            errors = [
+                r.report.max_error
+                for r in rows
+                if r.function == function
+            ]
+            assert errors[0] > errors[1] > errors[2]
+
+    def test_error_tracks_lsb(self, rows):
+        for row in rows:
+            budget = 2.0 if row.function != "exp" else 5.0
+            assert row.report.max_error <= budget * row.lsb
+
+    def test_lut_grows_with_width(self, rows):
+        entries = sorted({(r.n_bits, r.lut_entries) for r in rows})
+        sizes = [e for _, e in entries]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_correlation_always_high(self, rows):
+        assert all(r.report.correlation > 0.999 for r in rows)

@@ -1,0 +1,131 @@
+"""Tests for the four Section VI approximation engines."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    NonUniformPWL,
+    RangeAddressableLUT,
+    UniformLUT,
+    UniformPWL,
+)
+from repro.approx.minimax import max_abs_error
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.funcs import sigmoid
+
+
+DOMAIN = (0.0, 8.0)
+
+
+class TestUniformLUT:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            UniformLUT(sigmoid, *DOMAIN, n_entries=0)
+
+    def test_error_shrinks_with_entries(self):
+        errors = [
+            max_abs_error(sigmoid, UniformLUT(sigmoid, *DOMAIN, n).eval, *DOMAIN)
+            for n in (8, 32, 128)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_error_roughly_slope_times_half_step(self):
+        n = 256
+        lut = UniformLUT(sigmoid, *DOMAIN, n)
+        err = max_abs_error(sigmoid, lut.eval, *DOMAIN)
+        # Max sigmoid slope is 0.25 at x=0, so err ~ 0.25 * step / 2.
+        step = (DOMAIN[1] - DOMAIN[0]) / n
+        assert err == pytest.approx(0.25 * step / 2, rel=0.15)
+
+    def test_for_accuracy_meets_target(self):
+        target = 2.0 ** -8
+        lut = UniformLUT.for_accuracy(sigmoid, *DOMAIN, target)
+        assert max_abs_error(sigmoid, lut.eval, *DOMAIN) <= target
+
+    def test_for_accuracy_is_near_minimal(self):
+        target = 2.0 ** -8
+        lut = UniformLUT.for_accuracy(sigmoid, *DOMAIN, target)
+        smaller = UniformLUT(sigmoid, *DOMAIN, lut.n_entries - 1)
+        assert max_abs_error(sigmoid, smaller.eval, *DOMAIN) > target
+
+    def test_output_quantisation_floors_error(self):
+        fmt = QFormat(0, 4, signed=False)  # 1/16 steps
+        lut = UniformLUT(sigmoid, *DOMAIN, 4096, out_fmt=fmt)
+        outputs = lut.eval(np.linspace(*DOMAIN, 1001))
+        assert np.all(outputs * 16 == np.round(outputs * 16))
+
+
+class TestRangeAddressableLUT:
+    def test_meets_target_error(self):
+        target = 2.0 ** -8
+        ralut = RangeAddressableLUT(sigmoid, *DOMAIN, target)
+        assert max_abs_error(sigmoid, ralut.eval, *DOMAIN) <= target * 1.05
+
+    def test_beats_uniform_lut_entry_count(self):
+        target = 2.0 ** -8
+        ralut = RangeAddressableLUT(sigmoid, *DOMAIN, target)
+        lut = UniformLUT.for_accuracy(sigmoid, *DOMAIN, target)
+        assert ralut.n_entries < lut.n_entries
+
+    def test_segments_wider_in_flat_region(self):
+        ralut = RangeAddressableLUT(sigmoid, *DOMAIN, 2.0 ** -8)
+        widths = ralut.table.widths()
+        assert widths[-1] > widths[0] * 4
+
+    def test_for_entries_respects_budget(self):
+        ralut = RangeAddressableLUT.for_entries(sigmoid, *DOMAIN, 64)
+        assert ralut.n_entries <= 64
+
+
+class TestUniformPWL:
+    def test_error_scales_quadratically(self):
+        e16 = max_abs_error(sigmoid, UniformPWL(sigmoid, *DOMAIN, 16).eval, *DOMAIN)
+        e64 = max_abs_error(sigmoid, UniformPWL(sigmoid, *DOMAIN, 64).eval, *DOMAIN)
+        # 4x segments -> ~16x lower error for a smooth function.
+        assert e64 < e16 / 8
+
+    def test_beats_lut_with_same_entries(self):
+        n = 32
+        pwl_err = max_abs_error(sigmoid, UniformPWL(sigmoid, *DOMAIN, n).eval, *DOMAIN)
+        lut_err = max_abs_error(sigmoid, UniformLUT(sigmoid, *DOMAIN, n).eval, *DOMAIN)
+        assert pwl_err < lut_err / 4
+
+    def test_for_accuracy_meets_target(self):
+        target = 2.0 ** -11
+        pwl = UniformPWL.for_accuracy(sigmoid, *DOMAIN, target)
+        assert max_abs_error(sigmoid, pwl.eval, *DOMAIN) <= target
+
+    def test_coefficient_quantisation_limits_accuracy(self):
+        coarse = QFormat(0, 6)
+        exact = UniformPWL(sigmoid, *DOMAIN, 64)
+        rough = UniformPWL(sigmoid, *DOMAIN, 64, slope_fmt=coarse, intercept_fmt=coarse)
+        assert max_abs_error(sigmoid, rough.eval, *DOMAIN) > max_abs_error(
+            sigmoid, exact.eval, *DOMAIN
+        )
+
+
+class TestNonUniformPWL:
+    def test_meets_target_error(self):
+        target = 2.0 ** -10
+        nupwl = NonUniformPWL(sigmoid, *DOMAIN, target)
+        assert max_abs_error(sigmoid, nupwl.eval, *DOMAIN) <= target * 1.05
+
+    def test_at_most_uniform_pwl_entries(self):
+        target = 2.0 ** -10
+        nupwl = NonUniformPWL(sigmoid, *DOMAIN, target)
+        pwl = UniformPWL.for_accuracy(sigmoid, *DOMAIN, target)
+        assert nupwl.n_entries <= pwl.n_entries
+
+    def test_for_entries_respects_budget(self):
+        nupwl = NonUniformPWL.for_entries(sigmoid, *DOMAIN, 16)
+        assert nupwl.n_entries <= 16
+
+    def test_saturation_region_has_widest_segments(self):
+        nupwl = NonUniformPWL(sigmoid, *DOMAIN, 2.0 ** -10)
+        widths = nupwl.table.widths()
+        # Narrow segments sit in the high-curvature region (|sigma''| peaks
+        # near x = 1.3) and the flat tail gets the wide segments.
+        assert np.argmax(widths) >= len(widths) // 2
+        assert np.argmin(widths) < len(widths) // 2
+        assert max(widths) > 2 * min(widths)

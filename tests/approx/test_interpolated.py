@@ -1,0 +1,69 @@
+"""Tests for the interpolated-LUT family."""
+
+import numpy as np
+import pytest
+
+from repro.approx.interpolated import InterpolatedLUT
+from repro.approx.lut import UniformLUT
+from repro.approx.minimax import max_abs_error
+from repro.approx.pwl import UniformPWL
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.funcs import sigmoid
+
+DOMAIN = (0.0, 8.0)
+
+
+class TestConstruction:
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigError):
+            InterpolatedLUT(sigmoid, *DOMAIN, n_entries=1)
+
+    def test_exact_at_grid_points(self):
+        ilut = InterpolatedLUT(sigmoid, *DOMAIN, 33)
+        np.testing.assert_allclose(ilut.eval(ilut.grid), sigmoid(ilut.grid))
+
+    def test_value_quantisation(self):
+        fmt = QFormat(0, 4, signed=False)
+        ilut = InterpolatedLUT(sigmoid, *DOMAIN, 9, value_fmt=fmt)
+        assert np.all(ilut.values * 16 == np.round(ilut.values * 16))
+
+
+class TestAccuracy:
+    def test_quadratic_error_scaling(self):
+        e16 = max_abs_error(sigmoid, InterpolatedLUT(sigmoid, *DOMAIN, 17).eval, *DOMAIN)
+        e64 = max_abs_error(sigmoid, InterpolatedLUT(sigmoid, *DOMAIN, 65).eval, *DOMAIN)
+        assert e64 < e16 / 8
+
+    def test_beats_constant_lut(self):
+        n = 33
+        ilut_err = max_abs_error(
+            sigmoid, InterpolatedLUT(sigmoid, *DOMAIN, n).eval, *DOMAIN
+        )
+        lut_err = max_abs_error(
+            sigmoid, UniformLUT(sigmoid, *DOMAIN, n).eval, *DOMAIN
+        )
+        assert ilut_err < lut_err / 4
+
+    def test_worse_than_free_pwl_but_half_storage(self):
+        n = 32
+        ilut = InterpolatedLUT(sigmoid, *DOMAIN, n + 1)
+        pwl = UniformPWL(sigmoid, *DOMAIN, n)
+        ilut_err = max_abs_error(sigmoid, ilut.eval, *DOMAIN)
+        pwl_err = max_abs_error(sigmoid, pwl.eval, *DOMAIN)
+        assert pwl_err < ilut_err <= 3 * pwl_err
+        assert ilut.n_entries * 16 < n * pwl.word_bits  # one word per entry
+
+    def test_continuous_at_segment_joints(self):
+        ilut = InterpolatedLUT(sigmoid, *DOMAIN, 17)
+        eps = 1e-9
+        for knot in ilut.grid[1:-1]:
+            below = float(ilut.eval(np.array([knot - eps]))[0])
+            above = float(ilut.eval(np.array([knot + eps]))[0])
+            assert abs(below - above) < 1e-6
+
+    def test_clamps_outside_domain(self):
+        ilut = InterpolatedLUT(sigmoid, *DOMAIN, 17)
+        assert float(ilut.eval(np.array([100.0]))[0]) == pytest.approx(
+            float(sigmoid(8.0)), abs=1e-9
+        )

@@ -1,0 +1,89 @@
+"""Tests for Taylor coefficients and the fixed-point Horner evaluator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.approx import PolynomialApproximator, taylor_coefficients
+from repro.approx.polynomial import least_squares_coefficients
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.funcs import sigmoid
+
+
+class TestTaylorCoefficients:
+    def test_exp_around_zero(self):
+        coeffs = taylor_coefficients("exp", 4)
+        expected = [1.0, 1.0, 0.5, 1.0 / 6.0, 1.0 / 24.0]
+        np.testing.assert_allclose(coeffs, expected)
+
+    def test_exp_around_one(self):
+        coeffs = taylor_coefficients("exp", 2, around=1.0)
+        e = math.e
+        np.testing.assert_allclose(coeffs, [e, e, e / 2])
+
+    def test_sigmoid_around_zero(self):
+        # sigma(0)=1/2, sigma'(0)=1/4, sigma''(0)=0, sigma'''(0)=-1/8.
+        coeffs = taylor_coefficients("sigmoid", 3)
+        np.testing.assert_allclose(coeffs, [0.5, 0.25, 0.0, -1.0 / 48.0])
+
+    def test_tanh_around_zero(self):
+        # tanh(x) = x - x^3/3 + ...
+        coeffs = taylor_coefficients("tanh", 3)
+        np.testing.assert_allclose(coeffs, [0.0, 1.0, 0.0, -1.0 / 3.0])
+
+    def test_taylor_converges_to_function(self):
+        x = np.linspace(-0.5, 0.5, 101)
+        for order, tol in [(2, 1e-2), (6, 1e-5)]:
+            poly = PolynomialApproximator(taylor_coefficients("sigmoid", order))
+            assert np.max(np.abs(poly.eval(x) - sigmoid(x))) < tol
+
+    def test_rejects_unknown_function(self):
+        with pytest.raises(ConfigError):
+            taylor_coefficients("gamma", 2)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ConfigError):
+            taylor_coefficients("exp", -1)
+
+
+class TestLeastSquares:
+    def test_recovers_exact_polynomial(self):
+        coeffs = least_squares_coefficients(
+            lambda x: 1.0 + 2.0 * x + 3.0 * x ** 2, 0.0, 1.0, 2
+        )
+        np.testing.assert_allclose(coeffs, [1.0, 2.0, 3.0], atol=1e-9)
+
+    def test_beats_taylor_on_wide_interval(self):
+        x = np.linspace(0.0, 4.0, 401)
+        taylor = PolynomialApproximator(taylor_coefficients("sigmoid", 2))
+        lsq = PolynomialApproximator(
+            least_squares_coefficients(sigmoid, 0.0, 4.0, 2)
+        )
+        taylor_err = np.max(np.abs(taylor.eval(x) - sigmoid(x)))
+        lsq_err = np.max(np.abs(lsq.eval(x) - sigmoid(x)))
+        assert lsq_err < taylor_err
+
+
+class TestFixedPointHorner:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            PolynomialApproximator([])
+
+    def test_coefficient_quantisation(self):
+        poly = PolynomialApproximator([0.3], coeff_fmt=QFormat(0, 2))
+        assert poly.coefficients[0] == 0.25
+
+    def test_work_format_rounds_intermediates(self):
+        # With a very coarse working format, even exact coefficients err.
+        coeffs = taylor_coefficients("exp", 3)
+        coarse = PolynomialApproximator(coeffs, work_fmt=QFormat(3, 4))
+        fine = PolynomialApproximator(coeffs)
+        x = np.linspace(0.0, 1.0, 101)
+        assert np.max(np.abs(coarse.eval(x) - fine.eval(x))) > 1e-3
+
+    def test_order_and_entries(self):
+        poly = PolynomialApproximator([1.0, 2.0, 3.0])
+        assert poly.order == 2
+        assert poly.n_entries == 3

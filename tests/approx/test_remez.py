@@ -1,0 +1,60 @@
+"""Tests for the Remez exchange minimax fitter."""
+
+import numpy as np
+import pytest
+
+from repro.approx.minimax import fit_linear
+from repro.approx.remez import remez_fit
+from repro.errors import ConvergenceError
+from repro.funcs import sigmoid
+
+
+class TestKnownMinimax:
+    def test_quadratic_fit_of_abs_like_known_linear(self):
+        # Minimax degree-1 fit of x^2 on [0, 1] is x - 1/8, error 1/8.
+        fit = remez_fit(np.square, 0.0, 1.0, order=1)
+        assert fit.coefficients[1] == pytest.approx(1.0, abs=1e-6)
+        assert fit.coefficients[0] == pytest.approx(-0.125, abs=1e-6)
+        assert fit.max_error == pytest.approx(0.125, abs=1e-6)
+
+    def test_exp_degree1_on_unit_interval(self):
+        # Classic: minimax line for e^x on [0,1] has slope e-1 and error
+        # (e - 1)/2 - ... ~ 0.105933.
+        fit = remez_fit(np.exp, 0.0, 1.0, order=1)
+        assert fit.coefficients[1] == pytest.approx(np.e - 1.0, abs=1e-6)
+        assert fit.max_error == pytest.approx(0.105933, abs=1e-4)
+
+    def test_degree_zero_is_range_midpoint(self):
+        fit = remez_fit(np.exp, 0.0, 1.0, order=0)
+        assert fit.coefficients[0] == pytest.approx((1.0 + np.e) / 2.0, abs=1e-6)
+
+    def test_exact_polynomial_recovered(self):
+        fit = remez_fit(lambda x: 1 + 2 * x + 3 * x ** 2, -1.0, 1.0, order=2)
+        np.testing.assert_allclose(fit.coefficients, [1, 2, 3], atol=1e-9)
+        assert fit.max_error < 1e-9
+
+
+class TestBehaviour:
+    def test_error_decreases_with_order(self):
+        errors = [
+            remez_fit(np.exp, -1.0, 0.0, order=order).max_error
+            for order in (1, 2, 4)
+        ]
+        assert errors[0] > 10 * errors[1] > 10 * errors[2]
+
+    def test_equioscillation(self):
+        fit = remez_fit(sigmoid, 0.0, 4.0, order=3)
+        grid = np.linspace(0.0, 4.0, 4001)
+        residual = sigmoid(grid) - fit.eval(grid)
+        # The residual must actually reach +-max_error several times.
+        hits = np.sum(np.abs(np.abs(residual) - fit.max_error) < fit.max_error * 0.02)
+        assert hits >= 4
+
+    def test_matches_grid_linear_fitter(self):
+        remez = remez_fit(sigmoid, 0.0, 2.0, order=1)
+        grid_fit = fit_linear(sigmoid, 0.0, 2.0)
+        assert remez.max_error == pytest.approx(grid_fit.max_error, rel=1e-3)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ConvergenceError):
+            remez_fit(np.exp, 0.0, 1.0, order=-1)

@@ -1,0 +1,79 @@
+"""Tests for Segment / SegmentTable."""
+
+import numpy as np
+import pytest
+
+from repro.approx import Segment, SegmentTable
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+
+
+def make_table():
+    return SegmentTable(
+        [
+            Segment(0.0, 1.0, 1.0, 0.0),   # y = x
+            Segment(1.0, 2.0, 0.0, 1.0),   # y = 1
+            Segment(2.0, 4.0, -0.5, 2.0),  # y = 2 - x/2
+        ]
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            SegmentTable([])
+
+    def test_rejects_gap(self):
+        with pytest.raises(ConfigError):
+            SegmentTable([Segment(0, 1, 0, 0), Segment(1.5, 2, 0, 0)])
+
+    def test_range_properties(self):
+        table = make_table()
+        assert table.x_lo == 0.0
+        assert table.x_hi == 4.0
+        assert len(table) == 3
+
+
+class TestLookup:
+    def test_index_of_interior_points(self):
+        table = make_table()
+        np.testing.assert_array_equal(
+            table.index_of([0.5, 1.5, 3.0]), [0, 1, 2]
+        )
+
+    def test_boundaries_belong_to_right_segment(self):
+        table = make_table()
+        assert int(table.index_of(1.0)) == 1
+        assert int(table.index_of(2.0)) == 2
+
+    def test_eval_piecewise(self):
+        table = make_table()
+        np.testing.assert_allclose(
+            table.eval([0.5, 1.5, 3.0]), [0.5, 1.0, 0.5]
+        )
+
+    def test_out_of_range_clamps(self):
+        table = make_table()
+        # Below range: first segment at x_lo; above: last segment at x_hi.
+        np.testing.assert_allclose(table.eval([-5.0, 10.0]), [0.0, 0.0])
+
+    def test_widths(self):
+        np.testing.assert_allclose(make_table().widths(), [1.0, 1.0, 2.0])
+
+
+class TestQuantisation:
+    def test_coefficients_snap_to_grid(self):
+        table = SegmentTable([Segment(0.0, 1.0, 0.3, 0.7)])
+        fmt = QFormat(0, 3)  # steps of 0.125
+        quantised = table.quantise_coefficients(fmt, fmt)
+        seg = quantised.segments[0]
+        assert seg.slope * 8 == int(seg.slope * 8)
+        assert seg.intercept * 8 == int(seg.intercept * 8)
+        assert abs(seg.slope - 0.3) <= 0.0625
+        assert abs(seg.intercept - 0.7) <= 0.0625
+
+    def test_none_format_leaves_untouched(self):
+        table = SegmentTable([Segment(0.0, 1.0, 0.3, 0.7)])
+        same = table.quantise_coefficients(None, None)
+        assert same.segments[0].slope == 0.3
+        assert same.segments[0].intercept == 0.7

@@ -1,0 +1,111 @@
+"""Accuracy and behaviour tests for the exponential baselines ([12],[13],[14])."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare
+from repro.baselines import (
+    CordicExp,
+    GomarBase2Exp,
+    NilssonTaylor6Exp,
+    ParabolicSynthesisExp,
+)
+from repro.baselines.cordic import hyperbolic_gain, iteration_sequence
+from repro.baselines.parabolic import factor_quartic
+from repro.errors import RangeError
+
+DOMAIN = (-1.0, 0.0)
+
+
+def report_of(baseline):
+    return compare(baseline.eval, np.exp, *DOMAIN)
+
+
+class TestGomarBase2:
+    def test_line_approximation_error_band(self):
+        # max |2^f - (1+f)| = 0.086 at f = 0.53; scaled by 2^k <= 1.
+        report = compare(GomarBase2Exp().eval, np.exp, -8.0, 0.0)
+        assert 0.02 < report.max_error < 0.09
+
+    def test_exact_at_powers_of_two(self):
+        # x = -ln(2): z = -1 exactly representable-ish, f = 0 -> exact shift.
+        model = GomarBase2Exp()
+        got = float(model.eval(np.array([-np.log(2.0)]))[0])
+        assert got == pytest.approx(0.5, abs=2e-3)
+
+    def test_rejects_positive(self):
+        with pytest.raises(RangeError):
+            GomarBase2Exp().eval(np.array([0.5]))
+
+    def test_no_tables(self):
+        assert GomarBase2Exp().n_entries == 0
+
+
+class TestNilsson:
+    def test_accuracy_beats_16bit_nacu_by_10x(self):
+        # Fig. 6c: NACU(16b) is ~10x worse than the 18-bit Taylor-6.
+        report = report_of(NilssonTaylor6Exp())
+        assert report.max_error < 1.25e-4  # NACU measures ~1.25e-3
+
+    def test_seven_coefficients(self):
+        assert NilssonTaylor6Exp().n_entries == 7
+
+    def test_lower_order_is_worse(self):
+        low = compare(NilssonTaylor6Exp(order=2).eval, np.exp, *DOMAIN)
+        high = report_of(NilssonTaylor6Exp())
+        assert high.max_error < low.max_error / 10
+
+
+class TestCordic:
+    def test_iteration_sequence_repeats_4_and_13(self):
+        seq = iteration_sequence(16)
+        assert seq.count(4) == 2
+        assert seq.count(13) == 2 or max(seq) < 13
+
+    def test_gain_below_one(self):
+        assert 0.5 < hyperbolic_gain(iteration_sequence(20)) < 1.0
+
+    def test_accuracy_at_21_bits(self):
+        report = report_of(CordicExp())
+        assert report.max_error < 2e-4
+
+    def test_more_iterations_more_accurate(self):
+        coarse = compare(CordicExp(n_iterations=8).eval, np.exp, *DOMAIN)
+        fine = report_of(CordicExp())
+        assert fine.max_error < coarse.max_error / 4
+
+    def test_rejects_out_of_convergence(self):
+        with pytest.raises(RangeError):
+            CordicExp().eval(np.array([-2.0]))
+
+    def test_positive_arguments_also_work(self):
+        # Rotation mode is symmetric: e^t for small positive t.
+        got = CordicExp().eval(np.array([0.5]))
+        assert float(got[0]) == pytest.approx(np.exp(0.5), abs=1e-4)
+
+
+class TestParabolic:
+    def test_factor_quartic_reconstructs(self):
+        coeffs = [1.0, 0.9, 0.5, 0.15, 0.03]
+        c1, c2 = factor_quartic(coeffs)
+        x = np.linspace(-1, 1, 101)
+        product = (
+            np.polynomial.polynomial.polyval(x, c1)
+            * np.polynomial.polynomial.polyval(x, c2)
+        )
+        direct = np.polynomial.polynomial.polyval(x, coeffs)
+        np.testing.assert_allclose(product, direct, atol=1e-9)
+
+    def test_accuracy_beats_16bit_nacu(self):
+        report = report_of(ParabolicSynthesisExp())
+        assert report.max_error < 3e-4
+
+    def test_six_stored_coefficients(self):
+        assert ParabolicSynthesisExp().n_entries == 6
+
+    def test_factors_individually_poor(self):
+        # Neither parabola alone approximates e^x; only the product does.
+        model = ParabolicSynthesisExp()
+        x = np.linspace(*DOMAIN, 201)
+        s1_err = np.max(np.abs(model.s1.eval(x) - np.exp(x)))
+        assert s1_err > 100 * report_of(model).max_error

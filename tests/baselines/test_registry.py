@@ -1,0 +1,78 @@
+"""Tests for the baseline registry and Table I metadata."""
+
+import numpy as np
+import pytest
+
+import repro.baselines  # noqa: F401 — triggers registration
+from repro.baselines import RELATED_WORK, get_baseline, iter_baselines
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_all_expected_baselines_registered(self):
+        names = {b.info_key for b in iter_baselines()}
+        expected = {
+            "tsmots_nupwl", "tsmots_taylor2", "finker_pwl", "finker_taylor2",
+            "gomar_sigmoid", "gomar_exp", "zamanlooy", "leboeuf", "namin",
+            "basterretxea", "nilsson", "cordic", "parabolic",
+        }
+        assert expected <= names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            get_baseline("no_such_design")
+
+    def test_filter_by_function(self):
+        for b in iter_baselines("tanh"):
+            assert b.function == "tanh"
+        assert len(list(iter_baselines("exp"))) >= 4
+
+    def test_every_baseline_has_table1_metadata(self):
+        for b in iter_baselines():
+            assert b.info.key in RELATED_WORK
+            assert b.function in b.info.functions or b.function == "tanh"
+
+
+class TestTable1Metadata:
+    def test_nacu_row(self):
+        nacu = RELATED_WORK["nacu"]
+        assert nacu.area_um2 == 9671.0
+        assert nacu.tech_node_nm == 28.0
+        assert nacu.lut_entries == 53
+        assert set(nacu.functions) == {"sigmoid", "tanh", "exp", "softmax"}
+
+    def test_published_areas(self):
+        assert RELATED_WORK["zamanlooy"].area_um2 == 1280.66
+        assert RELATED_WORK["leboeuf"].area_um2 == 11871.53
+        assert RELATED_WORK["namin"].area_um2 == 5130.78
+        assert RELATED_WORK["nilsson"].area_um2 == 20700.0
+        assert RELATED_WORK["cordic"].area_um2 == 19150.0
+        assert RELATED_WORK["parabolic"].area_um2 == 26400.0
+
+    def test_lut_entries_column(self):
+        assert RELATED_WORK["tsmots_nupwl"].lut_entries == 7
+        assert RELATED_WORK["finker_pwl"].lut_entries == 102
+        assert RELATED_WORK["finker_taylor2"].lut_entries == 28
+        assert RELATED_WORK["zamanlooy"].lut_entries == 14
+        assert RELATED_WORK["leboeuf"].lut_entries == 127
+
+    def test_only_nacu_covers_all_functions(self):
+        for key, info in RELATED_WORK.items():
+            if key != "nacu":
+                assert len(info.functions) < 4
+
+
+class TestInterfaceContract:
+    def test_eval_preserves_shape(self):
+        for b in iter_baselines():
+            domain = (-1.0, 0.0) if b.function == "exp" else (-4.0, 4.0)
+            x = np.linspace(*domain, 7).reshape(7)
+            assert b.eval(x).shape == (7,)
+
+    def test_entries_reported(self):
+        for b in iter_baselines():
+            assert b.n_entries >= 0
+
+    def test_repr(self):
+        for b in iter_baselines():
+            assert "entries" in repr(b)

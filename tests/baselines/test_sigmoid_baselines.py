@@ -1,0 +1,132 @@
+"""Accuracy and behaviour tests for the sigmoid baselines ([6],[7],[10],[11])."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare
+from repro.baselines import (
+    BasterretxeaRecursiveSigmoid,
+    FinkerPwlSigmoid,
+    FinkerTaylor2Sigmoid,
+    GomarExpBasedSigmoid,
+    TsmotsNupwlSigmoid,
+    TsmotsTaylor2Sigmoid,
+)
+from repro.funcs import sigmoid
+
+DOMAIN = (-8.0, 8.0)
+
+
+def report_of(baseline):
+    return compare(baseline.eval, sigmoid, *DOMAIN)
+
+
+class TestTsmotsNupwl:
+    def test_entry_count_matches_table1(self):
+        assert TsmotsNupwlSigmoid().n_entries == 7
+
+    def test_slopes_are_powers_of_two(self):
+        for seg in TsmotsNupwlSigmoid().table.segments:
+            if seg.slope != 0.0:
+                assert np.log2(abs(seg.slope)) == int(np.log2(abs(seg.slope)))
+
+    def test_error_order_of_magnitude(self):
+        # Section VII.A: ~10x worse than NACU's ~4e-4 max error.
+        report = report_of(TsmotsNupwlSigmoid())
+        assert 2e-3 < report.max_error < 5e-2
+
+    def test_symmetry(self):
+        model = TsmotsNupwlSigmoid()
+        x = np.linspace(0.1, 7.9, 50)
+        np.testing.assert_allclose(
+            model.eval(-x), 1.0 - model.eval(x), atol=1e-12
+        )
+
+
+class TestTsmotsTaylor2:
+    def test_entry_count_matches_table1(self):
+        assert TsmotsTaylor2Sigmoid().n_entries == 4
+
+    def test_no_big_accuracy_improvement_over_nupwl(self):
+        # Section VII.A: the multiplier "does not result in any accuracy
+        # improvement" — both land in the same coarse band, far from
+        # NACU's one-LSB regime.
+        taylor = report_of(TsmotsTaylor2Sigmoid())
+        assert taylor.max_error > 1e-3
+
+
+class TestFinker:
+    def test_pwl_is_roughly_10x_better_than_nacu(self):
+        report = report_of(FinkerPwlSigmoid())
+        assert report.max_error < 1e-4  # NACU is ~4e-4
+
+    def test_taylor2_comparable_accuracy_fewer_entries(self):
+        pwl = report_of(FinkerPwlSigmoid())
+        taylor = report_of(FinkerTaylor2Sigmoid())
+        assert taylor.max_error < 3 * pwl.max_error
+        assert FinkerTaylor2Sigmoid().n_entries < FinkerPwlSigmoid().n_entries
+
+    def test_entry_counts_match_table1(self):
+        assert FinkerPwlSigmoid().n_entries == 102
+        assert FinkerTaylor2Sigmoid().n_entries == 28
+
+
+class TestGomarSigmoid:
+    def test_rmse_matches_published_order(self):
+        # [11] reports RMSE 9.1e-3 with 0.998 correlation.
+        report = report_of(GomarExpBasedSigmoid())
+        assert 1e-3 < report.rmse < 2e-2
+        assert report.correlation > 0.998
+
+    def test_no_tables(self):
+        assert GomarExpBasedSigmoid().n_entries == 0
+
+    def test_output_in_unit_interval(self):
+        x = np.linspace(-8, 8, 501)
+        out = GomarExpBasedSigmoid().eval(x)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+
+class TestBasterretxea:
+    def test_deeper_recursion_improves(self):
+        shallow = compare(BasterretxeaRecursiveSigmoid(depth=1).eval, sigmoid, *DOMAIN)
+        deep = compare(BasterretxeaRecursiveSigmoid(depth=5).eval, sigmoid, *DOMAIN)
+        assert deep.max_error < shallow.max_error / 3
+
+    def test_segments_grow_with_depth(self):
+        assert (
+            BasterretxeaRecursiveSigmoid(depth=5).n_entries
+            > BasterretxeaRecursiveSigmoid(depth=2).n_entries
+        )
+
+    def test_published_accuracy_band(self):
+        # The paper's q=3 design reaches ~2e-2 max error.
+        report = report_of(BasterretxeaRecursiveSigmoid(depth=3))
+        assert report.max_error < 5e-2
+
+
+class TestNambiar:
+    def test_published_max_error(self):
+        # The classic piecewise-parabola reaches ~2.18e-2 max error.
+        from repro.baselines import NambiarParabolicSigmoid
+
+        report = report_of(NambiarParabolicSigmoid())
+        assert report.max_error == pytest.approx(2.18e-2, rel=0.1)
+
+    def test_no_stored_coefficients(self):
+        from repro.baselines import NambiarParabolicSigmoid
+
+        assert NambiarParabolicSigmoid().n_entries == 0
+
+    def test_saturates_at_knee(self):
+        from repro.baselines import NambiarParabolicSigmoid
+
+        model = NambiarParabolicSigmoid()
+        out = model.eval(np.array([4.0, 6.0, 8.0]))
+        assert out[0] == out[1] == out[2]
+
+    def test_not_a_table1_column(self):
+        from repro.baselines import RELATED_WORK
+
+        assert not RELATED_WORK["nambiar"].in_table1

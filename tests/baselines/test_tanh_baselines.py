@@ -1,0 +1,105 @@
+"""Accuracy and behaviour tests for the tanh baselines ([4],[5],[8],[11])."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare
+from repro.baselines import (
+    GomarExpBasedTanh,
+    LeboeufRalutTanh,
+    NaminHybridTanh,
+    ZamanlooyRalutTanh,
+)
+from repro.funcs import tanh
+
+DOMAIN = (-4.0, 4.0)
+
+
+def report_of(baseline):
+    return compare(baseline.eval, tanh, *DOMAIN)
+
+
+@pytest.fixture(scope="module")
+def zamanlooy():
+    return ZamanlooyRalutTanh()
+
+
+@pytest.fixture(scope="module")
+def leboeuf():
+    return LeboeufRalutTanh()
+
+
+@pytest.fixture(scope="module")
+def namin():
+    return NaminHybridTanh()
+
+
+class TestZamanlooy:
+    def test_entry_count_matches_table1(self, zamanlooy):
+        assert zamanlooy.n_entries == 14
+
+    def test_three_regions(self, zamanlooy):
+        model = zamanlooy
+        assert 0.0 < model.pass_edge < model.sat_edge
+
+    def test_pass_region_is_identity(self, zamanlooy):
+        model = zamanlooy
+        x = np.array([model.pass_edge / 2.0])
+        # Within the pass region the output is x itself (quantised).
+        assert abs(model.eval(x)[0] - x[0]) <= model.OUT_FMT.resolution
+
+    def test_saturation_region_constant(self, zamanlooy):
+        model = zamanlooy
+        outs = model.eval(np.array([model.sat_edge + 0.5, model.sat_edge + 2.0]))
+        assert outs[0] == outs[1] == model.OUT_FMT.max_value
+
+    def test_six_bit_error_band(self, zamanlooy):
+        report = report_of(zamanlooy)
+        assert 2.0 ** -7 < report.max_error < 2.0 ** -4
+
+
+class TestLeboeuf:
+    def test_entry_budget_matches_table1(self, leboeuf):
+        assert leboeuf.n_entries <= 127
+
+    def test_error_band_for_10_bits(self, leboeuf):
+        report = report_of(leboeuf)
+        assert 1e-3 < report.max_error < 1e-2
+
+    def test_oddness(self, leboeuf):
+        model = leboeuf
+        x = np.linspace(0.1, 3.9, 40)
+        np.testing.assert_allclose(model.eval(-x), -model.eval(x), atol=1e-12)
+
+
+class TestNamin:
+    def test_hybrid_beats_plain_pwl_of_same_coarseness(self, namin):
+        model = namin
+        x = np.linspace(*DOMAIN, 2001)
+        plain = model.pwl.table.eval(np.abs(x)) * np.sign(x)
+        hybrid_err = np.max(np.abs(model.eval(x) - tanh(x)))
+        plain_err = np.max(np.abs(plain - tanh(x)))
+        assert hybrid_err < plain_err / 2
+
+    def test_error_band_for_10_bits(self, namin):
+        report = report_of(namin)
+        assert 1e-3 < report.max_error < 2e-2
+
+
+class TestGomarTanh:
+    def test_rmse_matches_published_order(self):
+        # [11] reports tanh RMSE 1.77e-2 with 0.999 correlation; the model
+        # lands within the same decade (and NACU is ~100x better).
+        report = report_of(GomarExpBasedTanh())
+        assert 2e-3 < report.rmse < 3e-2
+        assert report.correlation > 0.999
+
+    def test_tanh_error_roughly_doubles_sigmoid_error(self):
+        # Eq. 3 doubles the output scale, so [11]'s tanh is about twice as
+        # wrong as its sigmoid.
+        from repro.baselines import GomarExpBasedSigmoid
+
+        sig = compare(GomarExpBasedSigmoid().eval,
+                      lambda x: 1 / (1 + np.exp(-x)), -8, 8)
+        report = report_of(GomarExpBasedTanh())
+        assert report.rmse > sig.rmse

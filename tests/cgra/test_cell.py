@@ -1,0 +1,94 @@
+"""Tests for the CGRA processing cell."""
+
+import numpy as np
+import pytest
+
+from repro.cgra.cell import RECONFIGURE_CYCLES, ProcessingCell
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu import FunctionMode, Nacu
+
+
+FMT = QFormat(4, 11)
+
+
+@pytest.fixture
+def cell():
+    return ProcessingCell(name="t")
+
+
+class TestConfiguration:
+    def test_morphing_costs_cycles(self, cell):
+        assert cell.configure(FunctionMode.SIGMOID) == RECONFIGURE_CYCLES
+        assert cell.reconfigurations == 1
+
+    def test_same_mode_is_free(self, cell):
+        cell.configure(FunctionMode.SIGMOID)
+        assert cell.configure(FunctionMode.SIGMOID) == 0
+        assert cell.reconfigurations == 1
+
+    def test_unconfigured_cell_rejects_jobs(self, cell):
+        x = FxArray.from_float(np.ones((1, 2)), FMT)
+        w = FxArray.from_float(np.ones((2, 2)), FMT)
+        b = FxArray.from_float(np.zeros(2), FMT)
+        with pytest.raises(ConfigError):
+            cell.dense_slice(x, w, b, FunctionMode.SIGMOID)
+
+    def test_reset_counters(self, cell):
+        cell.configure(FunctionMode.TANH)
+        cell.reset_counters()
+        assert cell.busy_cycles == 0
+        assert cell.reconfigurations == 0
+
+
+class TestDenseSlice:
+    def test_matches_reference_unit(self, cell):
+        rng = np.random.default_rng(0)
+        x = FxArray.from_float(rng.uniform(-1, 1, (3, 5)), FMT)
+        w = FxArray.from_float(rng.uniform(-1, 1, (5, 4)), FMT)
+        b = FxArray.from_float(rng.uniform(-0.5, 0.5, 4), FMT)
+        cell.configure(FunctionMode.SIGMOID)
+        out = cell.dense_slice(x, w, b, FunctionMode.SIGMOID)
+        # Reference: same quantised matmul + the same unit's sigmoid.
+        from repro.nn.quantized import quantized_matmul
+
+        z = quantized_matmul(x, w, FMT)
+        z = FxArray.from_float(z.to_float() + b.to_float(), FMT)
+        unit = Nacu()
+        expected = unit.datapath.activation(
+            FxArray(z.raw.ravel(), FMT), FunctionMode.SIGMOID
+        )
+        np.testing.assert_array_equal(out.raw.ravel(), expected.raw)
+
+    def test_mac_phase_cycles(self, cell):
+        x = FxArray.from_float(np.zeros((2, 5)), FMT)
+        w = FxArray.from_float(np.zeros((5, 3)), FMT)
+        b = FxArray.from_float(np.zeros(3), FMT)
+        cell.configure(FunctionMode.MAC)
+        before = cell.busy_cycles
+        cell.dense_slice(x, w, b, FunctionMode.MAC)
+        assert cell.busy_cycles - before == 2 * 3 * 5  # batch*out*in
+
+    def test_activation_adds_pipeline_cycles(self, cell):
+        x = FxArray.from_float(np.zeros((1, 4)), FMT)
+        w = FxArray.from_float(np.zeros((4, 2)), FMT)
+        b = FxArray.from_float(np.zeros(2), FMT)
+        cell.configure(FunctionMode.SIGMOID)
+        before = cell.busy_cycles
+        cell.dense_slice(x, w, b, FunctionMode.SIGMOID)
+        mac_cycles = 1 * 2 * 4
+        act_cycles = Nacu().cycles(FunctionMode.SIGMOID, 2)
+        assert cell.busy_cycles - before == mac_cycles + act_cycles
+
+
+class TestActivationOnly:
+    def test_exp_mode(self, cell):
+        x = FxArray.from_float(np.linspace(-4, 0, 6), FMT)
+        out = cell.activation_only(x, FunctionMode.EXP)
+        expected = Nacu().datapath.exponential(x)
+        np.testing.assert_array_equal(out.raw, expected.raw)
+
+    def test_shape_preserved(self, cell):
+        x = FxArray.from_float(np.zeros((2, 3)), FMT)
+        out = cell.activation_only(x, FunctionMode.TANH)
+        assert out.raw.shape == (2, 3)

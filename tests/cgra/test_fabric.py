@@ -1,0 +1,134 @@
+"""Tests for the fabric and the MLP mapper."""
+
+import numpy as np
+import pytest
+
+from repro.cgra import Fabric, map_mlp
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu import FunctionMode, Nacu
+from repro.nn import FixedPointMlp, Mlp, NacuActivations, make_gaussian_clusters
+
+FMT = QFormat(4, 11)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, y = make_gaussian_clusters(n_classes=4, n_features=16, n_per_class=40, seed=1)
+    mlp = Mlp([16, 24, 4], seed=2)
+    mlp.train(x, y, epochs=150, learning_rate=0.8)
+    return mlp, x, y
+
+
+class TestFabric:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Fabric(0, 2)
+
+    def test_cell_count(self):
+        assert Fabric(2, 3).n_cells == 6
+
+    def test_dense_striping_preserves_output_order(self):
+        rng = np.random.default_rng(3)
+        x = FxArray.from_float(rng.uniform(-1, 1, (2, 6)), FMT)
+        w = FxArray.from_float(rng.uniform(-1, 1, (6, 8)), FMT)
+        b = FxArray.from_float(np.zeros(8), FMT)
+        out1, _ = Fabric(1, 1).run_dense(x, w, b, FunctionMode.TANH)
+        out4, _ = Fabric(2, 2).run_dense(x, w, b, FunctionMode.TANH)
+        np.testing.assert_array_equal(out1.raw, out4.raw)
+
+    def test_more_cells_fewer_critical_cycles(self):
+        rng = np.random.default_rng(4)
+        x = FxArray.from_float(rng.uniform(-1, 1, (4, 16)), FMT)
+        w = FxArray.from_float(rng.uniform(-1, 1, (16, 16)), FMT)
+        b = FxArray.from_float(np.zeros(16), FMT)
+        _, r1 = Fabric(1, 1).run_dense(x, w, b, FunctionMode.SIGMOID)
+        _, r4 = Fabric(2, 2).run_dense(x, w, b, FunctionMode.SIGMOID)
+        assert r4.cycles < r1.cycles / 2
+
+    def test_utilisation_balanced_when_divisible(self):
+        x = FxArray.from_float(np.zeros((1, 8)), FMT)
+        w = FxArray.from_float(np.zeros((8, 8)), FMT)
+        b = FxArray.from_float(np.zeros(8), FMT)
+        _, report = Fabric(2, 2).run_dense(x, w, b, FunctionMode.SIGMOID)
+        assert report.utilisation > 0.95
+
+    def test_run_activation_bit_identical(self):
+        x = FxArray.from_float(np.linspace(-4, 4, 10), FMT)
+        out, _ = Fabric(2, 2).run_activation(x, FunctionMode.SIGMOID)
+        expected = Nacu().datapath.activation(x, FunctionMode.SIGMOID)
+        np.testing.assert_array_equal(out.raw, expected.raw)
+
+    def test_softmax_on_single_cell(self):
+        x = FxArray.from_float(np.array([1.0, 2.0, 0.5]), FMT)
+        fabric = Fabric(2, 2)
+        out, report = fabric.run_softmax(x)
+        np.testing.assert_array_equal(out.raw, Nacu().softmax(x).raw)
+        assert report.utilisation < 0.5  # three cells idle
+
+    def test_reset(self):
+        fabric = Fabric(1, 2)
+        x = FxArray.from_float(np.zeros(4), FMT)
+        fabric.run_activation(x, FunctionMode.TANH)
+        fabric.reset()
+        assert fabric.total_cycles() == 0
+
+
+class TestMlpMapping:
+    def test_bit_identical_to_fixed_point_mlp(self, trained):
+        mlp, x, _ = trained
+        reference = FixedPointMlp(mlp, NacuActivations(Nacu()))
+        mapping = map_mlp(mlp, Fabric(2, 2))
+        np.testing.assert_array_equal(
+            mapping.forward(x[:16]), reference.forward(x[:16])
+        )
+
+    def test_accuracy_preserved(self, trained):
+        mlp, x, y = trained
+        mapping = map_mlp(mlp, Fabric(2, 2))
+        assert mapping.accuracy(x[:100], y[:100]) == pytest.approx(
+            mlp.accuracy(x[:100], y[:100]), abs=0.05
+        )
+
+    def test_parallel_speedup(self, trained):
+        mlp, x, _ = trained
+        single = map_mlp(mlp, Fabric(1, 1))
+        quad = map_mlp(mlp, Fabric(2, 2))
+        single.forward(x[:8])
+        quad.forward(x[:8])
+        assert quad.total_cycles < single.total_cycles / 1.8
+
+    def test_morphing_happens(self, trained):
+        # Hidden layers run sigma, the classifier morphs to MAC+softmax:
+        # the same cells change function within one inference.
+        mlp, x, _ = trained
+        mapping = map_mlp(mlp, Fabric(1, 1))
+        mapping.forward(x[:2])
+        assert mapping.total_reconfigurations >= 3
+
+
+class TestEnergyAccounting:
+    def test_energy_positive_after_forward(self, trained):
+        mlp, x, _ = trained
+        mapping = map_mlp(mlp, Fabric(2, 2))
+        mapping.forward(x[:8])
+        assert mapping.total_energy_nj > 0
+
+    def test_energy_independent_of_parallelism(self, trained):
+        # Latency takes the max over cells; energy sums busy cycles, so it
+        # should be nearly identical on 1 vs 4 cells (same work).
+        mlp, x, _ = trained
+        single = map_mlp(mlp, Fabric(1, 1))
+        quad = map_mlp(mlp, Fabric(2, 2))
+        single.forward(x[:8])
+        quad.forward(x[:8])
+        ratio = quad.total_energy_nj / single.total_energy_nj
+        assert 0.8 < ratio < 1.3
+
+    def test_energy_scales_with_batch(self, trained):
+        mlp, x, _ = trained
+        mapping = map_mlp(mlp, Fabric(2, 2))
+        mapping.forward(x[:4])
+        small = mapping.total_energy_nj
+        mapping.forward(x[:16])
+        assert mapping.total_energy_nj > 3 * small

@@ -1,0 +1,52 @@
+"""Tests for running LSTM steps on the fabric."""
+
+import numpy as np
+import pytest
+
+from repro.cgra import Fabric
+from repro.cgra.lstm_mapping import FabricLstm
+from repro.nacu import Nacu
+from repro.nn import LstmCell, NacuActivations
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cell = LstmCell(1, 8, seed=0)
+    return cell, Fabric(2, 2)
+
+
+class TestFabricLstm:
+    def test_tracks_direct_nacu_execution(self, setup):
+        cell, fabric = setup
+        mapped = FabricLstm(cell, fabric)
+        seqs = np.random.default_rng(1).uniform(-1, 1, size=(8, 6, 1))
+        h_fabric = mapped.run(seqs)
+        h_direct = cell.run(seqs, NacuActivations(Nacu()))
+        # Same activations, slightly different matmul quantisation points:
+        # trajectories must stay within a few LSBs of each other.
+        assert np.max(np.abs(h_fabric - h_direct)) < 20 * 2.0 ** -11
+
+    def test_hidden_bounded(self, setup):
+        cell, fabric = setup
+        mapped = FabricLstm(cell, fabric)
+        seqs = np.random.default_rng(2).uniform(-1, 1, size=(4, 10, 1))
+        h = mapped.run(seqs)
+        assert np.all(np.abs(h) <= 1.0)
+
+    def test_morphs_every_step(self, setup):
+        cell, fabric = setup
+        mapped = FabricLstm(cell, fabric)
+        seqs = np.random.default_rng(3).uniform(-1, 1, size=(2, 3, 1))
+        mapped.run(seqs)
+        # Per step: MAC -> sigma -> tanh -> sigma ... at least 2 morphs
+        # per cell per step on a fabric that serves all gate groups.
+        assert mapped.total_reconfigurations >= 2 * seqs.shape[1]
+
+    def test_cycles_accumulate(self, setup):
+        cell, fabric = setup
+        mapped = FabricLstm(cell, fabric)
+        seqs = np.random.default_rng(4).uniform(-1, 1, size=(2, 4, 1))
+        mapped.run(seqs)
+        short = mapped.total_cycles
+        mapped.run(np.repeat(seqs, 2, axis=1))
+        assert mapped.total_cycles > 1.5 * short

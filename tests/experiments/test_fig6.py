@@ -1,0 +1,84 @@
+"""Fig. 6's who-wins relationships — the paper's headline comparisons."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.fixture(scope="module")
+def results():
+    result = fig6.run()
+    return {(r["function"], r["design"]): r for r in result.rows}
+
+
+def ratio(results, function, design):
+    return results[(function, design)]["max_vs_nacu16"]
+
+
+class TestSigmoidPanel:
+    def test_nupwl_6_much_worse(self, results):
+        # Section VII.A: "10X worse max error compared to NACU".
+        assert ratio(results, "sigmoid", "Tsmots NUPWL [6]") > 5
+
+    def test_taylor2_6_no_one_lsb_accuracy(self, results):
+        assert ratio(results, "sigmoid", "Tsmots Taylor-2 [6]") > 2
+
+    def test_finker_roughly_10x_better(self, results):
+        assert ratio(results, "sigmoid", "Finker PWL-102 [10]") < 0.3
+
+    def test_finker_taylor_comparable_to_pwl(self, results):
+        pwl = ratio(results, "sigmoid", "Finker PWL-102 [10]")
+        taylor = ratio(results, "sigmoid", "Finker Taylor2-28 [10]")
+        assert 0.2 < taylor / pwl < 5
+
+    def test_gomar_sigma_much_worse(self, results):
+        assert ratio(results, "sigmoid", "Gomar exp-based sigmoid [11]") > 10
+
+
+class TestTanhPanel:
+    def test_all_ralut_works_worse_than_nacu(self, results):
+        for design in (
+            "Zamanlooy RALUT [4]",
+            "Leboeuf RALUT [5]",
+            "Namin PWL+RALUT [8]",
+        ):
+            assert ratio(results, "tanh", design) > 3
+
+    def test_gomar_tanh_much_worse(self, results):
+        assert ratio(results, "tanh", "Gomar exp-based tanh [11]") > 10
+
+
+class TestExpPanel:
+    def test_nacu_worse_than_wide_designs(self, results):
+        # Section VII.C: "NACU is 10X worse ... [13,14] use 18 to 21 bits".
+        for design in (
+            "Nilsson Taylor-6 [13]",
+            "CORDIC exp [14]",
+            "Parabolic synthesis [14]",
+        ):
+            assert ratio(results, "exp", design) < 0.5
+
+    def test_wider_nacu_closes_the_gap(self, results):
+        # "NACU implementations that use larger bit-widths can reach
+        # accuracies closer to the related work."
+        assert ratio(results, "exp", "NACU 18-bit") < 1.0
+        assert ratio(results, "exp", "NACU 21-bit") < ratio(
+            results, "exp", "NACU 18-bit"
+        )
+
+    def test_gomar_base2_far_worse(self, results):
+        assert ratio(results, "exp", "Gomar base-2 exp [12]") > 10
+
+
+class TestAverageErrorPanels:
+    def test_avg_error_rankings_match_max_error_direction(self, results):
+        # Fig. 6d/e: the average-error ordering mirrors the max-error one
+        # for the coarse designs.
+        for function, design in [
+            ("sigmoid", "Tsmots NUPWL [6]"),
+            ("tanh", "Zamanlooy RALUT [4]"),
+        ]:
+            assert results[(function, design)]["avg_vs_nacu16"] > 3
+
+    def test_narrow_nacu_worse_on_average(self, results):
+        assert results[("sigmoid", "NACU 10-bit")]["avg_vs_nacu16"] > 5

@@ -1,0 +1,36 @@
+"""Tests for the ExperimentResult container."""
+
+from repro.experiments import ExperimentResult
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        paper_claim="something",
+        rows=[
+            {"a": 1, "b": 0.5, "c": "x"},
+            {"a": 2, "b": 1e-6, "c": None},
+        ],
+    )
+
+
+class TestExperimentResult:
+    def test_columns_from_first_row(self):
+        assert make_result().columns() == ["a", "b", "c"]
+
+    def test_to_text_contains_all_cells(self):
+        text = make_result().to_text()
+        for token in ("demo", "Demo", "something", "a", "b", "c", "1", "2", "x"):
+            assert token in text
+
+    def test_none_rendered_as_dash(self):
+        assert "-" in make_result().to_text()
+
+    def test_small_floats_scientific(self):
+        assert "1e-06" in make_result().to_text()
+
+    def test_empty_rows(self):
+        empty = ExperimentResult("e", "t", "c", [])
+        assert "(no rows)" in empty.to_text()
+        assert empty.columns() == []

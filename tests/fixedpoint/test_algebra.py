@@ -1,0 +1,107 @@
+"""Algebraic property tests of the fixed-point ops (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, ops
+
+FMT = QFormat(4, 11)
+WIDE = QFormat(8, 22)
+values = st.floats(-7.9, 7.9)
+small = st.floats(-1.9, 1.9)
+
+
+def fx(v, fmt=FMT):
+    return FxArray.from_float(v, fmt)
+
+
+class TestCommutativity:
+    @given(values, values)
+    @settings(max_examples=100)
+    def test_add_commutes(self, a, b):
+        assert ops.add(fx(a), fx(b)) == ops.add(fx(b), fx(a))
+
+    @given(small, small)
+    @settings(max_examples=100)
+    def test_mul_commutes(self, a, b):
+        assert ops.mul(fx(a), fx(b)) == ops.mul(fx(b), fx(a))
+
+
+class TestIdentities:
+    @given(values)
+    def test_additive_identity(self, a):
+        assert ops.add(fx(a), fx(0.0)) == fx(a)
+
+    @given(values)
+    def test_multiplicative_identity(self, a):
+        one = FxArray.from_raw(1 << FMT.fb, FMT)
+        assert ops.mul(fx(a), one) == fx(a)
+
+    @given(values)
+    def test_double_negation(self, a):
+        x = fx(a)
+        if int(x.raw) == FMT.raw_min:
+            return  # most-negative saturates by design
+        assert ops.neg(ops.neg(x)) == x
+
+    @given(values)
+    def test_sub_is_add_neg(self, a):
+        x, y = fx(a), fx(1.25)
+        assert ops.sub(x, y) == ops.add(x, ops.neg(y))
+
+    @given(values)
+    def test_shift_left_is_mul_by_two(self, a):
+        x = fx(a)
+        two = fx(2.0)
+        assert ops.shift_left(x, 1) == ops.mul(x, two)
+
+
+class TestExactnessInWideFormats:
+    @given(small, small, small)
+    @settings(max_examples=100)
+    def test_add_associative_when_exact(self, a, b, c):
+        # In a wide-enough accumulator no rounding occurs, so fixed-point
+        # addition is exactly associative.
+        xs = [fx(v, WIDE) for v in (a, b, c)]
+        left = ops.add(ops.add(xs[0], xs[1]), xs[2])
+        right = ops.add(xs[0], ops.add(xs[1], xs[2]))
+        assert left == right
+
+    @given(small, small)
+    @settings(max_examples=100)
+    def test_mul_exact_into_wide_output(self, a, b):
+        x, y = fx(a), fx(b)
+        wide = ops.mul(x, y, out_fmt=WIDE)
+        exact = float(x.to_float()) * float(y.to_float())
+        assert float(wide.to_float()) == exact
+
+
+class TestResizeProperties:
+    @given(values)
+    def test_widen_then_narrow_roundtrip(self, a):
+        x = fx(a)
+        widened = ops.resize(x, WIDE)
+        back = ops.resize(widened, FMT)
+        assert back == x
+
+    @given(values)
+    def test_resize_to_same_format_is_identity(self, a):
+        x = fx(a)
+        assert ops.resize(x, FMT) == x
+
+
+class TestDivisionInvariants:
+    @given(st.floats(0.51, 7.9), st.floats(0.51, 7.9))
+    @settings(max_examples=100)
+    def test_quotient_times_divisor_within_one_lsb_scaled(self, n, d):
+        num, den = fx(n), fx(d)
+        q = ops.divide(num, den, out_fmt=WIDE, rounding=Rounding.FLOOR)
+        back = float(q.to_float()) * float(den.to_float())
+        assert back <= float(num.to_float()) + 1e-12
+        assert back > float(num.to_float()) - float(den.to_float()) * WIDE.resolution * 2
+
+    @given(st.floats(0.51, 7.9))
+    def test_self_division_is_one(self, v):
+        x = fx(v)
+        q = ops.divide(x, x, out_fmt=FMT, rounding=Rounding.NEAREST_EVEN)
+        assert float(q.to_float()) == 1.0

@@ -1,0 +1,73 @@
+"""Tests for bit-field helpers backing the Fig. 3 rewiring units."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import QFormat
+from repro.fixedpoint import bitops
+
+
+FMT = QFormat(1, 2)  # 4-bit signed: easy to enumerate
+
+
+class TestWordEncoding:
+    def test_positive_passthrough(self):
+        assert int(bitops.to_unsigned_word(5, FMT)) == 5
+
+    def test_negative_twos_complement(self):
+        assert int(bitops.to_unsigned_word(-1, FMT)) == 0b1111
+
+    def test_roundtrip_all_values(self):
+        raws = np.arange(FMT.raw_min, FMT.raw_max + 1)
+        words = bitops.to_unsigned_word(raws, FMT)
+        np.testing.assert_array_equal(bitops.from_unsigned_word(words, FMT), raws)
+
+    def test_unsigned_format_decodes_identity(self):
+        fmt = QFormat(2, 2, signed=False)
+        assert int(bitops.from_unsigned_word(15, fmt)) == 15
+
+
+class TestFields:
+    def test_fraction_field(self):
+        # 1.75 in Q1.2 = raw 7 = 01.11: fraction bits 11.
+        assert int(bitops.fraction_field(7, FMT)) == 0b11
+
+    def test_integer_field_includes_sign(self):
+        # -0.25 in Q1.2 = raw -1 = 11.11: integer field (sign+int) = 11.
+        assert int(bitops.integer_field(-1, FMT)) == 0b11
+
+    def test_assemble_inverts_split(self):
+        raws = np.arange(FMT.raw_min, FMT.raw_max + 1)
+        rebuilt = bitops.assemble(
+            bitops.integer_field(raws, FMT), bitops.fraction_field(raws, FMT), FMT
+        )
+        np.testing.assert_array_equal(rebuilt, raws)
+
+    @given(st.integers(-(2 ** 15), 2 ** 15 - 1))
+    def test_assemble_roundtrip_16bit(self, raw):
+        fmt = QFormat(4, 11)
+        rebuilt = bitops.assemble(
+            bitops.integer_field(raw, fmt), bitops.fraction_field(raw, fmt), fmt
+        )
+        assert int(rebuilt) == raw
+
+
+class TestFieldOps:
+    def test_twos_complement_field(self):
+        assert int(bitops.twos_complement_field(0b01, 2)) == 0b11
+        assert int(bitops.twos_complement_field(0b00, 2)) == 0b00
+
+    def test_twos_complement_is_involution(self):
+        for width in (2, 5, 11):
+            fields = np.arange(1 << width)
+            twice = bitops.twos_complement_field(
+                bitops.twos_complement_field(fields, width), width
+            )
+            np.testing.assert_array_equal(twice, fields)
+
+    def test_bit_extraction(self):
+        # raw 5 = 0101
+        assert int(bitops.bit(5, 0, FMT)) == 1
+        assert int(bitops.bit(5, 1, FMT)) == 0
+        assert int(bitops.bit(5, 2, FMT)) == 1
+        assert int(bitops.bit(-1, 3, FMT)) == 1

@@ -1,0 +1,65 @@
+"""Tests for the Eq. 6/7 format-selection method (paper Section III)."""
+
+import math
+
+import pytest
+
+from repro.fixedpoint import (
+    QFormat,
+    input_max,
+    min_integer_bits,
+    satisfies_eq7,
+    select_format,
+    sweep_formats,
+)
+
+
+class TestInputMax:
+    def test_eq6_value(self):
+        # In_max = 2^ib - 2^-fb
+        assert input_max(QFormat(4, 11)) == 16.0 - 2.0 ** -11
+
+
+class TestEq7:
+    def test_paper_16bit_example(self):
+        # Section III: N = 16 requires a minimum of i_b = 4.
+        assert min_integer_bits(16) == 4
+        assert select_format(16) == QFormat(4, 11)
+
+    def test_q4_11_satisfies(self):
+        assert satisfies_eq7(QFormat(4, 11))
+
+    def test_q3_12_fails(self):
+        # One fewer integer bit violates the saturation condition.
+        assert not satisfies_eq7(QFormat(3, 12))
+
+    def test_explicit_out_format(self):
+        # Coarser output accuracy relaxes the input-range requirement.
+        assert satisfies_eq7(QFormat(3, 12), QFormat(3, 4))
+
+    def test_monotone_in_width(self):
+        # Wider words need >= integer bits (more fraction bits to cover).
+        ibs = [min_integer_bits(n) for n in range(8, 28)]
+        assert all(b2 >= b1 for b1, b2 in zip(ibs, ibs[1:]))
+
+    def test_selected_format_tail_below_lsb(self):
+        for n in (8, 12, 16, 20, 24):
+            fmt = select_format(n)
+            assert math.exp(-input_max(fmt)) < fmt.resolution
+
+    def test_selected_format_is_minimal(self):
+        for n in (8, 12, 16, 20, 24):
+            fmt = select_format(n)
+            if fmt.ib > 0:
+                smaller = QFormat.from_total_bits(n, fmt.ib - 1)
+                assert not satisfies_eq7(smaller)
+
+
+class TestSweep:
+    def test_sweep_rows_are_consistent(self):
+        rows = sweep_formats([8, 16, 24])
+        assert [r.n_bits for r in rows] == [8, 16, 24]
+        for row in rows:
+            assert row.fmt.n_bits == row.n_bits
+            assert row.tail_below_lsb
+            assert row.sigmoid_tail == pytest.approx(math.exp(-row.in_max))

@@ -1,0 +1,83 @@
+"""Tests for the FxArray container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FormatError
+from repro.fixedpoint import FxArray, Overflow, QFormat
+
+
+FMT = QFormat(4, 11)
+
+
+class TestConstruction:
+    def test_constructor_rejects_out_of_range_raw(self):
+        with pytest.raises(FormatError):
+            FxArray(np.array([FMT.raw_max + 1]), FMT)
+
+    def test_from_float_roundtrip_exact_grid(self):
+        values = np.arange(-16.0, 16.0, 0.25)
+        x = FxArray.from_float(values, FMT)
+        np.testing.assert_array_equal(x.to_float(), values)
+
+    def test_from_raw_wraps_when_asked(self):
+        x = FxArray.from_raw(FMT.raw_max + 1, FMT, overflow=Overflow.WRAP)
+        assert int(x.raw) == FMT.raw_min
+
+    def test_from_raw_errors_by_default(self):
+        with pytest.raises(Exception):
+            FxArray.from_raw(FMT.raw_max + 1, FMT)
+
+    def test_zeros(self):
+        z = FxArray.zeros((3, 2), FMT)
+        assert z.shape == (3, 2)
+        assert np.all(z.raw == 0)
+
+
+class TestViews:
+    def test_reinterpret_keeps_bits(self):
+        # Doubling the value by moving the binary point: q -> 2q.
+        q = FxArray.from_float(0.75, QFormat(1, 14))
+        doubled = q.reinterpret(QFormat(2, 13))
+        assert float(doubled.to_float()) == 1.5
+
+    def test_reinterpret_rejects_width_change(self):
+        q = FxArray.from_float(0.75, QFormat(1, 14))
+        with pytest.raises(FormatError):
+            q.reinterpret(QFormat(1, 11))
+
+    def test_getitem_and_len(self):
+        x = FxArray.from_float(np.array([1.0, 2.0, 3.0]), FMT)
+        assert len(x) == 3
+        assert float(x[1].to_float()) == 2.0
+
+    def test_iter(self):
+        x = FxArray.from_float(np.array([1.0, -1.0]), FMT)
+        assert [float(v.to_float()) for v in x] == [1.0, -1.0]
+
+    def test_equality(self):
+        a = FxArray.from_float(1.5, FMT)
+        b = FxArray.from_float(1.5, FMT)
+        c = FxArray.from_float(1.5, QFormat(5, 10))
+        assert a == b
+        assert a != c
+
+    def test_copy_is_independent(self):
+        a = FxArray.from_float(np.array([1.0]), FMT)
+        b = a.copy()
+        b.raw[0] = 0
+        assert a.raw[0] != 0
+
+
+class TestQuantisationProperties:
+    @given(st.lists(st.floats(-15.9, 15.9), min_size=1, max_size=32))
+    def test_to_float_within_half_lsb(self, values):
+        x = FxArray.from_float(np.array(values), FMT)
+        np.testing.assert_allclose(x.to_float(), values, atol=FMT.resolution / 2)
+
+    @given(st.integers(FMT.raw_min, FMT.raw_max))
+    def test_raw_float_roundtrip(self, raw):
+        x = FxArray.from_raw(raw, FMT)
+        back = FxArray.from_float(float(x.to_float()), FMT)
+        assert int(back.raw) == raw

@@ -1,0 +1,187 @@
+"""Tests for fixed-point arithmetic ops, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FormatError
+from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, ops
+
+
+FMT = QFormat(4, 11)
+finite = st.floats(-10.0, 10.0)
+
+
+def fx(value, fmt=FMT):
+    return FxArray.from_float(value, fmt)
+
+
+class TestAddSub:
+    def test_add_exact(self):
+        assert float(ops.add(fx(1.5), fx(2.25)).to_float()) == 3.75
+
+    def test_sub_exact(self):
+        assert float(ops.sub(fx(1.5), fx(2.25)).to_float()) == -0.75
+
+    def test_add_saturates(self):
+        out = ops.add(fx(15.0), fx(15.0))
+        assert float(out.to_float()) == FMT.max_value
+
+    def test_add_wraps_when_asked(self):
+        out = ops.add(fx(15.0), fx(15.0), overflow=Overflow.WRAP)
+        assert float(out.to_float()) == 30.0 - 32.0
+
+    def test_mixed_format_alignment(self):
+        a = fx(1.5, QFormat(4, 11))
+        b = fx(0.25, QFormat(1, 14))
+        assert float(ops.add(a, b).to_float()) == 1.75
+
+    @given(finite, finite)
+    def test_add_matches_float_within_rounding(self, va, vb):
+        out = ops.add(fx(va), fx(vb))
+        expected = np.clip(va + vb, FMT.min_value, FMT.max_value)
+        assert abs(float(out.to_float()) - expected) <= 2 * FMT.resolution
+
+
+class TestNegAbs:
+    def test_neg(self):
+        assert float(ops.neg(fx(1.5)).to_float()) == -1.5
+
+    def test_neg_saturates_most_negative(self):
+        most_negative = FxArray.from_raw(FMT.raw_min, FMT)
+        assert int(ops.neg(most_negative).raw) == FMT.raw_max
+
+    def test_neg_rejects_unsigned(self):
+        with pytest.raises(FormatError):
+            ops.neg(fx(0.5, QFormat(2, 14, signed=False)))
+
+    def test_absolute(self):
+        assert float(ops.absolute(fx(-1.5)).to_float()) == 1.5
+
+
+class TestMul:
+    def test_exact_product(self):
+        assert float(ops.mul(fx(1.5), fx(2.0)).to_float()) == 3.0
+
+    def test_product_rounds_once(self):
+        # 3 lsb * 3 lsb = 9 * 2^-22, rounds to 0 at 2^-11 resolution.
+        a = FxArray.from_raw(3, FMT)
+        assert int(ops.mul(a, a).raw) == 0
+
+    def test_mul_saturates(self):
+        assert float(ops.mul(fx(8.0), fx(8.0)).to_float()) == FMT.max_value
+
+    @given(finite, finite)
+    def test_mul_matches_float_within_rounding(self, va, vb):
+        a, b = fx(va), fx(vb)
+        exact = float(a.to_float()) * float(b.to_float())
+        expected = np.clip(exact, FMT.min_value, FMT.max_value)
+        got = float(ops.mul(a, b).to_float())
+        assert abs(got - expected) <= FMT.resolution
+
+
+class TestMulAdd:
+    def test_matches_separate_ops_when_no_intermediate_rounding(self):
+        a, b, c = fx(1.25), fx(2.0), fx(0.5)
+        fused = ops.mul_add(a, b, c)
+        assert float(fused.to_float()) == 3.0
+
+    def test_addend_joins_at_full_precision(self):
+        # a*b = 0.75 lsb; with c = 0.75 lsb the fused sum is 1.5 lsb -> 2 lsb
+        # (ties-to-even on 1.5 rounds to 2); separate ops would round a*b
+        # to 1 lsb first and produce a different result path.
+        lsb = FMT.resolution
+        a = FxArray.from_raw(3, FMT)  # 3 * 2^-11
+        b = FxArray.from_float(0.25, FMT)
+        c = FxArray.from_raw(1, QFormat(4, 11))
+        fused = ops.mul_add(a, b, c)
+        exact = 3 * lsb * 0.25 + lsb
+        assert abs(float(fused.to_float()) - exact) <= lsb / 2
+
+    def test_rejects_addend_finer_than_product(self):
+        a = fx(1.0, QFormat(4, 2))
+        b = fx(1.0, QFormat(4, 2))
+        c = fx(0.0, QFormat(4, 11))
+        with pytest.raises(FormatError):
+            ops.mul_add(a, b, c)
+
+    @given(finite, st.floats(-0.25, 0.25), finite)
+    def test_mul_add_matches_float(self, va, vb, vc):
+        a, b, c = fx(va), fx(vb, QFormat(1, 14)), fx(vc)
+        exact = float(a.to_float()) * float(b.to_float()) + float(c.to_float())
+        expected = np.clip(exact, FMT.min_value, FMT.max_value)
+        got = float(ops.mul_add(a, b, c, out_fmt=FMT).to_float())
+        assert abs(got - expected) <= FMT.resolution
+
+
+class TestShifts:
+    def test_shift_left_doubles_value(self):
+        assert float(ops.shift_left(fx(1.5), 1).to_float()) == 3.0
+
+    def test_shift_left_saturates(self):
+        assert float(ops.shift_left(fx(15.0), 2).to_float()) == FMT.max_value
+
+    def test_shift_right_halves_value(self):
+        assert float(ops.shift_right(fx(3.0), 1).to_float()) == 1.5
+
+    def test_negative_amounts_rejected(self):
+        with pytest.raises(ValueError):
+            ops.shift_left(fx(1.0), -1)
+        with pytest.raises(ValueError):
+            ops.shift_right(fx(1.0), -1)
+
+
+class TestDivide:
+    def test_exact_quotient(self):
+        assert float(ops.divide(fx(3.0), fx(2.0)).to_float()) == 1.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ops.divide(fx(1.0), fx(0.0))
+
+    def test_floor_truncates_magnitude(self):
+        # 1/3 = 0.33325... in Q4.11: floor of magnitude.
+        out = ops.divide(fx(1.0), fx(3.0), rounding=Rounding.FLOOR)
+        exact = 1.0 / 3.0
+        got = float(out.to_float())
+        assert 0 <= exact - got < FMT.resolution
+
+    def test_signs(self):
+        for sa in (1, -1):
+            for sb in (1, -1):
+                out = ops.divide(fx(sa * 3.0), fx(sb * 2.0))
+                assert float(out.to_float()) == sa * sb * 1.5
+
+    @given(
+        st.floats(-10.0, 10.0),
+        st.floats(0.51, 10.0),
+        st.sampled_from([Rounding.FLOOR, Rounding.NEAREST_UP, Rounding.NEAREST_EVEN]),
+    )
+    def test_divide_matches_float_within_one_lsb(self, vn, vd, mode):
+        n, d = fx(vn), fx(vd)
+        exact = float(n.to_float()) / float(d.to_float())
+        expected = np.clip(exact, FMT.min_value, FMT.max_value)
+        got = float(ops.divide(n, d, rounding=mode).to_float())
+        assert abs(got - expected) <= FMT.resolution
+
+    def test_reciprocal_of_half_is_two(self):
+        x = fx(0.5, QFormat(1, 14))
+        out = ops.reciprocal(x, QFormat(2, 13))
+        assert float(out.to_float()) == 2.0
+
+
+class TestResize:
+    def test_widening_is_exact(self):
+        x = fx(1.25, QFormat(4, 11))
+        y = ops.resize(x, QFormat(4, 14))
+        assert float(y.to_float()) == 1.25
+
+    def test_narrowing_rounds(self):
+        x = FxArray.from_raw(3, QFormat(4, 11))  # 3 * 2^-11
+        y = ops.resize(x, QFormat(4, 9))
+        assert int(y.raw) == 1  # 0.75 lsb rounds to 1
+
+    def test_narrowing_saturates_integer_range(self):
+        x = fx(12.0, QFormat(4, 11))
+        y = ops.resize(x, QFormat(2, 13))
+        assert float(y.to_float()) == QFormat(2, 13).max_value

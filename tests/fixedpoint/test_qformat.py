@@ -1,0 +1,87 @@
+"""Tests for the Q(i_b).(f_b) format notation."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.qformat import NACU16_FORMAT
+
+
+class TestConstruction:
+    def test_paper_example_is_16_bits(self):
+        # Section III: N = 1 + i_b + f_b = 1 + 4 + 11 = 16.
+        assert NACU16_FORMAT.n_bits == 16
+        assert NACU16_FORMAT.ib == 4
+        assert NACU16_FORMAT.fb == 11
+
+    def test_unsigned_width_excludes_sign(self):
+        assert QFormat(2, 14, signed=False).n_bits == 16
+
+    def test_parse_signed(self):
+        assert QFormat.parse("Q4.11") == QFormat(4, 11, signed=True)
+
+    def test_parse_unsigned(self):
+        assert QFormat.parse("U2.14") == QFormat(2, 14, signed=False)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(FormatError):
+            QFormat.parse("4.11")
+
+    def test_from_total_bits(self):
+        assert QFormat.from_total_bits(16, 4) == QFormat(4, 11)
+
+    def test_from_total_bits_rejects_too_narrow(self):
+        with pytest.raises(FormatError):
+            QFormat.from_total_bits(4, 4)
+
+    def test_rejects_excessive_width(self):
+        with pytest.raises(FormatError):
+            QFormat(20, 20)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(FormatError):
+            QFormat(-1, 4)
+
+
+class TestRanges:
+    def test_signed_value_range(self):
+        fmt = QFormat(4, 11)
+        assert fmt.min_value == -16.0
+        assert fmt.max_value == 16.0 - 2.0 ** -11
+
+    def test_unsigned_value_range(self):
+        fmt = QFormat(2, 14, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == 4.0 - 2.0 ** -14
+
+    def test_raw_range_signed(self):
+        fmt = QFormat(1, 2)
+        assert fmt.raw_min == -8
+        assert fmt.raw_max == 7
+        assert fmt.raw_modulus == 16
+
+    def test_resolution(self):
+        assert QFormat(4, 11).resolution == 2.0 ** -11
+
+    def test_can_represent(self):
+        fmt = QFormat(1, 2)
+        assert fmt.can_represent(1.75)
+        assert not fmt.can_represent(2.0)
+        assert fmt.can_represent(-2.0)
+        assert not fmt.can_represent(-2.25)
+
+
+class TestAlgebra:
+    def test_with_fb(self):
+        assert QFormat(4, 11).with_fb(7) == QFormat(4, 7)
+
+    def test_with_ib(self):
+        assert QFormat(4, 11).with_ib(2) == QFormat(2, 11)
+
+    def test_str_roundtrip(self):
+        for text in ["Q4.11", "U2.14", "Q0.7"]:
+            assert str(QFormat.parse(text)) == text
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            QFormat(4, 11).ib = 5

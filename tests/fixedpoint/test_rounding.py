@@ -1,0 +1,105 @@
+"""Tests for rounding and overflow policies, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RangeError
+from repro.fixedpoint import Overflow, QFormat, Rounding
+from repro.fixedpoint.rounding import apply_overflow, quantize_float, shift_right_round
+
+
+class TestShiftRightRound:
+    def test_left_shift_for_negative_amount(self):
+        assert shift_right_round(3, -2, Rounding.FLOOR) == 12
+
+    def test_floor_rounds_toward_minus_infinity(self):
+        assert shift_right_round(-1, 1, Rounding.FLOOR) == -1
+        assert shift_right_round(1, 1, Rounding.FLOOR) == 0
+
+    def test_truncate_rounds_toward_zero(self):
+        assert shift_right_round(-1, 1, Rounding.TRUNCATE) == 0
+        assert shift_right_round(-3, 1, Rounding.TRUNCATE) == -1
+        assert shift_right_round(3, 1, Rounding.TRUNCATE) == 1
+
+    def test_nearest_up_ties_away_up(self):
+        assert shift_right_round(1, 1, Rounding.NEAREST_UP) == 1
+        assert shift_right_round(3, 1, Rounding.NEAREST_UP) == 2
+        assert shift_right_round(-1, 1, Rounding.NEAREST_UP) == 0
+
+    def test_nearest_even_ties_to_even(self):
+        # 0.5 -> 0 (even), 1.5 -> 2 (even), 2.5 -> 2 (even)
+        assert shift_right_round(1, 1, Rounding.NEAREST_EVEN) == 0
+        assert shift_right_round(3, 1, Rounding.NEAREST_EVEN) == 2
+        assert shift_right_round(5, 1, Rounding.NEAREST_EVEN) == 2
+
+    @given(st.integers(-(2 ** 40), 2 ** 40), st.integers(1, 20))
+    def test_nearest_even_matches_float_rint(self, raw, shift):
+        got = int(shift_right_round(raw, shift, Rounding.NEAREST_EVEN))
+        assert got == int(np.rint(raw / 2.0 ** shift))
+
+    @given(st.integers(-(2 ** 40), 2 ** 40), st.integers(1, 20))
+    def test_floor_matches_float_floor(self, raw, shift):
+        got = int(shift_right_round(raw, shift, Rounding.FLOOR))
+        assert got == int(np.floor(raw / 2.0 ** shift))
+
+    @given(st.integers(-(2 ** 40), 2 ** 40), st.integers(1, 20))
+    def test_truncate_matches_float_trunc(self, raw, shift):
+        got = int(shift_right_round(raw, shift, Rounding.TRUNCATE))
+        assert got == int(np.trunc(raw / 2.0 ** shift))
+
+    @given(st.integers(-(2 ** 40), 2 ** 40), st.integers(1, 20))
+    def test_all_modes_within_one_lsb(self, raw, shift):
+        exact = raw / 2.0 ** shift
+        for mode in Rounding:
+            got = int(shift_right_round(raw, shift, mode))
+            assert abs(got - exact) < 1.0
+
+
+class TestApplyOverflow:
+    def test_saturate_clamps_both_sides(self):
+        fmt = QFormat(1, 2)  # raw in [-8, 7]
+        out = apply_overflow(np.array([-100, 100, 3]), fmt, Overflow.SATURATE)
+        assert out.tolist() == [-8, 7, 3]
+
+    def test_wrap_is_twos_complement(self):
+        fmt = QFormat(1, 2)
+        out = apply_overflow(np.array([8, -9, 16]), fmt, Overflow.WRAP)
+        assert out.tolist() == [-8, 7, 0]
+
+    def test_wrap_unsigned(self):
+        fmt = QFormat(2, 2, signed=False)  # raw in [0, 15]
+        out = apply_overflow(np.array([16, -1]), fmt, Overflow.WRAP)
+        assert out.tolist() == [0, 15]
+
+    def test_error_raises(self):
+        with pytest.raises(RangeError):
+            apply_overflow(np.array([8]), QFormat(1, 2), Overflow.ERROR)
+
+    def test_error_passes_in_range(self):
+        out = apply_overflow(np.array([7, -8]), QFormat(1, 2), Overflow.ERROR)
+        assert out.tolist() == [7, -8]
+
+    @given(st.integers(-(2 ** 30), 2 ** 30))
+    def test_wrap_preserves_low_bits(self, raw):
+        fmt = QFormat(3, 4)
+        wrapped = int(apply_overflow(raw, fmt, Overflow.WRAP))
+        assert (wrapped - raw) % fmt.raw_modulus == 0
+        assert fmt.raw_min <= wrapped <= fmt.raw_max
+
+
+class TestQuantizeFloat:
+    def test_exact_values_pass_through(self):
+        fmt = QFormat(4, 11)
+        assert int(quantize_float(0.5, fmt)) == 1 << 10
+
+    def test_saturates_by_default(self):
+        fmt = QFormat(1, 2)
+        assert int(quantize_float(100.0, fmt)) == fmt.raw_max
+        assert int(quantize_float(-100.0, fmt)) == fmt.raw_min
+
+    @given(st.floats(-15.9, 15.9))
+    def test_quantisation_error_bounded_by_half_lsb(self, value):
+        fmt = QFormat(4, 11)
+        raw = int(quantize_float(value, fmt))
+        assert abs(raw * fmt.resolution - value) <= fmt.resolution / 2

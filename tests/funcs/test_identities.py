@@ -1,0 +1,45 @@
+"""Property tests for the Eqs. 3/4/5/14 identities — exact in float."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.funcs import (
+    exp_from_sigmoid,
+    sigmoid,
+    sigmoid_negative_from_positive,
+    tanh,
+    tanh_from_sigmoid,
+    tanh_negative_from_positive,
+)
+
+xs = st.floats(-20.0, 20.0)
+
+
+@given(xs)
+def test_eq3_tanh_is_stretched_sigmoid(x):
+    assert float(tanh_from_sigmoid(x)) == pytest.approx(float(tanh(x)), abs=1e-12)
+
+
+@given(xs)
+def test_eq4_sigmoid_centrosymmetry(x):
+    assert float(sigmoid_negative_from_positive(x)) == pytest.approx(
+        float(sigmoid(-x)), abs=1e-12
+    )
+
+
+@given(xs)
+def test_eq5_tanh_oddness(x):
+    assert float(tanh_negative_from_positive(x)) == pytest.approx(
+        float(tanh(-x)), abs=1e-12
+    )
+
+
+@given(st.floats(-20.0, 0.0))
+def test_eq14_exp_from_sigmoid_on_softmax_domain(x):
+    assert float(exp_from_sigmoid(x)) == pytest.approx(float(np.exp(x)), rel=1e-9)
+
+
+def test_eq14_vectorised():
+    x = np.linspace(-10, 0, 101)
+    np.testing.assert_allclose(exp_from_sigmoid(x), np.exp(x), rtol=1e-9)

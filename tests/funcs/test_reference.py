@@ -1,0 +1,55 @@
+"""Tests for the float64 golden-model functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.funcs import reference
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert float(reference.sigmoid(0.0)) == 0.5
+        assert float(reference.sigmoid(100.0)) == pytest.approx(1.0)
+        assert float(reference.sigmoid(-100.0)) == pytest.approx(0.0)
+
+    def test_no_overflow_for_extreme_inputs(self):
+        out = reference.sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(out))
+
+    @given(st.floats(-50, 50))
+    def test_bounded_in_unit_interval(self, x):
+        assert 0.0 <= float(reference.sigmoid(x)) <= 1.0
+
+    @given(st.floats(-30, 30))
+    def test_matches_naive_formula(self, x):
+        assert float(reference.sigmoid(x)) == pytest.approx(1.0 / (1.0 + np.exp(-x)))
+
+
+class TestSoftmax:
+    def test_naive_softmax_saturates(self):
+        # Eq. 12's instability: large inputs overflow float64.
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = reference.softmax(np.array([1000.0, 1000.0]))
+        assert not np.all(np.isfinite(out))
+
+    def test_normalised_softmax_is_stable(self):
+        out = reference.softmax_normalised(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_normalised_matches_naive_in_safe_range(self):
+        x = np.array([0.1, -0.4, 2.0, 1.0])
+        np.testing.assert_allclose(
+            reference.softmax(x), reference.softmax_normalised(x)
+        )
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=16))
+    def test_probability_distribution(self, values):
+        out = reference.softmax_normalised(np.array(values))
+        assert np.all(out >= 0)
+        assert float(np.sum(out)) == pytest.approx(1.0)
+
+    def test_axis_argument(self):
+        x = np.arange(6.0).reshape(2, 3)
+        out = reference.softmax_normalised(x, axis=0)
+        np.testing.assert_allclose(np.sum(out, axis=0), [1.0, 1.0, 1.0])

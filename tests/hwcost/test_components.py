@@ -1,0 +1,87 @@
+"""Tests for gate primitives and component cost functions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwcost import (
+    GateCounts,
+    adder_cost,
+    divider_cost,
+    lut_cost,
+    multiplier_cost,
+    mux_cost,
+    negator_cost,
+    register_cost,
+)
+from repro.hwcost.components import sequential_divider_cost
+
+
+class TestGateCounts:
+    def test_total(self):
+        assert GateCounts(3.0, 2.0).total == 5.0
+
+    def test_add(self):
+        combined = GateCounts(1.0, 2.0) + GateCounts(3.0, 4.0)
+        assert combined.combinational == 4.0
+        assert combined.sequential == 6.0
+
+    def test_scaled(self):
+        doubled = GateCounts(1.0, 2.0).scaled(2)
+        assert doubled.total == 6.0
+
+    def test_area_conversion(self):
+        assert GateCounts(10.0, 0.0).area_um2(ge_area=0.5) == 5.0
+
+
+class TestComponents:
+    def test_adder_linear_in_width(self):
+        assert adder_cost(32).total == 2 * adder_cost(16).total
+
+    def test_multiplier_roughly_quadratic(self):
+        small = multiplier_cost(8, 8).total
+        big = multiplier_cost(16, 16).total
+        assert 3.3 < big / small < 4.5
+
+    def test_lut_cost_scales_with_bits(self):
+        assert lut_cost(64, 32).total > lut_cost(64, 16).total
+        assert lut_cost(128, 16).total > lut_cost(64, 16).total
+
+    def test_registers_are_sequential(self):
+        cost = register_cost(16)
+        assert cost.combinational == 0.0
+        assert cost.sequential > 0.0
+
+    def test_mux_width_scaling(self):
+        assert mux_cost(2, 32).total == 2 * mux_cost(2, 16).total
+
+    def test_negator_positive(self):
+        assert negator_cost(16).total > 0
+
+    def test_invalid_widths_rejected(self):
+        for fn in (adder_cost, negator_cost, register_cost):
+            with pytest.raises(ConfigError):
+                fn(0)
+        with pytest.raises(ConfigError):
+            multiplier_cost(0, 8)
+        with pytest.raises(ConfigError):
+            lut_cost(0, 8)
+        with pytest.raises(ConfigError):
+            divider_cost(16, 16, 0)
+
+
+class TestDividerCost:
+    def test_pipelined_scales_with_stages(self):
+        assert divider_cost(16, 16, 18).total == pytest.approx(
+            18 * divider_cost(16, 16, 1).total
+        )
+
+    def test_sequential_divider_much_smaller(self):
+        # The Section VIII future-work claim: a non-pipelined divider
+        # drops most of the area.
+        pipelined = divider_cost(16, 16, 18).total
+        sequential = sequential_divider_cost(16, 16).total
+        assert sequential < pipelined / 8
+
+    def test_registers_dominate_pipelined_divider(self):
+        cost = divider_cost(16, 16, 18)
+        assert cost.sequential > cost.combinational

@@ -1,0 +1,105 @@
+"""Tests for the NACU area/power/timing models (Fig. 5)."""
+
+import pytest
+
+from repro.hwcost import (
+    nacu_area_breakdown,
+    nacu_clock_estimate_ns,
+    nacu_power_breakdown,
+    latency_table,
+)
+from repro.nacu.config import FunctionMode, NacuConfig
+
+
+class TestAreaModel:
+    def test_total_matches_table1_calibration(self):
+        # Table I: 9671 um^2 at 28 nm; the model is calibrated to ~this.
+        breakdown = nacu_area_breakdown()
+        assert breakdown.total_um2 == pytest.approx(9671, rel=0.03)
+
+    def test_divider_dominates(self):
+        # Section VII: "The area of NACU is dominated by a pipelined
+        # divider."
+        breakdown = nacu_area_breakdown()
+        assert breakdown.fraction("divider") > 0.5
+        largest = breakdown.rows()[0][0]
+        assert largest == "divider"
+
+    def test_bias_units_comparable_to_adder(self):
+        # Section VII: "the area of the coefficient and bias calculation
+        # is comparable to that of the adder."
+        breakdown = nacu_area_breakdown()
+        ratio = breakdown.area_um2("bias_units") / breakdown.area_um2("adder")
+        assert 0.3 < ratio < 3.0
+
+    def test_fractions_sum_to_one(self):
+        breakdown = nacu_area_breakdown()
+        assert sum(breakdown.fraction(b) for b in breakdown.blocks) == pytest.approx(1.0)
+
+    def test_smaller_unit_smaller_area(self):
+        small = nacu_area_breakdown(NacuConfig.for_bits(10))
+        assert small.total_um2 < nacu_area_breakdown().total_um2
+
+    def test_rows_sorted_descending(self):
+        rows = nacu_area_breakdown().rows()
+        sizes = [row[1] for row in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestPowerModel:
+    def test_divider_functions_draw_more(self):
+        power = nacu_power_breakdown()
+        assert power.per_function_mw[FunctionMode.EXP] > (
+            power.per_function_mw[FunctionMode.SIGMOID]
+        )
+        assert power.per_function_mw[FunctionMode.SOFTMAX] >= (
+            power.per_function_mw[FunctionMode.EXP]
+        )
+
+    def test_sigmoid_tanh_equal_power(self):
+        # Same active blocks, by construction of the shared datapath.
+        power = nacu_power_breakdown()
+        assert power.per_function_mw[FunctionMode.SIGMOID] == (
+            power.per_function_mw[FunctionMode.TANH]
+        )
+
+    def test_clock_from_config(self):
+        assert nacu_power_breakdown().clock_mhz == pytest.approx(266.7, rel=0.01)
+
+    def test_total_includes_leakage(self):
+        power = nacu_power_breakdown()
+        assert power.total_mw(FunctionMode.SIGMOID) > (
+            power.per_function_mw[FunctionMode.SIGMOID]
+        )
+
+    def test_power_in_plausible_asic_range(self):
+        power = nacu_power_breakdown()
+        for mw in power.per_function_mw.values():
+            assert 0.1 < mw < 50.0
+
+
+class TestTimingModel:
+    def test_clock_estimate_supports_paper_frequency(self):
+        # The paper's macro closes at 3.75 ns; the estimated critical path
+        # must fit in that budget (with slack, as post-layout data would).
+        assert nacu_clock_estimate_ns() <= 3.75
+
+    def test_estimate_in_sane_range(self):
+        assert 0.3 < nacu_clock_estimate_ns() < 3.75
+
+    def test_latency_table_matches_table1(self):
+        table = latency_table()
+        assert table["sigmoid"] == 3
+        assert table["tanh"] == 3
+        assert table["exp"] == 8
+        assert table["mac"] == 1
+
+
+class TestExpPipelineFill:
+    def test_90ns_section7c_figure(self):
+        from repro.nacu import Nacu
+
+        unit = Nacu()
+        fill = unit.datapath.exp_pipeline_fill
+        assert fill == 24
+        assert fill * unit.config.clock_ns == pytest.approx(90.0)

@@ -1,0 +1,62 @@
+"""Tests for the Stillmaker technology-scaling model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwcost import scale_area, scale_delay, scale_power
+
+
+class TestPaperAnchors:
+    """Section VII.C's own conversions pin the 65 -> 28 nm factors."""
+
+    def test_nilsson_taylor6_area(self):
+        # [13]: 20700 um^2 at 65 nm -> "~6200 um^2" at 28 nm.
+        assert scale_area(20700, 65, 28) == pytest.approx(6200, rel=0.02)
+
+    def test_nilsson_taylor6_period(self):
+        # [13]: 40.3 ns at 65 nm -> "period of 20ns" at 28 nm.
+        assert scale_delay(40.3, 65, 28) == pytest.approx(20, rel=0.02)
+
+    def test_cordic_area(self):
+        # [14]: 19150 um^2 at 65 nm -> "~5800 um^2" at 28 nm.
+        assert scale_area(19150, 65, 28) == pytest.approx(5800, rel=0.02)
+
+    def test_cordic_delay(self):
+        # [14]: 86 ns sequential latency -> "42 ns" at 28 nm.
+        assert scale_delay(86, 65, 28) == pytest.approx(42, rel=0.04)
+
+    def test_parabolic_area(self):
+        # [14] parabolic: 26400 um^2 at 65 nm -> "~8000 um^2" at 28 nm.
+        assert scale_area(26400, 65, 28) == pytest.approx(8000, rel=0.02)
+
+    def test_parabolic_period(self):
+        # [14] parabolic: 20.8 ns at 65 nm -> "10ns" at 28 nm.
+        assert scale_delay(20.8, 65, 28) == pytest.approx(10, rel=0.05)
+
+
+class TestScalingLaws:
+    def test_identity_at_same_node(self):
+        assert scale_area(123.0, 28, 28) == 123.0
+        assert scale_delay(4.5, 65, 65) == 4.5
+        assert scale_power(1.0, 90, 90) == 1.0
+
+    def test_round_trip(self):
+        down = scale_area(100.0, 65, 28)
+        assert scale_area(down, 28, 65) == pytest.approx(100.0)
+
+    def test_shrinking_reduces_all_metrics(self):
+        assert scale_area(1.0, 180, 28) < 1.0
+        assert scale_delay(1.0, 180, 28) < 1.0
+        assert scale_power(1.0, 180, 28) < 1.0
+
+    def test_area_scales_subquadratically(self):
+        # Stillmaker's measured data scale less than ideal-Dennard (s^2).
+        factor = scale_area(1.0, 65, 28)
+        ideal = (28.0 / 65.0) ** 2
+        assert ideal < factor < 1.0
+
+    def test_rejects_invalid_nodes(self):
+        with pytest.raises(ConfigError):
+            scale_area(1.0, 0, 28)
+        with pytest.raises(ConfigError):
+            scale_delay(1.0, 65, -3)

@@ -1,0 +1,126 @@
+"""Tests for the approximate (Newton-Raphson) divider."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, RangeError
+from repro.fixedpoint import FxArray, QFormat
+from repro.funcs import exp
+from repro.nacu import Nacu, NacuConfig
+from repro.nacu.approx_divider import ApproxReciprocalDivider
+
+IO = QFormat(4, 11)
+QUOT = QFormat(2, 14, signed=False)
+
+
+@pytest.fixture(scope="module")
+def divider():
+    return ApproxReciprocalDivider(QUOT)
+
+
+class TestConstruction:
+    def test_rejects_bad_seed_width(self):
+        with pytest.raises(ConfigError):
+            ApproxReciprocalDivider(QUOT, seed_bits=0)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ConfigError):
+            ApproxReciprocalDivider(QUOT, iterations=-1)
+
+    def test_latency_shorter_than_restoring(self, divider):
+        from repro.nacu.divider import RestoringDivider
+
+        assert divider.fill_latency < RestoringDivider(QUOT).fill_latency
+
+    def test_seed_table_size(self):
+        assert len(ApproxReciprocalDivider(QUOT, seed_bits=6).seed_raw) == 64
+
+
+class TestReciprocal:
+    @given(st.integers(1 << 10, 1 << 11))
+    @settings(max_examples=150)
+    def test_accuracy_on_sigma_range(self, den_raw):
+        div = ApproxReciprocalDivider(QUOT)
+        den = FxArray.from_raw(den_raw, IO)
+        got = float(div.reciprocal(den).to_float())
+        true = 1.0 / float(den.to_float())
+        # One NR iteration from a 5-bit seed: relative error ~2^-12.
+        assert abs(got - true) / true < 2.0 ** -10
+
+    def test_newton_iterations_improve(self):
+        den = FxArray.from_raw(np.arange(1 << 10, 1 << 11, 7), IO)
+        true = 1.0 / den.to_float()
+        errors = []
+        for iterations in (0, 1, 2):
+            div = ApproxReciprocalDivider(QUOT, seed_bits=4, iterations=iterations)
+            got = div.reciprocal(den).to_float()
+            errors.append(float(np.max(np.abs(got - true))))
+        assert errors[1] < errors[0] / 4
+        assert errors[2] <= errors[1]
+
+    def test_rejects_out_of_range(self, divider):
+        with pytest.raises(RangeError):
+            divider.reciprocal(FxArray.from_float(0.25, IO))
+        with pytest.raises(RangeError):
+            divider.reciprocal(FxArray.from_float(1.5, IO))
+
+    def test_tolerates_one_lsb_below_half(self, divider):
+        # The quantised sigma can land just below 0.5.
+        den = FxArray.from_raw((1 << 10) - 1, IO)
+        got = float(divider.reciprocal(den).to_float())
+        assert got == pytest.approx(2.0, rel=5e-3)
+
+
+class TestDivide:
+    def test_matches_true_quotient(self, divider):
+        num = FxArray.from_float(np.array([1.0, 0.5, 0.25, 0.125]), IO)
+        den = FxArray.from_float(np.array([1.75, 2.5, 3.0, 1.1]), QFormat(8, 11))
+        got = divider.divide(num, den).to_float()
+        true = num.to_float() / den.to_float()
+        assert np.max(np.abs(got - true)) < 1e-3
+
+    def test_rejects_nonpositive_divisor(self, divider):
+        with pytest.raises(RangeError):
+            divider.divide(
+                FxArray.from_float(1.0, IO), FxArray.from_float(0.0, IO)
+            )
+
+    @given(st.floats(0.01, 10.0), st.floats(0.51, 200.0))
+    @settings(max_examples=100)
+    def test_relative_accuracy(self, num_value, den_value):
+        div = ApproxReciprocalDivider(QUOT)
+        num = FxArray.from_float(num_value, IO)
+        den = FxArray.from_float(den_value, QFormat(8, 11))
+        true = float(num.to_float()) / float(den.to_float())
+        if true > QUOT.max_value or true < 4 * QUOT.resolution:
+            return  # saturated or below quantisation floor: uninformative
+        got = float(np.ravel(div.divide(num, den).to_float())[0])
+        assert got == pytest.approx(true, rel=5e-3, abs=2 * QUOT.resolution)
+
+
+class TestNacuIntegration:
+    def test_exp_small_accuracy_loss(self):
+        grid = np.linspace(-8, 0, 2001)
+        exact = Nacu()
+        approx = Nacu(NacuConfig(use_approx_divider=True))
+        err_exact = np.max(np.abs(exact.exp(grid) - exp(grid)))
+        err_approx = np.max(np.abs(approx.exp(grid) - exp(grid)))
+        assert err_approx < 2 * err_exact
+
+    def test_softmax_still_sums_to_one(self):
+        approx = Nacu(NacuConfig(use_approx_divider=True))
+        x = np.array([1.2, -0.5, 3.0, 0.1, 2.9])
+        assert float(np.sum(approx.softmax(x))) == pytest.approx(1.0, abs=0.01)
+
+    def test_shorter_exp_pipeline(self):
+        exact = Nacu()
+        approx = Nacu(NacuConfig(use_approx_divider=True))
+        assert approx.datapath.exp_pipeline_fill < exact.datapath.exp_pipeline_fill
+
+    def test_new_hardware_much_smaller(self):
+        from repro.hwcost.components import divider_cost
+
+        approx = ApproxReciprocalDivider(QUOT)
+        full = divider_cost(16, 16, 18)
+        assert approx.cost(16).total < full.total / 5

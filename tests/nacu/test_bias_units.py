@@ -1,0 +1,122 @@
+"""Bit-exactness proofs for the Fig. 3 rewiring units.
+
+Each unit is checked against a generic adder/subtractor over its *entire*
+specified operand interval, exhaustively for a hardware-scale fractional
+width — this is the paper's claim that wiring can replace arithmetic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nacu.bias_units import (
+    fig3a_one_minus_q,
+    fig3b_decrement,
+    fig3c_one_plus,
+    reference_decrement,
+    reference_one_minus_q,
+    reference_one_plus,
+)
+
+FB = 10  # exhaustive sweeps at 2^10 resolution run in milliseconds
+
+
+def q_values(fb):
+    """All representable q in [0.5, 1] at fb fractional bits."""
+    return np.arange(1 << (fb - 1), (1 << fb) + 1, dtype=np.int64)
+
+
+class TestFig3aOneMinusQ:
+    def test_exhaustive_bit_exact(self):
+        q = q_values(FB)
+        np.testing.assert_array_equal(
+            fig3a_one_minus_q(q, FB), reference_one_minus_q(q, FB)
+        )
+
+    def test_q_equal_one_gives_zero(self):
+        assert int(fig3a_one_minus_q(1 << FB, FB)) == 0
+
+    def test_q_half_gives_half(self):
+        assert int(fig3a_one_minus_q(1 << (FB - 1), FB)) == 1 << (FB - 1)
+
+    def test_integer_bits_always_zero(self):
+        out = fig3a_one_minus_q(q_values(FB), FB)
+        assert np.all(out >> FB == 0)
+
+    @given(st.integers(0, 4))
+    def test_various_widths(self, extra):
+        fb = FB + extra
+        q = q_values(fb)
+        np.testing.assert_array_equal(
+            fig3a_one_minus_q(q, fb), reference_one_minus_q(q, fb)
+        )
+
+
+class TestFig3bDecrement:
+    def test_exhaustive_bit_exact_on_one_to_two(self):
+        v = np.arange(1 << FB, (2 << FB) + 1, dtype=np.int64)  # v in [1, 2]
+        np.testing.assert_array_equal(
+            fig3b_decrement(v, FB), reference_decrement(v, FB)
+        )
+
+    def test_v_two_gives_one(self):
+        # The a1 -> a0 propagation case of Fig. 3b.
+        assert int(fig3b_decrement(2 << FB, FB)) == 1 << FB
+
+    def test_also_exact_up_to_three(self):
+        # The exponential path can see sigma' slightly above 2 when the
+        # first-segment bias rounds below 0.5; the unit stays exact there.
+        v = np.arange(2 << FB, 3 << FB, dtype=np.int64)
+        np.testing.assert_array_equal(
+            fig3b_decrement(v, FB), reference_decrement(v, FB)
+        )
+
+    def test_fraction_bits_pass_through(self):
+        v = np.arange(1 << FB, 2 << FB, dtype=np.int64)
+        np.testing.assert_array_equal(
+            fig3b_decrement(v, FB) & ((1 << FB) - 1), v & ((1 << FB) - 1)
+        )
+
+
+class TestFig3cOnePlus:
+    def test_exhaustive_bit_exact(self):
+        v = np.arange(-(2 << FB), -(1 << FB) + 1, dtype=np.int64)  # [-2, -1]
+        np.testing.assert_array_equal(
+            fig3c_one_plus(v, FB), reference_one_plus(v, FB)
+        )
+
+    def test_minus_two_gives_minus_one(self):
+        assert int(fig3c_one_plus(-(2 << FB), FB)) == -(1 << FB)
+
+    def test_minus_one_gives_zero(self):
+        assert int(fig3c_one_plus(-(1 << FB), FB)) == 0
+
+    def test_result_range(self):
+        v = np.arange(-(2 << FB), -(1 << FB) + 1, dtype=np.int64)
+        out = fig3c_one_plus(v, FB)
+        assert np.all(out <= 0)
+        assert np.all(out >= -(1 << FB))
+
+
+class TestTanhBiasComposition:
+    """End-to-end: q -> (2q - 1) and q -> (1 - 2q) as the datapath wires it."""
+
+    def test_positive_tanh_bias(self):
+        q = q_values(FB)
+        got = fig3b_decrement(q << 1, FB)
+        expected = (q << 1) - (1 << FB)  # 2q - 1
+        np.testing.assert_array_equal(got, expected)
+
+    def test_negative_tanh_bias(self):
+        q = q_values(FB)
+        got = fig3c_one_plus(-(q << 1), FB)
+        expected = (1 << FB) - (q << 1)  # 1 - 2q
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("q_float", [0.5, 0.625, 0.75, 0.9990234375, 1.0])
+    def test_value_level_examples(self, q_float):
+        q_raw = int(q_float * (1 << FB))
+        scale = float(1 << FB)
+        assert fig3a_one_minus_q(q_raw, FB) / scale == 1 - q_float
+        assert fig3b_decrement(q_raw << 1, FB) / scale == 2 * q_float - 1
+        assert fig3c_one_plus(-(q_raw << 1), FB) / scale == 1 - 2 * q_float

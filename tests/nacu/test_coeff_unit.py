@@ -1,0 +1,89 @@
+"""Tests for the coefficient & bias calculation stage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.coeff_unit import CoefficientUnit
+from repro.nacu.lutgen import build_sigmoid_lut
+
+
+@pytest.fixture(scope="module")
+def unit():
+    config = NacuConfig()
+    return CoefficientUnit(build_sigmoid_lut(config), config)
+
+
+def fx(values, fmt):
+    return FxArray.from_float(np.asarray(values, dtype=np.float64), fmt)
+
+
+class TestSigmoidCoefficients:
+    def test_positive_range_passthrough(self, unit):
+        x = fx([1.0], unit.config.io_fmt)
+        slope, bias = unit.compute(x, FunctionMode.SIGMOID)
+        i = int(unit.lut.index_for(x.raw, 11)[0])
+        assert int(slope.raw[0]) == int(unit.lut.slope_raw[i])
+        assert int(bias.raw[0]) == int(unit.lut.bias_raw[i])
+
+    def test_negative_range_eq9(self, unit):
+        # Slope negated, bias -> 1 - q, same LUT entry as |x|.
+        pos = fx([1.0], unit.config.io_fmt)
+        neg = fx([-1.0], unit.config.io_fmt)
+        slope_p, bias_p = unit.compute(pos, FunctionMode.SIGMOID)
+        slope_n, bias_n = unit.compute(neg, FunctionMode.SIGMOID)
+        assert int(slope_n.raw[0]) == -int(slope_p.raw[0])
+        fb = unit.config.bias_fmt.fb
+        assert int(bias_n.raw[0]) == (1 << fb) - int(bias_p.raw[0])
+
+
+class TestTanhCoefficients:
+    def test_positive_range_eq10(self, unit):
+        # Slope x4, bias 2q - 1, LUT addressed at 2|x|.
+        x = fx([0.5], unit.config.io_fmt)
+        slope, bias = unit.compute(x, FunctionMode.TANH)
+        i = int(unit.lut.index_for(np.abs(x.raw) << 1, 11)[0])
+        fb = unit.config.bias_fmt.fb
+        assert int(slope.raw[0]) == int(unit.lut.slope_raw[i]) << 2
+        assert int(bias.raw[0]) == 2 * int(unit.lut.bias_raw[i]) - (1 << fb)
+
+    def test_negative_range_eq11(self, unit):
+        x = fx([-0.5], unit.config.io_fmt)
+        slope, bias = unit.compute(x, FunctionMode.TANH)
+        i = int(unit.lut.index_for(np.abs(x.raw) << 1, 11)[0])
+        fb = unit.config.bias_fmt.fb
+        assert int(slope.raw[0]) == -(int(unit.lut.slope_raw[i]) << 2)
+        assert int(bias.raw[0]) == (1 << fb) - 2 * int(unit.lut.bias_raw[i])
+
+    def test_tanh_address_doubling(self, unit):
+        # x and 2x must hit the same entry in tanh vs sigmoid modes.
+        x_t = fx([0.7], unit.config.io_fmt)
+        x_s = fx([1.4], unit.config.io_fmt)
+        slope_t, _ = unit.compute(x_t, FunctionMode.TANH)
+        slope_s, _ = unit.compute(x_s, FunctionMode.SIGMOID)
+        assert int(slope_t.raw[0]) == int(slope_s.raw[0]) << 2
+
+
+class TestRanges:
+    def test_biases_within_signed_unit_interval(self, unit):
+        x = fx(np.linspace(-15.9, 15.9, 257), unit.config.io_fmt)
+        for mode in (FunctionMode.SIGMOID, FunctionMode.TANH):
+            _, bias = unit.compute(x, mode)
+            values = bias.to_float()
+            assert np.all(values >= -1.0)
+            assert np.all(values <= 1.0)
+
+    def test_slopes_within_unit_interval(self, unit):
+        x = fx(np.linspace(-15.9, 15.9, 257), unit.config.io_fmt)
+        for mode in (FunctionMode.SIGMOID, FunctionMode.TANH):
+            slope, _ = unit.compute(x, mode)
+            values = slope.to_float()
+            assert np.all(np.abs(values) <= 1.0)
+
+    def test_rejects_non_table_modes(self, unit):
+        x = fx([0.0], unit.config.io_fmt)
+        for mode in (FunctionMode.EXP, FunctionMode.SOFTMAX, FunctionMode.MAC):
+            with pytest.raises(ConfigError):
+                unit.compute(x, mode)

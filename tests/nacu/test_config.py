@@ -1,0 +1,80 @@
+"""Tests for NACU configuration and dimensioning rules."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import QFormat
+from repro.nacu.config import (
+    FunctionMode,
+    NacuConfig,
+    lut_entries_for,
+    saturation_range,
+)
+
+
+class TestDefaults:
+    def test_paper_16bit_defaults(self):
+        config = NacuConfig()
+        assert config.io_fmt == QFormat(4, 11)
+        assert config.lut_entries == 53
+        assert config.n_bits == 16
+
+    def test_for_bits_16_matches_table1(self):
+        config = NacuConfig.for_bits(16)
+        assert config.io_fmt == QFormat(4, 11)
+        assert config.lut_entries == 53
+        assert config.lut_range == 8.0
+
+    def test_for_bits_uses_eq7(self):
+        assert NacuConfig.for_bits(12).io_fmt == QFormat(3, 8)
+
+    def test_lut_entries_override(self):
+        assert NacuConfig.for_bits(16, lut_entries=64).lut_entries == 64
+
+
+class TestSaturationRange:
+    def test_16bit_covers_to_eight(self):
+        # ln(2) * 11 = 7.62 -> next power of two is 8.
+        assert saturation_range(QFormat(4, 11)) == 8.0
+
+    def test_grows_with_fraction_bits(self):
+        assert saturation_range(QFormat(4, 13)) == 16.0
+
+    def test_lut_scales_with_resolution(self):
+        fine = lut_entries_for(QFormat(4, 14), 16.0)
+        coarse = lut_entries_for(QFormat(4, 8), 8.0)
+        assert fine > 4 * coarse
+
+
+class TestValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigError):
+            NacuConfig(lut_entries=0)
+
+    def test_rejects_unsigned_io(self):
+        with pytest.raises(ConfigError):
+            NacuConfig(io_fmt=QFormat(4, 11, signed=False))
+
+    def test_rejects_one_integer_bit_bias(self):
+        with pytest.raises(ConfigError):
+            NacuConfig(bias_fmt=QFormat(1, 14, signed=False))
+
+    def test_rejects_coarse_accumulator(self):
+        with pytest.raises(ConfigError):
+            NacuConfig(acc_fmt=QFormat(8, 8))
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ConfigError):
+            NacuConfig(lut_range=-1.0)
+
+
+class TestLatency:
+    def test_table1_latencies(self):
+        config = NacuConfig()
+        assert config.latency(FunctionMode.SIGMOID) == 3
+        assert config.latency(FunctionMode.TANH) == 3
+        assert config.latency(FunctionMode.EXP) == 8
+
+    def test_softmax_latency_needs_length(self):
+        with pytest.raises(ConfigError):
+            NacuConfig().latency(FunctionMode.SOFTMAX)

@@ -1,0 +1,52 @@
+"""Tests for configuration JSON round-tripping."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nacu.config import NacuConfig
+from repro.nacu.config_io import config_from_dict, config_to_dict, dumps, loads
+
+
+class TestRoundTrip:
+    def test_default_config(self):
+        config = NacuConfig()
+        assert loads(dumps(config)) == config
+
+    @pytest.mark.parametrize("bits", [10, 16, 21])
+    def test_for_bits_configs(self, bits):
+        config = NacuConfig.for_bits(bits)
+        assert loads(dumps(config)) == config
+
+    def test_approx_divider_flag_preserved(self):
+        config = NacuConfig(use_approx_divider=True, approx_divider_seed_bits=6)
+        rebuilt = loads(dumps(config))
+        assert rebuilt.use_approx_divider
+        assert rebuilt.approx_divider_seed_bits == 6
+
+    def test_formats_serialised_as_q_notation(self):
+        doc = config_to_dict(NacuConfig())
+        assert doc["io_fmt"] == "Q4.11"
+        assert doc["bias_fmt"] == "U2.14"
+
+    def test_partial_dict_uses_defaults(self):
+        config = config_from_dict({"lut_entries": 64})
+        assert config.lut_entries == 64
+        assert config.io_fmt == NacuConfig().io_fmt
+
+
+class TestValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"voltage": 0.8})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError):
+            loads("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError):
+            loads("[1, 2, 3]")
+
+    def test_invalid_format_string_rejected(self):
+        with pytest.raises(Exception):
+            config_from_dict({"io_fmt": "Qx.y"})

@@ -1,0 +1,107 @@
+"""Tests for LUT memory-image export/import."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.fixedpoint import QFormat
+from repro.nacu.config import NacuConfig
+from repro.nacu.export import (
+    lut_to_c_header,
+    lut_to_memh,
+    parse_memh,
+    to_memh,
+)
+from repro.nacu.lutgen import build_sigmoid_lut
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return build_sigmoid_lut(NacuConfig())
+
+
+class TestMemh:
+    def test_roundtrip_signed(self):
+        fmt = QFormat(1, 14)
+        raws = np.array([-32768, -1, 0, 1, 32767])
+        np.testing.assert_array_equal(parse_memh(to_memh(raws, fmt), fmt), raws)
+
+    def test_roundtrip_unsigned(self):
+        fmt = QFormat(2, 14, signed=False)
+        raws = np.array([0, 1, 65535])
+        np.testing.assert_array_equal(parse_memh(to_memh(raws, fmt), fmt), raws)
+
+    def test_word_width_padding(self):
+        fmt = QFormat(1, 14)  # 16 bits -> 4 hex digits
+        lines = to_memh(np.array([1]), fmt).splitlines()
+        assert lines[0] == "0001"
+
+    def test_negative_encoding_is_twos_complement(self):
+        fmt = QFormat(1, 14)
+        assert to_memh(np.array([-1]), fmt).splitlines()[0] == "ffff"
+
+    def test_parse_skips_comments_and_blanks(self):
+        fmt = QFormat(1, 14)
+        text = "0001 // first\n\n// whole-line comment\nffff\n"
+        np.testing.assert_array_equal(parse_memh(text, fmt), [1, -1])
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(FormatError):
+            parse_memh("zz\n", QFormat(1, 14))
+
+    def test_parse_rejects_oversized_word(self):
+        with pytest.raises(FormatError):
+            parse_memh("10000\n", QFormat(1, 14))
+
+
+class TestLutExport:
+    def test_both_roms_roundtrip(self, lut):
+        images = lut_to_memh(lut)
+        np.testing.assert_array_equal(
+            parse_memh(images["slope"], lut.slope_fmt), lut.slope_raw
+        )
+        np.testing.assert_array_equal(
+            parse_memh(images["bias"], lut.bias_fmt), lut.bias_raw
+        )
+
+    def test_image_length_matches_entries(self, lut):
+        images = lut_to_memh(lut)
+        assert len(images["slope"].splitlines()) == lut.n_entries
+
+    def test_c_header_contains_all_words(self, lut):
+        header = lut_to_c_header(lut)
+        assert f"#define NACU_LUT_ENTRIES {lut.n_entries}" in header
+        for value in (lut.slope_raw[0], lut.bias_raw[-1]):
+            assert str(int(value)) in header
+
+    def test_c_header_guard(self, lut):
+        header = lut_to_c_header(lut, guard="MY_GUARD")
+        assert header.startswith("#ifndef MY_GUARD")
+        assert header.rstrip().endswith("#endif /* MY_GUARD */")
+
+
+class TestCli:
+    def test_writes_all_artifacts(self, tmp_path):
+        from repro.nacu.export import main
+
+        assert main(["--bits", "12", "--out", str(tmp_path)]) == 0
+        for name in ("slope.memh", "bias.memh", "nacu_lut.h", "config.json"):
+            assert (tmp_path / name).exists()
+
+    def test_artifacts_consistent_with_config(self, tmp_path):
+        from repro.nacu import config_io
+        from repro.nacu.export import main, parse_memh
+        from repro.nacu.lutgen import build_sigmoid_lut
+
+        main(["--bits", "16", "--out", str(tmp_path)])
+        config = config_io.loads((tmp_path / "config.json").read_text())
+        lut = build_sigmoid_lut(config)
+        slopes = parse_memh((tmp_path / "slope.memh").read_text(), config.slope_fmt)
+        np.testing.assert_array_equal(slopes, lut.slope_raw)
+
+    def test_entry_override(self, tmp_path):
+        from repro.nacu.export import main
+
+        main(["--bits", "16", "--lut-entries", "32", "--out", str(tmp_path)])
+        lines = (tmp_path / "slope.memh").read_text().splitlines()
+        assert len(lines) == 32

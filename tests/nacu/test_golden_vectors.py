@@ -1,0 +1,69 @@
+"""Golden-vector regression: the bit-level behaviour must not drift.
+
+The files under ``tests/golden/`` pin the exact raw outputs of the 16-bit
+unit (see ``tools/generate_goldens.py``). If a refactor changes any output
+bit, these tests fail — regenerate the goldens only for *intentional*
+datapath changes.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FxArray
+from repro.nacu import FunctionMode, Nacu
+from repro.nacu.export import parse_memh
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return Nacu.for_bits(16)
+
+
+def load(name, fmt):
+    return parse_memh((GOLDEN_DIR / name).read_text(), fmt)
+
+
+class TestGoldenVectors:
+    @pytest.mark.parametrize("function,mode", [
+        ("sigmoid", FunctionMode.SIGMOID),
+        ("tanh", FunctionMode.TANH),
+    ])
+    def test_activation_bit_exact(self, unit, function, mode):
+        raws = load(f"nacu16_{function}_in.memh", unit.io_fmt)
+        expected = load(f"nacu16_{function}_out.memh", unit.io_fmt)
+        got = unit.datapath.activation(FxArray(raws, unit.io_fmt), mode)
+        np.testing.assert_array_equal(got.raw, expected)
+
+    def test_exp_bit_exact(self, unit):
+        raws = load("nacu16_exp_in.memh", unit.io_fmt)
+        expected = load("nacu16_exp_out.memh", unit.io_fmt)
+        got = unit.datapath.exponential(FxArray(raws, unit.io_fmt))
+        np.testing.assert_array_equal(got.raw, expected)
+
+    def test_softmax_bit_exact(self, unit):
+        raws = load("nacu16_softmax_in.memh", unit.io_fmt)
+        expected = load("nacu16_softmax_out.memh", unit.io_fmt)
+        offset = 0
+        for length in (2, 5, 10):
+            vec = FxArray(raws[offset:offset + length], unit.io_fmt)
+            got = unit.datapath.softmax(vec)
+            np.testing.assert_array_equal(
+                got.raw, expected[offset:offset + length]
+            )
+            offset += length
+
+    def test_goldens_cover_format_corners(self, unit):
+        raws = load("nacu16_sigmoid_in.memh", unit.io_fmt)
+        assert unit.io_fmt.raw_min in raws
+        assert unit.io_fmt.raw_max in raws
+        assert 0 in raws
+
+    def test_golden_files_exist(self):
+        names = {p.name for p in GOLDEN_DIR.glob("*.memh")}
+        for function in ("sigmoid", "tanh", "exp", "softmax"):
+            assert f"nacu16_{function}_in.memh" in names
+            assert f"nacu16_{function}_out.memh" in names

@@ -1,0 +1,83 @@
+"""Tests for the sigmoid coefficient LUT generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.funcs import sigmoid
+from repro.nacu.config import NacuConfig
+from repro.nacu.lutgen import CoefficientLUT, build_sigmoid_lut
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return build_sigmoid_lut(NacuConfig())
+
+
+class TestBuild:
+    def test_paper_entry_count(self, lut):
+        assert lut.n_entries == 53
+
+    def test_slopes_in_sigmoid_derivative_range(self, lut):
+        slopes = lut.slope_raw * lut.slope_fmt.resolution
+        assert np.all(slopes >= 0)
+        assert np.all(slopes <= 0.25)
+
+    def test_biases_in_section5_interval(self, lut):
+        biases = lut.bias_raw * lut.bias_fmt.resolution
+        assert np.all(biases >= 0.5)
+        assert np.all(biases <= 1.0)
+
+    def test_slopes_decrease_biases_increase(self, lut):
+        # Sigma is concave on x >= 0: slopes fall, intercepts rise.
+        assert np.all(np.diff(lut.slope_raw) <= 0)
+        assert np.all(np.diff(lut.bias_raw) >= 0)
+
+    def test_storage_bits(self, lut):
+        assert lut.storage_bits == 53 * 32
+
+    def test_mismatched_tables_rejected(self, lut):
+        with pytest.raises(ConfigError):
+            CoefficientLUT(
+                slope_raw=lut.slope_raw[:-1],
+                bias_raw=lut.bias_raw,
+                slope_fmt=lut.slope_fmt,
+                bias_fmt=lut.bias_fmt,
+                x_range=lut.x_range,
+            )
+
+
+class TestAddressing:
+    def test_step(self, lut):
+        assert lut.step == pytest.approx(8.0 / 53)
+
+    def test_index_zero_for_origin(self, lut):
+        assert int(lut.index_for(np.int64(0), 11)) == 0
+
+    def test_index_clamps_beyond_range(self, lut):
+        huge = np.int64(16 << 11)
+        assert int(lut.index_for(huge, 11)) == lut.n_entries - 1
+
+    def test_index_monotone(self, lut):
+        mags = np.arange(0, 8 << 11, 97, dtype=np.int64)
+        idx = lut.index_for(mags, 11)
+        assert np.all(np.diff(idx) >= 0)
+
+    def test_lookup_returns_entry_words(self, lut):
+        mag = np.int64(int(1.0 * 2 ** 11))
+        slope, bias = lut.lookup(mag, 11)
+        i = int(lut.index_for(mag, 11))
+        assert slope == lut.slope_raw[i]
+        assert bias == lut.bias_raw[i]
+
+
+class TestPwlQuality:
+    def test_each_segment_line_tracks_sigmoid(self, lut):
+        # Evaluate each stored line at its segment midpoint.
+        for i in range(lut.n_entries):
+            mid = (i + 0.5) * lut.step
+            line = (
+                lut.slope_raw[i] * lut.slope_fmt.resolution * mid
+                + lut.bias_raw[i] * lut.bias_fmt.resolution
+            )
+            assert abs(line - float(sigmoid(mid))) < 2.0 ** -11

@@ -1,0 +1,69 @@
+"""Tests for the MAC stage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.mac import MacUnit
+
+
+ACC = QFormat(8, 11)
+IO = QFormat(4, 11)
+
+
+def fx(v, fmt=IO):
+    return FxArray.from_float(v, fmt)
+
+
+class TestAccumulator:
+    def test_read_before_reset_raises(self):
+        with pytest.raises(ConfigError):
+            MacUnit(ACC).value
+
+    def test_accumulate_before_reset_raises(self):
+        with pytest.raises(ConfigError):
+            MacUnit(ACC).accumulate(fx(1.0), fx(1.0))
+
+    def test_simple_dot_product(self):
+        mac = MacUnit(ACC)
+        mac.reset()
+        for a, b in [(1.0, 2.0), (0.5, 4.0), (-1.0, 1.0)]:
+            mac.accumulate(fx(a), fx(b))
+        assert float(mac.value.to_float()) == 3.0
+
+    def test_vectorised_accumulator(self):
+        mac = MacUnit(ACC)
+        mac.reset(shape=(3,))
+        mac.accumulate(fx(np.array([1.0, 2.0, 3.0])), fx(np.array([2.0, 2.0, 2.0])))
+        np.testing.assert_allclose(mac.value.to_float(), [2.0, 4.0, 6.0])
+
+    def test_guard_bits_prevent_overflow(self):
+        # 64 * (4*4) = 1024 overflows Q4.11 but fits... Q8.11 saturates at
+        # 256; use values that stay inside: 32 * 7 = 224 < 256.
+        mac = MacUnit(ACC)
+        mac.reset()
+        for _ in range(32):
+            mac.accumulate(fx(3.5), fx(2.0))
+        assert float(mac.value.to_float()) == 224.0
+
+    def test_saturates_at_accumulator_limit(self):
+        mac = MacUnit(ACC)
+        mac.reset()
+        for _ in range(40):
+            mac.accumulate(fx(15.0), fx(15.0))
+        assert float(mac.value.to_float()) == ACC.max_value
+
+    def test_accumulate_sum(self):
+        mac = MacUnit(ACC)
+        mac.reset()
+        values = FxArray.from_float(np.array([0.25, 0.5, 1.0, 0.125]), IO)
+        total = mac.accumulate_sum(values)
+        assert float(total.to_float()) == 1.875
+
+
+class TestMulAdd:
+    def test_combinational_path(self):
+        mac = MacUnit(ACC)
+        out = mac.mul_add(fx(1.5), fx(2.0), fx(0.25), out_fmt=IO)
+        assert float(out.to_float()) == 3.25

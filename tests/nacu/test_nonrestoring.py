@@ -1,0 +1,76 @@
+"""Non-restoring divider: bit-equivalence and stage-cost advantage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.divider import RestoringDivider
+from repro.nacu.nonrestoring_divider import (
+    NonRestoringDivider,
+    nonrestoring_stage_advantage,
+    nonrestoring_stage_cost,
+)
+
+IO = QFormat(4, 11)
+QUOT = QFormat(2, 14, signed=False)
+
+
+class TestEquivalence:
+    @given(st.integers(1, IO.raw_max), st.integers(1, IO.raw_max))
+    @settings(max_examples=300)
+    def test_bit_equal_to_restoring(self, num_raw, den_raw):
+        num = FxArray.from_raw(num_raw, IO)
+        den = FxArray.from_raw(den_raw, IO)
+        restoring = RestoringDivider(QUOT).divide(num, den)
+        nonrestoring = NonRestoringDivider(QUOT).divide(num, den)
+        assert int(restoring.raw) == int(nonrestoring.raw)
+
+    @given(st.integers(1 << 10, 1 << 11))
+    @settings(max_examples=100)
+    def test_reciprocal_bit_equal(self, den_raw):
+        den = FxArray.from_raw(den_raw, IO)
+        assert int(NonRestoringDivider(QUOT).reciprocal(den).raw) == int(
+            RestoringDivider(QUOT).reciprocal(den).raw
+        )
+
+    def test_signed_quadrants(self):
+        divider = NonRestoringDivider(QFormat(4, 11))
+        for sn in (1, -1):
+            for sd in (1, -1):
+                out = divider.divide(
+                    FxArray.from_float(sn * 3.0, IO),
+                    FxArray.from_float(sd * 2.0, IO),
+                )
+                assert float(out.to_float()) == sn * sd * 1.5
+
+    def test_zero_dividend(self):
+        out = NonRestoringDivider(QUOT).divide(
+            FxArray.from_float(0.0, IO), FxArray.from_float(1.0, IO)
+        )
+        assert int(out.raw) == 0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            NonRestoringDivider(QUOT).divide(
+                FxArray.from_float(1.0, IO), FxArray.from_float(0.0, IO)
+            )
+
+    def test_vectorised(self):
+        num = FxArray.from_float(np.array([1.0, 3.0, 7.5]), IO)
+        den = FxArray.from_float(np.array([2.0, 2.0, 2.5]), IO)
+        out = NonRestoringDivider(QFormat(4, 11)).divide(num, den)
+        np.testing.assert_allclose(out.to_float(), [0.5, 1.5, 3.0])
+
+
+class TestCostAdvantage:
+    def test_stage_logic_cheaper_than_restoring(self):
+        assert nonrestoring_stage_advantage(16, 16) > 0.1
+
+    def test_stage_cost_register_dominated(self):
+        cost = nonrestoring_stage_cost(16, 16)
+        assert cost.sequential > cost.combinational
+
+    def test_same_latency_model(self):
+        assert NonRestoringDivider(QUOT).fill_latency == RestoringDivider(QUOT).fill_latency
+        assert NonRestoringDivider(QUOT).throughput_cycles(10) == 27

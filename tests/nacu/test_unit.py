@@ -1,0 +1,234 @@
+"""End-to-end accuracy and behaviour tests for the Nacu facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import accuracy_report
+from repro.errors import RangeError
+from repro.fixedpoint import FxArray
+from repro.funcs import exp, sigmoid, softmax_normalised, tanh
+from repro.nacu import FunctionMode, Nacu
+
+
+@pytest.fixture(scope="module")
+def nacu16():
+    return Nacu.for_bits(16)
+
+
+LSB16 = 2.0 ** -11
+
+
+class TestSigmoidAccuracy:
+    def test_max_error_within_one_lsb(self, nacu16):
+        x = np.linspace(-16, 16, 4001)
+        report = accuracy_report(nacu16.sigmoid(x), sigmoid(x))
+        assert report.max_error <= LSB16
+
+    def test_rmse_matches_paper_order(self, nacu16):
+        # Section VII.A: 2.07e-4 RMSE, 0.999 correlation at 16 bits.
+        x = np.linspace(-8, 8, 4001)
+        report = accuracy_report(nacu16.sigmoid(x), sigmoid(x))
+        assert report.rmse < 3e-4
+        assert report.correlation > 0.999
+
+    def test_output_bounded(self, nacu16):
+        x = np.linspace(-16, 15.99, 1001)
+        out = nacu16.sigmoid(x)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+    def test_saturates_high(self, nacu16):
+        assert nacu16.sigmoid(15.0) == pytest.approx(1.0, abs=LSB16)
+
+    def test_saturates_low(self, nacu16):
+        assert nacu16.sigmoid(-15.0) == pytest.approx(0.0, abs=LSB16)
+
+    def test_midpoint(self, nacu16):
+        assert nacu16.sigmoid(0.0) == pytest.approx(0.5, abs=LSB16)
+
+    @given(st.floats(-15.9, 15.9))
+    @settings(max_examples=200)
+    def test_centrosymmetry_eq4_within_quantisation(self, x):
+        unit = Nacu.for_bits(16)
+        assert unit.sigmoid(x) + unit.sigmoid(-x) == pytest.approx(1.0, abs=3 * LSB16)
+
+    @given(st.floats(-15.5, 15.5), st.floats(0.01, 0.4))
+    @settings(max_examples=200)
+    def test_monotone_within_one_lsb(self, x, dx):
+        # PWL segment joints in the flat tails can wobble by one LSB;
+        # anything larger would be a coefficient-path bug.
+        unit = Nacu.for_bits(16)
+        assert unit.sigmoid(x + dx) >= unit.sigmoid(x) - LSB16
+
+
+class TestTanhAccuracy:
+    def test_max_error_within_two_lsb(self, nacu16):
+        # The tanh output scale is doubled (Eq. 3), so the error floor is
+        # 2x the sigmoid's — still ~2 LSB.
+        x = np.linspace(-16, 16, 4001)
+        report = accuracy_report(nacu16.tanh(x), tanh(x))
+        assert report.max_error <= 2 * LSB16
+
+    def test_rmse_matches_paper_order(self, nacu16):
+        # Section VII.B: 2.09e-4 RMSE, 0.999 correlation at 16 bits.
+        x = np.linspace(-8, 8, 4001)
+        report = accuracy_report(nacu16.tanh(x), tanh(x))
+        assert report.rmse < 6e-4
+        assert report.correlation > 0.999
+
+    @given(st.floats(-15.9, 15.9))
+    @settings(max_examples=200)
+    def test_oddness_eq5_within_quantisation(self, x):
+        unit = Nacu.for_bits(16)
+        assert unit.tanh(-x) == pytest.approx(-unit.tanh(x), abs=3 * LSB16)
+
+    def test_eq3_consistency_with_own_sigmoid(self, nacu16):
+        # tanh(x) ~ 2*sigma(2x) - 1 holds *within the same unit*.
+        x = np.linspace(-3.9, 3.9, 401)
+        lhs = nacu16.tanh(x)
+        rhs = 2 * nacu16.sigmoid(2 * x) - 1
+        assert np.max(np.abs(lhs - rhs)) <= 4 * LSB16
+
+    def test_output_bounded(self, nacu16):
+        x = np.linspace(-16, 15.99, 1001)
+        out = nacu16.tanh(x)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestExpAccuracy:
+    def test_error_within_eq16_bound(self, nacu16):
+        # sigma errs by <= 1 LSB; Eq. 16 bounds the exp error by 4x that.
+        x = np.linspace(-16, 0, 2001)
+        report = accuracy_report(nacu16.exp(x), exp(x))
+        assert report.max_error <= 4 * LSB16
+
+    def test_exp_zero_is_one(self, nacu16):
+        assert nacu16.exp(0.0) == pytest.approx(1.0, abs=2 * LSB16)
+
+    def test_rejects_positive_inputs(self, nacu16):
+        with pytest.raises(RangeError):
+            nacu16.exp(0.5)
+
+    def test_monotone_within_quantisation(self, nacu16):
+        # Deep in the tail the reciprocal's quantisation can wobble the
+        # output by one LSB; anything beyond that would be a logic bug.
+        x = np.linspace(-8, 0, 801)
+        out = nacu16.exp(x)
+        assert np.all(np.diff(out) >= -LSB16)
+
+    def test_output_bounded_unit_interval(self, nacu16):
+        x = np.linspace(-16, 0, 801)
+        out = nacu16.exp(x)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0 + 2 * LSB16)
+
+
+class TestSoftmax:
+    def test_matches_reference(self, nacu16):
+        x = np.array([1.2, -0.5, 3.0, 0.1, 2.9])
+        got = nacu16.softmax(x)
+        np.testing.assert_allclose(got, softmax_normalised(x), atol=2e-3)
+
+    def test_sums_to_one_within_quantisation(self, nacu16):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x = rng.uniform(-4, 4, size=8)
+            total = float(np.sum(nacu16.softmax(x)))
+            assert total == pytest.approx(1.0, abs=8 * 2 * LSB16)
+
+    def test_argmax_preserved(self, nacu16):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            x = rng.uniform(-4, 4, size=10)
+            # Skip near-ties, where quantisation may legitimately flip.
+            ordered = np.sort(x)
+            if ordered[-1] - ordered[-2] < 0.05:
+                continue
+            assert int(np.argmax(nacu16.softmax(x))) == int(np.argmax(x))
+
+    def test_uniform_inputs_give_uniform_probabilities(self, nacu16):
+        out = nacu16.softmax(np.full(4, 2.5))
+        np.testing.assert_allclose(out, 0.25, atol=2e-3)
+
+    def test_no_saturation_instability_for_large_inputs(self, nacu16):
+        # Eq. 13's purpose: huge equal inputs must not collapse.
+        out = nacu16.softmax(np.array([15.0, 15.0]))
+        np.testing.assert_allclose(out, 0.5, atol=2e-3)
+
+    def test_rejects_empty_and_3d(self, nacu16):
+        with pytest.raises(RangeError):
+            nacu16.softmax(np.array([]))
+        with pytest.raises(RangeError):
+            nacu16.softmax(np.zeros((2, 2, 2)))
+
+
+class TestMacMode:
+    def test_accumulates(self, nacu16):
+        nacu16.mac_reset()
+        nacu16.mac(2.0, 3.0)
+        nacu16.mac(1.0, 0.5)
+        assert nacu16.mac_value == 6.5
+
+
+class TestInterface:
+    def test_fxarray_in_fxarray_out(self, nacu16):
+        x = FxArray.from_float(np.array([0.5]), nacu16.io_fmt)
+        out = nacu16.sigmoid(x)
+        assert isinstance(out, FxArray)
+
+    def test_float_in_float_out(self, nacu16):
+        assert isinstance(nacu16.sigmoid(0.5), float)
+
+    def test_array_in_array_out(self, nacu16):
+        out = nacu16.sigmoid(np.array([0.5, 1.0]))
+        assert isinstance(out, np.ndarray)
+
+    def test_repr_mentions_width(self, nacu16):
+        assert "16-bit" in repr(nacu16)
+
+
+class TestCycleModel:
+    def test_pipelined_activation_cycles(self, nacu16):
+        assert nacu16.cycles(FunctionMode.SIGMOID, 1) == 3
+        assert nacu16.cycles(FunctionMode.SIGMOID, 100) == 102
+
+    def test_softmax_cycles_grow_linearly(self, nacu16):
+        c10 = nacu16.cycles(FunctionMode.SOFTMAX, 10)
+        c20 = nacu16.cycles(FunctionMode.SOFTMAX, 20)
+        assert c20 - c10 == 30  # 3 passes over the extra 10 elements
+
+    def test_runtime_uses_clock(self, nacu16):
+        assert nacu16.runtime_ns(FunctionMode.SIGMOID, 1) == pytest.approx(
+            3 * 3.75
+        )
+
+
+class TestBitWidthScaling:
+    @pytest.mark.parametrize("bits", [12, 16, 20, 24])
+    def test_error_tracks_lsb(self, bits):
+        unit = Nacu.for_bits(bits)
+        lsb = unit.io_fmt.resolution
+        x = np.linspace(-unit.config.lut_range, unit.config.lut_range, 2001)
+        report = accuracy_report(unit.sigmoid(x), sigmoid(x))
+        assert report.max_error <= 1.5 * lsb
+
+
+class TestBatchSoftmax:
+    def test_rows_independent(self, nacu16):
+        x = np.array([[1.0, 2.0, 0.5], [0.0, -1.0, 3.0]])
+        batched = nacu16.softmax(x)
+        for row_in, row_out in zip(x, batched):
+            np.testing.assert_array_equal(nacu16.softmax(row_in), row_out)
+
+    def test_rows_sum_to_one(self, nacu16):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-4, 4, size=(6, 8))
+        out = nacu16.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=0.02)
+
+    def test_matches_reference(self, nacu16):
+        x = np.array([[1.0, 2.0, 0.5], [0.0, -1.0, 3.0]])
+        np.testing.assert_allclose(
+            nacu16.softmax(x), softmax_normalised(x), atol=2e-3
+        )

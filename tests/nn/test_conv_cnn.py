@@ -1,0 +1,138 @@
+"""Tests for the quantised convolution substrate and the CNN workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu import Nacu
+from repro.nn.activations import FloatActivations, NacuActivations
+from repro.nn.cnn import SmallCnn
+from repro.nn.conv import (
+    QuantizedConv2d,
+    global_average_pool,
+    im2col,
+    max_pool2d,
+    oriented_edge_filters,
+)
+from repro.nn.datasets import make_bar_images
+
+FMT = QFormat(4, 11)
+
+
+class TestIm2col:
+    def test_shapes(self):
+        x = np.zeros((2, 8, 8, 3))
+        patches, oh, ow = im2col(x, kernel=3)
+        assert patches.shape == (2 * 6 * 6, 27)
+        assert (oh, ow) == (6, 6)
+
+    def test_stride(self):
+        x = np.zeros((1, 8, 8, 1))
+        _, oh, ow = im2col(x, kernel=2, stride=2)
+        assert (oh, ow) == (4, 4)
+
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        patches, _, _ = im2col(x, kernel=2)
+        np.testing.assert_array_equal(patches[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(patches[-1], [10, 11, 14, 15])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            im2col(np.zeros((4, 4, 1)), 3)
+        with pytest.raises(ConfigError):
+            im2col(np.zeros((1, 2, 2, 1)), 3)
+
+
+class TestQuantizedConv2d:
+    def test_identity_kernel(self):
+        filters = np.zeros((3, 3, 1, 1))
+        filters[1, 1, 0, 0] = 1.0  # centre tap = identity
+        conv = QuantizedConv2d(filters, np.zeros(1), fmt=FMT)
+        rng = np.random.default_rng(0)
+        x = FxArray.from_float(rng.uniform(0, 1, (1, 6, 6, 1)), FMT)
+        out = conv.forward(x)
+        np.testing.assert_array_equal(out.raw[0, :, :, 0], x.raw[0, 1:5, 1:5, 0])
+
+    def test_matches_float_convolution(self):
+        filters, bias = oriented_edge_filters()
+        conv = QuantizedConv2d(filters, bias, fmt=FMT)
+        rng = np.random.default_rng(1)
+        images = rng.uniform(0, 1, (2, 7, 7, 1))
+        out = conv.forward(FxArray.from_float(images, FMT)).to_float()
+        # Direct float convolution for comparison.
+        for b in range(2):
+            for i in range(5):
+                for j in range(5):
+                    window = images[b, i:i + 3, j:j + 3, 0]
+                    expected = np.sum(
+                        window[..., None] * filters[:, :, 0, :], axis=(0, 1)
+                    )
+                    np.testing.assert_allclose(
+                        out[b, i, j], expected, atol=3 * FMT.resolution
+                    )
+
+    def test_rejects_non_square_filters(self):
+        with pytest.raises(ConfigError):
+            QuantizedConv2d(np.zeros((3, 2, 1, 1)), np.zeros(1))
+
+
+class TestPooling:
+    def test_max_pool_exact(self):
+        raw = np.arange(16, dtype=np.int64).reshape(1, 4, 4, 1)
+        x = FxArray(raw, FMT)
+        pooled = max_pool2d(x, 2)
+        np.testing.assert_array_equal(
+            pooled.raw[0, :, :, 0], [[5, 7], [13, 15]]
+        )
+
+    def test_global_average_pool(self):
+        raw = np.full((1, 4, 4, 2), 8, dtype=np.int64)
+        out = global_average_pool(FxArray(raw, FMT))
+        np.testing.assert_array_equal(out.raw, [[8, 8]])
+
+    def test_pool_requires_4d(self):
+        with pytest.raises(ConfigError):
+            max_pool2d(FxArray(np.zeros((2, 2), dtype=np.int64), FMT))
+
+
+class TestSmallCnn:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_bar_images(n_per_class=60, seed=0)
+
+    def test_features_discriminate_orientation(self, data):
+        images, labels = data
+        cnn = SmallCnn(provider=FloatActivations())
+        feats = cnn.features(images)
+        means = np.stack([feats[labels == c].mean(axis=0) for c in range(3)])
+        # Horizontal bars excite the sobel_h channel far more than
+        # vertical bars do, and vice versa.
+        assert means[0, 0] > means[1, 0] + 0.1
+        assert means[1, 1] > means[0, 1] + 0.1
+
+    def test_forward_before_fit_raises(self, data):
+        with pytest.raises(RuntimeError):
+            SmallCnn().forward(data[0][:1])
+
+    def test_nacu_cnn_accuracy(self, data):
+        images, labels = data
+        split = int(0.8 * len(labels))
+        cnn = SmallCnn(provider=NacuActivations(Nacu()), seed=1)
+        cnn.fit_head(images[:split], labels[:split], epochs=300, learning_rate=0.8)
+        assert cnn.accuracy(images[split:], labels[split:]) > 0.9
+
+    def test_nacu_matches_float_cnn(self, data):
+        images, labels = data
+        split = int(0.8 * len(labels))
+        results = {}
+        for name, provider in [
+            ("float", FloatActivations()),
+            ("nacu", NacuActivations(Nacu())),
+        ]:
+            cnn = SmallCnn(provider=provider, seed=1)
+            cnn.fit_head(images[:split], labels[:split], epochs=300,
+                         learning_rate=0.8)
+            results[name] = cnn.accuracy(images[split:], labels[split:])
+        assert abs(results["nacu"] - results["float"]) <= 0.05

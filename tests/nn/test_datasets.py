@@ -1,0 +1,68 @@
+"""Tests for the synthetic datasets."""
+
+import numpy as np
+
+from repro.nn.datasets import (
+    make_gaussian_clusters,
+    make_sequence_sums,
+    make_step_currents,
+)
+
+
+class TestGaussianClusters:
+    def test_shapes_and_labels(self):
+        x, y = make_gaussian_clusters(n_classes=3, n_features=8, n_per_class=50)
+        assert x.shape == (150, 8)
+        assert set(np.unique(y)) == {0, 1, 2}
+        assert np.bincount(y).tolist() == [50, 50, 50]
+
+    def test_features_within_nacu_input_range(self):
+        x, _ = make_gaussian_clusters()
+        assert np.all(np.abs(x) <= 4.0)
+
+    def test_deterministic_given_seed(self):
+        a = make_gaussian_clusters(seed=7)
+        b = make_gaussian_clusters(seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a, _ = make_gaussian_clusters(seed=1)
+        b, _ = make_gaussian_clusters(seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_classes_are_separable_by_centroids(self):
+        x, y = make_gaussian_clusters(seed=0)
+        centroids = np.stack([x[y == c].mean(axis=0) for c in np.unique(y)])
+        assigned = np.argmin(
+            np.linalg.norm(x[:, None, :] - centroids[None], axis=2), axis=1
+        )
+        assert np.mean(assigned == y) > 0.9
+
+
+class TestSequenceSums:
+    def test_labels_match_sums(self):
+        seqs, labels = make_sequence_sums(n_sequences=64)
+        np.testing.assert_array_equal(
+            labels, (seqs.sum(axis=(1, 2)) > 0).astype(np.int64)
+        )
+
+    def test_shapes(self):
+        seqs, labels = make_sequence_sums(n_sequences=32, length=7)
+        assert seqs.shape == (32, 7, 1)
+        assert labels.shape == (32,)
+
+    def test_both_classes_present(self):
+        _, labels = make_sequence_sums(n_sequences=128)
+        assert 0 < labels.sum() < 128
+
+
+class TestStepCurrents:
+    def test_length(self):
+        assert len(make_step_currents(1000)) == 1000
+
+    def test_levels_increase(self):
+        current = make_step_currents(2000, levels=(0.0, 1.0, 2.0, 3.0))
+        quarters = np.split(current, 4)
+        means = [q.mean() for q in quarters]
+        assert means == sorted(means)

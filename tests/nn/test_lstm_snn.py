@@ -1,0 +1,205 @@
+"""Tests for the LSTM and spiking-neuron workloads."""
+
+import numpy as np
+import pytest
+
+from repro.nacu import Nacu
+from repro.nn import (
+    AdExNeuron,
+    FloatActivations,
+    LstmCell,
+    NacuActivations,
+    make_sequence_sums,
+)
+from repro.nn.datasets import make_step_currents
+from repro.nn.snn import AdExParameters
+
+
+@pytest.fixture(scope="module")
+def nacu_provider():
+    return NacuActivations(Nacu())
+
+
+class TestLstmCell:
+    def test_state_shapes(self):
+        cell = LstmCell(3, 8)
+        h, c = cell.initial_state(5)
+        assert h.shape == (5, 8)
+        assert c.shape == (5, 8)
+
+    def test_hidden_bounded_by_tanh(self, nacu_provider):
+        cell = LstmCell(1, 8, seed=1)
+        seqs = np.random.default_rng(0).uniform(-1, 1, size=(4, 20, 1))
+        for provider in (FloatActivations(), nacu_provider):
+            h = cell.run(seqs, provider)
+            assert np.all(np.abs(h) <= 1.0)
+
+    def test_forget_bias_retains_memory(self):
+        # With input gate ~0.5 and forget ~0.73, an impulse should persist
+        # in the cell state across quiet steps.
+        cell = LstmCell(1, 4, seed=0)
+        h, c = cell.initial_state(1)
+        h, c = cell.step(np.array([[1.0]]), (h, c))
+        energy_after_impulse = float(np.sum(np.abs(c)))
+        for _ in range(3):
+            h, c = cell.step(np.array([[0.0]]), (h, c))
+        assert float(np.sum(np.abs(c))) > 0.2 * energy_after_impulse
+
+    def test_nacu_trajectory_stays_close_to_float(self, nacu_provider):
+        # Recurrent feedback compounds quantisation error; across 20 steps
+        # it must stay within a few dozen LSBs for the unit to be usable
+        # in LSTMs (the paper's CGRA motivation).
+        cell = LstmCell(1, 8, seed=3)
+        seqs = np.random.default_rng(4).uniform(-1, 1, size=(16, 20, 1))
+        h_float = cell.run(seqs, FloatActivations())
+        h_nacu = cell.run(seqs, nacu_provider)
+        assert np.max(np.abs(h_float - h_nacu)) < 50 * 2.0 ** -11
+
+    def test_sequence_sum_task_agreement(self, nacu_provider):
+        # Readout sign agreement between float and NACU on a real task.
+        seqs, labels = make_sequence_sums(n_sequences=64, length=12, seed=5)
+        cell = LstmCell(1, 8, seed=6)
+        readout = np.random.default_rng(7).normal(size=(8,))
+        score_f = cell.run(seqs, FloatActivations()) @ readout
+        score_n = cell.run(seqs, nacu_provider) @ readout
+        decided = np.abs(score_f) > 0.02  # skip knife-edge cases
+        assert np.all((score_f > 0)[decided] == (score_n > 0)[decided])
+
+
+class TestAdExNeuron:
+    def test_no_input_no_spikes(self):
+        neuron = AdExNeuron()
+        voltages, spikes = neuron.run(np.zeros(500))
+        assert spikes.sum() == 0
+        assert abs(voltages[-1] - neuron.params.v_rest) < 0.5
+
+    def test_strong_input_spikes(self):
+        neuron = AdExNeuron()
+        assert neuron.spike_count(np.full(500, 6.0)) > 3
+
+    def test_firing_rate_increases_with_current(self):
+        neuron = AdExNeuron()
+        rates = [neuron.spike_count(np.full(400, level)) for level in (4.0, 6.0, 8.0)]
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_adaptation_slows_firing(self):
+        # With a strong adaptation jump, inter-spike intervals lengthen.
+        params = AdExParameters(jump_b=1.0)
+        neuron = AdExNeuron(params)
+        _, spikes = neuron.run(np.full(1000, 6.0))
+        times = np.where(spikes)[0]
+        assert len(times) >= 3
+        intervals = np.diff(times)
+        assert intervals[-1] >= intervals[0]
+
+    def test_nacu_exponential_preserves_spike_count(self):
+        current = make_step_currents(800, levels=(0.0, 2.0, 4.0, 6.0), seed=1)
+        unit = Nacu()
+        float_spikes = AdExNeuron().spike_count(current)
+        nacu_spikes = AdExNeuron(exp_fn=lambda a: unit.exp(a)).spike_count(current)
+        assert abs(float_spikes - nacu_spikes) <= 1
+
+    def test_exponent_clamped_to_nonpositive(self):
+        # The substitution documented in the module: exp_fn must never see
+        # positive arguments.
+        seen = []
+
+        def recording_exp(a):
+            seen.append(np.max(a))
+            return np.exp(a)
+
+        AdExNeuron(exp_fn=recording_exp).run(np.full(300, 8.0))
+        assert max(seen) <= 0.0
+
+
+class TestAdExPopulation:
+    from repro.nn.snn import AdExPopulation  # noqa: F401 (import check)
+
+    def _nacu_exp(self):
+        unit = Nacu()
+        return lambda a: unit.exp(np.minimum(a, 0.0))
+
+    def test_coupling_increases_activity(self):
+        from repro.nn.snn import AdExPopulation
+
+        coupled = AdExPopulation(8, seed=1)
+        uncoupled = AdExPopulation(8, weights=np.zeros((8, 8)), seed=1)
+        assert (
+            coupled.run(6.0, n_steps=400)[1].sum()
+            > uncoupled.run(6.0, n_steps=400)[1].sum()
+        )
+
+    def test_nacu_population_matches_float(self):
+        from repro.nn.snn import AdExPopulation
+
+        flt = AdExPopulation(8, seed=1)
+        nacu = AdExPopulation(8, exp_fn=self._nacu_exp(), seed=1)
+        count_f = flt.run(6.0, n_steps=400)[1].sum()
+        count_n = nacu.run(6.0, n_steps=400)[1].sum()
+        assert abs(int(count_f) - int(count_n)) <= max(2, 0.05 * count_f)
+
+    def test_decay_constant_through_exp_fn(self):
+        from repro.nn.snn import AdExPopulation
+
+        pop = AdExPopulation(4, exp_fn=self._nacu_exp(), tau_syn=5.0)
+        assert pop.syn_decay == pytest.approx(np.exp(-0.2), abs=2e-3)
+
+    def test_no_self_coupling_by_default(self):
+        from repro.nn.snn import AdExPopulation
+
+        assert np.all(np.diag(AdExPopulation(6).weights) == 0)
+
+    def test_scalar_current_needs_steps(self):
+        from repro.nn.snn import AdExPopulation
+
+        with pytest.raises(ValueError):
+            AdExPopulation(4).run(6.0)
+
+    def test_shapes(self):
+        from repro.nn.snn import AdExPopulation
+
+        voltages, spikes = AdExPopulation(5).run(np.full(50, 6.0))
+        assert voltages.shape == (50, 5)
+        assert spikes.shape == (50, 5)
+
+
+class TestCoincidenceFactor:
+    def test_identical_trains(self):
+        from repro.nn.snn import coincidence_factor
+
+        spikes = np.zeros(500, dtype=bool)
+        spikes[::37] = True
+        assert coincidence_factor(spikes, spikes) == pytest.approx(1.0)
+
+    def test_empty_trains(self):
+        from repro.nn.snn import coincidence_factor
+
+        empty = np.zeros(100, dtype=bool)
+        busy = np.zeros(100, dtype=bool)
+        busy[::10] = True
+        assert coincidence_factor(empty, empty) == 1.0
+        assert coincidence_factor(empty, busy) == 0.0
+
+    def test_random_train_near_zero(self):
+        from repro.nn.snn import coincidence_factor
+
+        rng = np.random.default_rng(1)
+        reference = np.zeros(2000, dtype=bool)
+        reference[::40] = True
+        random = rng.random(2000) < reference.mean()
+        assert abs(coincidence_factor(reference, random)) < 0.4
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.nn.snn import coincidence_factor
+
+        with pytest.raises(ValueError):
+            coincidence_factor(np.zeros(10, dtype=bool), np.zeros(9, dtype=bool))
+
+    def test_nacu_train_highly_coincident(self):
+        from repro.nn.snn import coincidence_factor
+
+        unit = Nacu()
+        current = np.full(800, 6.0)
+        _, spikes_float = AdExNeuron().run(current)
+        _, spikes_nacu = AdExNeuron(exp_fn=lambda a: unit.exp(a)).run(current)
+        assert coincidence_factor(spikes_float, spikes_nacu) > 0.9

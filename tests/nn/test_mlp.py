@@ -1,0 +1,87 @@
+"""Tests for the MLP workload (float training, fixed-point deployment)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nacu import Nacu
+from repro.nn import (
+    FixedPointMlp,
+    FloatActivations,
+    Mlp,
+    NacuActivations,
+    make_gaussian_clusters,
+)
+from repro.nn.mlp import one_hot
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    x, y = make_gaussian_clusters(n_classes=4, n_features=16, n_per_class=80, seed=1)
+    split = int(0.8 * len(y))
+    mlp = Mlp([16, 24, 4], hidden="sigmoid", seed=2)
+    mlp.train(x[:split], y[:split], epochs=250, learning_rate=0.8)
+    return mlp, x[split:], y[split:]
+
+
+class TestConstruction:
+    def test_rejects_single_layer(self):
+        with pytest.raises(ConfigError):
+            Mlp([10])
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ConfigError):
+            Mlp([4, 2], hidden="relu")
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        x, y = make_gaussian_clusters(n_classes=3, n_features=8, n_per_class=40)
+        mlp = Mlp([8, 12, 3], seed=0)
+        first = mlp.train(x, y, epochs=1, learning_rate=0.5)
+        last = mlp.train(x, y, epochs=100, learning_rate=0.5)
+        assert last < first
+
+    def test_float_accuracy_high(self, trained_setup):
+        mlp, x_test, y_test = trained_setup
+        assert mlp.accuracy(x_test, y_test) > 0.9
+
+    def test_forward_returns_probabilities(self, trained_setup):
+        mlp, x_test, _ = trained_setup
+        probs = mlp.forward(x_test[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_tanh_hidden_also_trains(self):
+        x, y = make_gaussian_clusters(n_classes=3, n_features=8, n_per_class=40)
+        mlp = Mlp([8, 12, 3], hidden="tanh", seed=0)
+        mlp.train(x, y, epochs=150, learning_rate=0.3)
+        assert mlp.accuracy(x, y) > 0.9
+
+
+class TestFixedPointDeployment:
+    def test_nacu_deployment_matches_float_accuracy(self, trained_setup):
+        # The paper's whole premise: the fixed-point unit must not cost
+        # classification accuracy.
+        mlp, x_test, y_test = trained_setup
+        fixed = FixedPointMlp(mlp, NacuActivations(Nacu()))
+        float_acc = mlp.accuracy(x_test, y_test)
+        fixed_acc = fixed.accuracy(x_test, y_test)
+        assert fixed_acc >= float_acc - 0.02
+
+    def test_probabilities_close_to_float(self, trained_setup):
+        mlp, x_test, _ = trained_setup
+        fixed = FixedPointMlp(mlp, NacuActivations(Nacu()))
+        probs_fixed = fixed.forward(x_test[:20])
+        probs_float = mlp.forward(x_test[:20], FloatActivations())
+        assert np.max(np.abs(probs_fixed - probs_float)) < 0.03
+
+    def test_float_provider_in_fixed_pipeline(self, trained_setup):
+        # Quantised MACs with float activations: isolates MAC quantisation.
+        mlp, x_test, y_test = trained_setup
+        fixed = FixedPointMlp(mlp, FloatActivations())
+        assert fixed.accuracy(x_test, y_test) > 0.9

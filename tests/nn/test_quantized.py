@@ -1,0 +1,53 @@
+"""Tests for quantised linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import FxArray, QFormat
+from repro.nn.quantized import quantize_parameters, quantized_matmul
+
+FMT = QFormat(4, 11)
+ACC = QFormat(8, 11)
+
+
+class TestQuantizedMatmul:
+    def test_exact_on_grid_values(self):
+        x = FxArray.from_float(np.array([[1.0, 2.0]]), FMT)
+        w = FxArray.from_float(np.array([[0.5, -1.0], [0.25, 0.5]]), FMT)
+        out = quantized_matmul(x, w, ACC)
+        np.testing.assert_allclose(out.to_float(), [[1.0, 0.0]])
+
+    def test_single_rounding_beats_per_product_rounding(self):
+        # Accumulating exactly then rounding once is at most 0.5 LSB off;
+        # rounding every product first can drift by n/2 LSBs.
+        rng = np.random.default_rng(0)
+        x = FxArray.from_float(rng.uniform(-1, 1, size=(1, 64)), FMT)
+        w = FxArray.from_float(rng.uniform(-1, 1, size=(64, 1)), FMT)
+        exact = float((x.to_float() @ w.to_float())[0, 0])
+        got = float(quantized_matmul(x, w, ACC).to_float()[0, 0])
+        assert abs(got - exact) <= ACC.resolution
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=50)
+    def test_matches_float_within_half_lsb(self, seed):
+        rng = np.random.default_rng(seed)
+        x = FxArray.from_float(rng.uniform(-2, 2, size=(3, 5)), FMT)
+        w = FxArray.from_float(rng.uniform(-2, 2, size=(5, 4)), FMT)
+        got = quantized_matmul(x, w, ACC).to_float()
+        exact = x.to_float() @ w.to_float()
+        assert np.max(np.abs(got - exact)) <= ACC.resolution / 2
+
+    def test_saturates_on_overflow(self):
+        x = FxArray.from_float(np.full((1, 64), 4.0), FMT)
+        w = FxArray.from_float(np.full((64, 1), 4.0), FMT)
+        out = quantized_matmul(x, w, ACC)  # true sum = 1024 > 256
+        assert float(out.to_float()[0, 0]) == ACC.max_value
+
+
+class TestQuantizeParameters:
+    def test_roundtrip_within_half_lsb(self):
+        arrays = [np.array([0.1, -0.2]), np.array([[1.5]])]
+        quantised = quantize_parameters(arrays, FMT)
+        for raw, q in zip(arrays, quantised):
+            assert np.max(np.abs(q.to_float() - raw)) <= FMT.resolution / 2

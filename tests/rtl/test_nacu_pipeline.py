@@ -1,0 +1,114 @@
+"""Structural-vs-behavioural equivalence of the NACU pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray
+from repro.nacu import FunctionMode, Nacu
+from repro.rtl import NacuPipeline
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return Nacu()
+
+
+@pytest.fixture(scope="module")
+def rtl():
+    return NacuPipeline()
+
+
+def stream_raws(rtl, mode, x_fx):
+    records = rtl.stream(mode, x_fx.raw)
+    ordered = sorted(records, key=lambda r: r.item["tag"])
+    return np.array([r.item["y_raw"] for r in ordered]), records
+
+
+class TestStructure:
+    def test_activation_depth_is_table1_latency(self, rtl, unit):
+        pipe = rtl.activation_pipeline(FunctionMode.SIGMOID)
+        assert pipe.depth == unit.latency(FunctionMode.SIGMOID) == 3
+
+    def test_exponential_depth_is_90ns_fill(self, rtl, unit):
+        pipe = rtl.exponential_pipeline()
+        assert pipe.depth == unit.datapath.exp_pipeline_fill == 24
+
+    def test_divider_stage_names(self, rtl):
+        names = rtl.exponential_pipeline().names
+        assert names.count("div_prepare") == 1
+        assert sum(1 for n in names if n.startswith("div_bit")) == 16
+
+    def test_no_pipeline_for_mac(self, rtl):
+        with pytest.raises(ConfigError):
+            rtl.activation_pipeline(FunctionMode.MAC)
+
+    def test_exp_rejects_positive_inputs(self, rtl):
+        with pytest.raises(ConfigError):
+            rtl.stream(FunctionMode.EXP, [100])
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("mode", [FunctionMode.SIGMOID, FunctionMode.TANH])
+    def test_activation_matches_behavioural_model(self, rtl, unit, mode):
+        x = FxArray.from_float(np.linspace(-15.9, 15.9, 257), unit.io_fmt)
+        behavioural = unit.datapath.activation(x, mode)
+        structural, _ = stream_raws(rtl, mode, x)
+        np.testing.assert_array_equal(structural, behavioural.raw)
+
+    def test_exponential_matches_behavioural_model(self, rtl, unit):
+        x = FxArray.from_float(np.linspace(-16, 0, 257), unit.io_fmt)
+        behavioural = unit.datapath.exponential(x)
+        structural, _ = stream_raws(rtl, FunctionMode.EXP, x)
+        np.testing.assert_array_equal(structural, behavioural.raw)
+
+    def test_divider_stages_compute_true_reciprocal(self, rtl, unit):
+        # End to end through sigma: exp(0) needs 1/sigma(0) = 2 exactly.
+        x = FxArray.from_float(np.array([0.0]), unit.io_fmt)
+        structural, _ = stream_raws(rtl, FunctionMode.EXP, x)
+        assert structural[0] == unit.datapath.exponential(x).raw[0]
+
+
+class TestStreamingBehaviour:
+    def test_one_result_per_cycle_after_fill(self, rtl):
+        x = FxArray.from_float(np.linspace(-4, 0, 50), rtl.config.io_fmt)
+        _, records = stream_raws(rtl, FunctionMode.EXP, x)
+        cycles = [r.cycle for r in records]
+        assert cycles == list(range(cycles[0], cycles[0] + 50))
+
+    def test_first_exp_result_after_24_cycles(self, rtl):
+        x = FxArray.from_float(np.array([-1.0]), rtl.config.io_fmt)
+        _, records = stream_raws(rtl, FunctionMode.EXP, x)
+        # Enters during cycle 1, leaves after 24 full cycles.
+        assert records[0].cycle - 1 == 24
+
+    def test_tags_preserved_in_order(self, rtl):
+        x = FxArray.from_float(np.linspace(-2, 2, 20), rtl.config.io_fmt)
+        records = rtl.stream(FunctionMode.TANH, x.raw)
+        assert [r.item["tag"] for r in records] == list(range(20))
+
+
+class TestOtherWidths:
+    @pytest.mark.parametrize("bits", [12, 20])
+    def test_equivalence_at_other_widths(self, bits):
+        from repro.nacu import NacuConfig
+
+        config = NacuConfig.for_bits(bits)
+        unit = Nacu(config)
+        rtl = NacuPipeline(config)
+        x = FxArray.from_float(np.linspace(-4, 4, 65), config.io_fmt)
+        behavioural = unit.datapath.activation(x, FunctionMode.SIGMOID)
+        structural, _ = stream_raws(rtl, FunctionMode.SIGMOID, x)
+        np.testing.assert_array_equal(structural, behavioural.raw)
+
+    @pytest.mark.parametrize("bits", [12, 20])
+    def test_exp_equivalence_at_other_widths(self, bits):
+        from repro.nacu import NacuConfig
+
+        config = NacuConfig.for_bits(bits)
+        unit = Nacu(config)
+        rtl = NacuPipeline(config)
+        x = FxArray.from_float(np.linspace(-6, 0, 65), config.io_fmt)
+        behavioural = unit.datapath.exponential(x)
+        structural, _ = stream_raws(rtl, FunctionMode.EXP, x)
+        np.testing.assert_array_equal(structural, behavioural.raw)

@@ -1,0 +1,78 @@
+"""Tests for the generic synchronous pipeline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rtl import Pipeline
+
+
+def inc(key):
+    def fn(item):
+        out = dict(item)
+        out[key] = out.get(key, 0) + 1
+        return out
+
+    return fn
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Pipeline([])
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ConfigError):
+            Pipeline([inc("a")], names=["x", "y"])
+
+    def test_default_names(self):
+        assert Pipeline([inc("a"), inc("a")]).names == ["stage0", "stage1"]
+
+
+class TestTiming:
+    def test_latency_equals_depth(self):
+        pipe = Pipeline([inc("a")] * 4)
+        out = pipe.tick({"a": 0})
+        assert out is None
+        for _ in range(3):
+            assert pipe.tick(None) is None
+        assert pipe.tick(None) == {"a": 4}
+
+    def test_throughput_one_per_cycle(self):
+        pipe = Pipeline([inc("a")] * 3)
+        records = pipe.run_stream([{"a": 10 * i} for i in range(5)])
+        cycles = [r.cycle for r in records]
+        assert cycles == [4, 5, 6, 7, 8]
+
+    def test_bubbles_propagate(self):
+        pipe = Pipeline([inc("a")] * 2)
+        assert pipe.tick({"a": 0}) is None
+        assert pipe.tick(None) is None            # bubble enters
+        assert pipe.tick({"a": 100}) == {"a": 2}  # first item exits
+        assert pipe.tick(None) is None            # the bubble exits
+        assert pipe.tick(None) == {"a": 102}
+
+    def test_reset(self):
+        pipe = Pipeline([inc("a")] * 2)
+        pipe.tick({"a": 0})
+        pipe.reset()
+        assert pipe.cycle == 0
+        assert pipe.registers == [None, None]
+
+
+class TestStreaming:
+    def test_run_stream_returns_everything_in_order(self):
+        pipe = Pipeline([inc("a")] * 3)
+        items = [{"a": i} for i in range(7)]
+        records = pipe.run_stream(items)
+        assert [r.item["a"] for r in records] == [i + 3 for i in range(7)]
+
+    def test_each_stage_applied_once(self):
+        seen = []
+
+        def spy(item):
+            seen.append(item["tag"])
+            return item
+
+        pipe = Pipeline([spy, spy])
+        pipe.run_stream([{"tag": 1}])
+        assert seen == [1, 1]

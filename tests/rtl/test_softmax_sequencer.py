@@ -1,0 +1,70 @@
+"""The sequenced softmax must match the behavioural model bit for bit,
+and its tick count must validate the analytic cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray
+from repro.nacu import FunctionMode, Nacu
+from repro.rtl.softmax_sequencer import SoftmaxSequencer
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return Nacu()
+
+
+@pytest.fixture(scope="module")
+def sequencer():
+    return SoftmaxSequencer()
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_behavioural_softmax(self, unit, sequencer, seed):
+        rng = np.random.default_rng(seed)
+        x = FxArray.from_float(rng.uniform(-4, 4, size=10), unit.io_fmt)
+        behavioural = unit.datapath.softmax(x)
+        trace = sequencer.run(x)
+        np.testing.assert_array_equal(trace.probabilities_raw, behavioural.raw)
+
+    def test_uniform_vector(self, unit, sequencer):
+        x = FxArray.from_float(np.full(4, 1.5), unit.io_fmt)
+        trace = sequencer.run(x)
+        np.testing.assert_array_equal(
+            trace.probabilities_raw, unit.datapath.softmax(x).raw
+        )
+
+    def test_rejects_bad_shapes(self, sequencer):
+        with pytest.raises(ConfigError):
+            sequencer.run(FxArray.from_float(np.zeros((2, 2)), NacuFmt()))
+
+
+def NacuFmt():
+    return Nacu().io_fmt
+
+
+class TestCycleModel:
+    def test_total_close_to_analytic_model(self, unit, sequencer):
+        for n in (4, 10, 32):
+            x = FxArray.from_float(np.linspace(-3, 3, n), unit.io_fmt)
+            trace = sequencer.run(x)
+            model = unit.cycles(FunctionMode.SOFTMAX, n)
+            # The structural count and the closed-form model agree up to
+            # the handful of hand-off cycles the model folds into fills.
+            assert abs(trace.total_cycles - model) <= 4
+
+    def test_phase_structure(self, unit, sequencer):
+        n = 16
+        x = FxArray.from_float(np.linspace(-3, 3, n), unit.io_fmt)
+        trace = sequencer.run(x)
+        assert trace.max_scan_cycles == n
+        assert trace.exp_phase_cycles == n + 24  # stream + fill/drain
+        assert trace.divide_phase_cycles == n + 18
+
+    def test_cycles_scale_linearly(self, unit, sequencer):
+        x8 = FxArray.from_float(np.linspace(-2, 2, 8), unit.io_fmt)
+        x24 = FxArray.from_float(np.linspace(-2, 2, 24), unit.io_fmt)
+        delta = sequencer.run(x24).total_cycles - sequencer.run(x8).total_cycles
+        assert delta == 3 * 16  # three streaming passes over 16 extra items

@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The slow, sweep-heavy examples (design_space) are exercised through
+their underlying experiment drivers instead; here we execute the quick
+ones exactly the way a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "format_selection.py",
+    "pipeline_trace.py",
+    "cnn_bars.py",
+    "mlp_classifier.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    expected = set(FAST_EXAMPLES) | {
+        "lstm_gates.py",
+        "adex_neuron.py",
+        "design_space.py",
+        "cgra_morphing.py",
+        "error_budget.py",
+    }
+    assert expected <= present
+
+
+def test_every_example_has_docstring_and_main():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        text = path.read_text()
+        assert text.lstrip().startswith('"""'), f"{path.name}: no docstring"
+        assert '__name__ == "__main__"' in text, f"{path.name}: no main guard"

@@ -1,0 +1,51 @@
+"""The documented public API must stay importable and stable."""
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart_lines(self):
+        from repro import Nacu
+
+        unit = Nacu.for_bits(16)
+        assert unit.sigmoid(1.0) == pytest.approx(0.731, abs=1e-3)
+        assert unit.tanh(-0.5) == pytest.approx(-0.462, abs=2e-3)
+        assert unit.exp(-2.0) == pytest.approx(0.135, abs=2e-3)
+        probs = unit.softmax([1.2, -0.5, 3.0])
+        assert probs.sum() == pytest.approx(1.0, abs=0.01)
+
+
+class TestSubpackageSurfaces:
+    @pytest.mark.parametrize("module,names", [
+        ("repro.fixedpoint", ["FxArray", "QFormat", "ops", "select_format"]),
+        ("repro.approx", ["UniformLUT", "RangeAddressableLUT", "UniformPWL",
+                          "NonUniformPWL", "InterpolatedLUT"]),
+        ("repro.nacu", ["Nacu", "NacuConfig", "FunctionMode",
+                        "build_sigmoid_lut"]),
+        ("repro.baselines", ["RELATED_WORK", "get_baseline", "iter_baselines"]),
+        ("repro.analysis", ["accuracy_report", "error_distribution",
+                            "sigmoid_error_budget"]),
+        ("repro.hwcost", ["nacu_area_breakdown", "scale_area"]),
+        ("repro.nn", ["Mlp", "FixedPointMlp", "LstmCell", "LstmClassifier",
+                      "AdExNeuron", "SmallCnn"]),
+        ("repro.rtl", ["NacuPipeline", "Pipeline", "SoftmaxSequencer"]),
+        ("repro.cgra", ["Fabric", "FabricLstm", "map_mlp"]),
+        ("repro.experiments", ["EXPERIMENTS", "run_experiment"]),
+    ])
+    def test_surface(self, module, names):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in names:
+            assert hasattr(mod, name), f"{module}.{name} missing"

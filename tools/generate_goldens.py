@@ -1,0 +1,79 @@
+"""Regenerate the golden test vectors under ``tests/golden/``.
+
+Run after an *intentional* change to the datapath's bit-level behaviour::
+
+    python tools/generate_goldens.py
+
+The golden files pin the exact raw outputs of the 16-bit unit on a fixed
+stimulus set; ``tests/nacu/test_golden_vectors.py`` fails on any
+unintentional bit-level drift.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.fixedpoint import FxArray
+from repro.nacu import FunctionMode, Nacu
+from repro.nacu.export import to_memh
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "tests" / "golden"
+
+
+def stimulus_raws(unit: Nacu, non_positive: bool = False) -> np.ndarray:
+    """The fixed stimulus set: corners, near-zero, and a strided sweep."""
+    fmt = unit.io_fmt
+    corners = np.array(
+        [fmt.raw_min, fmt.raw_min + 1, -1, 0, 1, fmt.raw_max - 1, fmt.raw_max],
+        dtype=np.int64,
+    )
+    sweep = np.arange(fmt.raw_min, fmt.raw_max, 257, dtype=np.int64)
+    raws = np.unique(np.concatenate([corners, sweep]))
+    if non_positive:
+        raws = raws[raws <= 0]
+    return raws
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    unit = Nacu.for_bits(16)
+    fmt = unit.io_fmt
+    cases = {
+        "sigmoid": (FunctionMode.SIGMOID, False),
+        "tanh": (FunctionMode.TANH, False),
+        "exp": (FunctionMode.EXP, True),
+    }
+    for name, (mode, non_positive) in cases.items():
+        raws = stimulus_raws(unit, non_positive)
+        x = FxArray(raws, fmt)
+        if mode is FunctionMode.EXP:
+            out = unit.datapath.exponential(x)
+        else:
+            out = unit.datapath.activation(x, mode)
+        (GOLDEN_DIR / f"nacu16_{name}_in.memh").write_text(to_memh(raws, fmt))
+        (GOLDEN_DIR / f"nacu16_{name}_out.memh").write_text(
+            to_memh(out.raw, fmt)
+        )
+        print(f"wrote {name}: {len(raws)} vectors")
+    # Softmax: a handful of fixed vectors, flattened with length prefixes.
+    rng = np.random.default_rng(2020)
+    softmax_in = []
+    softmax_out = []
+    for length in (2, 5, 10):
+        vec = FxArray.from_float(rng.uniform(-4, 4, size=length), fmt)
+        out = unit.datapath.softmax(vec)
+        softmax_in.append(vec.raw)
+        softmax_out.append(out.raw)
+    (GOLDEN_DIR / "nacu16_softmax_in.memh").write_text(
+        to_memh(np.concatenate(softmax_in), fmt)
+    )
+    (GOLDEN_DIR / "nacu16_softmax_out.memh").write_text(
+        to_memh(np.concatenate(softmax_out), fmt)
+    )
+    print("wrote softmax: 3 vectors (lengths 2, 5, 10)")
+
+
+if __name__ == "__main__":
+    main()
