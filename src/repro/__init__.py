@@ -16,12 +16,14 @@ Quick start::
     0.73095703125
 """
 
+from repro.engine import BatchEngine
 from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, select_format
 from repro.nacu import FunctionMode, Nacu, NacuConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEngine",
     "FunctionMode",
     "FxArray",
     "Nacu",

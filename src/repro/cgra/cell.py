@@ -73,11 +73,14 @@ class ProcessingCell:
             return z
         self.configure(mode)
         if mode is FunctionMode.SOFTMAX:
-            rows = [self.nacu.softmax(FxArray(row, self.config.io_fmt))
-                    for row in np.atleast_2d(z.raw)]
-            out = FxArray(np.stack([r.raw for r in rows]), self.config.io_fmt)
-            self.busy_cycles += sum(
-                self.nacu.cycles(FunctionMode.SOFTMAX, n_out) for _ in rows
+            # The whole batch goes through the datapath's native 2-D
+            # softmax in one pass; the cycle model still charges one
+            # sequential softmax per row (the unit time-multiplexes rows).
+            out = self.nacu.softmax(
+                FxArray(np.atleast_2d(z.raw), self.config.io_fmt)
+            )
+            self.busy_cycles += batch * self.nacu.cycles(
+                FunctionMode.SOFTMAX, n_out
             )
             return out
         flat = FxArray(z.raw.ravel(), self.config.io_fmt)

@@ -96,13 +96,22 @@ class Fabric:
         return out, self._report(f"dense->{mode.value}", before, reconf_before)
 
     def run_softmax(self, x: FxArray):
-        """Softmax of one vector on a single (morphable) cell."""
+        """Softmax of one vector — or a 2-D batch — on one morphable cell.
+
+        A 2-D input is served row by row on the same cell (the cycle model
+        charges one sequential softmax per row), but the arithmetic runs
+        through the datapath's vectorised batched path, so the job costs
+        one dispatch instead of one per row.
+        """
         before = self._snapshot()
         reconf_before = sum(c.reconfigurations for c in self.cells)
         cell = self.cells[0]
         cell.configure(FunctionMode.SOFTMAX)
         out = cell.nacu.softmax(x)
-        cell.busy_cycles += cell.nacu.cycles(FunctionMode.SOFTMAX, x.size)
+        rows = 1 if x.raw.ndim == 1 else x.raw.shape[0]
+        cell.busy_cycles += rows * cell.nacu.cycles(
+            FunctionMode.SOFTMAX, x.raw.shape[-1]
+        )
         return out, self._report("softmax", before, reconf_before)
 
     def run_activation(self, x: FxArray, mode: FunctionMode):

@@ -45,14 +45,11 @@ class MlpMapping:
             else:
                 z, report = self.fabric.run_dense(a, w, b, FunctionMode.MAC)
                 self.reports.append(report)
-                rows = []
-                for row in np.atleast_2d(z.raw):
-                    probs, softmax_report = self.fabric.run_softmax(
-                        FxArray(row, self.fabric.config.io_fmt)
-                    )
-                    rows.append(probs.raw)
-                    self.reports.append(softmax_report)
-                a = FxArray(np.stack(rows), self.fabric.config.io_fmt)
+                probs, softmax_report = self.fabric.run_softmax(
+                    FxArray(np.atleast_2d(z.raw), self.fabric.config.io_fmt)
+                )
+                self.reports.append(softmax_report)
+                a = FxArray(probs.raw, self.fabric.config.io_fmt)
         return a.to_float()
 
     def predict(self, x: np.ndarray) -> np.ndarray:

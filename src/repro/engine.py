@@ -1,0 +1,131 @@
+"""The batch evaluation engine — serving-oriented front end to one NACU.
+
+:class:`BatchEngine` runs sigmoid/tanh/exp/softmax over arbitrary-shaped
+batches with a single quantise on the way in and a single de-quantise on
+the way out. The elementwise functions go through the datapath in one
+vectorised pass whatever the input rank; softmax reshapes the batch to a
+2-D stack of rows and uses the datapath's native batched path, so every
+result is raw-bit-identical to evaluating elements (or rows) one at a
+time through :class:`~repro.nacu.unit.Nacu`.
+
+The engine also satisfies the ``ActivationProvider`` duck type used by
+:mod:`repro.nn` (``sigmoid``/``tanh``/``softmax`` as array-to-array
+callables), so it can be dropped straight into an MLP, CNN or LSTM:
+
+>>> from repro.engine import BatchEngine
+>>> engine = BatchEngine.for_bits(16)
+>>> engine.softmax([[1.0, 2.0, 0.5], [0.0, -1.0, 3.0]]).shape
+(2, 3)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import RangeError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.unit import Nacu
+
+InputLike = Union[FxArray, float, np.ndarray, list]
+
+
+class BatchEngine:
+    """Vectorised batch evaluation over one (shared) NACU.
+
+    Accepts plain floats/arrays (quantised once into the unit's I/O
+    format) or :class:`FxArray` batches already in raw form; returns
+    values in kind, preserving the input's shape. The ``*_fx`` variants
+    skip the float conversion entirely for pipelines that stay in fixed
+    point between layers.
+    """
+
+    def __init__(self, nacu: Optional[Nacu] = None,
+                 config: Optional[NacuConfig] = None):
+        self.nacu = nacu if nacu is not None else Nacu(config)
+
+    @classmethod
+    def for_bits(cls, n_bits: int, **kwargs) -> "BatchEngine":
+        """An engine over a unit dimensioned for ``n_bits`` (Section III)."""
+        return cls(Nacu.for_bits(n_bits, **kwargs))
+
+    @property
+    def io_fmt(self) -> QFormat:
+        """The underlying unit's input/output fixed-point format."""
+        return self.nacu.io_fmt
+
+    @property
+    def engine(self) -> "BatchEngine":
+        """Self — lets engine-aware callers accept either an engine or an
+        engine-backed provider through one ``getattr(obj, "engine")``."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Quantise-in / quantise-out
+    # ------------------------------------------------------------------
+    def _ingest(self, x: InputLike) -> FxArray:
+        if isinstance(x, FxArray):
+            return x
+        return FxArray.from_float(np.asarray(x, dtype=np.float64), self.io_fmt)
+
+    @staticmethod
+    def _emit(result: FxArray, like: InputLike):
+        if isinstance(like, FxArray):
+            return result
+        out = result.to_float()
+        return float(out) if np.ndim(out) == 0 else out
+
+    # ------------------------------------------------------------------
+    # Fixed-point batch paths
+    # ------------------------------------------------------------------
+    def sigmoid_fx(self, x: FxArray) -> FxArray:
+        """Elementwise sigma of a raw batch of any shape."""
+        return self.nacu.datapath.activation(x, FunctionMode.SIGMOID)
+
+    def tanh_fx(self, x: FxArray) -> FxArray:
+        """Elementwise tanh of a raw batch of any shape."""
+        return self.nacu.datapath.activation(x, FunctionMode.TANH)
+
+    def exp_fx(self, x: FxArray) -> FxArray:
+        """Elementwise ``e^x`` (``x <= 0``) of a raw batch of any shape."""
+        return self.nacu.datapath.exponential(x)
+
+    def softmax_fx(self, x: FxArray, axis: int = -1) -> FxArray:
+        """Softmax along ``axis`` of a raw batch of any rank >= 1.
+
+        The batch is viewed as a 2-D stack of rows (``axis`` moved last),
+        evaluated in one pass through the datapath's batched softmax, and
+        the original layout restored.
+        """
+        if x.raw.ndim == 0:
+            raise RangeError("softmax needs at least one axis of inputs")
+        moved = np.moveaxis(x.raw, axis, -1)
+        rows = FxArray(moved.reshape(-1, moved.shape[-1]), x.fmt)
+        out = self.nacu.datapath.softmax(rows)
+        raw = np.moveaxis(out.raw.reshape(moved.shape), -1, axis)
+        return FxArray(raw, out.fmt)
+
+    # ------------------------------------------------------------------
+    # Float-or-FxArray front ends (ActivationProvider-compatible)
+    # ------------------------------------------------------------------
+    def sigmoid(self, x: InputLike):
+        """Elementwise sigma over a batch of any shape."""
+        return self._emit(self.sigmoid_fx(self._ingest(x)), x)
+
+    def tanh(self, x: InputLike):
+        """Elementwise tanh over a batch of any shape."""
+        return self._emit(self.tanh_fx(self._ingest(x)), x)
+
+    def exp(self, x: InputLike):
+        """Elementwise ``e^x`` (``x <= 0``) over a batch of any shape."""
+        return self._emit(self.exp_fx(self._ingest(x)), x)
+
+    def softmax(self, x: InputLike, axis: int = -1):
+        """Softmax along ``axis`` over a batch of any rank >= 1."""
+        fx = self._ingest(x)
+        return self._emit(self.softmax_fx(fx, axis=axis), x)
+
+    def __repr__(self) -> str:
+        return f"<BatchEngine over {self.nacu!r}>"

@@ -61,3 +61,22 @@ def twos_complement_field(field, width: int) -> np.ndarray:
 def bit(raw, index: int, fmt: QFormat) -> np.ndarray:
     """Bit ``index`` (LSB = 0) of the two's-complement word."""
     return (to_unsigned_word(raw, fmt) >> index) & 1
+
+
+def bit_length(raw) -> np.ndarray:
+    """``int.bit_length()`` of each non-negative element, vectorised.
+
+    The integer log2 a priority encoder computes: 0 for 0, and
+    ``floor(log2(v)) + 1`` otherwise. Exact for the full int64 range
+    (a float ``log2`` would misplace values near large powers of two),
+    using a six-step binary search over the 64-bit word.
+    """
+    v = np.asarray(raw, dtype=np.int64).copy()
+    if np.any(v < 0):
+        raise ValueError("bit_length is defined for non-negative values")
+    length = np.zeros_like(v)
+    for shift in (32, 16, 8, 4, 2, 1):
+        high = (v >> shift) > 0
+        length += high * shift
+        v = np.where(high, v >> shift, v)
+    return length + (v > 0)

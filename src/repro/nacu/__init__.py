@@ -8,7 +8,12 @@ plain MAC operations on the same hardware.
 """
 
 from repro.nacu.config import FunctionMode, NacuConfig
-from repro.nacu.lutgen import CoefficientLUT, build_sigmoid_lut
+from repro.nacu.lutgen import (
+    CoefficientLUT,
+    build_sigmoid_lut,
+    clear_lut_cache,
+    get_sigmoid_lut,
+)
 from repro.nacu.unit import Nacu
 
 __all__ = [
@@ -17,4 +22,6 @@ __all__ = [
     "Nacu",
     "NacuConfig",
     "build_sigmoid_lut",
+    "clear_lut_cache",
+    "get_sigmoid_lut",
 ]

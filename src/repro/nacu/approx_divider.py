@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigError, RangeError
 from repro.fixedpoint import FxArray, Overflow, QFormat
+from repro.fixedpoint.bitops import bit_length
 from repro.fixedpoint.rounding import apply_overflow, shift_right_round, Rounding
 from repro.hwcost.components import lut_cost, multiplier_cost, register_cost
 from repro.hwcost.gates import GateCounts
@@ -107,27 +108,30 @@ class ApproxReciprocalDivider:
         """
         if np.any(den.raw <= 0):
             raise RangeError("approximate divide requires positive divisors")
-        den_raw = np.atleast_1d(den.raw)
+        out_shape = np.broadcast_shapes(np.shape(num.raw), np.shape(den.raw))
+        den_raw = np.broadcast_to(np.asarray(den.raw, dtype=np.int64), out_shape)
+        num_raw = np.broadcast_to(np.asarray(num.raw, dtype=np.int64), out_shape)
         # Normalise each divisor into [0.5, 1): den = m * 2^(bl - fb) with
         # bl the raw bit length (a priority encoder in hardware).
-        bit_length = np.frompyfunc(lambda v: int(v).bit_length(), 1, 1)
-        bl = bit_length(den_raw).astype(np.int64)
+        bl = bit_length(den_raw)
         fb_den = den.fmt.fb
         mantissa_raw = np.where(
-            bl <= fb_den, den_raw << (fb_den - bl), den_raw >> (bl - fb_den)
+            bl <= fb_den,
+            den_raw << np.maximum(fb_den - bl, 0),
+            den_raw >> np.maximum(bl - fb_den, 0),
         )
         mantissa = FxArray.from_raw(mantissa_raw, QFormat(1, fb_den))
         recip = self.reciprocal(mantissa)  # 1/m in [1, 2]
-        num_raw = np.broadcast_to(np.atleast_1d(num.raw), mantissa_raw.shape)
         product = num_raw * recip.raw  # fb_num + fb_out fraction bits
         # quotient = num * (1/m) * 2^(fb_den - bl): align to the output by
-        # shifting right fb_num + bl - fb_den bits (per-element amount).
+        # shifting fb_num + bl - fb_den bits (per-element amount; a barrel
+        # shifter in hardware). Arithmetic right shift = FLOOR rounding.
         total_shift = num.fmt.fb + bl - fb_den
-        raw = np.empty_like(product)
-        for shift in np.unique(total_shift):
-            mask = total_shift == shift
-            raw[mask] = shift_right_round(product[mask], int(shift), Rounding.FLOOR)
-        raw = raw.reshape(np.shape(den.raw))
+        raw = np.where(
+            total_shift >= 0,
+            product >> np.maximum(total_shift, 0),
+            product << np.maximum(-total_shift, 0),
+        )
         return FxArray(
             apply_overflow(raw, self.out_fmt, Overflow.SATURATE), self.out_fmt
         )

@@ -22,7 +22,7 @@ from repro.nacu.coeff_unit import CoefficientUnit
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.approx_divider import ApproxReciprocalDivider
 from repro.nacu.divider import RestoringDivider
-from repro.nacu.lutgen import build_sigmoid_lut
+from repro.nacu.lutgen import get_sigmoid_lut
 from repro.nacu.mac import MacUnit
 
 
@@ -32,7 +32,10 @@ class NacuDatapath:
     def __init__(self, config: NacuConfig, lut=None):
         self.config = config
         #: The coefficient LUT; injectable for fault-sensitivity studies.
-        self.lut = lut if lut is not None else build_sigmoid_lut(config)
+        #: When not injected, the table comes from the module-level cache in
+        #: :mod:`repro.nacu.lutgen`, so many units of one configuration
+        #: (e.g. one per CGRA cell) share a single build.
+        self.lut = lut if lut is not None else get_sigmoid_lut(config)
         self.coeff_unit = CoefficientUnit(self.lut, config)
         self.mac = MacUnit(config.acc_fmt)
         if config.use_approx_divider:
@@ -96,18 +99,30 @@ class NacuDatapath:
     # softmax via Eq. 13
     # ------------------------------------------------------------------
     def softmax(self, x: FxArray) -> FxArray:
-        """Softmax of a vector, max-normalised as in Eq. 13."""
-        if x.raw.ndim != 1 or x.raw.size == 0:
-            raise RangeError("softmax expects a non-empty 1-D vector")
-        x_max = np.max(x.raw)
+        """Softmax of a vector or a 2-D batch, max-normalised as in Eq. 13.
+
+        A 2-D input is one softmax per row: every row gets its own max
+        normalisation and its own sequentially-accumulated denominator.
+        All rows advance through the pipeline together (the exponential
+        and divide stages are elementwise; the denominator fold serialises
+        only the row dimension), so each row's raw output is identical to
+        evaluating that row alone.
+        """
+        if x.raw.ndim not in (1, 2) or x.raw.size == 0:
+            raise RangeError("softmax expects a non-empty 1-D vector or 2-D batch")
+        if x.raw.ndim == 2 and x.raw.shape[-1] == 0:
+            raise RangeError("softmax rows must be non-empty")
+        x_max = np.max(x.raw, axis=-1, keepdims=True)
         shifted = FxArray.from_raw(
             x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
         )
         exps = self.exponential(shifted)
-        self.mac.reset()
-        denominator = self.mac.accumulate_sum(exps)
+        self.mac.reset(exps.raw.shape[:-1])
+        denominator = self.mac.accumulate_sum(exps, axis=-1)
         denom = FxArray(
-            np.broadcast_to(denominator.raw, exps.raw.shape).copy(),
+            np.broadcast_to(
+                denominator.raw[..., np.newaxis], exps.raw.shape
+            ).copy(),
             denominator.fmt,
         )
         probabilities = self.divider.divide(exps, denom)

@@ -10,6 +10,7 @@ sets (negative sigma, both tanh ranges) from the same words.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -69,6 +70,48 @@ class CoefficientLUT:
         """Fetch ``(slope_raw, bias_raw)`` words for input magnitudes."""
         idx = self.index_for(magnitude, magnitude_fb)
         return self.slope_raw[idx], self.bias_raw[idx]
+
+
+#: Cache of built coefficient LUTs, keyed by the configuration fields the
+#: table contents actually depend on (see :func:`lut_cache_key`). Entries
+#: are immutable — the raw arrays are frozen read-only — so one table can
+#: back any number of :class:`~repro.nacu.unit.Nacu` instances (e.g. one
+#: per CGRA cell) without rebuilding the minimax fits each time.
+_LUT_CACHE: Dict[Tuple, CoefficientLUT] = {}
+
+
+def lut_cache_key(config: NacuConfig) -> Tuple:
+    """The configuration fields a sigmoid LUT's contents depend on.
+
+    Two configs that agree on these fields produce bit-identical tables,
+    whatever their divider/accumulator/clock settings. Because
+    :class:`NacuConfig` is frozen, a key can never go stale — the cache
+    needs no invalidation beyond :func:`clear_lut_cache` (useful when a
+    test monkeypatches the fitting machinery itself).
+    """
+    return (
+        config.lut_entries,
+        float(config.lut_range),
+        config.slope_fmt,
+        config.bias_fmt,
+    )
+
+
+def get_sigmoid_lut(config: NacuConfig) -> CoefficientLUT:
+    """The (shared, read-only) sigmoid LUT for ``config``, built on demand."""
+    key = lut_cache_key(config)
+    lut = _LUT_CACHE.get(key)
+    if lut is None:
+        lut = build_sigmoid_lut(config)
+        lut.slope_raw.setflags(write=False)
+        lut.bias_raw.setflags(write=False)
+        _LUT_CACHE[key] = lut
+    return lut
+
+
+def clear_lut_cache() -> None:
+    """Drop every cached LUT (subsequent gets rebuild from scratch)."""
+    _LUT_CACHE.clear()
 
 
 def build_sigmoid_lut(config: NacuConfig) -> CoefficientLUT:

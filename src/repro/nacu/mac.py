@@ -69,16 +69,26 @@ class MacUnit:
         )
         return self._acc
 
-    def accumulate_sum(self, values: FxArray) -> FxArray:
-        """Fold a vector into the scalar accumulator element by element.
+    def accumulate_sum(self, values: FxArray, axis: Optional[int] = None) -> FxArray:
+        """Fold ``values`` into the accumulator element by element.
 
         Models the sequential ``sum_j e^(x_j - x_max)`` accumulation of the
         softmax denominator (Eq. 13), including the intermediate rounding
         and saturation each hardware step applies.
+
+        With ``axis=None`` every element folds into a scalar accumulator in
+        C order, exactly as before. With an ``axis``, only that dimension is
+        serialised: the accumulator keeps the remaining dimensions and each
+        step is one vectorised MAC over them (a bank of units running the
+        same per-element schedule in lockstep), so the per-slice results are
+        raw-identical to running the scalar fold slice by slice.
         """
         one = FxArray.from_raw(1 << values.fmt.fb, QFormat(1, values.fmt.fb))
-        flat = values.raw.ravel()
-        for raw in flat:
-            element = FxArray(np.asarray(raw), values.fmt)
-            self.accumulate(element, one)
+        if axis is None:
+            for raw in values.raw.ravel():
+                self.accumulate(FxArray(np.asarray(raw), values.fmt), one)
+            return self.value
+        serial = np.moveaxis(values.raw, axis, -1)
+        for step in range(serial.shape[-1]):
+            self.accumulate(FxArray(serial[..., step], values.fmt), one)
         return self.value

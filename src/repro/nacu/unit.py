@@ -18,6 +18,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import FormatError
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.datapath import NacuDatapath
@@ -78,20 +79,34 @@ class Nacu:
     def softmax(self, x: InputLike):
         """Max-normalised softmax (Eq. 13): a 1-D vector or 2-D batch.
 
-        For a 2-D input each row is normalised independently, the engine
-        processing rows back to back like a time-multiplexed classifier.
+        Each row of a 2-D input is normalised independently and gets its
+        own denominator; the whole batch moves through the datapath in one
+        vectorised pass, with per-row raw results identical to evaluating
+        the rows one at a time.
         """
         fx = self._ingest(x)
-        if fx.raw.ndim == 2:
-            rows = [self.datapath.softmax(row).raw for row in fx]
-            out = FxArray(np.stack(rows), self.io_fmt)
-            return self._emit(out, x)
         return self._emit(self.datapath.softmax(fx), x)
 
     def mac(self, a: InputLike, b: InputLike):
-        """One accumulate step ``acc += a*b``; see :meth:`mac_reset`."""
+        """One accumulate step ``acc += a*b``; see :meth:`mac_reset`.
+
+        Both operands pass through the interface registers; an
+        :class:`FxArray` operand must already be in the unit's I/O format.
+        The result is emitted as an :class:`FxArray` if *either* operand
+        arrived as one (floats only come back when both operands were
+        plain floats/arrays).
+        """
+        for operand in (a, b):
+            if isinstance(operand, FxArray) and operand.fmt != self.io_fmt:
+                raise FormatError(
+                    f"mac operand format {operand.fmt} does not match the "
+                    f"unit's I/O format {self.io_fmt}"
+                )
         fa, fb = self._ingest(a), self._ingest(b)
-        return self._emit(self.datapath.mac.accumulate(fa, fb), a)
+        result = self.datapath.mac.accumulate(fa, fb)
+        if isinstance(a, FxArray) or isinstance(b, FxArray):
+            return result
+        return self._emit(result, a)
 
     def mac_reset(self, shape=()) -> None:
         """Clear the MAC accumulator before a new sum."""

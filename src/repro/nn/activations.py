@@ -11,6 +11,7 @@ import abc
 
 import numpy as np
 
+from repro.engine import BatchEngine
 from repro.funcs import reference
 from repro.nacu.unit import Nacu
 
@@ -45,21 +46,26 @@ class FloatActivations(ActivationProvider):
 
 
 class NacuActivations(ActivationProvider):
-    """Every non-linearity computed by one (shared, time-multiplexed) NACU."""
+    """Every non-linearity computed by one (shared, time-multiplexed) NACU.
 
-    def __init__(self, nacu: Nacu = None):
-        self.nacu = nacu or Nacu()
+    All calls go through a :class:`~repro.engine.BatchEngine` over the
+    unit, so whole layers are evaluated in one vectorised pass (one
+    quantise in, one de-quantise out) instead of element- or row-at-a-time
+    — bit-identical to the scalar path, at numpy speed.
+    """
+
+    def __init__(self, nacu: Nacu = None, engine: BatchEngine = None):
+        self.engine = engine if engine is not None else BatchEngine(nacu)
+        self.nacu = self.engine.nacu
 
     def sigmoid(self, x):
         x = np.asarray(x, dtype=np.float64)
-        return self.nacu.sigmoid(x.ravel()).reshape(x.shape)
+        return np.asarray(self.engine.sigmoid(x))
 
     def tanh(self, x):
         x = np.asarray(x, dtype=np.float64)
-        return self.nacu.tanh(x.ravel()).reshape(x.shape)
+        return np.asarray(self.engine.tanh(x))
 
     def softmax(self, x):
         x = np.asarray(x, dtype=np.float64)
-        rows = np.atleast_2d(x)
-        out = np.stack([self.nacu.softmax(row) for row in rows])
-        return out.reshape(x.shape)
+        return np.asarray(self.engine.softmax(x, axis=-1))

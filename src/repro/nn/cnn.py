@@ -52,12 +52,19 @@ class SmallCnn:
         The edge-magnitude response ``tanh(2*|conv|)`` (abs is wiring, the
         doubling a shift, the squash the NACU tanh) is orientation-
         discriminative where a signed squash would cancel to 0.5.
+
+        With an engine-backed provider in this CNN's format, the whole
+        (n, h, w, c) activation volume runs through the batch engine in
+        one fixed-point pass (bit-identical to the float round-trip).
         """
         fx = FxArray.from_float(np.asarray(images, dtype=np.float64), self.fmt)
         conv_out = self.conv.forward(fx)
         magnitude = 2.0 * np.abs(conv_out.to_float())
-        squashed = self.provider.tanh(magnitude)
-        squashed_fx = FxArray.from_float(squashed, self.fmt)
+        engine = getattr(self.provider, "engine", None)
+        if engine is not None and engine.io_fmt == self.fmt:
+            squashed_fx = engine.tanh_fx(FxArray.from_float(magnitude, self.fmt))
+        else:
+            squashed_fx = FxArray.from_float(self.provider.tanh(magnitude), self.fmt)
         pooled = max_pool2d(squashed_fx, size=2)
         return global_average_pool(pooled).to_float()
 

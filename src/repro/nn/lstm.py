@@ -44,10 +44,17 @@ class LstmCell:
         hidden, cell = state
         gates = x @ self.w_x + hidden @ self.w_h + self.bias
         n = self.n_hidden
-        i_gate = provider.sigmoid(gates[..., 0:n])
-        f_gate = provider.sigmoid(gates[..., n:2 * n])
+        # One batched sigmoid over the input/forget/output gates (the
+        # activations are elementwise, so evaluating the three blocks in a
+        # single provider call is bit-identical to three separate calls and
+        # lets a batch engine quantise the timestep's gates once).
+        sig_block = provider.sigmoid(
+            np.concatenate([gates[..., 0:2 * n], gates[..., 3 * n:4 * n]], axis=-1)
+        )
+        i_gate = sig_block[..., 0:n]
+        f_gate = sig_block[..., n:2 * n]
+        o_gate = sig_block[..., 2 * n:3 * n]
         g_cell = provider.tanh(gates[..., 2 * n:3 * n])
-        o_gate = provider.sigmoid(gates[..., 3 * n:4 * n])
         new_cell = f_gate * cell + i_gate * g_cell
         new_hidden = o_gate * provider.tanh(new_cell)
         return new_hidden, new_cell

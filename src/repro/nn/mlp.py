@@ -115,6 +115,11 @@ class FixedPointMlp:
     Weights/biases are quantised to the NACU I/O format; every matmul
     accumulates exactly in integers and rounds once (the MAC mode);
     every non-linearity goes through the provided activation hardware.
+
+    When the provider is backed by a :class:`~repro.engine.BatchEngine`
+    whose I/O format matches ``fmt`` (e.g. ``NacuActivations`` or the
+    engine itself), activations stay in raw fixed point between layers —
+    the same bits without the float round-trip each layer boundary.
     """
 
     def __init__(self, mlp: Mlp, provider: ActivationProvider, fmt: QFormat = None):
@@ -124,20 +129,42 @@ class FixedPointMlp:
         self.weights = quantize_parameters(mlp.weights, self.fmt)
         self.biases = quantize_parameters(mlp.biases, self.fmt)
 
+    def _engine(self):
+        """The provider's batch engine, if its I/O format matches ours.
+
+        Format equality makes the fixed-point path bit-identical to the
+        float round-trip (``fmt`` values are exact in float64, so the
+        re-quantise on either side of the provider call is lossless).
+        """
+        engine = getattr(self.provider, "engine", None)
+        if engine is not None and engine.io_fmt == self.fmt:
+            return engine
+        return None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities, computed end-to-end in fixed point."""
+        engine = self._engine()
         a = FxArray.from_float(np.asarray(x, dtype=np.float64), self.fmt)
         for index, (w, b) in enumerate(zip(self.weights, self.biases)):
             z = quantized_matmul(a, w, self.fmt)
             z = FxArray.from_float(z.to_float() + b.to_float(), self.fmt)
             if index < len(self.weights) - 1:
-                hidden = (
-                    self.provider.sigmoid(z.to_float())
-                    if self.mlp.hidden == "sigmoid"
-                    else self.provider.tanh(z.to_float())
-                )
-                a = FxArray.from_float(hidden, self.fmt)
+                if engine is not None:
+                    a = (
+                        engine.sigmoid_fx(z)
+                        if self.mlp.hidden == "sigmoid"
+                        else engine.tanh_fx(z)
+                    )
+                else:
+                    hidden = (
+                        self.provider.sigmoid(z.to_float())
+                        if self.mlp.hidden == "sigmoid"
+                        else self.provider.tanh(z.to_float())
+                    )
+                    a = FxArray.from_float(hidden, self.fmt)
             else:
+                if engine is not None:
+                    return engine.softmax_fx(z).to_float()
                 return self.provider.softmax(z.to_float())
         raise ConfigError("unreachable: MLP must have at least one layer")
 

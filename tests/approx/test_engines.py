@@ -73,6 +73,7 @@ class TestRangeAddressableLUT:
         widths = ralut.table.widths()
         assert widths[-1] > widths[0] * 4
 
+    @pytest.mark.slow
     def test_for_entries_respects_budget(self):
         ralut = RangeAddressableLUT.for_entries(sigmoid, *DOMAIN, 64)
         assert ralut.n_entries <= 64
@@ -117,6 +118,7 @@ class TestNonUniformPWL:
         pwl = UniformPWL.for_accuracy(sigmoid, *DOMAIN, target)
         assert nupwl.n_entries <= pwl.n_entries
 
+    @pytest.mark.slow
     def test_for_entries_respects_budget(self):
         nupwl = NonUniformPWL.for_entries(sigmoid, *DOMAIN, 16)
         assert nupwl.n_entries <= 16

@@ -9,6 +9,7 @@ from repro.errors import ConfigError
 
 
 class TestRegistry:
+    @pytest.mark.slow
     def test_all_expected_baselines_registered(self):
         names = {b.info_key for b in iter_baselines()}
         expected = {

@@ -34,6 +34,7 @@ def namin():
     return NaminHybridTanh()
 
 
+@pytest.mark.slow
 class TestZamanlooy:
     def test_entry_count_matches_table1(self, zamanlooy):
         assert zamanlooy.n_entries == 14
@@ -58,6 +59,7 @@ class TestZamanlooy:
         assert 2.0 ** -7 < report.max_error < 2.0 ** -4
 
 
+@pytest.mark.slow
 class TestLeboeuf:
     def test_entry_budget_matches_table1(self, leboeuf):
         assert leboeuf.n_entries <= 127
@@ -72,6 +74,7 @@ class TestLeboeuf:
         np.testing.assert_allclose(model.eval(-x), -model.eval(x), atol=1e-12)
 
 
+@pytest.mark.slow
 class TestNamin:
     def test_hybrid_beats_plain_pwl_of_same_coarseness(self, namin):
         model = namin

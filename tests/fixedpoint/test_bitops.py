@@ -1,6 +1,7 @@
 """Tests for bit-field helpers backing the Fig. 3 rewiring units."""
 
 import numpy as np
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.fixedpoint import QFormat
@@ -71,3 +72,25 @@ class TestFieldOps:
         assert int(bitops.bit(5, 1, FMT)) == 0
         assert int(bitops.bit(5, 2, FMT)) == 1
         assert int(bitops.bit(-1, 3, FMT)) == 1
+
+
+class TestBitLength:
+    def test_matches_python_int_bit_length(self):
+        values = np.concatenate([
+            np.arange(0, 4097),
+            (np.int64(1) << np.arange(60)),
+            (np.int64(1) << np.arange(1, 60)) - 1,
+            (np.int64(1) << np.arange(1, 60)) + 1,
+        ])
+        got = bitops.bit_length(values)
+        expected = np.array([int(v).bit_length() for v in values])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_scalar_and_shapes(self):
+        assert int(bitops.bit_length(0)) == 0
+        assert int(bitops.bit_length(1)) == 1
+        assert bitops.bit_length(np.zeros((2, 3), dtype=np.int64)).shape == (2, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitops.bit_length(np.array([-1, 2]))

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError, RangeError
-from repro.fixedpoint import FxArray, QFormat
+from repro.fixedpoint import FxArray, Overflow, QFormat
+from repro.fixedpoint.rounding import apply_overflow
 from repro.funcs import exp
 from repro.nacu import Nacu, NacuConfig
 from repro.nacu.approx_divider import ApproxReciprocalDivider
@@ -124,3 +125,99 @@ class TestNacuIntegration:
         approx = ApproxReciprocalDivider(QUOT)
         full = divider_cost(16, 16, 18)
         assert approx.cost(16).total < full.total / 5
+
+
+class TestDivideBroadcast:
+    def test_scalar_den_vector_num(self, divider):
+        num = FxArray.from_float(np.array([1.0, 0.5, 0.25]), IO)
+        den = FxArray.from_float(2.0, QFormat(8, 11))
+        out = divider.divide(num, den)
+        assert out.raw.shape == (3,)
+        np.testing.assert_allclose(
+            out.to_float(), num.to_float() / 2.0, atol=1e-3
+        )
+
+    def test_scalar_num_vector_den(self, divider):
+        num = FxArray.from_float(1.0, IO)
+        den = FxArray.from_float(np.array([1.0, 2.0, 4.0]), QFormat(8, 11))
+        out = divider.divide(num, den)
+        assert out.raw.shape == (3,)
+        np.testing.assert_allclose(
+            out.to_float(), 1.0 / den.to_float(), rtol=5e-3
+        )
+
+    def test_zero_d_operands(self, divider):
+        num = FxArray.from_float(np.asarray(1.5), IO)
+        den = FxArray.from_float(np.asarray(3.0), QFormat(8, 11))
+        out = divider.divide(num, den)
+        assert out.raw.shape == ()
+        assert float(out.to_float()) == pytest.approx(0.5, abs=1e-3)
+
+    def test_shape_one_operands(self, divider):
+        num = FxArray.from_float(np.array([1.5]), IO)
+        den = FxArray.from_float(np.array([3.0]), QFormat(8, 11))
+        out = divider.divide(num, den)
+        assert out.raw.shape == (1,)
+
+    def test_column_against_row(self, divider):
+        num = FxArray.from_float(np.array([[1.0], [2.0], [3.0]]), IO)
+        den = FxArray.from_float(np.array([1.0, 2.0]), QFormat(8, 11))
+        out = divider.divide(num, den)
+        assert out.raw.shape == (3, 2)
+        np.testing.assert_allclose(
+            out.to_float(), num.to_float() / den.to_float(), rtol=1e-2
+        )
+
+    def test_incompatible_shapes_raise(self, divider):
+        num = FxArray.from_float(np.zeros(3) + 1.0, IO)
+        den = FxArray.from_float(np.ones(2), QFormat(8, 11))
+        with pytest.raises(ValueError):
+            divider.divide(num, den)
+
+
+class TestDivideBitExactVsScalarReference:
+    """The vectorised divide must be raw-identical to the seed scalar
+    implementation (per-element bit_length + normalise + shift)."""
+
+    def scalar_divide_raw(self, divider, num, den):
+        out = np.empty(num.raw.shape, dtype=np.int64)
+        flat_num = num.raw.ravel()
+        flat_den = den.raw.ravel()
+        flat_out = out.ravel()
+        fb_den = den.fmt.fb
+        for i in range(flat_num.size):
+            bl = int(flat_den[i]).bit_length()
+            shift = bl - fb_den
+            m = int(flat_den[i]) << -shift if shift <= 0 else int(flat_den[i]) >> shift
+            mantissa = FxArray.from_raw(np.int64(m), QFormat(1, fb_den))
+            recip = divider.reciprocal(mantissa)
+            product = int(flat_num[i]) * int(recip.raw)
+            total = num.fmt.fb + bl - fb_den
+            raw = product >> total if total >= 0 else product << -total
+            flat_out[i] = int(
+                apply_overflow(np.int64(raw), divider.out_fmt, Overflow.SATURATE)
+            )
+        return out
+
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorised_matches_scalar(self, seed, n):
+        div = ApproxReciprocalDivider(QUOT)
+        rng = np.random.default_rng(seed)
+        num = FxArray.from_float(rng.uniform(0.0, 8.0, size=n), IO)
+        den = FxArray.from_float(rng.uniform(0.05, 100.0, size=n), QFormat(8, 11))
+        got = div.divide(num, den)
+        np.testing.assert_array_equal(
+            got.raw, self.scalar_divide_raw(div, num, den)
+        )
+
+    def test_extreme_divisors(self, divider):
+        num = FxArray.from_float(np.full(4, 1.0), IO)
+        den = FxArray.from_raw(
+            np.array([1, 2, (1 << 18) - 1, 1 << 11], dtype=np.int64),
+            QFormat(8, 11),
+        )
+        got = divider.divide(num, den)
+        np.testing.assert_array_equal(
+            got.raw, self.scalar_divide_raw(divider, num, den)
+        )

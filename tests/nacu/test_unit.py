@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis import accuracy_report
 from repro.errors import RangeError
-from repro.fixedpoint import FxArray
+from repro.fixedpoint import FxArray, QFormat
 from repro.funcs import exp, sigmoid, softmax_normalised, tanh
 from repro.nacu import FunctionMode, Nacu
 
@@ -169,6 +169,37 @@ class TestMacMode:
         nacu16.mac(2.0, 3.0)
         nacu16.mac(1.0, 0.5)
         assert nacu16.mac_value == 6.5
+
+    def test_mixed_operand_types_emit_fx(self, nacu16):
+        # Regression: a float first operand used to force a float return
+        # even when the second operand was fixed-point.
+        nacu16.mac_reset()
+        b = FxArray.from_float(np.array([0.5, 0.25]), nacu16.io_fmt)
+        out = nacu16.mac(0.5, b)
+        assert isinstance(out, FxArray)
+        out = nacu16.mac(b, 0.5)
+        assert isinstance(out, FxArray)
+
+    def test_mixed_operands_match_float_path_value(self, nacu16):
+        nacu16.mac_reset()
+        mixed = nacu16.mac(0.5, FxArray.from_float(0.75, nacu16.io_fmt))
+        nacu16.mac_reset()
+        floats = nacu16.mac(0.5, 0.75)
+        assert float(mixed.to_float()) == floats
+
+    def test_both_float_operands_emit_float(self, nacu16):
+        nacu16.mac_reset()
+        assert isinstance(nacu16.mac(0.5, 0.25), float)
+
+    def test_rejects_wrong_format_operand(self, nacu16):
+        from repro.errors import FormatError
+
+        wrong = FxArray.from_float(0.5, QFormat(8, 7))
+        nacu16.mac_reset()
+        with pytest.raises(FormatError):
+            nacu16.mac(wrong, 1.0)
+        with pytest.raises(FormatError):
+            nacu16.mac(1.0, wrong)
 
 
 class TestInterface:

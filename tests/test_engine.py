@@ -1,0 +1,241 @@
+"""Batch evaluation engine: vectorised paths must be raw-bit-identical
+to the seed scalar implementations, across formats and edge inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import BatchEngine
+from repro.errors import RangeError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu import FunctionMode, Nacu, NacuConfig
+
+BITS = [8, 12, 16]
+
+
+@pytest.fixture(scope="module", params=BITS)
+def unit(request):
+    return Nacu.for_bits(request.param)
+
+
+def scalar_softmax_rows(nacu: Nacu, fx: FxArray) -> np.ndarray:
+    """The seed implementation: one datapath softmax call per row."""
+    rows = [nacu.datapath.softmax(FxArray(row, fx.fmt)).raw
+            for row in np.atleast_2d(fx.raw)]
+    return np.stack(rows)
+
+
+class TestBatchedSoftmaxBitExact:
+    def assert_batch_matches_rows(self, nacu, x):
+        fx = FxArray.from_float(np.asarray(x, dtype=np.float64), nacu.io_fmt)
+        batched = nacu.datapath.softmax(fx)
+        np.testing.assert_array_equal(batched.raw, scalar_softmax_rows(nacu, fx))
+
+    def test_random_batch(self, unit):
+        rng = np.random.default_rng(7)
+        self.assert_batch_matches_rows(unit, rng.uniform(-6, 6, size=(17, 9)))
+
+    def test_all_equal_rows(self, unit):
+        self.assert_batch_matches_rows(unit, np.full((5, 8), 2.5))
+
+    def test_single_element_rows(self, unit):
+        self.assert_batch_matches_rows(unit, np.array([[3.0], [-2.0], [0.0]]))
+
+    def test_saturated_inputs(self, unit):
+        top = unit.io_fmt.max_value
+        x = np.array([[top, -top, top], [top, top, top], [-top, -top, 0.0]])
+        self.assert_batch_matches_rows(unit, x)
+
+    def test_approx_divider_batch(self):
+        nacu = Nacu(NacuConfig(use_approx_divider=True))
+        rng = np.random.default_rng(11)
+        self.assert_batch_matches_rows(nacu, rng.uniform(-5, 5, size=(13, 6)))
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_shapes_and_contents(self, rows, cols, seed):
+        nacu = Nacu.for_bits(16)
+        rng = np.random.default_rng(seed)
+        self.assert_batch_matches_rows(
+            nacu, rng.uniform(-16, 15.9, size=(rows, cols))
+        )
+
+    def test_facade_matches_datapath(self, unit):
+        rng = np.random.default_rng(23)
+        x = rng.uniform(-4, 4, size=(6, 5))
+        fx = FxArray.from_float(x, unit.io_fmt)
+        np.testing.assert_array_equal(
+            unit.softmax(fx).raw, unit.datapath.softmax(fx).raw
+        )
+
+    def test_rejects_empty_rows(self, unit):
+        with pytest.raises(RangeError):
+            unit.softmax(np.zeros((3, 0)))
+
+
+class TestAxisAwareAccumulateSum:
+    def test_axis_fold_matches_per_row_fold(self, unit):
+        from repro.nacu.mac import MacUnit
+
+        rng = np.random.default_rng(3)
+        values = FxArray.from_float(rng.uniform(0, 1, size=(7, 9)), unit.io_fmt)
+        batched = MacUnit(unit.config.acc_fmt)
+        batched.reset((7,))
+        batched_sum = batched.accumulate_sum(values, axis=-1)
+        for row in range(7):
+            scalar = MacUnit(unit.config.acc_fmt)
+            scalar.reset()
+            row_sum = scalar.accumulate_sum(FxArray(values.raw[row], values.fmt))
+            assert int(batched_sum.raw[row]) == int(row_sum.raw)
+
+    def test_axis_none_keeps_scalar_semantics(self, unit):
+        from repro.nacu.mac import MacUnit
+
+        values = FxArray.from_float(np.array([[0.5, 0.25], [1.0, 0.125]]),
+                                    unit.io_fmt)
+        mac = MacUnit(unit.config.acc_fmt)
+        mac.reset()
+        total = mac.accumulate_sum(values)
+        assert float(total.to_float()) == pytest.approx(1.875)
+
+
+class TestLutCache:
+    def test_same_config_shares_one_lut(self):
+        a, b = Nacu.for_bits(16), Nacu.for_bits(16)
+        assert a.datapath.lut is b.datapath.lut
+
+    def test_cached_lut_matches_fresh_build(self):
+        from repro.nacu.lutgen import build_sigmoid_lut, get_sigmoid_lut
+
+        config = NacuConfig()
+        cached = get_sigmoid_lut(config)
+        fresh = build_sigmoid_lut(config)
+        np.testing.assert_array_equal(cached.slope_raw, fresh.slope_raw)
+        np.testing.assert_array_equal(cached.bias_raw, fresh.bias_raw)
+
+    def test_key_ignores_non_lut_fields(self):
+        plain = Nacu(NacuConfig())
+        approx = Nacu(NacuConfig(use_approx_divider=True))
+        assert plain.datapath.lut is approx.datapath.lut
+
+    def test_key_distinguishes_lut_fields(self):
+        small = Nacu(NacuConfig(lut_entries=16))
+        large = Nacu(NacuConfig(lut_entries=53))
+        assert small.datapath.lut is not large.datapath.lut
+        assert small.datapath.lut.n_entries == 16
+
+    def test_cached_arrays_are_read_only(self):
+        lut = Nacu.for_bits(16).datapath.lut
+        with pytest.raises(ValueError):
+            lut.slope_raw[0] = 0
+
+    def test_clear_rebuilds(self):
+        from repro.nacu.lutgen import clear_lut_cache, get_sigmoid_lut
+
+        config = NacuConfig()
+        first = get_sigmoid_lut(config)
+        clear_lut_cache()
+        second = get_sigmoid_lut(config)
+        assert first is not second
+        np.testing.assert_array_equal(first.slope_raw, second.slope_raw)
+
+    def test_injected_lut_bypasses_cache(self):
+        from repro.nacu.lutgen import build_sigmoid_lut
+
+        config = NacuConfig()
+        mine = build_sigmoid_lut(config)
+        assert Nacu(config, lut=mine).datapath.lut is mine
+
+    def test_cached_units_bit_identical_to_injected_fresh_build(self):
+        from repro.nacu.lutgen import build_sigmoid_lut
+
+        config = NacuConfig()
+        cached_unit = Nacu(config)
+        fresh_unit = Nacu(config, lut=build_sigmoid_lut(config))
+        x = np.linspace(-8, 8, 501)
+        np.testing.assert_array_equal(
+            cached_unit.sigmoid(x), fresh_unit.sigmoid(x)
+        )
+
+
+class TestBatchEngineFacade:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return BatchEngine.for_bits(16)
+
+    def test_elementwise_matches_nacu(self, engine):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-6, 6, size=(3, 4, 5))
+        flat = x.ravel()
+        np.testing.assert_array_equal(
+            engine.sigmoid(x), engine.nacu.sigmoid(flat).reshape(x.shape)
+        )
+        np.testing.assert_array_equal(
+            engine.tanh(x), engine.nacu.tanh(flat).reshape(x.shape)
+        )
+
+    def test_exp_matches_nacu(self, engine):
+        x = -np.random.default_rng(6).uniform(0, 8, size=(2, 3, 4))
+        np.testing.assert_array_equal(
+            engine.exp(x), engine.nacu.exp(x.ravel()).reshape(x.shape)
+        )
+
+    def test_softmax_axis(self, engine):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(-4, 4, size=(3, 5, 4))
+        out = engine.softmax(x, axis=1)
+        assert out.shape == x.shape
+        for i in range(3):
+            for k in range(4):
+                np.testing.assert_array_equal(
+                    out[i, :, k], engine.nacu.softmax(x[i, :, k])
+                )
+
+    def test_softmax_1d(self, engine):
+        x = np.array([1.0, -2.0, 0.5])
+        np.testing.assert_array_equal(engine.softmax(x), engine.nacu.softmax(x))
+
+    def test_fx_round_trip(self, engine):
+        fx = FxArray.from_float(np.array([0.5, -0.5]), engine.io_fmt)
+        out = engine.sigmoid(fx)
+        assert isinstance(out, FxArray)
+        assert out.fmt == engine.io_fmt
+
+    def test_scalar_in_float_out(self, engine):
+        assert isinstance(engine.sigmoid(0.0), float)
+
+    def test_rejects_scalar_softmax(self, engine):
+        with pytest.raises(RangeError):
+            engine.softmax(1.0)
+
+    def test_provider_duck_type(self, engine):
+        # The engine drops into network code written against
+        # ActivationProvider (sigmoid/tanh/softmax array callables).
+        from repro.nn.mlp import FixedPointMlp, Mlp
+
+        mlp = Mlp([4, 6, 3], seed=0)
+        fixed = FixedPointMlp(mlp, engine)
+        x = np.random.default_rng(9).uniform(-1, 1, size=(5, 4))
+        probs = fixed.forward(x)
+        assert probs.shape == (5, 3)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=0.05)
+
+    def test_engine_property_is_self(self, engine):
+        assert engine.engine is engine
+
+
+class TestEngineBackedProvidersBitIdentical:
+    def test_fixed_point_mlp_engine_path_matches_float_path(self):
+        from repro.nn.activations import NacuActivations
+        from repro.nn.mlp import FixedPointMlp, Mlp
+
+        mlp = Mlp([6, 8, 4], seed=1)
+        x = np.random.default_rng(10).uniform(-1, 1, size=(7, 6))
+        engine_backed = FixedPointMlp(mlp, NacuActivations())
+        assert engine_backed._engine() is not None
+
+        float_path = FixedPointMlp(mlp, NacuActivations())
+        float_path._engine = lambda: None
+        np.testing.assert_array_equal(
+            engine_backed.forward(x), float_path.forward(x)
+        )

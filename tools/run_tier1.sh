@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the default (fast) test suite with a slowest-tests report.
+# Slow exhaustive sweeps are excluded via the `slow` marker; run them with
+#   PYTHONPATH=src python -m pytest -m '' tests/
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q --durations=10 "$@"
