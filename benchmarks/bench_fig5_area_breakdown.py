@@ -19,5 +19,5 @@ def test_fig5_power_latency(benchmark, record_result):
     by = {r["function"]: r for r in result.rows}
     assert by["sigmoid"]["latency_cycles"] == 3
     assert by["tanh"]["latency_cycles"] == 3
-    assert by["exp"]["latency_cycles"] == 8
+    assert by["exp"]["latency_cycles"] == 24  # Section VII.C: 90 ns fill
     assert by["exp"]["power_mw"] > by["sigmoid"]["power_mw"]

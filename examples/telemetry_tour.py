@@ -1,0 +1,47 @@
+"""Tour of the datapath telemetry: what one softmax workload really does.
+
+Enables a collector, pushes an MLP forward pass and a batched softmax
+through the engine, and prints the rendered report: op counts per
+function mode, saturation events, LUT cache hit rate, the hot PWL
+segments, paper-model cycle/nanosecond accounting and per-layer
+quantisation error. Pass an output path to also write the raw JSON
+snapshot (the input format of ``tools/telemetry_report.py``).
+"""
+
+import sys
+
+import numpy as np
+
+from repro import telemetry
+from repro.engine import BatchEngine
+from repro.nn import FixedPointMlp, Mlp, make_gaussian_clusters
+
+
+def main(out_path: str = None) -> None:
+    tel = telemetry.Collector()
+    with telemetry.use_collector(tel):
+        engine = BatchEngine.for_bits(16)
+
+        # A batched softmax with deliberately spread logits: watch the
+        # max-normalisation saturate the far tail.
+        rng = np.random.default_rng(0)
+        engine.softmax(rng.uniform(-12.0, 12.0, size=(64, 10)))
+
+        # A small MLP deployed in fixed point: the float64 reference runs
+        # alongside and per-layer error lands in the same snapshot.
+        x, y = make_gaussian_clusters(
+            n_classes=3, n_features=8, n_per_class=20, seed=1
+        )
+        mlp = Mlp([8, 12, 3], hidden="sigmoid", seed=2)
+        mlp.train(x, y, epochs=60, learning_rate=0.5)
+        FixedPointMlp(mlp, engine).forward(x)
+
+    print(telemetry.render_snapshot(tel.snapshot()))
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(tel.to_json() + "\n")
+        print(f"\nsnapshot written to {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

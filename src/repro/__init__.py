@@ -16,6 +16,7 @@ Quick start::
     0.73095703125
 """
 
+from repro import telemetry
 from repro.engine import BatchEngine
 from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, select_format
 from repro.nacu import FunctionMode, Nacu, NacuConfig
@@ -32,5 +33,6 @@ __all__ = [
     "QFormat",
     "Rounding",
     "select_format",
+    "telemetry",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from repro.fixedpoint import FxArray
 from repro.nacu.config import FunctionMode
 from repro.nn.mlp import Mlp
 from repro.nn.quantized import quantize_parameters
+from repro.telemetry import collector as _telemetry
 
 
 @dataclass
@@ -50,6 +51,17 @@ class MlpMapping:
                 )
                 self.reports.append(softmax_report)
                 a = FxArray(probs.raw, self.fabric.config.io_fmt)
+        tel = _telemetry.resolve()
+        if tel is not None:
+            # The deployment view: fabric job mix, critical-path cycles
+            # and reconfiguration churn of this forward pass.
+            for report in self.reports:
+                tel.count(f"cgra.job.{report.job}")
+            tel.add_cycles(
+                "cgra.mapped_mlp", self.total_cycles,
+                self.fabric.config.clock_ns,
+            )
+            tel.count("cgra.reconfigurations", self.total_reconfigurations)
         return a.to_float()
 
     def predict(self, x: np.ndarray) -> np.ndarray:

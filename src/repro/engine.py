@@ -20,6 +20,7 @@ callables), so it can be dropped straight into an MLP, CNN or LSTM:
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.errors import RangeError
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.unit import Nacu
+from repro.telemetry import collector as _telemetry
 
 InputLike = Union[FxArray, float, np.ndarray, list]
 
@@ -43,8 +45,14 @@ class BatchEngine:
     """
 
     def __init__(self, nacu: Optional[Nacu] = None,
-                 config: Optional[NacuConfig] = None):
-        self.nacu = nacu if nacu is not None else Nacu(config)
+                 config: Optional[NacuConfig] = None,
+                 collector=None):
+        self.nacu = nacu if nacu is not None else Nacu(config, collector=collector)
+        #: Injected telemetry collector; falls back to the wrapped unit's,
+        #: then to the module registry in :mod:`repro.telemetry`.
+        self.collector = (
+            collector if collector is not None else self.nacu.datapath.collector
+        )
 
     @classmethod
     def for_bits(cls, n_bits: int, **kwargs) -> "BatchEngine":
@@ -78,19 +86,60 @@ class BatchEngine:
         return float(out) if np.ndim(out) == 0 else out
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _record_batch(self, tel, mode: FunctionMode, x: FxArray,
+                      pipeline_n: int, calls: int, elapsed_ns: int) -> None:
+        """Batch-shape/throughput stats plus paper-model cycle accounting.
+
+        ``pipeline_n`` is the element count one pipelined pass evaluates
+        and ``calls`` how many such passes the batch represents (rows, for
+        softmax) — so the cycle charge is exactly what ``Nacu.cycles``
+        models for this batch.
+        """
+        name = mode.value
+        tel.count(f"engine.{name}.batches")
+        tel.count(f"engine.{name}.elements", x.raw.size)
+        tel.observe(f"engine.{name}.batch_rank", x.raw.ndim)
+        tel.observe_span(f"engine.{name}", elapsed_ns)
+        tel.add_cycles(
+            name,
+            calls * self.nacu.cycles(mode, pipeline_n),
+            self.nacu.config.clock_ns,
+        )
+
+    # ------------------------------------------------------------------
     # Fixed-point batch paths
     # ------------------------------------------------------------------
+    def _elementwise_fx(self, x: FxArray, mode: FunctionMode) -> FxArray:
+        datapath = self.nacu.datapath
+        kernel = (
+            datapath.exponential if mode is FunctionMode.EXP
+            else lambda fx: datapath.activation(fx, mode)
+        )
+        # Telemetry resolves once per batch; the disabled path adds a
+        # single None check to the vectorised kernel dispatch.
+        tel = _telemetry.resolve(self.collector)
+        if tel is None:
+            return kernel(x)
+        start = time.perf_counter_ns()
+        out = kernel(x)
+        self._record_batch(
+            tel, mode, x, x.raw.size, 1, time.perf_counter_ns() - start
+        )
+        return out
+
     def sigmoid_fx(self, x: FxArray) -> FxArray:
         """Elementwise sigma of a raw batch of any shape."""
-        return self.nacu.datapath.activation(x, FunctionMode.SIGMOID)
+        return self._elementwise_fx(x, FunctionMode.SIGMOID)
 
     def tanh_fx(self, x: FxArray) -> FxArray:
         """Elementwise tanh of a raw batch of any shape."""
-        return self.nacu.datapath.activation(x, FunctionMode.TANH)
+        return self._elementwise_fx(x, FunctionMode.TANH)
 
     def exp_fx(self, x: FxArray) -> FxArray:
         """Elementwise ``e^x`` (``x <= 0``) of a raw batch of any shape."""
-        return self.nacu.datapath.exponential(x)
+        return self._elementwise_fx(x, FunctionMode.EXP)
 
     def softmax_fx(self, x: FxArray, axis: int = -1) -> FxArray:
         """Softmax along ``axis`` of a raw batch of any rank >= 1.
@@ -103,7 +152,17 @@ class BatchEngine:
             raise RangeError("softmax needs at least one axis of inputs")
         moved = np.moveaxis(x.raw, axis, -1)
         rows = FxArray(moved.reshape(-1, moved.shape[-1]), x.fmt)
-        out = self.nacu.datapath.softmax(rows)
+        tel = _telemetry.resolve(self.collector)
+        if tel is None:
+            out = self.nacu.datapath.softmax(rows)
+        else:
+            start = time.perf_counter_ns()
+            out = self.nacu.datapath.softmax(rows)
+            self._record_batch(
+                tel, FunctionMode.SOFTMAX, x,
+                rows.raw.shape[-1], rows.raw.shape[0],
+                time.perf_counter_ns() - start,
+            )
         raw = np.moveaxis(out.raw.reshape(moved.shape), -1, axis)
         return FxArray(raw, out.fmt)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -22,6 +23,23 @@ class ExperimentResult:
     def columns(self) -> List[str]:
         """Column names, in first-row order."""
         return list(self.rows[0].keys()) if self.rows else []
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable form of this result (JSON-able types)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "columns": self.columns(),
+            "rows": [
+                {key: _jsonable(value) for key, value in row.items()}
+                for row in self.rows
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialised :meth:`to_dict` (the perf-record file format)."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def to_text(self) -> str:
         """Render as an aligned text table with a header block."""
@@ -44,6 +62,15 @@ class ExperimentResult:
         for row in formatted:
             lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
         return "\n".join(lines)
+
+
+def _jsonable(value):
+    """Plain python for JSON: numpy scalars to int/float, rest verbatim."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
 
 
 def _format(value) -> str:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import RangeError
 from repro.fixedpoint.qformat import QFormat
+from repro.telemetry import collector as _telemetry
 
 RawLike = Union[int, np.ndarray]
 
@@ -66,9 +67,32 @@ def shift_right_round(raw: RawLike, shift: int, rounding: Rounding) -> RawLike:
     raise ValueError(f"unknown rounding mode {rounding!r}")
 
 
+def _record_overflow(tel, raw: np.ndarray, fmt: QFormat,
+                     overflow: Overflow) -> None:
+    """Fold one ``apply_overflow`` call into the telemetry collector.
+
+    Event = one element leaving the representable range; magnitude = how
+    many raw LSBs past the bound it was (the quantity clipped or wrapped
+    away). Only reached when a collector is installed.
+    """
+    below = np.maximum(np.int64(fmt.raw_min) - raw, 0)
+    above = np.maximum(raw - np.int64(fmt.raw_max), 0)
+    events = int(np.count_nonzero(below) + np.count_nonzero(above))
+    tel.count("fx.overflow.checked", raw.size)
+    if events:
+        kind = "saturate" if overflow is Overflow.SATURATE else "wrap"
+        tel.count(f"fx.{kind}.events", events)
+        tel.count(f"fx.{kind}.magnitude", int(np.sum(below) + np.sum(above)))
+
+
 def apply_overflow(raw: RawLike, fmt: QFormat, overflow: Overflow) -> np.ndarray:
     """Fold ``raw`` into ``fmt``'s representable raw range."""
     raw = np.asarray(raw, dtype=np.int64)
+    # One module-attribute load + None check per (vectorised) call — the
+    # entire cost of disabled telemetry on this hot path.
+    tel = _telemetry._active
+    if tel is not None and overflow is not Overflow.ERROR:
+        _record_overflow(tel, raw, fmt, overflow)
     if overflow is Overflow.SATURATE:
         return np.clip(raw, fmt.raw_min, fmt.raw_max)
     if overflow is Overflow.WRAP:

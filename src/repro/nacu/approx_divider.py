@@ -23,6 +23,7 @@ from repro.fixedpoint.bitops import bit_length
 from repro.fixedpoint.rounding import apply_overflow, shift_right_round, Rounding
 from repro.hwcost.components import lut_cost, multiplier_cost, register_cost
 from repro.hwcost.gates import GateCounts
+from repro.telemetry import collector as _telemetry
 
 
 class ApproxReciprocalDivider:
@@ -33,7 +34,8 @@ class ApproxReciprocalDivider:
     built from one extra multiplication).
     """
 
-    def __init__(self, out_fmt: QFormat, seed_bits: int = 5, iterations: int = 1):
+    def __init__(self, out_fmt: QFormat, seed_bits: int = 5, iterations: int = 1,
+                 collector=None):
         if seed_bits < 1 or seed_bits > 12:
             raise ConfigError("seed LUT address width must be in [1, 12]")
         if iterations < 0:
@@ -41,6 +43,8 @@ class ApproxReciprocalDivider:
         self.out_fmt = out_fmt
         self.seed_bits = seed_bits
         self.iterations = iterations
+        #: Injected telemetry collector (None: use the module registry).
+        self.collector = collector
         #: Working fraction width of the Newton iteration registers.
         self.work_fb = out_fmt.fb
         # Seed LUT: one reciprocal word per divisor sub-interval of
@@ -85,6 +89,9 @@ class ApproxReciprocalDivider:
                 "approximate reciprocal is specified for divisors in "
                 "[0.5, 1] (the normalised sigma range)"
             )
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count("divider.approx.reciprocals", np.asarray(den.raw).size)
         fb = self.work_fb
         r = self.seed_raw[self._seed_index(den)]
         d = den.raw << (fb - den.fmt.fb) if fb >= den.fmt.fb else shift_right_round(
@@ -115,6 +122,10 @@ class ApproxReciprocalDivider:
         # bl the raw bit length (a priority encoder in hardware).
         bl = bit_length(den_raw)
         fb_den = den.fmt.fb
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count("divider.approx.divides", den_raw.size)
+            tel.observe("divider.norm_shift", fb_den - bl)
         mantissa_raw = np.where(
             bl <= fb_den,
             den_raw << np.maximum(fb_den - bl, 0),

@@ -31,17 +31,28 @@ from repro.nacu.bias_units import (
 )
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.lutgen import CoefficientLUT
+from repro.telemetry import collector as _telemetry
 
 
 class CoefficientUnit:
     """Bit-level model of the coefficient/bias stage."""
 
-    def __init__(self, lut: CoefficientLUT, config: NacuConfig):
+    def __init__(self, lut: CoefficientLUT, config: NacuConfig, collector=None):
         self.lut = lut
         self.config = config
         #: Biases leave this stage as signed words (the tanh negative-range
         #: bias is negative) with the coefficient fraction width.
         self.bias_out_fmt = QFormat(1, config.bias_fmt.fb)
+        #: Injected telemetry collector (None: use the module registry).
+        self.collector = collector
+
+    def _lookup(self, address: np.ndarray, address_fb: int):
+        """LUT fetch that feeds the per-segment address histogram."""
+        idx = self.lut.index_for(address, address_fb)
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.observe("nacu.lut.segment", idx)
+        return self.lut.slope_raw[idx], self.lut.bias_raw[idx]
 
     def compute(self, x: FxArray, mode: FunctionMode) -> Tuple[FxArray, FxArray]:
         """Slope and bias words for each input element."""
@@ -52,11 +63,11 @@ class CoefficientUnit:
         fb = self.config.bias_fmt.fb
 
         if mode is FunctionMode.SIGMOID:
-            slope_raw, q_raw = self.lut.lookup(magnitude, x.fmt.fb)
+            slope_raw, q_raw = self._lookup(magnitude, x.fmt.fb)
             out_slope = np.where(negative, -slope_raw, slope_raw)
             out_bias = np.where(negative, fig3a_one_minus_q(q_raw, fb), q_raw)
         else:  # TANH: address at 2|x|, scale slope by 4, rewire bias
-            slope_raw, q_raw = self.lut.lookup(magnitude << 1, x.fmt.fb)
+            slope_raw, q_raw = self._lookup(magnitude << 1, x.fmt.fb)
             scaled = slope_raw << 2
             out_slope = np.where(negative, -scaled, scaled)
             two_q = q_raw << 1  # binary-point move: same bits, doubled weight

@@ -45,11 +45,15 @@ def lut_entries_for(fmt: QFormat, lut_range: float) -> int:
     entries = lut_range * math.sqrt(_SIGMOID_MAX_CURVATURE / (16.0 * target))
     return max(1, math.ceil(entries))
 
-#: Table I / Section VII: per-function latency in cycles.
+#: Table I / Section VII: per-function latency in cycles for the fixed-
+#: depth paths. The exponential's latency is *derived* from the pipeline
+#: structure (sigma stages + divider fill + decrementor + I/O registers)
+#: because it depends on the divider depth — 24 cycles for the default
+#: 16-bit unit, the 90 ns at 3.75 ns Section VII.C reports, matching
+#: :mod:`repro.rtl.nacu_pipeline` stage for stage.
 DEFAULT_LATENCY = {
     FunctionMode.SIGMOID: 3,
     FunctionMode.TANH: 3,
-    FunctionMode.EXP: 8,
     FunctionMode.MAC: 1,
 }
 
@@ -150,11 +154,36 @@ class NacuConfig:
         """Total I/O width."""
         return self.io_fmt.n_bits
 
+    @property
+    def divider_fill_latency(self) -> int:
+        """Pipeline fill of the configured divider, in cycles.
+
+        Restoring: prepare + one stage per quotient bit + collect (18 for
+        the 16-bit unit) unless ``divider_stages`` overrides it; approximate:
+        one seed-LUT cycle plus two multiply cycles per Newton iteration.
+        """
+        if self.use_approx_divider:
+            return 1 + 2 * self.approx_divider_iterations
+        if self.divider_stages is not None:
+            return self.divider_stages
+        return self.divider_fmt.ib + self.divider_fmt.fb + 2
+
     def latency(self, mode: FunctionMode) -> int:
-        """Latency in cycles for one result in the given mode (Table I)."""
+        """Latency in cycles for one result in the given mode.
+
+        sigma/tanh/MAC come from Table I; the exponential is the full
+        structural pipeline fill — sigma stages, divider fill, decrementor,
+        two I/O registers — 24 cycles for the default unit (Section VII.C's
+        90 ns), exactly the depth of the RTL exponential pipeline.
+        """
         if mode is FunctionMode.SOFTMAX:
             raise ConfigError(
                 "softmax latency depends on the vector length; use "
                 "Nacu.softmax_cycles(n)"
+            )
+        if mode is FunctionMode.EXP:
+            return (
+                DEFAULT_LATENCY[FunctionMode.SIGMOID]
+                + self.divider_fill_latency + 1 + 2
             )
         return DEFAULT_LATENCY[mode]

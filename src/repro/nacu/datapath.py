@@ -6,7 +6,8 @@ Dataflow per function:
   multiply-and-add stage: ``out = slope * |x| + bias``. 3 cycles.
 * **e^x** (x <= 0) — sigma of ``-x`` (in [0.5, 1]), reciprocal through the
   pipelined divider (sigma' in [1, 2]), then the decrementor — the Fig. 3b
-  unit reused on sigma', Section V.B. 8 cycles to the first result.
+  unit reused on sigma', Section V.B. 24 cycles to the first result
+  (Section VII.C's 90 ns fill), one result per cycle after.
 * **softmax** — Eq. 13: max-normalise, exponentials, denominator summed on
   the MAC feedback path, one division per element.
 """
@@ -24,25 +25,30 @@ from repro.nacu.approx_divider import ApproxReciprocalDivider
 from repro.nacu.divider import RestoringDivider
 from repro.nacu.lutgen import get_sigmoid_lut
 from repro.nacu.mac import MacUnit
+from repro.telemetry import collector as _telemetry
 
 
 class NacuDatapath:
     """Bit-accurate structural model of the unit."""
 
-    def __init__(self, config: NacuConfig, lut=None):
+    def __init__(self, config: NacuConfig, lut=None, collector=None):
         self.config = config
+        #: Injected telemetry collector, forwarded to every sub-unit
+        #: (None: the module registry in :mod:`repro.telemetry` decides).
+        self.collector = collector
         #: The coefficient LUT; injectable for fault-sensitivity studies.
         #: When not injected, the table comes from the module-level cache in
         #: :mod:`repro.nacu.lutgen`, so many units of one configuration
         #: (e.g. one per CGRA cell) share a single build.
         self.lut = lut if lut is not None else get_sigmoid_lut(config)
-        self.coeff_unit = CoefficientUnit(self.lut, config)
-        self.mac = MacUnit(config.acc_fmt)
+        self.coeff_unit = CoefficientUnit(self.lut, config, collector=collector)
+        self.mac = MacUnit(config.acc_fmt, collector=collector)
         if config.use_approx_divider:
             self.divider = ApproxReciprocalDivider(
                 config.divider_fmt,
                 seed_bits=config.approx_divider_seed_bits,
                 iterations=config.approx_divider_iterations,
+                collector=collector,
             )
         else:
             self.divider = RestoringDivider(config.divider_fmt, config.divider_stages)
@@ -58,6 +64,9 @@ class NacuDatapath:
         — the "saturation region" every PWL implementation needs, sized by
         Eq. 7 so the clamp costs less than one output LSB.
         """
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count(f"nacu.op.{mode.value}", x.raw.size)
         slope, bias = self.coeff_unit.compute(x, mode)
         range_raw = int(round(self.config.lut_range * (1 << x.fmt.fb)))
         limit = range_raw - 1 if mode is FunctionMode.SIGMOID else (range_raw >> 1) - 1
@@ -89,6 +98,9 @@ class NacuDatapath:
                 "the exponential path is specified for x <= 0; normalise "
                 "inputs by their maximum first (Eq. 13)"
             )
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count("nacu.op.exp", x.raw.size)
         sig = self.activation(ops.neg(x), FunctionMode.SIGMOID)
         sigma_prime = self.divider.reciprocal(sig)  # 1/sigma(-x) in [1, 2]
         e_raw = fig3b_decrement(sigma_prime.raw, sigma_prime.fmt.fb)
@@ -112,6 +124,10 @@ class NacuDatapath:
             raise RangeError("softmax expects a non-empty 1-D vector or 2-D batch")
         if x.raw.ndim == 2 and x.raw.shape[-1] == 0:
             raise RangeError("softmax rows must be non-empty")
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count("nacu.op.softmax", x.raw.size)
+            tel.observe("nacu.softmax.rowlen", x.raw.shape[-1])
         x_max = np.max(x.raw, axis=-1, keepdims=True)
         shifted = FxArray.from_raw(
             x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
@@ -132,7 +148,8 @@ class NacuDatapath:
     # Cycle accounting
     # ------------------------------------------------------------------
     def latency(self, mode: FunctionMode) -> int:
-        """Cycles from input to first result (Table I: 3 / 3 / 8)."""
+        """Cycles from input to first result (3 / 3 / 24 for the default
+        unit, matching the structural pipeline depths)."""
         return self.config.latency(mode)
 
     def pipelined_cycles(self, mode: FunctionMode, n: int) -> int:

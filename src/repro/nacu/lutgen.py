@@ -20,6 +20,7 @@ from repro.fixedpoint import QFormat
 from repro.fixedpoint.rounding import quantize_float
 from repro.funcs import sigmoid
 from repro.nacu.config import NacuConfig
+from repro.telemetry import collector as _telemetry
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,9 @@ def get_sigmoid_lut(config: NacuConfig) -> CoefficientLUT:
     """The (shared, read-only) sigmoid LUT for ``config``, built on demand."""
     key = lut_cache_key(config)
     lut = _LUT_CACHE.get(key)
+    tel = _telemetry._active
+    if tel is not None:
+        tel.count("lut.cache.hit" if lut is not None else "lut.cache.miss")
     if lut is None:
         lut = build_sigmoid_lut(config)
         lut.slope_raw.setflags(write=False)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, ops
+from repro.telemetry import collector as _telemetry
 
 
 class MacUnit:
@@ -24,11 +25,14 @@ class MacUnit:
         acc_fmt: QFormat,
         rounding: Rounding = Rounding.NEAREST_EVEN,
         overflow: Overflow = Overflow.SATURATE,
+        collector=None,
     ):
         self.acc_fmt = acc_fmt
         self.rounding = rounding
         self.overflow = overflow
         self._acc: Optional[FxArray] = None
+        #: Injected telemetry collector (None: use the module registry).
+        self.collector = collector
 
     # ------------------------------------------------------------------
     # Combinational use: one multiply-add, no state
@@ -83,6 +87,14 @@ class MacUnit:
         same per-element schedule in lockstep), so the per-slice results are
         raw-identical to running the scalar fold slice by slice.
         """
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            steps = (
+                values.raw.size if axis is None
+                else np.moveaxis(values.raw, axis, -1).shape[-1]
+            )
+            tel.count("mac.fold.steps", steps)
+            tel.count("mac.fold.elements", values.raw.size)
         one = FxArray.from_raw(1 << values.fmt.fb, QFormat(1, values.fmt.fb))
         if axis is None:
             for raw in values.raw.ravel():

@@ -22,6 +22,7 @@ from repro.errors import FormatError
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.datapath import NacuDatapath
+from repro.telemetry import collector as _telemetry
 
 InputLike = Union[FxArray, float, np.ndarray, list]
 
@@ -29,9 +30,32 @@ InputLike = Union[FxArray, float, np.ndarray, list]
 class Nacu:
     """One morphable non-linear arithmetic unit."""
 
-    def __init__(self, config: Optional[NacuConfig] = None, lut=None):
+    def __init__(self, config: Optional[NacuConfig] = None, lut=None,
+                 collector=None):
         self.config = config or NacuConfig()
-        self.datapath = NacuDatapath(self.config, lut=lut)
+        self.datapath = NacuDatapath(self.config, lut=lut, collector=collector)
+
+    @property
+    def collector(self):
+        """The injected telemetry collector (None: module registry)."""
+        return self.datapath.collector
+
+    def _charge_cycles(self, mode: FunctionMode, fx: FxArray) -> None:
+        """Charge one call's paper-model cycles to the collector.
+
+        Elementwise modes pipeline all elements through one unit
+        (``cycles(mode, n)``); a 2-D softmax is charged one sequential
+        softmax per row, the same convention the CGRA cell model uses.
+        """
+        tel = _telemetry.resolve(self.datapath.collector)
+        if tel is None or fx.raw.size == 0:
+            return
+        if mode is FunctionMode.SOFTMAX:
+            rows = 1 if fx.raw.ndim == 1 else fx.raw.shape[0]
+            n_cycles = rows * self.cycles(mode, fx.raw.shape[-1])
+        else:
+            n_cycles = self.cycles(mode, fx.raw.size)
+        tel.add_cycles(mode.value, n_cycles, self.config.clock_ns)
 
     @classmethod
     def for_bits(cls, n_bits: int, **kwargs) -> "Nacu":
@@ -64,16 +88,19 @@ class Nacu:
     def sigmoid(self, x: InputLike):
         """sigma(x) through the PWL pipeline (Eqs. 8/9)."""
         fx = self._ingest(x)
+        self._charge_cycles(FunctionMode.SIGMOID, fx)
         return self._emit(self.datapath.activation(fx, FunctionMode.SIGMOID), x)
 
     def tanh(self, x: InputLike):
         """tanh(x) from the shared sigmoid LUT (Eqs. 10/11)."""
         fx = self._ingest(x)
+        self._charge_cycles(FunctionMode.TANH, fx)
         return self._emit(self.datapath.activation(fx, FunctionMode.TANH), x)
 
     def exp(self, x: InputLike):
         """e^x for ``x <= 0`` via Eq. 14 (sigma, divider, decrementor)."""
         fx = self._ingest(x)
+        self._charge_cycles(FunctionMode.EXP, fx)
         return self._emit(self.datapath.exponential(fx), x)
 
     def softmax(self, x: InputLike):
@@ -85,6 +112,7 @@ class Nacu:
         the rows one at a time.
         """
         fx = self._ingest(x)
+        self._charge_cycles(FunctionMode.SOFTMAX, fx)
         return self._emit(self.datapath.softmax(fx), x)
 
     def mac(self, a: InputLike, b: InputLike):
@@ -103,6 +131,10 @@ class Nacu:
                     f"unit's I/O format {self.io_fmt}"
                 )
         fa, fb = self._ingest(a), self._ingest(b)
+        tel = _telemetry.resolve(self.datapath.collector)
+        if tel is not None:
+            tel.count("nacu.op.mac", max(fa.raw.size, fb.raw.size))
+        self._charge_cycles(FunctionMode.MAC, fa if fa.raw.size >= fb.raw.size else fb)
         result = self.datapath.mac.accumulate(fa, fb)
         if isinstance(a, FxArray) or isinstance(b, FxArray):
             return result

@@ -14,7 +14,9 @@ from typing import Optional
 import numpy as np
 
 from repro.fixedpoint import FxArray, QFormat
+from repro.funcs import reference
 from repro.nn.activations import ActivationProvider, FloatActivations
+from repro.telemetry import collector as _telemetry
 from repro.nn.conv import (
     QuantizedConv2d,
     global_average_pool,
@@ -65,6 +67,14 @@ class SmallCnn:
             squashed_fx = engine.tanh_fx(FxArray.from_float(magnitude, self.fmt))
         else:
             squashed_fx = FxArray.from_float(self.provider.tanh(magnitude), self.fmt)
+        tel = _telemetry.resolve(
+            engine.collector if engine is not None else None
+        )
+        if tel is not None:
+            tel.record_error(
+                "nn.cnn.conv.tanh", squashed_fx.to_float(),
+                reference.tanh(magnitude),
+            )
         pooled = max_pool2d(squashed_fx, size=2)
         return global_average_pool(pooled).to_float()
 

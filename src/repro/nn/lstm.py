@@ -11,7 +11,9 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.funcs import reference
 from repro.nn.activations import ActivationProvider, FloatActivations
+from repro.telemetry import collector as _telemetry
 
 
 class LstmCell:
@@ -48,15 +50,34 @@ class LstmCell:
         # activations are elementwise, so evaluating the three blocks in a
         # single provider call is bit-identical to three separate calls and
         # lets a batch engine quantise the timestep's gates once).
-        sig_block = provider.sigmoid(
-            np.concatenate([gates[..., 0:2 * n], gates[..., 3 * n:4 * n]], axis=-1)
+        sig_pre = np.concatenate(
+            [gates[..., 0:2 * n], gates[..., 3 * n:4 * n]], axis=-1
         )
+        sig_block = provider.sigmoid(sig_pre)
         i_gate = sig_block[..., 0:n]
         f_gate = sig_block[..., n:2 * n]
         o_gate = sig_block[..., 2 * n:3 * n]
         g_cell = provider.tanh(gates[..., 2 * n:3 * n])
         new_cell = f_gate * cell + i_gate * g_cell
-        new_hidden = o_gate * provider.tanh(new_cell)
+        cell_tanh = provider.tanh(new_cell)
+        new_hidden = o_gate * cell_tanh
+        # Per-gate quantisation error vs the float64 reference, folded
+        # into the collector when telemetry is on (one check per step).
+        engine = getattr(provider, "engine", None)
+        tel = _telemetry.resolve(
+            engine.collector if engine is not None else None
+        )
+        if tel is not None:
+            tel.record_error(
+                "nn.lstm.gates.sigmoid", sig_block, reference.sigmoid(sig_pre)
+            )
+            tel.record_error(
+                "nn.lstm.gates.tanh", g_cell,
+                reference.tanh(gates[..., 2 * n:3 * n]),
+            )
+            tel.record_error(
+                "nn.lstm.hidden.tanh", cell_tanh, reference.tanh(new_cell)
+            )
         return new_hidden, new_cell
 
     def initial_state(self, batch: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -17,6 +17,7 @@ from repro.fixedpoint import FxArray, QFormat
 from repro.funcs import reference
 from repro.nn.activations import ActivationProvider, FloatActivations
 from repro.nn.quantized import quantize_parameters, quantized_matmul
+from repro.telemetry import collector as _telemetry
 
 
 def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
@@ -142,12 +143,24 @@ class FixedPointMlp:
         return None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Class probabilities, computed end-to-end in fixed point."""
+        """Class probabilities, computed end-to-end in fixed point.
+
+        With telemetry enabled the float64 reference network runs
+        alongside and each layer's quantised activations are folded into
+        the collector's per-layer error stats (``nn.mlp.*``) — the
+        Section VI error-accumulation view, for any forward pass.
+        """
         engine = self._engine()
+        tel = _telemetry.resolve(
+            engine.collector if engine is not None else None
+        )
         a = FxArray.from_float(np.asarray(x, dtype=np.float64), self.fmt)
+        a_ref = np.asarray(x, dtype=np.float64) if tel is not None else None
         for index, (w, b) in enumerate(zip(self.weights, self.biases)):
             z = quantized_matmul(a, w, self.fmt)
             z = FxArray.from_float(z.to_float() + b.to_float(), self.fmt)
+            if tel is not None:
+                z_ref = a_ref @ self.mlp.weights[index] + self.mlp.biases[index]
             if index < len(self.weights) - 1:
                 if engine is not None:
                     a = (
@@ -162,10 +175,28 @@ class FixedPointMlp:
                         else self.provider.tanh(z.to_float())
                     )
                     a = FxArray.from_float(hidden, self.fmt)
+                if tel is not None:
+                    a_ref = (
+                        reference.sigmoid(z_ref)
+                        if self.mlp.hidden == "sigmoid"
+                        else reference.tanh(z_ref)
+                    )
+                    tel.record_error(
+                        f"nn.mlp.layer{index}.{self.mlp.hidden}",
+                        a.to_float(), a_ref,
+                    )
             else:
                 if engine is not None:
-                    return engine.softmax_fx(z).to_float()
-                return self.provider.softmax(z.to_float())
+                    probs = engine.softmax_fx(z).to_float()
+                else:
+                    probs = self.provider.softmax(z.to_float())
+                if tel is not None:
+                    tel.record_error(
+                        "nn.mlp.softmax",
+                        probs,
+                        reference.softmax_normalised(z_ref, axis=-1),
+                    )
+                return probs
         raise ConfigError("unreachable: MLP must have at least one layer")
 
     def predict(self, x: np.ndarray) -> np.ndarray:

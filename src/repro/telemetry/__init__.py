@@ -1,0 +1,44 @@
+"""Opt-in datapath telemetry: counters, histograms, timers, cycle ledgers.
+
+The instrumentation the paper's evaluation implies but the model never
+had: how often the datapath saturates, which LUT segments are hot, how
+many paper-model cycles a workload consumed, how quantisation error
+accumulates per NN layer. Everything is off by default and costs one
+``None`` check per batch-level call until :func:`enable` installs a
+:class:`Collector` (or one is injected via the ``collector=`` parameters
+on :class:`~repro.nacu.unit.Nacu` / :class:`~repro.engine.BatchEngine`).
+
+>>> from repro import telemetry
+>>> from repro.engine import BatchEngine
+>>> with telemetry.use_collector(telemetry.Collector()) as tel:
+...     BatchEngine.for_bits(16).softmax([[1.0, 2.0, 0.5]])
+...     snapshot = tel.snapshot()      # doctest: +SKIP
+"""
+
+from repro.telemetry.collector import (
+    Collector,
+    disable,
+    enable,
+    get_collector,
+    merge_snapshots,
+    resolve,
+    set_collector,
+    use_collector,
+)
+from repro.telemetry.nn_probe import probe_layer_error
+from repro.telemetry.report import derived_rates, render_snapshot, render_table
+
+__all__ = [
+    "Collector",
+    "disable",
+    "enable",
+    "get_collector",
+    "merge_snapshots",
+    "probe_layer_error",
+    "derived_rates",
+    "render_snapshot",
+    "render_table",
+    "resolve",
+    "set_collector",
+    "use_collector",
+]

@@ -1,0 +1,310 @@
+"""The telemetry collector: counters, histograms, timers, cycle ledgers.
+
+One :class:`Collector` holds every metric the instrumented datapath can
+emit.  Telemetry is *opt-in*: the module-level registry holds ``None``
+until :func:`enable` (or :func:`set_collector`) installs a collector, and
+every instrumentation site guards on that single reference **once per
+batch call** — with telemetry off, the hot paths pay one module-attribute
+load and a ``None`` check, nothing else.
+
+Two ways to wire a collector in:
+
+* the module registry — ``telemetry.enable()`` instruments everything
+  that runs afterwards (the serving configuration);
+* the ``collector=`` injection point on :class:`~repro.nacu.unit.Nacu`,
+  :class:`~repro.engine.BatchEngine` and the datapath components — a
+  private collector for one unit, so tests stay deterministic even when
+  other code shares the process.
+
+The collector never imports the rest of :mod:`repro` (the fixed-point
+substrate instruments *it*), so it can be loaded from the innermost
+arithmetic helpers without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "Collector",
+    "enable",
+    "disable",
+    "get_collector",
+    "set_collector",
+    "resolve",
+    "use_collector",
+]
+
+
+class _Span:
+    """A nanosecond span timer (``with collector.span(name): ...``)."""
+
+    __slots__ = ("_collector", "_name", "_start")
+
+    def __init__(self, collector: "Collector", name: str):
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._collector.observe_span(
+            self._name, time.perf_counter_ns() - self._start
+        )
+
+
+class Collector:
+    """An in-memory metric sink with a JSON-able snapshot.
+
+    Metric families:
+
+    * **counters** — monotonically increasing integers (:meth:`count`);
+    * **histograms** — integer-valued distributions stored sparsely as
+      ``{value: occurrences}`` (:meth:`observe`);
+    * **timers** — span wall-clock accumulators in nanoseconds
+      (:meth:`span` / :meth:`observe_span`);
+    * **cycles** — the paper's cycle model per function mode, with the
+      equivalent "hardware" nanoseconds when a clock period is known
+      (:meth:`add_cycles`);
+    * **errors** — running per-layer fixed-point-vs-float error stats
+      (:meth:`record_error`).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Dict[int, int]] = {}
+        self.timers: Dict[str, Dict[str, int]] = {}
+        self.cycles: Dict[str, int] = {}
+        self.hw_ns: Dict[str, float] = {}
+        self.errors: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, values) -> None:
+        """Fold integer ``values`` (scalar or array) into histogram ``name``."""
+        hist = self.histograms.setdefault(name, {})
+        values = np.asarray(values)
+        if values.ndim == 0:
+            key = int(values)
+            hist[key] = hist.get(key, 0) + 1
+            return
+        uniques, counts = np.unique(values, return_counts=True)
+        for value, occurrences in zip(uniques.tolist(), counts.tolist()):
+            key = int(value)
+            hist[key] = hist.get(key, 0) + int(occurrences)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _Span:
+        """A context manager timing one span with ``perf_counter_ns``."""
+        return _Span(self, name)
+
+    def observe_span(self, name: str, elapsed_ns: int) -> None:
+        """Record one finished span of ``elapsed_ns`` nanoseconds."""
+        timer = self.timers.setdefault(name, {"count": 0, "total_ns": 0})
+        timer["count"] += 1
+        timer["total_ns"] += int(elapsed_ns)
+
+    # ------------------------------------------------------------------
+    # Paper-model cycle ledger
+    # ------------------------------------------------------------------
+    def add_cycles(self, mode: str, cycles: int,
+                   clock_ns: Optional[float] = None) -> None:
+        """Charge ``cycles`` of the paper's cycle model to ``mode``.
+
+        With ``clock_ns`` the equivalent hardware time accumulates too,
+        so one snapshot reports wall-clock *and* modelled-silicon time.
+        """
+        self.cycles[mode] = self.cycles.get(mode, 0) + int(cycles)
+        if clock_ns is not None:
+            self.hw_ns[mode] = self.hw_ns.get(mode, 0.0) + cycles * clock_ns
+
+    # ------------------------------------------------------------------
+    # Per-layer error tracking
+    # ------------------------------------------------------------------
+    def record_error(self, name: str, values, reference) -> None:
+        """Fold ``values - reference`` into the error stats for ``name``.
+
+        Keeps the running element count, sum of squared errors and max
+        absolute error, so the snapshot can report RMSE/max per layer
+        whatever the number of forward passes.
+        """
+        diff = np.asarray(values, dtype=np.float64) - np.asarray(
+            reference, dtype=np.float64
+        )
+        entry = self.errors.setdefault(
+            name, {"n": 0, "sum_sq": 0.0, "max_abs": 0.0}
+        )
+        entry["n"] += diff.size
+        entry["sum_sq"] += float(np.sum(diff * diff))
+        entry["max_abs"] = max(entry["max_abs"], float(np.max(np.abs(diff))))
+
+    # ------------------------------------------------------------------
+    # Export / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything collected so far, as plain JSON-able types."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: {str(k): v for k, v in sorted(hist.items())}
+                for name, hist in self.histograms.items()
+            },
+            "timers": {name: dict(t) for name, t in self.timers.items()},
+            "cycles": dict(self.cycles),
+            "hw_ns": dict(self.hw_ns),
+            "errors": {
+                name: {
+                    "n": entry["n"],
+                    "rmse": math.sqrt(entry["sum_sq"] / entry["n"])
+                    if entry["n"]
+                    else 0.0,
+                    "max_abs": entry["max_abs"],
+                }
+                for name, entry in self.errors.items()
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot, serialised."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every metric (the collector stays installed)."""
+        self.counters.clear()
+        self.histograms.clear()
+        self.timers.clear()
+        self.cycles.clear()
+        self.hw_ns.clear()
+        self.errors.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Collector {len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms, {len(self.timers)} timers>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level registry
+# ----------------------------------------------------------------------
+#: The active collector, or None when telemetry is off. Instrumentation
+#: sites read this once per batch-level call.
+_active: Optional[Collector] = None
+
+
+def get_collector() -> Optional[Collector]:
+    """The registered collector, or ``None`` when telemetry is off."""
+    return _active
+
+
+def set_collector(collector: Optional[Collector]) -> Optional[Collector]:
+    """Install ``collector`` (or ``None`` to disable); returns the old one."""
+    global _active
+    previous = _active
+    _active = collector
+    return previous
+
+
+def enable(collector: Optional[Collector] = None) -> Collector:
+    """Turn telemetry on process-wide; returns the active collector."""
+    global _active
+    if collector is None:
+        collector = _active if _active is not None else Collector()
+    _active = collector
+    return collector
+
+
+def disable() -> Optional[Collector]:
+    """Turn telemetry off; returns the collector that was active."""
+    return set_collector(None)
+
+
+def resolve(override: Optional[Collector] = None) -> Optional[Collector]:
+    """The collector an instrumented component should emit to.
+
+    An injected per-component collector wins; otherwise the module
+    registry decides. Components call this once per batch-level
+    operation — the whole cost of disabled telemetry.
+    """
+    return override if override is not None else _active
+
+
+class use_collector:
+    """``with use_collector(c):`` — scoped registry install, for tests."""
+
+    def __init__(self, collector: Optional[Collector]):
+        self._collector = collector
+        self._previous: Optional[Collector] = None
+
+    def __enter__(self) -> Optional[Collector]:
+        self._previous = set_collector(self._collector)
+        return self._collector
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_collector(self._previous)
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Combine snapshot dicts (sum counters/histograms/timers/cycles).
+
+    Error stats merge by element count: RMSEs recombine through the sum
+    of squares, max-abs takes the max — the same totals one collector
+    would have produced had it seen all the traffic.
+    """
+    merged: dict = {
+        "counters": {},
+        "histograms": {},
+        "timers": {},
+        "cycles": {},
+        "hw_ns": {},
+        "errors": {},
+    }
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            out = merged["histograms"].setdefault(name, {})
+            for bucket, occurrences in hist.items():
+                out[bucket] = out.get(bucket, 0) + occurrences
+        for name, timer in snap.get("timers", {}).items():
+            out = merged["timers"].setdefault(name, {"count": 0, "total_ns": 0})
+            out["count"] += timer.get("count", 0)
+            out["total_ns"] += timer.get("total_ns", 0)
+        for name, cycles in snap.get("cycles", {}).items():
+            merged["cycles"][name] = merged["cycles"].get(name, 0) + cycles
+        for name, ns in snap.get("hw_ns", {}).items():
+            merged["hw_ns"][name] = merged["hw_ns"].get(name, 0.0) + ns
+        for name, entry in snap.get("errors", {}).items():
+            out = merged["errors"].setdefault(
+                name, {"n": 0, "sum_sq": 0.0, "max_abs": 0.0}
+            )
+            n = entry.get("n", 0)
+            out["n"] += n
+            out["sum_sq"] += entry.get("rmse", 0.0) ** 2 * n
+            out["max_abs"] = max(out["max_abs"], entry.get("max_abs", 0.0))
+    merged["errors"] = {
+        name: {
+            "n": entry["n"],
+            "rmse": math.sqrt(entry["sum_sq"] / entry["n"]) if entry["n"] else 0.0,
+            "max_abs": entry["max_abs"],
+        }
+        for name, entry in merged["errors"].items()
+    }
+    return merged

@@ -1,0 +1,44 @@
+"""Per-layer fixed-point-vs-float error probes for :mod:`repro.nn`.
+
+The network code calls :func:`probe_layer_error` at each layer boundary;
+with telemetry off it is a single ``None`` check, with telemetry on it
+folds the layer's quantised activations against the float64 reference
+into the collector's running error stats (count, RMSE, max abs error) —
+the Section VI view of how quantisation error accumulates layer by
+layer, available for any forward pass instead of only inside the
+experiment drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.telemetry.collector import Collector, resolve
+
+__all__ = ["probe_layer_error"]
+
+
+def probe_layer_error(
+    name: str,
+    values,
+    reference,
+    collector: Optional[Collector] = None,
+) -> None:
+    """Record ``values`` (fixed point, as floats) vs ``reference``.
+
+    ``reference`` may be an array or a zero-argument callable returning
+    one — the callable form lets callers skip computing the float
+    reference entirely when telemetry is off.
+    """
+    tel = resolve(collector)
+    if tel is None:
+        return
+    if callable(reference):
+        reference = reference()
+    tel.record_error(
+        f"nn.{name}",
+        np.asarray(values, dtype=np.float64),
+        np.asarray(reference, dtype=np.float64),
+    )

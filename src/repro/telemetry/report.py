@@ -1,0 +1,120 @@
+"""Rendering telemetry snapshots as aligned text tables.
+
+Used by ``tools/telemetry_report.py`` and importable on its own, so tests
+can pin the report against a known snapshot without spawning a process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_snapshot", "render_table", "derived_rates"]
+
+
+def render_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """One aligned text table with a ``== title ==`` banner."""
+    lines = [f"== {title} =="]
+    if not rows:
+        return "\n".join(lines + ["(empty)"])
+    formatted = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in formatted))
+        for i in range(len(header))
+    ]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def derived_rates(snapshot: dict) -> Dict[str, float]:
+    """Ratios worth reporting that are not stored directly.
+
+    Currently the sigmoid-LUT cache hit rate and the saturation rate per
+    overflow-checked element (when the respective counters exist).
+    """
+    counters = snapshot.get("counters", {})
+    rates: Dict[str, float] = {}
+    hits = counters.get("lut.cache.hit", 0)
+    misses = counters.get("lut.cache.miss", 0)
+    if hits + misses:
+        rates["lut_cache_hit_rate"] = hits / (hits + misses)
+    saturated = counters.get("fx.saturate.events", 0)
+    checked = counters.get("fx.overflow.checked", 0)
+    if checked:
+        rates["saturation_rate"] = saturated / checked
+    return rates
+
+
+def _histogram_rows(hist: Dict[str, int], top: int) -> List[List[object]]:
+    items = sorted(hist.items(), key=lambda kv: (-kv[1], int(kv[0])))[:top]
+    total = sum(hist.values())
+    return [
+        [bucket, occurrences, f"{100.0 * occurrences / total:.1f}%"]
+        for bucket, occurrences in items
+    ]
+
+
+def render_snapshot(snapshot: dict, top: int = 8) -> str:
+    """The full human-readable report for one (possibly merged) snapshot."""
+    sections: List[str] = []
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.append(render_table(
+            "counters", ["counter", "value"],
+            [[name, value] for name, value in sorted(counters.items())],
+        ))
+
+    rates = derived_rates(snapshot)
+    if rates:
+        sections.append(render_table(
+            "derived rates", ["rate", "value"],
+            [[name, f"{value:.4f}"] for name, value in sorted(rates.items())],
+        ))
+
+    cycles = snapshot.get("cycles", {})
+    if cycles:
+        hw_ns = snapshot.get("hw_ns", {})
+        rows = [
+            [mode, cycles[mode],
+             f"{hw_ns[mode]:.1f}" if mode in hw_ns else "-"]
+            for mode in sorted(cycles)
+        ]
+        sections.append(render_table(
+            "paper-model cycles", ["mode", "cycles", "hw_ns"], rows))
+
+    timers = snapshot.get("timers", {})
+    if timers:
+        rows = [
+            [name, timer["count"], f"{timer['total_ns'] / 1e6:.3f}",
+             f"{timer['total_ns'] / max(timer['count'], 1) / 1e3:.1f}"]
+            for name, timer in sorted(timers.items())
+        ]
+        sections.append(render_table(
+            "wall-clock spans", ["span", "count", "total_ms", "mean_us"], rows))
+
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        sections.append(render_table(
+            f"histogram: {name} (top {top})",
+            ["bucket", "count", "share"],
+            _histogram_rows(histograms[name], top),
+        ))
+
+    errors = snapshot.get("errors", {})
+    if errors:
+        rows = [
+            [name, entry["n"], f"{entry['rmse']:.3e}",
+             f"{entry['max_abs']:.3e}"]
+            for name, entry in sorted(errors.items())
+        ]
+        sections.append(render_table(
+            "fixed-point vs float error", ["layer", "n", "rmse", "max_abs"],
+            rows))
+
+    if not sections:
+        return "(snapshot holds no telemetry)"
+    return "\n\n".join(sections)

@@ -88,6 +88,106 @@ class TestApplyOverflow:
         assert fmt.raw_min <= wrapped <= fmt.raw_max
 
 
+class TestOverflowBoundaries:
+    """Exact boundary raws, one past them, 0-d scalars and batches."""
+
+    FMT = QFormat(1, 2)  # raw in [-8, 7]
+
+    @pytest.mark.parametrize("mode", list(Overflow))
+    def test_exact_bounds_pass_unchanged(self, mode):
+        bounds = np.array([self.FMT.raw_min, self.FMT.raw_max])
+        out = apply_overflow(bounds, self.FMT, mode)
+        np.testing.assert_array_equal(out, bounds)
+
+    def test_one_past_each_bound_saturates(self):
+        out = apply_overflow(
+            np.array([self.FMT.raw_min - 1, self.FMT.raw_max + 1]),
+            self.FMT, Overflow.SATURATE,
+        )
+        assert out.tolist() == [self.FMT.raw_min, self.FMT.raw_max]
+
+    def test_one_past_each_bound_wraps_to_other_end(self):
+        out = apply_overflow(
+            np.array([self.FMT.raw_min - 1, self.FMT.raw_max + 1]),
+            self.FMT, Overflow.WRAP,
+        )
+        assert out.tolist() == [self.FMT.raw_max, self.FMT.raw_min]
+
+    @pytest.mark.parametrize("bad", [FMT.raw_min - 1, FMT.raw_max + 1])
+    def test_one_past_each_bound_errors(self, bad):
+        with pytest.raises(RangeError):
+            apply_overflow(np.array([bad]), self.FMT, Overflow.ERROR)
+
+    def test_error_message_reports_raw_range(self):
+        with pytest.raises(RangeError, match=r"\[-100, 100\]"):
+            apply_overflow(np.array([-100, 0, 100]), self.FMT, Overflow.ERROR)
+
+    @pytest.mark.parametrize("mode", list(Overflow))
+    def test_zero_dimensional_in_range(self, mode):
+        out = apply_overflow(np.int64(3), self.FMT, mode)
+        assert out.ndim == 0
+        assert int(out) == 3
+
+    def test_zero_dimensional_out_of_range(self):
+        assert int(apply_overflow(np.int64(100), self.FMT, Overflow.SATURATE)) == 7
+        assert int(apply_overflow(np.int64(8), self.FMT, Overflow.WRAP)) == -8
+        with pytest.raises(RangeError):
+            apply_overflow(np.int64(8), self.FMT, Overflow.ERROR)
+
+    def test_batched_2d_mixed(self):
+        raws = np.array([[-9, -8, 0], [7, 8, 100]])
+        sat = apply_overflow(raws, self.FMT, Overflow.SATURATE)
+        assert sat.tolist() == [[-8, -8, 0], [7, 7, 7]]
+        wrap = apply_overflow(raws, self.FMT, Overflow.WRAP)
+        assert wrap.tolist() == [[7, -8, 0], [7, -8, 4]]
+        with pytest.raises(RangeError):
+            apply_overflow(raws, self.FMT, Overflow.ERROR)
+
+
+class TestOverflowTelemetry:
+    """apply_overflow folds events and clipped magnitude into a collector."""
+
+    def test_saturate_events_and_magnitude(self):
+        from repro.telemetry import Collector, use_collector
+
+        fmt = QFormat(1, 2)
+        tel = Collector()
+        with use_collector(tel):
+            apply_overflow(np.array([-10, -8, 0, 7, 9]), fmt, Overflow.SATURATE)
+        assert tel.counters["fx.overflow.checked"] == 5
+        assert tel.counters["fx.saturate.events"] == 2
+        assert tel.counters["fx.saturate.magnitude"] == 2 + 2  # -10 and 9
+
+    def test_wrap_events_counted_separately(self):
+        from repro.telemetry import Collector, use_collector
+
+        fmt = QFormat(1, 2)
+        tel = Collector()
+        with use_collector(tel):
+            apply_overflow(np.array([8, -9, 3]), fmt, Overflow.WRAP)
+        assert tel.counters["fx.wrap.events"] == 2
+        assert tel.counters["fx.wrap.magnitude"] == 2
+        assert "fx.saturate.events" not in tel.counters
+
+    def test_in_range_counts_checked_only(self):
+        from repro.telemetry import Collector, use_collector
+
+        tel = Collector()
+        with use_collector(tel):
+            apply_overflow(np.array([0, 1]), QFormat(1, 2), Overflow.SATURATE)
+        assert tel.counters == {"fx.overflow.checked": 2}
+
+    def test_error_mode_stays_uninstrumented(self):
+        # The ERROR policy is a test/debug construct; it raises rather
+        # than clips, so it must not show up as datapath overflow traffic.
+        from repro.telemetry import Collector, use_collector
+
+        tel = Collector()
+        with use_collector(tel):
+            apply_overflow(np.array([0]), QFormat(1, 2), Overflow.ERROR)
+        assert tel.counters == {}
+
+
 class TestQuantizeFloat:
     def test_exact_values_pass_through(self):
         fmt = QFormat(4, 11)

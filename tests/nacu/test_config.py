@@ -73,7 +73,16 @@ class TestLatency:
         config = NacuConfig()
         assert config.latency(FunctionMode.SIGMOID) == 3
         assert config.latency(FunctionMode.TANH) == 3
-        assert config.latency(FunctionMode.EXP) == 8
+        # e^x latency is the full structural pipeline fill: 3 (sigma) +
+        # 18 (divider) + 1 (decrementor) + 2 (I/O) — Section VII.C's 90 ns.
+        assert config.latency(FunctionMode.EXP) == 24
+
+    def test_exp_latency_follows_divider_depth(self):
+        # A shallower divider pipeline shortens the exponential fill.
+        assert NacuConfig(divider_stages=10).latency(FunctionMode.EXP) == 16
+        approx = NacuConfig(use_approx_divider=True,
+                            approx_divider_iterations=1)
+        assert approx.latency(FunctionMode.EXP) == 3 + 3 + 1 + 2
 
     def test_softmax_latency_needs_length(self):
         with pytest.raises(ConfigError):

@@ -34,6 +34,15 @@ class TestStructure:
         pipe = rtl.exponential_pipeline()
         assert pipe.depth == unit.datapath.exp_pipeline_fill == 24
 
+    def test_behavioural_latency_agrees_with_structural_depth(self, rtl, unit):
+        # The behavioural latency model and the structural stage counts
+        # must tell the same story for every pipelined mode: 3 stages for
+        # sigma/tanh, the full 24-stage fill for e^x (Section VII.C).
+        for mode in (FunctionMode.SIGMOID, FunctionMode.TANH):
+            assert rtl.activation_pipeline(mode).depth == unit.latency(mode)
+        assert rtl.exponential_pipeline().depth == unit.latency(FunctionMode.EXP)
+        assert unit.latency(FunctionMode.EXP) == unit.datapath.exp_pipeline_fill
+
     def test_divider_stage_names(self, rtl):
         names = rtl.exponential_pipeline().names
         assert names.count("div_prepare") == 1

@@ -1,0 +1,231 @@
+"""Unit tests for the telemetry collector, registry and report renderer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Collector,
+    disable,
+    enable,
+    get_collector,
+    merge_snapshots,
+    probe_layer_error,
+    resolve,
+    set_collector,
+    use_collector,
+)
+from repro.telemetry.report import derived_rates, render_snapshot, render_table
+
+
+@pytest.fixture(autouse=True)
+def registry_off():
+    # Every test starts and ends with the registry disabled, whatever it does.
+    previous = set_collector(None)
+    yield
+    set_collector(previous)
+
+
+class TestCounters:
+    def test_count_defaults_to_one(self):
+        tel = Collector()
+        tel.count("a")
+        tel.count("a")
+        assert tel.counters["a"] == 2
+
+    def test_count_adds_n(self):
+        tel = Collector()
+        tel.count("a", 5)
+        tel.count("a", np.int64(3))
+        assert tel.counters["a"] == 8
+
+
+class TestHistograms:
+    def test_scalar_observation(self):
+        tel = Collector()
+        tel.observe("h", 4)
+        tel.observe("h", 4)
+        tel.observe("h", -1)
+        assert tel.histograms["h"] == {4: 2, -1: 1}
+
+    def test_array_observation_folds_by_unique(self):
+        tel = Collector()
+        tel.observe("h", np.array([0, 1, 1, 2, 2, 2]))
+        assert tel.histograms["h"] == {0: 1, 1: 2, 2: 3}
+
+
+class TestTimers:
+    def test_span_records_count_and_nanoseconds(self):
+        tel = Collector()
+        with tel.span("work"):
+            pass
+        with tel.span("work"):
+            pass
+        timer = tel.timers["work"]
+        assert timer["count"] == 2
+        assert timer["total_ns"] >= 0
+
+    def test_observe_span_direct(self):
+        tel = Collector()
+        tel.observe_span("s", 100)
+        tel.observe_span("s", 150)
+        assert tel.timers["s"] == {"count": 2, "total_ns": 250}
+
+
+class TestCycles:
+    def test_cycles_accumulate(self):
+        tel = Collector()
+        tel.add_cycles("sigmoid", 3)
+        tel.add_cycles("sigmoid", 7)
+        assert tel.cycles["sigmoid"] == 10
+        assert "sigmoid" not in tel.hw_ns
+
+    def test_clock_converts_to_hardware_time(self):
+        tel = Collector()
+        tel.add_cycles("exp", 24, clock_ns=3.75)
+        assert tel.hw_ns["exp"] == pytest.approx(90.0)
+
+
+class TestErrors:
+    def test_running_rmse_and_max(self):
+        tel = Collector()
+        tel.record_error("layer", [1.0, 2.0], [1.0, 1.0])
+        tel.record_error("layer", [0.0], [3.0])
+        entry = tel.snapshot()["errors"]["layer"]
+        assert entry["n"] == 3
+        assert entry["rmse"] == pytest.approx(np.sqrt((0 + 1 + 9) / 3))
+        assert entry["max_abs"] == pytest.approx(3.0)
+
+    def test_probe_accepts_callable_reference(self):
+        tel = Collector()
+        probe_layer_error(
+            "act", np.array([0.5, 0.5]), lambda: np.array([0.25, 0.75]),
+            collector=tel,
+        )
+        assert tel.snapshot()["errors"]["nn.act"]["max_abs"] == pytest.approx(0.25)
+
+    def test_probe_is_noop_without_collector(self):
+        probe_layer_error("act", [1.0], [0.0])  # registry off: must not raise
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serialisable(self):
+        tel = Collector()
+        tel.count("c", 2)
+        tel.observe("h", np.array([1, 1, 5]))
+        tel.observe_span("t", 42)
+        tel.add_cycles("softmax", 65, clock_ns=3.75)
+        tel.record_error("e", [1.0], [0.5])
+        parsed = json.loads(tel.to_json())
+        assert parsed == tel.snapshot()
+        assert parsed["counters"]["c"] == 2
+        assert parsed["histograms"]["h"] == {"1": 2, "5": 1}
+
+    def test_reset_clears_everything(self):
+        tel = Collector()
+        tel.count("c")
+        tel.observe("h", 1)
+        tel.add_cycles("m", 3, clock_ns=1.0)
+        tel.record_error("e", [1.0], [0.0])
+        tel.reset()
+        snap = tel.snapshot()
+        assert all(not section for section in snap.values())
+
+
+class TestRegistry:
+    def test_disabled_by_default_in_tests(self):
+        assert get_collector() is None
+        assert resolve() is None
+
+    def test_enable_installs_and_disable_returns(self):
+        tel = enable()
+        assert get_collector() is tel
+        assert enable() is tel  # idempotent: keeps the active collector
+        assert disable() is tel
+        assert get_collector() is None
+
+    def test_resolve_prefers_injection_over_registry(self):
+        registry, injected = Collector(), Collector()
+        with use_collector(registry):
+            assert resolve() is registry
+            assert resolve(injected) is injected
+
+    def test_use_collector_restores_previous(self):
+        outer = enable()
+        inner = Collector()
+        with use_collector(inner):
+            assert get_collector() is inner
+        assert get_collector() is outer
+
+
+class TestMergeSnapshots:
+    def test_counters_histograms_timers_cycles_sum(self):
+        a, b = Collector(), Collector()
+        a.count("c", 1)
+        b.count("c", 2)
+        a.observe("h", 3)
+        b.observe("h", 3)
+        a.observe_span("t", 10)
+        b.observe_span("t", 30)
+        a.add_cycles("m", 5, clock_ns=2.0)
+        b.add_cycles("m", 5, clock_ns=2.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["c"] == 3
+        assert merged["histograms"]["h"] == {"3": 2}
+        assert merged["timers"]["t"] == {"count": 2, "total_ns": 40}
+        assert merged["cycles"]["m"] == 10
+        assert merged["hw_ns"]["m"] == pytest.approx(20.0)
+
+    def test_error_merge_matches_single_collector(self):
+        # Two collectors each seeing half the traffic must merge to the
+        # stats one collector seeing everything would report.
+        one, left, right = Collector(), Collector(), Collector()
+        va, ra = np.array([1.0, 2.0, 3.0]), np.array([1.1, 1.9, 3.4])
+        vb, rb = np.array([0.0, -1.0]), np.array([0.5, -1.0])
+        one.record_error("e", np.concatenate([va, vb]), np.concatenate([ra, rb]))
+        left.record_error("e", va, ra)
+        right.record_error("e", vb, rb)
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        expected = one.snapshot()["errors"]["e"]
+        assert merged["errors"]["e"]["n"] == expected["n"]
+        assert merged["errors"]["e"]["rmse"] == pytest.approx(expected["rmse"])
+        assert merged["errors"]["e"]["max_abs"] == pytest.approx(expected["max_abs"])
+
+
+class TestReport:
+    def test_render_table_aligns_columns(self):
+        out = render_table("things", ["name", "n"], [["a", 1], ["bb", 22]])
+        assert out.startswith("== things ==")
+        assert "bb" in out
+
+    def test_derived_rates(self):
+        snap = {
+            "counters": {
+                "lut.cache.hit": 3,
+                "lut.cache.miss": 1,
+                "fx.overflow.checked": 200,
+                "fx.saturate.events": 10,
+            }
+        }
+        rates = derived_rates(snap)
+        assert rates["lut_cache_hit_rate"] == pytest.approx(0.75)
+        assert rates["saturation_rate"] == pytest.approx(0.05)
+
+    def test_render_snapshot_has_all_sections(self):
+        tel = Collector()
+        tel.count("lut.cache.miss")
+        tel.count("fx.overflow.checked", 10)
+        tel.observe("nacu.lut.segment", np.array([0, 0, 3]))
+        tel.observe_span("engine.softmax", 1000)
+        tel.add_cycles("softmax", 65, clock_ns=3.75)
+        tel.record_error("nn.mlp.softmax", [0.5], [0.25])
+        report = render_snapshot(tel.snapshot())
+        for banner in ("== counters ==", "== derived rates ==",
+                       "== paper-model cycles ==", "== wall-clock spans ==",
+                       "== histogram: nacu.lut.segment",
+                       "== fixed-point vs float error =="):
+            assert banner in report
+
+    def test_empty_snapshot_renders_placeholder(self):
+        assert "no telemetry" in render_snapshot(Collector().snapshot())

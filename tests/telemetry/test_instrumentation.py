@@ -1,0 +1,190 @@
+"""Acceptance tests: the instrumented datapath emits what ISSUE 2 pins.
+
+The headline criterion: with telemetry enabled, a JSON snapshot taken
+after one ``BatchEngine.softmax`` batch reports op counts, saturation
+events, the LUT cache hit rate and paper-model cycles consistent with
+``Nacu.cycles`` — each pinned here against hand-computed values.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEngine
+from repro.fixedpoint import FxArray
+from repro.nacu import FunctionMode, Nacu, NacuConfig
+from repro.nacu.lutgen import clear_lut_cache
+from repro.telemetry import Collector, set_collector, use_collector
+from repro.telemetry.report import derived_rates, render_snapshot
+
+
+@pytest.fixture(autouse=True)
+def registry_off():
+    previous = set_collector(None)
+    yield
+    set_collector(previous)
+
+
+@pytest.fixture()
+def softmax_snapshot():
+    """One instrumented BatchEngine.softmax batch, cold LUT cache."""
+    tel = Collector()
+    clear_lut_cache()
+    with use_collector(tel):
+        engine = BatchEngine.for_bits(16)          # builds the LUT: one miss
+        BatchEngine.for_bits(16)                   # shares it: one hit
+        x = np.array([[10.0, -10.0, 0.5, 1.0],     # spread row: the x - max
+                      [0.0, 1.0, 2.0, 3.0]])       # shift saturates at -16
+        probs = engine.softmax(x)
+    clear_lut_cache()  # leave no LUT built under a dead collector behind
+    return engine, x, probs, json.loads(tel.to_json())
+
+
+class TestSoftmaxBatchAcceptance:
+    def test_output_still_correct(self, softmax_snapshot):
+        _, _, probs, _ = softmax_snapshot
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=0.01)
+
+    def test_op_counts(self, softmax_snapshot):
+        _, x, _, snap = softmax_snapshot
+        counters = snap["counters"]
+        assert counters["nacu.op.softmax"] == x.size
+        assert counters["nacu.op.exp"] == x.size
+        # e^x runs through sigma(-x): the softmax batch implies one sigmoid
+        # evaluation per element on the shared datapath.
+        assert counters["nacu.op.sigmoid"] == x.size
+        assert counters["engine.softmax.batches"] == 1
+        assert counters["engine.softmax.elements"] == x.size
+        assert counters["mac.fold.elements"] == x.size
+        assert counters["mac.fold.steps"] == x.shape[-1]
+
+    def test_saturation_events(self, softmax_snapshot):
+        _, _, _, snap = softmax_snapshot
+        counters = snap["counters"]
+        # The [10, -10, ...] row shifts to -20 < -16 = the Q4.11 lower
+        # bound, so the max-normalisation must have clipped at least once.
+        assert counters["fx.saturate.events"] >= 1
+        assert counters["fx.saturate.magnitude"] >= counters["fx.saturate.events"]
+        assert counters["fx.overflow.checked"] > 0
+        assert derived_rates(snap)["saturation_rate"] > 0
+
+    def test_lut_cache_hit_rate(self, softmax_snapshot):
+        _, _, _, snap = softmax_snapshot
+        assert snap["counters"]["lut.cache.miss"] == 1
+        assert snap["counters"]["lut.cache.hit"] == 1
+        assert derived_rates(snap)["lut_cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_paper_cycles_consistent_with_nacu_cycles(self, softmax_snapshot):
+        engine, x, _, snap = softmax_snapshot
+        rows, cols = x.shape
+        expected = rows * engine.nacu.cycles(FunctionMode.SOFTMAX, cols)
+        assert snap["cycles"]["softmax"] == expected
+        assert snap["hw_ns"]["softmax"] == pytest.approx(
+            expected * engine.nacu.config.clock_ns
+        )
+
+    def test_histograms_and_spans(self, softmax_snapshot):
+        _, x, _, snap = softmax_snapshot
+        assert snap["histograms"]["nacu.softmax.rowlen"] == {str(x.shape[-1]): 1}
+        assert snap["histograms"]["engine.softmax.batch_rank"] == {"2": 1}
+        assert sum(snap["histograms"]["nacu.lut.segment"].values()) == x.size
+        assert snap["timers"]["engine.softmax"]["count"] == 1
+        assert snap["timers"]["engine.softmax"]["total_ns"] > 0
+
+    def test_snapshot_renders(self, softmax_snapshot):
+        _, _, _, snap = softmax_snapshot
+        report = render_snapshot(snap)
+        assert "== paper-model cycles ==" in report
+        assert "lut_cache_hit_rate" in report
+
+
+class TestInjectedCollectors:
+    """The ``collector=`` injection point works with the registry off."""
+
+    def test_nacu_ops_and_cycles_via_injection(self):
+        tel = Collector()
+        unit = Nacu(collector=tel)
+        unit.sigmoid(np.linspace(-4, 4, 11))
+        assert tel.counters["nacu.op.sigmoid"] == 11
+        assert tel.cycles["sigmoid"] == unit.cycles(FunctionMode.SIGMOID, 11)
+
+    def test_mac_counts_operands(self):
+        tel = Collector()
+        unit = Nacu(collector=tel)
+        unit.mac_reset()
+        unit.mac(np.array([0.5, 0.25]), np.array([1.0, 1.0]))
+        assert tel.counters["nacu.op.mac"] == 2
+        assert tel.cycles["mac"] == unit.cycles(FunctionMode.MAC, 2)
+
+    def test_engine_injection_is_isolated(self):
+        mine, other = Collector(), Collector()
+        engine = BatchEngine(config=NacuConfig(), collector=mine)
+        with use_collector(other):
+            engine.sigmoid(np.zeros(5))
+        # Batch stats go to the injected collector, not the registry one.
+        assert mine.counters["engine.sigmoid.batches"] == 1
+        assert "engine.sigmoid.batches" not in other.counters
+
+    def test_approx_divider_norm_shift_histogram(self):
+        tel = Collector()
+        unit = Nacu(NacuConfig(use_approx_divider=True), collector=tel)
+        unit.softmax(np.array([0.0, 1.0, 2.0, 3.0]))
+        # One reciprocal per element on the exp pass, plus one inside each
+        # of the 4 reciprocal-multiply divides of the probability pass.
+        assert tel.counters["divider.approx.reciprocals"] == 8
+        assert tel.counters["divider.approx.divides"] == 4
+        assert sum(tel.histograms["divider.norm_shift"].values()) >= 1
+
+    def test_disabled_paths_emit_nothing(self):
+        tel = Collector()
+        engine = BatchEngine.for_bits(16)
+        engine.softmax(np.array([[1.0, 2.0], [3.0, 4.0]]))  # registry off
+        assert tel.snapshot()["counters"] == {}
+        assert engine.collector is None
+
+
+class TestNnErrorTracking:
+    def test_mlp_per_layer_errors(self):
+        from repro.nn import FixedPointMlp, Mlp
+
+        tel = Collector()
+        mlp = Mlp([6, 8, 3], hidden="sigmoid", seed=3)
+        engine = BatchEngine.for_bits(16)
+        fixed = FixedPointMlp(mlp, engine)
+        x = np.random.default_rng(0).normal(size=(5, 6))
+        with use_collector(tel):
+            fixed.forward(x)
+        errors = tel.snapshot()["errors"]
+        assert errors["nn.mlp.layer0.sigmoid"]["n"] == 5 * 8
+        assert errors["nn.mlp.softmax"]["n"] == 5 * 3
+        # Quantised activations track the float64 reference to LSB scale.
+        assert errors["nn.mlp.layer0.sigmoid"]["rmse"] < 0.01
+        assert errors["nn.mlp.softmax"]["max_abs"] < 0.05
+
+    def test_lstm_gate_errors(self):
+        from repro.nn import LstmCell, NacuActivations
+
+        tel = Collector()
+        cell = LstmCell(n_inputs=4, n_hidden=3, seed=1)
+        provider = NacuActivations(Nacu.for_bits(16))
+        x = np.random.default_rng(1).normal(size=(2, 4))
+        with use_collector(tel):
+            cell.step(x, cell.initial_state(2), provider)
+        errors = tel.snapshot()["errors"]
+        assert errors["nn.lstm.gates.sigmoid"]["n"] == 2 * 3 * 3
+        assert errors["nn.lstm.gates.tanh"]["n"] == 2 * 3
+        assert errors["nn.lstm.hidden.tanh"]["rmse"] < 0.01
+
+
+class TestFxPathPurity:
+    def test_instrumentation_does_not_change_bits(self):
+        # Same inputs with and without a collector: identical raw outputs.
+        engine = BatchEngine.for_bits(16)
+        x = FxArray.from_float(
+            np.array([[0.5, -1.0, 2.0], [3.0, 0.0, -2.5]]), engine.io_fmt
+        )
+        plain = engine.softmax_fx(x)
+        with use_collector(Collector()):
+            instrumented = engine.softmax_fx(x)
+        np.testing.assert_array_equal(plain.raw, instrumented.raw)

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "pipeline_trace.py",
     "cnn_bars.py",
     "mlp_classifier.py",
+    "telemetry_tour.py",
 ]
 
 

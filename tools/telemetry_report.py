@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Render telemetry snapshots as a summary report.
+
+Usage::
+
+    PYTHONPATH=src python tools/telemetry_report.py snap.json [more.json ...]
+    PYTHONPATH=src python tools/telemetry_report.py --merge a.json b.json
+
+Each positional argument is a JSON snapshot produced by
+``Collector.to_json()`` (or any dict with the same shape). By default
+every file gets its own report section; ``--merge`` combines them first
+— counters/histograms/timers/cycles sum, per-layer error stats
+recombine exactly — and renders one aggregate report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.telemetry import merge_snapshots, render_snapshot  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshots", nargs="+", type=pathlib.Path,
+                        help="JSON snapshot files from Collector.to_json()")
+    parser.add_argument("--merge", action="store_true",
+                        help="combine all snapshots into one report")
+    parser.add_argument("--top", type=int, default=8,
+                        help="histogram buckets to show (default 8)")
+    args = parser.parse_args(argv)
+
+    loaded = []
+    for path in args.snapshots:
+        try:
+            loaded.append((path, json.loads(path.read_text())))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read snapshot {path}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.merge or len(loaded) == 1:
+        if len(loaded) == 1 and not args.merge:
+            merged = loaded[0][1]
+        else:
+            merged = merge_snapshots(snap for _, snap in loaded)
+        print(render_snapshot(merged, top=args.top))
+        return 0
+
+    for index, (path, snap) in enumerate(loaded):
+        if index:
+            print()
+        print(f"#### {path}")
+        print(render_snapshot(snap, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
