@@ -4,7 +4,10 @@ from repro.experiments import cost_scaling
 
 
 def test_cost_scaling(once, record_result):
-    result = once(cost_scaling.run, (10, 12, 16, 20))
+    # 24 bits included: its divider shift-width check used to overcount
+    # and reject the configuration; the driver's full default range now
+    # runs end to end.
+    result = once(cost_scaling.run, (10, 12, 16, 20, 24))
     record_result(result)
     rows = result.rows
     areas = [r["area_um2"] for r in rows]

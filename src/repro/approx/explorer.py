@@ -62,11 +62,12 @@ def _measure(approx, f, x_hi: float, frac_bits: int) -> float:
     return float(np.max(np.abs(approx.eval(probe) - np.asarray(f(probe)))))
 
 
-def _build_for_accuracy(method: str, f, x_hi: float, target: float):
+def _build_for_accuracy(method: str, f, x_hi: float, target: float,
+                        monotone: bool = False):
     if method == "LUT":
-        return UniformLUT.for_accuracy(f, 0.0, x_hi, target)
+        return UniformLUT.for_accuracy(f, 0.0, x_hi, target, monotone=monotone)
     if method == "RALUT":
-        return RangeAddressableLUT(f, 0.0, x_hi, target)
+        return RangeAddressableLUT(f, 0.0, x_hi, target, monotone=monotone)
     if method == "PWL":
         return UniformPWL.for_accuracy(f, 0.0, x_hi, target)
     if method == "NUPWL":
@@ -74,11 +75,14 @@ def _build_for_accuracy(method: str, f, x_hi: float, target: float):
     raise ConfigError(f"unknown exploration method {method!r}; use one of {METHODS}")
 
 
-def _build_for_entries(method: str, f, x_hi: float, n_entries: int):
+def _build_for_entries(method: str, f, x_hi: float, n_entries: int,
+                       monotone: bool = False):
     if method == "LUT":
-        return UniformLUT(f, 0.0, x_hi, n_entries)
+        return UniformLUT(f, 0.0, x_hi, n_entries, monotone=monotone)
     if method == "RALUT":
-        return RangeAddressableLUT.for_entries(f, 0.0, x_hi, n_entries)
+        return RangeAddressableLUT.for_entries(
+            f, 0.0, x_hi, n_entries, monotone=monotone
+        )
     if method == "PWL":
         return UniformPWL(f, 0.0, x_hi, n_entries)
     if method == "NUPWL":
@@ -92,12 +96,13 @@ def entries_for_accuracy(
     f: Optional[Callable] = None,
 ) -> DesignPoint:
     """Fig. 4a point: minimal entries reaching one-LSB accuracy."""
+    monotone = f is None  # the default sigmoid is monotone on [0, x_hi]
     f = f or sigmoid
     x_hi = sigmoid_saturation_domain(frac_bits)
     # Greedy schemes overshoot slightly at segment joints; aim a little
     # below one LSB so the *measured* error (incl. the tail) meets it.
     target = 2.0 ** -frac_bits * 0.95
-    approx = _build_for_accuracy(method, f, x_hi, target)
+    approx = _build_for_accuracy(method, f, x_hi, target, monotone=monotone)
     return DesignPoint(method, frac_bits, approx.n_entries, _measure(approx, f, x_hi, frac_bits))
 
 
@@ -108,9 +113,10 @@ def error_for_entries(
     f: Optional[Callable] = None,
 ) -> DesignPoint:
     """Fig. 4b point: best max error achievable with a given entry count."""
+    monotone = f is None  # the default sigmoid is monotone on [0, x_hi]
     f = f or sigmoid
     x_hi = sigmoid_saturation_domain(frac_bits)
-    approx = _build_for_entries(method, f, x_hi, n_entries)
+    approx = _build_for_entries(method, f, x_hi, n_entries, monotone=monotone)
     return DesignPoint(method, frac_bits, approx.n_entries, _measure(approx, f, x_hi, frac_bits))
 
 

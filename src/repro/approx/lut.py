@@ -40,16 +40,28 @@ class UniformLUT(Approximator):
         x_hi: float,
         n_entries: int,
         out_fmt: Optional[QFormat] = None,
+        monotone: bool = False,
     ):
         if n_entries < 1:
             raise ConfigError("a LUT needs at least one entry")
         self.f = f
         self.out_fmt = out_fmt
         edges = np.linspace(x_lo, x_hi, n_entries + 1)
-        segments = []
-        for lo, hi in zip(edges[:-1], edges[1:]):
-            const, _ = fit_constant(f, float(lo), float(hi), _FIT_SAMPLES)
-            segments.append(Segment(float(lo), float(hi), 0.0, const))
+        if monotone:
+            # Monotone f: every per-segment grid min/max sits on the
+            # segment edges, so all minimax constants come from one
+            # vectorised evaluation — bit-identical to the fit loop.
+            y = np.asarray(f(edges), dtype=np.float64)
+            constants = (np.minimum(y[:-1], y[1:]) + np.maximum(y[:-1], y[1:])) / 2.0
+            segments = [
+                Segment(float(lo), float(hi), 0.0, float(const))
+                for lo, hi, const in zip(edges[:-1], edges[1:], constants)
+            ]
+        else:
+            segments = []
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                const, _ = fit_constant(f, float(lo), float(hi), _FIT_SAMPLES)
+                segments.append(Segment(float(lo), float(hi), 0.0, const))
         self.table = SegmentTable(segments)
         if out_fmt is not None:
             self.table = self.table.quantise_coefficients(None, out_fmt)
@@ -72,6 +84,7 @@ class UniformLUT(Approximator):
         out_fmt: Optional[QFormat] = None,
         reference: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         max_entries: int = 1 << 16,
+        monotone: bool = False,
     ) -> "UniformLUT":
         """Smallest uniform LUT whose max error is below ``target_error``."""
         reference = reference or f
@@ -79,7 +92,7 @@ class UniformLUT(Approximator):
         ref = np.asarray(reference(probe), dtype=np.float64)
 
         def error(n: int) -> float:
-            lut = cls(f, x_lo, x_hi, n, out_fmt)
+            lut = cls(f, x_lo, x_hi, n, out_fmt, monotone=monotone)
             return float(np.max(np.abs(lut.eval(probe) - ref)))
 
         n = 1
@@ -97,4 +110,4 @@ class UniformLUT(Approximator):
                 hi = mid
             else:
                 lo = mid
-        return cls(f, x_lo, x_hi, hi, out_fmt)
+        return cls(f, x_lo, x_hi, hi, out_fmt, monotone=monotone)

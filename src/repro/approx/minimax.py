@@ -51,6 +51,24 @@ def fit_constant(
     return (lo + hi) / 2.0, (hi - lo) / 2.0
 
 
+def fit_constant_monotone(
+    f: Callable[[np.ndarray], np.ndarray],
+    x_lo: float,
+    x_hi: float,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> Tuple[float, float]:
+    """:func:`fit_constant` for a monotone ``f`` — endpoint evaluation only.
+
+    On a monotone interval the sample grid's min and max are the endpoint
+    values, and :func:`sample_interval` includes both endpoints exactly, so
+    this returns bit-identical ``(constant, max_error)`` to the grid fit
+    while evaluating ``f`` at two points instead of ``n_samples``.
+    """
+    y = np.asarray(f(np.array([x_lo, x_hi])), dtype=np.float64)
+    lo, hi = float(np.min(y)), float(np.max(y))
+    return (lo + hi) / 2.0, (hi - lo) / 2.0
+
+
 def _best_intercept(x: np.ndarray, y: np.ndarray, slope: float) -> Tuple[float, float]:
     """Optimal intercept (and max residual) for a fixed slope."""
     residual = y - slope * x
@@ -81,13 +99,19 @@ def fit_linear(
     # optimum *is* the secant, for general f it stays nearby.
     span = max(abs(secant), 1.0)
     lo_m, hi_m = secant - 2.0 * span, secant + 2.0 * span
+    ms = np.empty((2, 1))
     for _ in range(56):
-        m1 = lo_m + (hi_m - lo_m) / 3.0
-        m2 = hi_m - (hi_m - lo_m) / 3.0
-        if _best_intercept(x, y, m1)[1] <= _best_intercept(x, y, m2)[1]:
-            hi_m = m2
+        ms[0, 0] = lo_m + (hi_m - lo_m) / 3.0
+        ms[1, 0] = hi_m - (hi_m - lo_m) / 3.0
+        # Both candidate slopes in one broadcast: each row is elementwise
+        # y - m * x, so the residual extrema (and the <= decision) are
+        # bit-identical to two scalar _best_intercept calls.
+        r = y - ms * x
+        e = (np.max(r, axis=1) - np.min(r, axis=1)) / 2.0
+        if e[0] <= e[1]:
+            hi_m = ms[1, 0]
         else:
-            lo_m = m1
+            lo_m = ms[0, 0]
     slope = (lo_m + hi_m) / 2.0
     intercept, err = _best_intercept(x, y, slope)
     return LinearFit(slope, intercept, err)

@@ -14,7 +14,7 @@ import numpy as np
 from repro.approx.base import Approximator
 from repro.approx.lut import quantise_output
 from repro.approx.minimax import fit_linear
-from repro.approx.ralut import _greedy_segments
+from repro.approx.ralut import SegmentBudgetExceeded, _greedy_segments
 from repro.approx.segments import SegmentTable
 from repro.errors import ConvergenceError
 from repro.fixedpoint import QFormat
@@ -34,11 +34,13 @@ class NonUniformPWL(Approximator):
         slope_fmt: Optional[QFormat] = None,
         intercept_fmt: Optional[QFormat] = None,
         out_fmt: Optional[QFormat] = None,
+        max_segments: int = 1 << 16,
     ):
         self.f = f
         self.out_fmt = out_fmt
         self.target_error = target_error
-        segments = _greedy_segments(f, x_lo, x_hi, target_error, fit=fit_linear)
+        segments = _greedy_segments(f, x_lo, x_hi, target_error, fit=fit_linear,
+                                    max_segments=max_segments)
         self.table = SegmentTable(segments).quantise_coefficients(
             slope_fmt, intercept_fmt
         )
@@ -67,7 +69,14 @@ class NonUniformPWL(Approximator):
         best = None
         for _ in range(25):
             mid = (lo_err * hi_err) ** 0.5
-            nupwl = cls(f, x_lo, x_hi, mid, **formats)
+            try:
+                # Abort over-budget targets at n_entries + 1 segments; the
+                # accept/reject decisions match building the full table.
+                nupwl = cls(f, x_lo, x_hi, mid, max_segments=n_entries,
+                            **formats)
+            except SegmentBudgetExceeded:
+                lo_err = mid
+                continue
             if nupwl.n_entries <= n_entries:
                 best = nupwl
                 hi_err = mid

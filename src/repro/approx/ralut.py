@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.approx.base import Approximator
 from repro.approx.lut import quantise_output
-from repro.approx.minimax import fit_constant
+from repro.approx.minimax import fit_constant, fit_constant_monotone
 from repro.approx.segments import Segment, SegmentTable
 from repro.errors import ConvergenceError
 from repro.fixedpoint import QFormat
@@ -27,49 +27,82 @@ def _error_of(fitted) -> float:
     return fitted[1] if isinstance(fitted, tuple) else fitted.max_error
 
 
+class SegmentBudgetExceeded(ConvergenceError):
+    """Greedy segmentation passed its segment budget (caller may retry)."""
+
+
 def _greedy_segments(
     f: Callable[[np.ndarray], np.ndarray],
     x_lo: float,
     x_hi: float,
     target_error: float,
     fit=fit_constant,
+    monotone: bool = False,
+    max_segments: int = 1 << 16,
 ) -> list:
     """Greedily grow maximal segments whose fit error stays under target.
 
     For each segment start, the end is pushed as far as possible with an
     exponential probe followed by bisection; the fit-error-vs-width curve
     is monotone for the paper's monotone activation functions.
+
+    ``monotone=True`` declares ``f`` monotone on the domain, switching the
+    constant fits to endpoint-only evaluation (bit-identical: on a
+    monotone interval the dense grid's min/max are the endpoint values).
+    The probe then caches ``f`` at the fixed segment start, so each
+    candidate end costs one function sample instead of a dense grid —
+    these probe loops are what made cold baseline construction
+    minutes-slow.
+
+    ``max_segments`` aborts with :class:`SegmentBudgetExceeded` as soon as
+    the table grows past the budget; entry-budgeted searches reject
+    over-budget targets without paying for the full (possibly huge) table.
     """
+    monotone_const = monotone and fit is fit_constant
+    if monotone_const:
+        fit = fit_constant_monotone
     segments = []
     lo = x_lo
     min_width = (x_hi - x_lo) * 1e-6
     while lo < x_hi - min_width / 2:
+        if monotone_const:
+            f_lo = float(np.asarray(f(np.array([lo])), dtype=np.float64)[0])
+
+            def err(end, _f_lo=f_lo, _lo=lo):
+                # == _error_of(fit_constant_monotone(f, _lo, end)): the
+                # grid max-min equals |f(end) - f(lo)| for monotone f.
+                f_end = float(np.asarray(f(np.array([end])), dtype=np.float64)[0])
+                return abs(f_end - _f_lo) / 2.0
+        else:
+            def err(end, _lo=lo):
+                return _error_of(fit(f, _lo, end, _FIT_SAMPLES))
+
         # Exponential probe for an upper bracket on the segment end.
         width = min_width
-        while lo + width < x_hi and _error_of(fit(f, lo, lo + width, _FIT_SAMPLES)) <= target_error:
+        while lo + width < x_hi and err(lo + width) <= target_error:
             width *= 2.0
         hi_end = min(lo + width, x_hi)
-        if _error_of(fit(f, lo, hi_end, _FIT_SAMPLES)) <= target_error:
+        if err(hi_end) <= target_error:
             end = hi_end  # reached the domain edge within budget
         else:
             lo_end = lo + width / 2.0
             for _ in range(50):
                 mid = (lo_end + hi_end) / 2.0
-                if _error_of(fit(f, lo, mid, _FIT_SAMPLES)) <= target_error:
+                if err(mid) <= target_error:
                     lo_end = mid
                 else:
                     hi_end = mid
             end = lo_end
         end = max(end, lo + min_width)
         fitted = fit(f, lo, end, _FIT_SAMPLES)
-        if fit is fit_constant:
+        if isinstance(fitted, tuple):  # constant fit: (value, max_error)
             segments.append(Segment(lo, end, 0.0, fitted[0]))
         else:
             segments.append(Segment(lo, end, fitted.slope, fitted.intercept))
         lo = end
-        if len(segments) > 1 << 16:
-            raise ConvergenceError(
-                f"greedy segmentation exceeded {1 << 16} segments for "
+        if len(segments) > max_segments:
+            raise SegmentBudgetExceeded(
+                f"greedy segmentation exceeded {max_segments} segments for "
                 f"target error {target_error:g}"
             )
     # Snap the last edge exactly onto the domain boundary.
@@ -90,11 +123,18 @@ class RangeAddressableLUT(Approximator):
         x_hi: float,
         target_error: float,
         out_fmt: Optional[QFormat] = None,
+        monotone: bool = False,
+        max_segments: int = 1 << 16,
     ):
         self.f = f
         self.out_fmt = out_fmt
         self.target_error = target_error
-        self.table = SegmentTable(_greedy_segments(f, x_lo, x_hi, target_error))
+        self.table = SegmentTable(
+            _greedy_segments(
+                f, x_lo, x_hi, target_error,
+                monotone=monotone, max_segments=max_segments,
+            )
+        )
         if out_fmt is not None:
             self.table = self.table.quantise_coefficients(None, out_fmt)
         self.word_bits = (out_fmt.n_bits if out_fmt else 16) + 16  # data + bound
@@ -114,13 +154,22 @@ class RangeAddressableLUT(Approximator):
         x_hi: float,
         n_entries: int,
         out_fmt: Optional[QFormat] = None,
+        monotone: bool = False,
     ) -> "RangeAddressableLUT":
         """Best RALUT with (at most) ``n_entries`` — bisect the error target."""
         lo_err, hi_err = 1e-9, 1.0
         best = None
         for _ in range(25):
             mid = (lo_err * hi_err) ** 0.5  # geometric bisection
-            ralut = cls(f, x_lo, x_hi, mid, out_fmt)
+            try:
+                # Over-budget targets abort as soon as the table passes
+                # n_entries — same accept/reject decisions as building the
+                # full table, without paying for the rejected ones.
+                ralut = cls(f, x_lo, x_hi, mid, out_fmt, monotone=monotone,
+                            max_segments=n_entries)
+            except SegmentBudgetExceeded:
+                lo_err = mid
+                continue
             if ralut.n_entries <= n_entries:
                 best = ralut
                 hi_err = mid

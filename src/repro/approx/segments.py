@@ -55,6 +55,11 @@ class SegmentTable:
                 )
         self.segments: List[Segment] = list(segments)
         self._edges = np.array([s.x_lo for s in segments] + [segments[-1].x_hi])
+        # Coefficient vectors, materialised once: eval() is called per
+        # batch (and, during table construction, per candidate fit), so
+        # rebuilding these per call would dominate the lookup cost.
+        self._slopes = np.array([s.slope for s in segments])
+        self._intercepts = np.array([s.intercept for s in segments])
 
     @property
     def x_lo(self) -> float:
@@ -83,9 +88,7 @@ class SegmentTable:
         """
         x = np.clip(np.asarray(x, dtype=np.float64), self.x_lo, self.x_hi)
         idx = self.index_of(x)
-        slopes = np.array([s.slope for s in self.segments])[idx]
-        intercepts = np.array([s.intercept for s in self.segments])[idx]
-        return slopes * x + intercepts
+        return self._slopes[idx] * x + self._intercepts[idx]
 
     def quantise_coefficients(
         self,

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.approx.base import Approximator
 from repro.errors import ConfigError
+from repro.telemetry import use_collector
 
 
 @dataclass(frozen=True)
@@ -249,13 +250,28 @@ def get_baseline(name: str) -> BaselineApproximator:
             f"unknown baseline {name!r}; known: {sorted(_FACTORIES)}"
         )
     if name not in _INSTANCES:
-        _INSTANCES[name] = _FACTORIES[name]()
+        # Construction is per-process infrastructure (the instance is
+        # cached and shared); run it telemetry-silent so its fixed-point
+        # ops are not charged to whichever caller happens to arrive
+        # first — shard telemetry must not depend on scheduling.
+        with use_collector(None):
+            _INSTANCES[name] = _FACTORIES[name]()
     return _INSTANCES[name]
 
 
 def iter_baselines(function: Optional[str] = None) -> Iterator[BaselineApproximator]:
-    """Yield the default instances, optionally filtered by target function."""
+    """Yield the default instances, optionally filtered by target function.
+
+    The filter consults the factory's ``function`` attribute *before*
+    instantiating, so asking for one function's baselines never pays the
+    (seconds-long) table construction of the others — this is what keeps
+    per-function experiment shards balanced.
+    """
     for name in sorted(_FACTORIES):
+        factory = _FACTORIES[name]
+        declared = getattr(factory, "function", None)
+        if function is not None and declared is not None and declared != function:
+            continue
         instance = get_baseline(name)
         if function is None or instance.function == function:
             yield instance

@@ -36,7 +36,7 @@ class BasterretxeaRecursiveSigmoid(SymmetricHalfRangeModel):
         for _ in range(depth):
             # One refinement level: split the half of the segments that
             # currently approximate worst.
-            errors = [self._segment_error(s) for s in segments]
+            errors = self._segment_errors(segments)
             threshold = float(np.median(errors))
             refined = []
             for seg, err in zip(segments, errors):
@@ -55,9 +55,19 @@ class BasterretxeaRecursiveSigmoid(SymmetricHalfRangeModel):
         return Segment(lo, hi, fit.slope, fit.intercept)
 
     @staticmethod
-    def _segment_error(seg: Segment) -> float:
-        grid = np.linspace(seg.x_lo, seg.x_hi, 65)
-        return float(np.max(np.abs(sigmoid(grid) - seg.eval(grid))))
+    def _segment_errors(segments) -> np.ndarray:
+        """Max PWL error per segment, all segments in one vectorised pass.
+
+        The per-segment 65-point grids stack into one (n_segments, 65)
+        array; row maxima are the per-segment errors the scalar loop
+        produced one at a time.
+        """
+        lo = np.array([s.x_lo for s in segments])
+        hi = np.array([s.x_hi for s in segments])
+        slope = np.array([s.slope for s in segments])[:, np.newaxis]
+        intercept = np.array([s.intercept for s in segments])[:, np.newaxis]
+        grids = np.linspace(lo, hi, 65, axis=-1)
+        return np.max(np.abs(sigmoid(grids) - (slope * grids + intercept)), axis=-1)
 
     @property
     def n_entries(self) -> int:

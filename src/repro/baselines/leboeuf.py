@@ -29,7 +29,8 @@ class LeboeufRalutTanh(SymmetricHalfRangeModel):
         super().__init__(self.OUT_FMT)
         self.sat_edge = math.atanh(1.0 - self.OUT_FMT.resolution / 2.0)
         self.ralut = RangeAddressableLUT.for_entries(
-            tanh, 0.0, self.sat_edge, n_entries, out_fmt=self.OUT_FMT
+            tanh, 0.0, self.sat_edge, n_entries, out_fmt=self.OUT_FMT,
+            monotone=True,
         )
 
     @property

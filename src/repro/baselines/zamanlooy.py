@@ -39,7 +39,8 @@ class ZamanlooyRalutTanh(SymmetricHalfRangeModel):
         #: Saturation region: 1 - tanh(u) < lsb/2 beyond atanh(1 - lsb/2).
         self.sat_edge = math.atanh(1.0 - lsb / 2.0)
         self.ralut = RangeAddressableLUT.for_entries(
-            tanh, self.pass_edge, self.sat_edge, 14, out_fmt=self.OUT_FMT
+            tanh, self.pass_edge, self.sat_edge, 14, out_fmt=self.OUT_FMT,
+            monotone=True,
         )
 
     @staticmethod

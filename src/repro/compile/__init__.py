@@ -1,0 +1,26 @@
+"""Response-table compilation: the datapath's exact map, gather-evaluated.
+
+See :mod:`repro.compile.table` for why the tables are raw-bit-identical
+to the datapath and :mod:`repro.compile.cache` for how they are keyed,
+bounded and persisted. ``BatchEngine(fast=True)`` is the consumer.
+"""
+
+from repro.compile.cache import (
+    TableCache,
+    default_cache,
+    default_persist_dir,
+    enable_persistence,
+    reset_default_cache,
+)
+from repro.compile.table import TABLE_MODES, ResponseTable, compile_table
+
+__all__ = [
+    "TABLE_MODES",
+    "ResponseTable",
+    "TableCache",
+    "compile_table",
+    "default_cache",
+    "default_persist_dir",
+    "enable_persistence",
+    "reset_default_cache",
+]

@@ -1,0 +1,114 @@
+"""Compiled response tables: the datapath's full input-output map.
+
+Every elementwise NACU mode (sigma, tanh, e^x) is a *pure function of the
+raw input code*: the datapath holds no state between elements and the
+I/O format has at most ``2**N`` codes. Enumerating every code once
+through the bit-accurate datapath therefore captures its exact response,
+and evaluating a batch becomes one integer gather — raw-bit-identical to
+running the datapath, because every table entry *is* a datapath output.
+
+The exponential's domain restriction survives compilation: its table
+covers only the non-positive codes, and the fast path re-raises the same
+:class:`~repro.errors.RangeError` the datapath raises for positive
+inputs before any gather happens.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, RangeError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.datapath import NacuDatapath
+from repro.telemetry.collector import use_collector
+
+#: Elementwise modes a response table can capture. Softmax is excluded as
+#: a whole (its denominator couples elements) but its exponential *stage*
+#: is elementwise and uses the EXP table — see ``BatchEngine.softmax_fx``.
+TABLE_MODES = (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP)
+
+_EXP_DOMAIN_MESSAGE = (
+    "the exponential path is specified for x <= 0; normalise "
+    "inputs by their maximum first (Eq. 13)"
+)
+
+
+@dataclass(frozen=True)
+class ResponseTable:
+    """The exact raw response of one (config, mode) pair.
+
+    ``outputs[code - raw_offset]`` is the raw output the datapath
+    produces for raw input ``code``; ``raw_offset`` is the lowest
+    covered code (``io_fmt.raw_min``, always — the exponential table
+    simply stops at code 0).
+    """
+
+    mode: FunctionMode
+    fingerprint: str
+    fmt: QFormat
+    raw_offset: int
+    outputs: np.ndarray = field(repr=False)
+    compile_ns: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the output array."""
+        return int(self.outputs.nbytes)
+
+    def eval(self, x: FxArray) -> FxArray:
+        """Gather the response for a raw batch — one ``take`` per batch.
+
+        Raises the datapath's :class:`RangeError` for positive inputs to
+        an exponential table; any other input is a valid index because
+        the table covers the format's whole code range and ``x`` was
+        range-validated when it became an :class:`FxArray`.
+        """
+        if self.mode is FunctionMode.EXP and np.any(x.raw > 0):
+            raise RangeError(_EXP_DOMAIN_MESSAGE)
+        raw = self.outputs.take(x.raw - self.raw_offset)
+        return FxArray._wrap(raw, self.fmt)
+
+
+def compile_table(
+    config: NacuConfig,
+    mode: FunctionMode,
+    lut=None,
+) -> ResponseTable:
+    """Enumerate every raw input code through the datapath once.
+
+    ``lut`` lets a caller share an already-built coefficient LUT; the
+    enumeration always runs through a *fresh* datapath with telemetry
+    silenced, so the sweep pollutes neither the caller's op counters nor
+    its cycle ledger — the fast path charges the model's cycles per
+    evaluated batch instead, exactly as the datapath path does.
+    """
+    if mode not in TABLE_MODES:
+        raise ConfigError(
+            f"mode {mode.value!r} is not elementwise-compilable; "
+            f"compilable modes: {[m.value for m in TABLE_MODES]}"
+        )
+    start = time.perf_counter_ns()
+    fmt = config.io_fmt
+    hi = 0 if mode is FunctionMode.EXP else fmt.raw_max
+    codes = np.arange(fmt.raw_min, hi + 1, dtype=np.int64)
+    with use_collector(None):
+        datapath = NacuDatapath(config, lut=lut, collector=None)
+        x = FxArray(codes, fmt)
+        if mode is FunctionMode.EXP:
+            out = datapath.exponential(x)
+        else:
+            out = datapath.activation(x, mode)
+    outputs = np.ascontiguousarray(out.raw)
+    outputs.flags.writeable = False
+    return ResponseTable(
+        mode=mode,
+        fingerprint=config.fingerprint(),
+        fmt=fmt,
+        raw_offset=fmt.raw_min,
+        outputs=outputs,
+        compile_ns=time.perf_counter_ns() - start,
+    )

@@ -25,13 +25,36 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.compile import TABLE_MODES, default_cache
+from repro.compile.table import ResponseTable
 from repro.errors import RangeError
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.lutgen import get_sigmoid_lut
 from repro.nacu.unit import Nacu
 from repro.telemetry import collector as _telemetry
 
 InputLike = Union[FxArray, float, np.ndarray, list]
+
+#: Process-wide default for engines built with ``fast=None`` — the switch
+#: the experiment runner's ``--fast`` flag flips (in every worker) so
+#: drivers that build their own engines pick the compiled-table path up
+#: without threading a flag through each call chain.
+_DEFAULT_FAST = False
+
+
+def set_default_fast(enabled: bool) -> bool:
+    """Set the process default for ``BatchEngine(fast=None)``; returns the
+    previous value. Only engines built *afterwards* see the change."""
+    global _DEFAULT_FAST
+    previous = _DEFAULT_FAST
+    _DEFAULT_FAST = bool(enabled)
+    return previous
+
+
+def get_default_fast() -> bool:
+    """The current process default for ``BatchEngine(fast=None)``."""
+    return _DEFAULT_FAST
 
 
 class BatchEngine:
@@ -46,18 +69,27 @@ class BatchEngine:
 
     def __init__(self, nacu: Optional[Nacu] = None,
                  config: Optional[NacuConfig] = None,
-                 collector=None):
+                 collector=None, fast: Optional[bool] = None,
+                 table_cache=None):
         self.nacu = nacu if nacu is not None else Nacu(config, collector=collector)
         #: Injected telemetry collector; falls back to the wrapped unit's,
         #: then to the module registry in :mod:`repro.telemetry`.
         self.collector = (
             collector if collector is not None else self.nacu.datapath.collector
         )
+        #: Evaluate elementwise modes (and softmax's e^x stage) through
+        #: compiled response tables — raw-bit-identical to the datapath,
+        #: one integer gather per batch (see :mod:`repro.compile`).
+        #: ``None`` defers to the process default (:func:`set_default_fast`).
+        self.fast = get_default_fast() if fast is None else fast
+        #: Table cache override; ``None`` shares the process default.
+        self.table_cache = table_cache
 
     @classmethod
-    def for_bits(cls, n_bits: int, **kwargs) -> "BatchEngine":
+    def for_bits(cls, n_bits: int, fast: Optional[bool] = None,
+                 **kwargs) -> "BatchEngine":
         """An engine over a unit dimensioned for ``n_bits`` (Section III)."""
-        return cls(Nacu.for_bits(n_bits, **kwargs))
+        return cls(Nacu.for_bits(n_bits, **kwargs), fast=fast)
 
     @property
     def io_fmt(self) -> QFormat:
@@ -111,12 +143,37 @@ class BatchEngine:
     # ------------------------------------------------------------------
     # Fixed-point batch paths
     # ------------------------------------------------------------------
+    def _table_for(self, mode: FunctionMode) -> Optional[ResponseTable]:
+        """The compiled response table for ``mode``, if the fast path applies.
+
+        ``None`` (datapath fallback) when the engine is not in fast mode,
+        the mode is not elementwise-compilable, the format is too wide for
+        the cache's per-table ceiling, or the unit carries an *injected*
+        coefficient LUT (fault studies): the cache is keyed by config
+        fingerprint only, so a table can stand in for the datapath only
+        when the LUT is the canonical build for that config.
+        """
+        if not self.fast or mode not in TABLE_MODES:
+            return None
+        lut = self.nacu.datapath.lut
+        if lut is not get_sigmoid_lut(self.nacu.config):
+            tel = _telemetry.resolve(self.collector)
+            if tel is not None:
+                tel.count("engine.fast.fallback_custom_lut")
+            return None
+        cache = self.table_cache if self.table_cache is not None else default_cache()
+        return cache.get(self.nacu.config, mode, lut=lut)
+
     def _elementwise_fx(self, x: FxArray, mode: FunctionMode) -> FxArray:
-        datapath = self.nacu.datapath
-        kernel = (
-            datapath.exponential if mode is FunctionMode.EXP
-            else lambda fx: datapath.activation(fx, mode)
-        )
+        table = self._table_for(mode)
+        if table is not None:
+            kernel = table.eval
+        else:
+            datapath = self.nacu.datapath
+            kernel = (
+                datapath.exponential if mode is FunctionMode.EXP
+                else lambda fx: datapath.activation(fx, mode)
+            )
         # Telemetry resolves once per batch; the disabled path adds a
         # single None check to the vectorised kernel dispatch.
         tel = _telemetry.resolve(self.collector)
@@ -127,6 +184,8 @@ class BatchEngine:
         self._record_batch(
             tel, mode, x, x.raw.size, 1, time.perf_counter_ns() - start
         )
+        if table is not None:
+            tel.count(f"engine.{mode.value}.fast_elements", x.raw.size)
         return out
 
     def sigmoid_fx(self, x: FxArray) -> FxArray:
@@ -146,23 +205,30 @@ class BatchEngine:
 
         The batch is viewed as a 2-D stack of rows (``axis`` moved last),
         evaluated in one pass through the datapath's batched softmax, and
-        the original layout restored.
+        the original layout restored. In fast mode the elementwise e^x
+        stage goes through its compiled table; the max-normalise,
+        denominator accumulation and final division always run through
+        the real datapath, so the result stays raw-bit-identical.
         """
         if x.raw.ndim == 0:
             raise RangeError("softmax needs at least one axis of inputs")
         moved = np.moveaxis(x.raw, axis, -1)
         rows = FxArray(moved.reshape(-1, moved.shape[-1]), x.fmt)
+        exp_table = self._table_for(FunctionMode.EXP)
+        exponential = exp_table.eval if exp_table is not None else None
         tel = _telemetry.resolve(self.collector)
         if tel is None:
-            out = self.nacu.datapath.softmax(rows)
+            out = self.nacu.datapath.softmax(rows, exponential=exponential)
         else:
             start = time.perf_counter_ns()
-            out = self.nacu.datapath.softmax(rows)
+            out = self.nacu.datapath.softmax(rows, exponential=exponential)
             self._record_batch(
                 tel, FunctionMode.SOFTMAX, x,
                 rows.raw.shape[-1], rows.raw.shape[0],
                 time.perf_counter_ns() - start,
             )
+            if exp_table is not None:
+                tel.count("engine.softmax.fast_elements", x.raw.size)
         raw = np.moveaxis(out.raw.reshape(moved.shape), -1, axis)
         return FxArray(raw, out.fmt)
 

@@ -2,24 +2,105 @@
 
 Usage::
 
-    python -m repro.experiments               # run everything
-    python -m repro.experiments fig6 table1   # run selected ids
+    python -m repro.experiments                    # run everything, serially
+    python -m repro.experiments fig6 table1        # run selected ids
+    python -m repro.experiments --list             # show the registry
+    python -m repro.experiments --jobs 4           # sharded, 4 workers
+    python -m repro.experiments --fast             # compiled-table engines
+    python -m repro.experiments --record           # refresh benchmarks/results
+
+Unknown ids exit with status 2 and the valid id list — no traceback.
+``--record`` writes each merged result (text + JSON) plus a
+``suite_runtime`` timing record into ``benchmarks/results/``, the
+directory the bench harness folds into ``BENCH_SUMMARY.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import pathlib
 import sys
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.errors import ConfigError
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import run_suite
+
+_RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids", nargs="*", metavar="experiment",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_ids",
+        help="print the registered experiment ids and exit",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run N shards concurrently (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="evaluate engines through compiled response tables "
+        "(raw-bit-identical, see docs/architecture.md)",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="write results and timings into benchmarks/results/",
+    )
+    parser.add_argument(
+        "--results-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="override the --record output directory",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="print the merged telemetry snapshot after the results",
+    )
+    return parser
+
+
+def _record(report, results_dir: pathlib.Path) -> None:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    recorded = list(report.results.values()) + [report.runtime_result()]
+    for result in recorded:
+        stem = results_dir / result.experiment_id
+        stem.with_suffix(".txt").write_text(result.to_text() + "\n")
+        stem.with_suffix(".json").write_text(result.to_json() + "\n")
 
 
 def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    ids = argv or list(EXPERIMENTS)
-    for experiment_id in ids:
-        result = run_experiment(experiment_id)
+    args = _parser().parse_args(argv)
+    if args.list_ids:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    try:
+        report = run_suite(
+            ids=args.ids or None,
+            jobs=args.jobs,
+            fast=args.fast,
+            progress=lambda message: print(f"[shard] {message}", file=sys.stderr),
+        )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for result in report.results.values():
         print(result.to_text())
         print()
+    print(report.runtime_result().to_text())
+    if args.telemetry:
+        import json
+
+        print()
+        print(json.dumps(report.telemetry, indent=2, sort_keys=True))
+    if args.record:
+        _record(report, args.results_dir or _RESULTS_DIR)
     return 0
 
 

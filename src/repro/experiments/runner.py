@@ -1,0 +1,274 @@
+"""The sharded experiment runner: schedule, collect, merge, report.
+
+The suite is a list of *shards*: most experiments are one shard, and the
+big sweeps (fig6, fig4a/b, cost_scaling) split along their natural
+parameter axis — per function, per method, per width — because their
+drivers already take that axis as an argument and emit rows grouped by
+it. A shard plan is chosen so that concatenating shard rows **in plan
+order** reproduces the serial driver's row order exactly; the merged
+:class:`ExperimentResult` is therefore identical to a serial run
+whatever the completion order of the shards.
+
+Every shard runs with a *private* :class:`Collector` installed (workers
+are separate processes, so the module registry is per-worker anyway) and
+returns its snapshot; the parent recombines them with
+:func:`merge_snapshots`, whose counters/cycles/error stats are exact —
+the same totals one collector would have seen. Only the wall-clock
+timer family varies between runs, being wall-clock.
+
+``jobs=1`` executes the same shard list inline — same collectors, same
+merge — so serial and parallel runs are comparable artifact for
+artifact. With more jobs the shards go through a
+:class:`ProcessPoolExecutor`; every work unit is a picklable
+``(experiment_id, shard_index, fast)`` triple resolved against the plan
+inside the worker.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.experiments import cost_scaling, fig4, fig6
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.result import ExperimentResult
+from repro.telemetry import Collector, merge_snapshots, use_collector
+
+#: Parameter-axis shard plans for the long-running sweeps. Each entry
+#: maps an experiment id to ``[(shard_id, zero-arg driver), ...]`` whose
+#: row concatenation in list order equals the serial driver's rows.
+_SHARD_PLANS: Dict[str, List[Tuple[str, Callable[[], ExperimentResult]]]] = {
+    "fig6": [
+        (f"fig6[{function}]", partial(fig6.run, functions=(function,)))
+        for function in ("sigmoid", "tanh", "exp")
+    ],
+    "fig4a": [
+        (f"fig4a[{method}]",
+         partial(fig4.run_entries_vs_fracbits, methods=(method,)))
+        for method in ("LUT", "RALUT", "PWL", "NUPWL")
+    ],
+    "fig4b": [
+        (f"fig4b[{method}]",
+         partial(fig4.run_error_vs_entries, methods=(method,)))
+        for method in ("LUT", "RALUT", "PWL", "NUPWL")
+    ],
+    "cost_scaling": [
+        (f"cost_scaling[{width}]", partial(cost_scaling.run, widths=(width,)))
+        for width in (10, 12, 16, 20, 24)
+    ],
+}
+
+
+def shard_plan(experiment_id: str) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
+    """The shards for one experiment (a single whole-experiment shard
+    unless a parameter-axis plan exists)."""
+    if experiment_id in _SHARD_PLANS:
+        return _SHARD_PLANS[experiment_id]
+    return [(experiment_id, partial(run_experiment, experiment_id))]
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard hands back to the scheduler."""
+
+    experiment_id: str
+    shard_id: str
+    result: ExperimentResult
+    telemetry: dict
+    wall_s: float
+
+
+@dataclass
+class RunReport:
+    """A finished suite run: merged results, telemetry and timings."""
+
+    #: Merged per-experiment results, in requested order.
+    results: Dict[str, ExperimentResult]
+    #: All shard telemetry recombined through :func:`merge_snapshots`.
+    telemetry: dict
+    #: Wall seconds summed over each experiment's shards (the serial-
+    #: equivalent cost; with jobs > 1 the shards overlap).
+    wall_s: Dict[str, float] = field(default_factory=dict)
+    #: Per-shard wall seconds, in plan order.
+    shard_wall_s: Dict[str, float] = field(default_factory=dict)
+    #: End-to-end wall seconds of the whole run.
+    total_wall_s: float = 0.0
+    #: The parallelism the run was scheduled with.
+    jobs: int = 1
+
+    def runtime_result(self) -> ExperimentResult:
+        """The timings as an :class:`ExperimentResult` (id
+        ``suite_runtime``), so the bench summary folds them in."""
+        rows = [
+            {
+                "experiment": experiment_id,
+                "wall_s": round(wall, 3),
+                "shards": sum(
+                    1 for shard_id in self.shard_wall_s
+                    if shard_id == experiment_id
+                    or shard_id.startswith(experiment_id + "[")
+                ),
+            }
+            for experiment_id, wall in self.wall_s.items()
+        ]
+        rows.append(
+            {
+                "experiment": f"TOTAL (jobs={self.jobs})",
+                "wall_s": round(self.total_wall_s, 3),
+                "shards": len(self.shard_wall_s),
+            }
+        )
+        return ExperimentResult(
+            experiment_id="suite_runtime",
+            title="Experiment suite wall-clock",
+            paper_claim="(harness) per-experiment wall time of the last "
+            "recorded suite run",
+            rows=rows,
+        )
+
+
+def _run_shard(unit: Tuple[str, int, bool]) -> ShardOutcome:
+    """Execute one work unit (module-level so the pool can pickle it)."""
+    experiment_id, shard_index, fast = unit
+    from repro import engine
+
+    engine.set_default_fast(fast)
+    shard_id, driver = shard_plan(experiment_id)[shard_index]
+    collector = Collector()
+    start = time.perf_counter()
+    with use_collector(collector):
+        result = driver()
+    return ShardOutcome(
+        experiment_id=experiment_id,
+        shard_id=shard_id,
+        result=result,
+        telemetry=collector.snapshot(),
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def _merge_experiment(
+    experiment_id: str, outcomes: Sequence[ShardOutcome]
+) -> ExperimentResult:
+    """Concatenate shard rows in plan order into one result."""
+    first = outcomes[0].result
+    if len(outcomes) == 1:
+        return first
+    rows: list = []
+    for outcome in outcomes:
+        rows.extend(outcome.result.rows)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=first.title,
+        paper_claim=first.paper_claim,
+        rows=rows,
+    )
+
+
+#: Counter-name prefixes describing per-process infrastructure state —
+#: module-level LUT cache traffic and response-table compilation. Their
+#: totals depend on how shards map onto worker processes (a warm worker
+#: hits where a cold one misses), not on the experiments run, so the
+#: deterministic projection drops them.
+PROCESS_LOCAL_COUNTERS = ("lut.cache.", "compile.")
+
+
+def deterministic_view(snapshot: dict) -> dict:
+    """The scheduling-independent projection of a telemetry snapshot.
+
+    Drops the ``timers`` family (wall-clock by definition) and counters
+    prefixed by :data:`PROCESS_LOCAL_COUNTERS`. What remains — datapath
+    op counts, fixed-point event counters, cycle/hw-time accounting,
+    histograms, error statistics — is identical between serial and
+    sharded runs of the same experiment set, whatever ``jobs`` or the
+    shard-to-worker placement; ``tests/experiments/test_runner.py`` pins
+    that property.
+    """
+    view = {
+        family: values
+        for family, values in snapshot.items()
+        if family != "timers"
+    }
+    view["counters"] = {
+        name: value
+        for name, value in snapshot.get("counters", {}).items()
+        if not name.startswith(PROCESS_LOCAL_COUNTERS)
+    }
+    return view
+
+
+def validate_ids(ids: Sequence[str]) -> None:
+    """Raise :class:`ConfigError` naming the valid ids on any unknown id."""
+    unknown = [experiment_id for experiment_id in ids
+               if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise ConfigError(
+            f"unknown experiment id(s) {unknown}; valid ids: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+
+
+def run_suite(
+    ids: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    fast: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Run experiments (all of them by default), ``jobs`` shards at a time.
+
+    Results and merged telemetry are independent of ``jobs`` (shards are
+    assembled in plan order, not completion order) and of ``fast``
+    (compiled tables are raw-bit-identical to the datapath); only wall
+    time changes. For telemetry the guarantee covers the projection
+    :func:`deterministic_view` — timers are wall-clock, and cache
+    hit/miss traffic depends on worker placement.
+    """
+    ids = list(EXPERIMENTS) if ids is None else list(ids)
+    validate_ids(ids)
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1")
+    notify = progress if progress is not None else (lambda message: None)
+
+    units: List[Tuple[str, int, bool]] = []
+    for experiment_id in ids:
+        for shard_index in range(len(shard_plan(experiment_id))):
+            units.append((experiment_id, shard_index, fast))
+
+    started = time.perf_counter()
+    outcomes: Dict[Tuple[str, int], ShardOutcome] = {}
+    if jobs == 1:
+        for unit in units:
+            outcome = _run_shard(unit)
+            outcomes[unit[:2]] = outcome
+            notify(f"{outcome.shard_id}: {outcome.wall_s:.2f}s")
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(_run_shard, unit): unit for unit in units}
+            for future in as_completed(futures):
+                outcome = future.result()
+                outcomes[futures[future][:2]] = outcome
+                notify(f"{outcome.shard_id}: {outcome.wall_s:.2f}s")
+    total_wall = time.perf_counter() - started
+
+    report = RunReport(
+        results={}, telemetry={}, total_wall_s=total_wall, jobs=jobs
+    )
+    ordered: List[ShardOutcome] = []
+    for experiment_id in ids:
+        per_experiment = [
+            outcomes[(experiment_id, shard_index)]
+            for shard_index in range(len(shard_plan(experiment_id)))
+        ]
+        ordered.extend(per_experiment)
+        report.results[experiment_id] = _merge_experiment(
+            experiment_id, per_experiment
+        )
+        report.wall_s[experiment_id] = sum(o.wall_s for o in per_experiment)
+        for outcome in per_experiment:
+            report.shard_wall_s[outcome.shard_id] = outcome.wall_s
+    report.telemetry = merge_snapshots(o.telemetry for o in ordered)
+    return report

@@ -70,6 +70,22 @@ class FxArray:
         """An all-zero array in ``fmt``."""
         return cls(np.zeros(shape, dtype=np.int64), fmt)
 
+    @classmethod
+    def _wrap(cls, raw: np.ndarray, fmt: QFormat) -> "FxArray":
+        """Wrap ``raw`` without the constructor's range validation.
+
+        For internal hot paths whose values are in range *by
+        construction* — e.g. a gather from a compiled response table
+        whose every entry came out of a validated :class:`FxArray`. The
+        two full-array scans the constructor spends on validation are
+        the dominant cost of a table lookup, so the fast path must skip
+        them; everything else must keep using the checking constructor.
+        """
+        out = cls.__new__(cls)
+        out.raw = raw
+        out.fmt = fmt
+        return out
+
     # ------------------------------------------------------------------
     # Views and conversions
     # ------------------------------------------------------------------

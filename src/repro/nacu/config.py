@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Optional
@@ -153,6 +155,24 @@ class NacuConfig:
     def n_bits(self) -> int:
         """Total I/O width."""
         return self.io_fmt.n_bits
+
+    def fingerprint(self) -> str:
+        """A stable digest of every behaviour-affecting field.
+
+        Compiled response tables are keyed by this: two configurations
+        agree on it exactly when their datapaths produce the same raw
+        output for every raw input, because every field of the (frozen)
+        config participates. The digest is embedded in persisted table
+        files, so a config change invalidates stale disk entries.
+        """
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, QFormat):
+                value = str(value)
+            parts.append(f"{field.name}={value!r}")
+        digest = hashlib.sha256(";".join(parts).encode()).hexdigest()
+        return digest[:16]
 
     @property
     def divider_fill_latency(self) -> int:

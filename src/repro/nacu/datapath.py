@@ -110,7 +110,7 @@ class NacuDatapath:
     # ------------------------------------------------------------------
     # softmax via Eq. 13
     # ------------------------------------------------------------------
-    def softmax(self, x: FxArray) -> FxArray:
+    def softmax(self, x: FxArray, exponential=None) -> FxArray:
         """Softmax of a vector or a 2-D batch, max-normalised as in Eq. 13.
 
         A 2-D input is one softmax per row: every row gets its own max
@@ -119,6 +119,12 @@ class NacuDatapath:
         and divide stages are elementwise; the denominator fold serialises
         only the row dimension), so each row's raw output is identical to
         evaluating that row alone.
+
+        ``exponential`` substitutes the elementwise e^x stage — the
+        engine's compiled-table fast path injects its gather here. The
+        substitute must be raw-bit-identical to :meth:`exponential` for
+        the softmax to stay bit-identical; the accumulate/divide/resize
+        stages always run through the real datapath.
         """
         if x.raw.ndim not in (1, 2) or x.raw.size == 0:
             raise RangeError("softmax expects a non-empty 1-D vector or 2-D batch")
@@ -132,7 +138,7 @@ class NacuDatapath:
         shifted = FxArray.from_raw(
             x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
         )
-        exps = self.exponential(shifted)
+        exps = (exponential or self.exponential)(shifted)
         self.mac.reset(exps.raw.shape[:-1])
         denominator = self.mac.accumulate_sum(exps, axis=-1)
         denom = FxArray(

@@ -60,7 +60,11 @@ class RestoringDivider:
                 f"quotient format {self.out_fmt} too coarse for "
                 f"{num.fmt} / {den.fmt}"
             )
-        if shift + num.fmt.n_bits + self.quotient_bits > 62:
+        # The only int64-width hazard is the shifted dividend: the
+        # remainder stays below twice the divisor and the quotient
+        # register never exceeds the dividend's bit length, so wide
+        # quotient formats (24-bit units and up) need no extra headroom.
+        if shift + num.fmt.ib + num.fmt.fb > 62:
             raise FormatError("divider operand widths would overflow int64")
         dividend = np.abs(num.raw).astype(np.int64) << shift
         divisor = np.abs(den.raw).astype(np.int64)

@@ -106,7 +106,13 @@ def get_sigmoid_lut(config: NacuConfig) -> CoefficientLUT:
     if tel is not None:
         tel.count("lut.cache.hit" if lut is not None else "lut.cache.miss")
     if lut is None:
-        lut = build_sigmoid_lut(config)
+        # The build's own fixed-point ops run silenced: construction is
+        # per-process infrastructure, and charging it to whichever caller
+        # happens to arrive first would make shard telemetry depend on
+        # scheduling (the cache hit/miss counters above stay — they are
+        # *about* process-local state).
+        with _telemetry.use_collector(None):
+            lut = build_sigmoid_lut(config)
         lut.slope_raw.setflags(write=False)
         lut.bias_raw.setflags(write=False)
         _LUT_CACHE[key] = lut

@@ -17,19 +17,45 @@ from repro.fixedpoint import FxArray, QFormat
 from repro.nn.quantized import quantized_matmul
 
 
-def im2col(images: np.ndarray, kernel: int, stride: int = 1) -> Tuple[np.ndarray, int, int]:
-    """Extract sliding patches: (batch, h, w, c) -> (batch*oh*ow, k*k*c).
-
-    Returns the patch matrix plus the output spatial dimensions.
-    """
+def _output_dims(images: np.ndarray, kernel: int, stride: int) -> Tuple[int, int]:
     if images.ndim != 4:
         raise ConfigError("im2col expects (batch, height, width, channels)")
-    batch, height, width, channels = images.shape
+    height, width = images.shape[1:3]
     out_h = (height - kernel) // stride + 1
     out_w = (width - kernel) // stride + 1
     if out_h < 1 or out_w < 1:
         raise ConfigError("kernel larger than the image")
-    patches = np.empty((batch, out_h, out_w, kernel * kernel * channels),
+    return out_h, out_w
+
+
+def im2col(images: np.ndarray, kernel: int, stride: int = 1) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches: (batch, h, w, c) -> (batch*oh*ow, k*k*c).
+
+    Returns the patch matrix plus the output spatial dimensions. Patches
+    are gathered through a strided window view — pure data movement, so
+    the matrix is element-identical to :func:`im2col_reference` (pinned
+    in ``tests/nn/test_conv_cnn.py``), one python-level pass instead of
+    an ``oh * ow`` slice loop.
+    """
+    batch = images.shape[0]
+    out_h, out_w = _output_dims(images, kernel, stride)
+    # (batch, h-k+1, w-k+1, channels, kernel_i, kernel_j): the window
+    # axes land last, so reorder to the reference's (ki, kj, c) patch
+    # layout before flattening.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        images, (kernel, kernel), axis=(1, 2)
+    )[:, ::stride, ::stride]
+    patches = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+        batch * out_h * out_w, kernel * kernel * images.shape[3]
+    )
+    return patches, out_h, out_w
+
+
+def im2col_reference(images: np.ndarray, kernel: int, stride: int = 1) -> Tuple[np.ndarray, int, int]:
+    """The direct slice-loop im2col — the layout :func:`im2col` must match."""
+    batch = images.shape[0]
+    out_h, out_w = _output_dims(images, kernel, stride)
+    patches = np.empty((batch, out_h, out_w, kernel * kernel * images.shape[3]),
                        dtype=images.dtype)
     for i in range(out_h):
         for j in range(out_w):

@@ -1,0 +1,118 @@
+"""TableCache behaviour: LRU eviction, disk round trips, stale invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.compile import TableCache, default_cache, reset_default_cache
+from repro.errors import ConfigError
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.telemetry import Collector, use_collector
+
+CONFIG_8 = NacuConfig.for_bits(8)
+
+
+def _counters(run):
+    collector = Collector()
+    with use_collector(collector):
+        value = run()
+    return value, collector.snapshot()["counters"]
+
+
+class TestLru:
+    def test_hit_returns_same_object(self):
+        cache = TableCache()
+        first = cache.get(CONFIG_8, FunctionMode.SIGMOID)
+        second = cache.get(CONFIG_8, FunctionMode.SIGMOID)
+        assert second is first
+
+    def test_eviction_under_bytes_budget(self):
+        # An 8-bit full-range table is 256 entries * 8 bytes = 2048 bytes;
+        # a 3000-byte budget holds exactly one of them.
+        cache = TableCache(max_bytes=3000)
+        sigmoid = cache.get(CONFIG_8, FunctionMode.SIGMOID)
+        assert sigmoid is not None
+        _, counters = _counters(lambda: cache.get(CONFIG_8, FunctionMode.TANH))
+        assert counters.get("compile.evictions") == 1
+        assert len(cache) == 1
+        assert cache.nbytes <= 3000
+        # The evicted sigmoid table recompiles on the next request.
+        _, counters = _counters(lambda: cache.get(CONFIG_8, FunctionMode.SIGMOID))
+        assert counters.get("compile.cache_miss") == 1
+        assert counters.get("compile.tables_compiled") == 1
+
+    def test_too_wide_format_falls_back_to_none(self):
+        cache = TableCache(max_bytes=1024, max_table_bytes=1024)
+        table, counters = _counters(lambda: cache.get(CONFIG_8, FunctionMode.SIGMOID))
+        assert table is None
+        assert counters.get("compile.fallback_too_wide") == 1
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigError):
+            TableCache(max_bytes=0)
+
+
+class TestDiskPersistence:
+    def test_round_trip_serves_identical_table(self, tmp_path):
+        writer = TableCache(persist_dir=tmp_path)
+        compiled = writer.get(CONFIG_8, FunctionMode.TANH)
+        reader = TableCache(persist_dir=tmp_path)
+        loaded, counters = _counters(lambda: reader.get(CONFIG_8, FunctionMode.TANH))
+        assert counters.get("compile.disk_hits") == 1
+        assert counters.get("compile.tables_compiled") is None
+        np.testing.assert_array_equal(loaded.outputs, compiled.outputs)
+        assert loaded.outputs.flags.writeable is False
+        assert loaded.raw_offset == compiled.raw_offset
+
+    def test_stale_fingerprint_is_discarded_and_recompiled(self, tmp_path):
+        writer = TableCache(persist_dir=tmp_path)
+        compiled = writer.get(CONFIG_8, FunctionMode.SIGMOID)
+        (path,) = tmp_path.glob("table-*-sigmoid.npz")
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["fingerprint"] = np.str_("0" * 16)
+        np.savez(path, **payload)
+
+        reader = TableCache(persist_dir=tmp_path)
+        table, counters = _counters(lambda: reader.get(CONFIG_8, FunctionMode.SIGMOID))
+        assert counters.get("compile.disk_stale") == 1
+        assert counters.get("compile.tables_compiled") == 1
+        np.testing.assert_array_equal(table.outputs, compiled.outputs)
+        # The stale file was replaced by a fresh, loadable persist.
+        fresh = TableCache(persist_dir=tmp_path)
+        _, counters = _counters(lambda: fresh.get(CONFIG_8, FunctionMode.SIGMOID))
+        assert counters.get("compile.disk_hits") == 1
+
+    def test_corrupt_file_is_discarded_and_recompiled(self, tmp_path):
+        writer = TableCache(persist_dir=tmp_path)
+        compiled = writer.get(CONFIG_8, FunctionMode.EXP)
+        (path,) = tmp_path.glob("table-*-exp.npz")
+        path.write_bytes(b"not an npz archive")
+
+        reader = TableCache(persist_dir=tmp_path)
+        table, counters = _counters(lambda: reader.get(CONFIG_8, FunctionMode.EXP))
+        assert counters.get("compile.disk_corrupt") == 1
+        assert counters.get("compile.tables_compiled") == 1
+        np.testing.assert_array_equal(table.outputs, compiled.outputs)
+
+    def test_unwritable_directory_is_best_effort(self, tmp_path):
+        # A regular file where the cache root's parent should be makes
+        # every mkdir/write fail with OSError (chmod tricks don't work
+        # under root, which ignores permission bits).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = TableCache(persist_dir=blocker / "cache")
+        table, counters = _counters(
+            lambda: cache.get(CONFIG_8, FunctionMode.SIGMOID)
+        )
+        assert table is not None
+        assert counters.get("compile.disk_write_failures") == 1
+
+
+class TestDefaultCache:
+    def test_reset_gives_a_fresh_instance(self):
+        first = default_cache()
+        reset_default_cache()
+        try:
+            assert default_cache() is not first
+        finally:
+            reset_default_cache()

@@ -1,0 +1,87 @@
+"""The engine's fast path: raw-bit identity, defaults, and fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEngine, get_default_fast, set_default_fast
+from repro.errors import RangeError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import NacuConfig
+from repro.nacu.lutgen import build_sigmoid_lut
+from repro.nacu.unit import Nacu
+from repro.telemetry import Collector, use_collector
+
+
+def _batch(fmt, rng, shape=(64, 33)):
+    raw = rng.integers(fmt.raw_min, fmt.raw_max + 1, size=shape, dtype=np.int64)
+    return FxArray(raw, fmt)
+
+
+@pytest.fixture
+def engines():
+    return BatchEngine.for_bits(12, fast=False), BatchEngine.for_bits(12, fast=True)
+
+
+class TestFastIdentity:
+    def test_elementwise_modes_identical(self, engines):
+        slow, fast = engines
+        rng = np.random.default_rng(3)
+        x = _batch(slow.io_fmt, rng)
+        for name in ("sigmoid_fx", "tanh_fx"):
+            np.testing.assert_array_equal(
+                getattr(fast, name)(x).raw, getattr(slow, name)(x).raw
+            )
+        non_positive = FxArray(np.minimum(x.raw, 0), slow.io_fmt)
+        np.testing.assert_array_equal(
+            fast.exp_fx(non_positive).raw, slow.exp_fx(non_positive).raw
+        )
+
+    def test_softmax_identical(self, engines):
+        slow, fast = engines
+        rng = np.random.default_rng(4)
+        x = _batch(slow.io_fmt, rng, shape=(16, 10))
+        np.testing.assert_array_equal(
+            fast.softmax_fx(x).raw, slow.softmax_fx(x).raw
+        )
+
+    def test_exp_rejects_positive_inputs(self, engines):
+        _, fast = engines
+        positive = FxArray.from_float(np.array([0.25]), fast.io_fmt)
+        with pytest.raises(RangeError):
+            fast.exp_fx(positive)
+
+    def test_fast_elements_counted(self, engines):
+        _, fast = engines
+        collector = Collector()
+        x = FxArray.from_float(np.zeros((5, 7)), fast.io_fmt)
+        with use_collector(collector):
+            fast.sigmoid_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.sigmoid.fast_elements") == 35
+
+
+class TestFastDispatch:
+    def test_default_flag_applies_to_new_engines(self):
+        previous = set_default_fast(True)
+        try:
+            assert get_default_fast() is True
+            assert BatchEngine.for_bits(8).fast is True
+            assert BatchEngine.for_bits(8, fast=False).fast is False
+        finally:
+            set_default_fast(previous)
+
+    def test_injected_lut_falls_back_to_datapath(self):
+        # A fault-study unit with its own (here: canonical, but *injected*)
+        # LUT must not be served from the fingerprint-keyed table cache.
+        config = NacuConfig.for_bits(8)
+        injected = build_sigmoid_lut(config)
+        engine = BatchEngine(Nacu(config, lut=injected), fast=True)
+        collector = Collector()
+        x = FxArray.from_float(np.array([0.5, -0.5]), engine.io_fmt)
+        with use_collector(collector):
+            out = engine.sigmoid_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.fast.fallback_custom_lut") == 1
+        assert counters.get("engine.sigmoid.fast_elements") is None
+        reference = BatchEngine(Nacu(config), fast=False).sigmoid_fx(x)
+        np.testing.assert_array_equal(out.raw, reference.raw)

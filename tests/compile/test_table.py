@@ -1,0 +1,80 @@
+"""Response-table compilation: exhaustive raw-bit identity with the datapath."""
+
+import numpy as np
+import pytest
+
+from repro.compile import TABLE_MODES, compile_table
+from repro.errors import ConfigError, RangeError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.nacu.datapath import NacuDatapath
+
+WIDTHS = (8, 12, 16)
+
+
+def _all_codes(fmt, mode):
+    hi = 0 if mode is FunctionMode.EXP else fmt.raw_max
+    return np.arange(fmt.raw_min, hi + 1, dtype=np.int64)
+
+
+class TestExhaustiveEquality:
+    """Every raw code of every supported format, table vs datapath."""
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    @pytest.mark.parametrize("mode", TABLE_MODES, ids=lambda m: m.value)
+    def test_every_code_matches_datapath(self, n_bits, mode):
+        config = NacuConfig.for_bits(n_bits)
+        table = compile_table(config, mode)
+        datapath = NacuDatapath(config)
+        x = FxArray(_all_codes(config.io_fmt, mode), config.io_fmt)
+        if mode is FunctionMode.EXP:
+            expected = datapath.exponential(x)
+        else:
+            expected = datapath.activation(x, mode)
+        got = table.eval(x)
+        np.testing.assert_array_equal(got.raw, expected.raw)
+        assert got.fmt == expected.fmt
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_table_metadata(self, n_bits):
+        config = NacuConfig.for_bits(n_bits)
+        table = compile_table(config, FunctionMode.SIGMOID)
+        assert table.fingerprint == config.fingerprint()
+        assert table.raw_offset == config.io_fmt.raw_min
+        assert table.outputs.flags.writeable is False
+        assert table.nbytes == table.outputs.nbytes
+        assert table.compile_ns > 0
+
+
+class TestExpDomain:
+    def test_positive_input_raises_like_datapath(self):
+        config = NacuConfig.for_bits(12)
+        table = compile_table(config, FunctionMode.EXP)
+        positive = FxArray.from_float(np.array([0.5]), config.io_fmt)
+        with pytest.raises(RangeError) as table_error:
+            table.eval(positive)
+        with pytest.raises(RangeError) as datapath_error:
+            NacuDatapath(config).exponential(positive)
+        assert str(table_error.value) == str(datapath_error.value)
+
+    def test_exp_table_covers_only_nonpositive_codes(self):
+        config = NacuConfig.for_bits(8)
+        table = compile_table(config, FunctionMode.EXP)
+        assert len(table.outputs) == -config.io_fmt.raw_min + 1
+
+
+class TestCompileValidation:
+    def test_softmax_is_not_compilable(self):
+        with pytest.raises(ConfigError):
+            compile_table(NacuConfig.for_bits(8), FunctionMode.SOFTMAX)
+
+    def test_compile_is_telemetry_silent(self):
+        from repro.telemetry import Collector, use_collector
+
+        collector = Collector()
+        with use_collector(collector):
+            compile_table(NacuConfig.for_bits(8), FunctionMode.SIGMOID)
+        assert not any(
+            name.startswith(("nacu.", "fx.", "mac."))
+            for name in collector.snapshot()["counters"]
+        )

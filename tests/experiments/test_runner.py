@@ -1,0 +1,128 @@
+"""The sharded runner: parity with serial runs, CLI behaviour, merging."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import (
+    deterministic_view,
+    run_suite,
+    shard_plan,
+    validate_ids,
+)
+
+#: Cheap ids that still exercise multi-shard merges (fig6 shards per
+#: function, cost_scaling per width) next to single-shard experiments.
+PARITY_IDS = ["fig6", "table1", "cost_scaling"]
+
+
+class TestShardPlans:
+    def test_default_is_one_shard(self):
+        plan = shard_plan("table1")
+        assert len(plan) == 1
+        assert plan[0][0] == "table1"
+
+    def test_swept_experiments_shard_on_their_axis(self):
+        assert [shard_id for shard_id, _ in shard_plan("fig6")] == [
+            "fig6[sigmoid]", "fig6[tanh]", "fig6[exp]"
+        ]
+        assert len(shard_plan("fig4a")) == 4
+        assert len(shard_plan("cost_scaling")) == 5
+
+    def test_every_plan_id_is_registered(self):
+        from repro.experiments.runner import _SHARD_PLANS
+
+        assert set(_SHARD_PLANS) <= set(EXPERIMENTS)
+
+
+class TestValidation:
+    def test_unknown_id_names_the_valid_ones(self):
+        with pytest.raises(ConfigError) as error:
+            validate_ids(["fig6", "nonsense"])
+        assert "nonsense" in str(error.value)
+        assert "fig6" in str(error.value)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            run_suite(ids=["table1"], jobs=0)
+
+
+class TestParity:
+    """Serial, sharded-parallel and fast runs must agree artifact for
+    artifact — the property the whole runner design hangs on."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_suite(ids=PARITY_IDS, jobs=1)
+
+    def test_jobs4_results_and_telemetry_match_serial(self, serial):
+        parallel = run_suite(ids=PARITY_IDS, jobs=4)
+        for experiment_id in PARITY_IDS:
+            assert (
+                parallel.results[experiment_id].to_json()
+                == serial.results[experiment_id].to_json()
+            )
+        assert deterministic_view(parallel.telemetry) == deterministic_view(
+            serial.telemetry
+        )
+
+    def test_fast_results_match_serial(self, serial):
+        fast = run_suite(ids=PARITY_IDS, jobs=1, fast=True)
+        for experiment_id in PARITY_IDS:
+            assert (
+                fast.results[experiment_id].to_json()
+                == serial.results[experiment_id].to_json()
+            )
+
+    def test_rows_concatenate_in_plan_order(self, serial):
+        functions = [row["function"] for row in serial.results["fig6"].rows]
+        # Function-major: all sigmoid rows, then tanh, then exp.
+        seen = list(dict.fromkeys(functions))
+        assert seen == ["sigmoid", "tanh", "exp"]
+
+
+class TestRunReport:
+    def test_runtime_result_covers_each_experiment_plus_total(self):
+        report = run_suite(ids=["table1", "fig1"], jobs=1)
+        rows = report.runtime_result().rows
+        assert [row["experiment"] for row in rows[:-1]] == ["table1", "fig1"]
+        assert rows[-1]["experiment"] == "TOTAL (jobs=1)"
+        assert rows[-1]["shards"] == 2
+
+    def test_deterministic_view_drops_process_local_families(self):
+        snapshot = {
+            "counters": {"nacu.op.exp": 3, "lut.cache.hit": 9, "compile.cache_miss": 1},
+            "timers": {"engine.exp": {"count": 1, "total_ns": 5}},
+            "cycles": {"exp": 40},
+        }
+        view = deterministic_view(snapshot)
+        assert view == {"counters": {"nacu.op.exp": 3}, "cycles": {"exp": 40}}
+
+
+class TestCli:
+    def test_list_prints_registry(self, capsys):
+        assert cli_main(["--list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert printed == list(EXPERIMENTS)
+
+    def test_unknown_id_exits_2_with_valid_ids(self, capsys):
+        assert cli_main(["no_such_experiment"]) == 2
+        captured = capsys.readouterr()
+        assert "no_such_experiment" in captured.err
+        assert "fig6" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_record_writes_results_and_runtime(self, tmp_path, capsys):
+        code = cli_main(
+            ["table1", "--record", "--results-dir", str(tmp_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        recorded = json.loads((tmp_path / "table1.json").read_text())
+        assert recorded["experiment_id"] == "table1"
+        runtime = json.loads((tmp_path / "suite_runtime.json").read_text())
+        assert runtime["rows"][-1]["experiment"] == "TOTAL (jobs=1)"

@@ -12,6 +12,7 @@ from repro.nn.conv import (
     QuantizedConv2d,
     global_average_pool,
     im2col,
+    im2col_reference,
     max_pool2d,
     oriented_edge_filters,
 )
@@ -43,6 +44,19 @@ class TestIm2col:
             im2col(np.zeros((4, 4, 1)), 3)
         with pytest.raises(ConfigError):
             im2col(np.zeros((1, 2, 2, 1)), 3)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 1), (3, 1), (3, 2), (2, 3), (5, 2)])
+    def test_matches_slice_loop_reference(self, kernel, stride):
+        # The strided-view gather must reproduce the loop's patch matrix
+        # element for element, including raw int64 images as the conv
+        # layer passes them.
+        rng = np.random.default_rng(7)
+        for shape in [(1, 7, 7, 1), (3, 9, 6, 4), (2, 5, 11, 2)]:
+            raw = rng.integers(-(1 << 14), 1 << 14, size=shape, dtype=np.int64)
+            fast, oh_f, ow_f = im2col(raw, kernel, stride)
+            ref, oh_r, ow_r = im2col_reference(raw, kernel, stride)
+            assert (oh_f, ow_f) == (oh_r, ow_r)
+            np.testing.assert_array_equal(fast, ref)
 
 
 class TestQuantizedConv2d:
