@@ -2,47 +2,39 @@
 
 A natural question for an approximate-computing unit (and a common
 reviewer follow-up): if a stored coefficient word suffers a single-event
-upset, how large does the output error get? This module flips individual
-bits of the coefficient LUT and measures the resulting accuracy impact,
-showing the expected pattern — LSB flips vanish under quantisation noise
-while sign/MSB flips corrupt an entire segment.
+upset, how large does the output error get? This module sweeps single-bit
+flips over the coefficient LUT and measures the resulting accuracy
+impact, showing the expected pattern — LSB flips vanish under
+quantisation noise while sign/MSB flips corrupt an entire segment.
+
+The flips ride the runtime injection subsystem (:mod:`repro.faults`): a
+deterministic ``FLIP`` spec restricted to one table entry, armed around
+the evaluation. Sensitivity sweeps therefore exercise *exactly* the code
+path random campaigns use, and :func:`flip_lut_bit` — the static
+corrupted-ROM view — stays available re-exported from
+:mod:`repro.faults.lut`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.analysis.metrics import accuracy_report
 from repro.errors import ConfigError
-from repro.fixedpoint.bitops import from_unsigned_word, to_unsigned_word
+from repro.faults import FaultPlan, FaultSpec, FaultModel, use_plan
+from repro.faults.lut import FIELDS, flip_lut_bit, lut_field_fmt
+from repro.faults.plan import LUT_BIAS, LUT_SLOPE
 from repro.funcs import sigmoid
 from repro.nacu.config import FunctionMode, NacuConfig
-from repro.nacu.lutgen import CoefficientLUT, build_sigmoid_lut
+from repro.nacu.lutgen import build_sigmoid_lut
 from repro.nacu.unit import Nacu
 
-FIELDS = ("slope", "bias")
+__all__ = ["FIELDS", "FaultImpact", "bit_sensitivity", "flip_lut_bit"]
 
-
-def flip_lut_bit(
-    lut: CoefficientLUT, entry: int, field: str, bit: int
-) -> CoefficientLUT:
-    """A copy of ``lut`` with one bit of one stored word flipped."""
-    if field not in FIELDS:
-        raise ConfigError(f"field must be one of {FIELDS}, got {field!r}")
-    if not 0 <= entry < lut.n_entries:
-        raise ConfigError(f"entry {entry} outside the {lut.n_entries}-word LUT")
-    fmt = lut.slope_fmt if field == "slope" else lut.bias_fmt
-    if not 0 <= bit < fmt.n_bits:
-        raise ConfigError(f"bit {bit} outside the {fmt.n_bits}-bit word")
-    raws = (lut.slope_raw if field == "slope" else lut.bias_raw).copy()
-    word = int(to_unsigned_word(raws[entry], fmt))
-    raws[entry] = int(from_unsigned_word(np.int64(word ^ (1 << bit)), fmt))
-    if field == "slope":
-        return replace(lut, slope_raw=raws)
-    return replace(lut, bias_raw=raws)
+EntryLike = Union[None, int, str, Iterable[int]]
 
 
 @dataclass(frozen=True)
@@ -56,45 +48,69 @@ class FaultImpact:
     error_increase: float  # vs the fault-free unit, same grid
 
 
+def _resolve_entries(entry: EntryLike, n_entries: int) -> List[int]:
+    if entry is None:
+        return [n_entries // 2]  # a segment the test grid certainly hits
+    if isinstance(entry, str):
+        if entry != "all":
+            raise ConfigError(f"entry must be an index, a list, or 'all', got {entry!r}")
+        return list(range(n_entries))
+    entries = [int(entry)] if isinstance(entry, (int, np.integer)) else [
+        int(e) for e in entry
+    ]
+    for e in entries:
+        if not 0 <= e < n_entries:
+            raise ConfigError(f"entry {e} outside the {n_entries}-word LUT")
+    return entries
+
+
 def bit_sensitivity(
     config: Optional[NacuConfig] = None,
-    entry: Optional[int] = None,
+    entry: EntryLike = None,
     field: str = "bias",
     mode: FunctionMode = FunctionMode.SIGMOID,
     n_samples: int = 2001,
 ) -> List[FaultImpact]:
-    """Impact of flipping each bit of one LUT word, worst-case entry.
+    """Impact of flipping each bit of stored LUT words.
 
-    With ``entry=None`` the middle entry is used (a segment the test grid
-    certainly exercises).
+    ``entry`` selects which table words to sweep: ``None`` for the middle
+    entry (the historical single-word probe), an index, an iterable of
+    indices, or ``"all"`` for every entry. One :class:`FaultImpact` is
+    returned per (entry, bit) pair, entries in the given order, bits from
+    the LSB up.
+
+    Each flip runs as an armed deterministic ``FLIP`` plan restricted to
+    its entry, so the sweep and the random fault campaigns share one
+    injection code path.
     """
     config = config or NacuConfig()
     lut = build_sigmoid_lut(config)
-    if entry is None:
-        entry = lut.n_entries // 2
+    fmt = lut_field_fmt(lut, field)
+    site = LUT_SLOPE if field == "slope" else LUT_BIAS
+    entries = _resolve_entries(entry, lut.n_entries)
+
     grid = np.linspace(-config.lut_range, config.lut_range, n_samples)
     reference = sigmoid(grid) if mode is FunctionMode.SIGMOID else np.tanh(grid)
-    baseline_unit = Nacu(config, lut=lut)
-    evaluate = (
-        baseline_unit.sigmoid if mode is FunctionMode.SIGMOID else baseline_unit.tanh
-    )
-    baseline = accuracy_report(evaluate(grid), reference).max_error
+    unit = Nacu(config, lut=lut)
+    evaluate = unit.sigmoid if mode is FunctionMode.SIGMOID else unit.tanh
+    with use_plan(None):  # the baseline must be fault-free
+        baseline = accuracy_report(evaluate(grid), reference).max_error
 
-    fmt = lut.slope_fmt if field == "slope" else lut.bias_fmt
     impacts = []
-    for bit in range(fmt.n_bits):
-        faulty = Nacu(config, lut=flip_lut_bit(lut, entry, field, bit))
-        evaluate_faulty = (
-            faulty.sigmoid if mode is FunctionMode.SIGMOID else faulty.tanh
-        )
-        report = accuracy_report(evaluate_faulty(grid), reference)
-        impacts.append(
-            FaultImpact(
-                entry=entry,
-                field=field,
-                bit=bit,
-                max_error=report.max_error,
-                error_increase=report.max_error - baseline,
+    for e in entries:
+        for bit in range(fmt.n_bits):
+            plan = FaultPlan(specs=(
+                FaultSpec(site=site, model=FaultModel.FLIP, bit=bit, entry=e),
+            ))
+            with use_plan(plan):
+                report = accuracy_report(evaluate(grid), reference)
+            impacts.append(
+                FaultImpact(
+                    entry=e,
+                    field=field,
+                    bit=bit,
+                    max_error=report.max_error,
+                    error_increase=report.max_error - baseline,
+                )
             )
-        )
     return impacts

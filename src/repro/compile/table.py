@@ -24,6 +24,7 @@ from repro.errors import ConfigError, RangeError
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.datapath import NacuDatapath
+from repro.faults.inject import use_plan
 from repro.telemetry.collector import use_collector
 
 #: Elementwise modes a response table can capture. Softmax is excluded as
@@ -95,7 +96,9 @@ def compile_table(
     fmt = config.io_fmt
     hi = 0 if mode is FunctionMode.EXP else fmt.raw_max
     codes = np.arange(fmt.raw_min, hi + 1, dtype=np.int64)
-    with use_collector(None):
+    # Faults are scoped off as well: the canonical table must capture the
+    # fault-free response even when compiled lazily mid-campaign.
+    with use_collector(None), use_plan(None):
         datapath = NacuDatapath(config, lut=lut, collector=None)
         x = FxArray(codes, fmt)
         if mode is FunctionMode.EXP:

@@ -28,6 +28,7 @@ import numpy as np
 from repro.compile import TABLE_MODES, default_cache
 from repro.compile.table import ResponseTable
 from repro.errors import RangeError
+from repro.faults import inject as _faults
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.lutgen import get_sigmoid_lut
@@ -154,6 +155,14 @@ class BatchEngine:
         when the LUT is the canonical build for that config.
         """
         if not self.fast or mode not in TABLE_MODES:
+            return None
+        if _faults.resolve() is not None:
+            # Tables are keyed by config fingerprint alone and hold the
+            # fault-free response; serving one with a fault plan armed
+            # would silently bypass every injection site.
+            tel = _telemetry.resolve(self.collector)
+            if tel is not None:
+                tel.count("engine.fast.fallback_faults")
             return None
         lut = self.nacu.datapath.lut
         if lut is not get_sigmoid_lut(self.nacu.config):

@@ -8,8 +8,12 @@ Usage::
     python -m repro.experiments --jobs 4           # sharded, 4 workers
     python -m repro.experiments --fast             # compiled-table engines
     python -m repro.experiments --record           # refresh benchmarks/results
+    python -m repro.experiments --timeout 300 --retries 2   # hardened run
 
 Unknown ids exit with status 2 and the valid id list — no traceback.
+A run whose shards partially fail (after retries / timeouts) prints the
+completed results, lists the failed shards on stderr and exits with
+status 3 — crashing or hanging shards no longer abort the suite.
 ``--record`` writes each merged result (text + JSON) plus a
 ``suite_runtime`` timing record into ``benchmarks/results/``, the
 directory the bench harness folds into ``BENCH_SUMMARY.json``.
@@ -51,6 +55,20 @@ def _parser() -> argparse.ArgumentParser:
         "(raw-bit-identical, see docs/architecture.md)",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="kill any shard attempt running longer than S seconds "
+        "(runs shards in killable worker processes, even with --jobs 1)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failing or timed-out shard up to N times",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.5, metavar="S",
+        help="base retry backoff; attempt n sleeps S * 2**n seconds "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
         "--record", action="store_true",
         help="write results and timings into benchmarks/results/",
     )
@@ -86,6 +104,9 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             fast=args.fast,
             progress=lambda message: print(f"[shard] {message}", file=sys.stderr),
+            timeout_s=args.timeout,
+            retries=args.retries,
+            backoff_s=args.backoff,
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -101,6 +122,14 @@ def main(argv=None) -> int:
         print(json.dumps(report.telemetry, indent=2, sort_keys=True))
     if args.record:
         _record(report, args.results_dir or _RESULTS_DIR)
+    if not report.ok:
+        for failure in report.failures:
+            print(
+                f"FAILED shard {failure.shard_id} ({failure.kind}, "
+                f"{failure.attempts} attempt(s)): {failure.error}",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 

@@ -21,6 +21,16 @@ from repro.experiments import (
 )
 from repro.experiments.result import ExperimentResult
 
+
+def _run_fault_campaign(**kwargs) -> ExperimentResult:
+    """Lazy wrapper: the campaign pulls in the NN workloads and imports
+    this package's ``result`` module, so a top-level import would cycle
+    through the package ``__init__``."""
+    from repro.faults import campaign
+
+    return campaign.run(**kwargs)
+
+
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig1": fig1.run,
     "sec3": sec3_formats.run,
@@ -35,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "eq16": eq16.run,
     "nn_workloads": nn_workloads.run,
     "fault_robustness": robustness.run,
+    "fault_campaign": _run_fault_campaign,
     "cost_scaling": cost_scaling.run,
     "ablation_shared_lut": ablations.run_shared_lut,
     "ablation_divider": ablations.run_divider,

@@ -18,22 +18,36 @@ timer family varies between runs, being wall-clock.
 
 ``jobs=1`` executes the same shard list inline — same collectors, same
 merge — so serial and parallel runs are comparable artifact for
-artifact. With more jobs the shards go through a
-:class:`ProcessPoolExecutor`; every work unit is a picklable
+artifact. With more jobs (or a per-shard timeout) the shards run under
+a forked-worker supervisor; every work unit is a picklable
 ``(experiment_id, shard_index, fast)`` triple resolved against the plan
 inside the worker.
+
+The supervisor is what makes the suite *survivable*: a shard that
+raises, dies, or hangs past ``timeout_s`` is retried up to ``retries``
+times with exponential backoff and then recorded as a
+:class:`ShardFailure` on the report — the remaining shards still run,
+the completed ones still merge, and the CLI signals the partial outcome
+with exit code 3 instead of aborting the whole suite. Worker processes
+are forked (not spawned) so monkeypatched registries and in-memory test
+fixtures behave identically inline and sharded, and hung workers are
+terminated (then killed) rather than waited on — something a
+``ProcessPoolExecutor`` cannot do.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
+from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.experiments import cost_scaling, fig4, fig6
+from repro.faults import campaign as fault_campaign
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.result import ExperimentResult
 from repro.telemetry import Collector, merge_snapshots, use_collector
@@ -60,6 +74,12 @@ _SHARD_PLANS: Dict[str, List[Tuple[str, Callable[[], ExperimentResult]]]] = {
         (f"cost_scaling[{width}]", partial(cost_scaling.run, widths=(width,)))
         for width in (10, 12, 16, 20, 24)
     ],
+    # Cell seeds derive from (site, width, rate) alone, so the per-site
+    # shards arm the exact plans the serial sweep arms (see cell_seed).
+    "fault_campaign": [
+        (f"fault_campaign[{site}]", partial(fault_campaign.run, sites=(site,)))
+        for site in fault_campaign.DEFAULT_SITES
+    ],
 }
 
 
@@ -83,6 +103,24 @@ class ShardOutcome:
 
 
 @dataclass
+class ShardFailure:
+    """One shard the suite could not complete, after all retries."""
+
+    experiment_id: str
+    shard_id: str
+    #: ``"error"`` (driver raised), ``"timeout"`` (killed past the per-
+    #: shard deadline) or ``"crash"`` (worker died without reporting).
+    kind: str
+    #: The raised exception rendered as ``TypeName: message``, or a
+    #: description of the timeout/crash.
+    error: str
+    #: Attempts consumed (1 + retries actually taken).
+    attempts: int
+    #: Wall seconds of the final, failing attempt.
+    wall_s: float
+
+
+@dataclass
 class RunReport:
     """A finished suite run: merged results, telemetry and timings."""
 
@@ -90,6 +128,8 @@ class RunReport:
     results: Dict[str, ExperimentResult]
     #: All shard telemetry recombined through :func:`merge_snapshots`.
     telemetry: dict
+    #: Shards that failed after exhausting their retries, in plan order.
+    failures: List[ShardFailure] = field(default_factory=list)
     #: Wall seconds summed over each experiment's shards (the serial-
     #: equivalent cost; with jobs > 1 the shards overlap).
     wall_s: Dict[str, float] = field(default_factory=dict)
@@ -99,6 +139,11 @@ class RunReport:
     total_wall_s: float = 0.0
     #: The parallelism the run was scheduled with.
     jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether every scheduled shard completed."""
+        return not self.failures
 
     def runtime_result(self) -> ExperimentResult:
         """The timings as an :class:`ExperimentResult` (id
@@ -154,7 +199,21 @@ def _run_shard(unit: Tuple[str, int, bool]) -> ShardOutcome:
 def _merge_experiment(
     experiment_id: str, outcomes: Sequence[ShardOutcome]
 ) -> ExperimentResult:
-    """Concatenate shard rows in plan order into one result."""
+    """Concatenate shard rows in plan order into one result.
+
+    ``outcomes`` holds only the shards that completed; with failures the
+    merge is partial (the report's ``failures`` list says what is
+    missing), and with none at all an empty placeholder result keeps the
+    report's shape so downstream printing/recording still works.
+    """
+    if not outcomes:
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title=f"{experiment_id} (no shard completed)",
+            paper_claim="(harness) every shard of this experiment failed; "
+            "see the run report's failures",
+            rows=[],
+        )
     first = outcomes[0].result
     if len(outcomes) == 1:
         return first
@@ -212,11 +271,210 @@ def validate_ids(ids: Sequence[str]) -> None:
         )
 
 
+def _shard_id_of(unit: Tuple[str, int, bool]) -> str:
+    return shard_plan(unit[0])[unit[1]][0]
+
+
+def _child_entry(unit: Tuple[str, int, bool], conn) -> None:
+    """Worker body: run the shard and ship the outcome (or the error)."""
+    try:
+        conn.send(("ok", _run_shard(unit)))
+    except BaseException as error:  # report, never hang the parent
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_units_inline(
+    units: Sequence[Tuple[str, int, bool]],
+    retries: int,
+    backoff_s: float,
+    notify: Callable[[str], None],
+):
+    """The ``jobs=1``, no-timeout path: same isolation, no processes."""
+    outcomes: Dict[Tuple[str, int], ShardOutcome] = {}
+    failures: List[ShardFailure] = []
+    for unit in units:
+        for attempt in range(retries + 1):
+            started = time.perf_counter()
+            try:
+                outcome = _run_shard(unit)
+            except Exception as error:
+                wall = time.perf_counter() - started
+                if attempt < retries:
+                    notify(f"{_shard_id_of(unit)}: retrying after error "
+                           f"({type(error).__name__})")
+                    time.sleep(backoff_s * 2 ** attempt)
+                    continue
+                failures.append(ShardFailure(
+                    experiment_id=unit[0],
+                    shard_id=_shard_id_of(unit),
+                    kind="error",
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=attempt + 1,
+                    wall_s=wall,
+                ))
+                notify(f"{_shard_id_of(unit)}: FAILED after "
+                       f"{attempt + 1} attempt(s)")
+            else:
+                outcomes[unit[:2]] = outcome
+                notify(f"{outcome.shard_id}: {outcome.wall_s:.2f}s")
+            break
+    return outcomes, failures
+
+
+class _Supervisor:
+    """Forked-worker scheduler with per-shard timeout, retry and backoff.
+
+    One forked process per attempt, one pipe per process. The main loop
+    waits on all live pipes at once (plus the nearest deadline — a kill
+    deadline of a running shard or the backoff release of a queued
+    retry), so a hung worker can be terminated on schedule while other
+    shards keep streaming results.
+    """
+
+    def __init__(self, jobs: int, timeout_s: Optional[float], retries: int,
+                 backoff_s: float, notify: Callable[[str], None]):
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.notify = notify
+        self.context = multiprocessing.get_context("fork")
+        self.outcomes: Dict[Tuple[str, int], ShardOutcome] = {}
+        self.failures: Dict[Tuple[str, int], ShardFailure] = {}
+        #: unit -> (process, parent pipe end, started, attempt)
+        self.running: Dict = {}
+        #: (unit, attempt, not_before) release queue for (re)tries.
+        self.queue = deque()
+
+    # -- lifecycle ------------------------------------------------------
+    def run(self, units: Sequence[Tuple[str, int, bool]]):
+        for unit in units:
+            self.queue.append((unit, 0, 0.0))
+        while self.queue or self.running:
+            self._launch_ready()
+            self._wait_one_round()
+        ordered_failures = [
+            self.failures[unit[:2]] for unit in units
+            if unit[:2] in self.failures
+        ]
+        return self.outcomes, ordered_failures
+
+    def _launch_ready(self) -> None:
+        now = time.perf_counter()
+        deferred = deque()
+        while self.queue and len(self.running) < self.jobs:
+            unit, attempt, not_before = self.queue.popleft()
+            if not_before > now:
+                deferred.append((unit, attempt, not_before))
+                continue
+            parent_conn, child_conn = self.context.Pipe(duplex=False)
+            process = self.context.Process(
+                target=_child_entry, args=(unit, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()  # the child owns the send end now
+            self.running[parent_conn] = (unit, process, time.perf_counter(),
+                                         attempt)
+        self.queue.extendleft(reversed(deferred))
+
+    def _next_deadline(self) -> Optional[float]:
+        deadlines = []
+        if self.timeout_s is not None:
+            deadlines.extend(
+                started + self.timeout_s
+                for _, _, started, _ in self.running.values()
+            )
+        if len(self.running) < self.jobs:  # capacity to launch a retry
+            deadlines.extend(not_before for _, _, not_before in self.queue
+                             if not_before > 0.0)
+        return min(deadlines) if deadlines else None
+
+    def _wait_one_round(self) -> None:
+        deadline = self._next_deadline()
+        if self.running:
+            wait_s = None if deadline is None else max(
+                deadline - time.perf_counter(), 0.0
+            )
+            ready = _connection_wait(list(self.running), timeout=wait_s)
+            for conn in ready:
+                self._collect(conn)
+        elif deadline is not None:  # everything queued is backing off
+            time.sleep(max(deadline - time.perf_counter(), 0.0))
+        self._enforce_timeouts()
+
+    # -- outcome handling -----------------------------------------------
+    def _collect(self, conn) -> None:
+        unit, process, started, attempt = self.running.pop(conn)
+        wall = time.perf_counter() - started
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            kind, payload = "crash", "worker process died without reporting"
+        finally:
+            conn.close()
+        process.join()
+        if kind == "ok":
+            self.outcomes[unit[:2]] = payload
+            self.notify(f"{payload.shard_id}: {payload.wall_s:.2f}s")
+            return
+        self._failed(unit, attempt, kind if kind == "crash" else "error",
+                     payload, wall)
+
+    def _enforce_timeouts(self) -> None:
+        if self.timeout_s is None:
+            return
+        now = time.perf_counter()
+        for conn in [
+            conn for conn, (_, _, started, _) in self.running.items()
+            if now - started > self.timeout_s
+        ]:
+            unit, process, started, attempt = self.running.pop(conn)
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+            conn.close()
+            self._failed(
+                unit, attempt, "timeout",
+                f"shard exceeded the {self.timeout_s}s per-shard timeout",
+                now - started,
+            )
+
+    def _failed(self, unit, attempt: int, kind: str, error: str,
+                wall: float) -> None:
+        shard_id = _shard_id_of(unit)
+        if attempt < self.retries:
+            release = time.perf_counter() + self.backoff_s * 2 ** attempt
+            self.queue.append((unit, attempt + 1, release))
+            self.notify(f"{shard_id}: retrying after {kind} "
+                        f"(attempt {attempt + 1}/{self.retries + 1})")
+            return
+        self.failures[unit[:2]] = ShardFailure(
+            experiment_id=unit[0],
+            shard_id=shard_id,
+            kind=kind,
+            error=error,
+            attempts=attempt + 1,
+            wall_s=wall,
+        )
+        self.notify(f"{shard_id}: FAILED ({kind}) after "
+                    f"{attempt + 1} attempt(s)")
+
+
 def run_suite(
     ids: Optional[Sequence[str]] = None,
     jobs: int = 1,
     fast: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
 ) -> RunReport:
     """Run experiments (all of them by default), ``jobs`` shards at a time.
 
@@ -226,11 +484,24 @@ def run_suite(
     time changes. For telemetry the guarantee covers the projection
     :func:`deterministic_view` — timers are wall-clock, and cache
     hit/miss traffic depends on worker placement.
+
+    ``timeout_s`` bounds each shard attempt's wall time (enforced by
+    killing the worker, so it needs worker processes: with ``jobs=1`` a
+    timeout still routes shards through one forked worker at a time).
+    ``retries`` re-runs a failing/hanging shard with ``backoff_s * 2**n``
+    sleep before attempt ``n+1``. Shards that fail every attempt are
+    recorded on :attr:`RunReport.failures`; completed shards still merge.
     """
     ids = list(EXPERIMENTS) if ids is None else list(ids)
     validate_ids(ids)
     if jobs < 1:
         raise ConfigError("jobs must be >= 1")
+    if retries < 0:
+        raise ConfigError("retries cannot be negative")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigError("timeout_s must be positive")
+    if backoff_s < 0:
+        raise ConfigError("backoff_s cannot be negative")
     notify = progress if progress is not None else (lambda message: None)
 
     units: List[Tuple[str, int, bool]] = []
@@ -239,29 +510,24 @@ def run_suite(
             units.append((experiment_id, shard_index, fast))
 
     started = time.perf_counter()
-    outcomes: Dict[Tuple[str, int], ShardOutcome] = {}
-    if jobs == 1:
-        for unit in units:
-            outcome = _run_shard(unit)
-            outcomes[unit[:2]] = outcome
-            notify(f"{outcome.shard_id}: {outcome.wall_s:.2f}s")
+    if jobs == 1 and timeout_s is None:
+        outcomes, failures = _run_units_inline(units, retries, backoff_s,
+                                               notify)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(_run_shard, unit): unit for unit in units}
-            for future in as_completed(futures):
-                outcome = future.result()
-                outcomes[futures[future][:2]] = outcome
-                notify(f"{outcome.shard_id}: {outcome.wall_s:.2f}s")
+        supervisor = _Supervisor(jobs, timeout_s, retries, backoff_s, notify)
+        outcomes, failures = supervisor.run(units)
     total_wall = time.perf_counter() - started
 
     report = RunReport(
-        results={}, telemetry={}, total_wall_s=total_wall, jobs=jobs
+        results={}, telemetry={}, failures=failures,
+        total_wall_s=total_wall, jobs=jobs,
     )
     ordered: List[ShardOutcome] = []
     for experiment_id in ids:
         per_experiment = [
             outcomes[(experiment_id, shard_index)]
             for shard_index in range(len(shard_plan(experiment_id)))
+            if (experiment_id, shard_index) in outcomes
         ]
         ordered.extend(per_experiment)
         report.results[experiment_id] = _merge_experiment(

@@ -1,0 +1,38 @@
+"""Deterministic fault injection & resilience for the NACU datapath.
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.models` — the upset mechanisms (transient SEU,
+  stuck-at, burst, deterministic flip) applied to two's-complement
+  words;
+* :mod:`repro.faults.plan` — :class:`FaultPlan` (seed + specs +
+  :class:`Protection`) and its live :class:`ArmedPlan` state;
+* :mod:`repro.faults.inject` — the process-global registry the
+  datapath hooks consult (one ``None``-check when disarmed, the same
+  pattern as telemetry);
+* :mod:`repro.faults.mitigation` — LUT parity scrub, TMR voting,
+  output range guards, each reporting detected/corrected/silent counts.
+
+:mod:`repro.faults.campaign` (imported on demand — it pulls in the NN
+workloads) drives the rate x site x width resilience sweep registered
+as the ``fault_campaign`` experiment; :mod:`repro.faults.lut` holds the
+static corrupted-ROM helpers behind
+``repro.analysis.fault_injection``.
+"""
+
+from repro.faults.inject import arm, disarm, resolve, use_plan
+from repro.faults.models import FaultModel, FaultSpec
+from repro.faults.plan import SITES, ArmedPlan, FaultPlan, Protection
+
+__all__ = [
+    "FaultModel",
+    "FaultSpec",
+    "FaultPlan",
+    "ArmedPlan",
+    "Protection",
+    "SITES",
+    "arm",
+    "disarm",
+    "resolve",
+    "use_plan",
+]

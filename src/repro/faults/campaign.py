@@ -1,0 +1,230 @@
+"""The fault-injection campaign: rate x site x width resilience sweep.
+
+For every (site, width, rate) cell a fresh transient-upset plan is armed
+and the unit is driven through two lenses:
+
+* **elementwise** — quantised sigma and e^x grids against the fault-free
+  outputs of the same engine (worst-case absolute output error);
+* **workload** — the MLP/softmax classifier and the small CNN running
+  inference under upsets, reported as accuracy against labels next to
+  the fault-free accuracy of the identical deployment.
+
+Cell seeds derive from ``(campaign seed, crc32(site), width, rate)`` —
+process-stable quantities only — so a per-site shard run and a serial
+run arm *identical* plans and produce byte-identical rows. All model
+building (training, golden vectors) runs with faults scoped off and
+telemetry silenced: it is infrastructure, repeated per shard process,
+and must not skew the serial-vs-sharded telemetry parity the runner
+guarantees. Only armed-cell evaluation is charged.
+
+Registered as the ``fault_campaign`` experiment, sharded per site.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine import BatchEngine
+from repro.experiments.result import ExperimentResult
+from repro.faults.inject import use_plan
+from repro.faults.models import FaultSpec
+from repro.faults.plan import SITES, ArmedPlan, FaultPlan, Protection
+from repro.fixedpoint import FxArray
+from repro.nacu.config import NacuConfig
+from repro.nn.activations import NacuActivations
+from repro.nn.cnn import SmallCnn
+from repro.nn.datasets import make_bar_images, make_gaussian_clusters
+from repro.nn.mlp import FixedPointMlp, Mlp
+from repro.telemetry.collector import use_collector
+
+DEFAULT_SITES: Tuple[str, ...] = SITES
+DEFAULT_WIDTHS: Tuple[int, ...] = (10, 16)
+DEFAULT_RATES: Tuple[float, ...] = (0.0, 0.005, 0.05)
+
+
+def cell_seed(base: int, site: str, width: int, rate: float) -> Tuple[int, ...]:
+    """The per-cell RNG seed tuple.
+
+    Built only from process-stable quantities (``crc32``, not ``hash``,
+    and the rate as an integer nano-probability), never from positional
+    indices into the sweep lists — so any sharding of the sweep arms the
+    exact plan the serial run arms.
+    """
+    return (base, zlib.crc32(site.encode()), width, int(round(rate * 1e9)))
+
+
+@dataclass
+class _Workbench:
+    """One width's deployed models, golden vectors and test sets."""
+
+    width: int
+    engine: BatchEngine
+    sig_grid: FxArray
+    exp_grid: FxArray
+    sig_golden: np.ndarray  # float outputs, fault-free
+    exp_golden: np.ndarray
+    fixed_mlp: FixedPointMlp
+    mlp_x: np.ndarray
+    mlp_y: np.ndarray
+    mlp_golden_acc: float
+    cnn: SmallCnn
+    cnn_images: np.ndarray
+    cnn_labels: np.ndarray
+    cnn_golden_acc: float
+
+
+def _build_workbench(width: int, seed: int) -> _Workbench:
+    """Train and deploy the workloads for one width, fault-free.
+
+    Runs with faults scoped off and telemetry silenced — model setup is
+    per-shard infrastructure (see the module docstring).
+    """
+    config = NacuConfig.for_bits(width)
+    engine = BatchEngine(config=config)
+    provider = NacuActivations(engine=engine)
+    fmt = config.io_fmt
+
+    sig_grid = FxArray.from_float(
+        np.linspace(-config.lut_range, config.lut_range, 257), fmt
+    )
+    exp_grid = FxArray.from_float(np.linspace(-6.0, 0.0, 129), fmt)
+
+    x, y = make_gaussian_clusters(
+        n_classes=3, n_features=8, n_per_class=50, spread=2.0, seed=seed
+    )
+    split = int(0.75 * len(y))
+    mlp = Mlp([8, 12, 3], hidden="sigmoid", seed=seed + 1)
+    mlp.train(x[:split], y[:split], epochs=150, learning_rate=0.8)
+    fixed_mlp = FixedPointMlp(mlp, provider, fmt=fmt)
+
+    images, labels = make_bar_images(n_per_class=20, size=8, seed=seed + 2)
+    cnn_split = int(0.6 * len(labels))
+    cnn = SmallCnn(provider=provider, fmt=fmt, head_hidden=8, seed=seed + 3)
+    cnn.fit_head(images[:cnn_split], labels[:cnn_split], epochs=120)
+
+    return _Workbench(
+        width=width,
+        engine=engine,
+        sig_grid=sig_grid,
+        exp_grid=exp_grid,
+        sig_golden=engine.sigmoid_fx(sig_grid).to_float(),
+        exp_golden=engine.exp_fx(exp_grid).to_float(),
+        fixed_mlp=fixed_mlp,
+        mlp_x=x[split:],
+        mlp_y=y[split:],
+        mlp_golden_acc=fixed_mlp.accuracy(x[split:], y[split:]),
+        cnn=cnn,
+        cnn_images=images[cnn_split:],
+        cnn_labels=labels[cnn_split:],
+        cnn_golden_acc=cnn.accuracy(images[cnn_split:], labels[cnn_split:]),
+    )
+
+
+def _mitigation_summary(stats: Dict[str, int]) -> Dict[str, int]:
+    """Fold an armed plan's ledger into the row's counter columns."""
+    injected = sum(v for k, v in stats.items() if k.startswith("injected."))
+    detected = (
+        stats.get("parity.detected", 0)
+        + stats.get("tmr.corrected", 0)
+        + stats.get("tmr.uncorrected", 0)
+        + stats.get("guard.saturated", 0)
+    )
+    corrected = stats.get("parity.corrected", 0) + stats.get("tmr.corrected", 0)
+    silent = stats.get("parity.silent", 0) + stats.get("tmr.uncorrected", 0)
+    return {
+        "injected": injected,
+        "detected": detected,
+        "corrected": corrected,
+        "silent": silent,
+    }
+
+
+def _evaluate_cell(
+    bench: _Workbench,
+    site: str,
+    rate: float,
+    protection: Protection,
+    seed: Tuple[int, ...],
+) -> Tuple[Dict[str, float], ArmedPlan]:
+    """One armed cell: elementwise errors, workload accuracies, ledger."""
+    plan = FaultPlan(
+        seed=seed,
+        specs=(FaultSpec(site=site, rate=rate),),
+        protection=protection,
+    )
+    armed = plan.arm()
+    with use_plan(armed):
+        sig_err = float(
+            np.max(np.abs(bench.engine.sigmoid_fx(bench.sig_grid).to_float()
+                          - bench.sig_golden))
+        )
+        exp_err = float(
+            np.max(np.abs(bench.engine.exp_fx(bench.exp_grid).to_float()
+                          - bench.exp_golden))
+        )
+        mlp_acc = bench.fixed_mlp.accuracy(bench.mlp_x, bench.mlp_y)
+        cnn_acc = bench.cnn.accuracy(bench.cnn_images, bench.cnn_labels)
+    return (
+        {
+            "sigmoid_max_err": sig_err,
+            "exp_max_err": exp_err,
+            "mlp_acc": mlp_acc,
+            "cnn_acc": cnn_acc,
+        },
+        armed,
+    )
+
+
+def run(
+    sites: Sequence[str] = DEFAULT_SITES,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    protection: str = "none",
+    seed: int = 0,
+) -> ExperimentResult:
+    """The campaign sweep, one row per (site, width, rate) cell.
+
+    Sites iterate outermost so the runner's per-site shards concatenate
+    (in plan order) to exactly this serial row order.
+    """
+    guard = Protection.preset(protection)
+    with use_plan(None), use_collector(None):
+        benches = {width: _build_workbench(width, seed) for width in widths}
+
+    rows = []
+    for site in sites:
+        for width in widths:
+            bench = benches[width]
+            for rate in rates:
+                metrics, armed = _evaluate_cell(
+                    bench, site, rate, guard, cell_seed(seed, site, width, rate)
+                )
+                row: Dict[str, object] = {
+                    "site": site,
+                    "width": width,
+                    "rate": rate,
+                    "protection": protection,
+                }
+                row.update(
+                    {name: round(value, 6) for name, value in metrics.items()}
+                )
+                row["mlp_acc_drop"] = round(
+                    bench.mlp_golden_acc - metrics["mlp_acc"], 6
+                )
+                row["cnn_acc_drop"] = round(
+                    bench.cnn_golden_acc - metrics["cnn_acc"], 6
+                )
+                row.update(_mitigation_summary(armed.stats))
+                rows.append(row)
+    return ExperimentResult(
+        experiment_id="fault_campaign",
+        title="Fault-injection campaign: site x width x upset rate",
+        paper_claim="(robustness extension) output error and workload "
+        "accuracy of the unit under seeded transient upsets at every "
+        "datapath storage/pipeline site, with optional mitigations",
+        rows=rows,
+    )

@@ -1,0 +1,94 @@
+"""The fault-injection registry: arm a plan, the datapath sees it.
+
+Mirrors the telemetry registry pattern exactly: a single module-level
+``_active`` reference holds the armed plan (or ``None``), and every
+injection hook in :mod:`repro.nacu` guards on that one reference — with
+no plan armed, a hook costs one module-attribute load and a ``None``
+check, and the datapath output is bit-identical to a build without the
+hooks (``benchmarks/bench_batch_engine.py`` pins the overhead).
+
+Unlike telemetry there is no per-component injection point: a fault
+plan describes physical state of *the* unit, so it is process-global by
+design. Campaign cells arm a fresh plan per cell (under
+:class:`use_plan`), which also makes the fault sequence independent of
+whatever ran before the cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.faults.plan import (
+    DIVIDER_PIPE,
+    IO_IN,
+    IO_OUT,
+    LUT_BIAS,
+    LUT_SLOPE,
+    MAC_ACC,
+    REWIRE_BIAS,
+    SITES,
+    ArmedPlan,
+    FaultPlan,
+)
+
+__all__ = [
+    "SITES", "LUT_SLOPE", "LUT_BIAS", "REWIRE_BIAS", "MAC_ACC",
+    "DIVIDER_PIPE", "IO_IN", "IO_OUT",
+    "arm", "disarm", "resolve", "use_plan",
+]
+
+#: The armed plan, or None when fault injection is off. Hook sites read
+#: this once per (vectorised) datapath call.
+_active: Optional[ArmedPlan] = None
+
+
+def resolve() -> Optional[ArmedPlan]:
+    """The armed plan the datapath hooks should consult, if any."""
+    return _active
+
+
+def arm(plan: Union[FaultPlan, ArmedPlan]) -> ArmedPlan:
+    """Arm ``plan`` process-wide; returns the live armed state.
+
+    A frozen :class:`FaultPlan` is armed fresh (new RNG streams); an
+    already-armed plan is installed as-is (its streams continue).
+    """
+    global _active
+    _active = plan.arm() if isinstance(plan, FaultPlan) else plan
+    return _active
+
+
+def disarm() -> Optional[ArmedPlan]:
+    """Remove the armed plan; returns what was armed."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+class use_plan:
+    """``with use_plan(plan) as armed:`` — scoped arming, restores the
+    previous state on exit. ``use_plan(None)`` scopes injection *off*
+    (the table compiler uses this so canonical tables never bake faults
+    in)."""
+
+    def __init__(self, plan: Union[FaultPlan, ArmedPlan, None]):
+        self._plan = plan
+        self._previous: Optional[ArmedPlan] = None
+
+    def __enter__(self) -> Optional[ArmedPlan]:
+        global _active
+        self._previous = _active
+        if self._plan is None:
+            _active = None
+        else:
+            _active = (
+                self._plan.arm()
+                if isinstance(self._plan, FaultPlan)
+                else self._plan
+            )
+        return _active
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active
+        _active = self._previous

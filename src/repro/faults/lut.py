@@ -1,0 +1,46 @@
+"""Static LUT fault helpers: corrupt a stored table, not a live plan.
+
+The runtime injection path (:mod:`repro.faults.inject`) perturbs words
+as they cross the datapath; this module covers the complementary static
+view — building a :class:`~repro.nacu.lutgen.CoefficientLUT` whose ROM
+contents are already corrupted, which is what a persistent manufacturing
+defect or an unscrubbed upset looks like. The historical entry point
+``repro.analysis.fault_injection.flip_lut_bit`` re-exports from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint.bitops import from_unsigned_word, to_unsigned_word
+from repro.nacu.lutgen import CoefficientLUT
+
+#: The two stored fields of a coefficient word.
+FIELDS = ("slope", "bias")
+
+
+def lut_field_fmt(lut: CoefficientLUT, field: str):
+    """The :class:`QFormat` of one stored field (validating the name)."""
+    if field not in FIELDS:
+        raise ConfigError(f"field must be one of {FIELDS}, got {field!r}")
+    return lut.slope_fmt if field == "slope" else lut.bias_fmt
+
+
+def flip_lut_bit(
+    lut: CoefficientLUT, entry: int, field: str, bit: int
+) -> CoefficientLUT:
+    """A copy of ``lut`` with one bit of one stored word flipped."""
+    fmt = lut_field_fmt(lut, field)
+    if not 0 <= entry < lut.n_entries:
+        raise ConfigError(f"entry {entry} outside the {lut.n_entries}-word LUT")
+    if not 0 <= bit < fmt.n_bits:
+        raise ConfigError(f"bit {bit} outside the {fmt.n_bits}-bit word")
+    raws = (lut.slope_raw if field == "slope" else lut.bias_raw).copy()
+    word = int(to_unsigned_word(raws[entry], fmt))
+    raws[entry] = int(from_unsigned_word(np.int64(word ^ (1 << bit)), fmt))
+    if field == "slope":
+        return replace(lut, slope_raw=raws)
+    return replace(lut, bias_raw=raws)

@@ -1,0 +1,91 @@
+"""Detection and mitigation primitives for injected faults.
+
+Three hardware-style protections, each cheap enough to be plausible on
+the real unit:
+
+* **per-word LUT parity** — one parity bit per stored coefficient word;
+  a mismatch on fetch triggers a recompute (modelled as re-reading the
+  golden word, which is what regenerating the minimax coefficient for
+  that segment would produce). Even-weight corruptions (e.g. a 2-bit
+  burst) pass parity unseen — those are *silent* corruptions;
+* **TMR voting** — three replicas of the bias-rewiring logic and a
+  bitwise majority vote ``(a&b)|(a&c)|(b&c)``; any single-replica upset
+  is outvoted;
+* **output range guard** — the function's mathematical output range is
+  known a priori (sigma and softmax in [0, 1], tanh in [-1, 1], e^x on
+  the normalised domain in [0, 1]); a comparator clamps escapees back
+  into range and counts the event.
+
+Every primitive works on plain int64 arrays and returns
+``(values, stats)`` so the caller can fold the stats into telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def word_parity(word: np.ndarray) -> np.ndarray:
+    """XOR-fold parity (0/1) of each unsigned word, vectorised."""
+    folded = np.asarray(word, dtype=np.int64).copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        folded ^= folded >> shift
+    return folded & 1
+
+
+def parity_scrub(
+    word: np.ndarray, golden: np.ndarray
+) -> Tuple[np.ndarray, Dict[str, int]]:
+    """Parity-check fetched words against their stored parity bits.
+
+    ``golden`` is the uncorrupted word (whose parity the ROM's parity
+    column holds). Mismatches are *detected* and corrected by recompute
+    — the word is replaced with the golden value. Corruptions whose bit
+    count is even keep the stored parity and sail through *silent*.
+    """
+    word = np.asarray(word, dtype=np.int64)
+    golden = np.asarray(golden, dtype=np.int64)
+    corrupted = word != golden
+    detected = corrupted & (word_parity(word) != word_parity(golden))
+    out = np.where(detected, golden, word)
+    stats = {
+        "parity.detected": int(np.count_nonzero(detected)),
+        "parity.corrected": int(np.count_nonzero(detected)),
+        "parity.silent": int(np.count_nonzero(corrupted & ~detected)),
+    }
+    return out, stats
+
+
+def tmr_vote(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, golden: np.ndarray
+) -> Tuple[np.ndarray, Dict[str, int]]:
+    """Bitwise majority vote over three replica words.
+
+    ``golden`` is the fault-free word, used only for the accounting:
+    a vote that restores it after some replica diverged is *corrected*;
+    a vote that still differs (two replicas upset in the same bit) is
+    *uncorrected* — a silent corruption of the protected output.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    c = np.asarray(c, dtype=np.int64)
+    golden = np.asarray(golden, dtype=np.int64)
+    voted = (a & b) | (a & c) | (b & c)
+    upset = (a != golden) | (b != golden) | (c != golden)
+    stats = {
+        "tmr.corrected": int(np.count_nonzero(upset & (voted == golden))),
+        "tmr.uncorrected": int(np.count_nonzero(voted != golden)),
+    }
+    return voted, stats
+
+
+def range_guard(
+    raw: np.ndarray, lo: int, hi: int
+) -> Tuple[np.ndarray, Dict[str, int]]:
+    """Saturate raw outputs into [lo, hi] and count the clamps."""
+    raw = np.asarray(raw, dtype=np.int64)
+    clipped = np.clip(raw, np.int64(lo), np.int64(hi))
+    stats = {"guard.saturated": int(np.count_nonzero(clipped != raw))}
+    return clipped, stats

@@ -1,0 +1,125 @@
+"""Fault models: how a stored or in-flight word gets corrupted.
+
+Three physical upset mechanisms are modelled, plus one deterministic
+probe used by the sensitivity analysis:
+
+* **transient** (SEU) — each word independently suffers a single-bit
+  flip with probability ``rate`` per crossing, the flipped position
+  uniform over the word;
+* **stuck_at** — one bit position is forced to 0 or 1 on every crossing
+  (a hard defect in a register cell or ROM column);
+* **burst** — a multi-bit upset: with probability ``rate`` a run of
+  ``burst_len`` adjacent bits flips (charge sharing between neighbouring
+  cells);
+* **flip** — one bit position XORs on every crossing; deterministic, so
+  :func:`repro.analysis.fault_injection.bit_sensitivity` can sweep bit
+  positions through the *same* injection path the random models use.
+
+Every model operates on the unsigned two's-complement word image of the
+raw value (:func:`~repro.fixedpoint.bitops.to_unsigned_word`), so a
+perturbed word always stays representable in its format — injection can
+corrupt values arbitrarily within the word but can never fabricate a
+raw outside the format's range.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class FaultModel(enum.Enum):
+    """The upset mechanisms the injection subsystem can apply."""
+
+    TRANSIENT = "transient"
+    STUCK_AT = "stuck_at"
+    BURST = "burst"
+    FLIP = "flip"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault attached to one datapath site.
+
+    ``site`` names an injection hook (see :mod:`repro.faults.inject`);
+    ``entry`` optionally restricts a LUT-site fault to a single table
+    entry (ignored at sites without an entry index).
+    """
+
+    site: str
+    model: FaultModel = FaultModel.TRANSIENT
+    #: Per-word upset probability per crossing (transient/burst).
+    rate: float = 0.0
+    #: Bit position (LSB = 0) for stuck_at/flip.
+    bit: Optional[int] = None
+    #: Forced level for stuck_at: True sticks to 1, False to 0.
+    stuck_value: bool = True
+    #: Adjacent bits flipped per burst event.
+    burst_len: int = 2
+    #: Restrict a LUT fault to one table entry (None: every entry).
+    entry: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ConfigError("a fault spec needs a site name")
+        if self.model in (FaultModel.TRANSIENT, FaultModel.BURST):
+            if not 0.0 <= self.rate <= 1.0:
+                raise ConfigError(f"fault rate {self.rate} outside [0, 1]")
+        if self.model in (FaultModel.STUCK_AT, FaultModel.FLIP):
+            if self.bit is None or self.bit < 0:
+                raise ConfigError(
+                    f"{self.model.value} faults need a non-negative bit position"
+                )
+        if self.model is FaultModel.BURST and self.burst_len < 1:
+            raise ConfigError("burst length must be at least 1")
+
+
+def apply_spec(
+    spec: FaultSpec,
+    word: np.ndarray,
+    n_bits: int,
+    rng: np.random.Generator,
+    index: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One spec applied to unsigned words; returns the perturbed words.
+
+    ``index`` carries the per-word LUT entry indices at table sites so an
+    ``entry``-restricted spec touches only its entry. RNG draws are
+    full-shape regardless of scope, so the stream advances identically
+    whatever the restriction — determinism depends only on call order.
+    """
+    word = np.asarray(word, dtype=np.int64)
+    if spec.bit is not None and spec.bit >= n_bits:
+        raise ConfigError(
+            f"bit {spec.bit} outside the {n_bits}-bit word at site {spec.site!r}"
+        )
+    if spec.entry is None:
+        scope = np.ones(word.shape, dtype=bool)
+    elif index is None:
+        return word  # entry-restricted spec at a site without entries
+    else:
+        scope = np.asarray(index) == spec.entry
+
+    if spec.model is FaultModel.TRANSIENT:
+        events = rng.random(word.shape) < spec.rate
+        bits = rng.integers(0, n_bits, size=word.shape)
+        mask = np.where(events & scope, np.int64(1) << bits, np.int64(0))
+        return word ^ mask
+    if spec.model is FaultModel.BURST:
+        events = rng.random(word.shape) < spec.rate
+        length = min(spec.burst_len, n_bits)
+        span = (np.int64(1) << length) - 1
+        starts = rng.integers(0, n_bits - length + 1, size=word.shape)
+        mask = np.where(events & scope, span << starts, np.int64(0))
+        return word ^ mask
+    if spec.model is FaultModel.FLIP:
+        return word ^ np.where(scope, np.int64(1) << spec.bit, np.int64(0))
+    # STUCK_AT
+    bitmask = np.int64(1) << spec.bit
+    stuck = word | bitmask if spec.stuck_value else word & ~bitmask
+    return np.where(scope, stuck, word)

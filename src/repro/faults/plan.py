@@ -1,0 +1,210 @@
+"""Fault plans: which faults, where, under which protections.
+
+A :class:`FaultPlan` is a frozen description — seed, fault specs,
+protection options. Arming it (:meth:`FaultPlan.arm`, usually through
+:func:`repro.faults.inject.arm` or :class:`repro.faults.inject.use_plan`)
+produces an :class:`ArmedPlan`: the live object the datapath hooks
+consult. Each spec gets its own ``numpy`` Generator seeded from
+``(plan seed, spec index)``, so an identical plan armed twice replays an
+identical fault sequence — campaigns are reproducible bit for bit.
+
+The armed plan keeps its own ``stats`` ledger (injected/detected/
+corrected/silent counts) *and* mirrors every count into the resolved
+telemetry collector under a ``faults.`` prefix, so campaign rows work
+without telemetry and suite telemetry still sees everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.fixedpoint.bitops import from_unsigned_word, to_unsigned_word
+from repro.faults import mitigation, models
+from repro.faults.models import FaultSpec
+
+#: The injection hook sites wired into the datapath components.
+LUT_SLOPE = "lut.slope"          #: stored slope words, on fetch
+LUT_BIAS = "lut.bias"            #: stored bias words, on fetch
+REWIRE_BIAS = "rewire.bias"      #: Fig. 3 rewiring output bus
+MAC_ACC = "mac.acc"              #: MAC accumulator / result register
+DIVIDER_PIPE = "divider.pipe"    #: divider output pipeline register
+IO_IN = "io.in"                  #: input bus register of a datapath call
+IO_OUT = "io.out"                #: output bus register of a datapath call
+
+SITES = (LUT_SLOPE, LUT_BIAS, REWIRE_BIAS, MAC_ACC, DIVIDER_PIPE, IO_IN, IO_OUT)
+
+_LUT_SITES = frozenset((LUT_SLOPE, LUT_BIAS))
+
+
+@dataclass(frozen=True)
+class Protection:
+    """Which detection/mitigation hardware the plan enables."""
+
+    #: Per-word parity on the coefficient ROM, recompute on mismatch.
+    lut_parity: bool = False
+    #: Output comparators clamping escapees back into the function range.
+    range_guard: bool = False
+    #: Triplicated bias-rewiring logic with bitwise majority voting.
+    tmr_rewire: bool = False
+
+    @classmethod
+    def preset(cls, name: str) -> "Protection":
+        """A named protection profile (the campaign CLI vocabulary)."""
+        presets = {
+            "none": cls(),
+            "parity": cls(lut_parity=True),
+            "guard": cls(range_guard=True),
+            "tmr": cls(tmr_rewire=True),
+            "full": cls(lut_parity=True, range_guard=True, tmr_rewire=True),
+        }
+        if name not in presets:
+            raise ConfigError(
+                f"unknown protection preset {name!r}; known: {sorted(presets)}"
+            )
+        return presets[name]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault-injection scenario."""
+
+    seed: Union[int, Tuple[int, ...]] = 0
+    specs: Tuple[FaultSpec, ...] = ()
+    protection: Protection = field(default_factory=Protection)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if spec.site not in SITES:
+                raise ConfigError(
+                    f"unknown fault site {spec.site!r}; known sites: {SITES}"
+                )
+
+    def arm(self) -> "ArmedPlan":
+        """Fresh armed state (new RNG streams) for this plan."""
+        return ArmedPlan(self)
+
+
+class ArmedPlan:
+    """Live injection state the datapath hooks consult.
+
+    Not thread-safe and not reusable across campaigns — arm the frozen
+    plan again for a fresh, identical fault sequence.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.protection = plan.protection
+        entropy = list(plan.seed) if isinstance(plan.seed, tuple) else [plan.seed]
+        self._by_site: Dict[str, list] = {}
+        for index, spec in enumerate(plan.specs):
+            rng = np.random.default_rng(entropy + [index])
+            self._by_site.setdefault(spec.site, []).append((spec, rng))
+        #: Sites with at least one spec attached.
+        self.sites = frozenset(self._by_site)
+        #: Running injection/mitigation counts (mirrors telemetry's
+        #: ``faults.*`` counters, but available without a collector).
+        self.stats: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int, tel) -> None:
+        if n:
+            self.stats[name] = self.stats.get(name, 0) + n
+            if tel is not None:
+                tel.count(f"faults.{name}", n)
+
+    def _merge(self, stats: Dict[str, int], tel) -> None:
+        for name, n in stats.items():
+            self._count(name, n, tel)
+
+    @property
+    def touches_lut(self) -> bool:
+        """Whether any spec targets the stored coefficient words."""
+        return bool(self.sites & _LUT_SITES)
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def perturb(
+        self,
+        site: str,
+        raw: np.ndarray,
+        fmt: QFormat,
+        tel=None,
+        index: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Raw values after this site's faults; the input object itself
+        when nothing fired (so callers can skip rebuilding arrays)."""
+        streams = self._by_site.get(site)
+        if not streams:
+            return raw
+        word = to_unsigned_word(raw, fmt)
+        original = word
+        for spec, rng in streams:
+            word = models.apply_spec(spec, word, fmt.n_bits, rng, index=index)
+        changed = int(np.count_nonzero(word != original))
+        self._count(f"injected.{site}", changed, tel)
+        if not changed:
+            return raw
+        return from_unsigned_word(word, fmt)
+
+    def cross(self, site: str, fx: FxArray, tel=None) -> FxArray:
+        """One bus/register crossing of an :class:`FxArray`."""
+        raw = self.perturb(site, fx.raw, fx.fmt, tel)
+        if raw is fx.raw:
+            return fx
+        # Flips stay inside the format's word, so the raw is in range.
+        return FxArray._wrap(raw, fx.fmt)
+
+    # ------------------------------------------------------------------
+    # Site-specific hooks (injection + the matching mitigation)
+    # ------------------------------------------------------------------
+    def lut_fetch(self, lut, idx: np.ndarray, slope_w, bias_w, tel=None):
+        """Fetched coefficient words after LUT faults and, when enabled,
+        the parity scrub (detected words re-read as golden)."""
+        out = []
+        for site, words, fmt in (
+            (LUT_SLOPE, slope_w, lut.slope_fmt),
+            (LUT_BIAS, bias_w, lut.bias_fmt),
+        ):
+            perturbed = self.perturb(site, words, fmt, tel, index=idx)
+            if self.protection.lut_parity and perturbed is not words:
+                scrubbed_u, stats = mitigation.parity_scrub(
+                    to_unsigned_word(perturbed, fmt), to_unsigned_word(words, fmt)
+                )
+                self._merge(stats, tel)
+                perturbed = from_unsigned_word(scrubbed_u, fmt)
+            out.append(perturbed)
+        return out[0], out[1]
+
+    def rewire_output(self, bias: FxArray, tel=None) -> FxArray:
+        """The rewired-coefficient bus crossing, optionally triplicated."""
+        if not self.protection.tmr_rewire:
+            return self.cross(REWIRE_BIAS, bias, tel)
+        golden_u = to_unsigned_word(bias.raw, bias.fmt)
+        replicas = [
+            to_unsigned_word(
+                self.perturb(REWIRE_BIAS, bias.raw, bias.fmt, tel), bias.fmt
+            )
+            for _ in range(3)
+        ]
+        voted_u, stats = mitigation.tmr_vote(*replicas, golden_u)
+        self._merge(stats, tel)
+        if np.array_equal(voted_u, golden_u):
+            return bias
+        return FxArray._wrap(from_unsigned_word(voted_u, bias.fmt), bias.fmt)
+
+    def guard_output(self, fx: FxArray, lo_raw: int, hi_raw: int, tel=None) -> FxArray:
+        """Range-guard an output bus (call only with range_guard on)."""
+        clipped, stats = mitigation.range_guard(fx.raw, lo_raw, hi_raw)
+        self._merge(stats, tel)
+        if clipped is fx.raw or not stats["guard.saturated"]:
+            return fx
+        return FxArray._wrap(clipped, fx.fmt)

@@ -21,6 +21,7 @@ from repro.errors import ConfigError, RangeError
 from repro.fixedpoint import FxArray, Overflow, QFormat
 from repro.fixedpoint.bitops import bit_length
 from repro.fixedpoint.rounding import apply_overflow, shift_right_round, Rounding
+from repro.faults import inject as _faults
 from repro.hwcost.components import lut_cost, multiplier_cost, register_cost
 from repro.hwcost.gates import GateCounts
 from repro.telemetry import collector as _telemetry
@@ -84,11 +85,16 @@ class ApproxReciprocalDivider:
         # iteration absorbs that (the seed is just slightly off). Anything
         # further out is a genuine misuse.
         tolerance = np.int64(4)
+        plan = _faults._active
         if np.any(den.raw < half_raw - tolerance) or np.any(den.raw > one_raw):
-            raise RangeError(
-                "approximate reciprocal is specified for divisors in "
-                "[0.5, 1] (the normalised sigma range)"
-            )
+            if plan is None:
+                raise RangeError(
+                    "approximate reciprocal is specified for divisors in "
+                    "[0.5, 1] (the normalised sigma range)"
+                )
+            # Under an armed fault plan an out-of-range divisor is a fault
+            # effect; the seed-LUT address clamp bounds it like hardware.
+            den = FxArray(np.clip(den.raw, half_raw, one_raw), den.fmt)
         tel = _telemetry.resolve(self.collector)
         if tel is not None:
             tel.count("divider.approx.reciprocals", np.asarray(den.raw).size)
@@ -103,8 +109,14 @@ class ApproxReciprocalDivider:
             # exactly what reusing the MAC multiplier would produce.
             d_r = shift_right_round(d * r, fb, Rounding.NEAREST_EVEN)
             r = shift_right_round(r * (two - d_r), fb, Rounding.NEAREST_EVEN)
-        raw = shift_right_round(r, fb - self.out_fmt.fb, Rounding.NEAREST_EVEN)
-        return FxArray(apply_overflow(raw, self.out_fmt, Overflow.SATURATE), self.out_fmt)
+        raw = apply_overflow(
+            shift_right_round(r, fb - self.out_fmt.fb, Rounding.NEAREST_EVEN),
+            self.out_fmt, Overflow.SATURATE,
+        )
+        # Fault site divider.pipe: the reciprocal output register.
+        if plan is not None and _faults.DIVIDER_PIPE in plan.sites:
+            raw = plan.perturb(_faults.DIVIDER_PIPE, raw, self.out_fmt, tel)
+        return FxArray(raw, self.out_fmt)
 
     def divide(self, num: FxArray, den: FxArray) -> FxArray:
         """``num / den`` as ``num * (1/den)`` (one extra multiplication).
@@ -113,8 +125,13 @@ class ApproxReciprocalDivider:
         [0.5, 1] (a priority encoder plus shifter in hardware) and the
         quotient is post-scaled back.
         """
+        plan = _faults._active
         if np.any(den.raw <= 0):
-            raise RangeError("approximate divide requires positive divisors")
+            if plan is None:
+                raise RangeError("approximate divide requires positive divisors")
+            # Fault effect (e.g. an upset accumulator): the normaliser's
+            # priority encoder sees at least one LSB, bounding the quotient.
+            den = FxArray._wrap(np.maximum(den.raw, 1), den.fmt)
         out_shape = np.broadcast_shapes(np.shape(num.raw), np.shape(den.raw))
         den_raw = np.broadcast_to(np.asarray(den.raw, dtype=np.int64), out_shape)
         num_raw = np.broadcast_to(np.asarray(num.raw, dtype=np.int64), out_shape)

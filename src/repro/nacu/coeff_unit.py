@@ -31,6 +31,7 @@ from repro.nacu.bias_units import (
 )
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.lutgen import CoefficientLUT
+from repro.faults import inject as _faults
 from repro.telemetry import collector as _telemetry
 
 
@@ -52,7 +53,13 @@ class CoefficientUnit:
         tel = _telemetry.resolve(self.collector)
         if tel is not None:
             tel.observe("nacu.lut.segment", idx)
-        return self.lut.slope_raw[idx], self.lut.bias_raw[idx]
+        slope_w, bias_w = self.lut.slope_raw[idx], self.lut.bias_raw[idx]
+        # Fault site lut.slope / lut.bias: upsets in the stored words,
+        # seen (and parity-scrubbed, when enabled) at fetch time.
+        plan = _faults._active
+        if plan is not None and plan.touches_lut:
+            slope_w, bias_w = plan.lut_fetch(self.lut, idx, slope_w, bias_w, tel)
+        return slope_w, bias_w
 
     def compute(self, x: FxArray, mode: FunctionMode) -> Tuple[FxArray, FxArray]:
         """Slope and bias words for each input element."""
@@ -81,4 +88,9 @@ class CoefficientUnit:
         # to the bus width, as real wiring would.
         slope = FxArray.from_raw(out_slope, self.config.slope_fmt, overflow=Overflow.WRAP)
         bias = FxArray.from_raw(out_bias, self.bias_out_fmt, overflow=Overflow.WRAP)
+        # Fault site rewire.bias: the derived-coefficient bus leaving the
+        # Fig. 3 units, optionally triplicated and majority-voted.
+        plan = _faults._active
+        if plan is not None and _faults.REWIRE_BIAS in plan.sites:
+            bias = plan.rewire_output(bias, _telemetry.resolve(self.collector))
         return slope, bias

@@ -25,6 +25,7 @@ from repro.nacu.approx_divider import ApproxReciprocalDivider
 from repro.nacu.divider import RestoringDivider
 from repro.nacu.lutgen import get_sigmoid_lut
 from repro.nacu.mac import MacUnit
+from repro.faults import inject as _faults
 from repro.telemetry import collector as _telemetry
 
 
@@ -54,6 +55,28 @@ class NacuDatapath:
             self.divider = RestoringDivider(config.divider_fmt, config.divider_stages)
 
     # ------------------------------------------------------------------
+    # Fault sites io.in / io.out: the datapath's bus registers. The
+    # exponential and softmax paths are built from the simpler calls, so
+    # their internal hand-offs (e.g. the sigma feeding e^x) cross these
+    # registers too — each hop through the unit is one more exposure.
+    # ------------------------------------------------------------------
+    def _io_in(self, x: FxArray, plan, tel) -> FxArray:
+        if plan is not None and _faults.IO_IN in plan.sites:
+            return plan.cross(_faults.IO_IN, x, tel)
+        return x
+
+    def _io_out(self, out: FxArray, plan, tel, lo_raw, hi_raw) -> FxArray:
+        if plan is None:
+            return out
+        if _faults.IO_OUT in plan.sites:
+            out = plan.cross(_faults.IO_OUT, out, tel)
+        # The range guard sits after the output register, so it catches
+        # upsets from every upstream site, io.out included.
+        if plan.protection.range_guard:
+            out = plan.guard_output(out, lo_raw, hi_raw, tel)
+        return out
+
+    # ------------------------------------------------------------------
     # sigma and tanh
     # ------------------------------------------------------------------
     def activation(self, x: FxArray, mode: FunctionMode) -> FxArray:
@@ -67,6 +90,8 @@ class NacuDatapath:
         tel = _telemetry.resolve(self.collector)
         if tel is not None:
             tel.count(f"nacu.op.{mode.value}", x.raw.size)
+        plan = _faults._active
+        x = self._io_in(x, plan, tel)
         slope, bias = self.coeff_unit.compute(x, mode)
         range_raw = int(round(self.config.lut_range * (1 << x.fmt.fb)))
         limit = range_raw - 1 if mode is FunctionMode.SIGMOID else (range_raw >> 1) - 1
@@ -81,7 +106,8 @@ class NacuDatapath:
         # ("the value of sigma will saturate to 1", Section III).
         unit_raw = np.int64(1) << self.config.io_fmt.fb
         low = np.int64(0) if mode is FunctionMode.SIGMOID else -unit_raw
-        return FxArray(np.clip(out.raw, low, unit_raw), self.config.io_fmt)
+        out = FxArray(np.clip(out.raw, low, unit_raw), self.config.io_fmt)
+        return self._io_out(out, plan, tel, int(low), int(unit_raw))
 
     # ------------------------------------------------------------------
     # e^x via Eq. 14
@@ -101,11 +127,17 @@ class NacuDatapath:
         tel = _telemetry.resolve(self.collector)
         if tel is not None:
             tel.count("nacu.op.exp", x.raw.size)
+        # The domain check models the interface contract, so it precedes
+        # the io.in register this path's faults land in.
+        plan = _faults._active
+        x = self._io_in(x, plan, tel)
         sig = self.activation(ops.neg(x), FunctionMode.SIGMOID)
         sigma_prime = self.divider.reciprocal(sig)  # 1/sigma(-x) in [1, 2]
         e_raw = fig3b_decrement(sigma_prime.raw, sigma_prime.fmt.fb)
         e = FxArray.from_raw(e_raw, sigma_prime.fmt, overflow=Overflow.SATURATE)
-        return ops.resize(e, self.config.io_fmt)
+        out = ops.resize(e, self.config.io_fmt)
+        unit_raw = int(np.int64(1) << self.config.io_fmt.fb)
+        return self._io_out(out, plan, tel, 0, unit_raw)
 
     # ------------------------------------------------------------------
     # softmax via Eq. 13
@@ -134,6 +166,8 @@ class NacuDatapath:
         if tel is not None:
             tel.count("nacu.op.softmax", x.raw.size)
             tel.observe("nacu.softmax.rowlen", x.raw.shape[-1])
+        plan = _faults._active
+        x = self._io_in(x, plan, tel)
         x_max = np.max(x.raw, axis=-1, keepdims=True)
         shifted = FxArray.from_raw(
             x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
@@ -148,7 +182,9 @@ class NacuDatapath:
             denominator.fmt,
         )
         probabilities = self.divider.divide(exps, denom)
-        return ops.resize(probabilities, self.config.io_fmt)
+        out = ops.resize(probabilities, self.config.io_fmt)
+        unit_raw = int(np.int64(1) << self.config.io_fmt.fb)
+        return self._io_out(out, plan, tel, 0, unit_raw)
 
     # ------------------------------------------------------------------
     # Cycle accounting

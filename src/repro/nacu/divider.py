@@ -17,6 +17,8 @@ import numpy as np
 from repro.errors import FormatError
 from repro.fixedpoint import FxArray, Overflow, QFormat
 from repro.fixedpoint.rounding import apply_overflow
+from repro.faults import inject as _faults
+from repro.telemetry import collector as _telemetry
 
 
 class RestoringDivider:
@@ -49,9 +51,16 @@ class RestoringDivider:
 
     def divide(self, num: FxArray, den: FxArray) -> FxArray:
         """``num / den`` by restoring long division on the magnitudes."""
-        if np.any(den.raw == 0):
+        plan = _faults._active
+        if np.any(den.raw == 0) and plan is None:
+            # With a fault plan armed a zero divisor is a fault effect,
+            # not a model misuse: the restoring loop below then behaves
+            # like the hardware array (the subtraction always "fits", the
+            # quotient comes out all-ones and saturates).
             raise ZeroDivisionError("restoring divider: divisor is zero")
-        sign = np.sign(num.raw) * np.sign(den.raw)
+        # A zero divisor (reachable only under an armed fault plan) takes
+        # the positive sign path, so its all-ones quotient saturates high.
+        sign = np.sign(num.raw) * np.where(den.raw == 0, 1, np.sign(den.raw))
         # Align so the quotient's LSB weight is 2^-fb_out:
         #   q = (num / den) * 2^fb_out = (num_raw << shift) / den_raw
         shift = self.out_fmt.fb - num.fmt.fb + den.fmt.fb
@@ -80,6 +89,11 @@ class RestoringDivider:
             remainder = np.where(fits, remainder - divisor, remainder)
             quotient = (quotient << 1) | fits.astype(np.int64)
         raw = apply_overflow(sign * quotient, self.out_fmt, Overflow.SATURATE)
+        # Fault site divider.pipe: the quotient output pipeline register.
+        if plan is not None and _faults.DIVIDER_PIPE in plan.sites:
+            raw = plan.perturb(
+                _faults.DIVIDER_PIPE, raw, self.out_fmt, _telemetry.resolve(None)
+            )
         return FxArray(raw, self.out_fmt)
 
     def reciprocal(self, den: FxArray) -> FxArray:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, ops
+from repro.faults import inject as _faults
 from repro.telemetry import collector as _telemetry
 
 
@@ -37,13 +38,23 @@ class MacUnit:
     # ------------------------------------------------------------------
     # Combinational use: one multiply-add, no state
     # ------------------------------------------------------------------
+    def _result_register(self, result: FxArray) -> FxArray:
+        """Fault site mac.acc: the register every MAC result lands in
+        (the accumulator in feedback use, the output register otherwise)."""
+        plan = _faults._active
+        if plan is None or _faults.MAC_ACC not in plan.sites:
+            return result
+        return plan.cross(
+            _faults.MAC_ACC, result, _telemetry.resolve(self.collector)
+        )
+
     def mul_add(
         self, a: FxArray, b: FxArray, c: FxArray, out_fmt: QFormat
     ) -> FxArray:
         """``a*b + c`` with the addend joining at full product precision."""
-        return ops.mul_add(
+        return self._result_register(ops.mul_add(
             a, b, c, out_fmt=out_fmt, rounding=self.rounding, overflow=self.overflow
-        )
+        ))
 
     # ------------------------------------------------------------------
     # Accumulator use
@@ -63,14 +74,14 @@ class MacUnit:
         """One MAC step: ``acc += a * b``; returns the new accumulator."""
         if self._acc is None:
             raise ConfigError("MAC accumulate before reset()")
-        self._acc = ops.mul_add(
+        self._acc = self._result_register(ops.mul_add(
             a,
             b,
             self._acc,
             out_fmt=self.acc_fmt,
             rounding=self.rounding,
             overflow=self.overflow,
-        )
+        ))
         return self._acc
 
     def accumulate_sum(self, values: FxArray, axis: Optional[int] = None) -> FxArray:

@@ -68,3 +68,52 @@ class TestBitSensitivity:
     def test_slope_field_also_injectable(self):
         impacts = bit_sensitivity(field="slope", n_samples=401)
         assert max(i.error_increase for i in impacts) > 0.01
+
+
+class TestEntrySelection:
+    def test_explicit_entry_index(self):
+        impacts = bit_sensitivity(entry=3, n_samples=201)
+        assert {i.entry for i in impacts} == {3}
+
+    def test_entry_iterable_sweeps_in_order(self):
+        impacts = bit_sensitivity(entry=(7, 2), n_samples=201)
+        assert [i.entry for i in impacts[:16]] == [7] * 16
+        assert [i.entry for i in impacts[16:]] == [2] * 16
+
+    def test_entry_all_covers_every_word(self):
+        config = NacuConfig.for_bits(10)
+        lut = build_sigmoid_lut(config)
+        impacts = bit_sensitivity(config, entry="all", n_samples=201)
+        assert len(impacts) == lut.n_entries * lut.bias_fmt.n_bits
+        assert {i.entry for i in impacts} == set(range(lut.n_entries))
+
+    def test_entry_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            bit_sensitivity(entry=10_000, n_samples=201)
+        with pytest.raises(ConfigError):
+            bit_sensitivity(entry="everything", n_samples=201)
+
+
+class TestRuntimeStaticEquivalence:
+    def test_armed_flip_matches_static_rom_corruption(self):
+        # The sensitivity sweep rides the runtime FLIP injection path;
+        # it must agree exactly with evaluating a statically corrupted
+        # ROM — one injection semantics, two views.
+        import numpy as np
+
+        from repro.faults import FaultModel, FaultPlan, FaultSpec, use_plan
+        from repro.nacu.unit import Nacu
+
+        config = NacuConfig.for_bits(12)
+        lut = build_sigmoid_lut(config)
+        grid = np.linspace(-4.0, 4.0, 301)
+        entry, bit = lut.n_entries // 3, 9
+        static = Nacu(config, lut=flip_lut_bit(lut, entry, "bias", bit))
+        expected = static.sigmoid(grid)
+        plan = FaultPlan(specs=(
+            FaultSpec(site="lut.bias", model=FaultModel.FLIP, bit=bit,
+                      entry=entry),
+        ))
+        with use_plan(plan):
+            runtime = Nacu(config, lut=lut).sigmoid(grid)
+        np.testing.assert_array_equal(runtime, expected)

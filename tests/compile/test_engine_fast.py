@@ -70,6 +70,26 @@ class TestFastDispatch:
         finally:
             set_default_fast(previous)
 
+    def test_armed_fault_plan_falls_back_to_datapath(self):
+        # Response tables hold the fault-free response and are keyed by
+        # config fingerprint alone; serving one with a fault plan armed
+        # would silently bypass every injection site.
+        from repro.faults import FaultPlan, FaultSpec, use_plan
+
+        engine = BatchEngine.for_bits(8, fast=True)
+        x = FxArray.from_float(np.array([0.5, -0.5]), engine.io_fmt)
+        golden = engine.sigmoid_fx(x)
+        collector = Collector()
+        plan = FaultPlan(specs=(FaultSpec(site="io.out", rate=1.0),))
+        with use_collector(collector), use_plan(plan):
+            faulty = engine.sigmoid_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.fast.fallback_faults") == 1
+        assert counters.get("engine.sigmoid.fast_elements") is None
+        assert np.any(faulty.raw != golden.raw)
+        # Disarmed again, the fast path resumes bit-identically.
+        np.testing.assert_array_equal(engine.sigmoid_fx(x).raw, golden.raw)
+
     def test_injected_lut_falls_back_to_datapath(self):
         # A fault-study unit with its own (here: canonical, but *injected*)
         # LUT must not be served from the fingerprint-keyed table cache.

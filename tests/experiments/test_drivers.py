@@ -14,7 +14,8 @@ class TestRegistry:
         expected = {
             "fig1", "sec3", "fig4a", "fig4b", "fig5_area",
             "fig5_power_latency", "fig6", "table1", "sec7ab", "sec7c",
-            "eq16", "nn_workloads", "fault_robustness", "cost_scaling",
+            "eq16", "nn_workloads", "fault_robustness", "fault_campaign",
+            "cost_scaling",
             "ablation_shared_lut",
             "ablation_divider", "ablation_softmax_norm",
             "ablation_bias_units", "ablation_approx_divider",

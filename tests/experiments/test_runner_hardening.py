@@ -1,0 +1,138 @@
+"""Failure isolation in the runner: crashes, hangs, retries, exit codes.
+
+The fake experiments are injected into the registry with ``monkeypatch``;
+worker processes are *forked*, so they see the patched registry too —
+that inheritance is why the supervisor uses the fork start method.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import deterministic_view, run_suite
+
+
+def _ok_result(experiment_id="fake_ok"):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="a fake that works",
+        paper_claim="(test)",
+        rows=[{"value": 1}],
+    )
+
+
+def _fake_ok():
+    return _ok_result()
+
+
+def _fake_boom():
+    raise ValueError("deliberately broken driver")
+
+
+def _fake_hang():
+    time.sleep(600)
+    return _ok_result("fake_hang")
+
+
+@pytest.fixture
+def fakes(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "fake_ok", _fake_ok)
+    monkeypatch.setitem(EXPERIMENTS, "fake_boom", _fake_boom)
+    monkeypatch.setitem(EXPERIMENTS, "fake_hang", _fake_hang)
+
+
+class TestCrashIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_raising_shard_recorded_and_suite_completes(self, fakes, jobs):
+        report = run_suite(ids=["fake_boom", "fake_ok"], jobs=jobs)
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.experiment_id == "fake_boom"
+        assert failure.kind == "error"
+        assert failure.attempts == 1
+        assert "ValueError" in failure.error
+        assert "deliberately broken" in failure.error
+        # The healthy shard still completed and merged.
+        assert report.results["fake_ok"].rows == [{"value": 1}]
+        # The failed experiment keeps a placeholder so reports/recording
+        # retain the suite's shape.
+        assert report.results["fake_boom"].rows == []
+
+    def test_validation_still_raises_before_any_work(self, fakes):
+        with pytest.raises(ConfigError):
+            run_suite(ids=["fake_ok"], retries=-1)
+        with pytest.raises(ConfigError):
+            run_suite(ids=["fake_ok"], timeout_s=0)
+
+
+class TestTimeouts:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_hanging_shard_killed_and_recorded(self, fakes, jobs):
+        started = time.perf_counter()
+        report = run_suite(
+            ids=["fake_hang", "fake_ok"], jobs=jobs, timeout_s=1.0
+        )
+        wall = time.perf_counter() - started
+        assert wall < 30.0  # nowhere near the 600 s sleep
+        (failure,) = report.failures
+        assert failure.shard_id == "fake_hang"
+        assert failure.kind == "timeout"
+        assert report.results["fake_ok"].rows == [{"value": 1}]
+
+
+class TestRetries:
+    def _flaky(self, sentinel):
+        def driver():
+            if sentinel.exists():
+                return _ok_result("fake_flaky")
+            sentinel.write_text("tried once")
+            raise RuntimeError("first attempt fails")
+        return driver
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retry_then_succeed(self, monkeypatch, tmp_path, jobs):
+        # The sentinel lives on the filesystem, so the retry sees it even
+        # from a fresh forked worker.
+        sentinel = tmp_path / "attempted"
+        monkeypatch.setitem(EXPERIMENTS, "fake_flaky", self._flaky(sentinel))
+        report = run_suite(
+            ids=["fake_flaky"], jobs=jobs, retries=2, backoff_s=0.01
+        )
+        assert report.ok
+        assert report.results["fake_flaky"].rows == [{"value": 1}]
+
+    def test_retries_exhausted_counts_attempts(self, fakes):
+        report = run_suite(ids=["fake_boom"], retries=2, backoff_s=0.0)
+        (failure,) = report.failures
+        assert failure.attempts == 3
+
+
+class TestShardedCampaignParity:
+    def test_serial_and_jobs4_campaign_byte_identical(self):
+        serial = run_suite(ids=["fault_campaign"], jobs=1)
+        sharded = run_suite(ids=["fault_campaign"], jobs=4)
+        assert (
+            sharded.results["fault_campaign"].to_json()
+            == serial.results["fault_campaign"].to_json()
+        )
+        assert deterministic_view(sharded.telemetry) == deterministic_view(
+            serial.telemetry
+        )
+
+
+class TestCliExitCodes:
+    def test_partial_failure_exits_3_and_names_the_shard(self, fakes, capsys):
+        code = cli_main(["fake_boom", "fake_ok"])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "FAILED shard fake_boom" in captured.err
+        assert "ValueError" in captured.err
+        # Completed results still printed before the failure summary.
+        assert "fake_ok" in captured.out
+
+    def test_clean_run_still_exits_0(self, fakes, capsys):
+        assert cli_main(["fake_ok"]) == 0

@@ -1,0 +1,11 @@
+"""Shared fixtures: never leak an armed plan out of a test."""
+
+import pytest
+
+from repro.faults import inject
+
+
+@pytest.fixture(autouse=True)
+def disarm_after_test():
+    yield
+    inject.disarm()

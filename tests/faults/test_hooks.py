@@ -1,0 +1,176 @@
+"""The datapath injection hooks: site coverage, scoping, mitigations."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, Protection, SITES, use_plan
+from repro.faults import inject
+from repro.nacu.config import NacuConfig
+from repro.nacu.unit import Nacu
+from repro.telemetry import Collector, use_collector
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return Nacu.for_bits(16)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return np.linspace(-4.0, 4.0, 201)
+
+
+def _plan(site, rate=1.0, protection=None, seed=0):
+    return FaultPlan(
+        seed=seed,
+        specs=(FaultSpec(site=site, rate=rate),),
+        protection=protection or Protection(),
+    )
+
+
+class TestDisarmedIdentity:
+    def test_empty_plan_is_bit_identical(self, unit, grid):
+        golden = unit.sigmoid(grid)
+        with use_plan(FaultPlan()):
+            armed = unit.sigmoid(grid)
+        np.testing.assert_array_equal(armed, golden)
+
+    def test_outputs_identical_after_disarm(self, unit, grid):
+        golden = unit.sigmoid(grid)
+        with use_plan(_plan("mac.acc")):
+            pass
+        np.testing.assert_array_equal(unit.sigmoid(grid), golden)
+
+    def test_rate_zero_plan_is_bit_identical(self, unit, grid):
+        golden = unit.softmax(grid[:12])
+        with use_plan(_plan("io.out", rate=0.0)):
+            armed = unit.softmax(grid[:12])
+        np.testing.assert_array_equal(armed, golden)
+
+
+class TestSiteCoverage:
+    """Every declared site must actually reach some datapath output."""
+
+    @pytest.mark.parametrize("site", SITES)
+    def test_site_perturbs_an_output(self, unit, grid, site):
+        golden_sig = unit.sigmoid(grid)
+        golden_exp = unit.exp(-np.abs(grid[:64]))
+        with use_plan(_plan(site)) as armed:
+            sig = unit.sigmoid(grid)
+            exp = unit.exp(-np.abs(grid[:64]))
+        assert np.any(sig != golden_sig) or np.any(exp != golden_exp)
+        injected = sum(
+            count for name, count in armed.stats.items()
+            if name.startswith("injected.")
+        )
+        assert injected > 0
+
+    def test_softmax_survives_every_site(self, unit, grid):
+        # Upsets can zero the denominator or denormalise the divider
+        # inputs; the armed datapath must saturate like hardware, never
+        # raise.
+        for site in SITES:
+            with use_plan(_plan(site, seed=3)):
+                out = unit.softmax(grid[:16])
+            assert np.all(np.isfinite(out))
+
+    def test_approx_divider_path_survives_faults(self, grid):
+        import dataclasses
+
+        config = dataclasses.replace(
+            NacuConfig.for_bits(16), use_approx_divider=True
+        )
+        approx = Nacu(config)
+        for site in ("mac.acc", "io.in", "divider.pipe"):
+            with use_plan(_plan(site, seed=5)):
+                out = approx.softmax(grid[:16])
+            assert np.all(np.isfinite(out))
+
+
+class TestScoping:
+    def test_use_plan_restores_previous_state(self, unit, grid):
+        outer = _plan("io.out").arm()
+        inject.arm(outer)
+        with use_plan(None):
+            assert inject.resolve() is None
+        assert inject.resolve() is outer
+        inject.disarm()
+
+    def test_armed_plan_installed_as_is(self):
+        armed = _plan("mac.acc").arm()
+        with use_plan(armed) as installed:
+            assert installed is armed
+            assert inject.resolve() is armed
+
+
+class TestTelemetryMirror:
+    def test_injection_counters_reach_the_collector(self, unit, grid):
+        collector = Collector()
+        with use_collector(collector), use_plan(_plan("lut.bias")) as armed:
+            unit.sigmoid(grid)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("faults.injected.lut.bias") == \
+            armed.stats["injected.lut.bias"]
+        assert armed.stats["injected.lut.bias"] > 0
+
+
+class TestParityProtection:
+    def test_parity_scrub_restores_golden_outputs(self, unit, grid):
+        # Transient upsets are single-bit (odd weight), so per-word
+        # parity detects every one and recompute restores the word.
+        golden = unit.sigmoid(grid)
+        protection = Protection(lut_parity=True)
+        with use_plan(_plan("lut.bias", protection=protection)) as armed:
+            scrubbed = unit.sigmoid(grid)
+        np.testing.assert_array_equal(scrubbed, golden)
+        assert armed.stats["parity.detected"] == armed.stats["injected.lut.bias"]
+        assert armed.stats["parity.corrected"] == armed.stats["parity.detected"]
+        assert armed.stats.get("parity.silent", 0) == 0
+
+    def test_even_weight_burst_slips_through_parity(self, unit, grid):
+        from repro.faults.models import FaultModel
+
+        golden = unit.sigmoid(grid)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="lut.bias", model=FaultModel.BURST,
+                             rate=1.0, burst_len=2),),
+            protection=Protection(lut_parity=True),
+        )
+        with use_plan(plan) as armed:
+            out = unit.sigmoid(grid)
+        assert np.any(out != golden)
+        assert armed.stats["parity.silent"] > 0
+        assert armed.stats.get("parity.detected", 0) == 0
+
+
+class TestTmrProtection:
+    def test_tmr_corrects_most_rewire_upsets(self, unit, grid):
+        golden = unit.sigmoid(grid)
+        unprotected_plan = _plan("rewire.bias", rate=0.4, seed=9)
+        with use_plan(unprotected_plan):
+            unprotected = unit.sigmoid(grid)
+        protected_plan = _plan(
+            "rewire.bias", rate=0.4, seed=9,
+            protection=Protection(tmr_rewire=True),
+        )
+        with use_plan(protected_plan) as armed:
+            protected = unit.sigmoid(grid)
+        assert np.count_nonzero(protected != golden) < np.count_nonzero(
+            unprotected != golden
+        )
+        assert armed.stats["tmr.corrected"] > 0
+
+
+class TestRangeGuard:
+    def test_guard_clamps_output_escapees(self, unit, grid):
+        protection = Protection(range_guard=True)
+        with use_plan(_plan("io.out", seed=2, protection=protection)) as armed:
+            guarded = unit.sigmoid(grid)
+        assert float(np.min(guarded)) >= 0.0
+        assert float(np.max(guarded)) <= 1.0
+        assert armed.stats["guard.saturated"] > 0
+
+    def test_unguarded_faults_do_escape_the_range(self, unit, grid):
+        with use_plan(_plan("io.out", seed=2)):
+            unguarded = unit.sigmoid(grid)
+        assert float(np.min(unguarded)) < 0.0 or float(np.max(unguarded)) > 1.0

@@ -1,0 +1,83 @@
+"""Parity scrub, TMR voting and range guards on raw word arrays."""
+
+import numpy as np
+
+from repro.faults.mitigation import (
+    parity_scrub,
+    range_guard,
+    tmr_vote,
+    word_parity,
+)
+
+
+class TestWordParity:
+    def test_parity_is_bit_count_mod_two(self):
+        words = np.array([0, 1, 3, 0b1011, (1 << 16) - 1], dtype=np.int64)
+        expected = np.array([0, 1, 0, 1, 0])
+        np.testing.assert_array_equal(word_parity(words), expected)
+
+
+class TestParityScrub:
+    def test_odd_weight_corruption_detected_and_corrected(self):
+        golden = np.array([0b1010, 0b1100], dtype=np.int64)
+        corrupted = golden ^ np.array([0b0001, 0], dtype=np.int64)
+        out, stats = parity_scrub(corrupted, golden)
+        np.testing.assert_array_equal(out, golden)
+        assert stats == {"parity.detected": 1, "parity.corrected": 1,
+                         "parity.silent": 0}
+
+    def test_even_weight_corruption_is_silent(self):
+        golden = np.array([0b1010], dtype=np.int64)
+        corrupted = golden ^ 0b0011  # two flips: parity unchanged
+        out, stats = parity_scrub(corrupted, golden)
+        np.testing.assert_array_equal(out, corrupted)
+        assert stats["parity.silent"] == 1
+        assert stats["parity.detected"] == 0
+
+    def test_clean_words_pass_through(self):
+        golden = np.array([5, 9], dtype=np.int64)
+        out, stats = parity_scrub(golden.copy(), golden)
+        np.testing.assert_array_equal(out, golden)
+        assert stats == {"parity.detected": 0, "parity.corrected": 0,
+                         "parity.silent": 0}
+
+
+class TestTmrVote:
+    def test_single_corrupted_replica_outvoted(self):
+        golden = np.array([0b1111], dtype=np.int64)
+        voted, stats = tmr_vote(
+            golden ^ 0b0100, golden.copy(), golden.copy(), golden
+        )
+        np.testing.assert_array_equal(voted, golden)
+        assert stats == {"tmr.corrected": 1, "tmr.uncorrected": 0}
+
+    def test_two_agreeing_corruptions_win_the_vote(self):
+        golden = np.array([0b1111], dtype=np.int64)
+        bad = golden ^ 0b0100
+        voted, stats = tmr_vote(bad.copy(), bad.copy(), golden.copy(), golden)
+        np.testing.assert_array_equal(voted, bad)
+        assert stats == {"tmr.corrected": 0, "tmr.uncorrected": 1}
+
+    def test_disjoint_corruptions_cancel_bitwise(self):
+        # Majority is per bit: three replicas corrupted in *different*
+        # bits still vote back to golden.
+        golden = np.array([0b1111], dtype=np.int64)
+        voted, stats = tmr_vote(
+            golden ^ 0b0001, golden ^ 0b0010, golden ^ 0b0100, golden
+        )
+        np.testing.assert_array_equal(voted, golden)
+        assert stats == {"tmr.corrected": 1, "tmr.uncorrected": 0}
+
+
+class TestRangeGuard:
+    def test_escapees_clamped_and_counted(self):
+        raw = np.array([-5, 0, 7, 12], dtype=np.int64)
+        clipped, stats = range_guard(raw, 0, 10)
+        np.testing.assert_array_equal(clipped, [0, 0, 7, 10])
+        assert stats == {"guard.saturated": 2}
+
+    def test_in_range_values_untouched(self):
+        raw = np.array([1, 2], dtype=np.int64)
+        clipped, stats = range_guard(raw, 0, 10)
+        np.testing.assert_array_equal(clipped, raw)
+        assert stats == {"guard.saturated": 0}

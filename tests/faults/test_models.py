@@ -1,0 +1,168 @@
+"""Fault models: determinism, flip shapes, validation, plan arming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultModel, FaultPlan, FaultSpec, Protection
+from repro.faults.models import apply_spec
+from repro.fixedpoint import QFormat
+
+
+def _words(rng, n=256, n_bits=16):
+    return rng.integers(0, 1 << n_bits, size=n, dtype=np.int64)
+
+
+class TestSpecValidation:
+    def test_rate_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="mac.acc", rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultSpec(site="mac.acc", rate=-0.1)
+
+    def test_stuck_at_and_flip_need_a_bit(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="mac.acc", model=FaultModel.STUCK_AT)
+        with pytest.raises(ConfigError):
+            FaultSpec(site="mac.acc", model=FaultModel.FLIP, bit=-1)
+
+    def test_burst_needs_positive_length(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="mac.acc", model=FaultModel.BURST, rate=0.1,
+                      burst_len=0)
+
+    def test_bit_beyond_word_rejected_at_apply_time(self):
+        spec = FaultSpec(site="mac.acc", model=FaultModel.FLIP, bit=20)
+        with pytest.raises(ConfigError):
+            apply_spec(spec, np.zeros(4, dtype=np.int64), 16,
+                       np.random.default_rng(0))
+
+    def test_unknown_site_rejected_by_the_plan(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(specs=(FaultSpec(site="alu.magic", rate=0.1),))
+
+    def test_unknown_protection_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            Protection.preset("belt-and-braces")
+
+
+class TestTransient:
+    def test_rate_one_flips_exactly_one_bit_per_word(self):
+        rng = np.random.default_rng(7)
+        words = _words(np.random.default_rng(1))
+        spec = FaultSpec(site="mac.acc", rate=1.0)
+        out = apply_spec(spec, words, 16, rng)
+        distances = [bin(int(a ^ b)).count("1") for a, b in zip(words, out)]
+        assert distances == [1] * len(words)
+
+    def test_rate_zero_is_identity(self):
+        rng = np.random.default_rng(7)
+        words = _words(np.random.default_rng(1))
+        out = apply_spec(FaultSpec(site="mac.acc", rate=0.0), words, 16, rng)
+        np.testing.assert_array_equal(out, words)
+
+    def test_same_seed_same_fault_sequence(self):
+        words = _words(np.random.default_rng(2))
+        spec = FaultSpec(site="mac.acc", rate=0.3)
+        first = apply_spec(spec, words, 16, np.random.default_rng(11))
+        second = apply_spec(spec, words, 16, np.random.default_rng(11))
+        np.testing.assert_array_equal(first, second)
+        different = apply_spec(spec, words, 16, np.random.default_rng(12))
+        assert np.any(different != first)
+
+
+class TestStuckAt:
+    def test_stuck_high_forces_the_bit(self):
+        words = np.array([0, 1, 8], dtype=np.int64)
+        spec = FaultSpec(site="mac.acc", model=FaultModel.STUCK_AT, bit=3)
+        out = apply_spec(spec, words, 16, np.random.default_rng(0))
+        assert all(int(w) & 8 for w in out)
+
+    def test_stuck_low_clears_the_bit(self):
+        words = np.array([15, 8, 0], dtype=np.int64)
+        spec = FaultSpec(site="mac.acc", model=FaultModel.STUCK_AT, bit=3,
+                         stuck_value=False)
+        out = apply_spec(spec, words, 16, np.random.default_rng(0))
+        assert not any(int(w) & 8 for w in out)
+
+
+class TestBurst:
+    def test_burst_flips_adjacent_run(self):
+        words = np.zeros(64, dtype=np.int64)
+        spec = FaultSpec(site="mac.acc", model=FaultModel.BURST, rate=1.0,
+                         burst_len=3)
+        out = apply_spec(spec, words, 16, np.random.default_rng(3))
+        for word in out:
+            word = int(word)
+            assert bin(word).count("1") == 3
+            # The three set bits are adjacent: word == 0b111 << start.
+            assert word % (word & -word) == 0
+            assert (word // (word & -word)) == 0b111
+
+
+class TestEntryRestriction:
+    def test_entry_scoped_spec_touches_only_its_entry(self):
+        words = _words(np.random.default_rng(4), n=32)
+        index = np.arange(32) % 8
+        spec = FaultSpec(site="lut.bias", model=FaultModel.FLIP, bit=2,
+                         entry=5)
+        out = apply_spec(spec, words, 16, np.random.default_rng(0),
+                         index=index)
+        changed = out != words
+        np.testing.assert_array_equal(changed, index == 5)
+
+    def test_entry_scoped_spec_is_inert_without_an_index(self):
+        words = _words(np.random.default_rng(4))
+        spec = FaultSpec(site="lut.bias", model=FaultModel.FLIP, bit=2,
+                         entry=5)
+        out = apply_spec(spec, words, 16, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, words)
+
+    def test_scope_restriction_keeps_the_rng_stream_aligned(self):
+        # Restricting scope must not consume fewer RNG draws, or two
+        # specs behind it would see shifted streams.
+        words = _words(np.random.default_rng(4), n=32)
+        index = np.arange(32)
+        rng_a, rng_b = (np.random.default_rng(9) for _ in range(2))
+        spec_scoped = FaultSpec(site="lut.bias", rate=0.5, entry=3)
+        spec_full = FaultSpec(site="lut.bias", rate=0.5)
+        apply_spec(spec_scoped, words, 16, rng_a, index=index)
+        apply_spec(spec_full, words, 16, rng_b, index=index)
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+
+class TestArmedPlanDeterminism:
+    def test_arming_twice_replays_identical_faults(self):
+        fmt = QFormat(4, 11)
+        raw = np.random.default_rng(5).integers(
+            fmt.raw_min, fmt.raw_max + 1, size=512, dtype=np.int64
+        )
+        plan = FaultPlan(seed=42, specs=(FaultSpec(site="mac.acc", rate=0.2),))
+        first = plan.arm().perturb("mac.acc", raw, fmt)
+        second = plan.arm().perturb("mac.acc", raw, fmt)
+        np.testing.assert_array_equal(first, second)
+
+    def test_tuple_seeds_give_distinct_streams(self):
+        fmt = QFormat(4, 11)
+        raw = np.zeros(512, dtype=np.int64)
+        plans = [
+            FaultPlan(seed=(0, extra),
+                      specs=(FaultSpec(site="mac.acc", rate=0.5),))
+            for extra in (1, 2)
+        ]
+        outs = [plan.arm().perturb("mac.acc", raw, fmt) for plan in plans]
+        assert np.any(outs[0] != outs[1])
+
+    def test_perturbed_raws_stay_in_format_range(self):
+        fmt = QFormat(4, 11)
+        raw = np.full(4096, fmt.raw_max, dtype=np.int64)
+        plan = FaultPlan(specs=(FaultSpec(site="mac.acc", rate=1.0),))
+        out = plan.arm().perturb("mac.acc", raw, fmt)
+        assert out.min() >= fmt.raw_min and out.max() <= fmt.raw_max
+
+    def test_stats_ledger_counts_injections(self):
+        fmt = QFormat(4, 11)
+        raw = np.zeros(100, dtype=np.int64)
+        armed = FaultPlan(specs=(FaultSpec(site="mac.acc", rate=1.0),)).arm()
+        armed.perturb("mac.acc", raw, fmt)
+        assert armed.stats == {"injected.mac.acc": 100}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI smoke check for the fault-injection subsystem.
+
+Usage::
+
+    PYTHONPATH=src python tools/fault_smoke.py [--seed N]
+
+Runs a small seeded fault campaign twice over the LUT sites at one
+width and one upset rate: once unprotected (the upsets must actually
+land and perturb outputs) and once with per-word parity scrubbing
+(every upset must be detected, corrected, and the outputs must match
+the fault-free golden exactly — zero error, zero accuracy drop).
+
+Exits 0 when every check holds, 1 otherwise, printing one line per
+check so CI logs show exactly what broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.faults import campaign  # noqa: E402
+
+SITES = ("lut.slope", "lut.bias")
+WIDTH = 10
+RATE = 0.05
+
+
+def _check(ok: bool, label: str) -> bool:
+    print(f"{'ok  ' if ok else 'FAIL'}  {label}")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign base seed (default 0)")
+    args = parser.parse_args(argv)
+
+    unprotected = campaign.run(
+        sites=SITES, widths=(WIDTH,), rates=(RATE,),
+        protection="none", seed=args.seed,
+    )
+    protected = campaign.run(
+        sites=SITES, widths=(WIDTH,), rates=(RATE,),
+        protection="parity", seed=args.seed,
+    )
+
+    ok = True
+    for row in unprotected.rows:
+        site = row["site"]
+        ok &= _check(row["injected"] > 0,
+                     f"{site}: unprotected campaign injects upsets "
+                     f"(injected={row['injected']})")
+        ok &= _check(
+            row["sigmoid_max_err"] > 0.0 or row["exp_max_err"] > 0.0,
+            f"{site}: unprotected upsets perturb the outputs "
+            f"(sigmoid_max_err={row['sigmoid_max_err']:.3g})",
+        )
+    for row in protected.rows:
+        site = row["site"]
+        ok &= _check(row["detected"] > 0,
+                     f"{site}: parity detects upsets "
+                     f"(detected={row['detected']})")
+        ok &= _check(row["detected"] == row["injected"],
+                     f"{site}: every injected upset is detected")
+        ok &= _check(row["corrected"] == row["injected"],
+                     f"{site}: every detected upset is corrected")
+        ok &= _check(
+            row["sigmoid_max_err"] == 0.0 and row["exp_max_err"] == 0.0,
+            f"{site}: corrected outputs match the fault-free golden",
+        )
+        ok &= _check(
+            row["mlp_acc_drop"] == 0.0 and row["cnn_acc_drop"] == 0.0,
+            f"{site}: no accuracy drop once scrubbed",
+        )
+
+    print("fault smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
