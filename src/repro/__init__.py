@@ -20,6 +20,7 @@ from repro import telemetry
 from repro.engine import BatchEngine
 from repro.fixedpoint import FxArray, Overflow, QFormat, Rounding, select_format
 from repro.nacu import FunctionMode, Nacu, NacuConfig
+from repro.serve import InferenceServer
 
 __version__ = "1.0.0"
 
@@ -27,6 +28,7 @@ __all__ = [
     "BatchEngine",
     "FunctionMode",
     "FxArray",
+    "InferenceServer",
     "Nacu",
     "NacuConfig",
     "Overflow",

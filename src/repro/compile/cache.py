@@ -15,6 +15,7 @@ sizes and hit/miss/eviction counters under the ``compile.*`` namespace.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Tuple
@@ -48,13 +49,29 @@ def default_persist_dir() -> Path:
 
 
 class TableCache:
-    """An LRU of :class:`ResponseTable` bounded by a bytes budget."""
+    """An LRU of :class:`ResponseTable` bounded by a bytes budget.
+
+    The cache is thread-safe: a single re-entrant lock guards every
+    mutation of the LRU dict and the bytes ledger, so the multi-threaded
+    micro-batcher (:mod:`repro.serve`) can share one cache across its
+    worker pool. The lock is held across a compile, which doubles as
+    single-flight: concurrent first requests for the same table build it
+    once instead of racing N identical enumeration sweeps.
+
+    ``source`` is the attach-before-build hook: an object with a
+    ``lookup(fingerprint, mode) -> Optional[ResponseTable]`` method
+    (e.g. :class:`repro.serve.AttachedTableSource`) consulted on every
+    in-memory miss *before* disk or the compiler — so a worker attached
+    to a published shared-memory store never compiles, never parses an
+    ``.npz``, and holds no private copy of the table image.
+    """
 
     def __init__(
         self,
         max_bytes: int = DEFAULT_MAX_BYTES,
         max_table_bytes: int = DEFAULT_MAX_TABLE_BYTES,
         persist_dir: Optional[Path] = None,
+        source=None,
     ):
         if max_bytes <= 0:
             raise ConfigError("the table cache needs a positive bytes budget")
@@ -62,8 +79,11 @@ class TableCache:
         self.max_table_bytes = min(max_table_bytes, max_bytes)
         #: Disk persistence root; ``None`` keeps the cache memory-only.
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        #: Attach-before-build table provider; ``None`` disables it.
+        self.source = source
         self._tables: "OrderedDict[Tuple[str, str], ResponseTable]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -99,35 +119,55 @@ class TableCache:
             self._count("compile.fallback_too_wide")
             return None
         key = (config.fingerprint(), mode.value)
-        table = self._tables.get(key)
-        if table is not None:
-            self._tables.move_to_end(key)
-            self._count("compile.cache_hit")
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._tables.move_to_end(key)
+                self._count("compile.cache_hit")
+                return table
+            self._count("compile.cache_miss")
+            table = self._attach(key)
+            if table is None:
+                table = self._load_persisted(key, config, mode)
+                if table is None:
+                    table = compile_table(config, mode, lut=lut)
+                    tel = _telemetry.resolve(None)
+                    if tel is not None:
+                        tel.count("compile.tables_compiled")
+                        tel.count("compile.table_bytes", table.nbytes)
+                        tel.observe_span(
+                            f"compile.build.{mode.value}", table.compile_ns
+                        )
+                    self._persist(key, table)
+            self._insert(key, table)
             return table
-        self._count("compile.cache_miss")
-        table = self._load_persisted(key, config, mode)
-        if table is None:
-            table = compile_table(config, mode, lut=lut)
-            tel = _telemetry.resolve(None)
-            if tel is not None:
-                tel.count("compile.tables_compiled")
-                tel.count("compile.table_bytes", table.nbytes)
-                tel.observe_span(f"compile.build.{mode.value}", table.compile_ns)
-            self._persist(key, table)
-        self._insert(key, table)
+
+    def _attach(self, key: Tuple[str, str]) -> Optional[ResponseTable]:
+        """A zero-copy table from the attach source, when one is wired in.
+
+        Attached tables never re-persist: they came from an image that is
+        already published (shared memory or an on-disk ``.npz``), so the
+        only cost here is the lookup itself.
+        """
+        if self.source is None:
+            return None
+        table = self.source.lookup(*key)
+        if table is not None:
+            self._count("compile.attach_hits")
         return table
 
     # ------------------------------------------------------------------
     # LRU bookkeeping
     # ------------------------------------------------------------------
     def _insert(self, key: Tuple[str, str], table: ResponseTable) -> None:
-        self._tables[key] = table
-        self._tables.move_to_end(key)
-        self._bytes += table.nbytes
-        while self._bytes > self.max_bytes and len(self._tables) > 1:
-            _, evicted = self._tables.popitem(last=False)
-            self._bytes -= evicted.nbytes
-            self._count("compile.evictions")
+        with self._lock:
+            self._tables[key] = table
+            self._tables.move_to_end(key)
+            self._bytes += table.nbytes
+            while self._bytes > self.max_bytes and len(self._tables) > 1:
+                _, evicted = self._tables.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._count("compile.evictions")
 
     @staticmethod
     def _estimate_bytes(config: NacuConfig, mode: FunctionMode) -> int:
@@ -215,8 +255,9 @@ class TableCache:
 
     def clear(self) -> None:
         """Drop every in-memory table (disk entries stay)."""
-        self._tables.clear()
-        self._bytes = 0
+        with self._lock:
+            self._tables.clear()
+            self._bytes = 0
 
     def __repr__(self) -> str:
         return (
@@ -229,6 +270,7 @@ class TableCache:
 # The process-wide default cache
 # ----------------------------------------------------------------------
 _default: Optional[TableCache] = None
+_default_lock = threading.Lock()
 
 
 def default_cache() -> TableCache:
@@ -238,9 +280,10 @@ def default_cache() -> TableCache:
     building a private :class:`TableCache` with a ``persist_dir``).
     """
     global _default
-    if _default is None:
-        _default = TableCache()
-    return _default
+    with _default_lock:
+        if _default is None:
+            _default = TableCache()
+        return _default
 
 
 def enable_persistence(persist_dir: Optional[Path] = None) -> TableCache:

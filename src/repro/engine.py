@@ -46,7 +46,12 @@ _DEFAULT_FAST = False
 
 def set_default_fast(enabled: bool) -> bool:
     """Set the process default for ``BatchEngine(fast=None)``; returns the
-    previous value. Only engines built *afterwards* see the change."""
+    previous value. Only engines built *afterwards* see the change: the
+    engine snapshots the default into ``self.fast`` in ``__init__`` and
+    never re-reads the module global, so flipping it mid-flight cannot
+    change which datapath an existing engine (or a serving worker pool
+    built around one) evaluates through. ``tests/test_engine.py`` pins
+    this."""
     global _DEFAULT_FAST
     previous = _DEFAULT_FAST
     _DEFAULT_FAST = bool(enabled)
@@ -81,7 +86,9 @@ class BatchEngine:
         #: Evaluate elementwise modes (and softmax's e^x stage) through
         #: compiled response tables — raw-bit-identical to the datapath,
         #: one integer gather per batch (see :mod:`repro.compile`).
-        #: ``None`` defers to the process default (:func:`set_default_fast`).
+        #: ``None`` defers to the process default (:func:`set_default_fast`),
+        #: *snapshotted here*: a later ``set_default_fast`` flip never
+        #: changes an already-built engine's path.
         self.fast = get_default_fast() if fast is None else fast
         #: Table cache override; ``None`` shares the process default.
         self.table_cache = table_cache

@@ -19,3 +19,20 @@ class ConfigError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative optimiser failed to reach its target."""
+
+
+class ServeError(ReproError):
+    """The serving layer could not honour a request."""
+
+
+class BackpressureError(ServeError):
+    """A request was shed because the server's bounded queue is full.
+
+    Raised at ``submit()`` time — an overloaded server rejects loudly
+    (and counts the shed in ``serve.*`` telemetry) instead of buffering
+    without bound. Callers retry, downsample, or route elsewhere.
+    """
+
+
+class ServerClosedError(ServeError):
+    """A request arrived after the server began shutting down."""

@@ -1,0 +1,44 @@
+"""The serving layer: shared table images + micro-batched inference.
+
+Three pieces, separable and composable:
+
+* :mod:`repro.serve.store` — publish compiled response tables once into
+  shared memory (or map persisted ``.npz`` files in place) and attach N
+  workers to one zero-copy image;
+* :mod:`repro.serve.batcher` — coalesce single-sample and small-array
+  requests into the large fused batches the vectorised datapath is
+  fastest at, bit-identically and with explicit backpressure;
+* :mod:`repro.serve.server` — the ``submit()``/``close()`` front end
+  tying both to a worker pool, with ``serve.*`` telemetry.
+
+``python -m repro.serve`` runs a self-contained demo server.
+"""
+
+from repro.errors import BackpressureError, ServeError, ServerClosedError
+from repro.serve.batcher import SERVABLE_MODES, Batch, MicroBatcher, Request
+from repro.serve.server import InferenceServer
+from repro.serve.store import (
+    AttachedTableSource,
+    MmapTableSource,
+    SharedTableStore,
+    StoreManifest,
+    TableEntry,
+    mmap_table,
+)
+
+__all__ = [
+    "AttachedTableSource",
+    "BackpressureError",
+    "Batch",
+    "InferenceServer",
+    "MicroBatcher",
+    "MmapTableSource",
+    "Request",
+    "SERVABLE_MODES",
+    "ServeError",
+    "ServerClosedError",
+    "SharedTableStore",
+    "StoreManifest",
+    "TableEntry",
+    "mmap_table",
+]

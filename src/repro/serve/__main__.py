@@ -1,0 +1,112 @@
+"""Demo server: a mixed-mode request storm through the micro-batcher.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.serve [--bits 16] [--requests 2048]
+        [--clients 4] [--workers 1] [--max-batch 4096] [--delay-us 200]
+        [--report]
+
+Spins up an :class:`~repro.serve.server.InferenceServer`, fires a storm
+of single-sample and small-array sigmoid/tanh/exp/softmax requests from
+concurrent client threads, checks every response against a direct
+engine call, and prints throughput plus the ``serve.*`` telemetry the
+run produced. Exits non-zero if any response mismatches — the demo
+doubles as an end-to-end sanity check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.engine import BatchEngine
+from repro.serve import InferenceServer
+from repro.telemetry import Collector, use_collector
+from repro.telemetry.report import render_snapshot
+
+MODES = ("sigmoid", "tanh", "exp", "softmax")
+
+
+def _make_requests(rng: np.random.Generator, count: int):
+    requests = []
+    for _ in range(count):
+        mode = MODES[int(rng.integers(len(MODES)))]
+        if mode == "softmax":
+            x = rng.uniform(-4, 4, size=(int(rng.integers(2, 9)),))
+        elif mode == "exp":
+            x = rng.uniform(-8, 0, size=(int(rng.integers(1, 17)),))
+        else:
+            x = rng.uniform(-6, 6, size=(int(rng.integers(1, 17)),))
+        requests.append((mode, x))
+    return requests
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bits", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=2048)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--max-batch", type=int, default=4096)
+    parser.add_argument("--delay-us", type=float, default=200.0)
+    parser.add_argument("--report", action="store_true",
+                        help="print the full telemetry report")
+    args = parser.parse_args(argv)
+
+    reference = BatchEngine.for_bits(args.bits, fast=True)
+    requests = _make_requests(np.random.default_rng(0), args.requests)
+    shards = [requests[i::args.clients] for i in range(args.clients)]
+    futures = [[] for _ in shards]
+
+    collector = Collector()
+    with use_collector(collector):
+        server = InferenceServer(
+            n_bits=args.bits, workers=args.workers,
+            max_batch_elements=args.max_batch, max_delay_us=args.delay_us,
+        )
+        start = time.perf_counter()
+        with server:
+            def client(shard, out):
+                for mode, x in shard:
+                    out.append((mode, x, server.submit(x, mode=mode)))
+
+            threads = [
+                threading.Thread(target=client, args=(shard, out))
+                for shard, out in zip(shards, futures)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [
+                [(mode, x, future.result()) for mode, x, future in out]
+                for out in futures
+            ]
+        elapsed = time.perf_counter() - start
+
+    mismatches = 0
+    for out in results:
+        for mode, x, got in out:
+            want = getattr(reference, mode)(x)
+            if not np.array_equal(np.asarray(got), np.asarray(want)):
+                mismatches += 1
+
+    counters = collector.snapshot()["counters"]
+    batches = counters.get("serve.batches", 0)
+    print(
+        f"served {args.requests} requests in {elapsed * 1e3:.1f} ms "
+        f"({args.requests / elapsed:,.0f} req/s) across {batches} fused "
+        f"batches ({args.requests / max(batches, 1):.1f} req/batch), "
+        f"{mismatches} mismatches"
+    )
+    if args.report:
+        print(render_snapshot(collector.snapshot()))
+    return 0 if mismatches == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""The dynamic micro-batcher: coalesce small requests, evaluate once.
+
+The vectorised datapath (and the compiled-table gather even more so) is
+dominated by *per-call* overhead at small sizes: a scalar sigmoid pays
+the same dispatch, telemetry resolve and table lookup as a million-
+element batch. The batcher exploits that by parking incoming requests
+per ``(mode, row-width)`` group for at most a latency deadline, fusing
+everything that accumulates into **one** engine pass, and scattering the
+raw results back — so a stream of single-sample requests evaluates at
+large-batch throughput.
+
+Bit identity is structural, not statistical: elementwise modes are pure
+per-code maps and the batched softmax is row-independent, so
+concatenating requests, evaluating once, and slicing the output yields
+exactly the raw words each request would have produced alone
+(``tests/serve/test_batcher.py`` pins this property over random splits).
+
+Backpressure is explicit: the pending pool is bounded in *elements*, and
+an offer that would overflow it is refused — the server turns that into
+:class:`~repro.errors.BackpressureError` and counts the shed — never
+buffered without bound, never silently dropped.
+
+The batcher itself is lock-free by design: the owning server serialises
+every call under its own condition variable, so this module stays a pure
+data structure that is easy to test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine import BatchEngine
+from repro.errors import RangeError, ServeError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode
+from repro.telemetry import collector as _telemetry
+
+#: Modes the batcher can serve. MAC is excluded: it is a stateful
+#: accumulation, not a per-request function evaluation.
+SERVABLE_MODES = (
+    FunctionMode.SIGMOID,
+    FunctionMode.TANH,
+    FunctionMode.EXP,
+    FunctionMode.SOFTMAX,
+)
+
+_EXP_DOMAIN_MESSAGE = (
+    "the exponential path is specified for x <= 0; normalise "
+    "inputs by their maximum first (Eq. 13)"
+)
+
+
+class Request:
+    """One pending evaluation: raw payload, result future, emit recipe."""
+
+    __slots__ = (
+        "future", "mode", "raw", "shape", "axis", "emit_fx", "emit_scalar",
+        "enqueue_ns",
+    )
+
+    def __init__(self, future, mode: FunctionMode, raw: np.ndarray,
+                 shape: Tuple[int, ...], axis: int,
+                 emit_fx: bool, emit_scalar: bool):
+        self.future = future
+        self.mode = mode
+        #: Elementwise: the flattened raw words. Softmax: a 2-D row stack
+        #: (the requested axis moved last) in request order.
+        self.raw = raw
+        #: The shape to restore on scatter (axis already moved last for
+        #: softmax; ``axis`` moves it back).
+        self.shape = shape
+        self.axis = axis
+        self.emit_fx = emit_fx
+        self.emit_scalar = emit_scalar
+        self.enqueue_ns = time.perf_counter_ns()
+
+    @property
+    def elements(self) -> int:
+        return self.raw.size
+
+
+def build_request(future, x, mode: FunctionMode, axis: int,
+                  engine: BatchEngine) -> Request:
+    """Quantise ``x`` into the engine's format and shape it for coalescing.
+
+    Runs in the *caller's* thread so quantisation parallelises across
+    clients and the dispatcher only ever touches raw words. Domain
+    errors (a positive input to ``exp``, a scalar to ``softmax``) are
+    raised here, before the request can join — and poison — a batch.
+    """
+    if mode not in SERVABLE_MODES:
+        raise ServeError(
+            f"mode {getattr(mode, 'value', mode)!r} is not servable; "
+            f"servable modes: {[m.value for m in SERVABLE_MODES]}"
+        )
+    emit_fx = isinstance(x, FxArray)
+    fx = x if emit_fx else FxArray.from_float(
+        np.asarray(x, dtype=np.float64), engine.io_fmt
+    )
+    if fx.fmt != engine.io_fmt:
+        raise ServeError(
+            f"request format {fx.fmt} does not match the server's "
+            f"{engine.io_fmt}"
+        )
+    emit_scalar = fx.raw.ndim == 0
+    if mode is FunctionMode.SOFTMAX:
+        if fx.raw.ndim == 0:
+            raise RangeError("softmax needs at least one axis of inputs")
+        moved = np.moveaxis(fx.raw, axis, -1)
+        raw = np.ascontiguousarray(moved.reshape(-1, moved.shape[-1]))
+        return Request(future, mode, raw, moved.shape, axis, emit_fx, False)
+    if mode is FunctionMode.EXP and np.any(fx.raw > 0):
+        raise RangeError(_EXP_DOMAIN_MESSAGE)
+    raw = np.ascontiguousarray(fx.raw).reshape(-1)
+    return Request(future, mode, raw, fx.raw.shape, axis, emit_fx, emit_scalar)
+
+
+class Batch:
+    """One coalesced engine pass over same-group requests."""
+
+    __slots__ = ("mode", "requests", "elements")
+
+    def __init__(self, mode: FunctionMode, requests: List[Request]):
+        self.mode = mode
+        self.requests = requests
+        self.elements = sum(r.elements for r in requests)
+
+    def run(self, engine: BatchEngine, collector=None) -> None:
+        """Evaluate, scatter, resolve every future (never raises)."""
+        try:
+            tel = _telemetry.resolve(collector)
+            start = time.perf_counter_ns()
+            if tel is not None:
+                for request in self.requests:
+                    tel.observe_span(
+                        "serve.queue_wait", start - request.enqueue_ns
+                    )
+                tel.count("serve.batches")
+                tel.count("serve.batch_elements", self.elements)
+                tel.observe("serve.batch_fill", len(self.requests))
+            fmt = engine.io_fmt
+            # A batch of one request (the large pre-formed-batch regime)
+            # needs no gather: evaluate its raw words in place so the
+            # serving layer adds no copy on top of the engine call.
+            fused = FxArray._wrap(
+                self.requests[0].raw if len(self.requests) == 1
+                else np.concatenate([r.raw for r in self.requests]),
+                fmt,
+            )
+            if self.mode is FunctionMode.SOFTMAX:
+                out = engine.softmax_fx(fused, axis=-1)
+                splits = np.cumsum(
+                    [r.raw.shape[0] for r in self.requests]
+                )[:-1]
+            else:
+                kernel: Callable[[FxArray], FxArray] = {
+                    FunctionMode.SIGMOID: engine.sigmoid_fx,
+                    FunctionMode.TANH: engine.tanh_fx,
+                    FunctionMode.EXP: engine.exp_fx,
+                }[self.mode]
+                out = kernel(fused)
+                splits = np.cumsum([r.elements for r in self.requests])[:-1]
+            for request, raw in zip(self.requests, np.split(out.raw, splits)):
+                self._finish(request, raw, fmt)
+        except BaseException as exc:  # noqa: BLE001 — forwarded, not dropped
+            for request in self.requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    @staticmethod
+    def _finish(request: Request, raw: np.ndarray, fmt) -> None:
+        raw = raw.reshape(request.shape)
+        if request.mode is FunctionMode.SOFTMAX:
+            raw = np.moveaxis(raw, -1, request.axis)
+        if request.emit_fx:
+            request.future.set_result(FxArray._wrap(raw, fmt))
+        else:
+            out = raw.astype(np.float64) * fmt.resolution
+            request.future.set_result(
+                float(out) if request.emit_scalar else out
+            )
+
+
+class MicroBatcher:
+    """Per-group pending pools with deadline- and size-triggered flushes.
+
+    Groups are keyed by ``(mode, row_width)`` — row width only matters
+    for softmax, whose rows must stack — and flush when they reach
+    ``max_batch_elements`` or when their oldest request has waited
+    ``max_delay_us``. A single request larger than the batch ceiling is
+    accepted and flushed alone: the ceiling bounds coalescing, not
+    request size.
+    """
+
+    def __init__(self, max_batch_elements: int = 4096,
+                 max_delay_us: float = 200.0,
+                 max_pending_elements: int = 1 << 20):
+        if max_batch_elements <= 0 or max_pending_elements <= 0:
+            raise ServeError("batch and pending bounds must be positive")
+        self.max_batch_elements = max_batch_elements
+        self.max_delay_ns = int(max_delay_us * 1_000)
+        self.max_pending_elements = max_pending_elements
+        self._groups: Dict[Tuple[str, int], List[Request]] = {}
+        self._group_elements: Dict[Tuple[str, int], int] = {}
+        self._deadlines: Dict[Tuple[str, int], int] = {}
+        self._pending_elements = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_elements(self) -> int:
+        return self._pending_elements
+
+    @property
+    def pending_requests(self) -> int:
+        return sum(len(g) for g in self._groups.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._groups)
+
+    # ------------------------------------------------------------------
+    # Enqueue / drain (caller holds the server lock)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(request: Request) -> Tuple[str, int]:
+        width = (
+            request.raw.shape[-1]
+            if request.mode is FunctionMode.SOFTMAX
+            else 0
+        )
+        return (request.mode.value, width)
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request`` unless the pending pool would overflow."""
+        if self._pending_elements + request.elements > self.max_pending_elements:
+            return False
+        key = self._key(request)
+        group = self._groups.setdefault(key, [])
+        if not group:
+            self._deadlines[key] = request.enqueue_ns + self.max_delay_ns
+        group.append(request)
+        self._group_elements[key] = (
+            self._group_elements.get(key, 0) + request.elements
+        )
+        self._pending_elements += request.elements
+        return True
+
+    def take_ready(self, now_ns: int, flush_all: bool = False) -> List[Batch]:
+        """Pop every group that is full or past deadline as a batch."""
+        ready: List[Batch] = []
+        for key in list(self._groups):
+            if (
+                flush_all
+                or self._group_elements[key] >= self.max_batch_elements
+                or now_ns >= self._deadlines[key]
+            ):
+                requests = self._groups.pop(key)
+                self._pending_elements -= self._group_elements.pop(key)
+                self._deadlines.pop(key)
+                ready.append(Batch(FunctionMode(key[0]), requests))
+        return ready
+
+    def next_deadline_ns(self) -> Optional[int]:
+        """The earliest pending flush deadline, or ``None`` when idle."""
+        return min(self._deadlines.values()) if self._deadlines else None

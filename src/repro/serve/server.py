@@ -1,0 +1,234 @@
+"""The inference server: ``submit()``/``close()`` over a worker pool.
+
+:class:`InferenceServer` is the request-level front end the rest of the
+stack was missing: callers hand it single samples or small arrays and
+get back a ``concurrent.futures.Future``; a dispatcher thread coalesces
+everything through the :class:`~repro.serve.batcher.MicroBatcher` and a
+pool of worker threads runs the fused batches through one
+:class:`~repro.engine.BatchEngine` — by default over the compiled-table
+fast path, optionally attached to a zero-copy shared table store
+(:mod:`repro.serve.store`) so N servers across N processes share one
+table image.
+
+Overload policy is shed-and-count: when the bounded pending pool is
+full, ``submit`` raises :class:`~repro.errors.BackpressureError`
+immediately and the shed is counted under ``serve.shed`` — the server
+never buffers without bound and never drops work silently.
+
+Observability rides the existing telemetry collector: ``serve.requests``
+/ ``serve.batches`` / ``serve.shed`` counters, a ``serve.batch_fill``
+histogram (requests fused per batch), a ``serve.queue_wait`` span timer
+(enqueue to dispatch), and the engine's own per-batch datapath cycle
+ledger — so one snapshot shows queue health *and* modelled silicon time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional, Union
+
+from repro.compile.cache import TableCache
+from repro.engine import BatchEngine, InputLike
+from repro.errors import BackpressureError, ServeError, ServerClosedError
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.serve.batcher import SERVABLE_MODES, MicroBatcher, build_request
+from repro.telemetry import collector as _telemetry
+
+_MODE_BY_NAME = {mode.value: mode for mode in SERVABLE_MODES}
+
+
+class InferenceServer:
+    """Micro-batching front end over one NACU configuration.
+
+    >>> from repro.serve import InferenceServer
+    >>> with InferenceServer(n_bits=16) as server:
+    ...     future = server.submit(0.5, mode="sigmoid")
+    ...     round(future.result(), 4)
+    0.6225
+
+    ``workers=1`` (the default) executes batches on the dispatcher
+    thread itself — the fastest shape on a single core; ``workers>1``
+    fans fused batches out to a thread pool. The engine's compiled
+    tables are shared through the (thread-safe) table cache either way,
+    and ``table_source`` attaches the cache to a published
+    :class:`~repro.serve.store.SharedTableStore` manifest so the server
+    holds no private table copies at all.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[BatchEngine] = None,
+        *,
+        config: Optional[NacuConfig] = None,
+        n_bits: Optional[int] = None,
+        fast: Optional[bool] = True,
+        workers: int = 1,
+        max_batch_elements: int = 4096,
+        max_delay_us: float = 200.0,
+        max_pending_elements: int = 1 << 20,
+        table_source=None,
+        collector=None,
+    ):
+        if workers < 1:
+            raise ServeError("the server needs at least one worker")
+        if engine is None:
+            if config is None:
+                config = (
+                    NacuConfig.for_bits(n_bits) if n_bits is not None
+                    else NacuConfig()
+                )
+            cache = (
+                TableCache(source=table_source)
+                if table_source is not None else None
+            )
+            engine = BatchEngine(
+                config=config, fast=fast, table_cache=cache,
+                collector=collector,
+            )
+        elif config is not None or n_bits is not None:
+            raise ServeError("pass either an engine or a config, not both")
+        self.engine = engine
+        self.collector = (
+            collector if collector is not None else engine.collector
+        )
+        self.workers = workers
+        self._batcher = MicroBatcher(
+            max_batch_elements=max_batch_elements,
+            max_delay_us=max_delay_us,
+            max_pending_elements=max_pending_elements,
+        )
+        self._cond = threading.Condition()
+        self._closed = False
+        self._flush_on_close = True
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="nacu-serve"
+            )
+            if workers > 1 else None
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="nacu-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # The client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        x: InputLike,
+        mode: Union[FunctionMode, str] = FunctionMode.SIGMOID,
+        axis: int = -1,
+    ) -> Future:
+        """Enqueue one evaluation; the future resolves in request kind.
+
+        A float/array input resolves to floats, an :class:`FxArray`
+        input to a raw :class:`FxArray` — same convention as the engine.
+        Raises :class:`BackpressureError` when the pending pool is full
+        and :class:`ServerClosedError` after :meth:`close` began.
+        """
+        if isinstance(mode, str):
+            try:
+                mode = _MODE_BY_NAME[mode]
+            except KeyError:
+                raise ServeError(
+                    f"unknown mode {mode!r}; servable modes: "
+                    f"{sorted(_MODE_BY_NAME)}"
+                ) from None
+        future: Future = Future()
+        request = build_request(future, x, mode, axis, self.engine)
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("submit() after close()")
+            if not self._batcher.offer(request):
+                self._count("serve.shed")
+                raise BackpressureError(
+                    f"pending pool full "
+                    f"({self._batcher.pending_elements} elements held, "
+                    f"{request.elements} more would exceed "
+                    f"{self._batcher.max_pending_elements}); retry later"
+                )
+            self._count("serve.requests")
+            self._cond.notify()
+        return future
+
+    def close(self, flush: bool = True) -> None:
+        """Stop accepting requests; drain (or fail) the queue; join.
+
+        With ``flush`` (the default) every admitted request still
+        completes before the dispatcher exits; ``flush=False`` fails
+        pending futures with :class:`ServerClosedError` instead.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._flush_on_close = flush
+            self._cond.notify_all()
+        self._dispatcher.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        in_flight = []
+        while True:
+            with self._cond:
+                while True:
+                    now = time.perf_counter_ns()
+                    ready = self._batcher.take_ready(
+                        now, flush_all=self._closed
+                    )
+                    if ready or self._closed:
+                        break
+                    deadline = self._batcher.next_deadline_ns()
+                    timeout = (
+                        None if deadline is None
+                        else max(deadline - now, 0) / 1e9
+                    )
+                    self._cond.wait(timeout)
+                done = self._closed and not self._batcher
+            if self._closed and not self._flush_on_close:
+                for batch in ready:
+                    exc = ServerClosedError("server closed before dispatch")
+                    for request in batch.requests:
+                        request.future.set_exception(exc)
+            elif self._pool is None:
+                for batch in ready:
+                    batch.run(self.engine, self.collector)
+            else:
+                in_flight = [f for f in in_flight if not f.done()]
+                in_flight.extend(
+                    self._pool.submit(batch.run, self.engine, self.collector)
+                    for batch in ready
+                )
+            if done and not ready:
+                for future in in_flight:
+                    future.result()
+                return
+
+    def _count(self, name: str, n: int = 1) -> None:
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count(name, n)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<InferenceServer {state}, {self.workers} worker(s), "
+            f"{self._batcher.pending_requests} pending over {self.engine!r}>"
+        )

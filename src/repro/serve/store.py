@@ -1,0 +1,386 @@
+"""The zero-copy shared table store: one table image, many workers.
+
+A compiled :class:`~repro.compile.table.ResponseTable` is an immutable
+int64 array — the perfect shape for sharing. The store publishes each
+table's bytes **once** into a ``multiprocessing.shared_memory`` segment;
+every worker (thread or process) then *attaches*: its table's ``outputs``
+array is a read-only view straight over the shared buffer, so N workers
+hold one physical copy instead of N private ones, and attachment costs a
+handle open plus a header read — no compile, no ``.npz`` parse, no copy.
+
+Two publication media:
+
+* **shared memory** (:class:`SharedTableStore`) — the serving
+  configuration: a parent publishes, workers attach by segment name via
+  the picklable :class:`StoreManifest`;
+* **memory-mapped ``.npz``** (:func:`mmap_table`) — the cold-start
+  configuration: the files :class:`~repro.compile.cache.TableCache`
+  persists are uncompressed zip archives, so the ``outputs.npy`` member
+  can be mapped in place with ``np.memmap`` — processes then share the
+  table through the page cache without any shm hand-off (an
+  ``np.load(..., mmap_mode="r")`` equivalent that survives the zip
+  framing).
+
+Either way the resulting table is *byte-identical* to a privately
+compiled one — attachment changes where the bytes live, never what they
+are — and plugs into :class:`~repro.compile.cache.TableCache` through
+its ``source`` hook (:class:`AttachedTableSource`), so the engine's fast
+path picks shared images up transparently.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import struct
+import threading
+import zipfile
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compile.cache import TableCache, default_cache
+from repro.compile.table import TABLE_MODES, ResponseTable
+from repro.errors import ServeError
+from repro.fixedpoint import QFormat
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.telemetry import collector as _telemetry
+
+
+def _count(name: str, n: int = 1) -> None:
+    tel = _telemetry.resolve(None)
+    if tel is not None:
+        tel.count(name, n)
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One published table: everything an attacher needs, no array data."""
+
+    shm_name: str
+    fingerprint: str
+    mode: str
+    fmt: str
+    raw_offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """The picklable hand-off from publisher to attachers.
+
+    ``publisher_pid`` lets an attacher tell whether it shares the
+    publisher's process — segment ownership (and therefore resource-
+    tracker bookkeeping) differs between the two cases.
+    """
+
+    entries: Tuple[TableEntry, ...] = field(default_factory=tuple)
+    publisher_pid: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+_ATTACH_LOCK = threading.Lock()
+_SHM_HAS_TRACK = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without claiming ownership of it.
+
+    On POSIX Pythons before 3.13, *attaching* registers the segment with
+    the resource tracker exactly like creating it does — so a spawn-mode
+    worker exiting would unlink the publisher's segment out from under
+    every other worker, and unregistering after the fact instead corrupts
+    the tracker the publisher shares with fork-mode workers. Ownership
+    must stay with the publisher alone, so the attach suppresses the
+    registration at the source (3.13+ says ``track=False`` for this; the
+    shim below says it for older interpreters).
+    """
+    if _SHM_HAS_TRACK:
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shared_memory(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedTableStore:
+    """Publisher side: owns the shared-memory segments for a config's tables.
+
+    ``publish()`` compiles (or pulls from ``cache``) each requested mode's
+    table and copies it into a fresh segment — the one and only copy.
+    The returned :class:`StoreManifest` is what crosses process
+    boundaries. The publisher must outlive its attachers and call
+    :meth:`unlink` (or use the context manager) when serving ends;
+    attachers only ever :meth:`AttachedTableSource.close`.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._entries: List[TableEntry] = []
+        self._unlinked = False
+
+    def publish(
+        self,
+        config: NacuConfig,
+        modes: Iterable[FunctionMode] = TABLE_MODES,
+        cache: Optional[TableCache] = None,
+    ) -> StoreManifest:
+        """Publish every requested mode's table; returns the manifest.
+
+        Tables come from ``cache`` (the process default when ``None``) so
+        a publisher that already served locally reuses its compiles. A
+        format too wide for the cache's per-table ceiling cannot be
+        published — the caller should let such workers fall back to the
+        datapath instead.
+        """
+        cache = cache if cache is not None else default_cache()
+        for mode in modes:
+            table = cache.get(config, mode)
+            if table is None:
+                raise ServeError(
+                    f"cannot publish {mode.value!r} for {config.io_fmt}: "
+                    f"the format exceeds the cache's per-table ceiling"
+                )
+            segment = shared_memory.SharedMemory(create=True, size=table.nbytes)
+            view = np.ndarray(
+                table.outputs.shape, dtype=table.outputs.dtype, buffer=segment.buf
+            )
+            view[:] = table.outputs
+            self._segments.append(segment)
+            self._entries.append(
+                TableEntry(
+                    shm_name=segment.name,
+                    fingerprint=table.fingerprint,
+                    mode=table.mode.value,
+                    fmt=str(table.fmt),
+                    raw_offset=table.raw_offset,
+                    shape=tuple(table.outputs.shape),
+                    dtype=str(table.outputs.dtype),
+                    nbytes=table.nbytes,
+                )
+            )
+            _count("serve.store.published")
+            _count("serve.store.published_bytes", table.nbytes)
+        return self.manifest()
+
+    def manifest(self) -> StoreManifest:
+        """The manifest of everything published so far."""
+        return StoreManifest(
+            entries=tuple(self._entries), publisher_pid=os.getpid()
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the published (single-copy) table images."""
+        return sum(entry.nbytes for entry in self._entries)
+
+    def unlink(self) -> None:
+        """Destroy the segments (after every attacher has closed)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass  # already reaped — nothing left to free
+
+    def __enter__(self) -> "SharedTableStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedTableStore {len(self._entries)} tables, "
+            f"{self.nbytes >> 10} KiB shared>"
+        )
+
+
+class AttachedTableSource:
+    """Attacher side: zero-copy read-only tables over a publisher's store.
+
+    Satisfies the ``source`` protocol of
+    :class:`~repro.compile.cache.TableCache` — ``lookup(fingerprint,
+    mode)`` — so wiring a worker is::
+
+        source = AttachedTableSource(manifest)
+        cache = TableCache(source=source)
+        engine = BatchEngine.for_bits(16, fast=True, table_cache=cache)
+
+    Every table the store covers is now served from the shared image;
+    anything else falls through to the cache's normal build path.
+    """
+
+    def __init__(self, manifest: StoreManifest):
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._tables: Dict[Tuple[str, str], ResponseTable] = {}
+        for entry in manifest.entries:
+            segment = _attach_untracked(entry.shm_name)
+            outputs = np.ndarray(
+                entry.shape, dtype=np.dtype(entry.dtype), buffer=segment.buf
+            )
+            outputs.flags.writeable = False
+            self._segments.append(segment)
+            self._tables[(entry.fingerprint, entry.mode)] = ResponseTable(
+                mode=FunctionMode(entry.mode),
+                fingerprint=entry.fingerprint,
+                fmt=QFormat.parse(entry.fmt),
+                raw_offset=entry.raw_offset,
+                outputs=outputs,
+            )
+            _count("serve.store.attached")
+
+    def lookup(self, fingerprint: str, mode: str) -> Optional[ResponseTable]:
+        """The attached table for ``(fingerprint, mode)``, or ``None``."""
+        return self._tables.get((fingerprint, mode))
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def close(self) -> None:
+        """Drop the attachment (the publisher's segments live on)."""
+        self._tables.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass  # a live array view still pins the buffer
+        self._segments.clear()
+
+    def __enter__(self) -> "AttachedTableSource":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The memory-mapped .npz path
+# ----------------------------------------------------------------------
+def _npz_member_span(path: Path, member: str) -> Optional[int]:
+    """Byte offset of ``member``'s data inside the zip, or ``None``.
+
+    Only uncompressed (``ZIP_STORED``) members can be mapped in place;
+    ``np.savez`` stores uncompressed, so the cache's persisted tables
+    always qualify. The offset walks the local file header by hand: the
+    central directory's ``header_offset`` plus the 30-byte fixed header
+    plus the (local, possibly zip64-padded) name and extra fields.
+    """
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member)
+        except KeyError:
+            return None
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        header_offset = info.header_offset
+    with open(path, "rb") as fh:
+        fh.seek(header_offset)
+        header = fh.read(30)
+        if len(header) != 30 or header[:4] != b"PK\x03\x04":
+            return None
+        name_len, extra_len = struct.unpack("<HH", header[26:30])
+        return header_offset + 30 + name_len + extra_len
+
+
+def mmap_table(path: Path) -> ResponseTable:
+    """Attach to a persisted table ``.npz`` without loading its payload.
+
+    The small metadata members load normally; the ``outputs`` array is
+    an ``np.memmap`` over the archive's stored bytes — read-only, demand
+    -paged, and shared between every process that maps the same file.
+    If the member turns out compressed (a foreign archive), the loader
+    falls back to a normal copy-load and counts
+    ``serve.store.mmap_fallback``.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = {
+                name: data[name]
+                for name in ("version", "fingerprint", "mode", "fmt", "raw_offset")
+            }
+            span = _npz_member_span(path, "outputs.npy")
+            if span is None:
+                _count("serve.store.mmap_fallback")
+                outputs = np.ascontiguousarray(data["outputs"], dtype=np.int64)
+                outputs.flags.writeable = False
+            else:
+                with open(path, "rb") as fh:
+                    fh.seek(span)
+                    version = np.lib.format.read_magic(fh)
+                    if version == (1, 0):
+                        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+                    else:
+                        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+                    data_offset = fh.tell()
+                if fortran:
+                    raise ServeError(f"{path}: unexpected Fortran-order table")
+                outputs = np.memmap(
+                    path, dtype=dtype, mode="r", offset=data_offset, shape=shape
+                )
+                _count("serve.store.mmap_attached")
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise ServeError(f"{path}: not a readable persisted table ({exc})") from exc
+    mode = FunctionMode(str(meta["mode"]))
+    return ResponseTable(
+        mode=mode,
+        fingerprint=str(meta["fingerprint"]),
+        fmt=QFormat.parse(str(meta["fmt"])),
+        raw_offset=int(meta["raw_offset"]),
+        outputs=outputs,
+    )
+
+
+class MmapTableSource:
+    """A ``TableCache`` source over a directory of persisted ``.npz`` tables.
+
+    Lazily maps ``table-<fingerprint>-<mode>.npz`` files (the exact
+    layout :class:`~repro.compile.cache.TableCache` persists) on first
+    lookup. Unlike the disk-load path this never copies the payload —
+    co-resident workers pointed at the same directory share the bytes
+    through the page cache.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self._tables: Dict[Tuple[str, str], ResponseTable] = {}
+
+    def lookup(self, fingerprint: str, mode: str) -> Optional[ResponseTable]:
+        key = (fingerprint, mode)
+        table = self._tables.get(key)
+        if table is not None:
+            return table
+        path = self.root / f"table-{fingerprint}-{mode}.npz"
+        if not path.exists():
+            return None
+        try:
+            table = mmap_table(path)
+        except ServeError:
+            return None  # corrupt file: let the cache recompile
+        if table.fingerprint != fingerprint or table.mode.value != mode:
+            return None  # stale: embedded identity no longer matches
+        self._tables[key] = table
+        return table

@@ -1,5 +1,7 @@
 """TableCache behaviour: LRU eviction, disk round trips, stale invalidation."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -106,6 +108,116 @@ class TestDiskPersistence:
         )
         assert table is not None
         assert counters.get("compile.disk_write_failures") == 1
+
+
+class TestThreadSafety:
+    def test_eight_threads_hammering_get(self):
+        """The serve worker pool's access pattern: hot concurrent get()s.
+
+        Every thread must always receive a valid table, exactly one
+        compile may happen per (config, mode) — the lock doubles as
+        single-flight — and the LRU bytes ledger must balance at the end.
+        """
+        cache = TableCache()
+        configs = [NacuConfig.for_bits(8), NacuConfig.for_bits(10)]
+        modes = [FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP]
+        barrier = threading.Barrier(8)
+        failures = []
+        collector = Collector()
+
+        def hammer(worker_id):
+            barrier.wait()
+            try:
+                for i in range(150):
+                    config = configs[(worker_id + i) % 2]
+                    table = cache.get(config, modes[i % 3])
+                    if table is None or table.fingerprint != config.fingerprint():
+                        failures.append((worker_id, i))
+            except Exception as exc:  # noqa: BLE001 — surfaced via failures
+                failures.append((worker_id, repr(exc)))
+
+        with use_collector(collector):
+            threads = [
+                threading.Thread(target=hammer, args=(k,)) for k in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert failures == []
+        counters = collector.snapshot()["counters"]
+        assert counters.get("compile.tables_compiled") == 6
+        assert len(cache) == 6
+        assert cache.nbytes == sum(
+            table.nbytes for table in cache._tables.values()
+        )
+
+    def test_concurrent_get_and_clear_keep_the_ledger_consistent(self):
+        cache = TableCache()
+        stop = threading.Event()
+        failures = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    assert cache.get(CONFIG_8, FunctionMode.SIGMOID) is not None
+            except Exception as exc:  # noqa: BLE001
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(50):
+            cache.clear()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        assert cache.nbytes == sum(
+            table.nbytes for table in cache._tables.values()
+        )
+
+
+class TestAttachSource:
+    class _Source:
+        """A counting stand-in for an attached shared-table store."""
+
+        def __init__(self, table):
+            self.table = table
+            self.lookups = 0
+
+        def lookup(self, fingerprint, mode):
+            self.lookups += 1
+            if (fingerprint, mode) == (self.table.fingerprint,
+                                       self.table.mode.value):
+                return self.table
+            return None
+
+    def test_source_is_consulted_before_build(self):
+        published = TableCache().get(CONFIG_8, FunctionMode.SIGMOID)
+        source = self._Source(published)
+        cache = TableCache(source=source)
+        table, counters = _counters(
+            lambda: cache.get(CONFIG_8, FunctionMode.SIGMOID)
+        )
+        assert table is published
+        assert source.lookups == 1
+        assert counters.get("compile.attach_hits") == 1
+        assert counters.get("compile.tables_compiled") is None
+        # In-memory hits bypass the source entirely afterwards.
+        assert cache.get(CONFIG_8, FunctionMode.SIGMOID) is published
+        assert source.lookups == 1
+
+    def test_source_miss_falls_through_to_compile(self):
+        published = TableCache().get(CONFIG_8, FunctionMode.SIGMOID)
+        cache = TableCache(source=self._Source(published))
+        table, counters = _counters(
+            lambda: cache.get(CONFIG_8, FunctionMode.TANH)
+        )
+        assert table is not None
+        assert counters.get("compile.attach_hits") is None
+        assert counters.get("compile.tables_compiled") == 1
 
 
 class TestDefaultCache:

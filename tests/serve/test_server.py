@@ -1,0 +1,197 @@
+"""InferenceServer: lifecycle, concurrency, backpressure, bit identity."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEngine
+from repro.errors import BackpressureError, ServeError, ServerClosedError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import NacuConfig
+from repro.serve import InferenceServer
+from repro.telemetry import Collector, use_collector
+
+N_BITS = 12
+MODES = ("sigmoid", "tanh", "exp", "softmax")
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return BatchEngine.for_bits(N_BITS, fast=True)
+
+
+def _mixed_requests(count, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        mode = MODES[int(rng.integers(len(MODES)))]
+        if mode == "softmax":
+            x = rng.uniform(-4, 4, size=(int(rng.integers(2, 7)),))
+        elif mode == "exp":
+            x = rng.uniform(-8, 0, size=(int(rng.integers(1, 9)),))
+        else:
+            x = rng.uniform(-6, 6, size=(int(rng.integers(1, 9)),))
+        out.append((mode, x))
+    return out
+
+
+class TestLifecycle:
+    def test_scalar_round_trip(self, reference):
+        with InferenceServer(n_bits=N_BITS) as server:
+            assert server.submit(0.5).result() == reference.sigmoid(0.5)
+
+    def test_submit_after_close_raises(self):
+        server = InferenceServer(n_bits=N_BITS)
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(0.5)
+
+    def test_close_is_idempotent_and_flushes_pending(self, reference):
+        # A huge deadline parks requests until close() force-flushes.
+        server = InferenceServer(
+            n_bits=N_BITS, max_delay_us=10_000_000, max_batch_elements=1 << 20
+        )
+        futures = [server.submit(x) for x in (-1.0, 0.0, 2.0)]
+        server.close()
+        server.close()
+        for future, x in zip(futures, (-1.0, 0.0, 2.0)):
+            assert future.result() == reference.sigmoid(x)
+
+    def test_close_without_flush_fails_pending_futures(self):
+        server = InferenceServer(
+            n_bits=N_BITS, max_delay_us=10_000_000, max_batch_elements=1 << 20
+        )
+        future = server.submit(1.0)
+        server.close(flush=False)
+        with pytest.raises(ServerClosedError):
+            future.result(timeout=5)
+
+    def test_rejects_engine_plus_config(self, reference):
+        with pytest.raises(ServeError):
+            InferenceServer(reference, n_bits=N_BITS)
+
+    def test_unknown_mode(self):
+        with InferenceServer(n_bits=N_BITS) as server:
+            with pytest.raises(ServeError):
+                server.submit(0.5, mode="mac")
+
+
+class TestConcurrentServing:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_64_concurrent_mixed_requests_bit_equal(self, reference, workers):
+        requests = _mixed_requests(64)
+        collector = Collector()
+        results = {}
+        with use_collector(collector):
+            with InferenceServer(
+                n_bits=N_BITS, workers=workers, max_delay_us=500.0
+            ) as server:
+                def client(offset):
+                    for i in range(offset, len(requests), 4):
+                        mode, x = requests[i]
+                        results[i] = server.submit(x, mode=mode)
+
+                threads = [
+                    threading.Thread(target=client, args=(k,)) for k in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                resolved = {i: f.result(timeout=30) for i, f in results.items()}
+
+        for i, (mode, x) in enumerate(requests):
+            np.testing.assert_array_equal(
+                resolved[i], getattr(reference, mode)(x), err_msg=f"{i}:{mode}"
+            )
+        counters = collector.snapshot()["counters"]
+        assert counters["serve.requests"] == 64
+        assert 1 <= counters["serve.batches"] <= 64
+        assert "serve.batch_fill" in collector.snapshot()["histograms"]
+        assert "serve.queue_wait" in collector.snapshot()["timers"]
+
+    def test_slow_path_serving_is_also_bit_identical(self):
+        # fast=False coalesces through the structural datapath — the
+        # batcher's identity guarantee must not depend on the table path.
+        slow_reference = BatchEngine.for_bits(8, fast=False)
+        with InferenceServer(n_bits=8, fast=False, max_delay_us=300.0) as server:
+            futures = [
+                server.submit(x, mode=mode)
+                for mode, x in _mixed_requests(16, seed=9)
+            ]
+            resolved = [f.result(timeout=30) for f in futures]
+        for (mode, x), got in zip(_mixed_requests(16, seed=9), resolved):
+            np.testing.assert_array_equal(got, getattr(slow_reference, mode)(x))
+
+    def test_fx_requests_resolve_to_fx(self, reference):
+        with InferenceServer(n_bits=N_BITS) as server:
+            fx = FxArray.from_float(np.array([0.5, -0.5]), reference.io_fmt)
+            out = server.submit(fx, mode="tanh").result(timeout=30)
+        assert isinstance(out, FxArray)
+        np.testing.assert_array_equal(out.raw, reference.tanh_fx(fx).raw)
+
+
+class TestBackpressure:
+    def test_overflow_is_shed_with_distinct_error_and_counted(self):
+        collector = Collector()
+        with use_collector(collector):
+            # Deadline and batch ceiling parked high: nothing drains
+            # until close, so the 4-element pool fills deterministically.
+            server = InferenceServer(
+                n_bits=N_BITS, max_delay_us=10_000_000,
+                max_batch_elements=1 << 20, max_pending_elements=4,
+            )
+            admitted = [server.submit(0.1) for _ in range(4)]
+            with pytest.raises(BackpressureError):
+                server.submit(0.2)
+            server.close()
+        # Shed requests are rejected loudly; admitted ones still served.
+        for future in admitted:
+            assert future.result(timeout=5) is not None
+        counters = collector.snapshot()["counters"]
+        assert counters["serve.shed"] == 1
+        assert counters["serve.requests"] == 4
+
+    def test_served_after_shed_recovers(self):
+        server = InferenceServer(
+            n_bits=N_BITS, max_delay_us=200.0, max_pending_elements=4
+        )
+        try:
+            futures, shed = [], 0
+            for _ in range(200):
+                try:
+                    futures.append(server.submit(0.3))
+                except BackpressureError:
+                    shed += 1
+            for future in futures:
+                future.result(timeout=30)
+        finally:
+            server.close()
+        assert len(futures) + shed == 200
+
+
+class TestSharedStoreServing:
+    def test_server_over_attached_store_matches_private(self, reference):
+        from repro.compile import TableCache
+        from repro.serve import AttachedTableSource, SharedTableStore
+
+        config = NacuConfig.for_bits(N_BITS)
+        with SharedTableStore() as store:
+            store.publish(config, cache=TableCache())
+            with AttachedTableSource(store.manifest()) as source:
+                collector = Collector()
+                with use_collector(collector):
+                    with InferenceServer(
+                        config=config, table_source=source
+                    ) as server:
+                        futures = [
+                            server.submit(x, mode=mode)
+                            for mode, x in _mixed_requests(32, seed=4)
+                        ]
+                        resolved = [f.result(timeout=30) for f in futures]
+                for (mode, x), got in zip(_mixed_requests(32, seed=4), resolved):
+                    np.testing.assert_array_equal(got, getattr(reference, mode)(x))
+                counters = collector.snapshot()["counters"]
+                assert counters.get("compile.attach_hits", 0) >= 1
+                assert counters.get("compile.tables_compiled") is None

@@ -1,0 +1,240 @@
+"""Shared table store: one image, zero copies, byte-identical service."""
+
+import multiprocessing as mp
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compile import TableCache, compile_table
+from repro.engine import BatchEngine
+from repro.errors import ServeError
+from repro.fixedpoint import FxArray
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.serve import (
+    AttachedTableSource,
+    MmapTableSource,
+    SharedTableStore,
+    mmap_table,
+)
+from repro.telemetry import Collector, use_collector
+
+CONFIG = NacuConfig.for_bits(12)
+MODES = (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP)
+
+
+def _counters(run):
+    collector = Collector()
+    with use_collector(collector):
+        value = run()
+    return value, collector.snapshot()["counters"]
+
+
+@pytest.fixture()
+def store():
+    store = SharedTableStore()
+    store.publish(CONFIG, cache=TableCache())
+    yield store
+    store.unlink()
+
+
+class TestPublishAttach:
+    def test_attach_serves_every_mode_byte_identically(self, store):
+        with AttachedTableSource(store.manifest()) as source:
+            for mode in MODES:
+                attached = source.lookup(CONFIG.fingerprint(), mode.value)
+                private = compile_table(CONFIG, mode)
+                assert attached is not None
+                np.testing.assert_array_equal(attached.outputs, private.outputs)
+                assert attached.outputs.flags.writeable is False
+
+    def test_attach_performs_no_compile_and_no_npz_parse(self, store, tmp_path):
+        # The cache has a persist_dir wired in, so a disk parse *would*
+        # be counted if the attach path ever fell through to it.
+        def attach_and_serve():
+            source = AttachedTableSource(store.manifest())
+            cache = TableCache(source=source, persist_dir=tmp_path)
+            engine = BatchEngine(config=CONFIG, fast=True, table_cache=cache)
+            x = FxArray.from_float(
+                np.linspace(-6, 6, 257), engine.io_fmt
+            )
+            return engine.sigmoid_fx(x), engine.tanh_fx(x)
+
+        _, counters = _counters(attach_and_serve)
+        assert counters.get("compile.attach_hits") == 2
+        assert counters.get("compile.tables_compiled") is None
+        assert counters.get("compile.disk_hits") is None
+        assert counters.get("compile.disk_writes") is None
+        assert counters.get("serve.store.attached") == 3
+
+    def test_attached_engine_matches_private_copy_engine(self, store):
+        with AttachedTableSource(store.manifest()) as source:
+            attached = BatchEngine(
+                config=CONFIG, fast=True, table_cache=TableCache(source=source)
+            )
+            private = BatchEngine(
+                config=CONFIG, fast=True, table_cache=TableCache()
+            )
+            rng = np.random.default_rng(3)
+            x = FxArray.from_float(
+                rng.uniform(-6, 6, size=(33, 7)), attached.io_fmt
+            )
+            non_positive = FxArray(np.minimum(x.raw, 0), x.fmt)
+            for name, batch in (
+                ("sigmoid_fx", x), ("tanh_fx", x), ("exp_fx", non_positive),
+                ("softmax_fx", x),
+            ):
+                a = getattr(attached, name)(batch)
+                b = getattr(private, name)(batch)
+                np.testing.assert_array_equal(a.raw, b.raw)
+
+    def test_reattach_after_eviction_instead_of_recompile(self, store):
+        source = AttachedTableSource(store.manifest())
+        # Budget fits a single 12-bit table, so the second mode evicts
+        # the first; re-requesting it must re-attach, never compile.
+        nbytes = source.lookup(CONFIG.fingerprint(), "sigmoid").nbytes
+        cache = TableCache(max_bytes=nbytes + 1, source=source)
+
+        def churn():
+            cache.get(CONFIG, FunctionMode.SIGMOID)
+            cache.get(CONFIG, FunctionMode.TANH)
+            cache.get(CONFIG, FunctionMode.SIGMOID)
+
+        _, counters = _counters(churn)
+        assert counters.get("compile.attach_hits") == 3
+        assert counters.get("compile.evictions") == 2
+        assert counters.get("compile.tables_compiled") is None
+        source.close()
+
+    def test_manifest_is_picklable(self, store):
+        manifest = store.manifest()
+        clone = pickle.loads(pickle.dumps(manifest))
+        assert clone == manifest
+        assert len(clone) == 3
+
+    def test_publish_rejects_formats_over_the_table_ceiling(self):
+        with SharedTableStore() as store:
+            with pytest.raises(ServeError):
+                store.publish(NacuConfig.for_bits(24), cache=TableCache())
+
+    def test_unlink_is_idempotent(self):
+        store = SharedTableStore()
+        store.publish(CONFIG, modes=(FunctionMode.SIGMOID,), cache=TableCache())
+        store.unlink()
+        store.unlink()
+
+
+def _fork_worker(manifest, raw_bytes, shape, queue):
+    collector = Collector()
+    with use_collector(collector):
+        source = AttachedTableSource(manifest)
+        engine = BatchEngine(
+            config=CONFIG, fast=True, table_cache=TableCache(source=source)
+        )
+        x = FxArray(
+            np.frombuffer(raw_bytes, dtype=np.int64).reshape(shape),
+            engine.io_fmt,
+        )
+        out = np.concatenate(
+            [engine.sigmoid_fx(x).raw.ravel(), engine.softmax_fx(x).raw.ravel()]
+        )
+    queue.put((out.tobytes(), collector.snapshot()["counters"]))
+    source.close()
+
+
+@pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="needs fork start method",
+)
+class TestCrossProcess:
+    def test_two_workers_share_one_image_and_match_private_copies(self, store):
+        manifest = store.manifest()
+        x = FxArray.from_float(
+            np.random.default_rng(5).uniform(-6, 6, size=(24, 8)),
+            CONFIG.io_fmt,
+        )
+        ctx = mp.get_context("fork")
+        queue = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_fork_worker,
+                args=(manifest, x.raw.tobytes(), x.raw.shape, queue),
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        results = [queue.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+
+        private = BatchEngine(config=CONFIG, fast=True, table_cache=TableCache())
+        expected = np.concatenate(
+            [private.sigmoid_fx(x).raw.ravel(), private.softmax_fx(x).raw.ravel()]
+        ).tobytes()
+        for raw, counters in results:
+            assert raw == expected
+            # One shared image: the workers attached — no compile, no
+            # disk parse, anywhere.
+            assert counters.get("compile.attach_hits", 0) >= 1
+            assert counters.get("compile.tables_compiled") is None
+            assert counters.get("compile.disk_hits") is None
+
+
+class TestMmapPath:
+    @pytest.fixture()
+    def persisted(self, tmp_path):
+        cache = TableCache(persist_dir=tmp_path)
+        table = cache.get(CONFIG, FunctionMode.TANH)
+        (path,) = tmp_path.glob("table-*-tanh.npz")
+        return path, table
+
+    def test_mmap_attach_is_zero_copy_and_identical(self, persisted):
+        path, table = persisted
+        mapped, counters = _counters(lambda: mmap_table(path))
+        assert isinstance(mapped.outputs, np.memmap)
+        assert mapped.outputs.flags.writeable is False
+        assert counters.get("serve.store.mmap_attached") == 1
+        np.testing.assert_array_equal(mapped.outputs, table.outputs)
+        assert mapped.fingerprint == table.fingerprint
+        assert mapped.raw_offset == table.raw_offset
+
+    def test_compressed_archive_falls_back_to_copy_load(self, persisted, tmp_path):
+        path, table = persisted
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+        squashed = tmp_path / "squashed.npz"
+        np.savez_compressed(squashed, **payload)
+        mapped, counters = _counters(lambda: mmap_table(squashed))
+        assert counters.get("serve.store.mmap_fallback") == 1
+        assert not isinstance(mapped.outputs, np.memmap)
+        np.testing.assert_array_equal(mapped.outputs, table.outputs)
+
+    def test_mmap_rejects_garbage(self, tmp_path):
+        path = tmp_path / "table-bad-tanh.npz"
+        path.write_bytes(b"not an archive")
+        with pytest.raises(ServeError):
+            mmap_table(path)
+
+    def test_source_serves_cache_misses_without_compiling(self, persisted, tmp_path):
+        source = MmapTableSource(tmp_path)
+        cache = TableCache(source=source)
+
+        def serve():
+            return cache.get(CONFIG, FunctionMode.TANH)
+
+        table, counters = _counters(serve)
+        assert counters.get("compile.attach_hits") == 1
+        assert counters.get("compile.tables_compiled") is None
+        np.testing.assert_array_equal(table.outputs, persisted[1].outputs)
+
+    def test_source_ignores_stale_and_missing_files(self, persisted, tmp_path):
+        path, _ = persisted
+        # A file whose name promises a different fingerprint than the
+        # payload carries must be ignored, not served.
+        stale = tmp_path / f"table-{'0' * 16}-tanh.npz"
+        path.rename(stale)
+        source = MmapTableSource(tmp_path)
+        assert source.lookup("0" * 16, "tanh") is None
+        assert source.lookup(CONFIG.fingerprint(), "sigmoid") is None

@@ -239,3 +239,50 @@ class TestEngineBackedProvidersBitIdentical:
         np.testing.assert_array_equal(
             engine_backed.forward(x), float_path.forward(x)
         )
+
+
+class TestDefaultFastSnapshot:
+    """set_default_fast only affects engines built afterwards — pinned.
+
+    The engine snapshots the process default into ``self.fast`` at
+    construction; flipping the default mid-flight must never change an
+    existing engine's evaluation path (a serving worker pool depends on
+    this staying true).
+    """
+
+    @pytest.fixture(autouse=True)
+    def restore_default(self):
+        from repro.engine import get_default_fast, set_default_fast
+
+        previous = get_default_fast()
+        yield
+        set_default_fast(previous)
+
+    def test_flip_does_not_retarget_existing_engines(self):
+        from repro.engine import set_default_fast
+
+        set_default_fast(False)
+        before = BatchEngine.for_bits(8)
+        assert before.fast is False
+        set_default_fast(True)
+        assert before.fast is False          # snapshot, not a live read
+        after = BatchEngine.for_bits(8)
+        assert after.fast is True
+        set_default_fast(False)
+        assert after.fast is True            # and the flip back is inert too
+
+    def test_explicit_fast_overrides_the_default_both_ways(self):
+        from repro.engine import set_default_fast
+
+        set_default_fast(True)
+        assert BatchEngine.for_bits(8, fast=False).fast is False
+        set_default_fast(False)
+        assert BatchEngine.for_bits(8, fast=True).fast is True
+
+    def test_set_default_fast_returns_previous_value(self):
+        from repro.engine import get_default_fast, set_default_fast
+
+        initial = get_default_fast()
+        assert set_default_fast(not initial) is initial
+        assert set_default_fast(initial) is (not initial)
+        assert get_default_fast() is initial

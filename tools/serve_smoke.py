@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI smoke check for the micro-batching inference server.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--seed N] [--workers N]
+
+Publishes one shared table image, attaches a server to it, and fires 64
+concurrent mixed-mode requests (sigmoid / tanh / exp / softmax, scalars
+and small arrays) from four client threads. Every response must be
+raw-bit-identical to a direct :class:`BatchEngine` evaluation, the
+server must have attached to the published image instead of compiling
+private tables, backpressure must shed loudly when provoked, and the
+server must shut down cleanly with nothing left pending.
+
+Exits 0 when every check holds, 1 otherwise, printing one line per
+check so CI logs show exactly what broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import threading
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.compile import TableCache  # noqa: E402
+from repro.engine import BatchEngine  # noqa: E402
+from repro.errors import BackpressureError  # noqa: E402
+from repro.nacu.config import NacuConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AttachedTableSource,
+    InferenceServer,
+    SharedTableStore,
+)
+from repro.telemetry import Collector, use_collector  # noqa: E402
+
+N_BITS = 12
+N_REQUESTS = 64
+N_CLIENTS = 4
+MODES = ("sigmoid", "tanh", "exp", "softmax")
+
+
+def _check(ok: bool, label: str) -> bool:
+    print(f"{'ok  ' if ok else 'FAIL'}  {label}")
+    return ok
+
+
+def _mixed_requests(count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        mode = MODES[int(rng.integers(len(MODES)))]
+        if mode == "softmax":
+            x = rng.uniform(-4, 4, size=(int(rng.integers(2, 7)),))
+        elif mode == "exp":
+            x = rng.uniform(-8, 0, size=(int(rng.integers(1, 9)),))
+        else:
+            x = rng.uniform(-6, 6, size=(int(rng.integers(1, 9)),))
+        out.append((mode, x))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="request stream seed (default 0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="server worker threads (default 1)")
+    args = parser.parse_args(argv)
+
+    config = NacuConfig.for_bits(N_BITS)
+    reference = BatchEngine(config=config, fast=True, table_cache=TableCache())
+    requests = _mixed_requests(N_REQUESTS, args.seed)
+    collector = Collector()
+    futures = {}
+
+    with SharedTableStore() as store:
+        store.publish(config, cache=TableCache())
+        with AttachedTableSource(store.manifest()) as source:
+            with use_collector(collector):
+                server = InferenceServer(
+                    config=config, table_source=source,
+                    workers=args.workers, max_delay_us=500.0,
+                )
+
+                def client(offset: int) -> None:
+                    for i in range(offset, N_REQUESTS, N_CLIENTS):
+                        mode, x = requests[i]
+                        futures[i] = server.submit(x, mode=mode)
+
+                threads = [
+                    threading.Thread(target=client, args=(k,))
+                    for k in range(N_CLIENTS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                resolved = {
+                    i: future.result(timeout=60)
+                    for i, future in futures.items()
+                }
+                server.close()
+
+    ok = _check(len(resolved) == N_REQUESTS,
+                f"all {N_REQUESTS} concurrent requests resolved")
+    mismatches = [
+        i for i, (mode, x) in enumerate(requests)
+        if not np.array_equal(resolved[i], getattr(reference, mode)(x))
+    ]
+    ok &= _check(not mismatches,
+                 "every response is bit-identical to the direct engine "
+                 f"(mismatches={mismatches or 'none'})")
+
+    counters = collector.snapshot()["counters"]
+    ok &= _check(counters.get("serve.requests") == N_REQUESTS,
+                 f"server counted the stream "
+                 f"(serve.requests={counters.get('serve.requests')})")
+    ok &= _check(1 <= counters.get("serve.batches", 0) <= N_REQUESTS,
+                 f"requests were fused "
+                 f"(serve.batches={counters.get('serve.batches')})")
+    ok &= _check(counters.get("compile.attach_hits", 0) >= 1,
+                 "server attached to the shared table image "
+                 f"(attach_hits={counters.get('compile.attach_hits')})")
+    ok &= _check(counters.get("compile.tables_compiled") is None,
+                 "no private table was compiled")
+    ok &= _check(server.closed, "server reports closed after close()")
+
+    # Backpressure must be loud: a parked server with a tiny pending
+    # pool sheds the overflow request with a distinct error.
+    shed_collector = Collector()
+    with use_collector(shed_collector):
+        parked = InferenceServer(
+            n_bits=N_BITS, max_delay_us=10_000_000,
+            max_batch_elements=1 << 20, max_pending_elements=2,
+        )
+        admitted = [parked.submit(0.1), parked.submit(0.2)]
+        try:
+            parked.submit(0.3)
+            shed_loudly = False
+        except BackpressureError:
+            shed_loudly = True
+        parked.close()
+    ok &= _check(shed_loudly, "overflow submit raises BackpressureError")
+    shed_counters = shed_collector.snapshot()["counters"]
+    ok &= _check(shed_counters.get("serve.shed") == 1,
+                 f"shed is counted (serve.shed={shed_counters.get('serve.shed')})")
+    ok &= _check(all(f.done() for f in admitted),
+                 "admitted requests still served through close()")
+
+    print("serve smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
