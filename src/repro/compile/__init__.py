@@ -12,12 +12,22 @@ from repro.compile.cache import (
     enable_persistence,
     reset_default_cache,
 )
-from repro.compile.table import TABLE_MODES, ResponseTable, compile_table
+from repro.compile.table import (
+    RECIPROCAL_KIND,
+    TABLE_MODES,
+    ReciprocalTable,
+    ResponseTable,
+    compile_reciprocal_table,
+    compile_table,
+)
 
 __all__ = [
+    "RECIPROCAL_KIND",
     "TABLE_MODES",
+    "ReciprocalTable",
     "ResponseTable",
     "TableCache",
+    "compile_reciprocal_table",
     "compile_table",
     "default_cache",
     "default_persist_dir",

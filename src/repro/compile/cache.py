@@ -22,7 +22,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.compile.table import TABLE_MODES, ResponseTable, compile_table
+from repro.compile.table import (
+    RECIPROCAL_KIND,
+    TABLE_MODES,
+    ReciprocalTable,
+    ResponseTable,
+    compile_reciprocal_table,
+    compile_table,
+)
 from repro.errors import ConfigError
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.telemetry import collector as _telemetry
@@ -142,7 +149,48 @@ class TableCache:
             self._insert(key, table)
             return table
 
-    def _attach(self, key: Tuple[str, str]) -> Optional[ResponseTable]:
+    def get_reciprocal(self, config: NacuConfig) -> Optional[ReciprocalTable]:
+        """The reciprocal table for ``config``'s approximate divider.
+
+        Same contract as :meth:`get` — attach source, then disk, then a
+        compile, LRU-inserted under the bytes budget — but keyed by
+        ``config.divider_fingerprint()`` with the ``"reciprocal"`` kind,
+        so configs that differ only outside the divide stage share one
+        table. ``None`` when the config uses the restoring divider
+        (whose fast path needs no table) or the mantissa range exceeds
+        the per-table ceiling.
+        """
+        if not config.use_approx_divider:
+            return None
+        n_codes = 1 << (config.acc_fmt.fb - 1)
+        if n_codes * np.dtype(np.int64).itemsize > self.max_table_bytes:
+            self._count("compile.fallback_too_wide")
+            return None
+        key = (config.divider_fingerprint(), RECIPROCAL_KIND)
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._tables.move_to_end(key)
+                self._count("compile.cache_hit")
+                return table
+            self._count("compile.cache_miss")
+            table = self._attach(key)
+            if table is None:
+                table = self._load_persisted_reciprocal(key, config)
+                if table is None:
+                    table = compile_reciprocal_table(config)
+                    tel = _telemetry.resolve(None)
+                    if tel is not None:
+                        tel.count("compile.tables_compiled")
+                        tel.count("compile.table_bytes", table.nbytes)
+                        tel.observe_span(
+                            f"compile.build.{RECIPROCAL_KIND}", table.compile_ns
+                        )
+                    self._persist_reciprocal(key, table)
+            self._insert(key, table)
+            return table
+
+    def _attach(self, key: Tuple[str, str]):
         """A zero-copy table from the attach source, when one is wired in.
 
         Attached tables never re-persist: they came from an image that is
@@ -213,6 +261,71 @@ class TableCache:
             # A read-only or full cache directory must never fail the
             # evaluation — persistence is strictly best-effort.
             self._count("compile.disk_write_failures")
+
+    def _persist_reciprocal(
+        self, key: Tuple[str, str], table: ReciprocalTable
+    ) -> None:
+        if self.persist_dir is None:
+            return
+        path = self._path_for(key)
+        try:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.stem + ".tmp.npz")
+            np.savez(
+                tmp,
+                version=np.int64(_PERSIST_VERSION),
+                fingerprint=np.str_(table.fingerprint),
+                mode=np.str_(RECIPROCAL_KIND),
+                fmt=np.str_(str(table.fmt)),
+                den_fb=np.int64(table.den_fb),
+                raw_offset=np.int64(table.raw_offset),
+                outputs=table.outputs,
+            )
+            os.replace(tmp, path)
+            self._count("compile.disk_writes")
+        except OSError:
+            self._count("compile.disk_write_failures")
+
+    def _load_persisted_reciprocal(
+        self, key: Tuple[str, str], config: NacuConfig
+    ) -> Optional[ReciprocalTable]:
+        if self.persist_dir is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        den_fb = config.acc_fmt.fb
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                stale = (
+                    int(data["version"]) != _PERSIST_VERSION
+                    or str(data["fingerprint"]) != config.divider_fingerprint()
+                    or str(data["mode"]) != RECIPROCAL_KIND
+                    or str(data["fmt"]) != str(config.divider_fmt)
+                    or int(data["den_fb"]) != den_fb
+                    or int(data["raw_offset"]) != 1 << (den_fb - 1)
+                )
+                if stale:
+                    self._count("compile.disk_stale")
+                    path.unlink(missing_ok=True)
+                    return None
+                outputs = np.ascontiguousarray(data["outputs"], dtype=np.int64)
+        except (OSError, KeyError, ValueError):
+            self._count("compile.disk_corrupt")
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        outputs.flags.writeable = False
+        self._count("compile.disk_hits")
+        return ReciprocalTable(
+            fingerprint=config.divider_fingerprint(),
+            fmt=config.divider_fmt,
+            den_fb=den_fb,
+            raw_offset=1 << (den_fb - 1),
+            outputs=outputs,
+        )
 
     def _load_persisted(
         self, key: Tuple[str, str], config: NacuConfig, mode: FunctionMode

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigError, RangeError
 from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.approx_divider import ApproxReciprocalDivider
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.datapath import NacuDatapath
 from repro.faults.inject import use_plan
@@ -31,6 +32,12 @@ from repro.telemetry.collector import use_collector
 #: a whole (its denominator couples elements) but its exponential *stage*
 #: is elementwise and uses the EXP table — see ``BatchEngine.softmax_fx``.
 TABLE_MODES = (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP)
+
+#: Table-kind key for the approximate divider's reciprocal stage. Not a
+#: :class:`FunctionMode`: the reciprocal is an internal pipeline stage,
+#: keyed by ``NacuConfig.divider_fingerprint()`` rather than the full
+#: config fingerprint (it depends only on the divider's shape).
+RECIPROCAL_KIND = "reciprocal"
 
 _EXP_DOMAIN_MESSAGE = (
     "the exponential path is specified for x <= 0; normalise "
@@ -68,10 +75,91 @@ class ResponseTable:
         the table covers the format's whole code range and ``x`` was
         range-validated when it became an :class:`FxArray`.
         """
-        if self.mode is FunctionMode.EXP and np.any(x.raw > 0):
+        if (
+            self.mode is FunctionMode.EXP
+            and x.raw.size
+            and int(x.raw.max()) > 0
+        ):
             raise RangeError(_EXP_DOMAIN_MESSAGE)
+        return self.eval_trusted(x)
+
+    def eval_trusted(self, x: FxArray) -> FxArray:
+        """:meth:`eval` minus the domain pre-check, for callers that
+        guarantee it — the softmax fast path gathers e^x of inputs it
+        just max-normalised, so every code is non-positive by
+        construction and the batch-wide scan would be pure overhead."""
         raw = self.outputs.take(x.raw - self.raw_offset)
         return FxArray._wrap(raw, self.fmt)
+
+
+@dataclass(frozen=True)
+class ReciprocalTable:
+    """The approximate divider's exact reciprocal per mantissa code.
+
+    ``ApproxReciprocalDivider.divide`` normalises every divisor into
+    [0.5, 1), so its ``reciprocal`` stage is a pure function of the
+    ``2**(den_fb - 1)`` normalised-mantissa codes:
+    ``outputs[code - raw_offset]`` is the raw reciprocal (in the
+    divider's quotient format ``fmt``) for mantissa raw ``code``.
+    ``raw_offset`` is the lowest normalised code, ``1 << (den_fb - 1)``.
+    """
+
+    fingerprint: str
+    fmt: QFormat
+    den_fb: int
+    raw_offset: int
+    outputs: np.ndarray = field(repr=False)
+    compile_ns: int = 0
+
+    #: Cache/persistence key slot a :class:`FunctionMode` fills for
+    #: response tables.
+    kind: str = RECIPROCAL_KIND
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the output array."""
+        return int(self.outputs.nbytes)
+
+    def eval_raw(self, mantissa_raw: np.ndarray) -> np.ndarray:
+        """Gather the raw reciprocal for a batch of mantissa codes."""
+        return self.outputs.take(mantissa_raw - self.raw_offset)
+
+
+def compile_reciprocal_table(config: NacuConfig) -> ReciprocalTable:
+    """Enumerate every normalised-mantissa code through the reciprocal.
+
+    The sweep builds a fresh divider with telemetry and fault injection
+    scoped off, exactly like :func:`compile_table` does for the datapath
+    — so the table holds the canonical fault-free response and compiling
+    it mid-run pollutes no counters.
+    """
+    if not config.use_approx_divider:
+        raise ConfigError(
+            "reciprocal tables capture the approximate divider; this "
+            "config uses the restoring divider (whose fast path is the "
+            "vectorised quotient kernel, no table needed)"
+        )
+    start = time.perf_counter_ns()
+    den_fb = config.acc_fmt.fb  # the softmax denominator's fraction width
+    codes = np.arange(1 << (den_fb - 1), 1 << den_fb, dtype=np.int64)
+    with use_collector(None), use_plan(None):
+        divider = ApproxReciprocalDivider(
+            config.divider_fmt,
+            seed_bits=config.approx_divider_seed_bits,
+            iterations=config.approx_divider_iterations,
+            collector=None,
+        )
+        out = divider.reciprocal(FxArray.from_raw(codes, QFormat(1, den_fb)))
+    outputs = np.ascontiguousarray(out.raw)
+    outputs.flags.writeable = False
+    return ReciprocalTable(
+        fingerprint=config.divider_fingerprint(),
+        fmt=config.divider_fmt,
+        den_fb=den_fb,
+        raw_offset=int(codes[0]),
+        outputs=outputs,
+        compile_ns=time.perf_counter_ns() - start,
+    )
 
 
 def compile_table(

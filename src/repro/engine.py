@@ -83,8 +83,9 @@ class BatchEngine:
         self.collector = (
             collector if collector is not None else self.nacu.datapath.collector
         )
-        #: Evaluate elementwise modes (and softmax's e^x stage) through
-        #: compiled response tables — raw-bit-identical to the datapath,
+        #: Evaluate elementwise modes (and softmax's e^x and divide
+        #: stages) through compiled response tables and the divider's
+        #: vectorised kernel — raw-bit-identical to the datapath,
         #: one integer gather per batch (see :mod:`repro.compile`).
         #: ``None`` defers to the process default (:func:`set_default_fast`),
         #: *snapshotted here*: a later ``set_default_fast`` flip never
@@ -95,9 +96,19 @@ class BatchEngine:
 
     @classmethod
     def for_bits(cls, n_bits: int, fast: Optional[bool] = None,
-                 **kwargs) -> "BatchEngine":
-        """An engine over a unit dimensioned for ``n_bits`` (Section III)."""
-        return cls(Nacu.for_bits(n_bits, **kwargs), fast=fast)
+                 collector=None, table_cache=None,
+                 **config_kwargs) -> "BatchEngine":
+        """An engine over a unit dimensioned for ``n_bits`` (Section III).
+
+        Engine-level kwargs (``collector``, ``table_cache``) go to the
+        :class:`BatchEngine` constructor — the collector is also injected
+        into the unit's datapath — and only configuration kwargs (e.g.
+        ``lut_entries``) travel down to :meth:`NacuConfig.for_bits`.
+        """
+        return cls(
+            Nacu.for_bits(n_bits, collector=collector, **config_kwargs),
+            fast=fast, collector=collector, table_cache=table_cache,
+        )
 
     @property
     def io_fmt(self) -> QFormat:
@@ -204,6 +215,29 @@ class BatchEngine:
             tel.count(f"engine.{mode.value}.fast_elements", x.raw.size)
         return out
 
+    def _fast_divide(self):
+        """The softmax divide-stage substitute, if the fast path applies.
+
+        For the restoring divider this is the vectorised floor-quotient
+        kernel (:meth:`RestoringDivider.divide_fast`) — no table needed;
+        for the approximate divider it is the table-served divide over
+        the compiled reciprocal of every normalised-mantissa code
+        (``None`` datapath fallback when that table exceeds the cache's
+        per-table ceiling). Both are raw-bit-identical to the divider's
+        own ``divide``, and with a fault plan armed nothing is injected:
+        the ``divider.pipe`` site lives in the bit-serial/Newton path.
+        """
+        if not self.fast or _faults.resolve() is not None:
+            return None
+        divider = self.nacu.datapath.divider
+        if not self.nacu.config.use_approx_divider:
+            return divider.divide_fast
+        cache = self.table_cache if self.table_cache is not None else default_cache()
+        table = cache.get_reciprocal(self.nacu.config)
+        if table is None:
+            return None
+        return lambda num, den: divider.divide_fast(num, den, table)
+
     def sigmoid_fx(self, x: FxArray) -> FxArray:
         """Elementwise sigma of a raw batch of any shape."""
         return self._elementwise_fx(x, FunctionMode.SIGMOID)
@@ -222,31 +256,52 @@ class BatchEngine:
         The batch is viewed as a 2-D stack of rows (``axis`` moved last),
         evaluated in one pass through the datapath's batched softmax, and
         the original layout restored. In fast mode the elementwise e^x
-        stage goes through its compiled table; the max-normalise,
-        denominator accumulation and final division always run through
-        the real datapath, so the result stays raw-bit-identical.
+        stage goes through its compiled table and the divide stage
+        through the divider's vectorised fast path (quotient kernel or
+        reciprocal table, see :meth:`_fast_divide`); the max-normalise
+        and denominator accumulation always run through the real
+        datapath, so the result stays raw-bit-identical. Per-stage
+        coverage is counted separately (``engine.softmax.fast_exp_elements``
+        / ``engine.softmax.fast_div_elements``) because either stage can
+        fall back on its own.
         """
         if x.raw.ndim == 0:
             raise RangeError("softmax needs at least one axis of inputs")
         moved = np.moveaxis(x.raw, axis, -1)
-        rows = FxArray(moved.reshape(-1, moved.shape[-1]), x.fmt)
+        if moved.shape[-1] == 0:
+            # A zero-length softmax axis would crash the reshape below
+            # with a numpy ValueError; match the datapath's error surface.
+            raise RangeError("softmax expects a non-empty 1-D vector or 2-D batch")
+        # x was range-validated when it became an FxArray; the reshaped
+        # view holds the same values, so skip the constructor's re-scan.
+        rows = FxArray._wrap(moved.reshape(-1, moved.shape[-1]), x.fmt)
+        # The datapath max-normalises before the e^x stage, so the
+        # substitute's inputs are non-positive by construction and the
+        # domain-checking eval() would re-scan every batch.
         exp_table = self._table_for(FunctionMode.EXP)
-        exponential = exp_table.eval if exp_table is not None else None
+        exponential = exp_table.eval_trusted if exp_table is not None else None
+        divide = self._fast_divide()
         tel = _telemetry.resolve(self.collector)
         if tel is None:
-            out = self.nacu.datapath.softmax(rows, exponential=exponential)
+            out = self.nacu.datapath.softmax(
+                rows, exponential=exponential, divide=divide
+            )
         else:
             start = time.perf_counter_ns()
-            out = self.nacu.datapath.softmax(rows, exponential=exponential)
+            out = self.nacu.datapath.softmax(
+                rows, exponential=exponential, divide=divide
+            )
             self._record_batch(
                 tel, FunctionMode.SOFTMAX, x,
                 rows.raw.shape[-1], rows.raw.shape[0],
                 time.perf_counter_ns() - start,
             )
             if exp_table is not None:
-                tel.count("engine.softmax.fast_elements", x.raw.size)
+                tel.count("engine.softmax.fast_exp_elements", x.raw.size)
+            if divide is not None:
+                tel.count("engine.softmax.fast_div_elements", x.raw.size)
         raw = np.moveaxis(out.raw.reshape(moved.shape), -1, axis)
-        return FxArray(raw, out.fmt)
+        return FxArray._wrap(raw, out.fmt)
 
     # ------------------------------------------------------------------
     # Float-or-FxArray front ends (ActivationProvider-compatible)

@@ -63,7 +63,12 @@ class FxArray:
         overflow: Overflow = Overflow.ERROR,
     ) -> "FxArray":
         """Wrap raw integers, applying ``overflow`` if they do not fit."""
-        return cls(apply_overflow(np.asarray(raw, dtype=np.int64), fmt, overflow), fmt)
+        # apply_overflow returns values in range by definition (clipped,
+        # wrapped, or validated under ERROR), so skip the constructor's
+        # redundant range re-scan.
+        return cls._wrap(
+            apply_overflow(np.asarray(raw, dtype=np.int64), fmt, overflow), fmt
+        )
 
     @classmethod
     def zeros(cls, shape, fmt: QFormat) -> "FxArray":

@@ -30,7 +30,9 @@ def resize(
 ) -> FxArray:
     """Re-quantise ``x`` into ``fmt`` (align binary point, then clamp)."""
     raw = shift_right_round(x.raw, x.fmt.fb - fmt.fb, rounding)
-    return FxArray(apply_overflow(raw, fmt, overflow), fmt)
+    # apply_overflow's result is in range by definition (clipped, wrapped,
+    # or validated), so the constructor's re-scan would be pure overhead.
+    return FxArray._wrap(apply_overflow(raw, fmt, overflow), fmt)
 
 
 def _align(a: FxArray, b: FxArray):

@@ -51,19 +51,23 @@ def shift_right_round(raw: RawLike, shift: int, rounding: Rounding) -> RawLike:
     raw = np.asarray(raw, dtype=np.int64)
     if shift <= 0:
         return raw << (-shift)
-    floor_q = raw >> shift
     if rounding is Rounding.FLOOR:
-        return floor_q
-    remainder = raw - (floor_q << shift)  # always in [0, 2**shift)
+        return raw >> shift
     half = np.int64(1) << (shift - 1)
-    if rounding is Rounding.TRUNCATE:
-        # Toward zero: floor for positives, ceil for negatives.
-        return floor_q + ((raw < 0) & (remainder != 0)).astype(np.int64)
     if rounding is Rounding.NEAREST_UP:
         return (raw + half) >> shift
     if rounding is Rounding.NEAREST_EVEN:
-        round_up = (remainder > half) | ((remainder == half) & ((floor_q & 1) == 1))
-        return floor_q + round_up.astype(np.int64)
+        # Round-half-even as one shifted add: biasing by half-1 rounds
+        # ties down, and adding the floor quotient's parity bit promotes
+        # exactly the ties whose floor is odd. Identical to the
+        # compare-remainder formulation for every int64 (the softmax fast
+        # path leans on this being the fewest-passes spelling).
+        return (raw + (half - np.int64(1)) + ((raw >> shift) & np.int64(1))) >> shift
+    if rounding is Rounding.TRUNCATE:
+        floor_q = raw >> shift
+        remainder = raw - (floor_q << shift)  # always in [0, 2**shift)
+        # Toward zero: floor for positives, ceil for negatives.
+        return floor_q + ((raw < 0) & (remainder != 0)).astype(np.int64)
     raise ValueError(f"unknown rounding mode {rounding!r}")
 
 

@@ -164,6 +164,68 @@ class ApproxReciprocalDivider:
             apply_overflow(raw, self.out_fmt, Overflow.SATURATE), self.out_fmt
         )
 
+    def divide_fast(self, num: FxArray, den: FxArray, table) -> FxArray:
+        """:meth:`divide` with the reciprocal stage served from ``table``.
+
+        ``table`` is a compiled
+        :class:`~repro.compile.table.ReciprocalTable` holding this
+        divider's exact reciprocal for every normalised-mantissa code, so
+        the result is raw-bit-identical to :meth:`divide` — the
+        normalise/multiply/post-scale stages run unchanged and only the
+        seeded Newton iteration is replaced by one gather. Falls back to
+        the full path when the table does not cover this operand pair or
+        a fault plan is armed (the ``divider.pipe`` site lives in the
+        reciprocal stage the table would bypass).
+
+        Unlike :meth:`divide`, the divisor is *not* pre-broadcast: the
+        normalise and gather stages run on ``den``'s own shape and only
+        the final multiply broadcasts, so a softmax handing in one
+        denominator per row pays one reciprocal per row. Every broadcast
+        element reuses its source element's result bit-for-bit, so the
+        output is still raw-identical to the expanded reference.
+        """
+        if (
+            table is None
+            or _faults._active is not None
+            or table.den_fb != den.fmt.fb
+            or table.fmt != self.out_fmt
+        ):
+            return self.divide(num, den)
+        den_raw = np.asarray(den.raw, dtype=np.int64)
+        num_raw = np.asarray(num.raw, dtype=np.int64)
+        if np.any(den_raw <= 0):
+            raise RangeError("approximate divide requires positive divisors")
+        bl = bit_length(den_raw)
+        fb_den = den.fmt.fb
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            out_shape = np.broadcast_shapes(num_raw.shape, den_raw.shape)
+            tel.count("divider.approx.divides", int(np.prod(out_shape, dtype=np.int64)))
+            tel.observe(
+                "divider.norm_shift", np.broadcast_to(fb_den - bl, out_shape)
+            )
+        mantissa_raw = np.where(
+            bl <= fb_den,
+            den_raw << np.maximum(fb_den - bl, 0),
+            den_raw >> np.maximum(bl - fb_den, 0),
+        )
+        recip_raw = table.eval_raw(mantissa_raw)  # 1/m in [1, 2]
+        product = num_raw * recip_raw
+        total_shift = num.fmt.fb + bl - fb_den
+        if np.all(total_shift >= 0):
+            # Softmax denominators are >= 1.0, so their post-scale always
+            # shifts right; one pass instead of the two-sided select.
+            raw = product >> total_shift
+        else:
+            raw = np.where(
+                total_shift >= 0,
+                product >> np.maximum(total_shift, 0),
+                product << np.maximum(-total_shift, 0),
+            )
+        return FxArray._wrap(
+            apply_overflow(raw, self.out_fmt, Overflow.SATURATE), self.out_fmt
+        )
+
     # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------

@@ -128,7 +128,9 @@ class NacuConfig:
             raise ConfigError("the accumulator cannot be coarser than the I/O")
 
     @classmethod
-    def for_bits(cls, n_bits: int, lut_entries: int = None) -> "NacuConfig":
+    def for_bits(
+        cls, n_bits: int, lut_entries: int = None, **overrides
+    ) -> "NacuConfig":
         """Configuration for a given total width using the Section III method.
 
         The I/O format comes from the Eq. 7 solver; coefficient words get
@@ -136,12 +138,15 @@ class NacuConfig:
         (slopes in (0, 1], biases in [0.5, 1)); the LUT covers the
         saturation range of the chosen format and is sized so approximation
         error keeps fitting the output LSB (53 entries at 16 bits).
+
+        Any other config field (e.g. ``use_approx_divider=True``) can be
+        passed as a keyword and replaces the derived value.
         """
         io_fmt = select_format(n_bits)
         lut_range = saturation_range(io_fmt)
         if lut_entries is None:
             lut_entries = lut_entries_for(io_fmt, lut_range)
-        return cls(
+        config = cls(
             io_fmt=io_fmt,
             slope_fmt=QFormat(1, n_bits - 2),
             bias_fmt=QFormat(2, n_bits - 2, signed=False),
@@ -150,6 +155,7 @@ class NacuConfig:
             lut_range=lut_range,
             acc_fmt=QFormat(min(io_fmt.ib + 4, 30 - io_fmt.fb), io_fmt.fb),
         )
+        return dataclasses.replace(config, **overrides) if overrides else config
 
     @property
     def n_bits(self) -> int:
@@ -164,15 +170,47 @@ class NacuConfig:
         output for every raw input, because every field of the (frozen)
         config participates. The digest is embedded in persisted table
         files, so a config change invalidates stale disk entries.
+
+        Memoised on the (frozen) instance: fast paths look tables up by
+        fingerprint on every batch, so hashing must not recur per call.
         """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         parts = []
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
             if isinstance(value, QFormat):
                 value = str(value)
             parts.append(f"{field.name}={value!r}")
-        digest = hashlib.sha256(";".join(parts).encode()).hexdigest()
-        return digest[:16]
+        digest = hashlib.sha256(";".join(parts).encode()).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
+    def divider_fingerprint(self) -> str:
+        """A stable digest of the fields that shape the divide stage alone.
+
+        Compiled *reciprocal* tables (:mod:`repro.compile`) are keyed by
+        this: the normalised-mantissa reciprocal depends only on the
+        divider kind, its quotient format, the approximate divider's
+        seed width and iteration count, and the denominator fraction
+        width the softmax path presents (the accumulator's) — so two
+        configurations differing in, say, LUT sizing still share one
+        reciprocal table.
+        """
+        cached = self.__dict__.get("_divider_fingerprint")
+        if cached is not None:
+            return cached
+        parts = (
+            f"kind={'approx' if self.use_approx_divider else 'restoring'}",
+            f"divider_fmt={self.divider_fmt}",
+            f"seed_bits={self.approx_divider_seed_bits}",
+            f"iterations={self.approx_divider_iterations}",
+            f"den_fb={self.acc_fmt.fb}",
+        )
+        digest = hashlib.sha256(";".join(parts).encode()).hexdigest()[:16]
+        object.__setattr__(self, "_divider_fingerprint", digest)
+        return digest
 
     @property
     def divider_fill_latency(self) -> int:

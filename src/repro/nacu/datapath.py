@@ -142,7 +142,7 @@ class NacuDatapath:
     # ------------------------------------------------------------------
     # softmax via Eq. 13
     # ------------------------------------------------------------------
-    def softmax(self, x: FxArray, exponential=None) -> FxArray:
+    def softmax(self, x: FxArray, exponential=None, divide=None) -> FxArray:
         """Softmax of a vector or a 2-D batch, max-normalised as in Eq. 13.
 
         A 2-D input is one softmax per row: every row gets its own max
@@ -152,11 +152,14 @@ class NacuDatapath:
         only the row dimension), so each row's raw output is identical to
         evaluating that row alone.
 
-        ``exponential`` substitutes the elementwise e^x stage — the
-        engine's compiled-table fast path injects its gather here. The
-        substitute must be raw-bit-identical to :meth:`exponential` for
-        the softmax to stay bit-identical; the accumulate/divide/resize
-        stages always run through the real datapath.
+        ``exponential`` substitutes the elementwise e^x stage and
+        ``divide`` the per-element division — the engine's compiled-table
+        fast path injects its e^x gather and the divider's vectorised
+        quotient kernel (or reciprocal-table divide) here. A substitute
+        must be raw-bit-identical to the stage it replaces for the
+        softmax to stay bit-identical; the max-normalise, accumulate and
+        resize stages always run through the real datapath, and with a
+        fault plan armed the engine injects neither.
         """
         if x.raw.ndim not in (1, 2) or x.raw.size == 0:
             raise RangeError("softmax expects a non-empty 1-D vector or 2-D batch")
@@ -175,13 +178,25 @@ class NacuDatapath:
         exps = (exponential or self.exponential)(shifted)
         self.mac.reset(exps.raw.shape[:-1])
         denominator = self.mac.accumulate_sum(exps, axis=-1)
-        denom = FxArray(
-            np.broadcast_to(
-                denominator.raw[..., np.newaxis], exps.raw.shape
-            ).copy(),
-            denominator.fmt,
-        )
-        probabilities = self.divider.divide(exps, denom)
+        if divide is not None:
+            # The fast divides broadcast internally; handing them the
+            # one-per-row denominator lets the reciprocal path normalise
+            # rows instead of elements. Results broadcast elementwise, so
+            # the raw bits match the reference's expanded divide exactly.
+            probabilities = divide(
+                exps,
+                FxArray._wrap(
+                    denominator.raw[..., np.newaxis], denominator.fmt
+                ),
+            )
+        else:
+            denom = FxArray(
+                np.broadcast_to(
+                    denominator.raw[..., np.newaxis], exps.raw.shape
+                ).copy(),
+                denominator.fmt,
+            )
+            probabilities = self.divider.divide(exps, denom)
         out = ops.resize(probabilities, self.config.io_fmt)
         unit_raw = int(np.int64(1) << self.config.io_fmt.fb)
         return self._io_out(out, plan, tel, 0, unit_raw)

@@ -6,6 +6,12 @@ shift-subtract restoring division one quotient bit per "stage", so its
 result is exactly the magnitude-truncated quotient hardware produces —
 ``tests/nacu/test_divider.py`` proves it bit-identical to the arithmetic
 reference ``ops.divide(..., rounding=FLOOR)``.
+
+Because the loop's result *is* that floor quotient, :meth:`divide_fast`
+can compute it in one vectorised ``//`` pass — the softmax fast path's
+divide stage — while the bit-serial loop stays the reference and the
+fault path (the ``divider.pipe`` injection site lives in the loop's
+output register, and an armed plan always routes through it).
 """
 
 from __future__ import annotations
@@ -49,6 +55,55 @@ class RestoringDivider:
         """Cycles to produce ``n`` quotients back to back."""
         return self.stages + max(0, n - 1)
 
+    def _prepare(self, num: FxArray, den: FxArray) -> int:
+        """Validate the operand formats; returns the dividend pre-shift."""
+        shift = self.out_fmt.fb - num.fmt.fb + den.fmt.fb
+        if shift < 0:
+            raise FormatError(
+                f"quotient format {self.out_fmt} too coarse for "
+                f"{num.fmt} / {den.fmt}"
+            )
+        # The only int64-width hazard is the shifted dividend: the
+        # remainder stays below twice the divisor and the quotient
+        # register never exceeds the dividend's bit length, so wide
+        # quotient formats (24-bit units and up) need no extra headroom.
+        if shift + num.fmt.ib + num.fmt.fb > 62:
+            raise FormatError("divider operand widths would overflow int64")
+        return shift
+
+    def divide_fast(self, num: FxArray, den: FxArray) -> FxArray:
+        """``num / den`` as one vectorised floor division — bit-identical
+        to :meth:`divide` by construction.
+
+        The restoring loop computes exactly the magnitude-truncated
+        quotient ``sign * ((|num| << shift) // |den|)`` one bit per stage;
+        this kernel computes the same quotient in a single ``//`` pass
+        (``tests/nacu/test_divider_fast.py`` pins the equality
+        exhaustively at 8 bits and by property at 12/16/24 bits). With a
+        fault plan armed the call falls back to the bit-serial loop: the
+        ``divider.pipe`` site perturbs the per-stage pipeline register,
+        so fault studies must walk the real structure.
+        """
+        if _faults._active is not None:
+            return self.divide(num, den)
+        shift = self._prepare(num, den)
+        num_raw = np.asarray(num.raw, dtype=np.int64)
+        den_raw = np.asarray(den.raw, dtype=np.int64)
+        if (
+            num_raw.size and den_raw.size
+            and int(num_raw.min()) >= 0 and int(den_raw.min()) > 0
+        ):
+            # The softmax shape: non-negative exponentials over positive
+            # denominators — no zero divisor possible, no sign work.
+            raw = (num_raw << shift) // den_raw
+        else:
+            if np.any(den_raw == 0):
+                raise ZeroDivisionError("restoring divider: divisor is zero")
+            raw = (np.abs(num_raw) << shift) // np.abs(den_raw)
+            raw *= np.sign(num_raw) * np.sign(den_raw)
+        raw = apply_overflow(raw, self.out_fmt, Overflow.SATURATE)
+        return FxArray._wrap(raw, self.out_fmt)
+
     def divide(self, num: FxArray, den: FxArray) -> FxArray:
         """``num / den`` by restoring long division on the magnitudes."""
         plan = _faults._active
@@ -63,18 +118,7 @@ class RestoringDivider:
         sign = np.sign(num.raw) * np.where(den.raw == 0, 1, np.sign(den.raw))
         # Align so the quotient's LSB weight is 2^-fb_out:
         #   q = (num / den) * 2^fb_out = (num_raw << shift) / den_raw
-        shift = self.out_fmt.fb - num.fmt.fb + den.fmt.fb
-        if shift < 0:
-            raise FormatError(
-                f"quotient format {self.out_fmt} too coarse for "
-                f"{num.fmt} / {den.fmt}"
-            )
-        # The only int64-width hazard is the shifted dividend: the
-        # remainder stays below twice the divisor and the quotient
-        # register never exceeds the dividend's bit length, so wide
-        # quotient formats (24-bit units and up) need no extra headroom.
-        if shift + num.fmt.ib + num.fmt.fb > 62:
-            raise FormatError("divider operand widths would overflow int64")
+        shift = self._prepare(num, den)
         dividend = np.abs(num.raw).astype(np.int64) << shift
         divisor = np.abs(den.raw).astype(np.int64)
 

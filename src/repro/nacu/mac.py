@@ -106,6 +106,78 @@ class MacUnit:
             )
             tel.count("mac.fold.steps", steps)
             tel.count("mac.fold.elements", values.raw.size)
+        fast = self._fold_fast(values, axis, tel)
+        if fast is not None:
+            return fast
+        return self._fold_loop(values, axis)
+
+    def _fold_fast(self, values: FxArray, axis: Optional[int], tel):
+        """One vectorised ``cumsum`` fold, or ``None`` for the loop.
+
+        Each bit-serial step is exactly ``acc = clip(acc + a << s)`` with
+        ``s = acc_fb - values_fb``: the ``a * 1`` product is exact and the
+        single narrowing drops only zero bits when ``s >= 0``, whatever
+        the rounding mode. So whenever **no prefix sum can clip**, the
+        whole fold collapses to the last cumulative sum — checked exactly
+        on the int64 prefixes, never assumed. Falls back (returns
+        ``None``) when any prefix could leave the accumulator's raw
+        range, a fault plan is armed (the ``mac.acc`` site perturbs each
+        step's register), the formats make a step inexact, or the
+        accumulator shape is not the plain per-slice fold.
+        """
+        scale = self.acc_fmt.fb - values.fmt.fb
+        if (
+            _faults._active is not None
+            or self._acc is None
+            or scale < 0
+            or 2 * values.fmt.fb < self.acc_fmt.fb
+        ):
+            return None
+        acc_raw = self._acc.raw
+        serial = (
+            values.raw.reshape(-1) if axis is None
+            else np.moveaxis(values.raw, axis, -1)
+        )
+        if serial.size == 0:
+            return None
+        if axis is None:
+            if np.ndim(acc_raw) != 0:
+                return None
+        elif np.shape(acc_raw) != serial.shape[:-1]:
+            return None
+        # int64 headroom for the raw prefixes, bounded in Python ints.
+        lo, hi = int(serial.min()), int(serial.max())
+        acc_lo, acc_hi = int(acc_raw.min()), int(acc_raw.max())
+        peak = max(-lo, hi) << scale
+        start = max(-acc_lo, acc_hi)
+        if peak * serial.shape[-1] + start >= (1 << 62):
+            return None
+        prefixes = np.cumsum(serial << scale if scale else serial, axis=-1)
+        if acc_lo or acc_hi:
+            prefixes = prefixes + (
+                acc_raw if axis is None else acc_raw[..., np.newaxis]
+            )
+        if (
+            int(prefixes.min()) < self.acc_fmt.raw_min
+            or int(prefixes.max()) > self.acc_fmt.raw_max
+        ):
+            return None  # a step would saturate: order matters, walk it
+        if tel is not None:
+            tel.count("mac.fold.vectorised")
+        # Every prefix was just bounds-checked against acc_fmt's raw range,
+        # so the final one is in range by construction. ascontiguousarray
+        # would promote a 0-d (axis=None) accumulator to 1-D, so the
+        # scalar case wraps through asarray instead.
+        last = prefixes[..., -1]
+        self._acc = FxArray._wrap(
+            np.asarray(last) if np.ndim(last) == 0
+            else np.ascontiguousarray(last),
+            self.acc_fmt,
+        )
+        return self._acc
+
+    def _fold_loop(self, values: FxArray, axis: Optional[int]) -> FxArray:
+        """The bit-serial reference fold: one MAC step per element."""
         one = FxArray.from_raw(1 << values.fmt.fb, QFormat(1, values.fmt.fb))
         if axis is None:
             for raw in values.raw.ravel():

@@ -58,9 +58,18 @@ class Nacu:
         tel.add_cycles(mode.value, n_cycles, self.config.clock_ns)
 
     @classmethod
-    def for_bits(cls, n_bits: int, **kwargs) -> "Nacu":
-        """A unit dimensioned by the Section III method for ``n_bits``."""
-        return cls(NacuConfig.for_bits(n_bits, **kwargs))
+    def for_bits(cls, n_bits: int, lut=None, collector=None,
+                 **config_kwargs) -> "Nacu":
+        """A unit dimensioned by the Section III method for ``n_bits``.
+
+        ``lut`` and ``collector`` are construction-time injections for
+        this unit; everything else is forwarded to
+        :meth:`NacuConfig.for_bits` (e.g. ``lut_entries``).
+        """
+        return cls(
+            NacuConfig.for_bits(n_bits, **config_kwargs),
+            lut=lut, collector=collector,
+        )
 
     @property
     def io_fmt(self) -> QFormat:

@@ -43,7 +43,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.compile.cache import TableCache, default_cache
-from repro.compile.table import TABLE_MODES, ResponseTable
+from repro.compile.table import (
+    RECIPROCAL_KIND,
+    TABLE_MODES,
+    ReciprocalTable,
+    ResponseTable,
+)
 from repro.errors import ServeError
 from repro.fixedpoint import QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
@@ -58,7 +63,13 @@ def _count(name: str, n: int = 1) -> None:
 
 @dataclass(frozen=True)
 class TableEntry:
-    """One published table: everything an attacher needs, no array data."""
+    """One published table: everything an attacher needs, no array data.
+
+    ``mode`` is a :class:`FunctionMode` value for response tables or the
+    ``"reciprocal"`` kind for the approximate divider's mantissa table;
+    ``den_fb`` carries the reciprocal table's denominator fraction width
+    (``-1`` for response tables, which have none).
+    """
 
     shm_name: str
     fingerprint: str
@@ -68,6 +79,7 @@ class TableEntry:
     shape: Tuple[int, ...]
     dtype: str
     nbytes: int
+    den_fb: int = -1
 
 
 @dataclass(frozen=True)
@@ -143,6 +155,7 @@ class SharedTableStore:
         config: NacuConfig,
         modes: Iterable[FunctionMode] = TABLE_MODES,
         cache: Optional[TableCache] = None,
+        include_reciprocal: Optional[bool] = None,
     ) -> StoreManifest:
         """Publish every requested mode's table; returns the manifest.
 
@@ -151,6 +164,12 @@ class SharedTableStore:
         format too wide for the cache's per-table ceiling cannot be
         published — the caller should let such workers fall back to the
         datapath instead.
+
+        ``include_reciprocal`` additionally publishes the approximate
+        divider's compiled reciprocal table (the softmax fast divide).
+        The default ``None`` publishes it exactly when the config uses
+        the approximate divider and the table fits the cache ceiling;
+        ``True`` makes its absence an error, ``False`` skips it.
         """
         cache = cache if cache is not None else default_cache()
         for mode in modes:
@@ -160,27 +179,55 @@ class SharedTableStore:
                     f"cannot publish {mode.value!r} for {config.io_fmt}: "
                     f"the format exceeds the cache's per-table ceiling"
                 )
-            segment = shared_memory.SharedMemory(create=True, size=table.nbytes)
-            view = np.ndarray(
-                table.outputs.shape, dtype=table.outputs.dtype, buffer=segment.buf
+            self._publish_one(
+                table, mode=table.mode.value, den_fb=-1
             )
-            view[:] = table.outputs
-            self._segments.append(segment)
-            self._entries.append(
-                TableEntry(
-                    shm_name=segment.name,
-                    fingerprint=table.fingerprint,
-                    mode=table.mode.value,
-                    fmt=str(table.fmt),
-                    raw_offset=table.raw_offset,
-                    shape=tuple(table.outputs.shape),
-                    dtype=str(table.outputs.dtype),
-                    nbytes=table.nbytes,
+        auto = include_reciprocal is None
+        if auto:
+            include_reciprocal = config.use_approx_divider
+        if include_reciprocal:
+            if not config.use_approx_divider:
+                raise ServeError(
+                    "cannot publish a reciprocal table: the config uses the "
+                    "restoring divider (its fast path needs no table)"
                 )
-            )
-            _count("serve.store.published")
-            _count("serve.store.published_bytes", table.nbytes)
+            reciprocal = cache.get_reciprocal(config)
+            if reciprocal is not None:
+                self._publish_one(
+                    reciprocal, mode=RECIPROCAL_KIND, den_fb=reciprocal.den_fb
+                )
+            elif not auto:
+                raise ServeError(
+                    "cannot publish the reciprocal table: the mantissa range "
+                    "exceeds the cache's per-table ceiling"
+                )
+            # auto + too wide: skip — attached workers fall back to the
+            # divider's Newton path, exactly as a local engine would.
         return self.manifest()
+
+    def _publish_one(self, table, mode: str, den_fb: int) -> None:
+        """Copy one compiled table into a fresh owned segment."""
+        segment = shared_memory.SharedMemory(create=True, size=table.nbytes)
+        view = np.ndarray(
+            table.outputs.shape, dtype=table.outputs.dtype, buffer=segment.buf
+        )
+        view[:] = table.outputs
+        self._segments.append(segment)
+        self._entries.append(
+            TableEntry(
+                shm_name=segment.name,
+                fingerprint=table.fingerprint,
+                mode=mode,
+                fmt=str(table.fmt),
+                raw_offset=table.raw_offset,
+                shape=tuple(table.outputs.shape),
+                dtype=str(table.outputs.dtype),
+                nbytes=table.nbytes,
+                den_fb=den_fb,
+            )
+        )
+        _count("serve.store.published")
+        _count("serve.store.published_bytes", table.nbytes)
 
     def manifest(self) -> StoreManifest:
         """The manifest of everything published so far."""
@@ -235,7 +282,7 @@ class AttachedTableSource:
 
     def __init__(self, manifest: StoreManifest):
         self._segments: List[shared_memory.SharedMemory] = []
-        self._tables: Dict[Tuple[str, str], ResponseTable] = {}
+        self._tables: Dict[Tuple[str, str], object] = {}
         for entry in manifest.entries:
             segment = _attach_untracked(entry.shm_name)
             outputs = np.ndarray(
@@ -243,17 +290,33 @@ class AttachedTableSource:
             )
             outputs.flags.writeable = False
             self._segments.append(segment)
-            self._tables[(entry.fingerprint, entry.mode)] = ResponseTable(
-                mode=FunctionMode(entry.mode),
-                fingerprint=entry.fingerprint,
-                fmt=QFormat.parse(entry.fmt),
-                raw_offset=entry.raw_offset,
-                outputs=outputs,
-            )
+            if entry.mode == RECIPROCAL_KIND:
+                table = ReciprocalTable(
+                    fingerprint=entry.fingerprint,
+                    fmt=QFormat.parse(entry.fmt),
+                    den_fb=entry.den_fb,
+                    raw_offset=entry.raw_offset,
+                    outputs=outputs,
+                )
+            else:
+                table = ResponseTable(
+                    mode=FunctionMode(entry.mode),
+                    fingerprint=entry.fingerprint,
+                    fmt=QFormat.parse(entry.fmt),
+                    raw_offset=entry.raw_offset,
+                    outputs=outputs,
+                )
+            self._tables[(entry.fingerprint, entry.mode)] = table
             _count("serve.store.attached")
 
-    def lookup(self, fingerprint: str, mode: str) -> Optional[ResponseTable]:
-        """The attached table for ``(fingerprint, mode)``, or ``None``."""
+    def lookup(self, fingerprint: str, mode: str):
+        """The attached table for ``(fingerprint, mode)``, or ``None``.
+
+        ``mode`` is a function-mode value for response tables or
+        ``"reciprocal"`` for the divider's mantissa table — the same key
+        space :class:`~repro.compile.cache.TableCache` consults this
+        source with.
+        """
         return self._tables.get((fingerprint, mode))
 
     def __len__(self) -> int:
@@ -305,7 +368,7 @@ def _npz_member_span(path: Path, member: str) -> Optional[int]:
         return header_offset + 30 + name_len + extra_len
 
 
-def mmap_table(path: Path) -> ResponseTable:
+def mmap_table(path: Path):
     """Attach to a persisted table ``.npz`` without loading its payload.
 
     The small metadata members load normally; the ``outputs`` array is
@@ -313,7 +376,9 @@ def mmap_table(path: Path) -> ResponseTable:
     -paged, and shared between every process that maps the same file.
     If the member turns out compressed (a foreign archive), the loader
     falls back to a normal copy-load and counts
-    ``serve.store.mmap_fallback``.
+    ``serve.store.mmap_fallback``. Returns a :class:`ResponseTable`, or
+    a :class:`ReciprocalTable` when the archive's mode is the
+    ``"reciprocal"`` kind.
     """
     path = Path(path)
     try:
@@ -322,6 +387,8 @@ def mmap_table(path: Path) -> ResponseTable:
                 name: data[name]
                 for name in ("version", "fingerprint", "mode", "fmt", "raw_offset")
             }
+            if str(meta["mode"]) == RECIPROCAL_KIND:
+                meta["den_fb"] = data["den_fb"]
             span = _npz_member_span(path, "outputs.npy")
             if span is None:
                 _count("serve.store.mmap_fallback")
@@ -344,6 +411,14 @@ def mmap_table(path: Path) -> ResponseTable:
                 _count("serve.store.mmap_attached")
     except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
         raise ServeError(f"{path}: not a readable persisted table ({exc})") from exc
+    if str(meta["mode"]) == RECIPROCAL_KIND:
+        return ReciprocalTable(
+            fingerprint=str(meta["fingerprint"]),
+            fmt=QFormat.parse(str(meta["fmt"])),
+            den_fb=int(meta["den_fb"]),
+            raw_offset=int(meta["raw_offset"]),
+            outputs=outputs,
+        )
     mode = FunctionMode(str(meta["mode"]))
     return ResponseTable(
         mode=mode,
@@ -366,9 +441,9 @@ class MmapTableSource:
 
     def __init__(self, root: Path):
         self.root = Path(root)
-        self._tables: Dict[Tuple[str, str], ResponseTable] = {}
+        self._tables: Dict[Tuple[str, str], object] = {}
 
-    def lookup(self, fingerprint: str, mode: str) -> Optional[ResponseTable]:
+    def lookup(self, fingerprint: str, mode: str):
         key = (fingerprint, mode)
         table = self._tables.get(key)
         if table is not None:
@@ -380,7 +455,10 @@ class MmapTableSource:
             table = mmap_table(path)
         except ServeError:
             return None  # corrupt file: let the cache recompile
-        if table.fingerprint != fingerprint or table.mode.value != mode:
+        table_mode = (
+            table.kind if isinstance(table, ReciprocalTable) else table.mode.value
+        )
+        if table.fingerprint != fingerprint or table_mode != mode:
             return None  # stale: embedded identity no longer matches
         self._tables[key] = table
         return table

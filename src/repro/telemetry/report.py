@@ -32,8 +32,12 @@ def render_table(title: str, header: Sequence[str],
 def derived_rates(snapshot: dict) -> Dict[str, float]:
     """Ratios worth reporting that are not stored directly.
 
-    Currently the sigmoid-LUT cache hit rate and the saturation rate per
-    overflow-checked element (when the respective counters exist).
+    Currently the sigmoid-LUT cache hit rate, the saturation rate per
+    overflow-checked element, and the softmax fast-path coverage *per
+    stage*: the e^x gather and the fast divide fall back independently
+    (``engine.softmax.fast_exp_elements`` /
+    ``engine.softmax.fast_div_elements``), so each gets its own share of
+    the softmax elements served.
     """
     counters = snapshot.get("counters", {})
     rates: Dict[str, float] = {}
@@ -45,6 +49,14 @@ def derived_rates(snapshot: dict) -> Dict[str, float]:
     checked = counters.get("fx.overflow.checked", 0)
     if checked:
         rates["saturation_rate"] = saturated / checked
+    softmax_elements = counters.get("engine.softmax.elements", 0)
+    if softmax_elements:
+        rates["softmax_fast_exp_coverage"] = (
+            counters.get("engine.softmax.fast_exp_elements", 0) / softmax_elements
+        )
+        rates["softmax_fast_div_coverage"] = (
+            counters.get("engine.softmax.fast_div_elements", 0) / softmax_elements
+        )
     return rates
 
 

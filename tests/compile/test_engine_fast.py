@@ -105,3 +105,60 @@ class TestFastDispatch:
         assert counters.get("engine.sigmoid.fast_elements") is None
         reference = BatchEngine(Nacu(config), fast=False).sigmoid_fx(x)
         np.testing.assert_array_equal(out.raw, reference.raw)
+
+
+class TestSoftmaxStageCounters:
+    """The e^x gather and the fast divide are counted per stage: either
+    can fall back on its own, and one blended ``fast_elements`` number
+    would hide a divide stage quietly running bit-serial."""
+
+    def test_both_stages_counted_separately(self, engines):
+        _, fast = engines
+        collector = Collector()
+        x = _batch(fast.io_fmt, np.random.default_rng(8), shape=(11, 6))
+        with use_collector(collector):
+            fast.softmax_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.softmax.fast_exp_elements") == 66
+        assert counters.get("engine.softmax.fast_div_elements") == 66
+        # The old blended counter is gone, not duplicated.
+        assert "engine.softmax.fast_elements" not in counters
+
+    def test_divide_stage_survives_an_exp_table_fallback(self):
+        # A ceiling under the e^x table but over the restoring divider's
+        # needs (none): only the exp stage falls back.
+        from repro.compile import TableCache
+
+        engine = BatchEngine.for_bits(
+            12, fast=True, table_cache=TableCache(max_table_bytes=64)
+        )
+        collector = Collector()
+        x = _batch(engine.io_fmt, np.random.default_rng(9), shape=(5, 4))
+        with use_collector(collector):
+            engine.softmax_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.softmax.fast_exp_elements") is None
+        assert counters.get("engine.softmax.fast_div_elements") == 20
+
+    def test_table_served_divide_survives_an_exp_fallback(self):
+        # The 12-bit e^x table is ~16 KiB, the reciprocal ~1 KiB: a
+        # ceiling between them forces the exp stage back to the datapath
+        # while the approx divide keeps its table — and the mixed result
+        # stays raw-bit-identical to the all-datapath reference.
+        from repro.compile import TableCache
+
+        cache = TableCache(max_table_bytes=4096)
+        engine = BatchEngine.for_bits(
+            12, fast=True, table_cache=cache, use_approx_divider=True
+        )
+        collector = Collector()
+        x = _batch(engine.io_fmt, np.random.default_rng(10), shape=(5, 4))
+        with use_collector(collector):
+            out = engine.softmax_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.softmax.fast_exp_elements") is None
+        assert counters.get("engine.softmax.fast_div_elements") == 20
+        reference = BatchEngine.for_bits(
+            12, fast=False, use_approx_divider=True
+        ).softmax_fx(x)
+        np.testing.assert_array_equal(out.raw, reference.raw)

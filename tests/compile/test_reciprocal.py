@@ -1,0 +1,141 @@
+"""Compiled reciprocal tables: exactness, cache keying, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.compile import TableCache
+from repro.compile.table import (
+    RECIPROCAL_KIND,
+    compile_reciprocal_table,
+)
+from repro.errors import ConfigError
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.approx_divider import ApproxReciprocalDivider
+from repro.nacu.config import NacuConfig
+from repro.telemetry import Collector, use_collector
+
+
+CONFIG = NacuConfig.for_bits(12, use_approx_divider=True)
+
+
+def _counters(run):
+    collector = Collector()
+    with use_collector(collector):
+        value = run()
+    return value, collector.snapshot()["counters"]
+
+
+class TestCompile:
+    def test_covers_every_mantissa_code_exactly(self):
+        table = compile_reciprocal_table(CONFIG)
+        den_fb = CONFIG.acc_fmt.fb
+        codes = np.arange(1 << (den_fb - 1), 1 << den_fb, dtype=np.int64)
+        divider = ApproxReciprocalDivider(
+            CONFIG.divider_fmt,
+            seed_bits=CONFIG.approx_divider_seed_bits,
+            iterations=CONFIG.approx_divider_iterations,
+        )
+        expected = divider.reciprocal(FxArray.from_raw(codes, QFormat(1, den_fb)))
+        assert table.raw_offset == int(codes[0])
+        assert table.den_fb == den_fb
+        assert table.fmt == CONFIG.divider_fmt
+        np.testing.assert_array_equal(table.eval_raw(codes), expected.raw)
+        assert table.outputs.flags.writeable is False
+
+    def test_keyed_by_divider_fingerprint(self):
+        # Fields outside the divide stage must not change the key, divider
+        # fields must.
+        same_divider = NacuConfig.for_bits(
+            12, use_approx_divider=True, lut_entries=17
+        )
+        assert same_divider.divider_fingerprint() == CONFIG.divider_fingerprint()
+        more_iterations = NacuConfig.for_bits(
+            12, use_approx_divider=True, approx_divider_iterations=2
+        )
+        assert more_iterations.divider_fingerprint() != \
+            CONFIG.divider_fingerprint()
+
+    def test_rejects_restoring_configs(self):
+        with pytest.raises(ConfigError):
+            compile_reciprocal_table(NacuConfig.for_bits(12))
+
+
+class TestCacheGetReciprocal:
+    def test_restoring_config_returns_none(self):
+        assert TableCache().get_reciprocal(NacuConfig.for_bits(12)) is None
+
+    def test_second_get_is_a_cache_hit(self):
+        cache = TableCache()
+
+        def twice():
+            return cache.get_reciprocal(CONFIG), cache.get_reciprocal(CONFIG)
+
+        (first, second), counters = _counters(twice)
+        assert first is second
+        assert counters.get("compile.cache_hit") == 1
+        assert counters.get("compile.tables_compiled") == 1
+        assert (CONFIG.divider_fingerprint(), RECIPROCAL_KIND) in cache
+
+    def test_shared_across_configs_differing_outside_the_divider(self):
+        cache = TableCache()
+        other = NacuConfig.for_bits(12, use_approx_divider=True, lut_entries=17)
+        assert cache.get_reciprocal(CONFIG) is cache.get_reciprocal(other)
+
+    def test_too_wide_mantissa_range_falls_back(self):
+        def get():
+            return TableCache(max_table_bytes=64).get_reciprocal(CONFIG)
+
+        table, counters = _counters(get)
+        assert table is None
+        assert counters.get("compile.fallback_too_wide") == 1
+
+
+class TestPersistence:
+    def test_roundtrip_through_disk(self, tmp_path):
+        first = TableCache(persist_dir=tmp_path).get_reciprocal(CONFIG)
+        (path,) = tmp_path.glob(f"table-*-{RECIPROCAL_KIND}.npz")
+        assert path.exists()
+
+        def reload():
+            return TableCache(persist_dir=tmp_path).get_reciprocal(CONFIG)
+
+        second, counters = _counters(reload)
+        assert counters.get("compile.disk_hits") == 1
+        assert counters.get("compile.tables_compiled") is None
+        np.testing.assert_array_equal(second.outputs, first.outputs)
+        assert second.fingerprint == first.fingerprint
+        assert second.den_fb == first.den_fb
+        assert second.outputs.flags.writeable is False
+
+    def test_corrupt_file_is_discarded_and_recompiled(self, tmp_path):
+        TableCache(persist_dir=tmp_path).get_reciprocal(CONFIG)
+        (path,) = tmp_path.glob(f"table-*-{RECIPROCAL_KIND}.npz")
+        path.write_bytes(b"not an archive")
+
+        def reload():
+            return TableCache(persist_dir=tmp_path).get_reciprocal(CONFIG)
+
+        table, counters = _counters(reload)
+        assert counters.get("compile.disk_corrupt") == 1
+        assert counters.get("compile.tables_compiled") == 1
+        reference = compile_reciprocal_table(CONFIG)
+        np.testing.assert_array_equal(table.outputs, reference.outputs)
+
+    def test_stale_payload_is_discarded_and_recompiled(self, tmp_path):
+        # A file at the right path whose embedded fingerprint disagrees
+        # (e.g. written by an older code version) must never be served.
+        cache = TableCache(persist_dir=tmp_path)
+        table = cache.get_reciprocal(CONFIG)
+        (path,) = tmp_path.glob(f"table-*-{RECIPROCAL_KIND}.npz")
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["fingerprint"] = np.str_("0" * 16)
+        np.savez(path, **payload)
+
+        def reload():
+            return TableCache(persist_dir=tmp_path).get_reciprocal(CONFIG)
+
+        fresh, counters = _counters(reload)
+        assert counters.get("compile.disk_stale") == 1
+        assert counters.get("compile.tables_compiled") == 1
+        np.testing.assert_array_equal(fresh.outputs, table.outputs)

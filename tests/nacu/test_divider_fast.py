@@ -1,0 +1,225 @@
+"""The divider fast paths: raw-bit identity to the bit-serial reference.
+
+``RestoringDivider.divide_fast`` must equal ``divide`` for *every* operand
+pair — exhaustively at 8 bits, by property at 12/16/24 bits — and
+``ApproxReciprocalDivider.divide_fast`` must equal its own ``divide`` with
+the compiled reciprocal table standing in for the Newton stage. Armed
+fault plans must route both back through the bit-serial/Newton structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compile.table import compile_reciprocal_table
+from repro.faults import FaultPlan, FaultSpec, Protection, use_plan
+from repro.fixedpoint import FxArray, QFormat
+from repro.nacu.approx_divider import ApproxReciprocalDivider
+from repro.nacu.config import NacuConfig
+from repro.nacu.divider import RestoringDivider
+
+
+IO = QFormat(4, 11)
+QUOT = QFormat(2, 14, signed=False)
+
+
+def _plan(site, rate=1.0, seed=0):
+    return FaultPlan(
+        seed=seed,
+        specs=(FaultSpec(site=site, rate=rate),),
+        protection=Protection(),
+    )
+
+
+def _formats(n_bits):
+    config = NacuConfig.for_bits(n_bits)
+    return config.io_fmt, config.divider_fmt
+
+
+class TestRestoringFastExhaustive:
+    def test_every_8bit_operand_pair(self):
+        # Every (num, den) raw code pair of the 8-bit unit, den != 0,
+        # in one vectorised call each — the loop *is* the floor quotient,
+        # so the fast kernel must match code for code.
+        io_fmt, quot_fmt = _formats(8)
+        codes = np.arange(io_fmt.raw_min, io_fmt.raw_max + 1, dtype=np.int64)
+        dens = codes[codes != 0]
+        num_grid, den_grid = np.meshgrid(codes, dens, indexing="ij")
+        num = FxArray(num_grid, io_fmt)
+        den = FxArray(den_grid, io_fmt)
+        divider = RestoringDivider(quot_fmt)
+        np.testing.assert_array_equal(
+            divider.divide_fast(num, den).raw, divider.divide(num, den).raw
+        )
+
+
+class TestRestoringFastProperty:
+    @pytest.mark.parametrize("n_bits", [12, 16, 24])
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_bit_serial_loop(self, n_bits, data):
+        io_fmt, quot_fmt = _formats(n_bits)
+        num_raw = data.draw(st.integers(io_fmt.raw_min, io_fmt.raw_max))
+        den_raw = data.draw(
+            st.integers(io_fmt.raw_min, io_fmt.raw_max).filter(lambda v: v != 0)
+        )
+        num = FxArray.from_raw(num_raw, io_fmt)
+        den = FxArray.from_raw(den_raw, io_fmt)
+        divider = RestoringDivider(quot_fmt)
+        assert int(divider.divide_fast(num, den).raw) == \
+            int(divider.divide(num, den).raw)
+
+    @pytest.mark.parametrize("n_bits", [12, 16, 24])
+    def test_random_batch_matches(self, n_bits):
+        io_fmt, quot_fmt = _formats(n_bits)
+        rng = np.random.default_rng(n_bits)
+        num_raw = rng.integers(io_fmt.raw_min, io_fmt.raw_max + 1,
+                               size=(64, 17), dtype=np.int64)
+        den_raw = rng.integers(1, io_fmt.raw_max + 1,
+                               size=(64, 17), dtype=np.int64)
+        den_raw *= rng.choice([-1, 1], size=den_raw.shape)
+        divider = RestoringDivider(quot_fmt)
+        num, den = FxArray(num_raw, io_fmt), FxArray(den_raw, io_fmt)
+        np.testing.assert_array_equal(
+            divider.divide_fast(num, den).raw, divider.divide(num, den).raw
+        )
+
+
+class TestRestoringFastEdges:
+    def test_zero_divisor_raises(self):
+        divider = RestoringDivider(QUOT)
+        with pytest.raises(ZeroDivisionError):
+            divider.divide_fast(
+                FxArray.from_float(1.0, IO), FxArray.from_float(0.0, IO)
+            )
+
+    def test_zero_divisor_in_batch_raises(self):
+        divider = RestoringDivider(QUOT)
+        num = FxArray.from_float(np.array([1.0, 2.0]), IO)
+        den = FxArray.from_float(np.array([2.0, 0.0]), IO)
+        with pytest.raises(ZeroDivisionError):
+            divider.divide_fast(num, den)
+
+    def test_signed_quadrants(self):
+        divider = RestoringDivider(QFormat(4, 11))
+        for sn in (1, -1):
+            for sd in (1, -1):
+                num = FxArray.from_float(sn * 3.0, IO)
+                den = FxArray.from_float(sd * 2.0, IO)
+                fast = divider.divide_fast(num, den)
+                assert float(fast.to_float()) == sn * sd * 1.5
+                assert int(fast.raw) == int(divider.divide(num, den).raw)
+
+    def test_quotient_saturates_like_the_loop(self):
+        num = FxArray.from_float(15.0, IO)
+        den = FxArray.from_raw(1, IO)  # smallest positive divisor
+        divider = RestoringDivider(QUOT)
+        assert int(divider.divide_fast(num, den).raw) == QUOT.raw_max
+        assert int(divider.divide_fast(num, den).raw) == \
+            int(divider.divide(num, den).raw)
+
+    def test_empty_batch(self):
+        divider = RestoringDivider(QUOT)
+        num = FxArray(np.empty((0, 3), dtype=np.int64), IO)
+        den = FxArray(np.empty((0, 3), dtype=np.int64), IO)
+        assert divider.divide_fast(num, den).raw.shape == (0, 3)
+
+
+class TestRestoringFastFaultFallback:
+    def test_armed_plan_routes_through_bit_serial_loop(self):
+        # Arming the same frozen plan twice replays identical fault
+        # streams, so the fast entry point (which must defer to the
+        # loop) and the loop itself land on the same perturbed bits.
+        divider = RestoringDivider(QUOT)
+        num = FxArray.from_float(np.linspace(0.25, 7.5, 64), IO)
+        den = FxArray.from_float(np.full(64, 2.0), IO)
+        plan = _plan("divider.pipe")
+        with use_plan(plan):
+            fast = divider.divide_fast(num, den)
+        with use_plan(plan):
+            reference = divider.divide(num, den)
+        np.testing.assert_array_equal(fast.raw, reference.raw)
+        # The perturbed quotients differ from the fault-free fast path,
+        # proving divide_fast did not skip the injection site.
+        assert np.any(fast.raw != divider.divide_fast(num, den).raw)
+
+
+class TestApproxFast:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = NacuConfig.for_bits(12, use_approx_divider=True)
+        divider = ApproxReciprocalDivider(
+            config.divider_fmt,
+            seed_bits=config.approx_divider_seed_bits,
+            iterations=config.approx_divider_iterations,
+        )
+        return config, divider, compile_reciprocal_table(config)
+
+    def _operands(self, config, rng, shape=(48, 9)):
+        num_raw = rng.integers(config.io_fmt.raw_min, config.io_fmt.raw_max + 1,
+                               size=shape, dtype=np.int64)
+        den_raw = rng.integers(1, config.acc_fmt.raw_max + 1,
+                               size=shape, dtype=np.int64)
+        return (
+            FxArray(num_raw, config.io_fmt),
+            FxArray(den_raw, config.acc_fmt),
+        )
+
+    def test_table_served_divide_matches_newton_path(self, setup):
+        config, divider, table = setup
+        num, den = self._operands(config, np.random.default_rng(1))
+        np.testing.assert_array_equal(
+            divider.divide_fast(num, den, table).raw,
+            divider.divide(num, den).raw,
+        )
+
+    def test_unbroadcast_denominator_matches_expanded(self, setup):
+        # The softmax hand-off: one denominator per row, broadcast only
+        # in the final multiply — must equal the fully expanded divide.
+        config, divider, table = setup
+        num, _ = self._operands(config, np.random.default_rng(2))
+        den_col = FxArray(
+            np.random.default_rng(3).integers(
+                1, config.acc_fmt.raw_max + 1, size=(48, 1), dtype=np.int64
+            ),
+            config.acc_fmt,
+        )
+        expanded = FxArray(
+            np.broadcast_to(den_col.raw, num.raw.shape).copy(), config.acc_fmt
+        )
+        np.testing.assert_array_equal(
+            divider.divide_fast(num, den_col, table).raw,
+            divider.divide(num, expanded).raw,
+        )
+
+    def test_missing_table_falls_back_to_divide(self, setup):
+        config, divider, _ = setup
+        num, den = self._operands(config, np.random.default_rng(4))
+        np.testing.assert_array_equal(
+            divider.divide_fast(num, den, None).raw,
+            divider.divide(num, den).raw,
+        )
+
+    def test_mismatched_table_falls_back_to_divide(self, setup):
+        # A table compiled for another denominator width must be refused,
+        # not gathered from: the call silently takes the full path.
+        config, divider, _ = setup
+        other = NacuConfig.for_bits(16, use_approx_divider=True)
+        wrong = compile_reciprocal_table(other)
+        assert wrong.den_fb != config.acc_fmt.fb
+        num, den = self._operands(config, np.random.default_rng(5))
+        np.testing.assert_array_equal(
+            divider.divide_fast(num, den, wrong).raw,
+            divider.divide(num, den).raw,
+        )
+
+    def test_armed_plan_routes_through_newton_path(self, setup):
+        config, divider, table = setup
+        num, den = self._operands(config, np.random.default_rng(6), shape=(32,))
+        plan = _plan("divider.pipe")
+        with use_plan(plan):
+            fast = divider.divide_fast(num, den, table)
+        with use_plan(plan):
+            reference = divider.divide(num, den)
+        np.testing.assert_array_equal(fast.raw, reference.raw)
+        assert np.any(fast.raw != divider.divide_fast(num, den, table).raw)

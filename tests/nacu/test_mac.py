@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
+from repro.faults import FaultPlan, FaultSpec, Protection, use_plan
 from repro.fixedpoint import FxArray, QFormat
 from repro.nacu.mac import MacUnit
 
@@ -60,6 +61,84 @@ class TestAccumulator:
         values = FxArray.from_float(np.array([0.25, 0.5, 1.0, 0.125]), IO)
         total = mac.accumulate_sum(values)
         assert float(total.to_float()) == 1.875
+
+
+class TestFoldFastPath:
+    """``accumulate_sum``'s vectorised cumsum must mirror the bit-serial
+    fold exactly and defer to it whenever a step could clip or inject."""
+
+    def _plan(self, site="mac.acc", rate=1.0, seed=0):
+        return FaultPlan(
+            seed=seed,
+            specs=(FaultSpec(site=site, rate=rate),),
+            protection=Protection(),
+        )
+
+    def test_fast_fold_matches_serial_loop(self):
+        rng = np.random.default_rng(2)
+        values = fx(rng.uniform(0.0, 0.9, size=(6, 9)))
+        fast, loop = MacUnit(ACC), MacUnit(ACC)
+        fast.reset(shape=(6,))
+        loop.reset(shape=(6,))
+        out = fast.accumulate_sum(values, axis=-1)
+        np.testing.assert_array_equal(out.raw, loop._fold_loop(values, -1).raw)
+
+    def test_scalar_fold_matches_and_stays_zero_dim(self):
+        values = fx(np.array([0.25, 0.5, 1.0, 0.125]))
+        fast, loop = MacUnit(ACC), MacUnit(ACC)
+        fast.reset()
+        loop.reset()
+        out = fast.accumulate_sum(values)
+        assert out.raw.ndim == 0
+        assert int(out.raw) == int(loop._fold_loop(values, None).raw)
+
+    def test_nonzero_accumulator_joins_the_prefixes(self):
+        values = fx(np.array([0.5, 1.5, 2.0]))
+        fast, loop = MacUnit(ACC), MacUnit(ACC)
+        for mac in (fast, loop):
+            mac.reset()
+            mac.accumulate(fx(3.0), fx(1.0))
+        out = fast.accumulate_sum(values)
+        assert int(out.raw) == int(loop._fold_loop(values, None).raw)
+        assert float(out.to_float()) == 7.0
+
+    def test_saturating_prefix_falls_back_to_the_loop(self):
+        # 40 * 15.0 overruns Q8.11's 256 limit mid-fold: the vectorised
+        # path must refuse (order matters once a step clips) and the walk
+        # must land exactly where step-by-step saturation lands.
+        values = fx(np.full(40, 15.0))
+        mac = MacUnit(ACC)
+        mac.reset()
+        assert mac._fold_fast(values, None, None) is None
+        out = mac.accumulate_sum(values)
+        loop = MacUnit(ACC)
+        loop.reset()
+        assert int(out.raw) == int(loop._fold_loop(values, None).raw)
+        assert float(out.to_float()) == ACC.max_value
+
+    def test_armed_fault_plan_falls_back_to_the_loop(self):
+        # The mac.acc site perturbs every step's result register; the
+        # cumsum collapse would skip all but the last. Arming the same
+        # frozen plan twice replays identical streams.
+        values = fx(np.array([0.25, 0.5, 0.75]))
+        plan = self._plan()
+        mac = MacUnit(ACC)
+        mac.reset()
+        with use_plan(plan):
+            assert mac._fold_fast(values, None, None) is None
+            folded = mac.accumulate_sum(values)
+        loop = MacUnit(ACC)
+        loop.reset()
+        with use_plan(plan):
+            reference = loop._fold_loop(values, None)
+        assert int(folded.raw) == int(reference.raw)
+
+    def test_empty_fold_keeps_the_accumulator(self):
+        mac = MacUnit(ACC)
+        mac.reset(shape=(4,))
+        out = mac.accumulate_sum(FxArray(np.empty((4, 0), dtype=np.int64), IO),
+                                 axis=-1)
+        np.testing.assert_array_equal(out.raw, np.zeros(4, dtype=np.int64))
 
 
 class TestMulAdd:

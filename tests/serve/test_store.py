@@ -7,6 +7,11 @@ import numpy as np
 import pytest
 
 from repro.compile import TableCache, compile_table
+from repro.compile.table import (
+    RECIPROCAL_KIND,
+    ReciprocalTable,
+    compile_reciprocal_table,
+)
 from repro.engine import BatchEngine
 from repro.errors import ServeError
 from repro.fixedpoint import FxArray
@@ -20,6 +25,7 @@ from repro.serve import (
 from repro.telemetry import Collector, use_collector
 
 CONFIG = NacuConfig.for_bits(12)
+APPROX_CONFIG = NacuConfig.for_bits(12, use_approx_divider=True)
 MODES = (FunctionMode.SIGMOID, FunctionMode.TANH, FunctionMode.EXP)
 
 
@@ -122,6 +128,100 @@ class TestPublishAttach:
         store.publish(CONFIG, modes=(FunctionMode.SIGMOID,), cache=TableCache())
         store.unlink()
         store.unlink()
+
+
+class TestReciprocalPublish:
+    def test_approx_config_publishes_the_reciprocal_by_default(self):
+        with SharedTableStore() as store:
+            manifest = store.publish(APPROX_CONFIG, cache=TableCache())
+            entry = next(
+                e for e in manifest.entries if e.mode == RECIPROCAL_KIND
+            )
+            assert len(manifest) == 4
+            assert entry.fingerprint == APPROX_CONFIG.divider_fingerprint()
+            assert entry.den_fb == APPROX_CONFIG.acc_fmt.fb
+
+    def test_restoring_config_publishes_no_reciprocal(self, store):
+        # The module fixture's store published CONFIG (restoring): its
+        # fast divide is the quotient kernel, nothing to share.
+        assert all(
+            e.mode != RECIPROCAL_KIND for e in store.manifest().entries
+        )
+
+    def test_explicit_reciprocal_for_restoring_config_is_an_error(self):
+        with SharedTableStore() as store:
+            with pytest.raises(ServeError):
+                store.publish(
+                    CONFIG, cache=TableCache(), include_reciprocal=True
+                )
+
+    def test_explicit_false_skips_the_reciprocal(self):
+        with SharedTableStore() as store:
+            manifest = store.publish(
+                APPROX_CONFIG, cache=TableCache(), include_reciprocal=False
+            )
+            assert len(manifest) == 3
+
+    def test_explicit_true_over_the_ceiling_is_an_error(self):
+        with SharedTableStore() as store:
+            with pytest.raises(ServeError):
+                store.publish(
+                    APPROX_CONFIG, modes=(),
+                    cache=TableCache(max_table_bytes=64),
+                    include_reciprocal=True,
+                )
+
+    def test_auto_over_the_ceiling_skips_silently(self):
+        with SharedTableStore() as store:
+            manifest = store.publish(
+                APPROX_CONFIG, modes=(),
+                cache=TableCache(max_table_bytes=64),
+            )
+            assert len(manifest) == 0
+
+    def test_attached_reciprocal_is_byte_identical_and_read_only(self):
+        with SharedTableStore() as store:
+            store.publish(APPROX_CONFIG, cache=TableCache())
+            with AttachedTableSource(store.manifest()) as source:
+                attached = source.lookup(
+                    APPROX_CONFIG.divider_fingerprint(), RECIPROCAL_KIND
+                )
+                private = compile_reciprocal_table(APPROX_CONFIG)
+                assert isinstance(attached, ReciprocalTable)
+                assert attached.den_fb == private.den_fb
+                assert attached.raw_offset == private.raw_offset
+                np.testing.assert_array_equal(
+                    attached.outputs, private.outputs
+                )
+                assert attached.outputs.flags.writeable is False
+
+    def test_attached_worker_serves_softmax_without_compiling(self):
+        with SharedTableStore() as store:
+            store.publish(APPROX_CONFIG, cache=TableCache())
+
+            def serve():
+                source = AttachedTableSource(store.manifest())
+                engine = BatchEngine(
+                    config=APPROX_CONFIG, fast=True,
+                    table_cache=TableCache(source=source),
+                )
+                rng = np.random.default_rng(9)
+                x = FxArray.from_float(
+                    rng.uniform(-6, 6, size=(19, 7)), engine.io_fmt
+                )
+                return engine.softmax_fx(x)
+
+            out, counters = _counters(serve)
+            assert counters.get("compile.tables_compiled") is None
+            assert counters.get("compile.attach_hits") == 2  # exp + recip
+            private = BatchEngine(
+                config=APPROX_CONFIG, fast=True, table_cache=TableCache()
+            )
+            rng = np.random.default_rng(9)
+            x = FxArray.from_float(
+                rng.uniform(-6, 6, size=(19, 7)), private.io_fmt
+            )
+            np.testing.assert_array_equal(out.raw, private.softmax_fx(x).raw)
 
 
 def _fork_worker(manifest, raw_bytes, shape, queue):
@@ -238,3 +338,20 @@ class TestMmapPath:
         source = MmapTableSource(tmp_path)
         assert source.lookup("0" * 16, "tanh") is None
         assert source.lookup(CONFIG.fingerprint(), "sigmoid") is None
+
+    def test_mmap_roundtrips_a_reciprocal_table(self, tmp_path):
+        cache = TableCache(persist_dir=tmp_path)
+        table = cache.get_reciprocal(APPROX_CONFIG)
+        (path,) = tmp_path.glob(f"table-*-{RECIPROCAL_KIND}.npz")
+        mapped = mmap_table(path)
+        assert isinstance(mapped, ReciprocalTable)
+        assert isinstance(mapped.outputs, np.memmap)
+        assert mapped.den_fb == table.den_fb
+        assert mapped.raw_offset == table.raw_offset
+        np.testing.assert_array_equal(mapped.outputs, table.outputs)
+        source = MmapTableSource(tmp_path)
+        served = source.lookup(
+            APPROX_CONFIG.divider_fingerprint(), RECIPROCAL_KIND
+        )
+        assert served is not None
+        np.testing.assert_array_equal(served.outputs, table.outputs)

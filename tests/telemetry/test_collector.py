@@ -229,3 +229,22 @@ class TestReport:
 
     def test_empty_snapshot_renders_placeholder(self):
         assert "no telemetry" in render_snapshot(Collector().snapshot())
+
+
+class TestSoftmaxStageRates:
+    def test_per_stage_coverage_rates(self):
+        snap = {
+            "counters": {
+                "engine.softmax.elements": 100,
+                "engine.softmax.fast_exp_elements": 100,
+                "engine.softmax.fast_div_elements": 40,
+            }
+        }
+        rates = derived_rates(snap)
+        assert rates["softmax_fast_exp_coverage"] == pytest.approx(1.0)
+        assert rates["softmax_fast_div_coverage"] == pytest.approx(0.4)
+
+    def test_no_softmax_traffic_reports_no_rates(self):
+        rates = derived_rates({"counters": {"engine.softmax.elements": 0}})
+        assert "softmax_fast_exp_coverage" not in rates
+        assert "softmax_fast_div_coverage" not in rates

@@ -208,6 +208,13 @@ class TestBatchEngineFacade:
         with pytest.raises(RangeError):
             engine.softmax(1.0)
 
+    def test_rejects_empty_softmax_axis(self, engine):
+        # A zero-length softmax axis used to crash the engine's row
+        # reshape with a raw numpy ValueError before the datapath's own
+        # emptiness check could fire.
+        with pytest.raises(RangeError):
+            engine.softmax(np.zeros((3, 0)))
+
     def test_provider_duck_type(self, engine):
         # The engine drops into network code written against
         # ActivationProvider (sigmoid/tanh/softmax array callables).
@@ -286,3 +293,65 @@ class TestDefaultFastSnapshot:
         assert set_default_fast(not initial) is initial
         assert set_default_fast(initial) is (not initial)
         assert get_default_fast() is initial
+
+
+class TestForBitsKwargRouting:
+    """Engine-level kwargs must reach the engine, config kwargs the config.
+
+    ``for_bits`` once forwarded everything to ``NacuConfig.for_bits``, so
+    ``collector=`` / ``table_cache=`` blew up as unknown config fields —
+    pinned here so the routing split stays fixed.
+    """
+
+    def test_collector_kwarg_reaches_engine_and_datapath(self):
+        from repro.telemetry import Collector
+
+        collector = Collector()
+        engine = BatchEngine.for_bits(12, collector=collector)
+        assert engine.collector is collector
+        assert engine.nacu.datapath.collector is collector
+        engine.sigmoid(np.linspace(-2.0, 2.0, 7))
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.sigmoid.elements") == 7
+
+    def test_table_cache_kwarg_reaches_engine(self):
+        from repro.compile import TableCache
+
+        cache = TableCache()
+        engine = BatchEngine.for_bits(12, fast=True, table_cache=cache)
+        assert engine.table_cache is cache
+        engine.sigmoid(np.linspace(-2.0, 2.0, 5))
+        assert len(cache) == 1
+
+    def test_config_kwargs_still_reach_the_config(self):
+        engine = BatchEngine.for_bits(
+            12, use_approx_divider=True, lut_entries=17
+        )
+        assert engine.nacu.config.use_approx_divider is True
+        assert engine.nacu.config.lut_entries == 17
+
+    def test_engine_and_config_kwargs_combine(self):
+        from repro.compile import TableCache
+        from repro.telemetry import Collector
+
+        collector = Collector()
+        cache = TableCache()
+        engine = BatchEngine.for_bits(
+            12, fast=True, collector=collector, table_cache=cache,
+            use_approx_divider=True,
+        )
+        assert engine.collector is collector
+        assert engine.table_cache is cache
+        assert engine.nacu.config.use_approx_divider is True
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-4.0, 4.0, size=(6, 5))
+        baseline = BatchEngine.for_bits(
+            12, fast=False, use_approx_divider=True
+        )
+        np.testing.assert_array_equal(
+            engine.softmax_fx(FxArray.from_float(x, engine.io_fmt)).raw,
+            baseline.softmax_fx(FxArray.from_float(x, baseline.io_fmt)).raw,
+        )
+        counters = collector.snapshot()["counters"]
+        assert counters.get("engine.softmax.fast_exp_elements") == 30
+        assert counters.get("engine.softmax.fast_div_elements") == 30

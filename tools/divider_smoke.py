@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI smoke check for the softmax divider fast paths.
+
+Usage::
+
+    PYTHONPATH=src python tools/divider_smoke.py [--seed N] [--bits N]
+
+Compiles the approximate divider's reciprocal table, checks it against
+the Newton path code for code, publishes it through a shared table
+store, and serves one softmax batch through an attached
+:class:`InferenceServer` for *both* divider variants — the restoring
+divider's vectorised quotient kernel and the table-served approximate
+divide. Every served batch must be raw-bit-identical to the bit-accurate
+``fast=False`` engine for the same configuration, the attached server
+must have compiled nothing, and an armed fault plan must still route the
+divide through the bit-serial structure.
+
+Exits 0 when every check holds, 1 otherwise, printing one line per
+check so CI logs show exactly what broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.compile import TableCache  # noqa: E402
+from repro.compile.table import compile_reciprocal_table  # noqa: E402
+from repro.engine import BatchEngine  # noqa: E402
+from repro.faults import FaultPlan, FaultSpec, use_plan  # noqa: E402
+from repro.fixedpoint import FxArray, QFormat  # noqa: E402
+from repro.nacu.approx_divider import ApproxReciprocalDivider  # noqa: E402
+from repro.nacu.config import NacuConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AttachedTableSource,
+    InferenceServer,
+    SharedTableStore,
+)
+from repro.telemetry import Collector, use_collector  # noqa: E402
+
+BATCH = (64, 16)
+
+
+def _check(ok: bool, label: str) -> bool:
+    print(f"{'ok  ' if ok else 'FAIL'}  {label}")
+    return ok
+
+
+def _reciprocal_table_is_exact(config: NacuConfig) -> bool:
+    table = compile_reciprocal_table(config)
+    den_fb = config.acc_fmt.fb
+    codes = np.arange(1 << (den_fb - 1), 1 << den_fb, dtype=np.int64)
+    divider = ApproxReciprocalDivider(
+        config.divider_fmt,
+        seed_bits=config.approx_divider_seed_bits,
+        iterations=config.approx_divider_iterations,
+    )
+    newton = divider.reciprocal(FxArray.from_raw(codes, QFormat(1, den_fb)))
+    return bool(np.array_equal(table.eval_raw(codes), newton.raw))
+
+
+def _served_softmax_matches(config: NacuConfig, x: FxArray) -> bool:
+    """One softmax batch through an attached server == the slow engine."""
+    reference = BatchEngine(config=config, fast=False).softmax_fx(x)
+    with SharedTableStore() as store:
+        store.publish(config, cache=TableCache())
+        collector = Collector()
+        with use_collector(collector):
+            source = AttachedTableSource(store.manifest())
+            server = InferenceServer(config=config, table_source=source)
+            try:
+                served = server.submit(x, mode="softmax").result(timeout=60)
+            finally:
+                server.close()
+                source.close()
+        counters = collector.snapshot()["counters"]
+        identical = bool(np.array_equal(served.raw, reference.raw))
+        compiled_nothing = counters.get("compile.tables_compiled") is None
+        attached = counters.get("compile.attach_hits", 0) >= 1
+        return identical and compiled_nothing and attached
+
+
+def _armed_plan_routes_bit_serial(config: NacuConfig, x: FxArray) -> bool:
+    """With a fault plan armed the engine injects no fast divide, and the
+    perturbed output matches the plain datapath under the same plan."""
+    plan = FaultPlan(specs=(FaultSpec(site="divider.pipe", rate=1.0),))
+    fast = BatchEngine(config=config, fast=True, table_cache=TableCache())
+    slow = BatchEngine(config=config, fast=False)
+    with use_plan(plan):
+        perturbed = fast.softmax_fx(x)
+    with use_plan(plan):
+        reference = slow.softmax_fx(x)
+    clean = fast.softmax_fx(x)
+    return bool(
+        np.array_equal(perturbed.raw, reference.raw)
+        and np.any(perturbed.raw != clean.raw)
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--bits", type=int, default=12)
+    args = parser.parse_args(argv)
+
+    approx = NacuConfig.for_bits(args.bits, use_approx_divider=True)
+    restoring = NacuConfig.for_bits(args.bits)
+    rng = np.random.default_rng(args.seed)
+    x = FxArray.from_float(
+        rng.uniform(-6, 6, size=BATCH), approx.io_fmt
+    )
+
+    ok = True
+    ok &= _check(
+        _reciprocal_table_is_exact(approx),
+        "compiled reciprocal table matches the Newton path on every code",
+    )
+    ok &= _check(
+        _served_softmax_matches(restoring, x),
+        "served softmax (restoring quotient kernel) is raw-bit-identical",
+    )
+    ok &= _check(
+        _served_softmax_matches(approx, x),
+        "served softmax (table-served approximate divide) is "
+        "raw-bit-identical, nothing compiled",
+    )
+    ok &= _check(
+        _armed_plan_routes_bit_serial(restoring, x),
+        "armed divider.pipe plan routes the divide through the loop",
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@ Each positional argument is a JSON snapshot produced by
 every file gets its own report section; ``--merge`` combines them first
 — counters/histograms/timers/cycles sum, per-layer error stats
 recombine exactly — and renders one aggregate report.
+
+The derived-rates section reports softmax fast-path coverage per stage
+(``softmax_fast_exp_coverage`` / ``softmax_fast_div_coverage``): the
+compiled e^x gather and the fast divide fall back independently, so one
+blended number would hide a divide stage quietly running bit-serial.
 """
 
 from __future__ import annotations
