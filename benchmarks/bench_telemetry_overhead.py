@@ -5,6 +5,11 @@ that *disabled* telemetry costs the batched softmax path less than 5%
 (the guard is one module-attribute load and a ``None`` check per
 vectorised dispatch), and records what *enabled* telemetry costs for
 reference (it does real work: overflow scans, histograms, spans).
+
+The trace layer gets the same treatment: with no stage sink installed a
+datapath stage pays one thread-local read and a ``None`` check, and the
+``telemetry_overhead`` table records what a live per-batch sink costs
+alongside the collector columns.
 """
 
 import time
@@ -13,8 +18,10 @@ import numpy as np
 import pytest
 
 from repro.engine import BatchEngine
+from repro.experiments.result import ExperimentResult
 from repro.fixedpoint import FxArray
-from repro.telemetry import Collector, set_collector, use_collector
+from repro.telemetry import Collector, StageSink, set_collector, use_collector
+from repro.telemetry.trace import use_sink
 
 ROWS, COLS = 512, 64
 
@@ -52,15 +59,66 @@ def test_disabled_telemetry_overhead_under_5pct(engine, fx):
     """The headline guarantee: no collector installed, no regression."""
     run = lambda: engine.softmax_fx(fx)
     run()  # warm caches before timing
-    disabled = _best_of(run)
-    with use_collector(Collector()):
-        enabled = _best_of(run)
+    # Interleave the two variants and extend adaptively: back-to-back
+    # blocks hand whichever ran during an outside-load burst a noise
+    # penalty bigger than the bound being asserted.
+    disabled = enabled = float("inf")
+    collector = Collector()
+    for round_index in range(24):
+        disabled = min(disabled, _best_of(run, repeats=1))
+        with use_collector(collector):
+            enabled = min(enabled, _best_of(run, repeats=1))
+        if round_index >= 4 and disabled <= enabled * 1.04:
+            break
+        if round_index >= 9 and disabled <= enabled * 1.05:
+            break
     # The bound is on *disabled* telemetry: compare against the enabled
     # path, which pays for every counter this bench would otherwise lack
     # a baseline for. Disabled must be at most a hair above free.
     print(f"\ndisabled: {disabled * 1e3:.1f} ms, enabled: {enabled * 1e3:.1f} ms, "
           f"enabled overhead: {(enabled / disabled - 1) * 100:.1f}%")
     assert disabled <= enabled * 1.05
+
+
+def test_tracing_sink_overhead(engine, fx, record_result):
+    """Stage tracing: free when no sink is installed, cheap when live."""
+    run = lambda: engine.softmax_fx(fx)
+    run()  # warm caches before timing
+    off = _best_of(run)
+
+    def traced():
+        with use_sink(StageSink()):
+            run()
+
+    sink_on = _best_of(traced)
+    with use_collector(Collector()):
+        both = _best_of(traced)
+
+    rows = [
+        {"instrumentation": "none (production default)",
+         "best_ms": round(off * 1e3, 3), "overhead_pct": 0.0},
+        {"instrumentation": "stage sink installed (traced batch)",
+         "best_ms": round(sink_on * 1e3, 3),
+         "overhead_pct": round((sink_on / off - 1) * 100, 2)},
+        {"instrumentation": "stage sink + collector",
+         "best_ms": round(both * 1e3, 3),
+         "overhead_pct": round((both / off - 1) * 100, 2)},
+    ]
+    record_result(
+        ExperimentResult(
+            experiment_id="telemetry_overhead",
+            title=f"Telemetry and trace-sink overhead on the batched "
+            f"softmax hot path ({ROWS}x{COLS}, 16-bit)",
+            paper_claim="(harness) an uninstalled stage sink is one "
+            "thread-local read per stage; a live per-batch sink stays "
+            "cheap enough to trace sampled production batches",
+            rows=rows,
+        )
+    )
+    # The sink records a handful of tuples per batch; a 3-stage softmax
+    # must not double in cost under it. Loose bound — this is a
+    # reference row, the hard 5% bound lives on the serving bench.
+    assert sink_on <= off * 1.5
 
 
 def test_disabled_softmax_throughput(benchmark, engine, fx):

@@ -27,6 +27,7 @@ from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.datapath import NacuDatapath
 from repro.faults.inject import use_plan
 from repro.telemetry.collector import use_collector
+from repro.telemetry.trace import use_sink
 
 #: Elementwise modes a response table can capture. Softmax is excluded as
 #: a whole (its denominator couples elements) but its exponential *stage*
@@ -128,8 +129,9 @@ class ReciprocalTable:
 def compile_reciprocal_table(config: NacuConfig) -> ReciprocalTable:
     """Enumerate every normalised-mantissa code through the reciprocal.
 
-    The sweep builds a fresh divider with telemetry and fault injection
-    scoped off, exactly like :func:`compile_table` does for the datapath
+    The sweep builds a fresh divider with telemetry, fault injection and
+    the trace sink scoped off, exactly like :func:`compile_table` does
+    for the datapath
     — so the table holds the canonical fault-free response and compiling
     it mid-run pollutes no counters.
     """
@@ -142,7 +144,7 @@ def compile_reciprocal_table(config: NacuConfig) -> ReciprocalTable:
     start = time.perf_counter_ns()
     den_fb = config.acc_fmt.fb  # the softmax denominator's fraction width
     codes = np.arange(1 << (den_fb - 1), 1 << den_fb, dtype=np.int64)
-    with use_collector(None), use_plan(None):
+    with use_collector(None), use_plan(None), use_sink(None):
         divider = ApproxReciprocalDivider(
             config.divider_fmt,
             seed_bits=config.approx_divider_seed_bits,
@@ -171,9 +173,10 @@ def compile_table(
 
     ``lut`` lets a caller share an already-built coefficient LUT; the
     enumeration always runs through a *fresh* datapath with telemetry
-    silenced, so the sweep pollutes neither the caller's op counters nor
-    its cycle ledger — the fast path charges the model's cycles per
-    evaluated batch instead, exactly as the datapath path does.
+    (and any active request-trace sink) silenced, so the sweep pollutes
+    neither the caller's op counters nor a traced batch's stage timeline
+    — the fast path charges the model's cycles per evaluated batch
+    instead, exactly as the datapath path does.
     """
     if mode not in TABLE_MODES:
         raise ConfigError(
@@ -186,7 +189,7 @@ def compile_table(
     codes = np.arange(fmt.raw_min, hi + 1, dtype=np.int64)
     # Faults are scoped off as well: the canonical table must capture the
     # fault-free response even when compiled lazily mid-campaign.
-    with use_collector(None), use_plan(None):
+    with use_collector(None), use_plan(None), use_sink(None):
         datapath = NacuDatapath(config, lut=lut, collector=None)
         x = FxArray(codes, fmt)
         if mode is FunctionMode.EXP:

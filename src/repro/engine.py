@@ -34,6 +34,7 @@ from repro.nacu.config import FunctionMode, NacuConfig
 from repro.nacu.lutgen import get_sigmoid_lut
 from repro.nacu.unit import Nacu
 from repro.telemetry import collector as _telemetry
+from repro.telemetry import trace as _trace
 
 InputLike = Union[FxArray, float, np.ndarray, list]
 
@@ -201,18 +202,21 @@ class BatchEngine:
                 datapath.exponential if mode is FunctionMode.EXP
                 else lambda fx: datapath.activation(fx, mode)
             )
-        # Telemetry resolves once per batch; the disabled path adds a
-        # single None check to the vectorised kernel dispatch.
+        # Telemetry and the trace sink each resolve once per batch; the
+        # disabled path adds two None checks to the vectorised dispatch.
         tel = _telemetry.resolve(self.collector)
-        if tel is None:
+        sink = _trace.current_sink()
+        if tel is None and sink is None:
             return kernel(x)
         start = time.perf_counter_ns()
         out = kernel(x)
-        self._record_batch(
-            tel, mode, x, x.raw.size, 1, time.perf_counter_ns() - start
-        )
-        if table is not None:
-            tel.count(f"engine.{mode.value}.fast_elements", x.raw.size)
+        elapsed_ns = time.perf_counter_ns() - start
+        if sink is not None:
+            sink.emit(f"engine.{mode.value}", start, elapsed_ns)
+        if tel is not None:
+            self._record_batch(tel, mode, x, x.raw.size, 1, elapsed_ns)
+            if table is not None:
+                tel.count(f"engine.{mode.value}.fast_elements", x.raw.size)
         return out
 
     def _fast_divide(self):

@@ -239,18 +239,19 @@ PROCESS_LOCAL_COUNTERS = ("lut.cache.", "compile.")
 def deterministic_view(snapshot: dict) -> dict:
     """The scheduling-independent projection of a telemetry snapshot.
 
-    Drops the ``timers`` family (wall-clock by definition) and counters
-    prefixed by :data:`PROCESS_LOCAL_COUNTERS`. What remains — datapath
-    op counts, fixed-point event counters, cycle/hw-time accounting,
-    histograms, error statistics — is identical between serial and
-    sharded runs of the same experiment set, whatever ``jobs`` or the
-    shard-to-worker placement; ``tests/experiments/test_runner.py`` pins
-    that property.
+    Drops the ``timers`` and ``quantiles`` families (both wall-clock by
+    definition — quantile *merging* is exact, but the latencies going in
+    are scheduling-dependent) and counters prefixed by
+    :data:`PROCESS_LOCAL_COUNTERS`. What remains — datapath op counts,
+    fixed-point event counters, cycle/hw-time accounting, histograms,
+    error statistics — is identical between serial and sharded runs of
+    the same experiment set, whatever ``jobs`` or the shard-to-worker
+    placement; ``tests/experiments/test_runner.py`` pins that property.
     """
     view = {
         family: values
         for family, values in snapshot.items()
-        if family != "timers"
+        if family not in ("timers", "quantiles")
     }
     view["counters"] = {
         name: value

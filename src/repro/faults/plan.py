@@ -26,6 +26,7 @@ from repro.fixedpoint import FxArray, QFormat
 from repro.fixedpoint.bitops import from_unsigned_word, to_unsigned_word
 from repro.faults import mitigation, models
 from repro.faults.models import FaultSpec
+from repro.telemetry import trace as _trace
 
 #: The injection hook sites wired into the datapath components.
 LUT_SLOPE = "lut.slope"          #: stored slope words, on fetch
@@ -119,6 +120,11 @@ class ArmedPlan:
             self.stats[name] = self.stats.get(name, 0) + n
             if tel is not None:
                 tel.count(f"faults.{name}", n)
+            # A request trace being assembled on this thread owns the
+            # crossing: attach the event so "requests served correctly
+            # under injected upsets" is visible per trace, not just in
+            # the aggregate ledger.
+            _trace.emit_fault(name, n)
 
     def _merge(self, stats: Dict[str, int], tel) -> None:
         for name, n in stats.items():

@@ -14,6 +14,8 @@ Dataflow per function:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import RangeError
@@ -27,6 +29,19 @@ from repro.nacu.lutgen import get_sigmoid_lut
 from repro.nacu.mac import MacUnit
 from repro.faults import inject as _faults
 from repro.telemetry import collector as _telemetry
+from repro.telemetry import trace as _trace
+
+
+def _staged(sink, name: str, func, *args):
+    """Run one pipeline stage, emitting a trace event when a request
+    trace's stage sink is installed on this thread (serving). With no
+    sink — every non-traced call — this is one ``None`` check."""
+    if sink is None:
+        return func(*args)
+    start = time.perf_counter_ns()
+    out = func(*args)
+    sink.emit(name, start, time.perf_counter_ns() - start)
+    return out
 
 
 class NacuDatapath:
@@ -130,9 +145,14 @@ class NacuDatapath:
         # The domain check models the interface contract, so it precedes
         # the io.in register this path's faults land in.
         plan = _faults._active
+        sink = _trace.current_sink()
         x = self._io_in(x, plan, tel)
-        sig = self.activation(ops.neg(x), FunctionMode.SIGMOID)
-        sigma_prime = self.divider.reciprocal(sig)  # 1/sigma(-x) in [1, 2]
+        sig = _staged(
+            sink, "exp.sigma", self.activation, ops.neg(x), FunctionMode.SIGMOID
+        )
+        sigma_prime = _staged(  # 1/sigma(-x) in [1, 2]
+            sink, "exp.reciprocal", self.divider.reciprocal, sig
+        )
         e_raw = fig3b_decrement(sigma_prime.raw, sigma_prime.fmt.fb)
         e = FxArray.from_raw(e_raw, sigma_prime.fmt, overflow=Overflow.SATURATE)
         out = ops.resize(e, self.config.io_fmt)
@@ -170,33 +190,47 @@ class NacuDatapath:
             tel.count("nacu.op.softmax", x.raw.size)
             tel.observe("nacu.softmax.rowlen", x.raw.shape[-1])
         plan = _faults._active
+        sink = _trace.current_sink()
         x = self._io_in(x, plan, tel)
-        x_max = np.max(x.raw, axis=-1, keepdims=True)
-        shifted = FxArray.from_raw(
-            x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
-        )
-        exps = (exponential or self.exponential)(shifted)
-        self.mac.reset(exps.raw.shape[:-1])
-        denominator = self.mac.accumulate_sum(exps, axis=-1)
-        if divide is not None:
-            # The fast divides broadcast internally; handing them the
-            # one-per-row denominator lets the reciprocal path normalise
-            # rows instead of elements. Results broadcast elementwise, so
-            # the raw bits match the reference's expanded divide exactly.
-            probabilities = divide(
-                exps,
-                FxArray._wrap(
-                    denominator.raw[..., np.newaxis], denominator.fmt
-                ),
+
+        def _normalise():
+            x_max = np.max(x.raw, axis=-1, keepdims=True)
+            return FxArray.from_raw(
+                x.raw - x_max, self.config.io_fmt, overflow=Overflow.SATURATE
             )
-        else:
+
+        shifted = _staged(sink, "softmax.normalise", _normalise)
+        exps = _staged(
+            sink, "softmax.exp", exponential or self.exponential, shifted
+        )
+
+        def _fold():
+            self.mac.reset(exps.raw.shape[:-1])
+            return self.mac.accumulate_sum(exps, axis=-1)
+
+        denominator = _staged(sink, "softmax.fold", _fold)
+
+        def _divide():
+            if divide is not None:
+                # The fast divides broadcast internally; handing them the
+                # one-per-row denominator lets the reciprocal path normalise
+                # rows instead of elements. Results broadcast elementwise, so
+                # the raw bits match the reference's expanded divide exactly.
+                return divide(
+                    exps,
+                    FxArray._wrap(
+                        denominator.raw[..., np.newaxis], denominator.fmt
+                    ),
+                )
             denom = FxArray(
                 np.broadcast_to(
                     denominator.raw[..., np.newaxis], exps.raw.shape
                 ).copy(),
                 denominator.fmt,
             )
-            probabilities = self.divider.divide(exps, denom)
+            return self.divider.divide(exps, denom)
+
+        probabilities = _staged(sink, "softmax.divide", _divide)
         out = ops.resize(probabilities, self.config.io_fmt)
         unit_raw = int(np.int64(1) << self.config.io_fmt.fb)
         return self._io_out(out, plan, tel, 0, unit_raw)

@@ -4,19 +4,25 @@ Usage::
 
     PYTHONPATH=src python -m repro.serve [--bits 16] [--requests 2048]
         [--clients 4] [--workers 1] [--max-batch 4096] [--delay-us 200]
-        [--report]
+        [--report] [--trace] [--trace-sample 16] [--slo-ms 50]
+        [--prom-out metrics.prom] [--trace-out traces.jsonl]
 
 Spins up an :class:`~repro.serve.server.InferenceServer`, fires a storm
 of single-sample and small-array sigmoid/tanh/exp/softmax requests from
 concurrent client threads, checks every response against a direct
 engine call, and prints throughput plus the ``serve.*`` telemetry the
-run produced. Exits non-zero if any response mismatches — the demo
+run produced — including per-mode p50/p99/p999 latency and, with
+``--slo-ms``, the SLO budget view. ``--trace`` samples per-request
+traces (``--trace-out`` dumps them as JSONL for
+``tools/trace_report.py``; ``--prom-out`` writes the Prometheus text
+exposition). Exits non-zero if any response mismatches — the demo
 doubles as an end-to-end sanity check.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import threading
 import time
@@ -25,7 +31,16 @@ import numpy as np
 
 from repro.engine import BatchEngine
 from repro.serve import InferenceServer
-from repro.telemetry import Collector, use_collector
+from repro.telemetry import (
+    Collector,
+    SLOPolicy,
+    Tracer,
+    quantiles_from_entry,
+    render_prometheus,
+    slo_summary,
+    use_collector,
+    write_traces_jsonl,
+)
 from repro.telemetry.report import render_snapshot
 
 MODES = ("sigmoid", "tanh", "exp", "softmax")
@@ -55,7 +70,23 @@ def main(argv=None) -> int:
     parser.add_argument("--delay-us", type=float, default=200.0)
     parser.add_argument("--report", action="store_true",
                         help="print the full telemetry report")
+    parser.add_argument("--trace", action="store_true",
+                        help="sample per-request traces")
+    parser.add_argument("--trace-sample", type=int, default=16,
+                        help="trace every Nth request (default 16)")
+    parser.add_argument("--trace-capacity", type=int, default=1024,
+                        help="trace ring-buffer size (default 1024)")
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="latency SLO target in ms (enables accounting)")
+    parser.add_argument("--slo-objective", type=float, default=0.999,
+                        help="good-request objective fraction (default 0.999)")
+    parser.add_argument("--prom-out", type=pathlib.Path, default=None,
+                        help="write the Prometheus text exposition here")
+    parser.add_argument("--trace-out", type=pathlib.Path, default=None,
+                        help="write sampled traces as JSONL here")
     args = parser.parse_args(argv)
+    if args.trace_out is not None and not args.trace:
+        parser.error("--trace-out needs --trace")
 
     reference = BatchEngine.for_bits(args.bits, fast=True)
     requests = _make_requests(np.random.default_rng(0), args.requests)
@@ -63,10 +94,20 @@ def main(argv=None) -> int:
     futures = [[] for _ in shards]
 
     collector = Collector()
+    tracer = (
+        Tracer(sample_every=args.trace_sample, capacity=args.trace_capacity)
+        if args.trace else None
+    )
+    policy = (
+        SLOPolicy("serve", latency_ms=args.slo_ms,
+                  objective=args.slo_objective)
+        if args.slo_ms is not None else None
+    )
     with use_collector(collector):
         server = InferenceServer(
             n_bits=args.bits, workers=args.workers,
             max_batch_elements=args.max_batch, max_delay_us=args.delay_us,
+            tracer=tracer, slo=policy,
         )
         start = time.perf_counter()
         with server:
@@ -95,7 +136,8 @@ def main(argv=None) -> int:
             if not np.array_equal(np.asarray(got), np.asarray(want)):
                 mismatches += 1
 
-    counters = collector.snapshot()["counters"]
+    snapshot = collector.snapshot()
+    counters = snapshot["counters"]
     batches = counters.get("serve.batches", 0)
     print(
         f"served {args.requests} requests in {elapsed * 1e3:.1f} ms "
@@ -103,8 +145,33 @@ def main(argv=None) -> int:
         f"batches ({args.requests / max(batches, 1):.1f} req/batch), "
         f"{mismatches} mismatches"
     )
+    for name in sorted(snapshot.get("quantiles", {})):
+        entry = snapshot["quantiles"][name]
+        ps = quantiles_from_entry(entry, (0.5, 0.99, 0.999))
+        print(
+            f"  {name}: n={entry['count']} p50={ps['p50'] / 1e3:.1f}us "
+            f"p99={ps['p99'] / 1e3:.1f}us p999={ps['p999'] / 1e3:.1f}us"
+        )
+    if policy is not None:
+        slo = slo_summary(snapshot, policy)
+        print(
+            f"  slo[{policy.name}] target={policy.latency_ms:g}ms "
+            f"objective={policy.objective:g}: {slo['good']} good / "
+            f"{slo['bad']} bad / {slo['shed']} shed, compliance "
+            f"{slo['compliance']:.4f}, budget burn {slo['budget_burn']:.2f}"
+            f"{' — VIOLATED' if slo['violated'] else ''}"
+        )
+    if tracer is not None:
+        print(f"  traced {len(tracer.traces())} requests ({tracer!r})")
+    if args.prom_out is not None:
+        policies = [policy] if policy is not None else []
+        args.prom_out.write_text(render_prometheus(snapshot, policies))
+        print(f"  wrote exposition to {args.prom_out}")
+    if args.trace_out is not None:
+        written = write_traces_jsonl(tracer.traces(), args.trace_out)
+        print(f"  wrote {written} traces to {args.trace_out}")
     if args.report:
-        print(render_snapshot(collector.snapshot()))
+        print(render_snapshot(snapshot))
     return 0 if mismatches == 0 else 1
 
 

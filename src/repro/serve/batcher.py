@@ -37,6 +37,7 @@ from repro.errors import RangeError, ServeError
 from repro.fixedpoint import FxArray
 from repro.nacu.config import FunctionMode
 from repro.telemetry import collector as _telemetry
+from repro.telemetry import trace as _tracing
 
 #: Modes the batcher can serve. MAC is excluded: it is a stateful
 #: accumulation, not a per-request function evaluation.
@@ -58,7 +59,7 @@ class Request:
 
     __slots__ = (
         "future", "mode", "raw", "shape", "axis", "emit_fx", "emit_scalar",
-        "enqueue_ns",
+        "enqueue_ns", "trace",
     )
 
     def __init__(self, future, mode: FunctionMode, raw: np.ndarray,
@@ -76,6 +77,9 @@ class Request:
         self.emit_fx = emit_fx
         self.emit_scalar = emit_scalar
         self.enqueue_ns = time.perf_counter_ns()
+        #: The sampled :class:`~repro.telemetry.trace.RequestTrace`
+        #: following this request, or ``None`` (the common case).
+        self.trace = None
 
     @property
     def elements(self) -> int:
@@ -128,19 +132,51 @@ class Batch:
         self.requests = requests
         self.elements = sum(r.elements for r in requests)
 
-    def run(self, engine: BatchEngine, collector=None) -> None:
-        """Evaluate, scatter, resolve every future (never raises)."""
+    def run(self, engine: BatchEngine, collector=None,
+            tracer=None, slo=None) -> None:
+        """Evaluate, scatter, resolve every future (never raises).
+
+        Observability rides per batch: queue-wait spans, a per-mode
+        request-latency quantile fold (one vectorised pass), SLO
+        good/bad classification, and — only when the batch carries
+        sampled traces — a stage sink around the engine call whose
+        collected timeline fans out to every member trace.
+        """
+        traces = []
+        if tracer is not None:
+            # Sampling happens here, not per submit: one counter jump
+            # covers the whole batch and only the every-Nth members the
+            # sequential policy would have picked get a trace opened —
+            # unsampled requests are never even looked at.
+            for i in tracer.sample_batch(len(self.requests)):
+                request = self.requests[i]
+                if request.trace is None:
+                    request.trace = tracer.begin(
+                        request.mode.value, request.elements,
+                        request.enqueue_ns,
+                    )
+                traces.append(request.trace)
         try:
             tel = _telemetry.resolve(collector)
             start = time.perf_counter_ns()
+            # One int64 array of enqueue stamps serves both the
+            # queue-wait fold here and the latency fold after the
+            # scatter — no per-request Python calls on the batch path.
+            enqueue_ns = (
+                np.fromiter(
+                    (r.enqueue_ns for r in self.requests),
+                    dtype=np.int64, count=len(self.requests),
+                )
+                if tel is not None or slo is not None else None
+            )
             if tel is not None:
-                for request in self.requests:
-                    tel.observe_span(
-                        "serve.queue_wait", start - request.enqueue_ns
-                    )
+                tel.observe_span_many("serve.queue_wait", start - enqueue_ns)
+                tel.count("serve.requests", len(self.requests))
                 tel.count("serve.batches")
                 tel.count("serve.batch_elements", self.elements)
                 tel.observe("serve.batch_fill", len(self.requests))
+                if traces:
+                    tel.count("serve.traced", len(traces))
             fmt = engine.io_fmt
             # A batch of one request (the large pre-formed-batch regime)
             # needs no gather: evaluate its raw words in place so the
@@ -150,25 +186,61 @@ class Batch:
                 else np.concatenate([r.raw for r in self.requests]),
                 fmt,
             )
-            if self.mode is FunctionMode.SOFTMAX:
-                out = engine.softmax_fx(fused, axis=-1)
-                splits = np.cumsum(
-                    [r.raw.shape[0] for r in self.requests]
-                )[:-1]
-            else:
-                kernel: Callable[[FxArray], FxArray] = {
-                    FunctionMode.SIGMOID: engine.sigmoid_fx,
-                    FunctionMode.TANH: engine.tanh_fx,
-                    FunctionMode.EXP: engine.exp_fx,
-                }[self.mode]
-                out = kernel(fused)
-                splits = np.cumsum([r.elements for r in self.requests])[:-1]
+            sink = _tracing.StageSink() if traces else None
+            with _tracing.use_sink(sink):
+                if self.mode is FunctionMode.SOFTMAX:
+                    out = engine.softmax_fx(fused, axis=-1)
+                    splits = np.cumsum(
+                        [r.raw.shape[0] for r in self.requests]
+                    )[:-1]
+                else:
+                    kernel: Callable[[FxArray], FxArray] = {
+                        FunctionMode.SIGMOID: engine.sigmoid_fx,
+                        FunctionMode.TANH: engine.tanh_fx,
+                        FunctionMode.EXP: engine.exp_fx,
+                    }[self.mode]
+                    out = kernel(fused)
+                    splits = np.cumsum(
+                        [r.elements for r in self.requests]
+                    )[:-1]
             for request, raw in zip(self.requests, np.split(out.raw, splits)):
                 self._finish(request, raw, fmt)
+            finish = time.perf_counter_ns()
+            if enqueue_ns is not None:
+                latencies = finish - enqueue_ns
+                if tel is not None:
+                    tel.observe_latency_many(
+                        f"serve.latency.{self.mode.value}", latencies
+                    )
+                if slo is not None:
+                    slo.record_many(latencies)
+            if traces:
+                self._retire(traces, sink, start, finish, "ok", tracer)
         except BaseException as exc:  # noqa: BLE001 — forwarded, not dropped
             for request in self.requests:
                 if not request.future.done():
                     request.future.set_exception(exc)
+            if slo is not None:
+                slo.record_many([0] * len(self.requests), ok=False)
+            if traces:
+                self._retire(
+                    traces, None, time.perf_counter_ns(), None, "error",
+                    tracer,
+                )
+
+    def _retire(self, traces, sink, dispatch_ns, finish_ns, status,
+                tracer) -> None:
+        """Stamp batch context into the sampled traces and park them."""
+        for trace in traces:
+            trace.dispatch_ns = dispatch_ns
+            trace.finish_ns = finish_ns
+            trace.batch_fill = len(self.requests)
+            trace.batch_elements = self.elements
+            trace.status = status
+        if sink is not None:
+            sink.fan_out(traces)
+        if tracer is not None:
+            tracer.retire_many(traces)
 
     @staticmethod
     def _finish(request: Request, raw: np.ndarray, fmt) -> None:
@@ -207,6 +279,7 @@ class MicroBatcher:
         self._group_elements: Dict[Tuple[str, int], int] = {}
         self._deadlines: Dict[Tuple[str, int], int] = {}
         self._pending_elements = 0
+        self._full_groups = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -218,6 +291,18 @@ class MicroBatcher:
     @property
     def pending_requests(self) -> int:
         return sum(len(g) for g in self._groups.values())
+
+    @property
+    def has_full_group(self) -> bool:
+        """Whether some group already holds a size-triggered flush.
+
+        The dispatcher only needs a wake-up when this turns true (or
+        when the pool was idle): a submit into a below-ceiling group
+        changes nothing the dispatcher's deadline timeout doesn't
+        already cover, and skipping the notify avoids one pointless
+        context switch per coalesced request.
+        """
+        return self._full_groups > 0
 
     def __bool__(self) -> bool:
         return bool(self._groups)
@@ -243,10 +328,14 @@ class MicroBatcher:
         if not group:
             self._deadlines[key] = request.enqueue_ns + self.max_delay_ns
         group.append(request)
-        self._group_elements[key] = (
-            self._group_elements.get(key, 0) + request.elements
-        )
+        elements = self._group_elements.get(key, 0) + request.elements
+        self._group_elements[key] = elements
         self._pending_elements += request.elements
+        if (
+            elements >= self.max_batch_elements
+            and elements - request.elements < self.max_batch_elements
+        ):
+            self._full_groups += 1
         return True
 
     def take_ready(self, now_ns: int, flush_all: bool = False) -> List[Batch]:
@@ -259,7 +348,10 @@ class MicroBatcher:
                 or now_ns >= self._deadlines[key]
             ):
                 requests = self._groups.pop(key)
-                self._pending_elements -= self._group_elements.pop(key)
+                elements = self._group_elements.pop(key)
+                self._pending_elements -= elements
+                if elements >= self.max_batch_elements:
+                    self._full_groups -= 1
                 self._deadlines.pop(key)
                 ready.append(Batch(FunctionMode(key[0]), requests))
         return ready

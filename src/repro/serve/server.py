@@ -20,6 +20,12 @@ Observability rides the existing telemetry collector: ``serve.requests``
 histogram (requests fused per batch), a ``serve.queue_wait`` span timer
 (enqueue to dispatch), and the engine's own per-batch datapath cycle
 ledger — so one snapshot shows queue health *and* modelled silicon time.
+On top of that the server feeds the full observability layer: per-mode
+request-latency quantiles (``serve.latency.<mode>``, exact-merging
+p50/p99/p999 — :mod:`repro.telemetry.quantiles`), sampled per-request
+traces through the :mod:`repro.telemetry.trace` registry (or an injected
+``tracer=``), and SLO good/bad/shed accounting against an optional
+``slo=`` policy where every shed burns error budget.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from repro.errors import BackpressureError, ServeError, ServerClosedError
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.serve.batcher import SERVABLE_MODES, MicroBatcher, build_request
 from repro.telemetry import collector as _telemetry
+from repro.telemetry import trace as _tracing
+from repro.telemetry.slo import SLOAccountant, SLOPolicy
 
 _MODE_BY_NAME = {mode.value: mode for mode in SERVABLE_MODES}
 
@@ -70,6 +78,8 @@ class InferenceServer:
         max_pending_elements: int = 1 << 20,
         table_source=None,
         collector=None,
+        tracer=None,
+        slo=None,
     ):
         if workers < 1:
             raise ServeError("the server needs at least one worker")
@@ -92,6 +102,17 @@ class InferenceServer:
         self.engine = engine
         self.collector = (
             collector if collector is not None else engine.collector
+        )
+        #: Injected tracer; ``None`` defers to the module registry in
+        #: :mod:`repro.telemetry.trace` at each dispatch, so
+        #: ``enable_tracing()`` reaches a running server.
+        self.tracer = tracer
+        #: SLO accounting: pass an :class:`SLOPolicy` (an accountant is
+        #: built over this server's collector) or a shared
+        #: :class:`SLOAccountant`; ``None`` disables the ledger.
+        self.slo = (
+            SLOAccountant(slo, collector=self.collector)
+            if isinstance(slo, SLOPolicy) else slo
         )
         self.workers = workers
         self._batcher = MicroBatcher(
@@ -142,16 +163,32 @@ class InferenceServer:
         with self._cond:
             if self._closed:
                 raise ServerClosedError("submit() after close()")
+            # An idle dispatcher waits without a timeout, so the first
+            # request of an empty pool must wake it to arm the deadline.
+            was_idle = not self._batcher
             if not self._batcher.offer(request):
                 self._count("serve.shed")
+                if self.slo is not None:
+                    # A refused user is a failed objective: sheds burn
+                    # the error budget even though no work ran.
+                    self.slo.record_shed()
                 raise BackpressureError(
                     f"pending pool full "
                     f"({self._batcher.pending_elements} elements held, "
                     f"{request.elements} more would exceed "
                     f"{self._batcher.max_pending_elements}); retry later"
                 )
-            self._count("serve.requests")
-            self._cond.notify()
+            # ``serve.requests`` counting and trace sampling both happen
+            # per *batch* at dispatch (``Batch.run`` jumps the tracer's
+            # counter once and touches only the sampled members) —
+            # totals and the every-Nth sample set are identical once the
+            # queue drains, and the submit fast path stays free of
+            # per-request collector and tracer work.
+            # Below-ceiling groups flush by the dispatcher's own
+            # deadline timeout; waking it per submit just burns one
+            # context switch per request on the coalescing path.
+            if was_idle or self._batcher.has_full_group:
+                self._cond.notify()
         return future
 
     def close(self, flush: bool = True) -> None:
@@ -202,18 +239,33 @@ class InferenceServer:
                     )
                     self._cond.wait(timeout)
                 done = self._closed and not self._batcher
+            tracer = _tracing.resolve(self.tracer)
             if self._closed and not self._flush_on_close:
+                now = time.perf_counter_ns()
                 for batch in ready:
+                    self._count("serve.requests", len(batch.requests))
                     exc = ServerClosedError("server closed before dispatch")
                     for request in batch.requests:
                         request.future.set_exception(exc)
+                        if request.trace is not None:
+                            request.trace.dispatch_ns = now
+                            request.trace.status = "shed"
+                            if tracer is not None:
+                                tracer.retire(request.trace)
+                    if self.slo is not None:
+                        self.slo.record_many(
+                            [0] * len(batch.requests), ok=False
+                        )
             elif self._pool is None:
                 for batch in ready:
-                    batch.run(self.engine, self.collector)
+                    batch.run(self.engine, self.collector, tracer, self.slo)
             else:
                 in_flight = [f for f in in_flight if not f.done()]
                 in_flight.extend(
-                    self._pool.submit(batch.run, self.engine, self.collector)
+                    self._pool.submit(
+                        batch.run, self.engine, self.collector, tracer,
+                        self.slo,
+                    )
                     for batch in ready
                 )
             if done and not ready:

@@ -8,6 +8,16 @@ accumulates per NN layer. Everything is off by default and costs one
 :class:`Collector` (or one is injected via the ``collector=`` parameters
 on :class:`~repro.nacu.unit.Nacu` / :class:`~repro.engine.BatchEngine`).
 
+The serving observability layer rides the same registry pattern:
+
+* :mod:`.quantiles` — streaming p50/p99/p999 over fixed log-spaced
+  buckets whose shard snapshots merge *exactly*;
+* :mod:`.trace` — sampled per-request traces with per-stage timelines
+  and fault events, retained in a bounded ring buffer;
+* :mod:`.slo` — latency/error-budget targets with good/bad/shed
+  accounting (sheds burn budget);
+* :mod:`.export` — Prometheus text exposition and a JSONL trace dump.
+
 >>> from repro import telemetry
 >>> from repro.engine import BatchEngine
 >>> with telemetry.use_collector(telemetry.Collector()) as tel:
@@ -25,20 +35,62 @@ from repro.telemetry.collector import (
     set_collector,
     use_collector,
 )
+from repro.telemetry.export import (
+    read_traces_jsonl,
+    render_prometheus,
+    render_trace_timeline,
+    write_traces_jsonl,
+)
 from repro.telemetry.nn_probe import probe_layer_error
+from repro.telemetry.quantiles import (
+    StreamingQuantiles,
+    merge_quantile_entries,
+    quantile_from_entry,
+    quantiles_from_entry,
+)
 from repro.telemetry.report import derived_rates, render_snapshot, render_table
+from repro.telemetry.slo import SLOAccountant, SLOPolicy, slo_summary
+from repro.telemetry.trace import (
+    RequestTrace,
+    StageSink,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "Collector",
+    "RequestTrace",
+    "SLOAccountant",
+    "SLOPolicy",
+    "StageSink",
+    "StreamingQuantiles",
+    "Tracer",
     "disable",
+    "disable_tracing",
     "enable",
+    "enable_tracing",
     "get_collector",
+    "get_tracer",
+    "merge_quantile_entries",
     "merge_snapshots",
     "probe_layer_error",
     "derived_rates",
+    "quantile_from_entry",
+    "quantiles_from_entry",
+    "read_traces_jsonl",
+    "render_prometheus",
     "render_snapshot",
     "render_table",
+    "render_trace_timeline",
     "resolve",
     "set_collector",
+    "set_tracer",
+    "slo_summary",
     "use_collector",
+    "use_tracer",
+    "write_traces_jsonl",
 ]

@@ -30,6 +30,8 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.telemetry.quantiles import StreamingQuantiles, merge_quantile_entries
+
 __all__ = [
     "Collector",
     "enable",
@@ -74,7 +76,10 @@ class Collector:
       equivalent "hardware" nanoseconds when a clock period is known
       (:meth:`add_cycles`);
     * **errors** — running per-layer fixed-point-vs-float error stats
-      (:meth:`record_error`).
+      (:meth:`record_error`);
+    * **quantiles** — streaming latency distributions over fixed
+      log-spaced buckets (:meth:`observe_latency`), whose p50/p99/p999
+      merge *exactly* across shard snapshots (:mod:`.quantiles`).
     """
 
     def __init__(self) -> None:
@@ -84,6 +89,14 @@ class Collector:
         self.cycles: Dict[str, int] = {}
         self.hw_ns: Dict[str, float] = {}
         self.errors: Dict[str, Dict[str, float]] = {}
+        self.quantiles: Dict[str, StreamingQuantiles] = {}
+        #: Latency and span arrays accepted but not yet folded —
+        #: :meth:`observe_latency_many` / :meth:`observe_span_many` are
+        #: O(1) per batch and the folds run once per snapshot (bucket
+        #: counts and timer totals are commutative integer sums, so the
+        #: deferred fold is byte-identical to an eager one).
+        self._pending_latencies: Dict[str, list] = {}
+        self._pending_spans: Dict[str, list] = {}
 
     # ------------------------------------------------------------------
     # Counters
@@ -120,6 +133,70 @@ class Collector:
         timer = self.timers.setdefault(name, {"count": 0, "total_ns": 0})
         timer["count"] += 1
         timer["total_ns"] += int(elapsed_ns)
+
+    def observe_span_many(self, name: str, elapsed_ns) -> None:
+        """Accept an array of finished spans; the sum is deferred.
+
+        Identical totals to calling :meth:`observe_span` per element —
+        the batcher hands over a whole batch's queue waits in one list
+        append (the array is captured as-is, so pass one you will not
+        mutate) and the reduction runs at the next :meth:`snapshot`.
+        """
+        self._pending_spans.setdefault(name, []).append(elapsed_ns)
+
+    # ------------------------------------------------------------------
+    # Streaming quantiles (fixed log-spaced buckets; exact shard merge)
+    # ------------------------------------------------------------------
+    def observe_latency(self, name: str, value_ns) -> None:
+        """Fold one non-negative integer (nanoseconds by convention) into
+        the streaming distribution ``name``."""
+        dist = self.quantiles.get(name)
+        if dist is None:
+            dist = self.quantiles.setdefault(name, StreamingQuantiles())
+        dist.observe(value_ns)
+
+    def observe_latency_many(self, name: str, values_ns) -> None:
+        """Accept an array of observations; the bucket fold is deferred.
+
+        The serving hot path pays one list append per batch (the array
+        is captured as-is, so pass one you will not mutate); the actual
+        vectorised fold happens at :meth:`snapshot`, where one pass over
+        the accumulated arrays lands on exactly the state eager folding
+        would have produced — bucket folds are commutative integer
+        sums, so interleaved scalar observes cannot change the result.
+        """
+        values = np.asarray(values_ns, dtype=np.int64).reshape(-1)
+        if values.size == 0:
+            return
+        self._pending_latencies.setdefault(name, []).append(values)
+
+    def _flush_pending(self) -> None:
+        """Fold every deferred latency and span array into its sink."""
+        if self._pending_latencies:
+            pending, self._pending_latencies = self._pending_latencies, {}
+            for name, chunks in pending.items():
+                dist = self.quantiles.get(name)
+                if dist is None:
+                    dist = self.quantiles.setdefault(
+                        name, StreamingQuantiles()
+                    )
+                dist.observe_many(
+                    np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                )
+        if self._pending_spans:
+            pending_spans, self._pending_spans = self._pending_spans, {}
+            for name, chunks in pending_spans.items():
+                values = np.concatenate(
+                    [np.asarray(c, dtype=np.int64).reshape(-1)
+                     for c in chunks]
+                )
+                if values.size == 0:
+                    continue
+                timer = self.timers.setdefault(
+                    name, {"count": 0, "total_ns": 0}
+                )
+                timer["count"] += int(values.size)
+                timer["total_ns"] += int(values.sum(dtype=np.int64))
 
     # ------------------------------------------------------------------
     # Paper-model cycle ledger
@@ -160,6 +237,7 @@ class Collector:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Everything collected so far, as plain JSON-able types."""
+        self._flush_pending()
         return {
             "counters": dict(self.counters),
             "histograms": {
@@ -179,6 +257,9 @@ class Collector:
                 }
                 for name, entry in self.errors.items()
             },
+            "quantiles": {
+                name: dist.snapshot() for name, dist in self.quantiles.items()
+            },
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -193,6 +274,9 @@ class Collector:
         self.cycles.clear()
         self.hw_ns.clear()
         self.errors.clear()
+        self.quantiles.clear()
+        self._pending_latencies.clear()
+        self._pending_spans.clear()
 
     def __repr__(self) -> str:
         return (
@@ -266,7 +350,9 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
 
     Error stats merge by element count: RMSEs recombine through the sum
     of squares, max-abs takes the max — the same totals one collector
-    would have produced had it seen all the traffic.
+    would have produced had it seen all the traffic. Quantile entries
+    merge by summed bucket counts (:func:`.quantiles.merge_quantile_entries`),
+    so percentiles from the merge are byte-identical to the serial run's.
     """
     merged: dict = {
         "counters": {},
@@ -275,7 +361,9 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
         "cycles": {},
         "hw_ns": {},
         "errors": {},
+        "quantiles": {},
     }
+    quantile_shards: Dict[str, List[dict]] = {}
     for snap in snapshots:
         for name, value in snap.get("counters", {}).items():
             merged["counters"][name] = merged["counters"].get(name, 0) + value
@@ -299,6 +387,12 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
             out["n"] += n
             out["sum_sq"] += entry.get("rmse", 0.0) ** 2 * n
             out["max_abs"] = max(out["max_abs"], entry.get("max_abs", 0.0))
+        for name, entry in snap.get("quantiles", {}).items():
+            quantile_shards.setdefault(name, []).append(entry)
+    merged["quantiles"] = {
+        name: merge_quantile_entries(entries)
+        for name, entries in quantile_shards.items()
+    }
     merged["errors"] = {
         name: {
             "n": entry["n"],

@@ -1,0 +1,230 @@
+"""Export surfaces: Prometheus text exposition, JSONL traces, timelines.
+
+Two consumers, two formats:
+
+* **Scrapers** get :func:`render_prometheus` — the Prometheus text
+  exposition format (v0.0.4) over one (possibly merged) snapshot:
+  counters as ``repro_counter_total``, span timers as ``_sum``/``_count``
+  pairs, quantile distributions as native summaries (``quantile=`` label
+  per p50/p90/p99/p999 plus ``_bucket{le=...}`` cumulative buckets), and
+  SLO budget gauges when a policy is given. Metric names carry the
+  dotted repo name in a label (Prometheus names cannot hold dots), so
+  one family per metric kind keeps the exposition schema stable as
+  instrumentation grows.
+* **Humans** get the JSONL trace dump (:func:`write_traces_jsonl` /
+  :func:`read_traces_jsonl`) and :func:`render_trace_timeline` — an
+  ASCII per-stage timeline of one request's life from submit to future
+  resolution, the view ``tools/trace_report.py`` renders.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry.quantiles import (
+    DEFAULT_QUANTILES,
+    bucket_upper,
+    quantile_from_entry,
+)
+from repro.telemetry.slo import SLOPolicy, slo_summary
+
+__all__ = [
+    "render_prometheus",
+    "render_trace_timeline",
+    "read_traces_jsonl",
+    "write_traces_jsonl",
+]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_prometheus(
+    snapshot: dict,
+    policies: Sequence[SLOPolicy] = (),
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> str:
+    """One snapshot as Prometheus text exposition (ends with a newline)."""
+    lines: List[str] = []
+
+    counters = snapshot.get("counters") or {}
+    if counters:
+        lines.append("# TYPE repro_counter_total counter")
+        for name in sorted(counters):
+            lines.append(
+                f'repro_counter_total{{counter="{_escape(name)}"}} '
+                f"{int(counters[name])}"
+            )
+
+    timers = snapshot.get("timers") or {}
+    if timers:
+        lines.append("# TYPE repro_span_seconds summary")
+        for name in sorted(timers):
+            timer = timers[name]
+            label = f'span="{_escape(name)}"'
+            lines.append(
+                f"repro_span_seconds_count{{{label}}} "
+                f"{int(timer.get('count', 0))}"
+            )
+            lines.append(
+                f"repro_span_seconds_sum{{{label}}} "
+                f"{timer.get('total_ns', 0) / 1e9:.9f}"
+            )
+
+    cycles = snapshot.get("cycles") or {}
+    if cycles:
+        lines.append("# TYPE repro_paper_cycles_total counter")
+        for mode in sorted(cycles):
+            lines.append(
+                f'repro_paper_cycles_total{{mode="{_escape(mode)}"}} '
+                f"{int(cycles[mode])}"
+            )
+
+    dists = snapshot.get("quantiles") or {}
+    if dists:
+        lines.append("# TYPE repro_latency_seconds summary")
+        for name in sorted(dists):
+            entry = dists[name]
+            label = f'metric="{_escape(name)}"'
+            for q in quantiles:
+                value_ns = quantile_from_entry(entry, q)
+                lines.append(
+                    f'repro_latency_seconds{{{label},quantile="{q:g}"}} '
+                    f"{value_ns / 1e9:.9f}"
+                )
+            lines.append(
+                f"repro_latency_seconds_count{{{label}}} "
+                f"{int(entry.get('count', 0))}"
+            )
+            lines.append(
+                f"repro_latency_seconds_sum{{{label}}} "
+                f"{int(entry.get('sum', 0)) / 1e9:.9f}"
+            )
+        lines.append("# TYPE repro_latency_bucket histogram")
+        for name in sorted(dists):
+            entry = dists[name]
+            buckets = entry.get("buckets") or {}
+            cumulative = 0
+            for index in sorted(int(k) for k in buckets):
+                cumulative += int(buckets[str(index)])
+                lines.append(
+                    f'repro_latency_bucket{{metric="{_escape(name)}",'
+                    f'le="{bucket_upper(index) / 1e9:.9f}"}} {cumulative}'
+                )
+            lines.append(
+                f'repro_latency_bucket{{metric="{_escape(name)}",'
+                f'le="+Inf"}} {int(entry.get("count", 0))}'
+            )
+
+    slo_lines: List[str] = []
+    for policy in policies:
+        summary = slo_summary(snapshot, policy)
+        label = f'slo="{_escape(policy.name)}"'
+        slo_lines.append(
+            f"repro_slo_compliance{{{label}}} {summary['compliance']:.9f}"
+        )
+        slo_lines.append(
+            f"repro_slo_budget_burn{{{label}}} {summary['budget_burn']:.9f}"
+        )
+        slo_lines.append(
+            f"repro_slo_violated{{{label}}} {int(summary['violated'])}"
+        )
+    if slo_lines:
+        lines.append("# TYPE repro_slo_compliance gauge")
+        lines.extend(slo_lines)
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# JSONL trace dump
+# ----------------------------------------------------------------------
+def write_traces_jsonl(traces: Iterable, path) -> int:
+    """Write traces (dicts or :class:`RequestTrace`) one-per-line; returns
+    the number written."""
+    path = pathlib.Path(path)
+    written = 0
+    with path.open("w") as handle:
+        for trace in traces:
+            record = trace if isinstance(trace, dict) else trace.to_dict()
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def read_traces_jsonl(path) -> List[dict]:
+    """Load a JSONL trace dump; raises ``ValueError`` on a corrupt line."""
+    records: List[dict] = []
+    for lineno, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno} is not valid JSON: {exc}") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"line {lineno} is not a trace object")
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Per-stage timeline renderer
+# ----------------------------------------------------------------------
+def _format_ns(ns: Optional[int]) -> str:
+    if ns is None:
+        return "-"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns}ns"
+
+
+def render_trace_timeline(trace: dict, width: int = 48) -> str:
+    """One trace as an ASCII per-stage timeline.
+
+    Each stage gets a bar positioned over the request's submit→finish
+    interval; queue wait renders as its own leading stage so the view
+    shows where a slow request actually spent its life.
+    """
+    latency = trace.get("latency_ns")
+    header = (
+        f"trace #{trace.get('trace_id', '?')} {trace.get('mode', '?')} "
+        f"[{trace.get('status', '?')}] {trace.get('elements', '?')} el, "
+        f"latency {_format_ns(latency)}, batch fill "
+        f"{trace.get('batch_fill', '-')} "
+        f"({trace.get('batch_elements', '-')} el)"
+    )
+    rows: List[tuple] = []
+    queue_wait = trace.get("queue_wait_ns")
+    if queue_wait is not None:
+        rows.append(("queue.wait", 0, queue_wait))
+    for stage in trace.get("stages", []):
+        name, start_ns, dur_ns = stage[0], int(stage[1]), int(stage[2])
+        rows.append((name, start_ns, dur_ns))
+    if not rows:
+        return header + "\n  (no stage events)"
+
+    span = max(latency or 0, max(start + dur for _, start, dur in rows), 1)
+    name_width = max(len(name) for name, _, _ in rows)
+    lines = [header]
+    for name, start, dur in rows:
+        left = min(int(width * start / span), width - 1)
+        length = max(int(width * dur / span), 1)
+        length = min(length, width - left)
+        bar = " " * left + "#" * length
+        lines.append(
+            f"  {name.ljust(name_width)} |{bar.ljust(width)}| "
+            f"+{_format_ns(start)} {_format_ns(dur)}"
+        )
+    faults = trace.get("faults") or {}
+    if faults:
+        events = ", ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+        lines.append(f"  faults: {events}")
+    return "\n".join(lines)

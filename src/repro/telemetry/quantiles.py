@@ -1,0 +1,227 @@
+"""Streaming latency percentiles over fixed log-spaced integer buckets.
+
+The serving layer needs p50/p99/p999 over millions of requests without
+holding the samples, and the sharded runner needs shard snapshots that
+recombine *exactly* — the merged percentile must be byte-identical to
+the percentile one collector would have reported had it seen all the
+traffic. Both follow from one design rule: the bucket boundaries are a
+**fixed** function of the value (no per-instance adaptation), and every
+derived statistic is computed from the bucket counts alone.
+
+The scheme is HDR-histogram-style base-2 bucketing in pure integer
+arithmetic (``int.bit_length``, shifts — no float ``log``): values below
+``2**SUB_BITS`` get one bucket each (exact), and every octave above is
+split into ``2**SUB_BITS`` equal sub-buckets, bounding the relative
+quantile error at ``2**-SUB_BITS`` (~3.1% for the default ``SUB_BITS=5``)
+whatever the magnitude. Merging two snapshots is summing their sparse
+``{bucket: count}`` dicts — associative, commutative, and deterministic,
+so ``merge_snapshots`` keeps its serial==jobs parity guarantee
+(``tests/telemetry/test_quantiles.py`` pins byte-identity over process
+splits).
+
+Reported quantiles are the bucket's **upper bound** (clamped to the
+observed min/max): a deterministic, conservative estimate — a reported
+p99 is never below the true p99 by more than the bucket's width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SUB_BITS",
+    "StreamingQuantiles",
+    "bucket_index",
+    "bucket_index_array",
+    "bucket_upper",
+    "merge_quantile_entries",
+    "quantile_from_entry",
+    "quantiles_from_entry",
+]
+
+#: Sub-buckets per octave as a power of two. 5 → 32 sub-buckets → the
+#: reported quantile is within 1/32 (3.1%) of the true sample value.
+SUB_BITS = 5
+
+_LINEAR_LIMIT = 1 << SUB_BITS
+_SUB_MASK = _LINEAR_LIMIT - 1
+
+#: The default snapshot quantiles: p50 / p90 / p99 / p999.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
+
+
+def bucket_index(value: int) -> int:
+    """The fixed bucket for a non-negative integer ``value``.
+
+    Values under ``2**SUB_BITS`` map to themselves (width-1 buckets);
+    above that, the octave index and the top ``SUB_BITS`` mantissa bits
+    form the bucket — pure integer arithmetic, so the mapping is
+    identical on every host and process.
+    """
+    value = int(value)
+    if value < 0:
+        # Clock skew / subtraction order can only produce this through a
+        # bug, but a histogram must never throw on an observation.
+        value = 0
+    if value < _LINEAR_LIMIT:
+        return value
+    exponent = value.bit_length() - 1
+    sub = (value >> (exponent - SUB_BITS)) & _SUB_MASK
+    return ((exponent - SUB_BITS + 1) << SUB_BITS) + sub
+
+
+def bucket_index_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`bucket_index` over an int64 array.
+
+    The bit length comes from a branchless binary reduction (six shift
+    passes), so the result is bit-identical to the scalar path — the
+    serving layer buckets one whole batch of request latencies at once.
+    """
+    v = np.maximum(np.asarray(values, dtype=np.int64), 0)
+    # bit_length(v) for v > 0 via binary search on the high half.
+    bits = np.zeros(v.shape, dtype=np.int64)
+    work = v.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        high = work >> shift
+        has_high = high > 0
+        bits += np.where(has_high, shift, 0)
+        work = np.where(has_high, high, work)
+    # bits == bit_length - 1 for v > 0 (position of the leading one).
+    exponent = bits
+    linear = v < _LINEAR_LIMIT
+    shifted = v >> np.maximum(exponent - SUB_BITS, 0)
+    sub = shifted & _SUB_MASK
+    log_index = ((exponent - SUB_BITS + 1) << SUB_BITS) + sub
+    return np.where(linear, v, log_index)
+
+
+def bucket_upper(index: int) -> int:
+    """The largest value bucket ``index`` can hold (its inclusive bound)."""
+    index = int(index)
+    if index < _LINEAR_LIMIT:
+        return index
+    block, offset = divmod(index - _LINEAR_LIMIT, _LINEAR_LIMIT)
+    exponent = SUB_BITS + block
+    width = 1 << (exponent - SUB_BITS)
+    low = (_LINEAR_LIMIT + offset) << (exponent - SUB_BITS)
+    return low + width - 1
+
+
+class StreamingQuantiles:
+    """One metric's streaming distribution: sparse counts over fixed buckets.
+
+    Tracks exact ``count`` / ``sum`` / ``min`` / ``max`` alongside the
+    bucket counts, so means stay exact and reported quantiles clamp to
+    the true observed range.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    def observe(self, value: int) -> None:
+        """Fold one non-negative integer observation in."""
+        value = max(int(value), 0)
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    def observe_many(self, values) -> None:
+        """Fold an array of observations in one vectorised pass."""
+        v = np.maximum(np.asarray(values, dtype=np.int64).reshape(-1), 0)
+        if v.size == 0:
+            return
+        indexes = bucket_index_array(v)
+        uniques, counts = np.unique(indexes, return_counts=True)
+        for index, occurrences in zip(uniques.tolist(), counts.tolist()):
+            self.buckets[index] = self.buckets.get(index, 0) + occurrences
+        lo = int(v.min())
+        if self.count == 0 or lo < self.min:
+            self.min = lo
+        self.max = max(self.max, int(v.max()))
+        self.count += int(v.size)
+        self.total += int(v.sum(dtype=np.int64))
+
+    def snapshot(self) -> dict:
+        """JSON-able state: everything merge needs, nothing more."""
+        return {
+            "scheme": f"log2/{SUB_BITS}",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+def quantile_from_entry(entry: Mapping, q: float) -> int:
+    """The ``q``-quantile of one snapshot entry (deterministic).
+
+    Walks the sorted buckets to the ``ceil(q * count)``-th observation
+    and reports that bucket's upper bound, clamped into ``[min, max]``.
+    Returns 0 for an empty entry.
+    """
+    count = int(entry.get("count", 0))
+    if count <= 0:
+        return 0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    # ceil without float drift: the k-th order statistic, 1-based, with
+    # q held in parts-per-million so 0.999 * count never rounds unstably.
+    rank = max(1, min(count, -(-round(q * 1_000_000) * count // 1_000_000)))
+    cumulative = 0
+    buckets = entry.get("buckets", {})
+    for index in sorted(int(k) for k in buckets):
+        cumulative += int(buckets[str(index)])
+        if cumulative >= rank:
+            bound = bucket_upper(index)
+            return max(int(entry.get("min", 0)),
+                       min(bound, int(entry.get("max", bound))))
+    return int(entry.get("max", 0))
+
+
+def quantiles_from_entry(
+    entry: Mapping, qs: Sequence[float] = DEFAULT_QUANTILES
+) -> Dict[str, int]:
+    """A ``{"p50": ..., "p99": ...}`` view of one snapshot entry."""
+    out: Dict[str, int] = {}
+    for q in qs:
+        label = f"p{q * 100:g}".replace(".", "")
+        out[label] = quantile_from_entry(entry, q)
+    return out
+
+
+def merge_quantile_entries(entries: Iterable[Mapping]) -> dict:
+    """Combine snapshot entries: summed buckets, exact count/sum/min/max.
+
+    The merged entry is byte-identical (as sorted JSON) to the entry one
+    instance observing all the traffic would produce — the property the
+    sharded runner's serial==jobs parity rests on.
+    """
+    merged = StreamingQuantiles()
+    for entry in entries:
+        count = int(entry.get("count", 0))
+        if count == 0:
+            continue
+        for bucket, occurrences in entry.get("buckets", {}).items():
+            key = int(bucket)
+            merged.buckets[key] = merged.buckets.get(key, 0) + int(occurrences)
+        lo, hi = int(entry.get("min", 0)), int(entry.get("max", 0))
+        if merged.count == 0 or lo < merged.min:
+            merged.min = lo
+        merged.max = max(merged.max, hi)
+        merged.count += count
+        merged.total += int(entry.get("sum", 0))
+    return merged.snapshot()

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.telemetry.quantiles import quantiles_from_entry
+
 __all__ = ["render_snapshot", "render_table", "derived_rates"]
 
 
@@ -38,25 +40,34 @@ def derived_rates(snapshot: dict) -> Dict[str, float]:
     (``engine.softmax.fast_exp_elements`` /
     ``engine.softmax.fast_div_elements``), so each gets its own share of
     the softmax elements served.
+
+    Every rate guards its denominator: a snapshot from a run that never
+    hit softmax (or a hand-edited/merged one whose ``counters`` section
+    is missing, ``null``, or holds zero denominators) yields fewer rates,
+    never a ``KeyError``/``ZeroDivisionError`` —
+    ``tests/telemetry/test_collector.py`` pins this.
     """
-    counters = snapshot.get("counters", {})
+    counters = snapshot.get("counters") or {}
     rates: Dict[str, float] = {}
+
+    def _ratio(name: str, numerator_key: str, denominator: float) -> None:
+        if denominator and denominator > 0:
+            rates[name] = counters.get(numerator_key, 0) / denominator
+
     hits = counters.get("lut.cache.hit", 0)
     misses = counters.get("lut.cache.miss", 0)
-    if hits + misses:
-        rates["lut_cache_hit_rate"] = hits / (hits + misses)
-    saturated = counters.get("fx.saturate.events", 0)
-    checked = counters.get("fx.overflow.checked", 0)
-    if checked:
-        rates["saturation_rate"] = saturated / checked
+    _ratio("lut_cache_hit_rate", "lut.cache.hit", hits + misses)
+    _ratio("saturation_rate", "fx.saturate.events",
+           counters.get("fx.overflow.checked", 0))
     softmax_elements = counters.get("engine.softmax.elements", 0)
-    if softmax_elements:
-        rates["softmax_fast_exp_coverage"] = (
-            counters.get("engine.softmax.fast_exp_elements", 0) / softmax_elements
-        )
-        rates["softmax_fast_div_coverage"] = (
-            counters.get("engine.softmax.fast_div_elements", 0) / softmax_elements
-        )
+    _ratio("softmax_fast_exp_coverage",
+           "engine.softmax.fast_exp_elements", softmax_elements)
+    _ratio("softmax_fast_div_coverage",
+           "engine.softmax.fast_div_elements", softmax_elements)
+    served = counters.get("serve.requests", 0)
+    _ratio("serve_shed_rate", "serve.shed",
+           served + counters.get("serve.shed", 0))
+    _ratio("serve_trace_sample_rate", "serve.traced", served)
     return rates
 
 
@@ -107,6 +118,27 @@ def render_snapshot(snapshot: dict, top: int = 8) -> str:
         ]
         sections.append(render_table(
             "wall-clock spans", ["span", "count", "total_ms", "mean_us"], rows))
+
+    dists = snapshot.get("quantiles") or {}
+    if dists:
+        rows = []
+        for name in sorted(dists):
+            entry = dists[name]
+            count = entry.get("count", 0)
+            mean_us = (
+                entry.get("sum", 0) / count / 1e3 if count else 0.0
+            )
+            ps = quantiles_from_entry(entry)
+            rows.append([
+                name, count, f"{mean_us:.1f}",
+                f"{ps['p50'] / 1e3:.1f}", f"{ps['p90'] / 1e3:.1f}",
+                f"{ps['p99'] / 1e3:.1f}", f"{ps['p999'] / 1e3:.1f}",
+            ])
+        sections.append(render_table(
+            "latency quantiles (us)",
+            ["metric", "count", "mean", "p50", "p90", "p99", "p999"],
+            rows,
+        ))
 
     histograms = snapshot.get("histograms", {})
     for name in sorted(histograms):

@@ -1,0 +1,148 @@
+"""SLO accounting: latency targets, error budgets, burn rates.
+
+An :class:`SLOPolicy` states the service-level objective — "``objective``
+of requests finish within ``latency_ms`` and without error" — and the
+:class:`SLOAccountant` classifies every finished request against it:
+
+* **good** — resolved without error, within the latency target;
+* **bad** — resolved slower than the target, or failed with an error;
+* **shed** — refused at admission (``BackpressureError``). Sheds burn
+  the error budget too: a user the server turned away is a user the
+  objective failed, so ``bad + shed`` is the budget-consuming count.
+
+Like the fault ledger, the accountant keeps its own counts *and* mirrors
+them into the resolved telemetry collector (``slo.<name>.good`` /
+``.bad`` / ``.shed`` counters), so SLO state merges across shards with
+the same exactness as every other counter and survives in snapshots
+without the accountant object.
+
+The derived view (:func:`slo_summary` / :meth:`SLOAccountant.summary`)
+reports the compliance ratio, the total error budget for the traffic
+seen (``(1 - objective) * total``), and the budget burn — ``>= 1.0``
+means the objective is violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["SLOPolicy", "SLOAccountant", "slo_summary"]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One service-level objective over the serving datapath."""
+
+    #: Metric namespace: counters land under ``slo.<name>.*``.
+    name: str = "serve"
+    #: The latency target a good request must meet, in milliseconds.
+    latency_ms: float = 5.0
+    #: The fraction of requests that must be good (e.g. 0.999 = "three
+    #: nines"): the error budget is the remaining fraction.
+    objective: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+
+    @property
+    def latency_ns(self) -> int:
+        return int(self.latency_ms * 1e6)
+
+
+class SLOAccountant:
+    """Good/bad/shed classification against one policy."""
+
+    __slots__ = ("policy", "collector", "stats")
+
+    def __init__(self, policy: Optional[SLOPolicy] = None, collector=None):
+        self.policy = policy if policy is not None else SLOPolicy()
+        #: Injected collector; ``None`` resolves the module registry at
+        #: each record, matching every other instrumentation site.
+        self.collector = collector
+        #: Own ledger, available without telemetry (mirrors ``slo.*``).
+        self.stats: Dict[str, int] = {"good": 0, "bad": 0, "shed": 0}
+
+    # ------------------------------------------------------------------
+    def _count(self, outcome: str, n: int) -> None:
+        if not n:
+            return
+        self.stats[outcome] += n
+        from repro.telemetry import collector as _telemetry
+
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count(f"slo.{self.policy.name}.{outcome}", n)
+
+    def record(self, latency_ns: int, ok: bool = True) -> bool:
+        """Classify one finished request; returns whether it was good."""
+        good = ok and latency_ns <= self.policy.latency_ns
+        self._count("good" if good else "bad", 1)
+        return good
+
+    def record_many(self, latencies_ns, ok: bool = True) -> int:
+        """Classify a batch of finished requests; returns the good count."""
+        values = np.asarray(latencies_ns)
+        good = (
+            int(np.count_nonzero(values <= self.policy.latency_ns))
+            if ok else 0
+        )
+        self._count("good", good)
+        self._count("bad", int(values.size) - good)
+        return good
+
+    def record_shed(self, n: int = 1) -> None:
+        """Account requests refused at admission (budget-burning)."""
+        self._count("shed", n)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The derived budget view of this accountant's own ledger."""
+        return _derive(self.policy, **self.stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SLOAccountant {self.policy.name}: {self.stats['good']} good, "
+            f"{self.stats['bad']} bad, {self.stats['shed']} shed>"
+        )
+
+
+def _derive(policy: SLOPolicy, good: int, bad: int, shed: int) -> dict:
+    total = good + bad + shed
+    burned = bad + shed
+    budget = (1.0 - policy.objective) * total
+    return {
+        "slo": policy.name,
+        "latency_ms": policy.latency_ms,
+        "objective": policy.objective,
+        "total": total,
+        "good": good,
+        "bad": bad,
+        "shed": shed,
+        "compliance": good / total if total else 1.0,
+        "error_budget": budget,
+        "budget_burn": burned / budget if budget > 0 else 0.0,
+        "violated": total > 0 and good / total < policy.objective,
+    }
+
+
+def slo_summary(snapshot: dict, policy: SLOPolicy) -> dict:
+    """The budget view reconstructed from a (possibly merged) snapshot.
+
+    Reads the ``slo.<name>.*`` counters the accountant mirrored, so a
+    merge of shard snapshots yields exactly the totals one accountant
+    would hold — no extra merge rules needed.
+    """
+    counters = snapshot.get("counters") or {}
+    prefix = f"slo.{policy.name}."
+    return _derive(
+        policy,
+        good=int(counters.get(prefix + "good", 0)),
+        bad=int(counters.get(prefix + "bad", 0)),
+        shed=int(counters.get(prefix + "shed", 0)),
+    )

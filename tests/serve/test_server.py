@@ -195,3 +195,97 @@ class TestSharedStoreServing:
                 counters = collector.snapshot()["counters"]
                 assert counters.get("compile.attach_hits", 0) >= 1
                 assert counters.get("compile.tables_compiled") is None
+
+
+class TestObservability:
+    def test_sampled_traces_retire_through_the_server(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer(sample_every=2, capacity=64)
+        collector = Collector()
+        with use_collector(collector):
+            with InferenceServer(n_bits=8, tracer=tracer) as server:
+                futures = [
+                    server.submit(0.25, mode="sigmoid") for _ in range(8)
+                ]
+                for future in futures:
+                    future.result()
+        traces = tracer.traces()
+        assert len(traces) == 4  # every 2nd request
+        for trace in traces:
+            assert trace.status == "ok"
+            assert trace.mode == "sigmoid"
+            assert trace.latency_ns > 0
+            assert trace.queue_wait_ns >= 0
+            assert trace.batch_fill >= 1
+            assert any(
+                name.startswith("engine.") for name, _, _ in trace.stages
+            )
+        snap = collector.snapshot()
+        assert snap["counters"]["serve.traced"] == 4
+        assert "serve.latency.sigmoid" in snap["quantiles"]
+        assert snap["quantiles"]["serve.latency.sigmoid"]["count"] == 8
+
+    def test_registry_tracer_reaches_running_server(self):
+        from repro.telemetry import Tracer, use_tracer
+
+        tracer = Tracer(sample_every=1)
+        with InferenceServer(n_bits=8) as server:
+            with use_tracer(tracer):
+                server.submit(0.5, mode="tanh").result()
+        assert len(tracer.traces()) == 1
+
+    def test_softmax_traces_carry_datapath_stages(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer(sample_every=1)
+        with InferenceServer(n_bits=8, tracer=tracer) as server:
+            server.submit(np.array([0.1, 0.4, -0.2]), mode="softmax").result()
+        (trace,) = tracer.traces()
+        names = {name for name, _, _ in trace.stages}
+        assert {"softmax.normalise", "softmax.exp",
+                "softmax.fold", "softmax.divide"} <= names
+
+    def test_slo_accounting_over_served_traffic(self):
+        from repro.telemetry import SLOPolicy, slo_summary
+
+        collector = Collector()
+        with use_collector(collector):
+            with InferenceServer(
+                n_bits=8, slo=SLOPolicy("t", latency_ms=10_000.0)
+            ) as server:
+                for _ in range(6):
+                    server.submit(0.5, mode="sigmoid").result()
+        summary = slo_summary(
+            collector.snapshot(), SLOPolicy("t", latency_ms=10_000.0)
+        )
+        assert summary["total"] == 6
+        assert summary["good"] == 6
+        assert summary["violated"] is False
+
+    def test_shed_burns_slo_budget(self):
+        from repro.telemetry import SLOPolicy
+
+        collector = Collector()
+        with use_collector(collector):
+            server = InferenceServer(
+                n_bits=8, max_pending_elements=4,
+                max_delay_us=200_000.0,
+                slo=SLOPolicy("t", latency_ms=10_000.0),
+            )
+            try:
+                with pytest.raises(BackpressureError):
+                    for _ in range(64):
+                        server.submit(np.zeros(3), mode="sigmoid")
+            finally:
+                server.close()
+        counters = collector.snapshot()["counters"]
+        assert counters["slo.t.shed"] == counters["serve.shed"] >= 1
+
+    def test_untraced_serving_has_no_trace_cost_counters(self):
+        collector = Collector()
+        with use_collector(collector):
+            with InferenceServer(n_bits=8) as server:
+                server.submit(0.5, mode="sigmoid").result()
+        counters = collector.snapshot()["counters"]
+        assert "serve.traced" not in counters

@@ -248,3 +248,52 @@ class TestSoftmaxStageRates:
         rates = derived_rates({"counters": {"engine.softmax.elements": 0}})
         assert "softmax_fast_exp_coverage" not in rates
         assert "softmax_fast_div_coverage" not in rates
+
+
+class TestDerivedRateGuards:
+    # Regression: hand-edited or merged snapshots can arrive with a
+    # missing/null counters section or zero denominators; derived_rates
+    # must degrade to fewer rates, never throw.
+    def test_missing_counters_section(self):
+        assert derived_rates({}) == {}
+
+    def test_null_counters_section(self):
+        assert derived_rates({"counters": None}) == {}
+
+    def test_zero_denominators_yield_no_rates(self):
+        snap = {
+            "counters": {
+                "lut.cache.hit": 0,
+                "lut.cache.miss": 0,
+                "fx.overflow.checked": 0,
+                "engine.softmax.elements": 0,
+                "serve.requests": 0,
+                "serve.shed": 0,
+            }
+        }
+        assert derived_rates(snap) == {}
+
+    def test_missing_numerators_default_to_zero(self):
+        snap = {"counters": {"lut.cache.miss": 4, "fx.overflow.checked": 10}}
+        rates = derived_rates(snap)
+        assert rates["lut_cache_hit_rate"] == 0.0
+        assert rates["saturation_rate"] == 0.0
+
+    def test_serve_rates(self):
+        snap = {
+            "counters": {
+                "serve.requests": 90,
+                "serve.shed": 10,
+                "serve.traced": 9,
+            }
+        }
+        rates = derived_rates(snap)
+        assert rates["serve_shed_rate"] == pytest.approx(0.1)
+        assert rates["serve_trace_sample_rate"] == pytest.approx(0.1)
+
+    def test_shed_only_traffic(self):
+        # Every request refused: served == 0, but the shed rate exists.
+        snap = {"counters": {"serve.requests": 0, "serve.shed": 5}}
+        rates = derived_rates(snap)
+        assert rates["serve_shed_rate"] == 1.0
+        assert "serve_trace_sample_rate" not in rates

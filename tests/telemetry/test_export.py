@@ -1,0 +1,130 @@
+"""Unit tests for the Prometheus exposition, JSONL dump, and timelines."""
+
+import pytest
+
+from repro.telemetry import (
+    Collector,
+    RequestTrace,
+    SLOPolicy,
+    read_traces_jsonl,
+    render_prometheus,
+    render_trace_timeline,
+    write_traces_jsonl,
+)
+
+
+def _snapshot():
+    collector = Collector()
+    collector.count("serve.requests", 10)
+    collector.count("serve.shed", 2)
+    collector.observe_latency_many(
+        "serve.latency.sigmoid", [1_000, 2_000, 3_000, 4_000_000]
+    )
+    return collector.snapshot()
+
+
+class TestPrometheus:
+    def test_counters_and_summary_families(self):
+        text = render_prometheus(_snapshot())
+        assert text.endswith("\n")
+        assert '# TYPE repro_counter_total counter' in text
+        assert 'repro_counter_total{counter="serve.requests"} 10' in text
+        assert '# TYPE repro_latency_seconds summary' in text
+        assert 'metric="serve.latency.sigmoid"' in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.999"' in text
+        assert 'repro_latency_seconds_count{metric="serve.latency.sigmoid"} 4' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(_snapshot())
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_latency_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert bucket_lines[-1].startswith(
+            'repro_latency_bucket{metric="serve.latency.sigmoid",le="+Inf"}'
+        )
+        assert counts[-1] == 4
+
+    def test_slo_gauges(self):
+        policy = SLOPolicy("serve", latency_ms=1.0)
+        collector = Collector()
+        collector.count("slo.serve.good", 99)
+        collector.count("slo.serve.bad", 1)
+        text = render_prometheus(collector.snapshot(), policies=[policy])
+        assert 'repro_slo_compliance{slo="serve"} 0.990000000' in text
+        assert "repro_slo_budget_burn" in text
+        assert 'repro_slo_violated{slo="serve"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_label_escaping(self):
+        collector = Collector()
+        collector.count('weird"name\\x', 1)
+        text = render_prometheus(collector.snapshot())
+        assert 'counter="weird\\"name\\\\x"' in text
+
+
+class TestJsonlDump:
+    def test_round_trip(self, tmp_path):
+        trace = RequestTrace(0, "exp", 3, submit_ns=0)
+        trace.finish_ns = 1000
+        trace.status = "ok"
+        path = tmp_path / "traces.jsonl"
+        assert write_traces_jsonl([trace, trace.to_dict()], path) == 2
+        records = read_traces_jsonl(path)
+        assert len(records) == 2
+        assert records[0] == records[1] == trace.to_dict()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"trace_id": 1}\n\n{"trace_id": 2}\n')
+        assert [r["trace_id"] for r in read_traces_jsonl(path)] == [1, 2]
+
+    def test_corrupt_line_names_line_number(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"trace_id": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_traces_jsonl(path)
+
+    def test_non_dict_line_rejected(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="line 1 is not a trace object"):
+            read_traces_jsonl(path)
+
+
+class TestTimeline:
+    def _trace_dict(self):
+        trace = RequestTrace(7, "softmax", 4, submit_ns=0)
+        trace.dispatch_ns = 4000
+        trace.finish_ns = 10_000
+        trace.batch_fill = 2
+        trace.batch_elements = 8
+        trace.status = "ok"
+        trace.add_stage("softmax.exp", 5000, 1000)
+        trace.add_stage("softmax.divide", 7000, 2000)
+        trace.faults["corrected.parity"] = 1
+        return trace.to_dict()
+
+    def test_renders_all_rows(self):
+        text = render_trace_timeline(self._trace_dict())
+        lines = text.splitlines()
+        assert "trace #7 softmax [ok]" in lines[0]
+        assert any(line.strip().startswith("queue.wait") for line in lines)
+        assert any("softmax.exp" in line for line in lines)
+        assert any("softmax.divide" in line for line in lines)
+        assert "faults: corrected.parity=1" in lines[-1]
+
+    def test_rows_survive_missing_latency(self):
+        record = self._trace_dict()
+        record["latency_ns"] = None
+        text = render_trace_timeline(record)
+        assert "softmax.divide" in text
+
+    def test_empty_trace(self):
+        text = render_trace_timeline({"trace_id": 1, "mode": "exp"})
+        assert "(no stage events)" in text

@@ -1,0 +1,202 @@
+"""Unit tests for the streaming quantile estimator and exact merging."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Collector,
+    StreamingQuantiles,
+    merge_quantile_entries,
+    merge_snapshots,
+    quantile_from_entry,
+    quantiles_from_entry,
+)
+from repro.telemetry.quantiles import (
+    SUB_BITS,
+    bucket_index,
+    bucket_index_array,
+    bucket_upper,
+)
+
+
+class TestBucketScheme:
+    def test_linear_region_is_exact(self):
+        # Below 2**SUB_BITS every value is its own bucket.
+        for value in range(1 << SUB_BITS):
+            assert bucket_index(value) == value
+            assert bucket_upper(bucket_index(value)) == max(value, 0)
+
+    def test_upper_bound_brackets_value(self):
+        rng = np.random.default_rng(7)
+        for value in rng.integers(1, 1 << 40, size=2000).tolist():
+            index = bucket_index(value)
+            assert bucket_upper(index) >= value
+            assert bucket_upper(index - 1) < value
+
+    def test_relative_error_bound(self):
+        # Log2 bucketing with 2**SUB_BITS sub-buckets per octave keeps the
+        # bucket upper bound within 1/2**SUB_BITS of the true value.
+        rng = np.random.default_rng(11)
+        for value in rng.integers(1 << SUB_BITS, 1 << 50, size=2000).tolist():
+            upper = bucket_upper(bucket_index(value))
+            assert (upper - value) / value <= 1 / (1 << SUB_BITS)
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 45, size=5000)
+        vector = bucket_index_array(values)
+        scalar = np.array([bucket_index(int(v)) for v in values])
+        np.testing.assert_array_equal(vector, scalar)
+
+    def test_negative_values_clamp_to_zero_bucket(self):
+        assert bucket_index(-5) == 0
+        np.testing.assert_array_equal(
+            bucket_index_array(np.array([-3, 0, 1])), [0, 0, 1]
+        )
+
+
+class TestStreamingQuantiles:
+    def test_quantiles_bracket_order_statistics(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 1_000_000, size=20_000)
+        q = StreamingQuantiles()
+        q.observe_many(values)
+        entry = q.snapshot()
+        ordered = np.sort(values)
+        for quantile in (0.5, 0.9, 0.99, 0.999):
+            true = float(ordered[int(quantile * (len(ordered) - 1))])
+            got = quantile_from_entry(entry, quantile)
+            assert got >= true * (1 - 1 / (1 << SUB_BITS))
+            assert got <= true * (1 + 2 / (1 << SUB_BITS))
+
+    def test_observe_many_matches_scalar_loop(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1 << 30, size=4096)
+        vec, scalar = StreamingQuantiles(), StreamingQuantiles()
+        vec.observe_many(values)
+        for value in values.tolist():
+            scalar.observe(value)
+        assert vec.snapshot() == scalar.snapshot()
+
+    def test_min_max_clamp(self):
+        q = StreamingQuantiles()
+        q.observe_many(np.array([100, 100, 100]))
+        entry = q.snapshot()
+        # Every quantile of a constant stream is that constant, not the
+        # bucket's upper bound.
+        assert quantile_from_entry(entry, 0.5) == 100
+        assert quantile_from_entry(entry, 0.999) == 100
+
+    def test_empty_snapshot(self):
+        entry = StreamingQuantiles().snapshot()
+        assert entry["count"] == 0
+        assert quantile_from_entry(entry, 0.5) == 0
+        assert quantiles_from_entry(entry, (0.5,)) == {"p50": 0}
+
+    def test_quantile_labels(self):
+        q = StreamingQuantiles()
+        q.observe(10)
+        labels = quantiles_from_entry(q.snapshot(), (0.5, 0.9, 0.99, 0.999))
+        assert sorted(labels) == ["p50", "p90", "p99", "p999"]
+
+
+def _shard_merge_is_byte_identical(values, shards):
+    serial = StreamingQuantiles()
+    serial.observe_many(values)
+    parts = []
+    for shard in range(shards):
+        q = StreamingQuantiles()
+        q.observe_many(values[shard::shards])
+        parts.append(q.snapshot())
+    merged = merge_quantile_entries(parts)
+    # Byte-identical under canonical JSON: counts sum exactly, no float
+    # interpolation anywhere in the scheme.
+    assert (
+        json.dumps(merged, sort_keys=True)
+        == json.dumps(serial.snapshot(), sort_keys=True)
+    )
+
+
+class TestExactMerge:
+    @pytest.mark.parametrize("shards", [2, 4, 7])
+    def test_shard_merge_byte_identical(self, shards):
+        rng = np.random.default_rng(shards)
+        values = rng.integers(1, 1 << 34, size=10_000)
+        _shard_merge_is_byte_identical(values, shards)
+
+    def test_merge_empty_entries(self):
+        merged = merge_quantile_entries([])
+        assert merged["count"] == 0
+        one = StreamingQuantiles()
+        one.observe(5)
+        assert merge_quantile_entries([one.snapshot()]) == one.snapshot()
+
+    def test_merge_through_collector_snapshots(self):
+        rng = np.random.default_rng(9)
+        values = rng.integers(1, 1 << 20, size=8000).tolist()
+        serial = Collector()
+        serial.observe_latency_many("serve.latency.sigmoid", values)
+        shards = []
+        for index in range(4):
+            c = Collector()
+            c.observe_latency_many(
+                "serve.latency.sigmoid", values[index::4]
+            )
+            shards.append(c.snapshot())
+        merged = merge_snapshots(shards)
+        assert (
+            json.dumps(merged["quantiles"], sort_keys=True)
+            == json.dumps(serial.snapshot()["quantiles"], sort_keys=True)
+        )
+
+    def test_merge_disjoint_metric_names(self):
+        a, b = Collector(), Collector()
+        a.observe_latency("serve.latency.exp", 100)
+        b.observe_latency("serve.latency.tanh", 200)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged["quantiles"]) == {
+            "serve.latency.exp", "serve.latency.tanh"
+        }
+        assert merged["quantiles"]["serve.latency.exp"]["count"] == 1
+
+
+class TestServedShardParity:
+    # Per-mode latency streams recorded at each NACU bit width, split
+    # request-by-request over N shard collectors, must merge
+    # byte-identically to the one-collector serial snapshot.
+    @pytest.mark.parametrize("bits", [8, 12, 16])
+    def test_engine_latency_streams_merge_exactly(self, bits):
+        import time
+
+        from repro.engine import BatchEngine
+
+        engine = BatchEngine.for_bits(bits, fast=True)
+        rng = np.random.default_rng(bits)
+        streams = {f"serve.latency.{mode}": [] for mode in
+                   ("sigmoid", "tanh", "exp", "softmax")}
+        for _ in range(12):
+            for mode, values in streams.items():
+                kernel = getattr(engine, mode.rsplit(".", 1)[1])
+                x = rng.uniform(
+                    -4, 0 if mode.endswith("exp") else 4,
+                    size=(int(rng.integers(2, 17)),),
+                )
+                start = time.perf_counter_ns()
+                kernel(x)
+                values.append(time.perf_counter_ns() - start)
+
+        serial = Collector()
+        shard_collectors = [Collector() for _ in range(4)]
+        for name, values in streams.items():
+            serial.observe_latency_many(name, values)
+            for index, value in enumerate(values):
+                # Request-by-request round robin, scalar path — the
+                # shards must agree with the vectorised serial fold too.
+                shard_collectors[index % 4].observe_latency(name, value)
+        merged = merge_snapshots(c.snapshot() for c in shard_collectors)
+        assert (
+            json.dumps(merged["quantiles"], sort_keys=True)
+            == json.dumps(serial.snapshot()["quantiles"], sort_keys=True)
+        )

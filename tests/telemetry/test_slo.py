@@ -1,0 +1,108 @@
+"""Unit tests for SLO policies, accounting, and snapshot reconstruction."""
+
+import pytest
+
+from repro.telemetry import (
+    Collector,
+    SLOAccountant,
+    SLOPolicy,
+    merge_snapshots,
+    set_collector,
+    slo_summary,
+)
+
+
+@pytest.fixture(autouse=True)
+def registry_off():
+    previous = set_collector(None)
+    yield
+    set_collector(previous)
+
+
+class TestSLOPolicy:
+    def test_defaults_and_latency_ns(self):
+        policy = SLOPolicy()
+        assert policy.name == "serve"
+        assert policy.latency_ns == 5_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(latency_ms=0)
+        with pytest.raises(ValueError):
+            SLOPolicy(objective=1.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(objective=0.0)
+
+
+class TestSLOAccountant:
+    def test_classification(self):
+        acct = SLOAccountant(SLOPolicy(latency_ms=1.0))
+        assert acct.record(500_000) is True           # fast and ok
+        assert acct.record(2_000_000) is False        # slow
+        assert acct.record(500_000, ok=False) is False  # fast but errored
+        assert acct.stats == {"good": 1, "bad": 2, "shed": 0}
+
+    def test_record_many(self):
+        acct = SLOAccountant(SLOPolicy(latency_ms=1.0))
+        assert acct.record_many([100, 2_000_000, 999_999]) == 2
+        assert acct.stats == {"good": 2, "bad": 1, "shed": 0}
+        acct.record_many([100, 200], ok=False)
+        assert acct.stats["bad"] == 3
+
+    def test_sheds_burn_budget(self):
+        acct = SLOAccountant(SLOPolicy(latency_ms=1.0, objective=0.9))
+        acct.record_many([0] * 98)
+        acct.record_shed(2)
+        summary = acct.summary()
+        assert summary["total"] == 100
+        assert summary["shed"] == 2
+        # 2 burned of a 10-request budget over 100 requests.
+        assert summary["budget_burn"] == pytest.approx(0.2)
+        assert summary["violated"] is False
+
+    def test_violation(self):
+        acct = SLOAccountant(SLOPolicy(latency_ms=1.0, objective=0.99))
+        acct.record_many([0] * 90)
+        acct.record_many([10_000_000] * 10)
+        summary = acct.summary()
+        assert summary["compliance"] == pytest.approx(0.9)
+        assert summary["budget_burn"] >= 1.0
+        assert summary["violated"] is True
+
+    def test_empty_summary(self):
+        summary = SLOAccountant().summary()
+        assert summary["total"] == 0
+        assert summary["compliance"] == 1.0
+        assert summary["budget_burn"] == 0.0
+        assert summary["violated"] is False
+
+
+class TestCounterMirroring:
+    def test_counters_mirror_and_reconstruct(self):
+        policy = SLOPolicy("api", latency_ms=1.0)
+        collector = Collector()
+        acct = SLOAccountant(policy, collector=collector)
+        acct.record_many([0, 0, 5_000_000])
+        acct.record_shed()
+        snapshot = collector.snapshot()
+        assert snapshot["counters"]["slo.api.good"] == 2
+        assert snapshot["counters"]["slo.api.bad"] == 1
+        assert snapshot["counters"]["slo.api.shed"] == 1
+        assert slo_summary(snapshot, policy) == acct.summary()
+
+    def test_summary_merges_across_shards(self):
+        policy = SLOPolicy("api", latency_ms=1.0)
+        shards = []
+        serial = SLOAccountant(policy)
+        for chunk in ([0, 0, 9_000_000], [0, 0, 0, 0], [0]):
+            collector = Collector()
+            SLOAccountant(policy, collector=collector).record_many(chunk)
+            serial.record_many(chunk)
+            shards.append(collector.snapshot())
+        merged = merge_snapshots(shards)
+        assert slo_summary(merged, policy) == serial.summary()
+
+    def test_missing_counters_give_empty_summary(self):
+        summary = slo_summary({}, SLOPolicy())
+        assert summary["total"] == 0
+        assert summary["violated"] is False

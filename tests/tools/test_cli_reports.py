@@ -1,0 +1,106 @@
+"""Exit-contract tests for the report CLIs: clean errors, never tracebacks."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.telemetry import Collector, RequestTrace, write_traces_jsonl
+
+TOOLS_DIR = pathlib.Path(__file__).parent.parent.parent / "tools"
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(name, TOOLS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def telemetry_report():
+    return _load_tool("telemetry_report")
+
+
+@pytest.fixture(scope="module")
+def trace_report():
+    return _load_tool("trace_report")
+
+
+class TestTelemetryReportCLI:
+    def test_valid_snapshot_renders(self, telemetry_report, tmp_path, capsys):
+        collector = Collector()
+        collector.count("serve.requests", 3)
+        path = tmp_path / "snap.json"
+        path.write_text(collector.to_json())
+        assert telemetry_report.main([str(path)]) == 0
+        assert "counters" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, telemetry_report, tmp_path, capsys):
+        assert telemetry_report.main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+    def test_corrupt_json_exits_2(self, telemetry_report, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        assert telemetry_report.main([str(path)]) == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("payload", ["[1, 2, 3]", '"snapshot"', "42"])
+    def test_valid_json_non_dict_exits_2(self, telemetry_report, tmp_path,
+                                         capsys, payload):
+        # Regression: used to traceback on list/str/number payloads.
+        path = tmp_path / "odd.json"
+        path.write_text(payload)
+        assert telemetry_report.main([str(path)]) == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_bad_file_among_good_still_exits_2(self, telemetry_report,
+                                               tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(Collector().to_json())
+        bad = tmp_path / "bad.json"
+        bad.write_text("null")
+        assert telemetry_report.main([str(good), str(bad)]) == 2
+
+
+class TestTraceReportCLI:
+    def _dump(self, tmp_path):
+        trace = RequestTrace(0, "sigmoid", 2, submit_ns=0)
+        trace.dispatch_ns = 100
+        trace.finish_ns = 1000
+        trace.status = "ok"
+        trace.add_stage("engine.sigmoid", 200, 300)
+        path = tmp_path / "traces.jsonl"
+        write_traces_jsonl([trace], path)
+        return path
+
+    def test_renders_timeline_and_totals(self, trace_report, tmp_path, capsys):
+        assert trace_report.main([str(self._dump(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "stage totals" in out
+        assert "engine.sigmoid" in out
+        assert "queue.wait" in out
+
+    def test_mode_filter(self, trace_report, tmp_path, capsys):
+        assert trace_report.main(
+            [str(self._dump(tmp_path)), "--mode", "softmax"]
+        ) == 0
+        assert "no traces match" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, trace_report, tmp_path, capsys):
+        assert trace_report.main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace dump" in capsys.readouterr().err
+
+    def test_corrupt_dump_exits_2(self, trace_report, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nbroken\n')
+        assert trace_report.main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+    def test_non_dict_line_exits_2(self, trace_report, tmp_path, capsys):
+        path = tmp_path / "odd.jsonl"
+        path.write_text("[]\n")
+        assert trace_report.main([str(path)]) == 2
+        assert "not a trace object" in capsys.readouterr().err

@@ -46,10 +46,20 @@ def main(argv=None) -> int:
     loaded = []
     for path in args.snapshots:
         try:
-            loaded.append((path, json.loads(path.read_text())))
+            snap = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
             print(f"error: cannot read snapshot {path}: {exc}", file=sys.stderr)
             return 2
+        if not isinstance(snap, dict):
+            # Valid JSON but not a snapshot (a list, a bare number, ...):
+            # same clean exit as a corrupt file, not a traceback.
+            print(
+                f"error: snapshot {path} is not a JSON object "
+                f"(got {type(snap).__name__})",
+                file=sys.stderr,
+            )
+            return 2
+        loaded.append((path, snap))
 
     if args.merge or len(loaded) == 1:
         if len(loaded) == 1 and not args.merge:

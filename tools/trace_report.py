@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Render a JSONL request-trace dump as per-stage timelines.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_report.py traces.jsonl [--limit 8]
+        [--mode softmax] [--slowest]
+
+Each line of the input is one trace dict (written by
+``python -m repro.serve --trace --trace-out ...`` or
+:func:`repro.telemetry.write_traces_jsonl`). The report shows an
+aggregate per-stage time table over every trace, then renders
+``--limit`` individual timelines — by default the first traces in the
+file, with ``--slowest`` the worst latencies (where tail problems live).
+
+Exits 2 with a one-line message on a missing or corrupt dump (the same
+contract as ``tools/telemetry_report.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.telemetry import read_traces_jsonl, render_trace_timeline  # noqa: E402
+from repro.telemetry.report import render_table  # noqa: E402
+
+
+def stage_table(traces) -> str:
+    """Aggregate per-stage totals over every trace in the dump."""
+    stages = {}
+    for trace in traces:
+        for stage in trace.get("stages", []):
+            name, _, dur_ns = stage[0], stage[1], int(stage[2])
+            entry = stages.setdefault(name, {"count": 0, "total_ns": 0, "max_ns": 0})
+            entry["count"] += 1
+            entry["total_ns"] += dur_ns
+            entry["max_ns"] = max(entry["max_ns"], dur_ns)
+    rows = [
+        [name, entry["count"],
+         f"{entry['total_ns'] / 1e6:.3f}",
+         f"{entry['total_ns'] / entry['count'] / 1e3:.1f}",
+         f"{entry['max_ns'] / 1e3:.1f}"]
+        for name, entry in sorted(stages.items())
+    ]
+    return render_table(
+        f"stage totals over {len(traces)} traces",
+        ["stage", "count", "total_ms", "mean_us", "max_us"], rows,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", type=pathlib.Path,
+                        help="JSONL trace file (one trace dict per line)")
+    parser.add_argument("--limit", type=int, default=8,
+                        help="individual timelines to render (default 8)")
+    parser.add_argument("--mode", default=None,
+                        help="only show traces of this mode")
+    parser.add_argument("--slowest", action="store_true",
+                        help="render the highest-latency traces")
+    args = parser.parse_args(argv)
+
+    try:
+        traces = read_traces_jsonl(args.dump)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace dump {args.dump}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.mode is not None:
+        traces = [t for t in traces if t.get("mode") == args.mode]
+    if not traces:
+        print("(no traces match)")
+        return 0
+
+    print(stage_table(traces))
+    chosen = (
+        sorted(traces, key=lambda t: t.get("latency_ns") or 0, reverse=True)
+        if args.slowest else traces
+    )
+    for trace in chosen[: args.limit]:
+        print()
+        print(render_trace_timeline(trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

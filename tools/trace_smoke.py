@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the observability layer.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_smoke.py [--bits 12] [--requests 256]
+        [--out-dir artifacts/]
+
+Runs the serve demo with tracing, latency percentiles and an SLO policy
+enabled, then checks the whole observability pipeline end to end:
+
+* every response matched a direct engine call (the demo's own check);
+* the Prometheus exposition contains per-mode p50 and p99 latency
+  samples and the SLO gauges;
+* the JSONL trace dump round-trips through ``read_traces_jsonl`` and
+  every trace carries datapath stage events;
+* ``tools/trace_report.py`` renders the dump cleanly.
+
+Artifacts (``metrics.prom``, ``traces.jsonl``, ``trace_report.txt``) are
+left in ``--out-dir`` for CI upload. Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# Allow running straight from a checkout without PYTHONPATH.
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.serve.__main__ import main as serve_main  # noqa: E402
+from repro.telemetry import read_traces_jsonl  # noqa: E402
+
+
+def check(condition: bool, message: str) -> bool:
+    print(f"{'ok' if condition else 'FAIL'}: {message}")
+    return condition
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bits", type=int, default=12)
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--out-dir", type=pathlib.Path,
+                        default=pathlib.Path("artifacts"))
+    args = parser.parse_args(argv)
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    prom_path = args.out_dir / "metrics.prom"
+    trace_path = args.out_dir / "traces.jsonl"
+    report_path = args.out_dir / "trace_report.txt"
+
+    rc = serve_main([
+        "--bits", str(args.bits), "--requests", str(args.requests),
+        "--clients", "4", "--trace", "--trace-sample", "4",
+        "--slo-ms", "50", "--prom-out", str(prom_path),
+        "--trace-out", str(trace_path),
+    ])
+    ok = check(rc == 0, f"serve demo exited {rc} (responses bit-identical)")
+
+    exposition = prom_path.read_text()
+    for quantile in ("0.5", "0.99"):
+        needle = f'quantile="{quantile}"'
+        ok &= check(
+            f"repro_latency_seconds{{" in exposition
+            and needle in exposition,
+            f"exposition has latency samples at quantile {quantile}",
+        )
+    for mode in ("sigmoid", "softmax"):
+        ok &= check(
+            f'metric="serve.latency.{mode}"' in exposition,
+            f"exposition has per-mode latency for {mode}",
+        )
+    ok &= check("repro_slo_compliance" in exposition,
+                "exposition has SLO gauges")
+
+    traces = read_traces_jsonl(trace_path)
+    ok &= check(len(traces) > 0, f"trace dump round-trips ({len(traces)} traces)")
+    staged = sum(1 for t in traces if t.get("stages"))
+    ok &= check(staged == len(traces),
+                f"every trace carries stage events ({staged}/{len(traces)})")
+    finished = sum(1 for t in traces if t.get("status") == "ok")
+    ok &= check(finished == len(traces),
+                f"every trace retired ok ({finished}/{len(traces)})")
+
+    result = subprocess.run(
+        [sys.executable, str(_ROOT / "tools" / "trace_report.py"),
+         str(trace_path), "--limit", "4", "--slowest"],
+        capture_output=True, text=True,
+    )
+    report_path.write_text(result.stdout)
+    ok &= check(
+        result.returncode == 0 and "stage totals" in result.stdout,
+        "tools/trace_report.py renders the dump",
+    )
+
+    print(f"artifacts in {args.out_dir}/")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
