@@ -1,0 +1,186 @@
+"""Worker-pool scaling soak: req/s and p99 vs worker count, bit-exact.
+
+Not a paper figure: this bench pins the ISSUE 8 acceptance criteria.
+
+``pool_scaling`` drives the same ≥4096-request mixed-mode closed-loop
+storm through a :class:`~repro.serve.pool.WorkerPool` at 1, 2 and 4
+workers and through the serial :class:`~repro.engine.BatchEngine`, and
+asserts three things:
+
+* **bit identity** — every pooled response, at every worker count,
+  equals the serial engine's output byte for byte (the pool ships raw
+  words through the same :func:`~repro.serve.batcher.evaluate_fused`
+  kernel over one shared table image, so anything else is a bug);
+* **exact observability** — the merged parent+worker telemetry
+  snapshot accounts for every request: ``serve.requests`` equals the
+  storm size, each mode's latency-quantile entry counts exactly the
+  requests of that mode, SLO good+bad+shed covers the storm with no
+  double counting, and folding the worker snapshots in does not perturb
+  a single latency bucket (the merge is exact, not approximate);
+* **scaling** — on a host with ≥4 CPUs, 4 workers must clear ≥1.8x the
+  1-worker req/s. On smaller hosts there is no second core to overlap
+  forked workers on, so the bench **documents the CPU-count ceiling in
+  its result rows** (``host_cpus``, ``cpu_bound`` columns) and asserts
+  the parity half of the criterion — identity and exact accounting at
+  every worker count — instead of a speedup no hardware could show.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEngine
+from repro.experiments.result import ExperimentResult
+from repro.loadgen import LoadGenerator, make_requests
+from repro.serve import WorkerPool
+from repro.telemetry import (
+    Collector,
+    SLOPolicy,
+    quantiles_from_entry,
+    set_collector,
+)
+
+N_BITS = 12
+N_REQUESTS = 4096
+WORKER_COUNTS = (1, 2, 4)
+CONCURRENCY = 8
+MIN_SPEEDUP_4V1 = 1.8
+#: Generous soak target: the SLO assertions below are about *exact
+#: accounting* (good+bad+shed == offered), not about meeting a latency
+#: bar on whatever box CI landed on.
+SLO_MS = 500.0
+
+
+@pytest.fixture(autouse=True)
+def registry_off():
+    previous = set_collector(None)
+    yield
+    set_collector(previous)
+
+
+def test_pool_scaling_req_per_s_and_exactness(record_result):
+    requests = make_requests(N_REQUESTS, rng=23)
+    mode_counts = {}
+    for mode, _ in requests:
+        mode_counts[mode] = mode_counts.get(mode, 0) + 1
+    reference = BatchEngine.for_bits(N_BITS, fast=True)
+
+    host_cpus = os.cpu_count() or 1
+    cpu_bound = host_cpus < max(WORKER_COUNTS)
+    rows = []
+    req_per_s = {}
+
+    for workers in WORKER_COUNTS:
+        collector = Collector()
+        policy = SLOPolicy("serve", latency_ms=SLO_MS)
+        pool = WorkerPool(
+            n_bits=N_BITS, workers=workers, collector=collector,
+            slo=policy, max_delay_us=200.0,
+        )
+        try:
+            generator = LoadGenerator(pool, verify_engine=reference)
+            # Untimed warm-up so every worker has attached and served
+            # before the measured storm (first-touch page faults and the
+            # private fallback compile, if any, stay out of the timing).
+            generator.run_closed(requests[:64], concurrency=CONCURRENCY)
+            report = generator.run_closed(
+                requests, concurrency=CONCURRENCY
+            )
+            parent_snapshot = collector.snapshot()
+            merged = pool.telemetry_snapshot()
+        finally:
+            pool.close()
+        final = pool.telemetry_snapshot()  # parent + drained finals
+
+        # -- bit identity at this worker count ------------------------
+        assert report.errors == 0, f"{workers}w: {report.errors} errors"
+        assert report.sheds == 0, f"{workers}w: unexpected sheds"
+        assert report.completed == N_REQUESTS
+        assert report.mismatches == 0, (
+            f"{workers}w: {report.mismatches} responses diverged from "
+            f"the serial engine"
+        )
+
+        # -- exact merged accounting ----------------------------------
+        offered = N_REQUESTS + 64
+        for snapshot in (merged, final):
+            counters = snapshot["counters"]
+            assert counters["serve.requests"] == offered
+            slo_total = (
+                counters.get("slo.serve.good", 0)
+                + counters.get("slo.serve.bad", 0)
+                + counters.get("slo.serve.shed", 0)
+            )
+            assert slo_total == offered, counters
+        # Folding worker snapshots in must not touch one latency
+        # bucket: the request-latency fold lives in the parent, and the
+        # merge is exact — byte-identical quantile state, not close.
+        assert (
+            json.dumps(final["quantiles"], sort_keys=True)
+            == json.dumps(parent_snapshot["quantiles"], sort_keys=True)
+        )
+        for mode, count in mode_counts.items():
+            entry = final["quantiles"][f"serve.latency.{mode}"]
+            warm = sum(1 for m, _ in requests[:64] if m == mode)
+            assert entry["count"] == count + warm, (mode, entry["count"])
+        # The worker halves really did cross the pipe into the merge.
+        assert final["counters"]["serve.pool.worker_started"] == workers
+
+        sig = quantiles_from_entry(
+            final["quantiles"]["serve.latency.sigmoid"], (0.5, 0.99)
+        )
+        req_per_s[workers] = report.req_per_s
+        rows.append({
+            "workers": workers,
+            "requests": N_REQUESTS,
+            "req_per_s": round(report.req_per_s),
+            "client_p50_ms": round(report.p50_ms, 2),
+            "client_p99_ms": round(report.p99_ms, 2),
+            "served_sigmoid_p50_us": round(sig["p50"] / 1e3, 1),
+            "served_sigmoid_p99_us": round(sig["p99"] / 1e3, 1),
+            "identical": report.mismatches == 0,
+            "host_cpus": host_cpus,
+            "cpu_bound": cpu_bound,
+        })
+
+    speedup = req_per_s[4] / req_per_s[1]
+    rows.append({
+        "workers": "4 vs 1",
+        "requests": N_REQUESTS,
+        "req_per_s": round(speedup, 2),
+        "client_p50_ms": None,
+        "client_p99_ms": None,
+        "served_sigmoid_p50_us": None,
+        "served_sigmoid_p99_us": None,
+        "identical": True,
+        "host_cpus": host_cpus,
+        "cpu_bound": cpu_bound,
+    })
+    claim = (
+        f"(harness) 4 workers serve >= {MIN_SPEEDUP_4V1}x the 1-worker "
+        f"req/s on a >=4-CPU host, bit-identically and with exact merged "
+        f"telemetry; on a {host_cpus}-CPU host the speedup is "
+        f"CPU-ceiling-bound, so identity + exact accounting are the "
+        f"asserted halves"
+        if cpu_bound else
+        f"(harness) 4 workers serve >= {MIN_SPEEDUP_4V1}x the 1-worker "
+        f"req/s, bit-identically and with exact merged telemetry"
+    )
+    record_result(
+        ExperimentResult(
+            experiment_id="pool_scaling",
+            title=f"Worker-pool scaling ({N_REQUESTS} mixed-mode requests, "
+            f"{N_BITS}-bit, closed loop x{CONCURRENCY}, "
+            f"{host_cpus}-CPU host)",
+            paper_claim=claim,
+            rows=rows,
+        )
+    )
+    if not cpu_bound:
+        assert speedup >= MIN_SPEEDUP_4V1, (
+            f"4-worker speedup {speedup:.2f}x < {MIN_SPEEDUP_4V1}x"
+        )
+    # On a CPU-bound host the speedup assertion has no hardware to run
+    # on; identity and exactness were asserted per worker count above.

@@ -36,3 +36,13 @@ class BackpressureError(ServeError):
 
 class ServerClosedError(ServeError):
     """A request arrived after the server began shutting down."""
+
+
+class WorkerCrashError(ServeError):
+    """A pooled worker process died with requests in flight.
+
+    Raised into the futures of every batch the dead worker held. The
+    pool restarts the worker (when ``restart=True``) and counts the
+    death under ``serve.pool.worker_deaths`` — callers retry; the
+    failure is never silent and never hangs the queue.
+    """

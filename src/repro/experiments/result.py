@@ -64,6 +64,91 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+#: The exact top-level shape of ``BENCH_SUMMARY.json``. There are no
+#: per-bench top-level keys — every record lives under ``experiments``,
+#: keyed by its ``experiment_id``.
+SUMMARY_KEYS = frozenset({"note", "n_experiments", "experiments"})
+RECORD_KEYS = frozenset(
+    {"experiment_id", "title", "paper_claim", "columns", "rows"}
+)
+
+
+def validate_bench_summary(summary: dict) -> None:
+    """Raise ``ValueError`` unless ``summary`` has the canonical shape.
+
+    Guards the contract between :func:`to_dict` records, the bench
+    conftest's aggregation, and every consumer of the checked-in
+    ``BENCH_SUMMARY.json`` — schema drift fails the bench session
+    instead of silently shipping a file the tooling can no longer read.
+    """
+    problems = []
+    if not isinstance(summary, dict):
+        raise ValueError(f"summary must be a dict, got {type(summary).__name__}")
+    if set(summary) != SUMMARY_KEYS:
+        problems.append(
+            f"top-level keys must be exactly {sorted(SUMMARY_KEYS)}, "
+            f"got {sorted(summary)}"
+        )
+    experiments = summary.get("experiments")
+    if not isinstance(experiments, dict):
+        problems.append("'experiments' must map experiment_id -> record")
+        experiments = {}
+    declared = summary.get("n_experiments")
+    if declared != len(experiments):
+        problems.append(
+            f"n_experiments={declared!r} but {len(experiments)} experiments"
+        )
+    if not isinstance(summary.get("note"), str):
+        problems.append("'note' must be a string")
+    for key, record in experiments.items():
+        where = f"experiments[{key!r}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record must be a dict")
+            continue
+        if set(record) != RECORD_KEYS:
+            problems.append(
+                f"{where}: record keys must be exactly "
+                f"{sorted(RECORD_KEYS)}, got {sorted(record)}"
+            )
+            continue
+        if record["experiment_id"] != key:
+            problems.append(
+                f"{where}: experiment_id {record['experiment_id']!r} "
+                f"does not match its key"
+            )
+        columns = record["columns"]
+        rows = record["rows"]
+        if not isinstance(columns, list) or not all(
+            isinstance(c, str) for c in columns
+        ):
+            problems.append(f"{where}: columns must be a list of strings")
+            continue
+        if not isinstance(rows, list):
+            problems.append(f"{where}: rows must be a list")
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or set(row) != set(columns):
+                problems.append(
+                    f"{where}: rows[{i}] keys do not match columns"
+                )
+                break
+            bad = [
+                c for c, value in row.items()
+                if value is not None
+                and not isinstance(value, (bool, int, float, str))
+            ]
+            if bad:
+                problems.append(
+                    f"{where}: rows[{i}] holds non-JSON-scalar values "
+                    f"in {bad}"
+                )
+                break
+    if problems:
+        raise ValueError(
+            "BENCH_SUMMARY schema violations:\n  " + "\n  ".join(problems)
+        )
+
+
 def _jsonable(value):
     """Plain python for JSON: numpy scalars to int/float, rest verbatim."""
     if value is None or isinstance(value, (bool, int, float, str)):

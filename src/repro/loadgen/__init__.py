@@ -1,0 +1,36 @@
+"""Heavy-traffic load generation for the serving layer.
+
+The million-user harness: seeded arrival processes
+(:mod:`~repro.loadgen.arrivals` — uniform, Poisson, bursty), the
+canonical mixed-mode request distribution
+(:mod:`~repro.loadgen.workload`), and open-/closed-loop drivers with
+client-side latency measurement and bit-identity verification
+(:mod:`~repro.loadgen.generator`).
+
+``python -m repro.loadgen`` drives a pool or the in-process server from
+the command line; ``--profile quick`` is the CI-sized run (seconds, not
+minutes), ``--profile soak`` the full-traffic one.
+"""
+
+from repro.loadgen.arrivals import (
+    ARRIVALS,
+    bursty_offsets,
+    make_offsets,
+    poisson_offsets,
+    uniform_offsets,
+)
+from repro.loadgen.generator import LoadGenerator, LoadReport
+from repro.loadgen.workload import RequestMix, expected_responses, make_requests
+
+__all__ = [
+    "ARRIVALS",
+    "LoadGenerator",
+    "LoadReport",
+    "RequestMix",
+    "bursty_offsets",
+    "expected_responses",
+    "make_offsets",
+    "make_requests",
+    "poisson_offsets",
+    "uniform_offsets",
+]

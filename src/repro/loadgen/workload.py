@@ -1,0 +1,97 @@
+"""Request mixes: what each request of a storm asks for.
+
+The canonical mixed-mode distribution — the one the serve demo, the
+smoke tools and the serving benchmarks all draw from — lives here once:
+single-sample and small-array requests across all four servable modes,
+with per-mode input domains that respect the engine's specification
+(``exp`` only sees the x <= 0 half-line of Eq. 13, softmax always gets
+a row). A :class:`RequestMix` with different weights skews the blend
+(an exp-heavy scientific workload, a softmax-only attention tail)
+without touching the domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+#: mode -> (input low, input high); sizes are drawn per request.
+_DOMAINS = {
+    "sigmoid": (-6.0, 6.0),
+    "tanh": (-6.0, 6.0),
+    "exp": (-8.0, 0.0),
+    "softmax": (-4.0, 4.0),
+}
+
+RngLike = Union[np.random.Generator, int, None]
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """A weighted blend over the servable modes.
+
+    Weights need not sum to one — they are normalised. A mode with
+    weight zero never appears. The default is the uniform four-way
+    blend every existing harness uses.
+    """
+
+    weights: Dict[str, float] = field(
+        default_factory=lambda: {m: 1.0 for m in _DOMAINS}
+    )
+    #: Elementwise requests carry 1..max_elements values.
+    max_elements: int = 16
+    #: Softmax requests carry min_row..max_row values (one row).
+    min_row: int = 2
+    max_row: int = 8
+
+    def __post_init__(self):
+        unknown = set(self.weights) - set(_DOMAINS)
+        if unknown:
+            raise ValueError(f"unknown modes in mix: {sorted(unknown)}")
+        if not any(w > 0 for w in self.weights.values()):
+            raise ValueError("at least one mode needs positive weight")
+
+    @property
+    def modes(self) -> List[str]:
+        return [m for m, w in self.weights.items() if w > 0]
+
+    def probabilities(self) -> np.ndarray:
+        active = np.array([self.weights[m] for m in self.modes])
+        return active / active.sum()
+
+
+def make_requests(count: int, mix: RequestMix = None,
+                  rng: RngLike = None) -> List[Tuple[str, np.ndarray]]:
+    """``count`` seeded ``(mode, input)`` pairs drawn from ``mix``."""
+    if mix is None:
+        mix = RequestMix()
+    generator = (
+        rng if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    modes = mix.modes
+    picks = generator.choice(len(modes), size=count, p=mix.probabilities())
+    requests: List[Tuple[str, np.ndarray]] = []
+    for pick in picks:
+        mode = modes[int(pick)]
+        low, high = _DOMAINS[mode]
+        if mode == "softmax":
+            size = int(generator.integers(mix.min_row, mix.max_row + 1))
+        else:
+            size = int(generator.integers(1, mix.max_elements + 1))
+        requests.append((mode, generator.uniform(low, high, size=size)))
+    return requests
+
+
+def expected_responses(engine, requests) -> List[np.ndarray]:
+    """The reference outputs for ``requests`` via direct engine calls.
+
+    Bit-identity oracle for any serving tier: ``engine`` is a
+    :class:`~repro.engine.BatchEngine` and each response must equal the
+    matching entry here byte for byte.
+    """
+    return [
+        np.asarray(getattr(engine, mode)(x)) for mode, x in requests
+    ]

@@ -1,6 +1,6 @@
 """The serving layer: shared table images + micro-batched inference.
 
-Three pieces, separable and composable:
+Five pieces, separable and composable:
 
 * :mod:`repro.serve.store` — publish compiled response tables once into
   shared memory (or map persisted ``.npz`` files in place) and attach N
@@ -8,14 +8,30 @@ Three pieces, separable and composable:
 * :mod:`repro.serve.batcher` — coalesce single-sample and small-array
   requests into the large fused batches the vectorised datapath is
   fastest at, bit-identically and with explicit backpressure;
-* :mod:`repro.serve.server` — the ``submit()``/``close()`` front end
-  tying both to a worker pool, with ``serve.*`` telemetry.
+* :mod:`repro.serve.server` — the in-process ``submit()``/``close()``
+  front end tying both to a dispatcher thread, with ``serve.*``
+  telemetry;
+* :mod:`repro.serve.pool` — the scale-out tier: N forked worker
+  processes attached read-only to one shared table image, batched
+  hand-off over pipes, crash detection and restart — same client
+  contract, same bytes;
+* :mod:`repro.serve.frontend` — the asyncio front door: async
+  ``submit()`` with admission control that sheds before queues grow,
+  over either backend.
 
-``python -m repro.serve`` runs a self-contained demo server.
+``python -m repro.serve`` runs a self-contained demo server (add
+``--pool N`` to demo the worker pool).
 """
 
-from repro.errors import BackpressureError, ServeError, ServerClosedError
+from repro.errors import (
+    BackpressureError,
+    ServeError,
+    ServerClosedError,
+    WorkerCrashError,
+)
 from repro.serve.batcher import SERVABLE_MODES, Batch, MicroBatcher, Request
+from repro.serve.frontend import AsyncFrontend
+from repro.serve.pool import WorkerPool
 from repro.serve.server import InferenceServer
 from repro.serve.store import (
     AttachedTableSource,
@@ -27,6 +43,7 @@ from repro.serve.store import (
 )
 
 __all__ = [
+    "AsyncFrontend",
     "AttachedTableSource",
     "BackpressureError",
     "Batch",
@@ -40,5 +57,7 @@ __all__ = [
     "SharedTableStore",
     "StoreManifest",
     "TableEntry",
+    "WorkerCrashError",
+    "WorkerPool",
     "mmap_table",
 ]

@@ -3,15 +3,17 @@
 Usage::
 
     PYTHONPATH=src python -m repro.serve [--bits 16] [--requests 2048]
-        [--clients 4] [--workers 1] [--max-batch 4096] [--delay-us 200]
-        [--report] [--trace] [--trace-sample 16] [--slo-ms 50]
-        [--prom-out metrics.prom] [--trace-out traces.jsonl]
+        [--clients 4] [--workers 1] [--pool N] [--max-batch 4096]
+        [--delay-us 200] [--report] [--trace] [--trace-sample 16]
+        [--slo-ms 50] [--prom-out metrics.prom] [--trace-out traces.jsonl]
 
-Spins up an :class:`~repro.serve.server.InferenceServer`, fires a storm
-of single-sample and small-array sigmoid/tanh/exp/softmax requests from
+Spins up an :class:`~repro.serve.server.InferenceServer` — or, with
+``--pool N``, a :class:`~repro.serve.pool.WorkerPool` of N forked
+worker processes on one shared table image — fires a storm of
+single-sample and small-array sigmoid/tanh/exp/softmax requests from
 concurrent client threads, checks every response against a direct
 engine call, and prints throughput plus the ``serve.*`` telemetry the
-run produced — including per-mode p50/p99/p999 latency and, with
+run produced (for a pool, merged exactly across every worker) — including per-mode p50/p99/p999 latency and, with
 ``--slo-ms``, the SLO budget view. ``--trace`` samples per-request
 traces (``--trace-out`` dumps them as JSONL for
 ``tools/trace_report.py``; ``--prom-out`` writes the Prometheus text
@@ -30,7 +32,7 @@ import time
 import numpy as np
 
 from repro.engine import BatchEngine
-from repro.serve import InferenceServer
+from repro.serve import InferenceServer, WorkerPool
 from repro.telemetry import (
     Collector,
     SLOPolicy,
@@ -66,6 +68,9 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=2048)
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--pool", type=int, default=None, metavar="N",
+                        help="serve through a WorkerPool of N forked "
+                             "processes instead of the in-process server")
     parser.add_argument("--max-batch", type=int, default=4096)
     parser.add_argument("--delay-us", type=float, default=200.0)
     parser.add_argument("--report", action="store_true",
@@ -104,11 +109,18 @@ def main(argv=None) -> int:
         if args.slo_ms is not None else None
     )
     with use_collector(collector):
-        server = InferenceServer(
-            n_bits=args.bits, workers=args.workers,
-            max_batch_elements=args.max_batch, max_delay_us=args.delay_us,
-            tracer=tracer, slo=policy,
-        )
+        if args.pool is not None:
+            server = WorkerPool(
+                n_bits=args.bits, workers=args.pool,
+                max_batch_elements=args.max_batch,
+                max_delay_us=args.delay_us, tracer=tracer, slo=policy,
+            )
+        else:
+            server = InferenceServer(
+                n_bits=args.bits, workers=args.workers,
+                max_batch_elements=args.max_batch,
+                max_delay_us=args.delay_us, tracer=tracer, slo=policy,
+            )
         start = time.perf_counter()
         with server:
             def client(shard, out):
@@ -128,6 +140,13 @@ def main(argv=None) -> int:
                 for out in futures
             ]
         elapsed = time.perf_counter() - start
+        # For a pool this folds the parent's request accounting with
+        # every worker's drained engine counters — exactly, as if one
+        # collector had seen all the traffic.
+        snapshot = (
+            server.telemetry_snapshot() if args.pool is not None
+            else collector.snapshot()
+        )
 
     mismatches = 0
     for out in results:
@@ -136,7 +155,6 @@ def main(argv=None) -> int:
             if not np.array_equal(np.asarray(got), np.asarray(want)):
                 mismatches += 1
 
-    snapshot = collector.snapshot()
     counters = snapshot["counters"]
     batches = counters.get("serve.batches", 0)
     print(

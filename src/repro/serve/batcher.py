@@ -122,6 +122,27 @@ def build_request(future, x, mode: FunctionMode, axis: int,
     return Request(future, mode, raw, fx.raw.shape, axis, emit_fx, emit_scalar)
 
 
+def evaluate_fused(engine: BatchEngine, mode: FunctionMode,
+                   raw: np.ndarray) -> np.ndarray:
+    """One fused engine pass over concatenated raw words.
+
+    The single kernel hop both serving tiers share: the in-process
+    dispatcher calls it directly and the worker pool calls it on the far
+    side of the pipe — so a pooled response can only ever be the bytes
+    the local path would have produced. ``raw`` is the flat elementwise
+    concatenation, or the 2-D row stack for softmax.
+    """
+    fused = FxArray._wrap(raw, engine.io_fmt)
+    if mode is FunctionMode.SOFTMAX:
+        return engine.softmax_fx(fused, axis=-1).raw
+    kernel: Callable[[FxArray], FxArray] = {
+        FunctionMode.SIGMOID: engine.sigmoid_fx,
+        FunctionMode.TANH: engine.tanh_fx,
+        FunctionMode.EXP: engine.exp_fx,
+    }[mode]
+    return kernel(fused).raw
+
+
 class Batch:
     """One coalesced engine pass over same-group requests."""
 
@@ -132,15 +153,31 @@ class Batch:
         self.requests = requests
         self.elements = sum(r.elements for r in requests)
 
-    def run(self, engine: BatchEngine, collector=None,
-            tracer=None, slo=None) -> None:
-        """Evaluate, scatter, resolve every future (never raises).
+    def fused_raw(self) -> np.ndarray:
+        """The gathered raw payload for :func:`evaluate_fused`.
 
-        Observability rides per batch: queue-wait spans, a per-mode
-        request-latency quantile fold (one vectorised pass), SLO
-        good/bad classification, and — only when the batch carries
-        sampled traces — a stage sink around the engine call whose
-        collected timeline fans out to every member trace.
+        A batch of one request (the large pre-formed-batch regime) needs
+        no gather: its raw words are handed over in place so the serving
+        layer adds no copy on top of the engine call.
+        """
+        if len(self.requests) == 1:
+            return self.requests[0].raw
+        return np.concatenate([r.raw for r in self.requests])
+
+    def split_points(self) -> np.ndarray:
+        """Where the fused output splits back into per-request slices."""
+        if self.mode is FunctionMode.SOFTMAX:
+            return np.cumsum([r.raw.shape[0] for r in self.requests])[:-1]
+        return np.cumsum([r.elements for r in self.requests])[:-1]
+
+    def begin(self, collector=None, tracer=None, slo=None,
+              dispatch_ns: Optional[int] = None):
+        """Dispatch-side observability: sampling, counters, queue waits.
+
+        Called where the batch leaves the queue — the in-process
+        dispatcher just before it evaluates, the pool just before the
+        batch crosses the pipe. Returns ``(tel, traces, enqueue_ns)``
+        for the matching :meth:`finish`/:meth:`fail`.
         """
         traces = []
         if tracer is not None:
@@ -156,77 +193,93 @@ class Batch:
                         request.enqueue_ns,
                     )
                 traces.append(request.trace)
-        try:
-            tel = _telemetry.resolve(collector)
-            start = time.perf_counter_ns()
-            # One int64 array of enqueue stamps serves both the
-            # queue-wait fold here and the latency fold after the
-            # scatter — no per-request Python calls on the batch path.
-            enqueue_ns = (
-                np.fromiter(
-                    (r.enqueue_ns for r in self.requests),
-                    dtype=np.int64, count=len(self.requests),
-                )
-                if tel is not None or slo is not None else None
+        tel = _telemetry.resolve(collector)
+        if dispatch_ns is None:
+            dispatch_ns = time.perf_counter_ns()
+        # One int64 array of enqueue stamps serves both the queue-wait
+        # fold here and the latency fold after the scatter — no
+        # per-request Python calls on the batch path.
+        enqueue_ns = (
+            np.fromiter(
+                (r.enqueue_ns for r in self.requests),
+                dtype=np.int64, count=len(self.requests),
             )
+            if tel is not None or slo is not None else None
+        )
+        if tel is not None:
+            tel.observe_span_many("serve.queue_wait", dispatch_ns - enqueue_ns)
+            tel.count("serve.requests", len(self.requests))
+            tel.count("serve.batches")
+            tel.count("serve.batch_elements", self.elements)
+            tel.observe("serve.batch_fill", len(self.requests))
+            if traces:
+                tel.count("serve.traced", len(traces))
+        return tel, traces, enqueue_ns
+
+    def finish(self, out_raw: np.ndarray, fmt, *, tel=None, traces=(),
+               enqueue_ns=None, slo=None, tracer=None,
+               dispatch_ns: int = 0, sink=None) -> None:
+        """Scatter the fused output and resolve every member future.
+
+        The completion half of :meth:`begin`: per-mode latency quantile
+        fold, SLO good/bad classification, and trace retirement with the
+        batch's stage timeline (``sink``). May raise — callers wrap it
+        exactly like the evaluation itself (see :meth:`run`).
+        """
+        for request, raw in zip(
+            self.requests, np.split(out_raw, self.split_points())
+        ):
+            self._finish(request, raw, fmt)
+        finish_ns = time.perf_counter_ns()
+        if enqueue_ns is not None:
+            latencies = finish_ns - enqueue_ns
             if tel is not None:
-                tel.observe_span_many("serve.queue_wait", start - enqueue_ns)
-                tel.count("serve.requests", len(self.requests))
-                tel.count("serve.batches")
-                tel.count("serve.batch_elements", self.elements)
-                tel.observe("serve.batch_fill", len(self.requests))
-                if traces:
-                    tel.count("serve.traced", len(traces))
-            fmt = engine.io_fmt
-            # A batch of one request (the large pre-formed-batch regime)
-            # needs no gather: evaluate its raw words in place so the
-            # serving layer adds no copy on top of the engine call.
-            fused = FxArray._wrap(
-                self.requests[0].raw if len(self.requests) == 1
-                else np.concatenate([r.raw for r in self.requests]),
-                fmt,
+                tel.observe_latency_many(
+                    f"serve.latency.{self.mode.value}", latencies
+                )
+            if slo is not None:
+                slo.record_many(latencies)
+        if traces:
+            self._retire(traces, sink, dispatch_ns, finish_ns, "ok", tracer)
+
+    def fail(self, exc: BaseException, *, traces=(), slo=None,
+             tracer=None) -> None:
+        """Fail every unresolved member future with ``exc`` (never raises)."""
+        for request in self.requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+        if slo is not None:
+            slo.record_many([0] * len(self.requests), ok=False)
+        if traces:
+            self._retire(
+                traces, None, time.perf_counter_ns(), None, "error", tracer
             )
+
+    def run(self, engine: BatchEngine, collector=None,
+            tracer=None, slo=None) -> None:
+        """Evaluate, scatter, resolve every future (never raises).
+
+        Observability rides per batch: queue-wait spans, a per-mode
+        request-latency quantile fold (one vectorised pass), SLO
+        good/bad classification, and — only when the batch carries
+        sampled traces — a stage sink around the engine call whose
+        collected timeline fans out to every member trace.
+        """
+        start = time.perf_counter_ns()
+        tel, traces, enqueue_ns = self.begin(
+            collector, tracer, slo, dispatch_ns=start
+        )
+        try:
             sink = _tracing.StageSink() if traces else None
             with _tracing.use_sink(sink):
-                if self.mode is FunctionMode.SOFTMAX:
-                    out = engine.softmax_fx(fused, axis=-1)
-                    splits = np.cumsum(
-                        [r.raw.shape[0] for r in self.requests]
-                    )[:-1]
-                else:
-                    kernel: Callable[[FxArray], FxArray] = {
-                        FunctionMode.SIGMOID: engine.sigmoid_fx,
-                        FunctionMode.TANH: engine.tanh_fx,
-                        FunctionMode.EXP: engine.exp_fx,
-                    }[self.mode]
-                    out = kernel(fused)
-                    splits = np.cumsum(
-                        [r.elements for r in self.requests]
-                    )[:-1]
-            for request, raw in zip(self.requests, np.split(out.raw, splits)):
-                self._finish(request, raw, fmt)
-            finish = time.perf_counter_ns()
-            if enqueue_ns is not None:
-                latencies = finish - enqueue_ns
-                if tel is not None:
-                    tel.observe_latency_many(
-                        f"serve.latency.{self.mode.value}", latencies
-                    )
-                if slo is not None:
-                    slo.record_many(latencies)
-            if traces:
-                self._retire(traces, sink, start, finish, "ok", tracer)
+                out_raw = evaluate_fused(engine, self.mode, self.fused_raw())
+            self.finish(
+                out_raw, engine.io_fmt, tel=tel, traces=traces,
+                enqueue_ns=enqueue_ns, slo=slo, tracer=tracer,
+                dispatch_ns=start, sink=sink,
+            )
         except BaseException as exc:  # noqa: BLE001 — forwarded, not dropped
-            for request in self.requests:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            if slo is not None:
-                slo.record_many([0] * len(self.requests), ok=False)
-            if traces:
-                self._retire(
-                    traces, None, time.perf_counter_ns(), None, "error",
-                    tracer,
-                )
+            self.fail(exc, traces=traces, slo=slo, tracer=tracer)
 
     def _retire(self, traces, sink, dispatch_ns, finish_ns, status,
                 tracer) -> None:

@@ -1,0 +1,669 @@
+"""The multi-process worker pool: N forked engines, one table image.
+
+:class:`~repro.serve.server.InferenceServer` coalesces beautifully but
+evaluates every fused batch in one interpreter — throughput is pinned to
+a single core however many tables are shared. :class:`WorkerPool` is the
+scale-out tier on top of the same building blocks:
+
+* the parent **publishes** the config's compiled tables once into a
+  :class:`~repro.serve.store.SharedTableStore` and forks N worker
+  processes that attach read-only — N engines, one physical table image
+  (the 0.11 ms zero-copy attach measured in ``serve_table_store``);
+* the parent keeps the :class:`~repro.serve.batcher.MicroBatcher` and
+  ships **whole fused batches** over a per-worker duplex pipe
+  (``multiprocessing.Pipe`` — a socketpair), so the micro-batcher's
+  coalescing survives the process hop: one message per batch, never one
+  per request;
+* batches route to the **least-loaded** worker (fewest outstanding
+  elements), and every response is raw-bit-identical to the serial
+  engine because both sides run the same
+  :func:`~repro.serve.batcher.evaluate_fused` kernel over the same
+  shared tables;
+* a worker that dies mid-flight fails its batches loudly with
+  :class:`~repro.errors.WorkerCrashError` (counted under
+  ``serve.pool.worker_deaths``) and is forked again in place
+  (``restart=True``), so one crash never wedges the queue.
+
+Observability stays exact across the process boundary. Request
+lifecycle metrics — ``serve.requests`` / ``serve.shed`` counters,
+``serve.queue_wait`` spans, per-mode ``serve.latency.<mode>`` quantiles,
+SLO good/bad/shed accounting and sampled traces — are all recorded in
+the **parent**, where requests are admitted and futures resolve, so both
+timestamps of every latency come from one clock and the numbers are
+byte-identical to the single-process server's accounting. Workers keep
+their own private :class:`~repro.telemetry.Collector` for the
+engine/compile/datapath counters their evaluations produce;
+:meth:`WorkerPool.telemetry_snapshot` folds parent and worker snapshots
+through the existing exact
+:func:`~repro.telemetry.merge_snapshots` — the same totals one collector
+would have held had it seen all the traffic. Sampled traces cross the
+hop too: a traced batch runs under a worker-side
+:class:`~repro.telemetry.trace.StageSink` whose event list rides back
+with the reply and fans out into the member traces (stage stamps are
+``CLOCK_MONOTONIC``, comparable across processes on one host).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Union
+
+from repro.compile.cache import TableCache
+from repro.errors import (
+    BackpressureError,
+    ServeError,
+    ServerClosedError,
+    WorkerCrashError,
+)
+from repro.nacu.config import FunctionMode, NacuConfig
+from repro.serve.batcher import (
+    SERVABLE_MODES,
+    Batch,
+    MicroBatcher,
+    build_request,
+    evaluate_fused,
+)
+from repro.serve.store import AttachedTableSource, SharedTableStore
+from repro.telemetry import collector as _telemetry
+from repro.telemetry import trace as _tracing
+from repro.telemetry.collector import Collector, merge_snapshots
+from repro.telemetry.slo import SLOAccountant, SLOPolicy
+
+_MODE_BY_NAME = {mode.value: mode for mode in SERVABLE_MODES}
+
+
+# ----------------------------------------------------------------------
+# The worker side (runs in the forked child)
+# ----------------------------------------------------------------------
+def _picklable(exc: BaseException) -> BaseException:
+    """``exc`` if it survives the pipe, else a faithful ServeError."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 — any pickle failure downgrades
+        return ServeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
+                 worker_id: int) -> None:
+    """One worker process: attach, evaluate batches, report, drain.
+
+    The worker installs a private process-wide collector so every
+    counter its engine, table cache and store attach produce is captured
+    locally and shipped back in the final snapshot — the parent merges
+    them exactly. Messages are processed strictly in order, so by the
+    time the ``close`` reply goes out every earlier batch has already
+    been answered: graceful drain is a property of the pipe's FIFO
+    ordering, not of extra bookkeeping.
+    """
+    # Local import keeps the engine (and its compile machinery) out of
+    # the hot import path of clients that only ever submit.
+    from repro.engine import BatchEngine
+
+    collector = Collector()
+    _telemetry.set_collector(collector)
+    source = AttachedTableSource(manifest) if manifest is not None else None
+    cache = TableCache(source=source) if fast else None
+    engine = BatchEngine(
+        config=config, fast=fast, table_cache=cache, collector=collector
+    )
+    collector.count("serve.pool.worker_started")
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent vanished — nothing left to serve
+            kind = message[0]
+            if kind == "batch":
+                _, seq, mode_value, raw, traced = message
+                try:
+                    sink = _tracing.StageSink() if traced else None
+                    with _tracing.use_sink(sink):
+                        out = evaluate_fused(
+                            engine, FunctionMode(mode_value), raw
+                        )
+                    reply = (
+                        "ok", seq, out,
+                        sink.events if sink is not None else None,
+                        sink.faults if sink is not None else None,
+                    )
+                except BaseException as exc:  # noqa: BLE001 — forwarded
+                    reply = ("err", seq, _picklable(exc))
+                conn.send(reply)
+            elif kind == "snapshot":
+                conn.send(("snapshot", message[1], collector.snapshot()))
+            elif kind == "close":
+                conn.send(("final", collector.snapshot()))
+                break
+    finally:
+        if source is not None:
+            source.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# The parent side
+# ----------------------------------------------------------------------
+class _Pending:
+    """One batch in flight to a worker, with its observability context."""
+
+    __slots__ = ("batch", "tel", "traces", "enqueue_ns", "dispatch_ns",
+                 "tracer")
+
+    def __init__(self, batch, tel, traces, enqueue_ns, dispatch_ns, tracer):
+        self.batch = batch
+        self.tel = tel
+        self.traces = traces
+        self.enqueue_ns = enqueue_ns
+        self.dispatch_ns = dispatch_ns
+        self.tracer = tracer
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "lock", "send_lock",
+                 "in_flight", "outstanding", "receiver", "final_snapshot",
+                 "dead")
+
+    def __init__(self, worker_id: int, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        #: Guards ``in_flight`` / ``outstanding`` (dispatcher vs receiver).
+        self.lock = threading.Lock()
+        #: Serialises writers on the pipe (dispatcher, snapshots, close).
+        self.send_lock = threading.Lock()
+        self.in_flight: Dict[int, _Pending] = {}
+        self.outstanding = 0
+        self.receiver: Optional[threading.Thread] = None
+        self.final_snapshot: Optional[dict] = None
+        self.dead = False
+
+
+class WorkerPool:
+    """N forked worker processes serving one NACU configuration.
+
+    >>> from repro.serve import WorkerPool
+    >>> with WorkerPool(n_bits=12, workers=2) as pool:
+    ...     future = pool.submit(0.5, mode="sigmoid")
+    ...     round(future.result(), 3)
+    0.622
+
+    Same client contract as :class:`~repro.serve.server.InferenceServer`
+    (``submit()`` → ``Future``, :class:`BackpressureError` sheds,
+    ``close(flush=True)`` drains) — swapping one for the other changes
+    where batches evaluate, never what bytes come back.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: Optional[NacuConfig] = None,
+        n_bits: Optional[int] = None,
+        workers: int = 2,
+        fast: bool = True,
+        share_tables: bool = True,
+        restart: bool = True,
+        max_batch_elements: int = 4096,
+        max_delay_us: float = 200.0,
+        max_pending_elements: int = 1 << 20,
+        publish_cache: Optional[TableCache] = None,
+        mp_context: Optional[str] = None,
+        collector=None,
+        tracer=None,
+        slo=None,
+    ):
+        if workers < 1:
+            raise ServeError("the pool needs at least one worker")
+        if config is None:
+            config = (
+                NacuConfig.for_bits(n_bits) if n_bits is not None
+                else NacuConfig()
+            )
+        elif n_bits is not None:
+            raise ServeError("pass either a config or n_bits, not both")
+        self.config = config
+        self.workers = workers
+        self.fast = fast
+        self.restart = restart
+        self.collector = collector
+        self.tracer = tracer
+        self.slo = (
+            SLOAccountant(slo, collector=collector)
+            if isinstance(slo, SLOPolicy) else slo
+        )
+        if mp_context is None:
+            # fork is the whole point (attach without re-import); spawn
+            # works too — everything crossing the boundary pickles.
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(mp_context)
+
+        # Publish once, before any fork: every worker attaches to this
+        # one image. A format too wide for the cache ceiling cannot be
+        # published — workers then compile privately (fast=True) or run
+        # the datapath (fast=False), exactly like a local engine.
+        self._store: Optional[SharedTableStore] = None
+        self._manifest = None
+        if fast and share_tables:
+            store = SharedTableStore()
+            try:
+                self._manifest = store.publish(
+                    config,
+                    cache=publish_cache if publish_cache is not None
+                    else TableCache(),
+                )
+                self._store = store
+            except ServeError:
+                store.unlink()
+                self._count("serve.pool.publish_fallback")
+
+        self._batcher = MicroBatcher(
+            max_batch_elements=max_batch_elements,
+            max_delay_us=max_delay_us,
+            max_pending_elements=max_pending_elements,
+        )
+        self._cond = threading.Condition()
+        self._closed = False
+        self._flush_on_close = True
+        self._seq = itertools.count()
+        self._snapshot_waits: Dict[int, list] = {}
+        self._handles: List[_WorkerHandle] = []
+        # Fork every worker before the dispatcher thread exists: forking
+        # a single-threaded parent is the only shape with no inherited-
+        # lock hazard (restarts after a crash fork from a threaded
+        # parent — the child only touches its own pipe and numpy).
+        for worker_id in range(workers):
+            self._handles.append(self._spawn(worker_id))
+        self._count("serve.pool.workers", workers)
+        for handle in self._handles:
+            self._start_receiver(handle)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="nacu-pool-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # The client API (mirrors InferenceServer)
+    # ------------------------------------------------------------------
+    @property
+    def io_fmt(self):
+        """The served fixed-point I/O format (``build_request`` contract)."""
+        return self.config.io_fmt
+
+    def submit(
+        self,
+        x,
+        mode: Union[FunctionMode, str] = FunctionMode.SIGMOID,
+        axis: int = -1,
+    ) -> Future:
+        """Enqueue one evaluation; the future resolves in request kind."""
+        if isinstance(mode, str):
+            try:
+                mode = _MODE_BY_NAME[mode]
+            except KeyError:
+                raise ServeError(
+                    f"unknown mode {mode!r}; servable modes: "
+                    f"{sorted(_MODE_BY_NAME)}"
+                ) from None
+        future: Future = Future()
+        request = build_request(future, x, mode, axis, self)
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("submit() after close()")
+            was_idle = not self._batcher
+            if not self._batcher.offer(request):
+                self._count("serve.shed")
+                if self.slo is not None:
+                    self.slo.record_shed()
+                raise BackpressureError(
+                    f"pending pool full "
+                    f"({self._batcher.pending_elements} elements held, "
+                    f"{request.elements} more would exceed "
+                    f"{self._batcher.max_pending_elements}); retry later"
+                )
+            if was_idle or self._batcher.has_full_group:
+                self._cond.notify()
+        return future
+
+    def close(self, flush: bool = True) -> None:
+        """Drain (or fail) the queue, retire the workers, join everything.
+
+        With ``flush`` (the default) every admitted request still
+        resolves: the dispatcher ships the remaining batches, each
+        worker answers them **before** its final snapshot (pipe FIFO),
+        and only then do the processes exit. ``flush=False`` fails
+        requests that never reached a worker with
+        :class:`ServerClosedError`; batches already in flight complete.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._flush_on_close = flush
+            self._cond.notify_all()
+        self._dispatcher.join()
+        with self._cond:
+            # Restarts are decided under this lock and suppressed once
+            # closed, so this snapshot is the final roster: every handle
+            # in it has a started receiver thread.
+            handles = list(self._handles)
+        for handle in handles:
+            if not handle.dead:
+                try:
+                    with handle.send_lock:
+                        handle.conn.send(("close",))
+                except (OSError, BrokenPipeError):
+                    pass  # already dead — its receiver handles the fallout
+        for handle in handles:
+            if handle.receiver is not None:
+                handle.receiver.join()
+            handle.process.join(timeout=30)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join()
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        if self._store is not None:
+            self._store.unlink()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def alive_workers(self) -> int:
+        """How many workers are currently live."""
+        return sum(
+            1 for handle in self._handles
+            if not handle.dead and handle.process.is_alive()
+        )
+
+    def worker_pids(self) -> List[int]:
+        """The live workers' process ids (smoke checks kill these)."""
+        return [
+            handle.process.pid for handle in self._handles
+            if not handle.dead and handle.process.is_alive()
+        ]
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self, timeout: float = 10.0) -> dict:
+        """Parent + every worker, folded through ``merge_snapshots``.
+
+        Counters, histograms, timers, cycles and quantile buckets all
+        merge exactly, so the result is byte-identical to what a single
+        collector would have held. On a live pool each worker is asked
+        over its pipe; after :meth:`close` the final snapshots the drain
+        collected are used — no process needs to be alive.
+        """
+        snapshots = []
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            snapshots.append(tel.snapshot())
+        snapshots.extend(self.worker_snapshots(timeout=timeout))
+        return merge_snapshots(snapshots)
+
+    def worker_snapshots(self, timeout: float = 10.0) -> List[dict]:
+        """One telemetry snapshot per worker (live request or final)."""
+        out = []
+        for handle in self._handles:
+            if handle.final_snapshot is not None:
+                out.append(handle.final_snapshot)
+                continue
+            if handle.dead:
+                continue  # crashed before draining: its metrics are gone
+            seq = next(self._seq)
+            event = threading.Event()
+            slot: list = [event, None]
+            self._snapshot_waits[seq] = slot
+            try:
+                with handle.send_lock:
+                    handle.conn.send(("snapshot", seq))
+            except (OSError, BrokenPipeError):
+                self._snapshot_waits.pop(seq, None)
+                continue
+            if not event.wait(timeout):
+                self._snapshot_waits.pop(seq, None)
+                raise ServeError(
+                    f"worker {handle.worker_id} did not answer a snapshot "
+                    f"request within {timeout:g}s"
+                )
+            out.append(slot[1])
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.config, self.fast, self._manifest,
+                  worker_id),
+            name=f"nacu-pool-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the child end: EOF on parent_conn
+        # then means exactly "the worker is gone".
+        child_conn.close()
+        return _WorkerHandle(worker_id, process, parent_conn)
+
+    def _start_receiver(self, handle: _WorkerHandle) -> None:
+        handle.receiver = threading.Thread(
+            target=self._receive_loop, args=(handle,),
+            name=f"nacu-pool-recv-{handle.worker_id}", daemon=True,
+        )
+        handle.receiver.start()
+
+    def _receive_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "ok":
+                _, seq, out_raw, events, faults = message
+                pending = self._pop_pending(handle, seq)
+                if pending is None:
+                    continue
+                sink = None
+                if events is not None:
+                    sink = _tracing.StageSink()
+                    sink.events = events
+                    sink.faults = faults or {}
+                try:
+                    pending.batch.finish(
+                        out_raw, self.io_fmt, tel=pending.tel,
+                        traces=pending.traces, enqueue_ns=pending.enqueue_ns,
+                        slo=self.slo, tracer=pending.tracer,
+                        dispatch_ns=pending.dispatch_ns, sink=sink,
+                    )
+                except BaseException as exc:  # noqa: BLE001 — forwarded
+                    pending.batch.fail(
+                        exc, traces=pending.traces, slo=self.slo,
+                        tracer=pending.tracer,
+                    )
+            elif kind == "err":
+                _, seq, exc = message
+                pending = self._pop_pending(handle, seq)
+                if pending is not None:
+                    pending.batch.fail(
+                        exc, traces=pending.traces, slo=self.slo,
+                        tracer=pending.tracer,
+                    )
+            elif kind == "snapshot":
+                slot = self._snapshot_waits.pop(message[1], None)
+                if slot is not None:
+                    slot[1] = message[2]
+                    slot[0].set()
+            elif kind == "final":
+                handle.final_snapshot = message[1]
+                break
+        self._on_worker_exit(handle)
+
+    def _pop_pending(self, handle: _WorkerHandle, seq: int):
+        with handle.lock:
+            pending = handle.in_flight.pop(seq, None)
+            if pending is not None:
+                handle.outstanding -= pending.batch.elements
+        return pending
+
+    def _on_worker_exit(self, handle: _WorkerHandle) -> None:
+        """Receiver epilogue: clean drain is a no-op, a crash is loud."""
+        handle.dead = True
+        with handle.lock:
+            orphans = list(handle.in_flight.values())
+            handle.in_flight.clear()
+            handle.outstanding = 0
+        crashed = handle.final_snapshot is None and not self._closed
+        if orphans or crashed:
+            self._count("serve.pool.worker_deaths")
+            exc = WorkerCrashError(
+                f"worker {handle.worker_id} (pid {handle.process.pid}) died "
+                f"with {len(orphans)} batch(es) in flight"
+            )
+            for pending in orphans:
+                pending.batch.fail(
+                    exc, traces=pending.traces, slo=self.slo,
+                    tracer=pending.tracer,
+                )
+        if crashed and self.restart:
+            # The whole swap happens under the pool lock: close() either
+            # sees the replacement in its roster snapshot or, by setting
+            # ``_closed`` first, suppresses the restart entirely. The
+            # receiver starts before the handle becomes visible, so any
+            # visible handle is always joinable.
+            with self._cond:
+                if not self._closed:
+                    replacement = self._spawn(handle.worker_id)
+                    self._start_receiver(replacement)
+                    self._handles[self._handles.index(handle)] = replacement
+                    self._count("serve.pool.worker_restarts")
+                    self._cond.notify()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _least_loaded(self) -> Optional[_WorkerHandle]:
+        """The live worker holding the fewest outstanding elements."""
+        best = None
+        for handle in self._handles:
+            if handle.dead:
+                continue
+            if best is None or handle.outstanding < best.outstanding:
+                best = handle
+        return best
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    now = time.perf_counter_ns()
+                    ready = self._batcher.take_ready(
+                        now, flush_all=self._closed
+                    )
+                    if ready or self._closed:
+                        break
+                    deadline = self._batcher.next_deadline_ns()
+                    timeout = (
+                        None if deadline is None
+                        else max(deadline - now, 0) / 1e9
+                    )
+                    self._cond.wait(timeout)
+                done = self._closed and not self._batcher
+            tracer = _tracing.resolve(self.tracer)
+            if self._closed and not self._flush_on_close:
+                for batch in ready:
+                    self._drop_batch(batch, tracer)
+            else:
+                for batch in ready:
+                    self._ship(batch, tracer)
+            if done:
+                return
+
+    def _ship(self, batch: Batch, tracer) -> None:
+        """Hand one fused batch to the least-loaded live worker."""
+        handle = self._least_loaded()
+        dispatch_ns = time.perf_counter_ns()
+        tel, traces, enqueue_ns = batch.begin(
+            self.collector, tracer, self.slo, dispatch_ns=dispatch_ns
+        )
+        if handle is None:
+            self._count("serve.pool.no_live_workers")
+            batch.fail(
+                WorkerCrashError("no live workers to dispatch to"),
+                traces=traces, slo=self.slo, tracer=tracer,
+            )
+            return
+        seq = next(self._seq)
+        pending = _Pending(batch, tel, traces, enqueue_ns, dispatch_ns, tracer)
+        with handle.lock:
+            handle.in_flight[seq] = pending
+            handle.outstanding += batch.elements
+        try:
+            with handle.send_lock:
+                handle.conn.send(
+                    ("batch", seq, batch.mode.value, batch.fused_raw(),
+                     bool(traces))
+                )
+            self._count("serve.pool.dispatched")
+        except (OSError, BrokenPipeError):
+            # Died between pick and send; the receiver's exit path may
+            # have already failed it, so pop defensively first.
+            if self._pop_pending(handle, seq) is not None:
+                batch.fail(
+                    WorkerCrashError(
+                        f"worker {handle.worker_id} died before dispatch"
+                    ),
+                    traces=traces, slo=self.slo, tracer=tracer,
+                )
+
+    def _drop_batch(self, batch: Batch, tracer) -> None:
+        """``close(flush=False)``: fail a never-dispatched batch."""
+        now = time.perf_counter_ns()
+        self._count("serve.requests", len(batch.requests))
+        exc = ServerClosedError("pool closed before dispatch")
+        for request in batch.requests:
+            request.future.set_exception(exc)
+            if request.trace is not None:
+                request.trace.dispatch_ns = now
+                request.trace.status = "shed"
+                if tracer is not None:
+                    tracer.retire(request.trace)
+        if self.slo is not None:
+            self.slo.record_many([0] * len(batch.requests), ok=False)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count(name, n)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        shared = (
+            f"{len(self._manifest)} shared tables"
+            if self._manifest is not None else "no shared image"
+        )
+        return (
+            f"<WorkerPool {state}, {self.alive_workers()}/{self.workers} "
+            f"workers live, {shared}, "
+            f"{self._batcher.pending_requests} pending>"
+        )

@@ -1,0 +1,120 @@
+"""AsyncFrontend: async submission, admission control, both backends."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEngine
+from repro.errors import BackpressureError, RangeError
+from repro.serve import AsyncFrontend, InferenceServer, WorkerPool
+from repro.telemetry import Collector, SLOPolicy
+
+N_BITS = 12
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return BatchEngine.for_bits(N_BITS, fast=True)
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestOverServer:
+    def test_round_trip(self, reference):
+        async def scenario():
+            async with AsyncFrontend(InferenceServer(n_bits=N_BITS)) as fe:
+                return await fe.submit(0.5)
+
+        assert _run(scenario()) == reference.sigmoid(0.5)
+
+    def test_gather_is_bit_identical(self, reference):
+        x = np.linspace(-3, 3, 9)
+
+        async def scenario():
+            async with AsyncFrontend(InferenceServer(n_bits=N_BITS)) as fe:
+                return await asyncio.gather(*[
+                    fe.submit(x, mode="tanh") for _ in range(24)
+                ])
+
+        want = reference.tanh(x)
+        for got in _run(scenario()):
+            assert np.array_equal(got, want)
+
+    def test_backend_errors_propagate(self):
+        async def scenario():
+            async with AsyncFrontend(InferenceServer(n_bits=N_BITS)) as fe:
+                await fe.submit(1.0, mode="exp")  # positive input: domain
+
+        with pytest.raises(RangeError):
+            _run(scenario())
+
+
+class TestOverPool:
+    def test_round_trip_and_identity(self, reference):
+        x = np.linspace(-4, 4, 7)
+
+        async def scenario():
+            async with AsyncFrontend(
+                WorkerPool(n_bits=N_BITS, workers=2)
+            ) as fe:
+                return await asyncio.gather(*[
+                    fe.submit(x, mode="sigmoid") for _ in range(16)
+                ])
+
+        want = reference.sigmoid(x)
+        for got in _run(scenario()):
+            assert np.array_equal(got, want)
+
+
+class TestAdmissionControl:
+    def test_sheds_above_max_inflight(self):
+        async def scenario():
+            async with AsyncFrontend(
+                InferenceServer(n_bits=N_BITS), max_inflight=2
+            ) as fe:
+                tasks = [
+                    asyncio.ensure_future(fe.submit(0.1)) for _ in range(6)
+                ]
+                return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = _run(scenario())
+        sheds = [r for r in results if isinstance(r, BackpressureError)]
+        oks = [r for r in results if not isinstance(r, Exception)]
+        assert len(sheds) == 4 and len(oks) == 2
+
+    def test_shed_counts_and_burns_slo_budget(self):
+        collector = Collector()
+
+        async def scenario():
+            backend = InferenceServer(
+                n_bits=N_BITS, collector=collector, slo=SLOPolicy(),
+            )
+            async with AsyncFrontend(backend, max_inflight=1) as fe:
+                tasks = [
+                    asyncio.ensure_future(fe.submit(0.1)) for _ in range(3)
+                ]
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+        _run(scenario())
+        counters = collector.snapshot()["counters"]
+        assert counters["serve.frontend.shed"] == 2
+        assert counters["slo.serve.shed"] == 2
+
+    def test_inflight_returns_to_zero(self):
+        async def scenario():
+            async with AsyncFrontend(InferenceServer(n_bits=N_BITS)) as fe:
+                await asyncio.gather(*[fe.submit(0.2) for _ in range(8)])
+                return fe.inflight
+
+        assert _run(scenario()) == 0
+
+    def test_rejects_nonpositive_max_inflight(self):
+        server = InferenceServer(n_bits=N_BITS)
+        try:
+            with pytest.raises(ValueError):
+                AsyncFrontend(server, max_inflight=0)
+        finally:
+            server.close()

@@ -1,6 +1,7 @@
 """InferenceServer: lifecycle, concurrency, backpressure, bit identity."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -289,3 +290,86 @@ class TestObservability:
                 server.submit(0.5, mode="sigmoid").result()
         counters = collector.snapshot()["counters"]
         assert "serve.traced" not in counters
+
+
+class TestCloseRace:
+    """close(flush=True) racing concurrent submit() threads.
+
+    The single-thread flush path is covered in TestLifecycle; these
+    drive the race the micro-batcher's owner-serialised take_ready /
+    offer protocol has to survive: every future a submit() call
+    *returned* must resolve (bit-identically) even when close() lands
+    mid-storm, and a submit() that lost the race must raise
+    ServerClosedError — never hang, never silently drop.
+    """
+
+    N_CLIENTS = 4
+    PER_CLIENT = 64
+
+    def _storm(self, make_backend, reference):
+        backend = make_backend()
+        admitted = [[] for _ in range(self.N_CLIENTS)]
+        rejected = []
+        barrier = threading.Barrier(self.N_CLIENTS + 1)
+
+        def client(out):
+            rng = np.random.default_rng(id(out) % (1 << 32))
+            barrier.wait()
+            for _ in range(self.PER_CLIENT):
+                x = rng.uniform(-4, 4, size=3)
+                try:
+                    out.append((x, backend.submit(x, mode="tanh")))
+                except ServerClosedError:
+                    rejected.append(1)
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(out,), daemon=True)
+            for out in admitted
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()          # all clients submitting right now
+        time.sleep(0.002)       # let some submits win before close races
+        backend.close(flush=True)
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "client thread hung"
+
+        checked = 0
+        for out in admitted:
+            for x, future in out:
+                # Admitted before close won the race: must resolve, and
+                # to exactly the serial engine's bytes.
+                got = future.result(timeout=10)
+                assert np.array_equal(got, reference.tanh(x))
+                checked += 1
+        return checked, len(rejected)
+
+    def test_server_flushes_every_admitted_future(self, reference):
+        checked, _ = self._storm(
+            lambda: InferenceServer(n_bits=N_BITS, max_delay_us=50.0),
+            reference,
+        )
+        assert checked >= 1  # close landed mid-storm; the admitted side
+        # of the race is never dropped (rejects raised loudly instead).
+
+    def test_pool_flushes_every_admitted_future(self, reference):
+        from repro.serve import WorkerPool
+
+        checked, _ = self._storm(
+            lambda: WorkerPool(
+                n_bits=N_BITS, workers=2, max_delay_us=50.0
+            ),
+            reference,
+        )
+        assert checked >= 1
+
+    def test_repeated_close_race_never_hangs(self, reference):
+        # The race is probabilistic; iterate it to actually hit the
+        # close-lands-between-offer-and-flush windows.
+        for _ in range(5):
+            self._storm(
+                lambda: InferenceServer(n_bits=N_BITS, max_delay_us=20.0),
+                reference,
+            )

@@ -42,6 +42,12 @@ class TestSubpackageSurfaces:
         ("repro.rtl", ["NacuPipeline", "Pipeline", "SoftmaxSequencer"]),
         ("repro.cgra", ["Fabric", "FabricLstm", "map_mlp"]),
         ("repro.experiments", ["EXPERIMENTS", "run_experiment"]),
+        ("repro.serve", ["InferenceServer", "WorkerPool", "AsyncFrontend",
+                         "MicroBatcher", "SharedTableStore",
+                         "AttachedTableSource"]),
+        ("repro.loadgen", ["LoadGenerator", "LoadReport", "RequestMix",
+                           "make_requests", "make_offsets",
+                           "poisson_offsets", "bursty_offsets"]),
     ])
     def test_surface(self, module, names):
         import importlib

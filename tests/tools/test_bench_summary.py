@@ -1,0 +1,83 @@
+"""BENCH_SUMMARY.json schema: the committed file and the validator."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.result import (
+    ExperimentResult,
+    validate_bench_summary,
+)
+
+SUMMARY_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "BENCH_SUMMARY.json"
+)
+
+
+def _summary(experiments):
+    return {
+        "note": "test",
+        "n_experiments": len(experiments),
+        "experiments": experiments,
+    }
+
+
+class TestCheckedInFile:
+    def test_committed_summary_is_valid(self):
+        summary = json.loads(SUMMARY_PATH.read_text())
+        validate_bench_summary(summary)
+
+    def test_top_level_shape(self):
+        # The documented contract: exactly these keys, nothing per-bench.
+        summary = json.loads(SUMMARY_PATH.read_text())
+        assert set(summary) == {"note", "n_experiments", "experiments"}
+        assert summary["n_experiments"] == len(summary["experiments"])
+
+
+class TestValidator:
+    def test_accepts_canonical_record(self):
+        record = ExperimentResult(
+            "exp_a", "title", "claim", rows=[{"x": 1, "y": 2.0}]
+        ).to_dict()
+        validate_bench_summary(_summary({"exp_a": record}))
+
+    def test_accepts_empty(self):
+        validate_bench_summary(_summary({}))
+
+    def test_rejects_extra_top_level_key(self):
+        summary = _summary({})
+        summary["fast_path"] = {"speedup": 43}  # the old per-bench shape
+        with pytest.raises(ValueError, match="top-level keys"):
+            validate_bench_summary(summary)
+
+    def test_rejects_count_mismatch(self):
+        summary = _summary({})
+        summary["n_experiments"] = 7
+        with pytest.raises(ValueError, match="n_experiments"):
+            validate_bench_summary(summary)
+
+    def test_rejects_key_id_mismatch(self):
+        record = ExperimentResult("exp_a", "t", "c", rows=[]).to_dict()
+        with pytest.raises(ValueError, match="does not match its key"):
+            validate_bench_summary(_summary({"exp_b": record}))
+
+    def test_rejects_missing_record_field(self):
+        record = ExperimentResult("exp_a", "t", "c", rows=[]).to_dict()
+        del record["paper_claim"]
+        with pytest.raises(ValueError, match="record keys"):
+            validate_bench_summary(_summary({"exp_a": record}))
+
+    def test_rejects_row_column_drift(self):
+        record = ExperimentResult(
+            "exp_a", "t", "c", rows=[{"x": 1}, {"x": 2}]
+        ).to_dict()
+        record["rows"][1] = {"y": 2}
+        with pytest.raises(ValueError, match="do not match columns"):
+            validate_bench_summary(_summary({"exp_a": record}))
+
+    def test_rejects_non_scalar_cell(self):
+        record = ExperimentResult("exp_a", "t", "c", rows=[{"x": 1}]).to_dict()
+        record["rows"][0]["x"] = [1, 2]
+        with pytest.raises(ValueError, match="non-JSON-scalar"):
+            validate_bench_summary(_summary({"exp_a": record}))

@@ -4,6 +4,7 @@
 Usage::
 
     PYTHONPATH=src python tools/serve_smoke.py [--seed N] [--workers N]
+        [--pool-workers N]
 
 Publishes one shared table image, attaches a server to it, and fires 64
 concurrent mixed-mode requests (sigmoid / tanh / exp / softmax, scalars
@@ -13,6 +14,13 @@ server must have attached to the published image instead of compiling
 private tables, backpressure must shed loudly when provoked, and the
 server must shut down cleanly with nothing left pending.
 
+The same stream then runs through a forked :class:`WorkerPool`: every
+worker must survive the storm, every pooled response must match the
+serial engine bit for bit, and the merged parent+worker telemetry must
+account for each request. When ``$REPRO_NACU_CACHE_DIR`` is set (the
+CI table cache), the pool publishes from the persisted cache so warm
+runs skip the table compile entirely.
+
 Exits 0 when every check holds, 1 otherwise, printing one line per
 check so CI logs show exactly what broke.
 """
@@ -20,6 +28,7 @@ check so CI logs show exactly what broke.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import threading
@@ -31,14 +40,15 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro.compile import TableCache  # noqa: E402
+from repro.compile import TableCache, default_persist_dir  # noqa: E402
 from repro.engine import BatchEngine  # noqa: E402
-from repro.errors import BackpressureError  # noqa: E402
+from repro.errors import BackpressureError, WorkerCrashError  # noqa: E402
 from repro.nacu.config import NacuConfig  # noqa: E402
 from repro.serve import (  # noqa: E402
     AttachedTableSource,
     InferenceServer,
     SharedTableStore,
+    WorkerPool,
 )
 from repro.telemetry import Collector, use_collector  # noqa: E402
 
@@ -74,6 +84,8 @@ def main(argv=None) -> int:
                         help="request stream seed (default 0)")
     parser.add_argument("--workers", type=int, default=1,
                         help="server worker threads (default 1)")
+    parser.add_argument("--pool-workers", type=int, default=2,
+                        help="forked pool workers (default 2)")
     args = parser.parse_args(argv)
 
     config = NacuConfig.for_bits(N_BITS)
@@ -155,6 +167,62 @@ def main(argv=None) -> int:
                  f"shed is counted (serve.shed={shed_counters.get('serve.shed')})")
     ok &= _check(all(f.done() for f in admitted),
                  "admitted requests still served through close()")
+
+    # Worker pool: the same stream through forked processes. Any worker
+    # death, any response diverging from the serial engine, or any gap
+    # in the merged accounting fails the smoke.
+    publish_cache = (
+        TableCache(persist_dir=default_persist_dir())
+        if os.environ.get("REPRO_NACU_CACHE_DIR") else None
+    )
+    pool_collector = Collector()
+    pool = WorkerPool(
+        config=config, workers=args.pool_workers, max_delay_us=500.0,
+        publish_cache=publish_cache, collector=pool_collector,
+    )
+    pool_resolved = {}
+    crashes = 0
+    try:
+        pool_futures = {
+            i: pool.submit(x, mode=mode)
+            for i, (mode, x) in enumerate(requests)
+        }
+        for i, future in pool_futures.items():
+            try:
+                pool_resolved[i] = future.result(timeout=120)
+            except WorkerCrashError:
+                crashes += 1
+        alive = pool.alive_workers()
+        merged = pool.telemetry_snapshot()
+    finally:
+        pool.close()
+
+    ok &= _check(crashes == 0 and len(pool_resolved) == N_REQUESTS,
+                 f"pool resolved all {N_REQUESTS} requests "
+                 f"({args.pool_workers} workers, crashes={crashes})")
+    pool_mismatches = [
+        i for i, (mode, x) in enumerate(requests)
+        if i not in pool_resolved
+        or not np.array_equal(pool_resolved[i], getattr(reference, mode)(x))
+    ]
+    ok &= _check(not pool_mismatches,
+                 "every pooled response is bit-identical to the direct "
+                 f"engine (mismatches={pool_mismatches or 'none'})")
+    ok &= _check(alive == args.pool_workers,
+                 f"every worker survived the storm "
+                 f"(alive={alive}/{args.pool_workers})")
+    pool_counters = merged["counters"]
+    ok &= _check(pool_counters.get("serve.pool.worker_deaths") is None,
+                 "no worker died mid-stream")
+    ok &= _check(pool_counters.get("serve.requests") == N_REQUESTS,
+                 f"merged snapshot counted the stream "
+                 f"(serve.requests={pool_counters.get('serve.requests')})")
+    ok &= _check(
+        pool_counters.get("serve.pool.worker_started") == args.pool_workers,
+        f"every worker snapshot crossed the pipe (worker_started="
+        f"{pool_counters.get('serve.pool.worker_started')})")
+    ok &= _check(pool.alive_workers() == 0,
+                 "workers exited after pool close()")
 
     print("serve smoke:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
