@@ -1,6 +1,10 @@
 """Extension — single-bit LUT upset sensitivity."""
 
+from dataclasses import replace
+
+from repro.chaos import ChaosScenario, run_soak
 from repro.experiments import robustness
+from repro.experiments.result import ExperimentResult
 
 
 def test_fault_robustness(once, record_result):
@@ -9,3 +13,40 @@ def test_fault_robustness(once, record_result):
     bias = {r["bit"]: r for r in result.rows if r["field"] == "bias"}
     assert bias[15]["error_increase"] > 0.2  # MSB upset is catastrophic
     assert bias[0]["error_increase"] < 4 * 2.0 ** -11  # LSB is noise
+
+
+def test_served_fault_robustness(record_result):
+    """The engine-level sensitivity story, end to end through serving.
+
+    The rows above measure what one upset does to the *arithmetic*;
+    this cell measures what the serving defences do about it: the same
+    MSB-class upsets, armed inside pooled workers, must all be caught
+    and corrected before any client sees them.
+    """
+    base = ChaosScenario(
+        name="", requests=240, rate_rps=4000.0, workers=2,
+        modes=("sigmoid", "tanh"),
+    )
+    undefended = run_soak(replace(
+        base, name="served-undefended", fault_rate=0.02, mitigation="none",
+    ))
+    defended = run_soak(replace(
+        base, name="served-defended", fault_rate=0.005, mitigation="retry",
+        max_retries=3, canary_every=8,
+    ))
+    assert undefended.wrong > 0, "upsets never reached a served response"
+    assert defended.wrong == 0, (
+        f"{defended.wrong} corrupted response(s) escaped the defences"
+    )
+    assert defended.detections >= 1 and defended.accounted
+    record_result(
+        ExperimentResult(
+            experiment_id="served_fault_robustness",
+            title="Served fault robustness (MSB-pinned io.out "
+            "transients through a 2-worker pool)",
+            paper_claim="(harness) the upsets that corrupt undefended "
+            "serving are all detected and corrected or loudly failed "
+            "by the response defences — zero silent wrong answers",
+            rows=[undefended.to_row(), defended.to_row()],
+        )
+    )

@@ -34,7 +34,7 @@ import pytest
 from repro.engine import BatchEngine
 from repro.experiments.result import ExperimentResult
 from repro.loadgen import LoadGenerator, make_requests
-from repro.serve import WorkerPool
+from repro.serve import ResponsePolicy, WorkerPool
 from repro.telemetry import (
     Collector,
     SLOPolicy,
@@ -144,6 +144,48 @@ def test_pool_scaling_req_per_s_and_exactness(record_result):
             "host_cpus": host_cpus,
             "cpu_bound": cpu_bound,
         })
+
+    # One armed-resilience point: the same storm through a verifying,
+    # canary-interleaving pool (no fault plan) — the clean-path price of
+    # the chaos defences in the same units as the scaling rows, and the
+    # bit-identity guarantee they must not break.
+    collector = Collector()
+    pool = WorkerPool(
+        n_bits=N_BITS, workers=2, collector=collector,
+        resilience=ResponsePolicy(
+            verify=True, canary_every=8, max_retries=2
+        ),
+    )
+    try:
+        generator = LoadGenerator(pool, verify_engine=reference)
+        generator.run_closed(requests[:64], concurrency=CONCURRENCY)
+        resilient = generator.run_closed(requests, concurrency=CONCURRENCY)
+    finally:
+        pool.close()
+    final = pool.telemetry_snapshot()
+    assert resilient.errors == 0 and resilient.sheds == 0
+    assert resilient.mismatches == 0, (
+        f"resilient pool: {resilient.mismatches} responses diverged "
+        f"from the serial engine"
+    )
+    assert final["counters"]["serve.requests"] == N_REQUESTS + 64
+    assert final["counters"].get("serve.resilience.canaries", 0) > 0
+    assert final["counters"].get("serve.resilience.verify_failures", 0) == 0
+    sig = quantiles_from_entry(
+        final["quantiles"]["serve.latency.sigmoid"], (0.5, 0.99)
+    )
+    rows.append({
+        "workers": "2 resilient",
+        "requests": N_REQUESTS,
+        "req_per_s": round(resilient.req_per_s),
+        "client_p50_ms": round(resilient.p50_ms, 2),
+        "client_p99_ms": round(resilient.p99_ms, 2),
+        "served_sigmoid_p50_us": round(sig["p50"] / 1e3, 1),
+        "served_sigmoid_p99_us": round(sig["p99"] / 1e3, 1),
+        "identical": resilient.mismatches == 0,
+        "host_cpus": host_cpus,
+        "cpu_bound": cpu_bound,
+    })
 
     speedup = req_per_s[4] / req_per_s[1]
     rows.append({

@@ -1,0 +1,40 @@
+"""The chaos soak harness: injected upsets vs the serving defences.
+
+A :class:`~repro.chaos.soak.ChaosScenario` names one cell of the
+resilience experiment — a fault rate at one datapath site, one
+mitigation posture (``none`` / ``detect`` / ``retry``), optional
+canaries, quarantine and a mid-run worker kill — and
+:func:`~repro.chaos.soak.run_soak` drives :mod:`repro.loadgen` traffic
+through a chaos-armed :class:`~repro.serve.pool.WorkerPool` while a
+clean reference engine checks every completed response byte for byte.
+The resulting :class:`~repro.chaos.soak.SoakReport` accounts for every
+offered request in exactly one bucket (correct / corrected / wrong /
+shed / loud-failed) and carries the resilience SLO numbers: detection
+latency, retry and quarantine counts, and MTTR after an injected
+worker kill.
+
+The headline property the harness exists to demonstrate: at an upset
+rate where the unmitigated datapath silently corrupts responses
+(``wrong > 0`` with ``mitigation="none"``), the mitigated pool serves
+**zero silent wrong answers** — every response is bit-correct,
+corrected (and counted), or loudly shed.
+
+``python -m repro.chaos`` runs the sweep from the command line;
+``--profile quick`` is the CI-sized soak.
+"""
+
+from repro.chaos.soak import (
+    ChaosScenario,
+    SoakReport,
+    default_sweep,
+    run_soak,
+    run_sweep,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "SoakReport",
+    "default_sweep",
+    "run_soak",
+    "run_sweep",
+]

@@ -21,6 +21,7 @@ callables), so it can be dropped straight into an MLP, CNN or LSTM:
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Optional, Union
 
 import numpy as np
@@ -94,6 +95,10 @@ class BatchEngine:
         self.fast = get_default_fast() if fast is None else fast
         #: Table cache override; ``None`` shares the process default.
         self.table_cache = table_cache
+        #: Whether this engine already warned that an armed fault plan
+        #: is forcing it off the compiled-table fast path (once per
+        #: engine, however many batches fall back).
+        self._warned_fault_fallback = False
 
     @classmethod
     def for_bits(cls, n_bits: int, fast: Optional[bool] = None,
@@ -179,9 +184,7 @@ class BatchEngine:
             # Tables are keyed by config fingerprint alone and hold the
             # fault-free response; serving one with a fault plan armed
             # would silently bypass every injection site.
-            tel = _telemetry.resolve(self.collector)
-            if tel is not None:
-                tel.count("engine.fast.fallback_faults")
+            self._note_fault_fallback()
             return None
         lut = self.nacu.datapath.lut
         if lut is not get_sigmoid_lut(self.nacu.config):
@@ -191,6 +194,31 @@ class BatchEngine:
             return None
         cache = self.table_cache if self.table_cache is not None else default_cache()
         return cache.get(self.nacu.config, mode, lut=lut)
+
+    def _note_fault_fallback(self) -> None:
+        """Make the armed-plan slow-path fallback impossible to miss.
+
+        Every fallback counts ``engine.fast.fallback_faults`` (per
+        batch); the *first* one per engine also warns loudly and sets
+        the ``faults.fast_path_disabled`` gauge — so a chaos soak that
+        meant to benchmark the fast path cannot silently measure the
+        bit-accurate datapath instead.
+        """
+        tel = _telemetry.resolve(self.collector)
+        if tel is not None:
+            tel.count("engine.fast.fallback_faults")
+        if not self._warned_fault_fallback:
+            self._warned_fault_fallback = True
+            if tel is not None:
+                tel.count("faults.fast_path_disabled")
+            warnings.warn(
+                "an armed fault plan disables the compiled-table fast "
+                "path: this engine is evaluating on the bit-accurate "
+                "datapath (injection sites live there). Expect slow-path "
+                "throughput; disarm the plan to benchmark the fast path.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _elementwise_fx(self, x: FxArray, mode: FunctionMode) -> FxArray:
         table = self._table_for(mode)
@@ -231,7 +259,10 @@ class BatchEngine:
         own ``divide``, and with a fault plan armed nothing is injected:
         the ``divider.pipe`` site lives in the bit-serial/Newton path.
         """
-        if not self.fast or _faults.resolve() is not None:
+        if not self.fast:
+            return None
+        if _faults.resolve() is not None:
+            self._note_fault_fallback()
             return None
         divider = self.nacu.datapath.divider
         if not self.nacu.config.use_approx_divider:

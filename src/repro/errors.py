@@ -46,3 +46,23 @@ class WorkerCrashError(ServeError):
     death under ``serve.pool.worker_deaths`` — callers retry; the
     failure is never silent and never hangs the queue.
     """
+
+
+class ResponseVerificationError(ServeError):
+    """A returned batch failed the parent-side response checks.
+
+    Raised into request futures only after the response policy's retry
+    budget is exhausted — a response the :class:`~repro.serve.resilience.
+    ResponseVerifier` flagged (range invariant, softmax row-sum bound,
+    or canary mismatch) is never delivered as if it were correct. Counted
+    under ``serve.resilience.verify_failures``; burns SLO error budget.
+    """
+
+
+class ResponseTimeoutError(ServeError):
+    """A dispatched batch overran the response deadline on every attempt.
+
+    The response policy hedges a straggling batch onto another worker
+    first; this error surfaces only when the hedge (and any retries)
+    also time out. Counted under ``serve.resilience.timeouts``.
+    """

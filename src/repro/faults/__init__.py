@@ -22,7 +22,14 @@ static corrupted-ROM helpers behind
 
 from repro.faults.inject import arm, disarm, resolve, use_plan
 from repro.faults.models import FaultModel, FaultSpec
-from repro.faults.plan import SITES, ArmedPlan, FaultPlan, Protection
+from repro.faults.plan import (
+    SITES,
+    ArmedPlan,
+    FaultPlan,
+    Protection,
+    ledger_from_snapshot,
+    mitigation_summary,
+)
 
 __all__ = [
     "FaultModel",
@@ -35,4 +42,6 @@ __all__ = [
     "disarm",
     "resolve",
     "use_plan",
+    "ledger_from_snapshot",
+    "mitigation_summary",
 ]

@@ -32,7 +32,13 @@ from repro.engine import BatchEngine
 from repro.experiments.result import ExperimentResult
 from repro.faults.inject import use_plan
 from repro.faults.models import FaultSpec
-from repro.faults.plan import SITES, ArmedPlan, FaultPlan, Protection
+from repro.faults.plan import (
+    SITES,
+    ArmedPlan,
+    FaultPlan,
+    Protection,
+    mitigation_summary,
+)
 from repro.fixedpoint import FxArray
 from repro.nacu.config import NacuConfig
 from repro.nn.activations import NacuActivations
@@ -124,23 +130,9 @@ def _build_workbench(width: int, seed: int) -> _Workbench:
     )
 
 
-def _mitigation_summary(stats: Dict[str, int]) -> Dict[str, int]:
-    """Fold an armed plan's ledger into the row's counter columns."""
-    injected = sum(v for k, v in stats.items() if k.startswith("injected."))
-    detected = (
-        stats.get("parity.detected", 0)
-        + stats.get("tmr.corrected", 0)
-        + stats.get("tmr.uncorrected", 0)
-        + stats.get("guard.saturated", 0)
-    )
-    corrected = stats.get("parity.corrected", 0) + stats.get("tmr.corrected", 0)
-    silent = stats.get("parity.silent", 0) + stats.get("tmr.uncorrected", 0)
-    return {
-        "injected": injected,
-        "detected": detected,
-        "corrected": corrected,
-        "silent": silent,
-    }
+#: Fold an armed plan's ledger into the row's counter columns (shared
+#: with the chaos soak's snapshot-level export in repro.faults.plan).
+_mitigation_summary = mitigation_summary
 
 
 def _evaluate_cell(

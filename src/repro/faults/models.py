@@ -55,7 +55,11 @@ class FaultSpec:
     model: FaultModel = FaultModel.TRANSIENT
     #: Per-word upset probability per crossing (transient/burst).
     rate: float = 0.0
-    #: Bit position (LSB = 0) for stuck_at/flip.
+    #: Bit position (LSB = 0). Required for stuck_at/flip; optional for
+    #: transient, where it pins every upset event to one register bit
+    #: (an SEU-prone cell) instead of drawing the position uniformly —
+    #: the model chaos scenarios use when they need upsets whose
+    #: signature is *provably* detectable by a downstream range guard.
     bit: Optional[int] = None
     #: Forced level for stuck_at: True sticks to 1, False to 0.
     stuck_value: bool = True
@@ -75,6 +79,9 @@ class FaultSpec:
                 raise ConfigError(
                     f"{self.model.value} faults need a non-negative bit position"
                 )
+        if self.model is FaultModel.TRANSIENT and self.bit is not None:
+            if self.bit < 0:
+                raise ConfigError("a pinned transient bit must be non-negative")
         if self.model is FaultModel.BURST and self.burst_len < 1:
             raise ConfigError("burst length must be at least 1")
 
@@ -107,7 +114,11 @@ def apply_spec(
 
     if spec.model is FaultModel.TRANSIENT:
         events = rng.random(word.shape) < spec.rate
-        bits = rng.integers(0, n_bits, size=word.shape)
+        bits = (
+            rng.integers(0, n_bits, size=word.shape)
+            if spec.bit is None
+            else np.broadcast_to(np.int64(spec.bit), word.shape)
+        )
         mask = np.where(events & scope, np.int64(1) << bits, np.int64(0))
         return word ^ mask
     if spec.model is FaultModel.BURST:

@@ -90,6 +90,27 @@ class FaultPlan:
         """Fresh armed state (new RNG streams) for this plan."""
         return ArmedPlan(self)
 
+    def shard(self, shards: int) -> Tuple["FaultPlan", ...]:
+        """``shards`` independent per-worker plans of this scenario.
+
+        Each shard keeps the specs and protections but extends the seed
+        tuple with its shard index, so every worker of a pool draws its
+        own fault sequence from its own entropy — *position-independent*:
+        shard ``k``'s stream depends only on ``(plan seed, k)``, never on
+        which requests the other workers absorbed or on how many shards
+        exist. Arming the same shard twice (e.g. after a quarantine
+        restart) replays the same sequence from the top, exactly like
+        re-arming the parent plan.
+        """
+        if shards < 1:
+            raise ConfigError("a plan shards into at least one worker")
+        base = self.seed if isinstance(self.seed, tuple) else (self.seed,)
+        return tuple(
+            FaultPlan(seed=base + (index,), specs=self.specs,
+                      protection=self.protection)
+            for index in range(shards)
+        )
+
 
 class ArmedPlan:
     """Live injection state the datapath hooks consult.
@@ -214,3 +235,49 @@ class ArmedPlan:
         if clipped is fx.raw or not stats["guard.saturated"]:
             return fx
         return FxArray._wrap(clipped, fx.fmt)
+
+
+# ----------------------------------------------------------------------
+# Ledger export
+# ----------------------------------------------------------------------
+def mitigation_summary(stats: Dict[str, int]) -> Dict[str, int]:
+    """Fold a raw ledger (an :attr:`ArmedPlan.stats` dict or the
+    equivalent de-prefixed counter set) into the four headline columns
+    every campaign/soak row reports."""
+    injected = sum(v for k, v in stats.items() if k.startswith("injected."))
+    detected = (
+        stats.get("parity.detected", 0)
+        + stats.get("tmr.corrected", 0)
+        + stats.get("tmr.uncorrected", 0)
+        + stats.get("guard.saturated", 0)
+    )
+    corrected = stats.get("parity.corrected", 0) + stats.get("tmr.corrected", 0)
+    silent = stats.get("parity.silent", 0) + stats.get("tmr.uncorrected", 0)
+    return {
+        "injected": injected,
+        "detected": detected,
+        "corrected": corrected,
+        "silent": silent,
+    }
+
+
+def ledger_from_snapshot(snapshot: dict) -> Dict[str, int]:
+    """The fault ledger recovered from a (possibly merged) snapshot.
+
+    The armed plan mirrors every ledger count into telemetry under a
+    ``faults.`` prefix, and counters merge exactly across shards and
+    pooled workers — so a merged pool snapshot yields the same totals
+    the per-worker :attr:`ArmedPlan.stats` dicts would have summed to,
+    even for workers whose armed-plan objects died with their process.
+    Returns the de-prefixed raw counts plus the four
+    :func:`mitigation_summary` headline columns.
+    """
+    counters = snapshot.get("counters") or {}
+    stats = {
+        name[len("faults."):]: int(count)
+        for name, count in counters.items()
+        if name.startswith("faults.") and name != "faults.fast_path_disabled"
+    }
+    out = mitigation_summary(stats)
+    out.update(stats)
+    return out

@@ -17,7 +17,12 @@ Five pieces, separable and composable:
   contract, same bytes;
 * :mod:`repro.serve.frontend` — the asyncio front door: async
   ``submit()`` with admission control that sheds before queues grow,
-  over either backend.
+  over either backend;
+* :mod:`repro.serve.resilience` — the chaos defence: response
+  verification (range/row-sum invariants, interleaved golden canaries),
+  bounded retry and hedging, worker quarantine — driven by a
+  :class:`~repro.serve.resilience.ResponsePolicy` handed to either
+  serving tier.
 
 ``python -m repro.serve`` runs a self-contained demo server (add
 ``--pool N`` to demo the worker pool).
@@ -25,6 +30,8 @@ Five pieces, separable and composable:
 
 from repro.errors import (
     BackpressureError,
+    ResponseTimeoutError,
+    ResponseVerificationError,
     ServeError,
     ServerClosedError,
     WorkerCrashError,
@@ -32,6 +39,7 @@ from repro.errors import (
 from repro.serve.batcher import SERVABLE_MODES, Batch, MicroBatcher, Request
 from repro.serve.frontend import AsyncFrontend
 from repro.serve.pool import WorkerPool
+from repro.serve.resilience import ResponsePolicy, ResponseVerifier
 from repro.serve.server import InferenceServer
 from repro.serve.store import (
     AttachedTableSource,
@@ -51,6 +59,10 @@ __all__ = [
     "MicroBatcher",
     "MmapTableSource",
     "Request",
+    "ResponsePolicy",
+    "ResponseTimeoutError",
+    "ResponseVerificationError",
+    "ResponseVerifier",
     "SERVABLE_MODES",
     "ServeError",
     "ServerClosedError",

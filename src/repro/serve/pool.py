@@ -60,6 +60,8 @@ from repro.errors import (
     ServerClosedError,
     WorkerCrashError,
 )
+from repro.faults import inject as _inject
+from repro.faults.plan import FaultPlan
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.serve.batcher import (
     SERVABLE_MODES,
@@ -68,6 +70,7 @@ from repro.serve.batcher import (
     build_request,
     evaluate_fused,
 )
+from repro.serve.resilience import ResilienceManager, ResponsePolicy
 from repro.serve.store import AttachedTableSource, SharedTableStore
 from repro.telemetry import collector as _telemetry
 from repro.telemetry import trace as _tracing
@@ -90,7 +93,7 @@ def _picklable(exc: BaseException) -> BaseException:
 
 
 def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
-                 worker_id: int) -> None:
+                 worker_id: int, fault_plan=None) -> None:
     """One worker process: attach, evaluate batches, report, drain.
 
     The worker installs a private process-wide collector so every
@@ -100,6 +103,13 @@ def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
     time the ``close`` reply goes out every earlier batch has already
     been answered: graceful drain is a property of the pipe's FIFO
     ordering, not of extra bookkeeping.
+
+    ``fault_plan`` is this worker's private shard of the pool's chaos
+    plan, armed *here* — after the fork, in the child only — so the
+    shared table image the parent published stays pristine and the
+    parent process never injects. A restarted worker re-arms the same
+    shard: its fault stream replays from the top, exactly like
+    re-arming any plan.
     """
     # Local import keeps the engine (and its compile machinery) out of
     # the hot import path of clients that only ever submit.
@@ -107,11 +117,17 @@ def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
 
     collector = Collector()
     _telemetry.set_collector(collector)
+    # Whatever plan the *parent* had armed at fork time is its business,
+    # not this worker's — injection here is opt-in via the shard.
+    _inject.disarm()
     source = AttachedTableSource(manifest) if manifest is not None else None
     cache = TableCache(source=source) if fast else None
     engine = BatchEngine(
         config=config, fast=fast, table_cache=cache, collector=collector
     )
+    if fault_plan is not None:
+        _inject.arm(fault_plan)
+        collector.count("serve.pool.worker_armed")
     collector.count("serve.pool.worker_started")
     try:
         while True:
@@ -154,15 +170,21 @@ class _Pending:
     """One batch in flight to a worker, with its observability context."""
 
     __slots__ = ("batch", "tel", "traces", "enqueue_ns", "dispatch_ns",
-                 "tracer")
+                 "tracer", "flight", "attempt")
 
-    def __init__(self, batch, tel, traces, enqueue_ns, dispatch_ns, tracer):
+    def __init__(self, batch, tel, traces, enqueue_ns, dispatch_ns, tracer,
+                 flight=None, attempt=0):
         self.batch = batch
         self.tel = tel
         self.traces = traces
         self.enqueue_ns = enqueue_ns
         self.dispatch_ns = dispatch_ns
         self.tracer = tracer
+        #: The resilience :class:`~repro.serve.resilience.Flight` this
+        #: attempt belongs to, or ``None`` on a policy-free pool.
+        self.flight = flight
+        #: This attempt's index within the flight (0 = primary).
+        self.attempt = attempt
 
 
 class _WorkerHandle:
@@ -170,7 +192,7 @@ class _WorkerHandle:
 
     __slots__ = ("worker_id", "process", "conn", "lock", "send_lock",
                  "in_flight", "outstanding", "receiver", "final_snapshot",
-                 "dead")
+                 "dead", "quarantined")
 
     def __init__(self, worker_id: int, process, conn):
         self.worker_id = worker_id
@@ -185,6 +207,9 @@ class _WorkerHandle:
         self.receiver: Optional[threading.Thread] = None
         self.final_snapshot: Optional[dict] = None
         self.dead = False
+        #: Set (under ``send_lock``) when the resilience policy benches
+        #: this worker: no new batches, graceful drain, then replacement.
+        self.quarantined = False
 
 
 class WorkerPool:
@@ -219,9 +244,14 @@ class WorkerPool:
         collector=None,
         tracer=None,
         slo=None,
+        resilience: Optional[ResponsePolicy] = None,
+        dispatch_wait_s: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if workers < 1:
             raise ServeError("the pool needs at least one worker")
+        if dispatch_wait_s < 0:
+            raise ServeError("dispatch_wait_s must be non-negative")
         if config is None:
             config = (
                 NacuConfig.for_bits(n_bits) if n_bits is not None
@@ -233,6 +263,12 @@ class WorkerPool:
         self.workers = workers
         self.fast = fast
         self.restart = restart
+        #: Per-worker chaos shards: worker ``k`` always arms shard ``k``,
+        #: across restarts too — position-independent seeds make the
+        #: injected stream a property of the slot, not of pool history.
+        self._plan_shards = (
+            fault_plan.shard(workers) if fault_plan is not None else None
+        )
         self.collector = collector
         self.tracer = tracer
         self.slo = (
@@ -276,6 +312,11 @@ class WorkerPool:
         self._seq = itertools.count()
         self._snapshot_waits: Dict[int, list] = {}
         self._handles: List[_WorkerHandle] = []
+        #: Final telemetry snapshots of workers retired by quarantine —
+        #: kept so merged accounting stays exact across replacements.
+        self._retired_snapshots: List[dict] = []
+        self._dispatch_wait_s = dispatch_wait_s
+        self._resilience: Optional[ResilienceManager] = None
         # Fork every worker before the dispatcher thread exists: forking
         # a single-threaded parent is the only shape with no inherited-
         # lock hazard (restarts after a crash fork from a threaded
@@ -285,6 +326,8 @@ class WorkerPool:
         self._count("serve.pool.workers", workers)
         for handle in self._handles:
             self._start_receiver(handle)
+        if resilience is not None:
+            self._resilience = ResilienceManager(self, resilience)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="nacu-pool-dispatch", daemon=True
         )
@@ -350,6 +393,11 @@ class WorkerPool:
             self._flush_on_close = flush
             self._cond.notify_all()
         self._dispatcher.join()
+        if self._resilience is not None:
+            # Every flight resolves (retries included) while the workers
+            # are still alive to land them on; only then do the workers
+            # get their close message below.
+            self._resilience.drain()
         with self._cond:
             # Restarts are decided under this lock and suppressed once
             # closed, so this snapshot is the final roster: every handle
@@ -420,14 +468,21 @@ class WorkerPool:
         return merge_snapshots(snapshots)
 
     def worker_snapshots(self, timeout: float = 10.0) -> List[dict]:
-        """One telemetry snapshot per worker (live request or final)."""
-        out = []
+        """One telemetry snapshot per worker (live request or final).
+
+        Includes the final snapshots of workers retired by quarantine —
+        their replacement occupies the same slot, but the retired
+        counts still belong to the pool's exact total.
+        """
+        out = list(self._retired_snapshots)
         for handle in self._handles:
             if handle.final_snapshot is not None:
                 out.append(handle.final_snapshot)
                 continue
             if handle.dead:
                 continue  # crashed before draining: its metrics are gone
+            if handle.quarantined:
+                continue  # draining: its final lands in the retired list
             seq = next(self._seq)
             event = threading.Event()
             slot: list = [event, None]
@@ -452,10 +507,14 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def _spawn(self, worker_id: int) -> _WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        shard = (
+            self._plan_shards[worker_id]
+            if self._plan_shards is not None else None
+        )
         process = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, self.config, self.fast, self._manifest,
-                  worker_id),
+                  worker_id, shard),
             name=f"nacu-pool-worker-{worker_id}",
             daemon=True,
         )
@@ -489,6 +548,9 @@ class WorkerPool:
                     sink = _tracing.StageSink()
                     sink.events = events
                     sink.faults = faults or {}
+                if pending.flight is not None:
+                    self._resilience.on_ok(handle, pending, out_raw, sink)
+                    continue
                 try:
                     pending.batch.finish(
                         out_raw, self.io_fmt, tel=pending.tel,
@@ -504,11 +566,15 @@ class WorkerPool:
             elif kind == "err":
                 _, seq, exc = message
                 pending = self._pop_pending(handle, seq)
-                if pending is not None:
-                    pending.batch.fail(
-                        exc, traces=pending.traces, slo=self.slo,
-                        tracer=pending.tracer,
-                    )
+                if pending is None:
+                    continue
+                if pending.flight is not None:
+                    self._resilience.on_err(handle, pending, exc)
+                    continue
+                pending.batch.fail(
+                    exc, traces=pending.traces, slo=self.slo,
+                    tracer=pending.tracer,
+                )
             elif kind == "snapshot":
                 slot = self._snapshot_waits.pop(message[1], None)
                 if slot is not None:
@@ -540,12 +606,23 @@ class WorkerPool:
                 f"worker {handle.worker_id} (pid {handle.process.pid}) died "
                 f"with {len(orphans)} batch(es) in flight"
             )
+            flighted = [p for p in orphans if p.flight is not None]
             for pending in orphans:
+                if pending.flight is not None:
+                    continue  # the resilience manager decides its fate
                 pending.batch.fail(
                     exc, traces=pending.traces, slo=self.slo,
                     tracer=pending.tracer,
                 )
-        if crashed and self.restart:
+            if flighted:
+                self._resilience.on_crash(handle, flighted)
+        # A quarantined worker that delivered its final snapshot retired
+        # gracefully: its batches were answered first (pipe FIFO) and
+        # its counts move to the retired list, so the replacement below
+        # costs the pool nothing but the fork.
+        quarantined = handle.quarantined and handle.final_snapshot is not None
+        replaced = False
+        if (crashed or quarantined) and self.restart:
             # The whole swap happens under the pool lock: close() either
             # sees the replacement in its roster snapshot or, by setting
             # ``_closed`` first, suppresses the restart entirely. The
@@ -557,20 +634,64 @@ class WorkerPool:
                     self._start_receiver(replacement)
                     self._handles[self._handles.index(handle)] = replacement
                     self._count("serve.pool.worker_restarts")
-                    self._cond.notify()
+                    if handle.final_snapshot is not None:
+                        self._retired_snapshots.append(handle.final_snapshot)
+                    replaced = True
+                    # Both the dispatcher and any dispatch-wait sleeper
+                    # may be blocked on a live worker appearing.
+                    self._cond.notify_all()
+        if replaced:
+            # The old handle left the roster, so close() will never join
+            # it — reap the process and its pipe here, on its receiver.
+            handle.process.join(timeout=10)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _least_loaded(self) -> Optional[_WorkerHandle]:
-        """The live worker holding the fewest outstanding elements."""
+    def _pick_handle(self, exclude=frozenset()) -> Optional[_WorkerHandle]:
+        """The dispatchable worker holding the fewest outstanding elements.
+
+        Quarantined workers are benched; ``exclude`` bans worker slots
+        (retries prefer a worker the failed attempt didn't run on).
+        """
         best = None
         for handle in self._handles:
-            if handle.dead:
+            if handle.dead or handle.quarantined:
+                continue
+            if handle.worker_id in exclude:
                 continue
             if best is None or handle.outstanding < best.outstanding:
                 best = handle
         return best
+
+    def _least_loaded(self) -> Optional[_WorkerHandle]:
+        """The live worker holding the fewest outstanding elements."""
+        return self._pick_handle()
+
+    def _await_worker(self) -> Optional[_WorkerHandle]:
+        """Optionally ride out an all-workers-dead window.
+
+        With ``dispatch_wait_s`` set, a dispatch that finds no live
+        worker parks on the pool condition until a restart lands (the
+        exit path's ``notify_all``) or the window closes — so a single
+        crash under open-loop load costs one bounded wait instead of a
+        shed storm. Counted under ``serve.pool.dispatch_waits``.
+        """
+        if self._dispatch_wait_s <= 0:
+            return None
+        self._count("serve.pool.dispatch_waits")
+        deadline = time.monotonic() + self._dispatch_wait_s
+        with self._cond:
+            while True:
+                handle = self._pick_handle()
+                remaining = deadline - time.monotonic()
+                if handle is not None or remaining <= 0:
+                    return handle
+                self._cond.wait(remaining)
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -601,7 +722,12 @@ class WorkerPool:
 
     def _ship(self, batch: Batch, tracer) -> None:
         """Hand one fused batch to the least-loaded live worker."""
+        if self._resilience is not None:
+            self._resilience.launch(batch, tracer)
+            return
         handle = self._least_loaded()
+        if handle is None:
+            handle = self._await_worker()
         dispatch_ns = time.perf_counter_ns()
         tel, traces, enqueue_ns = batch.begin(
             self.collector, tracer, self.slo, dispatch_ns=dispatch_ns
@@ -635,6 +761,83 @@ class WorkerPool:
                     ),
                     traces=traces, slo=self.slo, tracer=tracer,
                 )
+
+    def _send_flight(self, flight, exclude=frozenset(),
+                     wait: bool = False) -> bool:
+        """Dispatch one attempt of a resilience flight.
+
+        Prefers a live worker outside ``exclude`` (a retry should land
+        somewhere the failed attempt didn't), falls back to any live
+        worker — on a one-worker pool retrying in place still beats
+        failing — and returns ``False`` only when nothing is live (after
+        the optional :meth:`_await_worker` window when ``wait`` is set).
+        """
+        failed: set = set()
+        while True:
+            handle = self._pick_handle(set(exclude) | failed)
+            if handle is None:
+                handle = self._pick_handle(failed)
+            if handle is None and wait:
+                handle = self._await_worker()
+                if handle is not None and handle.worker_id in failed:
+                    handle = None
+            if handle is None:
+                return False
+            seq = next(self._seq)
+            dispatch_ns = time.perf_counter_ns()
+            with flight.lock:
+                pending = _Pending(
+                    flight.batch, flight.tel, flight.traces,
+                    flight.enqueue_ns, dispatch_ns, flight.tracer,
+                    flight=flight, attempt=flight.attempts,
+                )
+            with handle.lock:
+                handle.in_flight[seq] = pending
+                handle.outstanding += flight.batch.elements
+            sent = False
+            try:
+                with handle.send_lock:
+                    # Quarantine flips under this lock, so a set flag
+                    # here means the close message is already ahead of
+                    # us in the pipe — pick another worker instead.
+                    if not (handle.dead or handle.quarantined):
+                        handle.conn.send(
+                            ("batch", seq, flight.batch.mode.value,
+                             flight.payload, bool(flight.traces))
+                        )
+                        sent = True
+            except (OSError, BrokenPipeError):
+                sent = False
+            if sent:
+                self._count("serve.pool.dispatched")
+                with flight.lock:
+                    flight.attempts += 1
+                    flight.last_dispatch_ns = dispatch_ns
+                    if not flight.first_dispatch_ns:
+                        flight.first_dispatch_ns = dispatch_ns
+                    flight.worker_ids.append(handle.worker_id)
+                return True
+            self._pop_pending(handle, seq)
+            failed.add(handle.worker_id)
+
+    def _quarantine(self, handle: _WorkerHandle) -> bool:
+        """Bench one worker and start its graceful drain.
+
+        The close message follows every batch already written to the
+        pipe, so the worker answers its in-flight work, ships its final
+        telemetry snapshot, and exits; the receiver's exit path then
+        forks the replacement and moves the snapshot to the retired
+        list. Returns whether this call initiated the quarantine.
+        """
+        with handle.send_lock:
+            if handle.dead or handle.quarantined or self._closed:
+                return False
+            handle.quarantined = True
+            try:
+                handle.conn.send(("close",))
+            except (OSError, BrokenPipeError):
+                pass  # dying anyway — its receiver handles the fallout
+        return True
 
     def _drop_batch(self, batch: Batch, tracer) -> None:
         """``close(flush=False)``: fail a never-dispatched batch."""

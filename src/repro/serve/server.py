@@ -40,6 +40,7 @@ from repro.engine import BatchEngine, InputLike
 from repro.errors import BackpressureError, ServeError, ServerClosedError
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.serve.batcher import SERVABLE_MODES, MicroBatcher, build_request
+from repro.serve.resilience import ResponsePolicy, ResponseVerifier
 from repro.telemetry import collector as _telemetry
 from repro.telemetry import trace as _tracing
 from repro.telemetry.slo import SLOAccountant, SLOPolicy
@@ -80,6 +81,7 @@ class InferenceServer:
         collector=None,
         tracer=None,
         slo=None,
+        resilience: Optional[ResponsePolicy] = None,
     ):
         if workers < 1:
             raise ServeError("the server needs at least one worker")
@@ -115,6 +117,19 @@ class InferenceServer:
             if isinstance(slo, SLOPolicy) else slo
         )
         self.workers = workers
+        #: In-process response defence: the invariant checks and bounded
+        #: re-evaluation half of a :class:`ResponsePolicy`. Canaries,
+        #: hedging and quarantine are pool concepts (they exist for the
+        #: process trust boundary) and are ignored here.
+        self._verifier = (
+            ResponseVerifier(
+                self.engine.nacu.config, resilience.softmax_sum_slack
+            )
+            if resilience is not None and resilience.verify else None
+        )
+        self._max_retries = (
+            resilience.max_retries if resilience is not None else 0
+        )
         self._batcher = MicroBatcher(
             max_batch_elements=max_batch_elements,
             max_delay_us=max_delay_us,
@@ -258,13 +273,18 @@ class InferenceServer:
                         )
             elif self._pool is None:
                 for batch in ready:
-                    batch.run(self.engine, self.collector, tracer, self.slo)
+                    batch.run(
+                        self.engine, self.collector, tracer, self.slo,
+                        verifier=self._verifier,
+                        max_retries=self._max_retries,
+                    )
             else:
                 in_flight = [f for f in in_flight if not f.done()]
                 in_flight.extend(
                     self._pool.submit(
                         batch.run, self.engine, self.collector, tracer,
-                        self.slo,
+                        self.slo, verifier=self._verifier,
+                        max_retries=self._max_retries,
                     )
                     for batch in ready
                 )

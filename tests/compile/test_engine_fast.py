@@ -1,5 +1,7 @@
 """The engine's fast path: raw-bit identity, defaults, and fallbacks."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -89,6 +91,23 @@ class TestFastDispatch:
         assert np.any(faulty.raw != golden.raw)
         # Disarmed again, the fast path resumes bit-identically.
         np.testing.assert_array_equal(engine.sigmoid_fx(x).raw, golden.raw)
+
+    def test_armed_fallback_warns_loudly_exactly_once(self):
+        from repro.faults import FaultPlan, FaultSpec, use_plan
+
+        engine = BatchEngine.for_bits(8, fast=True)
+        x = FxArray.from_float(np.array([0.25, -0.25]), engine.io_fmt)
+        collector = Collector()
+        plan = FaultPlan(specs=(FaultSpec(site="io.out", rate=1.0),))
+        with use_collector(collector), use_plan(plan):
+            with pytest.warns(RuntimeWarning, match="fast path"):
+                engine.sigmoid_fx(x)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # a re-warn would raise
+                engine.sigmoid_fx(x)
+        counters = collector.snapshot()["counters"]
+        assert counters.get("faults.fast_path_disabled") == 1
+        assert counters.get("engine.fast.fallback_faults") == 2
 
     def test_injected_lut_falls_back_to_datapath(self):
         # A fault-study unit with its own (here: canonical, but *injected*)

@@ -70,6 +70,16 @@ class TestTransient:
         different = apply_spec(spec, words, 16, np.random.default_rng(12))
         assert np.any(different != first)
 
+    def test_pinned_bit_upsets_only_that_bit(self):
+        words = _words(np.random.default_rng(4))
+        spec = FaultSpec(site="mac.acc", rate=1.0, bit=3)
+        out = apply_spec(spec, words, 16, np.random.default_rng(9))
+        np.testing.assert_array_equal(out, words ^ np.int64(1 << 3))
+
+    def test_pinned_bit_must_be_non_negative(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="mac.acc", rate=1.0, bit=-1)
+
 
 class TestStuckAt:
     def test_stuck_high_forces_the_bit(self):

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.engine import BatchEngine
-from repro.errors import BackpressureError, RangeError
+from repro.errors import BackpressureError, RangeError, WorkerCrashError
 from repro.serve import AsyncFrontend, InferenceServer, WorkerPool
 from repro.telemetry import Collector, SLOPolicy
 
@@ -118,3 +118,71 @@ class TestAdmissionControl:
                 AsyncFrontend(server, max_inflight=0)
         finally:
             server.close()
+
+
+class _CrashyBackend:
+    """Serving-contract fake: fails the first ``crashes`` submissions."""
+
+    def __init__(self, crashes, collector=None):
+        self.crashes = crashes
+        self.collector = collector
+        self.submissions = 0
+
+    def submit(self, x, mode="sigmoid", axis=-1):
+        import concurrent.futures
+
+        future = concurrent.futures.Future()
+        self.submissions += 1
+        if self.submissions <= self.crashes:
+            future.set_exception(WorkerCrashError("worker died mid-batch"))
+        else:
+            future.set_result(x)
+        return future
+
+    def close(self, flush=True):
+        pass
+
+
+class TestCrashRetry:
+    def test_resubmits_after_a_crash_and_counts_it(self):
+        collector = Collector()
+        backend = _CrashyBackend(crashes=1, collector=collector)
+
+        async def scenario():
+            async with AsyncFrontend(backend, retry_crashes=2) as fe:
+                return await fe.submit(0.5)
+
+        assert _run(scenario()) == 0.5
+        assert backend.submissions == 2
+        counters = collector.snapshot()["counters"]
+        assert counters["serve.frontend.retries"] == 1
+
+    def test_default_propagates_the_crash_unretried(self):
+        backend = _CrashyBackend(crashes=1)
+
+        async def scenario():
+            async with AsyncFrontend(backend) as fe:
+                return await fe.submit(0.5)
+
+        with pytest.raises(WorkerCrashError):
+            _run(scenario())
+        assert backend.submissions == 1
+
+    def test_exhausted_retries_propagate(self):
+        collector = Collector()
+        backend = _CrashyBackend(crashes=5, collector=collector)
+
+        async def scenario():
+            async with AsyncFrontend(backend, retry_crashes=2) as fe:
+                return await fe.submit(0.5)
+
+        with pytest.raises(WorkerCrashError):
+            _run(scenario())
+        assert backend.submissions == 3
+        counters = collector.snapshot()["counters"]
+        assert counters["serve.frontend.retries"] == 2
+
+    def test_rejects_negative_retry_crashes(self):
+        backend = _CrashyBackend(crashes=0)
+        with pytest.raises(ValueError):
+            AsyncFrontend(backend, retry_crashes=-1)
