@@ -45,6 +45,36 @@ class WorkerCrashError(ServeError):
     pool restarts the worker (when ``restart=True``) and counts the
     death under ``serve.pool.worker_deaths`` — callers retry; the
     failure is never silent and never hangs the queue.
+
+    Carries forensics alongside the message: ``worker_id``,
+    ``in_flight_seqs`` (the dispatch sequence numbers the worker held),
+    and ``ring_slots`` (the orphaned ring slots' header state — a slot
+    whose generation outruns its commit word is the frame a SIGKILL
+    tore mid-write).
+    """
+
+    def __init__(self, message, *, worker_id=None, in_flight_seqs=(),
+                 ring_slots=()):
+        self.worker_id = worker_id
+        self.in_flight_seqs = tuple(in_flight_seqs)
+        self.ring_slots = tuple(ring_slots)
+        if self.in_flight_seqs:
+            message += f" [seqs {list(self.in_flight_seqs)}]"
+        if self.ring_slots:
+            message += "; ring slots: " + ", ".join(
+                str(state) for state in self.ring_slots
+            )
+        super().__init__(message)
+
+
+class TornFrameError(ServeError):
+    """A shared-memory ring frame failed its generation/commit check.
+
+    The ring transport stamps every slot write with a generation word
+    and marks it committed only after the payload lands; a reader that
+    finds ``generation != commit`` (or the wrong seq/size) is looking at
+    a frame a crash tore mid-write — the bytes are refused, never
+    served. Counted under ``serve.pool.torn_frames``.
     """
 
 

@@ -13,8 +13,9 @@ Five pieces, separable and composable:
   telemetry;
 * :mod:`repro.serve.pool` — the scale-out tier: N forked worker
   processes attached read-only to one shared table image, batched
-  hand-off over pipes, crash detection and restart — same client
-  contract, same bytes;
+  hand-off through zero-copy shared-memory slot rings (pickled pipes as
+  fallback and differential oracle), crash detection and restart — same
+  client contract, same bytes;
 * :mod:`repro.serve.frontend` — the asyncio front door: async
   ``submit()`` with admission control that sheds before queues grow,
   over either backend;
@@ -34,6 +35,7 @@ from repro.errors import (
     ResponseVerificationError,
     ServeError,
     ServerClosedError,
+    TornFrameError,
     WorkerCrashError,
 )
 from repro.serve.batcher import SERVABLE_MODES, Batch, MicroBatcher, Request
@@ -44,7 +46,10 @@ from repro.serve.server import InferenceServer
 from repro.serve.store import (
     AttachedTableSource,
     MmapTableSource,
+    RingManifest,
+    RingSlotState,
     SharedTableStore,
+    SlotRing,
     StoreManifest,
     TableEntry,
     mmap_table,
@@ -63,12 +68,16 @@ __all__ = [
     "ResponseTimeoutError",
     "ResponseVerificationError",
     "ResponseVerifier",
+    "RingManifest",
+    "RingSlotState",
     "SERVABLE_MODES",
     "ServeError",
     "ServerClosedError",
     "SharedTableStore",
+    "SlotRing",
     "StoreManifest",
     "TableEntry",
+    "TornFrameError",
     "WorkerCrashError",
     "WorkerPool",
     "mmap_table",

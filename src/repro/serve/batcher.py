@@ -164,6 +164,43 @@ class Batch:
             return self.requests[0].raw
         return np.concatenate([r.raw for r in self.requests])
 
+    @property
+    def fused_shape(self) -> Tuple[int, ...]:
+        """The shape of :meth:`fused_raw`, without materialising it.
+
+        What a zero-copy transport puts in its control frame: the flat
+        element count for elementwise modes, the stacked ``(rows,
+        width)`` for softmax.
+        """
+        if self.mode is FunctionMode.SOFTMAX:
+            width = self.requests[0].raw.shape[-1]
+            return (self.elements // width, width)
+        return (self.elements,)
+
+    @property
+    def emits_raw(self) -> bool:
+        """Whether any member future receives the raw words themselves.
+
+        ``FxArray`` clients get a view over the fused output on scatter;
+        a serving layer that recycles its output buffer (the ring
+        transport) must unshare the bytes first. Float futures copy on
+        scatter either way.
+        """
+        return any(r.emit_fx for r in self.requests)
+
+    def gather_into(self, out: np.ndarray) -> None:
+        """Scatter-gather the fused payload straight into ``out`` (flat).
+
+        The zero-copy dual of :meth:`fused_raw`: the ring transport
+        hands over the destination slot and the member payloads land
+        there directly, with no intermediate concatenation.
+        """
+        offset = 0
+        for request in self.requests:
+            flat = request.raw.reshape(-1)
+            out[offset:offset + flat.size] = flat
+            offset += flat.size
+
     def split_points(self) -> np.ndarray:
         """Where the fused output splits back into per-request slices."""
         if self.mode is FunctionMode.SOFTMAX:

@@ -10,10 +10,22 @@ scale-out tier on top of the same building blocks:
   processes that attach read-only — N engines, one physical table image
   (the 0.11 ms zero-copy attach measured in ``serve_table_store``);
 * the parent keeps the :class:`~repro.serve.batcher.MicroBatcher` and
-  ships **whole fused batches** over a per-worker duplex pipe
-  (``multiprocessing.Pipe`` — a socketpair), so the micro-batcher's
-  coalescing survives the process hop: one message per batch, never one
-  per request;
+  ships **whole fused batches**, so the micro-batcher's coalescing
+  survives the process hop: one message per batch, never one per
+  request. Under the default ``transport="ring"`` the payload never
+  crosses the pipe at all: the parent gathers the fused raw words
+  straight into a free slot of a per-worker
+  :class:`~repro.serve.store.SlotRing` (preallocated SPSC request/
+  response rings in ``multiprocessing.shared_memory``) and sends only a
+  tiny doorbell — ``(seq, mode, slot, shape)`` — over the duplex pipe;
+  the worker evaluates from a zero-copy view and writes the result into
+  the paired response slot. No pickle, no intermediate copies; slot
+  framing carries generation/commit words so a frame torn by a SIGKILL
+  mid-write is detected, never served. ``transport="pipe"`` keeps the
+  original pickled-payload messages — and even under ``ring`` the pipe
+  carries any batch too large for a slot (``serve.pool.ring_oversize``)
+  or arriving while every slot is in flight (``serve.pool.ring_full``),
+  so the ring bounds memory, not admission;
 * batches route to the **least-loaded** worker (fewest outstanding
   elements), and every response is raw-bit-identical to the serial
   engine because both sides run the same
@@ -51,7 +63,9 @@ import pickle
 import threading
 import time
 from concurrent.futures import Future
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.compile.cache import TableCache
 from repro.errors import (
@@ -71,7 +85,12 @@ from repro.serve.batcher import (
     evaluate_fused,
 )
 from repro.serve.resilience import ResilienceManager, ResponsePolicy
-from repro.serve.store import AttachedTableSource, SharedTableStore
+from repro.serve.store import (
+    AttachedTableSource,
+    RingManifest,
+    SharedTableStore,
+    SlotRing,
+)
 from repro.telemetry import collector as _telemetry
 from repro.telemetry import trace as _tracing
 from repro.telemetry.collector import Collector, merge_snapshots
@@ -93,7 +112,7 @@ def _picklable(exc: BaseException) -> BaseException:
 
 
 def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
-                 worker_id: int, fault_plan=None) -> None:
+                 worker_id: int, fault_plan=None, rings=None) -> None:
     """One worker process: attach, evaluate batches, report, drain.
 
     The worker installs a private process-wide collector so every
@@ -103,6 +122,12 @@ def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
     time the ``close`` reply goes out every earlier batch has already
     been answered: graceful drain is a property of the pipe's FIFO
     ordering, not of extra bookkeeping.
+
+    ``rings`` (a :class:`~repro.serve.store.RingManifest`) attaches the
+    zero-copy lane: an ``rbatch`` doorbell names a slot whose payload is
+    read in place from the request ring and whose result is written in
+    place to the response ring — the same :func:`evaluate_fused` kernel
+    either way, so the bytes cannot differ between transports.
 
     ``fault_plan`` is this worker's private shard of the pool's chaos
     plan, armed *here* — after the fork, in the child only — so the
@@ -120,6 +145,14 @@ def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
     # Whatever plan the *parent* had armed at fork time is its business,
     # not this worker's — injection here is opt-in via the shard.
     _inject.disarm()
+    request_ring = response_ring = None
+    if rings is not None:
+        request_ring = SlotRing.attach(
+            rings.request_name, "req", rings.slots, rings.slot_elements
+        )
+        response_ring = SlotRing.attach(
+            rings.response_name, "resp", rings.slots, rings.slot_elements
+        )
     source = AttachedTableSource(manifest) if manifest is not None else None
     cache = TableCache(source=source) if fast else None
     engine = BatchEngine(
@@ -144,8 +177,30 @@ def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
                         out = evaluate_fused(
                             engine, FunctionMode(mode_value), raw
                         )
+                    collector.count("serve.pool.ipc_bytes", out.nbytes)
                     reply = (
                         "ok", seq, out,
+                        sink.events if sink is not None else None,
+                        sink.faults if sink is not None else None,
+                    )
+                except BaseException as exc:  # noqa: BLE001 — forwarded
+                    reply = ("err", seq, _picklable(exc))
+                conn.send(reply)
+            elif kind == "rbatch":
+                _, seq, mode_value, slot, shape, traced = message
+                try:
+                    raw = request_ring.read_frame(slot, seq, shape)
+                    sink = _tracing.StageSink() if traced else None
+                    with _tracing.use_sink(sink):
+                        out = evaluate_fused(
+                            engine, FunctionMode(mode_value), raw
+                        )
+                    frame = response_ring.open_frame(slot, seq, out.size)
+                    np.copyto(frame, out.reshape(-1))
+                    response_ring.commit_frame(slot)
+                    collector.count("serve.pool.ipc_bytes", out.nbytes)
+                    reply = (
+                        "rok", seq, slot,
                         sink.events if sink is not None else None,
                         sink.faults if sink is not None else None,
                     )
@@ -160,6 +215,10 @@ def _worker_main(conn, config: NacuConfig, fast: bool, manifest,
     finally:
         if source is not None:
             source.close()
+        if request_ring is not None:
+            request_ring.close()
+        if response_ring is not None:
+            response_ring.close()
         conn.close()
 
 
@@ -170,7 +229,7 @@ class _Pending:
     """One batch in flight to a worker, with its observability context."""
 
     __slots__ = ("batch", "tel", "traces", "enqueue_ns", "dispatch_ns",
-                 "tracer", "flight", "attempt")
+                 "tracer", "flight", "attempt", "slot", "shape")
 
     def __init__(self, batch, tel, traces, enqueue_ns, dispatch_ns, tracer,
                  flight=None, attempt=0):
@@ -185,6 +244,10 @@ class _Pending:
         self.flight = flight
         #: This attempt's index within the flight (0 = primary).
         self.attempt = attempt
+        #: The ring slot this attempt occupies (None: pipe transport).
+        self.slot = None
+        #: The payload shape — what the response frame reshapes to.
+        self.shape: Optional[Tuple[int, ...]] = None
 
 
 class _WorkerHandle:
@@ -192,13 +255,15 @@ class _WorkerHandle:
 
     __slots__ = ("worker_id", "process", "conn", "lock", "send_lock",
                  "in_flight", "outstanding", "receiver", "final_snapshot",
-                 "dead", "quarantined")
+                 "dead", "quarantined", "request_ring", "response_ring",
+                 "free_slots")
 
     def __init__(self, worker_id: int, process, conn):
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
-        #: Guards ``in_flight`` / ``outstanding`` (dispatcher vs receiver).
+        #: Guards ``in_flight`` / ``outstanding`` / ``free_slots``
+        #: (dispatcher vs receiver).
         self.lock = threading.Lock()
         #: Serialises writers on the pipe (dispatcher, snapshots, close).
         self.send_lock = threading.Lock()
@@ -210,6 +275,12 @@ class _WorkerHandle:
         #: Set (under ``send_lock``) when the resilience policy benches
         #: this worker: no new batches, graceful drain, then replacement.
         self.quarantined = False
+        #: This worker's paired payload rings (None: pipe transport).
+        self.request_ring: Optional[SlotRing] = None
+        self.response_ring: Optional[SlotRing] = None
+        #: Free slot indices, shared by both rings (a request slot and
+        #: its response slot are claimed and released together).
+        self.free_slots: List[int] = []
 
 
 class WorkerPool:
@@ -236,6 +307,9 @@ class WorkerPool:
         fast: bool = True,
         share_tables: bool = True,
         restart: bool = True,
+        transport: str = "ring",
+        ring_slots: int = 8,
+        ring_slot_elements: Optional[int] = None,
         max_batch_elements: int = 4096,
         max_delay_us: float = 200.0,
         max_pending_elements: int = 1 << 20,
@@ -259,10 +333,33 @@ class WorkerPool:
             )
         elif n_bits is not None:
             raise ServeError("pass either a config or n_bits, not both")
+        if transport not in ("ring", "pipe"):
+            raise ServeError(
+                f"unknown transport {transport!r}; choose 'ring' (zero-copy "
+                f"shared-memory slots) or 'pipe' (pickled payloads)"
+            )
+        if ring_slots < 1:
+            raise ServeError("ring_slots must be positive")
         self.config = config
         self.workers = workers
         self.fast = fast
         self.restart = restart
+        #: Which lane fused payloads take to the workers. ``"ring"``
+        #: (the default) is the zero-copy shared-memory transport with
+        #: the pipe as oversize/full-ring fallback; ``"pipe"`` is the
+        #: original pickled-payload transport, kept as the differential
+        #: -testing oracle.
+        self.transport = transport
+        self._ring_slots = ring_slots
+        # Two batch ceilings per slot: room for the batcher's overflow
+        # regime (a group may exceed the ceiling by one request) and for
+        # the resilience canary slice appended to the payload.
+        self._ring_slot_elements = (
+            int(ring_slot_elements) if ring_slot_elements is not None
+            else 2 * max_batch_elements
+        )
+        if self._ring_slot_elements < 1:
+            raise ServeError("ring_slot_elements must be positive")
         #: Per-worker chaos shards: worker ``k`` always arms shard ``k``,
         #: across restarts too — position-independent seeds make the
         #: injected stream a property of the slot, not of pool history.
@@ -421,6 +518,8 @@ class WorkerPool:
                 handle.conn.close()
             except OSError:
                 pass
+        for handle in handles:
+            self._release_rings(handle)
         if self._store is not None:
             self._store.unlink()
 
@@ -511,10 +610,27 @@ class WorkerPool:
             self._plan_shards[worker_id]
             if self._plan_shards is not None else None
         )
+        # Fresh rings per process generation: a restarted worker never
+        # inherits frames (possibly torn) from its predecessor.
+        rings = None
+        request_ring = response_ring = None
+        if self.transport == "ring":
+            request_ring = SlotRing.create(
+                "req", self._ring_slots, self._ring_slot_elements
+            )
+            response_ring = SlotRing.create(
+                "resp", self._ring_slots, self._ring_slot_elements
+            )
+            rings = RingManifest(
+                request_name=request_ring.name,
+                response_name=response_ring.name,
+                slots=self._ring_slots,
+                slot_elements=self._ring_slot_elements,
+            )
         process = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, self.config, self.fast, self._manifest,
-                  worker_id, shard),
+                  worker_id, shard, rings),
             name=f"nacu-pool-worker-{worker_id}",
             daemon=True,
         )
@@ -522,7 +638,12 @@ class WorkerPool:
         # Drop the parent's copy of the child end: EOF on parent_conn
         # then means exactly "the worker is gone".
         child_conn.close()
-        return _WorkerHandle(worker_id, process, parent_conn)
+        handle = _WorkerHandle(worker_id, process, parent_conn)
+        handle.request_ring = request_ring
+        handle.response_ring = response_ring
+        if rings is not None:
+            handle.free_slots = list(range(self._ring_slots))
+        return handle
 
     def _start_receiver(self, handle: _WorkerHandle) -> None:
         handle.receiver = threading.Thread(
@@ -543,31 +664,47 @@ class WorkerPool:
                 pending = self._pop_pending(handle, seq)
                 if pending is None:
                     continue
-                sink = None
-                if events is not None:
-                    sink = _tracing.StageSink()
-                    sink.events = events
-                    sink.faults = faults or {}
-                if pending.flight is not None:
-                    self._resilience.on_ok(handle, pending, out_raw, sink)
-                    continue
+                self._deliver(handle, pending, out_raw, events, faults)
+            elif kind == "rok":
+                _, seq, slot, events, faults = message
+                pending = self._pop_pending(handle, seq)
                 try:
-                    pending.batch.finish(
-                        out_raw, self.io_fmt, tel=pending.tel,
-                        traces=pending.traces, enqueue_ns=pending.enqueue_ns,
-                        slo=self.slo, tracer=pending.tracer,
-                        dispatch_ns=pending.dispatch_ns, sink=sink,
-                    )
-                except BaseException as exc:  # noqa: BLE001 — forwarded
-                    pending.batch.fail(
-                        exc, traces=pending.traces, slo=self.slo,
-                        tracer=pending.tracer,
-                    )
+                    if pending is None:
+                        continue
+                    try:
+                        out_raw = handle.response_ring.read_frame(
+                            slot, seq, pending.shape
+                        )
+                    except ServeError as exc:
+                        # A frame that fails its commit check is refused,
+                        # loudly — the resilience layer may retry it, a
+                        # bare pool fails the futures.
+                        self._count("serve.pool.torn_frames")
+                        if pending.flight is not None:
+                            self._resilience.on_err(handle, pending, exc)
+                        else:
+                            pending.batch.fail(
+                                exc, traces=pending.traces, slo=self.slo,
+                                tracer=pending.tracer,
+                            )
+                        continue
+                    if pending.batch.emits_raw:
+                        # FxArray futures keep the raw words: unshare
+                        # them before the slot is recycled underneath.
+                        out_raw = np.array(out_raw)
+                    self._deliver(handle, pending, out_raw, events, faults)
+                finally:
+                    # Every reply frees its slot pair — stale replies
+                    # (a lost hedge race) included, or the ring leaks.
+                    self._free_slot(handle, slot)
             elif kind == "err":
                 _, seq, exc = message
                 pending = self._pop_pending(handle, seq)
                 if pending is None:
                     continue
+                # An erring ring dispatch consumed its request frame and
+                # wrote no response: the slot pair is reusable now.
+                self._free_slot(handle, pending.slot)
                 if pending.flight is not None:
                     self._resilience.on_err(handle, pending, exc)
                     continue
@@ -592,11 +729,49 @@ class WorkerPool:
                 handle.outstanding -= pending.batch.elements
         return pending
 
+    def _deliver(self, handle: _WorkerHandle, pending: _Pending,
+                 out_raw, events, faults) -> None:
+        """Route one answered batch: resilience check or straight finish.
+
+        ``out_raw`` is either the unpickled pipe payload or a read-only
+        view over the worker's response-ring frame — by the time this
+        returns, every future has resolved (floats copy on scatter,
+        FxArrays were unshared by the caller), so the caller may recycle
+        the frame immediately.
+        """
+        sink = None
+        if events is not None:
+            sink = _tracing.StageSink()
+            sink.events = events
+            sink.faults = faults or {}
+        if pending.flight is not None:
+            self._resilience.on_ok(handle, pending, out_raw, sink)
+            return
+        try:
+            pending.batch.finish(
+                out_raw, self.io_fmt, tel=pending.tel,
+                traces=pending.traces, enqueue_ns=pending.enqueue_ns,
+                slo=self.slo, tracer=pending.tracer,
+                dispatch_ns=pending.dispatch_ns, sink=sink,
+            )
+        except BaseException as exc:  # noqa: BLE001 — forwarded
+            pending.batch.fail(
+                exc, traces=pending.traces, slo=self.slo,
+                tracer=pending.tracer,
+            )
+
+    def _free_slot(self, handle: _WorkerHandle, slot) -> None:
+        """Return one slot pair to the worker's free list."""
+        if slot is None or handle.request_ring is None:
+            return
+        with handle.lock:
+            handle.free_slots.append(slot)
+
     def _on_worker_exit(self, handle: _WorkerHandle) -> None:
         """Receiver epilogue: clean drain is a no-op, a crash is loud."""
         handle.dead = True
         with handle.lock:
-            orphans = list(handle.in_flight.values())
+            orphans = list(handle.in_flight.items())
             handle.in_flight.clear()
             handle.outstanding = 0
         crashed = handle.final_snapshot is None and not self._closed
@@ -604,10 +779,13 @@ class WorkerPool:
             self._count("serve.pool.worker_deaths")
             exc = WorkerCrashError(
                 f"worker {handle.worker_id} (pid {handle.process.pid}) died "
-                f"with {len(orphans)} batch(es) in flight"
+                f"with {len(orphans)} batch(es) in flight",
+                worker_id=handle.worker_id,
+                in_flight_seqs=[seq for seq, _ in orphans],
+                ring_slots=self._ring_forensics(handle, orphans),
             )
-            flighted = [p for p in orphans if p.flight is not None]
-            for pending in orphans:
+            flighted = [p for _, p in orphans if p.flight is not None]
+            for _, pending in orphans:
                 if pending.flight is not None:
                     continue  # the resilience manager decides its fate
                 pending.batch.fail(
@@ -615,7 +793,7 @@ class WorkerPool:
                     tracer=pending.tracer,
                 )
             if flighted:
-                self._resilience.on_crash(handle, flighted)
+                self._resilience.on_crash(handle, flighted, exc)
         # A quarantined worker that delivered its final snapshot retired
         # gracefully: its batches were answered first (pipe FIFO) and
         # its counts move to the retired list, so the replacement below
@@ -642,12 +820,43 @@ class WorkerPool:
                     self._cond.notify_all()
         if replaced:
             # The old handle left the roster, so close() will never join
-            # it — reap the process and its pipe here, on its receiver.
+            # it — reap the process, its pipe and its rings here, on its
+            # receiver (forensics above already copied any slot state).
             handle.process.join(timeout=10)
             try:
                 handle.conn.close()
             except OSError:
                 pass
+            self._release_rings(handle)
+
+    def _ring_forensics(self, handle: _WorkerHandle, orphans):
+        """Header state of every orphaned slot pair, copied before reuse.
+
+        What turns "worker 3 died" into "worker 3 died mid-write of
+        resp[2], seq 41": the request frame's state shows what the
+        worker was handed, the response frame's generation/commit pair
+        shows whether the crash tore the answer.
+        """
+        if handle.request_ring is None:
+            return ()
+        states = []
+        for _, pending in orphans:
+            if pending.slot is None:
+                continue
+            try:
+                states.append(handle.request_ring.slot_state(pending.slot))
+                states.append(handle.response_ring.slot_state(pending.slot))
+            except ServeError:
+                break  # rings already released — nothing left to read
+        return tuple(states)
+
+    def _release_rings(self, handle: _WorkerHandle) -> None:
+        """Unlink one retired worker's ring pair (parent owns them)."""
+        for ring in (handle.request_ring, handle.response_ring):
+            if ring is not None:
+                ring.unlink()
+        handle.request_ring = None
+        handle.response_ring = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -720,6 +929,89 @@ class WorkerPool:
             if done:
                 return
 
+    def _transmit(self, handle: _WorkerHandle, seq: int, pending: _Pending,
+                  source, traced: bool, guard: bool) -> bool:
+        """Ship one fused payload to ``handle`` over the active lane.
+
+        ``source`` is either the :class:`Batch` itself (gathered
+        straight into a ring frame — no intermediate concatenation) or a
+        pre-fused ndarray (a resilience flight's persistent payload,
+        copied in). A free ring slot that fits takes the zero-copy lane:
+        payload into the request frame, commit, then the tiny doorbell
+        over the pipe. Oversize payloads and full rings fall back to the
+        pickled pipe message — counted, never refused. ``guard`` skips
+        the send when the worker is dead or quarantined (the flight
+        path's contract); returns whether the payload went out.
+        """
+        if isinstance(source, Batch):
+            elements = source.elements
+            shape = source.fused_shape
+        else:
+            elements = source.size
+            shape = source.shape
+        pending.shape = shape
+        ring = handle.request_ring
+        slot = None
+        if ring is not None:
+            if elements > ring.slot_elements:
+                self._count("serve.pool.ring_oversize")
+            else:
+                with handle.lock:
+                    if handle.free_slots:
+                        slot = handle.free_slots.pop()
+                if slot is None:
+                    self._count("serve.pool.ring_full")
+        pending.slot = slot
+        start = time.perf_counter_ns()
+        sent = False
+        try:
+            if slot is not None:
+                frame = ring.open_frame(slot, seq, elements)
+                if isinstance(source, Batch):
+                    source.gather_into(frame)
+                else:
+                    np.copyto(frame, source.reshape(-1))
+                ring.commit_frame(slot)
+                with handle.send_lock:
+                    if not (guard and (handle.dead or handle.quarantined)):
+                        handle.conn.send(
+                            ("rbatch", seq, pending.batch.mode.value, slot,
+                             shape, traced)
+                        )
+                        sent = True
+            else:
+                payload = (
+                    source.fused_raw() if isinstance(source, Batch)
+                    else source
+                )
+                with handle.send_lock:
+                    if not (guard and (handle.dead or handle.quarantined)):
+                        handle.conn.send(
+                            ("batch", seq, pending.batch.mode.value, payload,
+                             traced)
+                        )
+                        sent = True
+        except (OSError, BrokenPipeError, ServeError):
+            # OSError/BrokenPipeError: the worker died under the send.
+            # ServeError: its rings were already released — same outcome.
+            sent = False
+        if sent:
+            self._count("serve.pool.dispatched")
+            self._count(
+                "serve.pool.ring_dispatched" if slot is not None
+                else "serve.pool.pipe_dispatched"
+            )
+            self._count("serve.pool.ipc_bytes", elements * 8)
+            tel = _telemetry.resolve(self.collector)
+            if tel is not None:
+                tel.observe_span(
+                    "serve.pool.ship", time.perf_counter_ns() - start
+                )
+        elif slot is not None:
+            self._free_slot(handle, slot)
+            pending.slot = None
+        return sent
+
     def _ship(self, batch: Batch, tracer) -> None:
         """Hand one fused batch to the least-loaded live worker."""
         if self._resilience is not None:
@@ -744,14 +1036,8 @@ class WorkerPool:
         with handle.lock:
             handle.in_flight[seq] = pending
             handle.outstanding += batch.elements
-        try:
-            with handle.send_lock:
-                handle.conn.send(
-                    ("batch", seq, batch.mode.value, batch.fused_raw(),
-                     bool(traces))
-                )
-            self._count("serve.pool.dispatched")
-        except (OSError, BrokenPipeError):
+        if not self._transmit(handle, seq, pending, batch, bool(traces),
+                              guard=False):
             # Died between pick and send; the receiver's exit path may
             # have already failed it, so pop defensively first.
             if self._pop_pending(handle, seq) is not None:
@@ -794,22 +1080,15 @@ class WorkerPool:
             with handle.lock:
                 handle.in_flight[seq] = pending
                 handle.outstanding += flight.batch.elements
-            sent = False
-            try:
-                with handle.send_lock:
-                    # Quarantine flips under this lock, so a set flag
-                    # here means the close message is already ahead of
-                    # us in the pipe — pick another worker instead.
-                    if not (handle.dead or handle.quarantined):
-                        handle.conn.send(
-                            ("batch", seq, flight.batch.mode.value,
-                             flight.payload, bool(flight.traces))
-                        )
-                        sent = True
-            except (OSError, BrokenPipeError):
-                sent = False
+            # Quarantine flips under the send lock, so a set flag there
+            # means the close message is already ahead of this attempt
+            # in the pipe — _transmit skips the send (guard=True) and
+            # another worker is picked instead.
+            sent = self._transmit(
+                handle, seq, pending, flight.payload, bool(flight.traces),
+                guard=True,
+            )
             if sent:
-                self._count("serve.pool.dispatched")
                 with flight.lock:
                     flight.attempts += 1
                     flight.last_dispatch_ns = dispatch_ns
@@ -867,6 +1146,6 @@ class WorkerPool:
         )
         return (
             f"<WorkerPool {state}, {self.alive_workers()}/{self.workers} "
-            f"workers live, {shared}, "
+            f"workers live, {self.transport} transport, {shared}, "
             f"{self._batcher.pending_requests} pending>"
         )

@@ -408,12 +408,19 @@ class ResilienceManager:
                 flight.done = True
                 self._fail_now(flight, exc)
 
-    def on_crash(self, handle, pendings) -> None:
-        """The worker died holding these flights: retry or fail each."""
-        exc = WorkerCrashError(
-            f"worker {handle.worker_id} (pid {handle.process.pid}) died "
-            f"with {len(pendings)} batch(es) in flight"
-        )
+    def on_crash(self, handle, pendings, exc=None) -> None:
+        """The worker died holding these flights: retry or fail each.
+
+        ``exc`` is the pool's forensic :class:`WorkerCrashError` (seqs +
+        ring slot state); flights that exhaust their retry budget fail
+        with it, so the caller sees the same diagnosis a policy-free
+        pool would raise.
+        """
+        if exc is None:
+            exc = WorkerCrashError(
+                f"worker {handle.worker_id} (pid {handle.process.pid}) died "
+                f"with {len(pendings)} batch(es) in flight"
+            )
         for pending in pendings:
             flight: Flight = pending.flight
             with flight.lock:

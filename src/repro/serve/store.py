@@ -49,7 +49,7 @@ from repro.compile.table import (
     ReciprocalTable,
     ResponseTable,
 )
-from repro.errors import ServeError
+from repro.errors import ServeError, TornFrameError
 from repro.fixedpoint import QFormat
 from repro.nacu.config import FunctionMode, NacuConfig
 from repro.telemetry import collector as _telemetry
@@ -337,6 +337,211 @@ class AttachedTableSource:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# The zero-copy batch transport: SPSC payload rings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RingSlotState:
+    """One slot's header words, copied out for crash forensics.
+
+    Plain integers, snapshotted at read time — safe to hold in a
+    :class:`~repro.errors.WorkerCrashError` long after the ring itself
+    is unlinked.
+    """
+
+    ring: str
+    slot: int
+    generation: int
+    commit: int
+    seq: int
+    elements: int
+
+    @property
+    def torn(self) -> bool:
+        """Whether a writer died between opening and committing the frame."""
+        return self.generation != self.commit
+
+    def __str__(self) -> str:
+        state = "TORN" if self.torn else "whole"
+        return (
+            f"{self.ring}[{self.slot}] gen={self.generation} "
+            f"commit={self.commit} seq={self.seq} "
+            f"elements={self.elements} {state}"
+        )
+
+
+@dataclass(frozen=True)
+class RingManifest:
+    """The picklable hand-off describing one worker's paired payload rings."""
+
+    request_name: str
+    response_name: str
+    slots: int
+    slot_elements: int
+
+
+class SlotRing:
+    """Fixed-slot SPSC payload frames over one shared-memory segment.
+
+    The batch transport's bulk lane: the pool's parent writes a fused
+    request payload straight into a free slot of the *request* ring and
+    sends only a tiny doorbell over the pipe; the worker evaluates from
+    a zero-copy view and writes the result into the same slot index of
+    the paired *response* ring. Slot ownership is the pipe protocol's
+    business (the parent's free list); this class owns only the framing.
+
+    Each slot is a row of int64 words: a four-word header
+    ``[generation, commit, seq, elements]`` followed by
+    ``slot_elements`` payload words. A writer bumps ``generation``,
+    stamps ``seq``/``elements``, fills the payload, and only then copies
+    ``generation`` into ``commit`` — so a reader that finds
+    ``generation != commit`` (or a stale seq/size) is looking at a frame
+    the writer never finished, and :meth:`read_frame` refuses it with
+    :class:`~repro.errors.TornFrameError` instead of serving torn bytes.
+
+    Single-producer/single-consumer per direction by contract: the
+    parent's dispatcher writes request frames, one worker reads them
+    (and symmetrically for responses), so no atomics are needed — the
+    doorbell message *is* the release fence (``Connection.send``/
+    ``recv`` order the memory operations on one host).
+    """
+
+    #: Per-slot header words: generation, commit, seq, elements.
+    HEADER_WORDS = 4
+    _GEN, _COMMIT, _SEQ, _ELEMENTS = range(HEADER_WORDS)
+
+    def __init__(self, segment: shared_memory.SharedMemory, label: str,
+                 slots: int, slot_elements: int, owner: bool):
+        self._segment = segment
+        self.label = label
+        self.slots = slots
+        self.slot_elements = slot_elements
+        self._owner = owner
+        self._unlinked = False
+        self._words: Optional[np.ndarray] = np.ndarray(
+            (slots, self.HEADER_WORDS + slot_elements),
+            dtype=np.int64, buffer=segment.buf,
+        )
+
+    @classmethod
+    def create(cls, label: str, slots: int, slot_elements: int) -> "SlotRing":
+        """Allocate an owned ring with every slot header zeroed."""
+        if slots < 1 or slot_elements < 1:
+            raise ServeError("a ring needs at least one slot and one element")
+        nbytes = slots * (cls.HEADER_WORDS + slot_elements) * 8
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        ring = cls(segment, label, slots, slot_elements, owner=True)
+        ring._words[:, :cls.HEADER_WORDS] = 0
+        _count("serve.store.ring_created")
+        _count("serve.store.ring_bytes", nbytes)
+        return ring
+
+    @classmethod
+    def attach(cls, name: str, label: str, slots: int,
+               slot_elements: int) -> "SlotRing":
+        """Attach to a publisher's ring without claiming ownership."""
+        segment = _attach_untracked(name)
+        _count("serve.store.ring_attached")
+        return cls(segment, label, slots, slot_elements, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The segment name an attacher needs (see :class:`RingManifest`)."""
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.slots * (self.HEADER_WORDS + self.slot_elements) * 8
+
+    def _row(self, slot: int) -> np.ndarray:
+        words = self._words
+        if words is None:
+            raise ServeError(f"{self.label} ring is closed")
+        return words[slot]
+
+    def open_frame(self, slot: int, seq: int, elements: int) -> np.ndarray:
+        """Begin a frame: stamp the header, return the writable payload view.
+
+        The caller fills the view and must :meth:`commit_frame` before
+        ringing the doorbell — until then the frame reads as torn.
+        """
+        if elements > self.slot_elements:
+            raise ServeError(
+                f"frame of {elements} elements exceeds the "
+                f"{self.slot_elements}-element {self.label} ring slot"
+            )
+        row = self._row(slot)
+        row[self._GEN] += 1
+        row[self._SEQ] = seq
+        row[self._ELEMENTS] = elements
+        return row[self.HEADER_WORDS:self.HEADER_WORDS + elements]
+
+    def commit_frame(self, slot: int) -> None:
+        """Seal the open frame: the payload is complete and readable."""
+        row = self._row(slot)
+        row[self._COMMIT] = row[self._GEN]
+
+    def write_frame(self, slot: int, seq: int, payload: np.ndarray) -> None:
+        """Open, fill and commit in one call (the pre-fused payload case)."""
+        frame = self.open_frame(slot, seq, payload.size)
+        np.copyto(frame, payload.reshape(-1))
+        self.commit_frame(slot)
+
+    def read_frame(self, slot: int, seq: int, shape) -> np.ndarray:
+        """A read-only payload view, after proving the frame is whole."""
+        row = self._row(slot)
+        gen = int(row[self._GEN])
+        commit = int(row[self._COMMIT])
+        frame_seq = int(row[self._SEQ])
+        elements = int(row[self._ELEMENTS])
+        expected = 1
+        for dim in shape:
+            expected *= dim
+        if gen != commit or frame_seq != seq or elements != expected:
+            raise TornFrameError(
+                f"{self.label}[{slot}]: gen={gen} commit={commit} "
+                f"seq={frame_seq} elements={elements} — wanted seq {seq} "
+                f"with {expected} elements"
+            )
+        view = row[self.HEADER_WORDS:self.HEADER_WORDS + elements]
+        view = view.reshape(tuple(shape))
+        view.flags.writeable = False
+        return view
+
+    def slot_state(self, slot: int) -> RingSlotState:
+        """Snapshot one slot's header (crash forensics; copies, no views)."""
+        row = self._row(slot)
+        return RingSlotState(
+            ring=self.label, slot=slot,
+            generation=int(row[self._GEN]), commit=int(row[self._COMMIT]),
+            seq=int(row[self._SEQ]), elements=int(row[self._ELEMENTS]),
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (frames become unreadable here)."""
+        self._words = None
+        try:
+            self._segment.close()
+        except (OSError, BufferError):
+            pass  # a live frame view still pins the buffer
+
+    def unlink(self) -> None:
+        """Owner side: destroy the segment (attachers just :meth:`close`)."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                self._segment.unlink()
+            except OSError:
+                pass  # already reaped
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlotRing {self.label!r} {self.slots}x{self.slot_elements} "
+            f"({self.nbytes >> 10} KiB)>"
+        )
 
 
 # ----------------------------------------------------------------------
